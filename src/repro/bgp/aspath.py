@@ -1,0 +1,66 @@
+"""AS paths.
+
+The AS_PATH attribute is central to both the BGP decision process (step 2:
+prefer the shortest path) and to PVR's Example #2, where the promise is
+about AS-path *length*.  The simulator models AS_PATH as a flat sequence
+of AS numbers (AS_SET aggregation is out of scope for the paper and
+omitted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from repro.util.encoding import canonical_encode
+
+
+@dataclass(frozen=True)
+class ASPath:
+    """An immutable sequence of AS names, most recent hop first.
+
+    ``asns[0]`` is the AS that most recently announced the route; the
+    originating AS is last, matching wire order in BGP UPDATE messages.
+    """
+
+    asns: Tuple[str, ...] = ()
+
+    def __init__(self, asns: Iterable[str] = ()) -> None:
+        object.__setattr__(self, "asns", tuple(asns))
+
+    def prepend(self, asn: str, count: int = 1) -> "ASPath":
+        """Return a new path with ``asn`` prepended ``count`` times.
+
+        ``count > 1`` models AS-path prepending, the traffic-engineering
+        practice that makes paths look longer without changing reachability.
+        """
+        if count < 1:
+            raise ValueError("prepend count must be >= 1")
+        return ASPath((asn,) * count + self.asns)
+
+    def contains(self, asn: str) -> bool:
+        return asn in self.asns
+
+    def has_loop_for(self, asn: str) -> bool:
+        """BGP loop prevention: an AS rejects paths already carrying it."""
+        return asn in self.asns
+
+    @property
+    def origin_as(self) -> str | None:
+        return self.asns[-1] if self.asns else None
+
+    @property
+    def first_hop(self) -> str | None:
+        return self.asns[0] if self.asns else None
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.asns)
+
+    def __str__(self) -> str:
+        return " ".join(self.asns) if self.asns else "<empty>"
+
+    def canonical(self) -> bytes:
+        return canonical_encode(("as-path",) + self.asns)

@@ -1,0 +1,119 @@
+"""The BGP decision process.
+
+Section 2.1 of the paper observes that "a pipeline of such operators, one
+for each attribute, makes up the usual route selection process".  This
+module is that pipeline in its conventional (non-PVR) form, used by the
+plain BGP simulator and as the ground truth the route-flow-graph encoding
+is checked against:
+
+1. highest LOCAL_PREF;
+2. shortest AS_PATH;
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+4. lowest MED (compared across all candidates — "always-compare-med" —
+   to keep the process a total preorder);
+5. deterministic tie-break on the neighbor name (stands in for the
+   lowest-router-id step).
+
+``decide`` is exposed both as a one-shot function over candidate sets and
+as composable elimination steps (reused by :mod:`repro.rfg.operators`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.bgp.route import Route
+
+EliminationStep = Callable[[Sequence[Route]], List[Route]]
+
+
+def step_local_pref(candidates: Sequence[Route]) -> List[Route]:
+    """Keep only routes with the highest LOCAL_PREF."""
+    if not candidates:
+        return []
+    best = max(r.local_pref for r in candidates)
+    return [r for r in candidates if r.local_pref == best]
+
+
+def step_as_path_length(candidates: Sequence[Route]) -> List[Route]:
+    """Keep only routes with the shortest AS path."""
+    if not candidates:
+        return []
+    best = min(r.path_length for r in candidates)
+    return [r for r in candidates if r.path_length == best]
+
+
+def step_origin(candidates: Sequence[Route]) -> List[Route]:
+    """Keep only routes with the lowest ORIGIN code."""
+    if not candidates:
+        return []
+    best = min(r.origin for r in candidates)
+    return [r for r in candidates if r.origin == best]
+
+
+def step_med(candidates: Sequence[Route]) -> List[Route]:
+    """Keep only routes with the lowest MED."""
+    if not candidates:
+        return []
+    best = min(r.med for r in candidates)
+    return [r for r in candidates if r.med == best]
+
+
+def step_neighbor_tiebreak(candidates: Sequence[Route]) -> List[Route]:
+    """Deterministic final tie-break: lowest neighbor name."""
+    if not candidates:
+        return []
+    best = min(candidates, key=lambda r: (r.neighbor is None, r.neighbor or ""))
+    return [best]
+
+
+STANDARD_PIPELINE: tuple = (
+    step_local_pref,
+    step_as_path_length,
+    step_origin,
+    step_med,
+    step_neighbor_tiebreak,
+)
+
+
+def decide(
+    candidates: Iterable[Route],
+    pipeline: Sequence[EliminationStep] = STANDARD_PIPELINE,
+) -> Route | None:
+    """Run the elimination pipeline and return the single best route.
+
+    Returns ``None`` when there are no candidates.  Raises when the
+    pipeline fails to reach a unique winner (a mis-built custom pipeline).
+    """
+    remaining: List[Route] = list(candidates)
+    if not remaining:
+        return None
+    for step in pipeline:
+        remaining = step(remaining)
+        if len(remaining) == 1:
+            return remaining[0]
+        if not remaining:
+            raise RuntimeError("elimination step removed all candidates")
+    if len(remaining) != 1:
+        raise RuntimeError(
+            f"pipeline did not reach a unique winner ({len(remaining)} left)"
+        )
+    return remaining[0]
+
+
+def rank_key(route: Route) -> tuple:
+    """A sort key consistent with ``decide`` under the standard pipeline:
+    ``min(candidates, key=rank_key)`` equals ``decide(candidates)``.
+
+    Useful for property tests and for the permitted-set semantics of
+    promises, where "the best route" must be computable without running
+    the elimination pipeline.
+    """
+    return (
+        -route.local_pref,
+        route.path_length,
+        route.origin,
+        route.med,
+        route.neighbor is None,
+        route.neighbor or "",
+    )

@@ -1,0 +1,119 @@
+"""BGP message types carried over the simulated network.
+
+Only the message semantics the simulator needs are modelled: UPDATE
+(announce or withdraw routes for prefixes) plus the session-management
+messages (OPEN / KEEPALIVE / NOTIFICATION) used by the session FSM.
+Messages are immutable values; signatures (when PVR or S-BGP-style
+signing is enabled) wrap them rather than mutate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.util.encoding import canonical_encode
+
+
+@dataclass(frozen=True)
+class Open:
+    """Session establishment: announces the speaker's AS."""
+
+    asn: str
+    hold_time: float = 90.0
+
+    def canonical(self) -> bytes:
+        return canonical_encode(("bgp-open", self.asn, int(self.hold_time)))
+
+
+@dataclass(frozen=True)
+class Keepalive:
+    def canonical(self) -> bytes:
+        return canonical_encode(("bgp-keepalive",))
+
+
+@dataclass(frozen=True)
+class Notification:
+    """Error report; receipt tears the session down."""
+
+    code: str
+    detail: str = ""
+
+    def canonical(self) -> bytes:
+        return canonical_encode(("bgp-notification", self.code, self.detail))
+
+
+@dataclass(frozen=True)
+class Update:
+    """A route announcement and/or a set of withdrawals.
+
+    ``announced`` is None or a single Route (one prefix per Update keeps
+    the simulator simple without losing generality); ``withdrawn`` lists
+    prefixes no longer reachable via the sender.
+    """
+
+    announced: Optional[Route] = None
+    withdrawn: Tuple[Prefix, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.announced is None and not self.withdrawn:
+            raise ValueError("empty UPDATE")
+        if not isinstance(self.withdrawn, tuple):
+            object.__setattr__(self, "withdrawn", tuple(self.withdrawn))
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            (
+                "bgp-update",
+                self.announced,
+                tuple(self.withdrawn),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SignedUpdate:
+    """An Update plus the sender's signature over its announcement.
+
+    This is the paper's "we can sign all the routing announcements"
+    (Section 3.2, condition 1): B can check that the route A exported was
+    really provided by the Ni on its path.  The signature covers the
+    announcement key of the route, so receiver-local fields do not break
+    verification.
+    """
+
+    update: Update
+    signer: str
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        return signed_update_bytes(self.update, self.signer)
+
+    def verify(self, keystore) -> bool:
+        return keystore.verify(self.signer, self.signed_bytes(), self.signature)
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            ("signed-update", self.update, self.signer, self.signature)
+        )
+
+
+def signed_update_bytes(update: Update, signer: str) -> bytes:
+    """The byte string a SignedUpdate signature covers: the announcement
+    content plus withdrawals plus the signer identity."""
+    announced = (
+        update.announced.announcement_key()
+        if update.announced is not None
+        else None
+    )
+    return canonical_encode(
+        ("bgp-signed-update", announced, tuple(update.withdrawn), signer)
+    )
+
+
+def sign_update(keystore, signer: str, update: Update) -> SignedUpdate:
+    """S-BGP-style origin signing of an UPDATE."""
+    signature = keystore.sign(signer, signed_update_bytes(update, signer))
+    return SignedUpdate(update=update, signer=signer, signature=signature)

@@ -1,0 +1,137 @@
+"""AS-level BGP network simulation.
+
+Glues :class:`repro.bgp.router.BGPRouter` nodes onto the simulated message
+network, establishes all sessions, originates prefixes and runs the event
+loop to convergence.  This is the substrate the SCALE benchmark and the
+Internet-scale example run PVR on top of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.policy import Policy, PERMIT_ALL
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.bgp.router import BGPRouter
+from repro.net.simnet import Network
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the network fails to converge within the event budget."""
+
+
+class BGPNetwork:
+    """A set of AS routers joined by BGP sessions over simulated links."""
+
+    def __init__(self) -> None:
+        self.transport = Network()
+        self.routers: Dict[str, BGPRouter] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_as(self, asn: str) -> BGPRouter:
+        router = BGPRouter(asn)
+        self.routers[asn] = router
+        self.transport.add_node(router)
+        return router
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: float = 0.01,
+        import_policy_a: Policy = PERMIT_ALL,
+        export_policy_a: Policy = PERMIT_ALL,
+        import_policy_b: Policy = PERMIT_ALL,
+        export_policy_b: Policy = PERMIT_ALL,
+    ) -> None:
+        """Create the link and the two peering configurations for a<->b.
+
+        The ``_a`` policies belong to router ``a`` (its import/export with
+        peer ``b``), and symmetrically for ``_b``.
+        """
+        self.transport.add_link(a, b, latency)
+        self.routers[a].add_peer(
+            b, import_policy=import_policy_a, export_policy=export_policy_a
+        )
+        self.routers[b].add_peer(
+            a, import_policy=import_policy_b, export_policy=export_policy_b
+        )
+
+    def router(self, asn: str) -> BGPRouter:
+        return self.routers[asn]
+
+    def as_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.routers))
+
+    # -- operation ----------------------------------------------------------
+
+    def establish_sessions(self, max_events: int = 1_000_000) -> None:
+        """Bring every configured session to Established."""
+        for asn in sorted(self.routers):
+            self.routers[asn].start_all_sessions(self.transport)
+        self.run_to_quiescence(max_events)
+        for asn, router in self.routers.items():
+            for peer, session in router.sessions.items():
+                if not session.established:
+                    raise ConvergenceError(
+                        f"session {asn}<->{peer} failed to establish"
+                    )
+
+    def originate(self, asn: str, prefix: Prefix) -> None:
+        self.routers[asn].originate(self.transport, prefix)
+
+    def withdraw(self, asn: str, prefix: Prefix) -> None:
+        self.routers[asn].withdraw_origin(self.transport, prefix)
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
+        """Process events until no messages remain in flight.
+
+        Returns the number of events processed.  Raises
+        :class:`ConvergenceError` when the budget is exhausted, which in a
+        correct configuration indicates a persistent oscillation (e.g. a
+        BGP wedgie built from conflicting policies).
+        """
+        processed = self.transport.run(max_events=max_events)
+        if self.transport.simulator.pending():
+            raise ConvergenceError(
+                f"network did not quiesce within {max_events} events"
+            )
+        return processed
+
+    # -- inspection ----------------------------------------------------------
+
+    def best_route(self, asn: str, prefix: Prefix) -> Optional[Route]:
+        return self.routers[asn].loc_rib.best(prefix)
+
+    def reachability(self, prefix: Prefix) -> Dict[str, Optional[Route]]:
+        """Best route to ``prefix`` at every AS (None = unreachable)."""
+        return {
+            asn: self.routers[asn].loc_rib.best(prefix)
+            for asn in sorted(self.routers)
+        }
+
+    def forwarding_path(
+        self, source: str, prefix: Prefix, max_hops: int = 64
+    ) -> List[str]:
+        """Follow best-route next hops from ``source`` to the originator.
+
+        The next hop of an AS-level route is the first AS on its path.
+        Returns the sequence of ASes traversed, starting at ``source``.
+        """
+        path = [source]
+        current = source
+        for _ in range(max_hops):
+            router = self.routers[current]
+            if prefix in router.originated:
+                return path
+            best = router.loc_rib.best(prefix)
+            if best is None or best.neighbor is None:
+                raise ValueError(f"{current} has no route to {prefix}")
+            current = best.neighbor
+            path.append(current)
+        raise ValueError("forwarding loop or path too long")
+
+    def total_updates(self) -> int:
+        return sum(r.updates_sent for r in self.routers.values())

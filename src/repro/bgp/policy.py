@@ -1,0 +1,239 @@
+"""Import/export policy engine: route maps.
+
+The paper's premise is that "interdomain routing policy encodes the nature
+of the business relationships between the participants" and is expressed
+in "the language of router configurations".  This module is that language
+for the simulator: an ordered list of clauses, each with match conditions
+and either a deny or a sequence of actions, mirroring vendor route-maps.
+
+Policies are *data*, so the PVR compiler (:mod:`repro.rfg.compiler`) can
+translate them into route-flow graphs, and so tests can reason about what
+a policy does without executing a router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+
+# -- match conditions -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchAny:
+    """Matches every route."""
+
+    def matches(self, route: Route) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "any"
+
+
+@dataclass(frozen=True)
+class MatchPrefix:
+    """Match routes whose prefix is covered by ``prefix``.
+
+    ``exact`` restricts to the prefix itself rather than any more-specific.
+    """
+
+    prefix: Prefix
+    exact: bool = False
+
+    def matches(self, route: Route) -> bool:
+        if self.exact:
+            return route.prefix == self.prefix
+        return self.prefix.contains(route.prefix)
+
+    def describe(self) -> str:
+        return f"prefix {'=' if self.exact else '<='} {self.prefix}"
+
+
+@dataclass(frozen=True)
+class MatchCommunity:
+    community: str
+
+    def matches(self, route: Route) -> bool:
+        return route.has_community(self.community)
+
+    def describe(self) -> str:
+        return f"community {self.community}"
+
+
+@dataclass(frozen=True)
+class MatchNeighbor:
+    """Match routes learned from one of ``neighbors``."""
+
+    neighbors: Tuple[str, ...]
+
+    def __init__(self, neighbors) -> None:
+        object.__setattr__(self, "neighbors", tuple(neighbors))
+
+    def matches(self, route: Route) -> bool:
+        return route.neighbor in self.neighbors
+
+    def describe(self) -> str:
+        return f"from {{{', '.join(self.neighbors)}}}"
+
+
+@dataclass(frozen=True)
+class MatchASInPath:
+    """Match routes whose AS path traverses ``asn``."""
+
+    asn: str
+
+    def matches(self, route: Route) -> bool:
+        return route.as_path.contains(self.asn)
+
+    def describe(self) -> str:
+        return f"path contains {self.asn}"
+
+
+@dataclass(frozen=True)
+class MatchPathLength:
+    """Match routes with AS-path length in [min_length, max_length]."""
+
+    min_length: int = 0
+    max_length: int = 2**31
+
+    def matches(self, route: Route) -> bool:
+        return self.min_length <= route.path_length <= self.max_length
+
+    def describe(self) -> str:
+        return f"pathlen in [{self.min_length}, {self.max_length}]"
+
+
+# -- actions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetLocalPref:
+    value: int
+
+    def apply(self, route: Route) -> Route:
+        return route.with_local_pref(self.value)
+
+    def describe(self) -> str:
+        return f"set local-pref {self.value}"
+
+
+@dataclass(frozen=True)
+class SetMed:
+    value: int
+
+    def apply(self, route: Route) -> Route:
+        return route.with_med(self.value)
+
+    def describe(self) -> str:
+        return f"set med {self.value}"
+
+
+@dataclass(frozen=True)
+class AddCommunity:
+    community: str
+
+    def apply(self, route: Route) -> Route:
+        return route.add_community(self.community)
+
+    def describe(self) -> str:
+        return f"add community {self.community}"
+
+
+@dataclass(frozen=True)
+class RemoveCommunity:
+    community: str
+
+    def apply(self, route: Route) -> Route:
+        return route.remove_community(self.community)
+
+    def describe(self) -> str:
+        return f"remove community {self.community}"
+
+
+@dataclass(frozen=True)
+class Prepend:
+    """AS-path prepending (traffic engineering)."""
+
+    asn: str
+    count: int = 1
+
+    def apply(self, route: Route) -> Route:
+        return route.prepended(self.asn, self.count)
+
+    def describe(self) -> str:
+        return f"prepend {self.asn} x{self.count}"
+
+
+# -- clauses and policies ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One route-map entry: if all matches hit, apply actions (or deny)."""
+
+    matches: Tuple = ()
+    actions: Tuple = ()
+    permit: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.matches, tuple):
+            object.__setattr__(self, "matches", tuple(self.matches))
+        if not isinstance(self.actions, tuple):
+            object.__setattr__(self, "actions", tuple(self.actions))
+        if not self.permit and self.actions:
+            raise ValueError("deny clauses cannot carry actions")
+
+    def applies_to(self, route: Route) -> bool:
+        return all(m.matches(route) for m in self.matches)
+
+    def describe(self) -> str:
+        verb = "permit" if self.permit else "deny"
+        conds = " and ".join(m.describe() for m in self.matches) or "any"
+        acts = "; ".join(a.describe() for a in self.actions)
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{verb} if {conds}" + (f" then {acts}" if acts else "")
+
+
+@dataclass(frozen=True)
+class Policy:
+    """An ordered route map with an implicit default disposition.
+
+    First matching clause wins (vendor semantics).  ``default_permit``
+    decides the fate of unmatched routes: import policies commonly default
+    to permit, export policies to deny (announce nothing unless allowed).
+    """
+
+    clauses: Tuple[Clause, ...] = ()
+    default_permit: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clauses, tuple):
+            object.__setattr__(self, "clauses", tuple(self.clauses))
+
+    def apply(self, route: Route) -> Optional[Route]:
+        """Evaluate the policy; returns the transformed route or None."""
+        for clause in self.clauses:
+            if clause.applies_to(route):
+                if not clause.permit:
+                    return None
+                result = route
+                for action in clause.actions:
+                    result = action.apply(result)
+                return result
+        return route if self.default_permit else None
+
+    def describe(self) -> str:
+        head = f"policy {self.name or '<anonymous>'}"
+        body = "\n".join("  " + c.describe() for c in self.clauses)
+        tail = f"  default {'permit' if self.default_permit else 'deny'}"
+        return "\n".join(part for part in (head, body, tail) if part)
+
+
+PERMIT_ALL = Policy(name="permit-all")
+DENY_ALL = Policy(default_permit=False, name="deny-all")

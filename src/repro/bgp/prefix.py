@@ -1,0 +1,106 @@
+"""IPv4 prefixes.
+
+Routes in BGP are announced per destination prefix; PVR promises are also
+made per prefix ("shortest-path routing to a given IP prefix", Section 1).
+A tiny from-scratch implementation keeps the substrate dependency-free and
+is sufficient for the simulator: parsing, normalization, containment and
+overlap tests, and canonical encoding for hashing/signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.util.encoding import canonical_encode
+
+_MAX = (1 << 32) - 1
+
+
+class PrefixError(ValueError):
+    """Raised on malformed prefix text or out-of-range components."""
+
+
+def _parse_ipv4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise PrefixError(f"malformed IPv4 octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise PrefixError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_ipv4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix, stored normalized (host bits zeroed).
+
+    ``network`` is the 32-bit integer network address; ``length`` the mask
+    length in [0, 32].
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise PrefixError(f"prefix length {self.length} out of range")
+        if not 0 <= self.network <= _MAX:
+            raise PrefixError("network address out of range")
+        if self.network & ~self.mask() & _MAX:
+            raise PrefixError(
+                f"host bits set in {_format_ipv4(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"``; host bits must be zero."""
+        if "/" not in text:
+            raise PrefixError(f"missing length in {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise PrefixError(f"malformed length in {text!r}")
+        return cls(network=_parse_ipv4(addr_text), length=int(len_text))
+
+    def mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (_MAX << (32 - self.length)) & _MAX
+
+    def contains(self, other: "Prefix") -> bool:
+        """True when ``other`` is equal to or more specific than ``self``."""
+        if other.length < self.length:
+            return False
+        return (other.network & self.mask()) == self.network
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.contains(other) or other.contains(self)
+
+    def subnets(self) -> tuple:
+        """The two immediate more-specific halves of this prefix."""
+        if self.length == 32:
+            raise PrefixError("a /32 has no subnets")
+        low = Prefix(self.network, self.length + 1)
+        high = Prefix(self.network | (1 << (31 - self.length)), self.length + 1)
+        return (low, high)
+
+    def canonical(self) -> bytes:
+        return canonical_encode(("prefix", self.network, self.length))
+
+    def __str__(self) -> str:
+        return f"{_format_ipv4(self.network)}/{self.length}"
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self.network, self.length) < (other.network, other.length)

@@ -1,0 +1,127 @@
+"""Routing information bases.
+
+The classic three-RIB structure of a BGP speaker:
+
+* :class:`AdjRIBIn` — routes received from each neighbor, post-import-
+  policy.  This is exactly the set PVR commits to: "the set of input
+  routes the AS might receive" (Section 2).
+* :class:`LocRIB` — the selected best route per prefix.
+* :class:`AdjRIBOut` — what was last advertised to each neighbor, used to
+  suppress duplicate announcements and to generate withdrawals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+
+class AdjRIBIn:
+    """Per-neighbor, per-prefix store of received routes."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[str, Prefix], Route] = {}
+
+    def insert(self, neighbor: str, route: Route) -> None:
+        """Store ``route`` as the current announcement from ``neighbor``.
+
+        A newer announcement for the same prefix implicitly replaces the
+        older one (BGP's implicit-withdraw rule).
+        """
+        if route.neighbor != neighbor:
+            route = route.with_neighbor(neighbor)
+        self._routes[(neighbor, route.prefix)] = route
+
+    def withdraw(self, neighbor: str, prefix: Prefix) -> Optional[Route]:
+        """Remove and return the route ``neighbor`` announced for ``prefix``."""
+        return self._routes.pop((neighbor, prefix), None)
+
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        """All currently-valid routes to ``prefix``, sorted by neighbor."""
+        found = [
+            route
+            for (neighbor, pfx), route in self._routes.items()
+            if pfx == prefix
+        ]
+        found.sort(key=lambda r: r.neighbor or "")
+        return found
+
+    def route_from(self, neighbor: str, prefix: Prefix) -> Optional[Route]:
+        return self._routes.get((neighbor, prefix))
+
+    def neighbors_announcing(self, prefix: Prefix) -> Tuple[str, ...]:
+        return tuple(
+            sorted(n for (n, pfx) in self._routes if pfx == prefix)
+        )
+
+    def prefixes(self) -> Tuple[Prefix, ...]:
+        return tuple(sorted({pfx for (_, pfx) in self._routes}))
+
+    def drop_neighbor(self, neighbor: str) -> List[Prefix]:
+        """Remove everything from ``neighbor`` (session teardown); returns
+        the affected prefixes."""
+        affected = [pfx for (n, pfx) in self._routes if n == neighbor]
+        for pfx in affected:
+            del self._routes[(neighbor, pfx)]
+        return affected
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+class LocRIB:
+    """Best route per prefix, as chosen by the decision process."""
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, Route] = {}
+
+    def set_best(self, prefix: Prefix, route: Optional[Route]) -> bool:
+        """Record the new best route; returns True when it changed."""
+        current = self._best.get(prefix)
+        if route is None:
+            if prefix in self._best:
+                del self._best[prefix]
+                return True
+            return False
+        if current == route:
+            return False
+        self._best[prefix] = route
+        return True
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def prefixes(self) -> Tuple[Prefix, ...]:
+        return tuple(sorted(self._best))
+
+    def routes(self) -> Tuple[Route, ...]:
+        return tuple(self._best[p] for p in sorted(self._best))
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+class AdjRIBOut:
+    """Last route advertised to each neighbor, per prefix."""
+
+    def __init__(self) -> None:
+        self._advertised: Dict[Tuple[str, Prefix], Route] = {}
+
+    def record(self, neighbor: str, route: Route) -> None:
+        self._advertised[(neighbor, route.prefix)] = route
+
+    def advertised(self, neighbor: str, prefix: Prefix) -> Optional[Route]:
+        return self._advertised.get((neighbor, prefix))
+
+    def clear(self, neighbor: str, prefix: Prefix) -> Optional[Route]:
+        return self._advertised.pop((neighbor, prefix), None)
+
+    def prefixes_to(self, neighbor: str) -> Tuple[Prefix, ...]:
+        return tuple(
+            sorted(pfx for (n, pfx) in self._advertised if n == neighbor)
+        )
+
+    def __len__(self) -> int:
+        return len(self._advertised)

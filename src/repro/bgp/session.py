@@ -1,0 +1,83 @@
+"""BGP session finite-state machine.
+
+A compact version of the RFC 4271 FSM with the states that matter for an
+AS-level simulator: Idle → OpenSent → OpenConfirm → Established, with
+Notification tearing the session back to Idle.  TCP connection management
+(Connect/Active) is collapsed into the message layer — the simulated links
+are reliable, so "send Open" doubles as connection establishment.
+
+The FSM exists so that routers only exchange routes over *established*
+sessions and so that session resets correctly flush the Adj-RIBs, which
+matters when benchmarks inject failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.bgp.messages import Keepalive, Notification, Open
+
+
+class SessionState(Enum):
+    IDLE = "idle"
+    OPEN_SENT = "open-sent"
+    OPEN_CONFIRM = "open-confirm"
+    ESTABLISHED = "established"
+
+
+class SessionError(Exception):
+    """Raised on FSM-violating input (the sender is misbehaving)."""
+
+
+@dataclass
+class Session:
+    """One side of a BGP peering."""
+
+    local_as: str
+    peer_as: str
+    state: SessionState = SessionState.IDLE
+
+    def start(self) -> Open:
+        """Operator start event: emit our OPEN."""
+        if self.state != SessionState.IDLE:
+            raise SessionError(f"start in state {self.state}")
+        self.state = SessionState.OPEN_SENT
+        return Open(asn=self.local_as)
+
+    def handle_open(self, message: Open) -> Optional[Keepalive]:
+        """Peer's OPEN arrives; reply with KEEPALIVE to confirm."""
+        if message.asn != self.peer_as:
+            self.state = SessionState.IDLE
+            raise SessionError(
+                f"OPEN from unexpected AS {message.asn!r}, expected {self.peer_as!r}"
+            )
+        if self.state == SessionState.IDLE:
+            # passive side: peer opened first; answer with our own
+            # OPEN-equivalent confirmation
+            self.state = SessionState.OPEN_CONFIRM
+            return Keepalive()
+        if self.state == SessionState.OPEN_SENT:
+            self.state = SessionState.OPEN_CONFIRM
+            return Keepalive()
+        raise SessionError(f"OPEN in state {self.state}")
+
+    def handle_keepalive(self) -> None:
+        if self.state == SessionState.OPEN_CONFIRM:
+            self.state = SessionState.ESTABLISHED
+        elif self.state == SessionState.ESTABLISHED:
+            pass  # refreshes hold timer, which the simulator does not model
+        else:
+            raise SessionError(f"KEEPALIVE in state {self.state}")
+
+    def handle_notification(self, message: Notification) -> None:
+        """Any NOTIFICATION resets to Idle; caller must flush RIBs."""
+        self.state = SessionState.IDLE
+
+    @property
+    def established(self) -> bool:
+        return self.state == SessionState.ESTABLISHED
+
+    def reset(self) -> None:
+        self.state = SessionState.IDLE

@@ -1,0 +1,116 @@
+"""Hash commitments: the paper's ``c := H(b || p)`` (Section 3.2).
+
+A commitment binds the committer to a value without revealing it; opening
+reveals the value plus the nonce ``p``, and anyone holding ``c`` can check
+``c == H(value || p)``.  Footnote 2 of the paper explains why the nonce is
+mandatory: without it a neighbor could brute-force the committed bit by
+comparing ``c`` against ``H(0)`` and ``H(1)``.  The ablation benchmark D1
+demonstrates exactly that attack against a nonce-free variant.
+
+Values are serialized with :func:`repro.util.encoding.canonical_encode`, so
+commitments are binding on the value, not on an accidental serialization.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.crypto.hashing import hash_many
+from repro.util.encoding import canonical_encode
+
+NONCE_SIZE = 32
+_DOMAIN = "repro.commitment.v1"
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """The public half of a commitment: the digest ``c``.
+
+    ``label`` names *what* is being committed to (e.g. ``"bit[3]"``); it is
+    hashed alongside the value so that openings cannot be replayed between
+    differently-labelled slots of the same protocol round.
+    """
+
+    label: str
+    digest: bytes
+
+    def canonical(self) -> bytes:
+        return canonical_encode(("commitment", self.label, self.digest))
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The private half: value and nonce, disclosed selectively."""
+
+    label: str
+    value: Any
+    nonce: bytes
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            ("opening", self.label, canonical_encode(self.value), self.nonce)
+        )
+
+
+def _digest(label: str, value: Any, nonce: bytes) -> bytes:
+    return hash_many(
+        _DOMAIN, label.encode("utf-8"), canonical_encode(value), nonce
+    )
+
+
+def commit(
+    label: str,
+    value: Any,
+    random_bytes: Callable[[int], bytes] | None = None,
+) -> tuple[Commitment, Opening]:
+    """Create a commitment to ``value`` under ``label``.
+
+    Returns the public :class:`Commitment` and the private
+    :class:`Opening`.  ``random_bytes`` overrides the nonce source for
+    deterministic tests.
+    """
+    rand = random_bytes if random_bytes is not None else secrets.token_bytes
+    nonce = rand(NONCE_SIZE)
+    return (
+        Commitment(label=label, digest=_digest(label, value, nonce)),
+        Opening(label=label, value=value, nonce=nonce),
+    )
+
+
+def verify_opening(commitment: Commitment, opening: Opening) -> bool:
+    """Check that ``opening`` opens ``commitment``.
+
+    Comparison is constant-time on the digest; label mismatch fails
+    immediately because the labels are public anyway.
+    """
+    if commitment.label != opening.label:
+        return False
+    expected = _digest(opening.label, opening.value, opening.nonce)
+    return hmac.compare_digest(commitment.digest, expected)
+
+
+def insecure_commit_no_nonce(label: str, value: Any) -> Commitment:
+    """The broken commitment of footnote 2: ``c = H(value)`` with no nonce.
+
+    Exists only so tests and the D1 ablation bench can demonstrate the
+    brute-force attack.  Never used by the protocol.
+    """
+    return Commitment(label=label, digest=_digest(label, value, b""))
+
+
+def brute_force_bit(commitment: Commitment) -> int | None:
+    """The footnote-2 attack: recover a nonce-free committed bit.
+
+    Returns the bit when the commitment was made without a nonce, or
+    ``None`` when the guess fails (i.e. the commitment was properly
+    randomized).
+    """
+    for bit in (0, 1):
+        if hmac.compare_digest(
+            commitment.digest, _digest(commitment.label, bit, b"")
+        ):
+            return bit
+    return None

@@ -1,0 +1,179 @@
+"""RST ring signatures ("How to leak a secret", Rivest-Shamir-Tauman 2001).
+
+Section 3.2 of the paper observes that in a link-state setting the
+neighbors N1..Nk could sign the statement "a route exists" with a ring
+signature, so that B learns *some* Ni vouched for the route without
+learning which one.  This module implements the original RSA-based RST
+construction over our from-scratch RSA trapdoor permutations:
+
+* each member's permutation ``f_i(x) = x^e mod n_i`` is extended to a
+  common domain of ``b`` bits (``b`` exceeds every modulus) in the standard
+  quotient-remainder way;
+* the combining function ``C_{k,v}`` chains a keyed symmetric permutation
+  ``E_k`` (a 4-round Feistel network over SHA-256 here) through XORs of the
+  ``y_i`` values and must close the ring back to the glue value ``v``;
+* the signer solves the ring equation at their own position using the
+  private trapdoor; every other ``x_i`` is random.
+
+Verification is symmetric in the members, which is what provides signer
+anonymity: the distribution of a signature is identical regardless of
+which ring member produced it (tested statistically in the test suite).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.crypto.hashing import hash_int, hash_many
+from repro.crypto.rsa import PrivateKey, PublicKey
+
+_KEY_DOMAIN = "repro.ring.key"
+_FEISTEL_DOMAIN = "repro.ring.feistel"
+_GLUE_DOMAIN = "repro.ring.glue"
+_EXTRA_BITS = 160  # domain extension margin recommended by RST
+_FEISTEL_ROUNDS = 4
+
+
+class RingSignatureError(Exception):
+    """Raised on malformed ring signatures."""
+
+
+@dataclass(frozen=True)
+class RingSignature:
+    """A ring signature: the glue value ``v`` and one ``x_i`` per member."""
+
+    glue: int
+    xs: tuple
+
+    def canonical(self) -> bytes:
+        from repro.util.encoding import canonical_encode
+
+        return canonical_encode(("ring-signature", self.glue, tuple(self.xs)))
+
+
+def _common_bits(ring: Sequence[PublicKey]) -> int:
+    widest = max(key.bits for key in ring)
+    return widest + _EXTRA_BITS
+
+
+def _extended_apply(key: PublicKey, x: int, bits: int) -> int:
+    """Extend f_i to ``bits`` bits: permute the remainder within each full
+    block of size n_i, pass the incomplete top block through unchanged."""
+    if not 0 <= x < (1 << bits):
+        raise RingSignatureError("input outside the common domain")
+    q, r = divmod(x, key.n)
+    if (q + 1) * key.n <= (1 << bits):
+        return q * key.n + key.apply(r)
+    return x
+
+
+def _extended_invert(key: PrivateKey, y: int, bits: int) -> int:
+    if not 0 <= y < (1 << bits):
+        raise RingSignatureError("input outside the common domain")
+    q, r = divmod(y, key.n)
+    if (q + 1) * key.n <= (1 << bits):
+        return q * key.n + key.apply(r)
+    return y
+
+
+def _feistel_round(k: bytes, round_index: int, half: int, half_bits: int) -> int:
+    data = k + round_index.to_bytes(1, "big") + half.to_bytes(
+        (half_bits + 7) // 8, "big"
+    )
+    return hash_int(_FEISTEL_DOMAIN, data, half_bits)
+
+
+def _permute(k: bytes, value: int, bits: int, inverse: bool = False) -> int:
+    """Keyed permutation E_k on ``bits``-bit blocks (balanced Feistel)."""
+    half_bits = bits // 2
+    left = value >> half_bits
+    right = value & ((1 << half_bits) - 1)
+    rounds = range(_FEISTEL_ROUNDS)
+    if not inverse:
+        for i in rounds:
+            left, right = right, left ^ _feistel_round(k, i, right, half_bits)
+    else:
+        for i in reversed(rounds):
+            left, right = right ^ _feistel_round(k, i, left, half_bits), left
+    return (left << half_bits) | right
+
+
+def _symmetric_key(message: bytes) -> bytes:
+    return hash_many(_KEY_DOMAIN, message)
+
+
+def sign(
+    message: bytes,
+    ring: Sequence[PublicKey],
+    signer: PrivateKey,
+    signer_index: int,
+    random_bytes: Callable[[int], bytes] | None = None,
+) -> RingSignature:
+    """Produce a ring signature on ``message`` on behalf of ``ring``.
+
+    ``signer_index`` locates the signer's public key inside ``ring``; the
+    signature reveals the ring but not the index.
+    """
+    if not ring:
+        raise RingSignatureError("ring must be non-empty")
+    if not 0 <= signer_index < len(ring):
+        raise RingSignatureError("signer index out of range")
+    if ring[signer_index].n != signer.n:
+        raise RingSignatureError("signer key does not match ring slot")
+    rand = random_bytes if random_bytes is not None else secrets.token_bytes
+    bits = _common_bits(ring)
+    if bits % 2:
+        bits += 1
+    nbytes = (bits + 7) // 8
+    k = _symmetric_key(message)
+    mask = (1 << bits) - 1
+
+    glue = int.from_bytes(rand(nbytes), "big") & mask
+    xs: list[int | None] = [None] * len(ring)
+    ys: list[int | None] = [None] * len(ring)
+    for i, key in enumerate(ring):
+        if i == signer_index:
+            continue
+        xs[i] = int.from_bytes(rand(nbytes), "big") & mask
+        ys[i] = _extended_apply(key, xs[i], bits)
+
+    # Walk the ring equation v -> E_k(y_1 ^ ...) forward up to the signer,
+    # backward from the glue to find what y_signer must be.
+    acc = glue
+    for i in range(signer_index):
+        acc = _permute(k, acc ^ ys[i], bits)
+    target = glue
+    for i in range(len(ring) - 1, signer_index, -1):
+        target = _permute(k, target, bits, inverse=True) ^ ys[i]
+    # acc is the chain value entering the signer slot; we need
+    # E_k(acc ^ y_s) chained through the rest to equal glue, i.e.
+    # E_k(acc ^ y_s) == value entering slot signer+1 == target'
+    y_signer = acc ^ _permute(k, target, bits, inverse=True)
+    xs[signer_index] = _extended_invert(signer, y_signer, bits)
+    return RingSignature(glue=glue, xs=tuple(xs))
+
+
+def verify(
+    message: bytes, ring: Sequence[PublicKey], signature: RingSignature
+) -> bool:
+    """Check that ``signature`` closes the ring equation for ``message``."""
+    if len(signature.xs) != len(ring):
+        return False
+    bits = _common_bits(ring)
+    if bits % 2:
+        bits += 1
+    mask = (1 << bits) - 1
+    if not 0 <= signature.glue <= mask:
+        return False
+    k = _symmetric_key(message)
+    acc = signature.glue
+    try:
+        for key, x in zip(ring, signature.xs):
+            if not 0 <= x <= mask:
+                return False
+            acc = _permute(k, acc ^ _extended_apply(key, x, bits), bits)
+    except RingSignatureError:
+        return False
+    return acc == signature.glue

@@ -1,0 +1,33 @@
+"""Simulated asynchronous message-passing substrate.
+
+PVR is a distributed protocol: ASes exchange route announcements,
+commitments, openings and gossip.  :mod:`repro.net.simnet` provides the
+event-driven network simulator those messages travel over (FIFO links,
+configurable latency, Byzantine interception hooks), and
+:mod:`repro.net.gossip` implements the neighbor gossip the paper uses to
+detect commitment equivocation ("A's neighbors can gossip about c to
+ensure that they all have the same view", Section 3.2).
+"""
+
+from repro.net.gossip import (
+    EquivocationRecord,
+    GossipLayer,
+    SignedStatement,
+    exchange,
+    make_statement,
+)
+from repro.net.simnet import Link, Message, Network, Node, Simulator, build_network
+
+__all__ = [
+    "EquivocationRecord",
+    "GossipLayer",
+    "SignedStatement",
+    "exchange",
+    "make_statement",
+    "build_network",
+    "Link",
+    "Message",
+    "Network",
+    "Node",
+    "Simulator",
+]

@@ -1,0 +1,33 @@
+"""Promises: verifiable contracts about route selection (paper Section 2).
+
+A promise maps each possible set of received routes to a *permitted set*
+of outputs; a violation is an output outside the permitted set.  The four
+numbered promises of Section 2 plus the existential promise of Section
+3.2 live in :mod:`repro.promises.spec`; the strictly-weaker ordering of
+footnote 1 in :mod:`repro.promises.lattice`.
+"""
+
+from repro.promises.lattice import empirically_weaker, known_weaker
+from repro.promises.spec import (
+    ExistentialPromise,
+    Inputs,
+    NoLongerThanOthers,
+    Promise,
+    ShortestFromSubset,
+    ShortestRoute,
+    WithinKHops,
+    YouGetWhatYoureGiven,
+)
+
+__all__ = [
+    "empirically_weaker",
+    "known_weaker",
+    "ExistentialPromise",
+    "Inputs",
+    "NoLongerThanOthers",
+    "Promise",
+    "ShortestFromSubset",
+    "ShortestRoute",
+    "WithinKHops",
+    "YouGetWhatYoureGiven",
+]

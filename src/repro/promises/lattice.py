@@ -1,0 +1,108 @@
+"""The strictly-weaker ordering on promises.
+
+"Promises further down the list allow more latitude to the sending AS"
+(Section 2) and footnote 1: "If a system can enforce some access control
+policy α, it can trivially enforce any policy that is strictly weaker."
+The same ordering applies to promises: P is *weaker than or equal to* Q
+when every output Q permits, P also permits — the permitted sets of Q are
+contained in those of P, for all inputs.
+
+Exact containment over the infinite input space is undecidable in
+general, so two complementary tools are provided:
+
+* :func:`known_weaker` — the analytic relations that hold by construction
+  (shortest ≤ within-k ≤ within-k' for k ≤ k'; everything ≤ the vacuous
+  baseline; subset promises ordered by subset when equal);
+* :func:`empirically_weaker` — randomized refutation: sample input/output
+  pairs and look for a witness where Q permits but P forbids.  Used in
+  property tests to cross-check the analytic table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.promises.spec import (
+    Promise,
+    ShortestFromSubset,
+    ShortestRoute,
+    WithinKHops,
+    YouGetWhatYoureGiven,
+)
+from repro.util.rng import DeterministicRandom
+
+
+def known_weaker(weaker: Promise, stronger: Promise) -> bool:
+    """Analytic ``weaker ≤ stronger`` relations (sound, not complete)."""
+    if repr(weaker) == repr(stronger):
+        return True
+    if isinstance(weaker, YouGetWhatYoureGiven):
+        return True
+    if isinstance(weaker, WithinKHops):
+        if isinstance(stronger, ShortestRoute):
+            return True  # shortest == within-0
+        if isinstance(stronger, WithinKHops):
+            return stronger.k <= weaker.k
+    if isinstance(weaker, ShortestFromSubset) and isinstance(
+        stronger, ShortestFromSubset
+    ):
+        return weaker.subset == stronger.subset
+    return False
+
+
+def _sample_inputs(
+    rng: DeterministicRandom,
+    neighbors: Tuple[str, ...],
+    prefix: Prefix,
+):
+    inputs = {}
+    for neighbor in neighbors:
+        if rng.random() < 0.3:
+            inputs[neighbor] = None
+        else:
+            length = rng.randint(1, 5)
+            path = tuple(f"T{rng.randint(0, 9)}" for _ in range(length))
+            inputs[neighbor] = Route(
+                prefix=prefix, as_path=ASPath(path), neighbor=neighbor
+            )
+    return inputs
+
+
+def _sample_output(
+    rng: DeterministicRandom, inputs, prefix: Prefix
+) -> Optional[Route]:
+    choice = rng.random()
+    if choice < 0.2:
+        return None
+    present = [r for r in inputs.values() if r is not None]
+    if present and choice < 0.8:
+        return rng.choice(present)
+    length = rng.randint(1, 6)
+    path = tuple(f"T{rng.randint(0, 9)}" for _ in range(length))
+    return Route(prefix=prefix, as_path=ASPath(path))
+
+
+def empirically_weaker(
+    weaker: Promise,
+    stronger: Promise,
+    neighbors: Tuple[str, ...] = ("N1", "N2", "N3"),
+    samples: int = 500,
+    seed: int = 0,
+) -> bool:
+    """Randomized refutation of ``weaker ≤ stronger``.
+
+    Returns False as soon as a witness is found where the allegedly
+    stronger promise permits an outcome the weaker one forbids; True when
+    no witness shows up in ``samples`` draws (evidence, not proof).
+    """
+    rng = DeterministicRandom(seed).fork("lattice")
+    prefix = Prefix.parse("10.0.0.0/8")
+    for _ in range(samples):
+        inputs = _sample_inputs(rng, neighbors, prefix)
+        output = _sample_output(rng, inputs, prefix)
+        if stronger.permits(inputs, output) and not weaker.permits(inputs, output):
+            return False
+    return True

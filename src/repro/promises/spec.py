@@ -1,0 +1,196 @@
+"""Promise templates (paper Section 2).
+
+"These promises can be understood as specifying, for each set of input
+routes the AS might receive, some set of permissible routes that its
+output must be drawn from.  A violation occurs whenever an AS emits a
+route that was not in its permitted set, given the inputs it had
+received."
+
+Each promise therefore implements one method, :meth:`Promise.permits`:
+given the inputs (what each neighbor announced, possibly nothing) and the
+emitted output (possibly nothing), is the output in the permitted set?
+The four numbered promises of Section 2 are implemented, plus the
+existential promise of Section 3.2 and the degenerate "you get what
+you're given" baseline.
+
+Inputs are a mapping ``neighbor -> Route | None``; the output is a
+``Route | None``.  All length comparisons are on AS-path length, matching
+the paper's "shortest route" usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.bgp.route import Route
+
+Inputs = Mapping[str, Optional[Route]]
+
+
+class Promise:
+    """Base class: a verifiable contract about route selection."""
+
+    name: str = "abstract"
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        """Is ``output`` in the permitted set for ``inputs``?"""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def relevant_neighbors(self, inputs: Inputs) -> Tuple[str, ...]:
+        """The neighbors whose inputs this promise ranges over."""
+        return tuple(sorted(inputs))
+
+
+def _present(inputs: Inputs, subset=None):
+    routes = []
+    for neighbor, route in inputs.items():
+        if route is None:
+            continue
+        if subset is not None and neighbor not in subset:
+            continue
+        routes.append(route)
+    return routes
+
+
+@dataclass(frozen=True)
+class YouGetWhatYoureGiven(Promise):
+    """The vacuous baseline: "no guarantee at all, since it cannot be
+    violated"."""
+
+    name = "you-get-what-youre-given"
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ShortestRoute(Promise):
+    """Promise 1: "I will give you the shortest route I receive."
+
+    Permitted outputs: any route whose length equals the minimum length
+    among received routes.  If nothing was received, only silence is
+    permitted; if something was received, silence is a violation.
+    """
+
+    name = "shortest-route"
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        received = _present(inputs)
+        if not received:
+            return output is None
+        if output is None:
+            return False
+        return output.path_length == min(r.path_length for r in received)
+
+
+@dataclass(frozen=True)
+class ShortestFromSubset(Promise):
+    """Promise 2: shortest route among those from a declared subset.
+
+    Routes from outside the subset are invisible to this promise: they
+    neither extend nor constrain the permitted set.
+    """
+
+    subset: Tuple[str, ...]
+    name = "shortest-from-subset"
+
+    def __init__(self, subset) -> None:
+        object.__setattr__(self, "subset", tuple(sorted(subset)))
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        received = _present(inputs, subset=self.subset)
+        if not received:
+            return output is None
+        if output is None:
+            return False
+        return output.path_length == min(r.path_length for r in received)
+
+    def relevant_neighbors(self, inputs: Inputs) -> Tuple[str, ...]:
+        return tuple(n for n in sorted(inputs) if n in self.subset)
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.subset)})"
+
+
+@dataclass(frozen=True)
+class WithinKHops(Promise):
+    """Promise 3: "a route no more than k hops longer than my best route".
+
+    Weaker than promise 1 (which is the k = 0 case): the sender keeps
+    latitude of ``k`` extra hops.  Silence remains a violation when routes
+    were available — the promise is about which route you get, not whether.
+    """
+
+    k: int
+    name = "within-k-hops"
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        received = _present(inputs)
+        if not received:
+            return output is None
+        if output is None:
+            return False
+        best = min(r.path_length for r in received)
+        return output.path_length <= best + self.k
+
+    def describe(self) -> str:
+        return f"{self.name}(k={self.k})"
+
+
+@dataclass(frozen=True)
+class NoLongerThanOthers(Promise):
+    """Promise 4: "the route you get is no longer than what I tell anybody
+    else".
+
+    This promise relates *outputs to different neighbors* rather than
+    inputs to outputs; ``permits`` therefore receives the other exports
+    via the ``inputs`` mapping under reserved ``export:<neighbor>`` keys
+    (the deployment layer assembles this view).
+    """
+
+    name = "no-longer-than-others"
+
+    EXPORT_PREFIX = "export:"
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        other_exports = [
+            route
+            for key, route in inputs.items()
+            if key.startswith(self.EXPORT_PREFIX) and route is not None
+        ]
+        if output is None:
+            # silence is permitted only when nobody else got a route either
+            return not other_exports
+        return all(
+            output.path_length <= other.path_length for other in other_exports
+        )
+
+
+@dataclass(frozen=True)
+class ExistentialPromise(Promise):
+    """Section 3.2: "I will export a route whenever at least one of the
+    Ni provides one" — and, dually, silence when nobody does."""
+
+    subset: Tuple[str, ...]
+    name = "existential"
+
+    def __init__(self, subset) -> None:
+        object.__setattr__(self, "subset", tuple(sorted(subset)))
+
+    def permits(self, inputs: Inputs, output: Optional[Route]) -> bool:
+        received = _present(inputs, subset=self.subset)
+        return (output is not None) == bool(received)
+
+    def relevant_neighbors(self, inputs: Inputs) -> Tuple[str, ...]:
+        return tuple(n for n in sorted(inputs) if n in self.subset)
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.subset)})"

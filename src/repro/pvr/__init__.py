@@ -1,0 +1,143 @@
+"""PVR: private and verifiable routing — the paper's core contribution.
+
+The package implements the complete machinery of Sections 2-3:
+
+* access-control policies α (:mod:`repro.pvr.access`);
+* signed announcements and receipts (:mod:`repro.pvr.announcements`);
+* bit-vector commitments, signed disclosures and export attestations
+  (:mod:`repro.pvr.commitments`);
+* the existential protocol of Section 3.2 (:mod:`repro.pvr.existential`,
+  including the ring-signature link-state variant);
+* the minimum protocol of Section 3.3 (:mod:`repro.pvr.minimum`);
+* the generalized multi-operator protocol of Sections 3.5-3.7
+  (:mod:`repro.pvr.protocol`, :mod:`repro.pvr.navigation`);
+* evidence, the judge, Byzantine adversaries, leakage accounting and the
+  four PVR properties as executable checks.
+"""
+
+from repro.pvr.access import AccessPolicy, opaque_alpha, paper_alpha
+from repro.pvr.announcements import (
+    Receipt,
+    SignedAnnouncement,
+    make_announcement,
+    make_receipt,
+)
+from repro.pvr.commitments import (
+    BitVectorOpenings,
+    CommittedBitVector,
+    ExportAttestation,
+    SignedDisclosure,
+    commit_bits,
+    compute_length_bits,
+    make_attestation,
+    make_disclosure,
+)
+from repro.pvr.evidence import (
+    BadOpeningEvidence,
+    BadProvenanceEvidence,
+    Complaint,
+    EquivocationEvidence,
+    Evidence,
+    ExistsFalseBitEvidence,
+    ExistsPhantomEvidence,
+    FalseBitEvidence,
+    MonotonicityEvidence,
+    PhantomExportEvidence,
+    ShorterAvailableEvidence,
+    SuppressionEvidence,
+    UnequalTreatmentEvidence,
+    Verdict,
+    Violation,
+)
+from repro.pvr.judge import ComplaintRuling, Judge
+from repro.pvr.minimum import (
+    HonestProver,
+    ProviderView,
+    RecipientView,
+    RoundConfig,
+    RoundTranscript,
+    announce,
+    verify_as_provider,
+    verify_as_recipient,
+)
+from repro.pvr.batching import BatchedDisclosure, BatchingProver, DisclosureBatch
+from repro.pvr.crosscheck import (
+    Promise4Result,
+    cross_check,
+    discriminating_chooser,
+    honest_chooser,
+    run_promise4_scenario,
+    withholding_chooser,
+)
+from repro.pvr.deployment import DeploymentReport, PVRDeployment, RoundStats
+from repro.pvr.navigation import (
+    NavigationError,
+    Navigator,
+    OperatorSkeleton,
+    owner_check_operators,
+    verify_as_input_owner,
+    verify_as_output_recipient,
+)
+from repro.pvr.properties import (
+    ScenarioResult,
+    accuracy_holds,
+    confidentiality_holds,
+    detection_holds,
+    evidence_holds,
+    run_minimum_scenario,
+)
+from repro.pvr.protocol import (
+    AccessDenied,
+    GraphProver,
+    GraphRoundConfig,
+    RecordResponse,
+)
+from repro.pvr.vertex_info import VertexRecord, make_vertex_record
+
+__all__ = [
+    "AccessPolicy",
+    "opaque_alpha",
+    "paper_alpha",
+    "Receipt",
+    "SignedAnnouncement",
+    "make_announcement",
+    "make_receipt",
+    "BitVectorOpenings",
+    "CommittedBitVector",
+    "ExportAttestation",
+    "SignedDisclosure",
+    "commit_bits",
+    "compute_length_bits",
+    "make_attestation",
+    "make_disclosure",
+    "BadOpeningEvidence",
+    "BadProvenanceEvidence",
+    "Complaint",
+    "EquivocationEvidence",
+    "Evidence",
+    "ExistsFalseBitEvidence",
+    "ExistsPhantomEvidence",
+    "FalseBitEvidence",
+    "MonotonicityEvidence",
+    "PhantomExportEvidence",
+    "ShorterAvailableEvidence",
+    "SuppressionEvidence",
+    "Verdict",
+    "Violation",
+    "ComplaintRuling",
+    "Judge",
+    "HonestProver",
+    "ProviderView",
+    "RecipientView",
+    "RoundConfig",
+    "RoundTranscript",
+    "announce",
+    "verify_as_provider",
+    "verify_as_recipient",
+    "ScenarioResult",
+    "accuracy_holds",
+    "confidentiality_holds",
+    "detection_holds",
+    "evidence_holds",
+    "run_minimum_scenario",
+]

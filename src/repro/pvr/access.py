@@ -1,0 +1,104 @@
+"""Access-control policies α (paper Section 2.2).
+
+"A function α : N × V → {TRUE, FALSE} expresses which networks are
+allowed to see which parts of the graph.  If v is a variable vertex,
+α(n, v) = TRUE means that network n is allowed to learn the current value
+of v; if v is an operator vertex, n is allowed to learn which function v
+computes."
+
+Section 3.7 refines vertex visibility into three independently-disclosable
+*aspects*: the predecessor list, the successor list, and the payload (the
+variable's value or the operator's type and evidence).  ``AccessPolicy``
+therefore answers α per (network, vertex, aspect); the coarse paper-level
+α corresponds to the ``PAYLOAD`` aspect, and structural aspects default to
+visible (a neighbor may navigate edges without seeing data), which is what
+lets B check *that* the min ranged over r1..rk without seeing the routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Set, Tuple
+
+from repro.rfg.graph import RouteFlowGraph
+
+PREDS = "preds"
+SUCCS = "succs"
+PAYLOAD = "payload"
+
+ASPECTS = (PREDS, SUCCS, PAYLOAD)
+
+
+class AccessPolicy:
+    """A concrete α over a fixed route-flow graph.
+
+    Built from explicit grants; :meth:`allows` is the α function.  The
+    ``structure_public`` flag controls whether predecessor/successor lists
+    are visible by default (the paper's navigation mechanism assumes they
+    are, unless a composite hides them).
+    """
+
+    def __init__(self, graph: RouteFlowGraph, structure_public: bool = True) -> None:
+        self._graph = graph
+        self._grants: Set[Tuple[str, str, str]] = set()
+        self._structure_public = structure_public
+        names = set(graph.vertex_names())
+        self._names = names
+
+    def grant(self, network: str, vertex: str, aspect: str = PAYLOAD) -> "AccessPolicy":
+        if vertex not in self._names:
+            raise KeyError(f"unknown vertex {vertex!r}")
+        if aspect not in ASPECTS:
+            raise ValueError(f"unknown aspect {aspect!r}")
+        self._grants.add((network, vertex, aspect))
+        return self
+
+    def grant_all_networks(self, vertex: str, aspect: str = PAYLOAD) -> "AccessPolicy":
+        """Grant an aspect to every network (the paper's α(n, min) = TRUE)."""
+        if vertex not in self._names:
+            raise KeyError(f"unknown vertex {vertex!r}")
+        self._grants.add(("*", vertex, aspect))
+        return self
+
+    def allows(self, network: str, vertex: str, aspect: str = PAYLOAD) -> bool:
+        """The α function (aspect-refined)."""
+        if vertex not in self._names:
+            return False
+        if aspect in (PREDS, SUCCS) and self._structure_public:
+            return True
+        return (network, vertex, aspect) in self._grants or (
+            "*",
+            vertex,
+            aspect,
+        ) in self._grants
+
+    def payload_alpha(self) -> Callable[[str, str], bool]:
+        """The coarse two-argument α of Section 2.2 (payload visibility)."""
+        return lambda network, vertex: self.allows(network, vertex, PAYLOAD)
+
+
+def paper_alpha(graph: RouteFlowGraph) -> AccessPolicy:
+    """The access policy of Section 3's running example.
+
+    α(Ni, ri) = α(B, ro) = TRUE, α(n, op) = TRUE for every operator and
+    every network n, and FALSE otherwise.  Internal variables (Figure 2's
+    ``v``) are visible to nobody.
+    """
+    policy = AccessPolicy(graph)
+    for vertex in graph.inputs():
+        policy.grant(vertex.party, vertex.name, PAYLOAD)
+    for vertex in graph.outputs():
+        policy.grant(vertex.party, vertex.name, PAYLOAD)
+    for op in graph.operators():
+        policy.grant_all_networks(op.name, PAYLOAD)
+    return policy
+
+
+def opaque_alpha(graph: RouteFlowGraph) -> AccessPolicy:
+    """The unverifiable policy of Section 4's trivial example: outputs are
+    visible to their recipients, everything else — including every
+    operator — is hidden."""
+    policy = AccessPolicy(graph, structure_public=False)
+    for vertex in graph.outputs():
+        policy.grant(vertex.party, vertex.name, PAYLOAD)
+    return policy

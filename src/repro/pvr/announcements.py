@@ -1,0 +1,148 @@
+"""Signed route announcements and receipts.
+
+Condition 1 of the existential protocol rests on "we can sign all the
+routing announcements" (Section 3.2): when A exports a route to B, B can
+check that the route really was provided by the Ni on its path.
+
+Receipts are the dual mechanism the *Evidence* property needs on the
+provider side: when Ni announces a route, A returns a signed receipt.
+Without it, Ni could detect that A denied ever receiving its route, but
+could not *prove* the route was sent — a judge cannot distinguish an
+honest complaint from a fabricated one.  (The paper's sketch leaves this
+implicit; DESIGN.md records it as an engineering completion, not a
+deviation.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.route import Route
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keystore import KeyStore
+from repro.util.encoding import canonical_encode
+
+
+@dataclass(frozen=True)
+class SignedAnnouncement:
+    """A route announced by ``origin`` to ``recipient`` in ``round``.
+
+    The signature covers the route's announcement key (prefix and path
+    attributes), the parties, and the round number — so an announcement
+    cannot be replayed into a different round or toward a different AS.
+    """
+
+    route: Route
+    origin: str
+    recipient: str
+    round: int
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        return announcement_bytes(self.route, self.origin, self.recipient, self.round)
+
+    def digest(self) -> bytes:
+        return hash_bytes("repro.pvr.announcement", self.canonical())
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.origin, self.signed_bytes(), self.signature)
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            (
+                "signed-announcement",
+                self.route,
+                self.origin,
+                self.recipient,
+                self.round,
+                self.signature,
+            )
+        )
+
+
+def announcement_bytes(route: Route, origin: str, recipient: str, round: int) -> bytes:
+    return canonical_encode(
+        (
+            "pvr-announcement",
+            route.announcement_key(),
+            origin,
+            recipient,
+            round,
+        )
+    )
+
+
+def make_announcement(
+    keystore: KeyStore, route: Route, origin: str, recipient: str, round: int
+) -> SignedAnnouncement:
+    signature = keystore.sign(
+        origin, announcement_bytes(route, origin, recipient, round)
+    )
+    return SignedAnnouncement(
+        route=route,
+        origin=origin,
+        recipient=recipient,
+        round=round,
+        signature=signature,
+    )
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """A's signed acknowledgment that it received an announcement.
+
+    ``announcement_digest`` pins the exact announcement; the receipt is
+    the provider's transferable proof that A's decision inputs included
+    its route.
+    """
+
+    issuer: str
+    provider: str
+    round: int
+    announcement_digest: bytes
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        return receipt_bytes(
+            self.issuer, self.provider, self.round, self.announcement_digest
+        )
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.issuer, self.signed_bytes(), self.signature)
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            (
+                "receipt",
+                self.issuer,
+                self.provider,
+                self.round,
+                self.announcement_digest,
+                self.signature,
+            )
+        )
+
+
+def receipt_bytes(
+    issuer: str, provider: str, round: int, announcement_digest: bytes
+) -> bytes:
+    return canonical_encode(
+        ("pvr-receipt", issuer, provider, round, announcement_digest)
+    )
+
+
+def make_receipt(
+    keystore: KeyStore, issuer: str, announcement: SignedAnnouncement
+) -> Receipt:
+    digest = announcement.digest()
+    signature = keystore.sign(
+        issuer,
+        receipt_bytes(issuer, announcement.origin, announcement.round, digest),
+    )
+    return Receipt(
+        issuer=issuer,
+        provider=announcement.origin,
+        round=announcement.round,
+        announcement_digest=digest,
+        signature=signature,
+    )

@@ -1,0 +1,328 @@
+"""Round commitments: bit vectors, signed disclosures, export attestations.
+
+Section 3.3's mechanism: the prover A computes bits ``b_1 .. b_L`` where
+``b_i = 1`` iff at least one input route has AS-path length ``i`` or less,
+commits to each bit, and signs the commitment vector so neighbors can
+gossip it (equivocation detection).  Later A *selectively discloses*
+individual bit openings: ``b_|ri|`` to each provider Ni, the whole vector
+to the recipient B.
+
+Every disclosure A makes is itself signed.  This is what turns a bad
+opening from "something that failed to verify at my end" into
+*transferable evidence*: a third party can check A's signature on the
+disclosure and the mismatch against A's signed commitment without
+trusting the accuser.
+
+Exports are covered by a signed :class:`ExportAttestation` binding the
+round, the exported route (or the explicit statement that nothing was
+exported) and the provenance announcement being forwarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.bgp.route import Route
+from repro.crypto.commitment import Commitment, Opening, commit, verify_opening
+from repro.crypto.keystore import KeyStore
+from repro.net.gossip import SignedStatement, make_statement
+from repro.pvr.announcements import SignedAnnouncement
+from repro.util.encoding import canonical_encode
+
+
+def compute_length_bits(lengths: Iterable[int], max_length: int) -> Tuple[int, ...]:
+    """The paper's bit vector: ``bits[i-1] = 1`` iff some input route has
+    path length ≤ i, for i in 1..max_length."""
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    shortest = min(lengths, default=None)
+    return tuple(
+        1 if (shortest is not None and shortest <= i) else 0
+        for i in range(1, max_length + 1)
+    )
+
+
+def bit_label(topic: str, index: int) -> str:
+    """Commitment label for bit ``b_index`` (1-based, as in the paper)."""
+    return f"{topic}:bit[{index}]"
+
+
+@dataclass(frozen=True)
+class CommittedBitVector:
+    """The public half of a committed bit vector.
+
+    ``statement`` is the author's signed gossip statement over the tuple
+    of commitment digests — one signature covers the whole vector, and
+    neighbors gossip the statement to detect split views.
+    """
+
+    author: str
+    topic: str
+    round: int
+    commitments: Tuple[Commitment, ...]
+    statement: SignedStatement
+
+    def __len__(self) -> int:
+        return len(self.commitments)
+
+    def commitment(self, index: int) -> Commitment:
+        """The commitment for bit ``b_index`` (1-based)."""
+        if not 1 <= index <= len(self.commitments):
+            raise IndexError(f"bit index {index} out of range")
+        return self.commitments[index - 1]
+
+    def is_consistent(self, keystore: KeyStore) -> bool:
+        """Signature valid and statement matches the digests presented."""
+        if not keystore.verify(
+            self.author, self.statement.signed_bytes(), self.statement.signature
+        ):
+            return False
+        expected = tuple(c.digest for c in self.commitments)
+        return (
+            self.statement.author == self.author
+            and self.statement.topic == self.topic
+            and self.statement.round == self.round
+            and tuple(self.statement.value) == expected
+        )
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            (
+                "committed-bit-vector",
+                self.author,
+                self.topic,
+                self.round,
+                tuple(c.digest for c in self.commitments),
+                self.statement,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class BitVectorOpenings:
+    """The private half, held by the prover until disclosure."""
+
+    openings: Tuple[Opening, ...]
+
+    def opening(self, index: int) -> Opening:
+        if not 1 <= index <= len(self.openings):
+            raise IndexError(f"bit index {index} out of range")
+        return self.openings[index - 1]
+
+    def bits(self) -> Tuple[int, ...]:
+        return tuple(o.value for o in self.openings)
+
+
+def commit_bits(
+    keystore: KeyStore,
+    author: str,
+    topic: str,
+    round: int,
+    bits: Sequence[int],
+    random_bytes: Callable[[int], bytes] | None = None,
+) -> Tuple[CommittedBitVector, BitVectorOpenings]:
+    """Commit to ``bits`` and sign the digest vector for gossip."""
+    if not bits:
+        raise ValueError("empty bit vector")
+    commitments = []
+    openings = []
+    for index, bit in enumerate(bits, start=1):
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        c, o = commit(bit_label(topic, index), bit, random_bytes)
+        commitments.append(c)
+        openings.append(o)
+    digests = tuple(c.digest for c in commitments)
+    statement = make_statement(keystore, author, topic, round, digests)
+    return (
+        CommittedBitVector(
+            author=author,
+            topic=topic,
+            round=round,
+            commitments=tuple(commitments),
+            statement=statement,
+        ),
+        BitVectorOpenings(openings=tuple(openings)),
+    )
+
+
+@dataclass(frozen=True)
+class SignedDisclosure:
+    """An opening disclosed by its author, under the author's signature.
+
+    ``index`` is the 1-based bit position the opening claims to open.
+    """
+
+    author: str
+    topic: str
+    round: int
+    index: int
+    opening: Opening
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        return disclosure_bytes(
+            self.author, self.topic, self.round, self.index, self.opening
+        )
+
+    def verify_signature(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.author, self.signed_bytes(), self.signature)
+
+    def matches(self, vector: CommittedBitVector) -> bool:
+        """Does the opening open the vector's commitment at ``index``?"""
+        try:
+            commitment = vector.commitment(self.index)
+        except IndexError:
+            return False
+        return verify_opening(commitment, self.opening)
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            (
+                "signed-disclosure",
+                self.author,
+                self.topic,
+                self.round,
+                self.index,
+                self.opening,
+                self.signature,
+            )
+        )
+
+
+def disclosure_bytes(
+    author: str, topic: str, round: int, index: int, opening: Opening
+) -> bytes:
+    return canonical_encode(
+        ("pvr-disclosure", author, topic, round, index, opening)
+    )
+
+
+def make_disclosure(
+    keystore: KeyStore,
+    author: str,
+    topic: str,
+    round: int,
+    index: int,
+    opening: Opening,
+) -> SignedDisclosure:
+    signature = keystore.sign(
+        author, disclosure_bytes(author, topic, round, index, opening)
+    )
+    return SignedDisclosure(
+        author=author,
+        topic=topic,
+        round=round,
+        index=index,
+        opening=opening,
+        signature=signature,
+    )
+
+
+@dataclass(frozen=True)
+class ExportAttestation:
+    """A's signed statement of what it exported to ``recipient`` this round.
+
+    ``route=None`` attests that *nothing* was exported — making silent
+    suppression as accountable as a wrong export.  ``provenance`` forwards
+    the original provider's signed announcement (condition 1 of Section
+    3.2); it is None exactly when ``route`` is None.
+    """
+
+    author: str
+    recipient: str
+    round: int
+    route: Optional[Route]
+    provenance: Optional[SignedAnnouncement]
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        return attestation_bytes(
+            self.author, self.recipient, self.round, self.route, self.provenance
+        )
+
+    def verify_signature(self, keystore: KeyStore) -> bool:
+        return keystore.verify(self.author, self.signed_bytes(), self.signature)
+
+    def provenance_valid(self, keystore: KeyStore) -> bool:
+        """Condition 1: the exported route was provided by the neighbor it
+        claims, under that neighbor's signature, in this round."""
+        if self.route is None:
+            return self.provenance is None
+        if self.provenance is None:
+            return False
+        if not self.provenance.verify(keystore):
+            return False
+        if self.provenance.recipient != self.author:
+            return False
+        if self.provenance.round != self.round:
+            return False
+        # the exported route must be the announced route as re-exported by
+        # the author: same prefix, path = author prepended to announced path
+        announced = self.provenance.route
+        exported = self.route
+        if exported.prefix != announced.prefix:
+            return False
+        expected_path = announced.as_path.prepend(self.author)
+        return tuple(exported.as_path) == tuple(expected_path)
+
+    def exported_length(self) -> Optional[int]:
+        """Path length of the exported route *before* A's own prepend —
+        the quantity the promise and the bit vector speak about."""
+        if self.route is None:
+            return None
+        return max(len(self.route.as_path) - 1, 0)
+
+    def canonical(self) -> bytes:
+        return canonical_encode(
+            (
+                "export-attestation",
+                self.author,
+                self.recipient,
+                self.round,
+                self.route,
+                self.provenance,
+                self.signature,
+            )
+        )
+
+
+def attestation_bytes(
+    author: str,
+    recipient: str,
+    round: int,
+    route: Optional[Route],
+    provenance: Optional[SignedAnnouncement],
+) -> bytes:
+    return canonical_encode(
+        (
+            "pvr-export",
+            author,
+            recipient,
+            round,
+            route.canonical() if route is not None else None,
+            provenance.digest() if provenance is not None else None,
+        )
+    )
+
+
+def make_attestation(
+    keystore: KeyStore,
+    author: str,
+    recipient: str,
+    round: int,
+    route: Optional[Route],
+    provenance: Optional[SignedAnnouncement],
+) -> ExportAttestation:
+    signature = keystore.sign(
+        author, attestation_bytes(author, recipient, round, route, provenance)
+    )
+    return ExportAttestation(
+        author=author,
+        recipient=recipient,
+        round=round,
+        route=route,
+        provenance=provenance,
+        signature=signature,
+    )

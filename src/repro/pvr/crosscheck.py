@@ -1,0 +1,170 @@
+"""Promise 4: cross-recipient consistency (paper Section 2, promise 4).
+
+"The route you get is no longer than what I tell anybody else" relates
+A's *outputs to different neighbors* rather than inputs to outputs, so it
+cannot be checked within one recipient's round view.  The mechanism is
+the same as commitment gossip: export attestations are signed by A, so
+recipients exchange them and compare lengths locally.  A recipient
+holding its own attestation plus a strictly-shorter one addressed to
+someone else has transferable :class:`UnequalTreatmentEvidence`.
+
+:func:`run_promise4_scenario` drives a multi-recipient round: A (honest
+or discriminating) serves several recipients, attestations are gossiped,
+and each recipient cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.route import Route
+from repro.crypto.keystore import KeyStore
+from repro.pvr.announcements import SignedAnnouncement
+from repro.pvr.commitments import ExportAttestation, make_attestation
+from repro.pvr.evidence import UnequalTreatmentEvidence, Verdict, Violation
+from repro.pvr.minimum import RoundConfig, announce
+
+
+def cross_check(
+    keystore: KeyStore,
+    me: str,
+    mine: ExportAttestation,
+    others: Sequence[ExportAttestation],
+) -> Verdict:
+    """One recipient's promise-4 check against gossiped attestations.
+
+    Attestations that fail signature checks or belong to other rounds or
+    provers are ignored (a Byzantine gossiper must not be able to frame
+    an honest prover with fabricated attestations).
+    """
+    violations: List[Violation] = []
+    for other in others:
+        if other.recipient == me:
+            continue
+        if other.author != mine.author or other.round != mine.round:
+            continue
+        if not other.verify_signature(keystore):
+            continue
+        evidence = UnequalTreatmentEvidence(
+            victim_attestation=mine, other_attestation=other
+        )
+        if evidence.verify(keystore):
+            violations.append(
+                Violation(
+                    kind="unequal-treatment",
+                    accused=mine.author,
+                    evidence=evidence,
+                    detail=(
+                        f"{other.recipient} was served "
+                        f"{other.exported_length()} while {me} got "
+                        f"{mine.exported_length()}"
+                    ),
+                )
+            )
+    return Verdict(verifier=me, violations=tuple(violations))
+
+
+# An export policy decides what each recipient is served this round:
+# recipient name -> the winning announcement (or None to serve nothing).
+ExportChooser = Callable[
+    [str, Dict[str, SignedAnnouncement]], Optional[SignedAnnouncement]
+]
+
+
+def honest_chooser(
+    recipient: str, accepted: Dict[str, SignedAnnouncement]
+) -> Optional[SignedAnnouncement]:
+    """Serve everyone the same (shortest) route."""
+    if not accepted:
+        return None
+    return min(accepted.values(), key=lambda a: (len(a.route.as_path), a.origin))
+
+
+def discriminating_chooser(favored: str) -> ExportChooser:
+    """Serve ``favored`` the shortest route and everyone else the longest
+    — the classic promise-4 violation."""
+
+    def choose(recipient, accepted):
+        if not accepted:
+            return None
+        key = lambda a: (len(a.route.as_path), a.origin)
+        if recipient == favored:
+            return min(accepted.values(), key=key)
+        return max(accepted.values(), key=key)
+
+    return choose
+
+
+def withholding_chooser(starved: str) -> ExportChooser:
+    """Serve everyone except ``starved``."""
+
+    def choose(recipient, accepted):
+        if recipient == starved or not accepted:
+            return None
+        return min(accepted.values(), key=lambda a: (len(a.route.as_path), a.origin))
+
+    return choose
+
+
+@dataclass
+class Promise4Result:
+    attestations: Dict[str, ExportAttestation]
+    verdicts: Dict[str, Verdict]
+
+    def violation_found(self) -> bool:
+        return any(not v.ok for v in self.verdicts.values())
+
+    def detecting_parties(self) -> Tuple[str, ...]:
+        return tuple(sorted(n for n, v in self.verdicts.items() if not v.ok))
+
+
+def run_promise4_scenario(
+    keystore: KeyStore,
+    prover: str,
+    providers: Sequence[str],
+    recipients: Sequence[str],
+    routes: Mapping[str, Optional[Route]],
+    round: int,
+    chooser: ExportChooser = honest_chooser,
+    max_length: int = 16,
+) -> Promise4Result:
+    """A multi-recipient round followed by full attestation gossip."""
+    if len(recipients) < 2:
+        raise ValueError("promise 4 needs at least two recipients")
+    for asn in (prover, *providers, *recipients):
+        keystore.register(asn)
+    # one announcement set for the round, shared by all exports
+    base_config = RoundConfig(
+        prover=prover, providers=tuple(providers), recipient=recipients[0],
+        round=round, max_length=max_length,
+    )
+    announcements = announce(keystore, base_config, routes)
+    accepted = {
+        name: ann
+        for name, ann in announcements.items()
+        if ann is not None
+        and ann.verify(keystore)
+        and 1 <= len(ann.route.as_path) <= max_length
+    }
+
+    attestations: Dict[str, ExportAttestation] = {}
+    for recipient in recipients:
+        winner = chooser(recipient, accepted)
+        if winner is None:
+            attestations[recipient] = make_attestation(
+                keystore, prover, recipient, round, None, None
+            )
+        else:
+            attestations[recipient] = make_attestation(
+                keystore, prover, recipient, round,
+                winner.route.exported_by(prover), winner,
+            )
+
+    verdicts: Dict[str, Verdict] = {}
+    everyone = list(attestations.values())
+    for recipient in recipients:
+        verdicts[recipient] = cross_check(
+            keystore, recipient, attestations[recipient], everyone
+        )
+    return Promise4Result(attestations=attestations, verdicts=verdicts)

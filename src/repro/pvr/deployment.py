@@ -1,0 +1,351 @@
+"""PVR attached to a running BGP network.
+
+The protocol modules verify single rounds in isolation; this module runs
+them *in situ*: after the simulated AS network converges on a prefix, a
+monitored AS A executes one verification round per exporting neighbor,
+with every protocol message travelling over the same simulated links as
+the BGP updates (so the SCALE benchmark's bytes/messages/latency numbers
+include PVR's real transport cost).
+
+Message flow per round, mirroring Section 3.3:
+
+1. each provider Ni re-announces its current route with a PVR signature
+   (``AnnouncePayload``);
+2. A receipts, commits, and broadcasts its signed commitment statement to
+   every neighbor (``CommitPayload``) — the gossip substrate;
+3. A sends each Ni its provider view and B its recipient view
+   (``ViewPayload``);
+4. neighbors verify locally and gossip the statements pairwise.
+
+Crypto cost is measured via the keystore's operation counters and wall
+clock; transport cost via the network's byte/message counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bgp.network import BGPNetwork
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.net.gossip import GossipLayer, exchange
+from repro.pvr.evidence import Verdict
+from repro.pvr.minimum import (
+    HonestProver,
+    ProviderView,
+    RecipientView,
+    RoundConfig,
+    announce,
+    verify_as_provider,
+    verify_as_recipient,
+)
+
+
+@dataclass(frozen=True)
+class AnnouncePayload:
+    """Ni -> A: the PVR-signed announcement."""
+
+    announcement: object
+    is_pvr = True
+
+
+@dataclass(frozen=True)
+class CommitPayload:
+    """A -> all neighbors: the signed commitment statement."""
+
+    statement: object
+    is_pvr = True
+
+
+@dataclass(frozen=True)
+class ViewPayload:
+    """A -> one neighbor: its round view (provider or recipient)."""
+
+    view: object
+    is_pvr = True
+
+
+@dataclass
+class RoundStats:
+    """Cost accounting for one deployment round."""
+
+    prover: str
+    recipient: str
+    providers: Tuple[str, ...]
+    messages: int = 0
+    bytes: int = 0
+    signatures: int = 0
+    verifications: int = 0
+    wall_seconds: float = 0.0
+    violations: int = 0
+    equivocations: int = 0
+
+
+@dataclass
+class DeploymentReport:
+    """Aggregate across all rounds of a deployment run."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    def total(self, attribute: str) -> float:
+        return sum(getattr(r, attribute) for r in self.rounds)
+
+    def violation_free(self) -> bool:
+        return all(r.violations == 0 and r.equivocations == 0 for r in self.rounds)
+
+
+class PVRDeployment:
+    """Runs PVR rounds for monitored ASes on a converged BGP network."""
+
+    def __init__(
+        self,
+        network: BGPNetwork,
+        keystore: KeyStore,
+        max_length: int = 16,
+    ) -> None:
+        self.network = network
+        self.keystore = keystore
+        self.max_length = max_length
+        for asn in network.as_names():
+            keystore.register(asn)
+        self._round_counter = 0
+        self._pending: List[Tuple[str, Prefix]] = []
+
+    # -- continuous operation -------------------------------------------------
+
+    def watch(self, asn: str) -> None:
+        """Arm continuous verification for ``asn``: every decision change
+        queues a verification round ("such a task would have to be
+        performed for every single BGP update", Section 3.1).
+
+        Rounds cannot run inside the BGP event loop (their messages share
+        the links), so they are queued and executed by
+        :meth:`run_pending` once the network has quiesced.
+        """
+        router = self.network.router(asn)
+
+        def on_decision(prefix, candidates, best) -> None:
+            self._pending.append((asn, prefix))
+
+        router.decision_hook = on_decision
+
+    def run_pending(self) -> DeploymentReport:
+        """Run one round per queued (AS, prefix) decision change, toward
+        every neighbor the AS currently exports the prefix to."""
+        report = DeploymentReport()
+        pending, self._pending = self._pending, []
+        for asn, prefix in dict.fromkeys(pending):
+            router = self.network.router(asn)
+            providers = router.adj_rib_in.neighbors_announcing(prefix)
+            if not providers:
+                continue
+            for recipient in router.established_peers():
+                if router.adj_rib_out.advertised(recipient, prefix) is None:
+                    continue
+                if recipient in providers and len(providers) == 1:
+                    continue
+                _, stats = self.monitored_round(asn, prefix, recipient)
+                report.rounds.append(stats)
+        return report
+
+    def monitored_round(
+        self,
+        prover_as: str,
+        prefix: Prefix,
+        recipient: str,
+        prover: HonestProver | None = None,
+    ) -> Tuple[Dict[str, Verdict], RoundStats]:
+        """One verification round: ``prover_as`` proves its export of
+        ``prefix`` toward ``recipient`` against its current Adj-RIB-In."""
+        router = self.network.router(prover_as)
+        transport = self.network.transport
+        providers = tuple(
+            n
+            for n in router.adj_rib_in.neighbors_announcing(prefix)
+            if n != recipient
+        )
+        if not providers:
+            raise ValueError(
+                f"{prover_as} has no providers for {prefix} (besides the recipient)"
+            )
+        self._round_counter += 1
+        config = RoundConfig(
+            prover=prover_as,
+            providers=providers,
+            recipient=recipient,
+            round=self._round_counter,
+            max_length=self.max_length,
+        )
+        routes = {
+            n: router.adj_rib_in.route_from(n, prefix) for n in providers
+        }
+
+        sign_before = self.keystore.sign_count
+        verify_before = self.keystore.verify_count
+        bytes_before = transport.bytes_sent
+        messages_before = transport.delivered
+        started = time.perf_counter()
+
+        # 1. providers announce over the wire
+        announcements = announce(self.keystore, config, routes)
+        for provider, ann in announcements.items():
+            if ann is not None:
+                transport.send(provider, prover_as, AnnouncePayload(ann))
+        transport.run()
+
+        # 2. the prover runs its round
+        if prover is None:
+            prover = HonestProver(self.keystore)
+        transcript = prover.run(config, announcements)
+
+        # 3. distribute commitment + views over the wire
+        statement_vector = None
+        for provider in providers:
+            view = transcript.provider_views[provider]
+            if view.vector is not None:
+                statement_vector = view.vector
+            transport.send(prover_as, provider, ViewPayload(view))
+        recipient_view = transcript.recipient_view
+        if recipient_view.vector is not None:
+            statement_vector = recipient_view.vector
+        transport.send(prover_as, recipient, ViewPayload(recipient_view))
+        if statement_vector is not None:
+            for neighbor in self.network.transport.neighbors(prover_as):
+                transport.send(
+                    prover_as, neighbor, CommitPayload(statement_vector.statement)
+                )
+        transport.run()
+
+        # 4. local verification from what actually ARRIVED (a dropped or
+        # tampered wire message must affect the verdicts), then gossip
+        received = self._collect_views(prover_as, providers, recipient)
+        verdicts: Dict[str, Verdict] = {}
+        for provider in providers:
+            verdicts[provider] = verify_as_provider(
+                self.keystore, config, provider,
+                announcements.get(provider),
+                received.get(provider, ProviderView()),
+            )
+        arrived_recipient_view = received.get(recipient, RecipientView())
+        verdicts[recipient] = verify_as_recipient(
+            self.keystore, config, arrived_recipient_view
+        )
+        layers = {
+            name: GossipLayer(name, self.keystore)
+            for name in providers + (recipient,)
+        }
+        for name, view in received.items():
+            if name in layers and view.vector is not None:
+                layers[name].observe(view.vector.statement)
+        equivocations = exchange(layers.values())
+
+        stats = RoundStats(
+            prover=prover_as,
+            recipient=recipient,
+            providers=providers,
+            messages=transport.delivered - messages_before,
+            bytes=transport.bytes_sent - bytes_before,
+            signatures=self.keystore.sign_count - sign_before,
+            verifications=self.keystore.verify_count - verify_before,
+            wall_seconds=time.perf_counter() - started,
+            violations=sum(
+                len(v.violations) for v in verdicts.values()
+            ),
+            equivocations=len(equivocations),
+        )
+        return verdicts, stats
+
+    def _collect_views(
+        self, prover_as: str, providers: Tuple[str, ...], recipient: str
+    ) -> Dict[str, object]:
+        """Drain each neighbor's PVR inbox for this round's view payload."""
+        received: Dict[str, object] = {}
+        for name in providers + (recipient,):
+            router = self.network.router(name)
+            remaining = []
+            for message in router.pvr_inbox:
+                payload = message.payload
+                if message.src == prover_as and isinstance(payload, ViewPayload):
+                    received[name] = payload.view
+                else:
+                    remaining.append(message)
+            router.pvr_inbox[:] = remaining
+        return received
+
+    def promise4_round(self, prover_as: str, prefix: Prefix):
+        """Promise 4 in deployment: A attests its export of ``prefix`` to
+        *every* exporting neighbor; recipients gossip the attestations and
+        cross-check lengths (see :mod:`repro.pvr.crosscheck`).
+
+        Returns the :class:`repro.pvr.crosscheck.Promise4Result`.  BGP's
+        own export already serves everyone the same Loc-RIB route, so an
+        honest router always passes; the scenario choosers in crosscheck
+        model the discriminating cases.
+        """
+        from repro.pvr.crosscheck import cross_check
+        from repro.pvr.crosscheck import Promise4Result
+        from repro.pvr.commitments import make_attestation
+        from repro.pvr.announcements import make_announcement
+
+        router = self.network.router(prover_as)
+        recipients = [
+            peer
+            for peer in router.established_peers()
+            if router.adj_rib_out.advertised(peer, prefix) is not None
+        ]
+        if len(recipients) < 2:
+            raise ValueError(
+                f"{prover_as} exports {prefix} to fewer than two neighbors"
+            )
+        self._round_counter += 1
+        round_no = self._round_counter
+        best = router.loc_rib.best(prefix)
+        attestations = {}
+        for recipient in recipients:
+            if best is None or best.neighbor is None:
+                attestations[recipient] = make_attestation(
+                    self.keystore, prover_as, recipient, round_no, None, None
+                )
+                continue
+            announced = router.adj_rib_in.route_from(best.neighbor, prefix)
+            provenance = make_announcement(
+                self.keystore, announced, best.neighbor, prover_as, round_no
+            )
+            attestations[recipient] = make_attestation(
+                self.keystore, prover_as, recipient, round_no,
+                announced.exported_by(prover_as), provenance,
+            )
+        verdicts = {
+            recipient: cross_check(
+                self.keystore, recipient, attestations[recipient],
+                list(attestations.values()),
+            )
+            for recipient in recipients
+        }
+        return Promise4Result(attestations=attestations, verdicts=verdicts)
+
+    def verify_prefix_everywhere(
+        self, prefix: Prefix, max_rounds: int | None = None
+    ) -> DeploymentReport:
+        """Run one round for every (AS, exporting neighbor) pair that has
+        providers for ``prefix`` — the whole-network deployment sweep."""
+        report = DeploymentReport()
+        count = 0
+        for asn in self.network.as_names():
+            router = self.network.router(asn)
+            providers = router.adj_rib_in.neighbors_announcing(prefix)
+            if not providers:
+                continue
+            for recipient in router.established_peers():
+                if recipient in providers and len(providers) == 1:
+                    continue  # the only provider cannot also be the auditor
+                if router.adj_rib_out.advertised(recipient, prefix) is None:
+                    continue
+                if max_rounds is not None and count >= max_rounds:
+                    return report
+                _, stats = self.monitored_round(asn, prefix, recipient)
+                report.rounds.append(stats)
+                count += 1
+        return report

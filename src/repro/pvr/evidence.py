@@ -1,0 +1,455 @@
+"""Evidence: transferable proofs of promise violations (Section 2.3).
+
+The *Evidence* property requires that a detected violation yields
+something "that will convince a third party".  Every evidence class here
+is self-contained: a judge holding only the public key directory can
+validate it, because every component is signed by the accused (commitment
+statements, disclosures, export attestations) or by a provider
+(announcements) — the accuser contributes nothing that needs trusting.
+
+The taxonomy, one class per way the minimum/existential protocols can be
+violated:
+
+================== =====================================================
+Evidence            Proves the accused ...
+================== =====================================================
+Equivocation        signed two conflicting commitments for one slot
+FalseBit            committed "no route ≤ L" while holding a receipt for
+                    a route of length L
+Monotonicity        committed a non-monotone length vector
+ShorterAvailable    exported a route while committed bits show a
+                    strictly shorter one was available
+Suppression         attested "nothing exported" while committed bits say
+                    a route was available
+BadOpening          signed a disclosure that does not open its own
+                    signed commitment
+BadProvenance       attested an export whose provenance does not verify
+================== =====================================================
+
+Failures that are *detectable but not provable* (a peer simply not
+sending something) are modelled as :class:`Complaint` and resolved
+interactively by the judge — the accused can always disprove a false
+complaint by producing the withheld message (the *Accuracy* property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.keystore import KeyStore
+from repro.net.gossip import EquivocationRecord
+from repro.pvr.announcements import Receipt, SignedAnnouncement
+from repro.pvr.commitments import (
+    CommittedBitVector,
+    ExportAttestation,
+    SignedDisclosure,
+)
+
+
+class Evidence:
+    """Base class: a transferable accusation against ``accused``."""
+
+    kind: str = "abstract"
+
+    @property
+    def accused(self) -> str:
+        raise NotImplementedError
+
+    def verify(self, keystore: KeyStore) -> bool:
+        """Judge-side validation; True means the accusation is proven."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence(Evidence):
+    """Two conflicting signed commitment statements for one slot."""
+
+    record: EquivocationRecord
+    kind = "equivocation"
+
+    @property
+    def accused(self) -> str:
+        return self.record.first.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return self.record.verify(keystore)
+
+
+def _disclosure_grounded(
+    disclosure: SignedDisclosure, vector: CommittedBitVector, keystore: KeyStore
+) -> bool:
+    """Common checks: consistent vector, same slot, valid signature, and
+    the opening actually opens the committed bit."""
+    return (
+        vector.is_consistent(keystore)
+        and disclosure.author == vector.author
+        and disclosure.topic == vector.topic
+        and disclosure.round == vector.round
+        and disclosure.verify_signature(keystore)
+        and disclosure.matches(vector)
+    )
+
+
+@dataclass(frozen=True)
+class FalseBitEvidence(Evidence):
+    """The accused committed ``b_L = 0`` while holding (and receipting) an
+    announcement of a route with path length L."""
+
+    vector: CommittedBitVector
+    disclosure: SignedDisclosure
+    announcement: SignedAnnouncement
+    receipt: Receipt
+    kind = "false-bit"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        if not _disclosure_grounded(self.disclosure, self.vector, keystore):
+            return False
+        if self.disclosure.opening.value != 0:
+            return False
+        if not self.announcement.verify(keystore):
+            return False
+        if self.announcement.recipient != self.accused:
+            return False
+        if self.announcement.round != self.vector.round:
+            return False
+        if not self.receipt.verify(keystore):
+            return False
+        if self.receipt.issuer != self.accused:
+            return False
+        if self.receipt.provider != self.announcement.origin:
+            return False
+        if self.receipt.round != self.vector.round:
+            return False
+        if self.receipt.announcement_digest != self.announcement.digest():
+            return False
+        # the receipted route has length L; an honest b_L must be 1
+        return self.disclosure.index == len(self.announcement.route.as_path)
+
+
+@dataclass(frozen=True)
+class MonotonicityEvidence(Evidence):
+    """Disclosures showing ``b_i = 1`` and ``b_j = 0`` with i < j."""
+
+    vector: CommittedBitVector
+    set_bit: SignedDisclosure
+    clear_bit: SignedDisclosure
+    kind = "monotonicity"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return (
+            _disclosure_grounded(self.set_bit, self.vector, keystore)
+            and _disclosure_grounded(self.clear_bit, self.vector, keystore)
+            and self.set_bit.opening.value == 1
+            and self.clear_bit.opening.value == 0
+            and self.set_bit.index < self.clear_bit.index
+        )
+
+
+@dataclass(frozen=True)
+class ShorterAvailableEvidence(Evidence):
+    """The accused exported a route of (pre-prepend) length L while its own
+    committed bits admit a route of length j existed with j < L - slack.
+
+    ``slack`` is the latitude of the publicly-agreed promise (0 for
+    promise 1/2, k for promise 3); the judge validates the length gap
+    against it.
+    """
+
+    vector: CommittedBitVector
+    attestation: ExportAttestation
+    disclosure: SignedDisclosure
+    slack: int = 0
+    kind = "shorter-available"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        if self.slack < 0:
+            return False
+        if not _disclosure_grounded(self.disclosure, self.vector, keystore):
+            return False
+        if self.disclosure.opening.value != 1:
+            return False
+        if not self.attestation.verify_signature(keystore):
+            return False
+        if self.attestation.author != self.accused:
+            return False
+        if self.attestation.round != self.vector.round:
+            return False
+        exported = self.attestation.exported_length()
+        if exported is None:
+            return False
+        return self.disclosure.index < exported - self.slack
+
+
+@dataclass(frozen=True)
+class SuppressionEvidence(Evidence):
+    """The accused attested that nothing was exported while its committed
+    bits say a route was available."""
+
+    vector: CommittedBitVector
+    attestation: ExportAttestation
+    disclosure: SignedDisclosure
+    kind = "suppression"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return (
+            _disclosure_grounded(self.disclosure, self.vector, keystore)
+            and self.disclosure.opening.value == 1
+            and self.attestation.verify_signature(keystore)
+            and self.attestation.author == self.accused
+            and self.attestation.round == self.vector.round
+            and self.attestation.route is None
+        )
+
+
+@dataclass(frozen=True)
+class ExistsFalseBitEvidence(Evidence):
+    """Existential protocol (Section 3.2): the accused committed ``b = 0``
+    ("I received no route") while holding a receipt for an announcement.
+
+    Unlike :class:`FalseBitEvidence` there is no length relation to check:
+    any receipted announcement contradicts a zero existence bit.
+    """
+
+    vector: CommittedBitVector
+    disclosure: SignedDisclosure
+    announcement: SignedAnnouncement
+    receipt: Receipt
+    kind = "exists-false-bit"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        if not _disclosure_grounded(self.disclosure, self.vector, keystore):
+            return False
+        if self.disclosure.opening.value != 0:
+            return False
+        if not self.announcement.verify(keystore):
+            return False
+        if self.announcement.recipient != self.accused:
+            return False
+        if self.announcement.round != self.vector.round:
+            return False
+        return (
+            self.receipt.verify(keystore)
+            and self.receipt.issuer == self.accused
+            and self.receipt.provider == self.announcement.origin
+            and self.receipt.round == self.vector.round
+            and self.receipt.announcement_digest == self.announcement.digest()
+        )
+
+
+@dataclass(frozen=True)
+class ExistsPhantomEvidence(Evidence):
+    """Existential protocol: the accused exported a route while committing
+    ``b = 0`` ("no route received")."""
+
+    vector: CommittedBitVector
+    disclosure: SignedDisclosure
+    attestation: ExportAttestation
+    kind = "exists-phantom"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        return (
+            _disclosure_grounded(self.disclosure, self.vector, keystore)
+            and self.disclosure.opening.value == 0
+            and self.attestation.verify_signature(keystore)
+            and self.attestation.author == self.accused
+            and self.attestation.round == self.vector.round
+            and self.attestation.route is not None
+        )
+
+
+@dataclass(frozen=True)
+class PhantomExportEvidence(Evidence):
+    """The accused exported a route of (pre-prepend) length L while its own
+    committed bit ``b_L`` says no route of length ≤ L existed — the export
+    contradicts the commitment."""
+
+    vector: CommittedBitVector
+    attestation: ExportAttestation
+    disclosure: SignedDisclosure
+    kind = "phantom-export"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        if not _disclosure_grounded(self.disclosure, self.vector, keystore):
+            return False
+        if self.disclosure.opening.value != 0:
+            return False
+        if not self.attestation.verify_signature(keystore):
+            return False
+        if self.attestation.author != self.accused:
+            return False
+        if self.attestation.round != self.vector.round:
+            return False
+        exported = self.attestation.exported_length()
+        if exported is None:
+            return False
+        # honest bits are monotone, so b_exported = 0 contradicts the
+        # export for any disclosed clear bit at index >= exported length
+        return self.disclosure.index >= exported
+
+
+@dataclass(frozen=True)
+class BadOpeningEvidence(Evidence):
+    """The accused signed a disclosure that does not open its own signed
+    commitment — proof of a garbage reveal."""
+
+    vector: CommittedBitVector
+    disclosure: SignedDisclosure
+    kind = "bad-opening"
+
+    @property
+    def accused(self) -> str:
+        return self.vector.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        if not self.vector.is_consistent(keystore):
+            return False
+        if self.disclosure.author != self.vector.author:
+            return False
+        if (self.disclosure.topic, self.disclosure.round) != (
+            self.vector.topic,
+            self.vector.round,
+        ):
+            return False
+        if not self.disclosure.verify_signature(keystore):
+            return False
+        return not self.disclosure.matches(self.vector)
+
+
+@dataclass(frozen=True)
+class BadProvenanceEvidence(Evidence):
+    """The accused attested an export whose provenance chain is invalid
+    (condition 1 of Section 3.2)."""
+
+    attestation: ExportAttestation
+    kind = "bad-provenance"
+
+    @property
+    def accused(self) -> str:
+        return self.attestation.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        if not self.attestation.verify_signature(keystore):
+            return False
+        return not self.attestation.provenance_valid(keystore)
+
+
+@dataclass(frozen=True)
+class UnequalTreatmentEvidence(Evidence):
+    """Promise 4 ("the route you get is no longer than what I tell
+    anybody else"): two attestations by the same prover for the same
+    round show one recipient served a strictly shorter route than the
+    victim — or served at all while the victim got nothing.
+
+    Both attestations carry the prover's signature, so the pair is
+    transferable: recipients obtain each other's attestations by gossip.
+    """
+
+    victim_attestation: ExportAttestation
+    other_attestation: ExportAttestation
+    kind = "unequal-treatment"
+
+    @property
+    def accused(self) -> str:
+        return self.victim_attestation.author
+
+    def verify(self, keystore: KeyStore) -> bool:
+        mine, other = self.victim_attestation, self.other_attestation
+        if mine.author != other.author:
+            return False
+        if mine.round != other.round:
+            return False
+        if mine.recipient == other.recipient:
+            return False
+        if not mine.verify_signature(keystore):
+            return False
+        if not other.verify_signature(keystore):
+            return False
+        other_len = other.exported_length()
+        if other_len is None:
+            return False  # the other recipient got nothing: no advantage
+        mine_len = mine.exported_length()
+        if mine_len is None:
+            return True  # others served while the victim got nothing
+        return mine_len > other_len
+
+
+@dataclass(frozen=True)
+class Complaint:
+    """A detectable-but-not-provable accusation (a withheld message).
+
+    ``claim`` names what is missing (e.g. ``"missing-disclosure"``);
+    ``context`` carries whatever the accuser received.  The judge resolves
+    complaints interactively: the accused is asked to produce the missing
+    item, and an honest accused always can (Accuracy).
+    """
+
+    accuser: str
+    accused: str
+    round: int
+    claim: str
+    context: tuple = ()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A verifier-local finding: what went wrong and the proof (if any)."""
+
+    kind: str
+    accused: str
+    evidence: Optional[Evidence] = None
+    complaint: Optional[Complaint] = None
+    detail: str = ""
+
+    def transferable(self) -> bool:
+        return self.evidence is not None
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One verifier's conclusion for one protocol round."""
+
+    verifier: str
+    violations: Tuple[Violation, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def evidence(self) -> Tuple[Evidence, ...]:
+        return tuple(
+            v.evidence for v in self.violations if v.evidence is not None
+        )
+
+    def complaints(self) -> Tuple[Complaint, ...]:
+        return tuple(
+            v.complaint for v in self.violations if v.complaint is not None
+        )

@@ -1,0 +1,131 @@
+"""Information-leakage accounting: the *Confidentiality* property.
+
+"No AS will learn information from running PVR that it could not learn in
+the unsecured system, unless this was explicitly authorized by α"
+(Section 2.3).  This module makes that measurable:
+
+* :func:`facts_learned_by_provider` / :func:`facts_learned_by_recipient`
+  extract, from the messages a party received, the set of *facts* about
+  A's inputs it can now derive;
+* :func:`baseline_facts_provider` / :func:`baseline_facts_recipient`
+  compute what the unsecured system (plain BGP plus belief in the
+  promise) already reveals to that party, together with what the party
+  knows from its own announcements;
+* :func:`confidentiality_violations` is the difference.
+
+Facts are small tagged tuples over route *lengths* — exactly the
+vocabulary the minimum protocol's bit vector speaks:
+
+* ``("exists-route-leq", i)`` — some input route has length ≤ i;
+* ``("no-route-leq", i)`` — no input route has length ≤ i;
+* ``("chosen-length", L)`` / ``("nothing-exported",)`` — the outcome.
+
+For an honest run of the paper's protocol the difference is empty (a
+theorem the test suite checks across many random scenarios); for the
+over-disclosing :class:`repro.pvr.adversary.LeakyProver` it is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.pvr.minimum import ProviderView, RecipientView, RoundConfig
+
+Fact = Tuple
+
+
+def _facts_from_disclosure(index: int, value: int) -> Set[Fact]:
+    if value == 1:
+        return {("exists-route-leq", index)}
+    return {("no-route-leq", index)}
+
+
+def facts_learned_by_provider(view: ProviderView) -> Set[Fact]:
+    """What Ni can derive from the messages it received.
+
+    Commitments are hiding, so only opened disclosures convey facts.
+    """
+    facts: Set[Fact] = set()
+    disclosures = list(view.extra_disclosures)
+    if view.disclosure is not None:
+        disclosures.append(view.disclosure)
+    for disclosure in disclosures:
+        facts |= _facts_from_disclosure(
+            disclosure.index, disclosure.opening.value
+        )
+    return facts
+
+
+def facts_learned_by_recipient(view: RecipientView) -> Set[Fact]:
+    facts: Set[Fact] = set()
+    for disclosure in view.disclosures:
+        facts |= _facts_from_disclosure(
+            disclosure.index, disclosure.opening.value
+        )
+    if view.attestation is not None:
+        length = view.attestation.exported_length()
+        if length is None:
+            facts.add(("nothing-exported",))
+        else:
+            facts.add(("chosen-length", length))
+    return facts
+
+
+def _close_under_implication(facts: Set[Fact], max_length: int) -> Set[Fact]:
+    """Deductive closure: exists-leq-i implies exists-leq-j for j > i;
+    no-route-leq-i implies no-route-leq-j for j < i."""
+    closed = set(facts)
+    for index in range(1, max_length + 1):
+        if ("exists-route-leq", index) in facts:
+            for later in range(index, max_length + 1):
+                closed.add(("exists-route-leq", later))
+        if ("no-route-leq", index) in facts:
+            for earlier in range(1, index + 1):
+                closed.add(("no-route-leq", earlier))
+    return closed
+
+
+def baseline_facts_provider(
+    config: RoundConfig, own_route_length: Optional[int]
+) -> Set[Fact]:
+    """What Ni knows without PVR: only what its own announcement implies.
+
+    Plain BGP tells a provider nothing about A's other inputs or its
+    choice (A's export to B is not visible to Ni).
+    """
+    facts: Set[Fact] = set()
+    if own_route_length is not None:
+        facts.add(("exists-route-leq", own_route_length))
+    return _close_under_implication(facts, config.max_length)
+
+
+def baseline_facts_recipient(
+    config: RoundConfig, honest_chosen_length: Optional[int]
+) -> Set[Fact]:
+    """What B knows in the unsecured system, *assuming the promise holds*
+    (the paper's yardstick: "if X was telling the truth").
+
+    Seeing the chosen route of length L under a shortest-route promise
+    already implies: a route of length L existed, and none shorter did.
+    Seeing no export implies no routes existed.
+    """
+    facts: Set[Fact] = set()
+    if honest_chosen_length is None:
+        facts.add(("nothing-exported",))
+        for index in range(1, config.max_length + 1):
+            facts.add(("no-route-leq", index))
+    else:
+        facts.add(("chosen-length", honest_chosen_length))
+        facts.add(("exists-route-leq", honest_chosen_length))
+        if honest_chosen_length > 1:
+            facts.add(("no-route-leq", honest_chosen_length - 1))
+    return _close_under_implication(facts, config.max_length)
+
+
+def confidentiality_violations(
+    learned: Set[Fact], baseline: Set[Fact], max_length: int
+) -> Set[Fact]:
+    """Facts learned beyond the closure of the baseline."""
+    return _close_under_implication(learned, max_length) - _close_under_implication(
+        baseline, max_length
+    )

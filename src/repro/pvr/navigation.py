@@ -1,0 +1,546 @@
+"""Graph navigation and verification for the generalized protocol
+(paper Section 3.7).
+
+"We must enable a network's route-flow graph to be navigated by that
+network's neighbors without learning about the existence of rules or
+variables they are not authorized to see."
+
+:class:`Navigator` is the verifier-side client: every record it fetches is
+checked against the prover's *signed* Merkle root, and every disclosed
+aspect against the record's commitment — so anything the navigator
+accepts is attributable to the prover.
+
+On top of navigation sit the two collective verification procedures:
+
+* :func:`verify_as_input_owner` — Ni checks its announcement entered the
+  graph (its input variable's payload equals its route) and was counted
+  by the consuming operator (evidence bit ``b_|ri|`` = 1);
+* :func:`verify_as_output_recipient` — B walks backward from its output
+  variable, checks each operator's declared type against the expected
+  skeleton, and checks the export against the final operator's evidence
+  (minimum-length consistency, Section 3.3's condition set, generalized
+  per operator type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.keystore import KeyStore
+from repro.net.gossip import SignedStatement
+from repro.pvr.announcements import Receipt, SignedAnnouncement
+from repro.pvr.commitments import ExportAttestation, SignedDisclosure
+from repro.pvr.evidence import (
+    BadOpeningEvidence,
+    Complaint,
+    FalseBitEvidence,
+    MonotonicityEvidence,
+    PhantomExportEvidence,
+    ShorterAvailableEvidence,
+    SuppressionEvidence,
+    Verdict,
+    Violation,
+)
+from repro.pvr.protocol import AccessDenied, GraphProver, GraphRoundConfig
+from repro.pvr.vertex_info import (
+    ASPECT_PAYLOAD,
+    ASPECT_PREDS,
+    ASPECT_SUCCS,
+    VertexRecord,
+    verify_aspect,
+)
+from repro.util.encoding import canonical_decode
+
+# operator type tags whose evidence semantics are "minimum length wins"
+MIN_SEMANTICS = ("min-path-length", "shorter-of")
+EXISTS_SEMANTICS = ("existential",)
+
+# selection operators preserve the owner invariant: if a route of length L
+# is among (or selected into) the inputs, the aggregate bit b_L is 1 both
+# here and at every downstream selection operator
+_SELECTION_TAGS = ("min-path-length", "shorter-of", "union")
+_FILTER_TAGS = (
+    "neighbor-filter",
+    "community-filter",
+    "as-absence-filter",
+    "prefix-filter",
+)
+
+
+class NavigationError(Exception):
+    """Raised when the prover's responses fail cryptographic checks."""
+
+
+class Navigator:
+    """A verifying client for one neighbor against one prover round."""
+
+    def __init__(
+        self,
+        keystore: KeyStore,
+        me: str,
+        prover: GraphProver,
+        root_statement: SignedStatement,
+    ) -> None:
+        if not keystore.verify(
+            root_statement.author,
+            root_statement.signed_bytes(),
+            root_statement.signature,
+        ):
+            raise NavigationError("root statement signature invalid")
+        self.keystore = keystore
+        self.me = me
+        self.prover = prover
+        self.root_statement = root_statement
+        self.root = root_statement.value
+        self._records: Dict[str, VertexRecord] = {}
+
+    # -- checked queries -----------------------------------------------------
+
+    def fetch_record(self, vertex: str) -> Optional[VertexRecord]:
+        """Retrieve and proof-check one vertex record."""
+        if vertex in self._records:
+            return self._records[vertex]
+        response = self.prover.get_record(self.me, vertex)
+        if response is None:
+            return None
+        record = response.record
+        if record.name != vertex:
+            raise NavigationError("record name mismatch")
+        if response.proof.payload != record.leaf_payload():
+            raise NavigationError("proof payload does not match record")
+        if response.proof.path != record.address():
+            raise NavigationError("proof path does not match vertex address")
+        if not response.proof.verify(self.root):
+            raise NavigationError("Merkle proof does not reach the signed root")
+        self._records[vertex] = record
+        return record
+
+    def open_aspect(self, vertex: str, aspect: str):
+        """Request an aspect opening; returns the opened value.
+
+        Raises :class:`AccessDenied` (propagated) when α forbids it and
+        :class:`NavigationError` when the opening fails its commitment.
+        """
+        record = self.fetch_record(vertex)
+        if record is None:
+            raise NavigationError(f"no record for {vertex!r}")
+        response = self.prover.open_aspect(self.me, vertex, aspect)
+        if response.vertex != vertex or response.aspect != aspect:
+            raise NavigationError("aspect response mismatch")
+        if not verify_aspect(record, aspect, response.opening):
+            raise NavigationError(f"{aspect} opening does not match commitment")
+        return response.opening.value
+
+    def predecessors(self, vertex: str) -> Tuple[str, ...]:
+        return tuple(self.open_aspect(vertex, ASPECT_PREDS))
+
+    def successors(self, vertex: str) -> Tuple[str, ...]:
+        return tuple(self.open_aspect(vertex, ASPECT_SUCCS))
+
+    def payload(self, vertex: str):
+        return self.open_aspect(vertex, ASPECT_PAYLOAD)
+
+
+def _route_passes_filter(type_tag: str, params, route) -> bool:
+    """Replicate a filter operator's effect on the owner's own route.
+
+    The owner knows its route and (per the paper's α) the operator's
+    function, so it can compute locally whether its announcement survives.
+    """
+    if type_tag == "neighbor-filter":
+        (neighbors,) = params
+        return route.neighbor in neighbors
+    if type_tag == "community-filter":
+        community, require = params
+        return route.has_community(community) == bool(require)
+    if type_tag == "as-absence-filter":
+        (asn,) = params
+        return not route.as_path.contains(asn)
+    if type_tag == "prefix-filter":
+        from repro.bgp.prefix import Prefix
+
+        prefix_text, exact = params
+        prefix = Prefix.parse(prefix_text)
+        if exact:
+            return route.prefix == prefix
+        return prefix.contains(route.prefix)
+    raise ValueError(f"not a filter: {type_tag}")
+
+
+def owner_check_operators(
+    navigator: Navigator, input_variable: str, route
+) -> Tuple[str, ...]:
+    """The operators whose evidence an input owner should check its bit
+    against, derived by walking the graph structure.
+
+    Starting from the owner's input variable, the walk follows successor
+    edges: *selection* operators (min, shorter-of, union) preserve the
+    "my length is counted" invariant and are added to the check list;
+    *filter* operators are simulated on the owner's own route — if it
+    passes, the walk continues past them; any other operator (existential
+    rank selection, black-box best-path, composites) ends the walk after
+    its own direct check, because the invariant is not guaranteed beyond
+    it.
+    """
+    checks = []
+    current = input_variable
+    while True:
+        consumers = navigator.successors(current)
+        if not consumers:
+            break
+        operator = consumers[0]
+        payload = navigator.payload(operator)
+        if payload[0] != "op-payload":
+            break
+        type_tag = payload[1]
+        if type_tag in _SELECTION_TAGS:
+            checks.append(operator)
+        elif type_tag in _FILTER_TAGS:
+            # the filter's own evidence covers its *inputs* (pre-filter),
+            # so the owner's bit is owed there unconditionally
+            checks.append(operator)
+            params = canonical_decode(payload[2])
+            if not _route_passes_filter(type_tag, params, route):
+                break  # legitimately dropped: nothing downstream is owed
+        else:
+            checks.append(operator)
+            break
+        outputs = navigator.successors(operator)
+        if not outputs:
+            break
+        current = outputs[0]
+    return tuple(checks)
+
+
+@dataclass(frozen=True)
+class OperatorSkeleton:
+    """What a verifier expects of one operator on its path: the declared
+    type tag and, optionally, the exact input vertex names."""
+
+    name: str
+    type_tag: str
+    inputs: Optional[Tuple[str, ...]] = None
+
+
+def verify_as_input_owner(
+    navigator: Navigator,
+    config: GraphRoundConfig,
+    input_variable: str,
+    announcement: Optional[SignedAnnouncement],
+    receipt: Optional[Receipt],
+    check_operators: Optional[Sequence[str]] = None,
+) -> Verdict:
+    """Ni's procedure in the generalized protocol.
+
+    ``check_operators`` lists the operator vertices whose evidence Ni
+    should check its bit against; it defaults to the input's direct
+    consumer.  For multi-operator *selection* chains (min / shorter-of /
+    union, as in Figure 2) the owner should check every operator its
+    input transitively feeds — the selection semantics guarantee
+    ``b_|ri| = 1`` downstream.  Filter operators legitimately drop routes,
+    so owners must not check beyond a filter.
+    """
+    me = navigator.me
+    prover_name = config.prover
+    violations: List[Violation] = []
+
+    def complain(claim: str, context: tuple = ()) -> None:
+        violations.append(
+            Violation(
+                kind=claim,
+                accused=prover_name,
+                complaint=Complaint(
+                    accuser=me, accused=prover_name, round=config.round,
+                    claim=claim, context=context,
+                ),
+            )
+        )
+
+    if announcement is None:
+        return Verdict(verifier=me)
+
+    try:
+        payload = navigator.payload(input_variable)
+    except (AccessDenied, NavigationError):
+        complain("input-payload-unavailable", (input_variable,))
+        return Verdict(verifier=me, violations=tuple(violations))
+
+    tag, committed_route = payload[0], payload[1]
+    if tag != "var-payload" or committed_route != announcement.route.canonical():
+        complain("announcement-not-in-graph", (input_variable,))
+
+    try:
+        consumers = navigator.successors(input_variable)
+    except (AccessDenied, NavigationError):
+        complain("structure-unavailable", (input_variable,))
+        return Verdict(verifier=me, violations=tuple(violations))
+    if not consumers:
+        complain("input-unconsumed", (input_variable,))
+        return Verdict(verifier=me, violations=tuple(violations))
+
+    operators = tuple(check_operators) if check_operators else (consumers[0],)
+    my_length = len(announcement.route.as_path)
+    for operator in operators:
+        try:
+            vector = navigator.prover.evidence_vector(me, operator)
+            disclosure = navigator.prover.evidence_disclosure(
+                me, operator, my_length
+            )
+        except AccessDenied:
+            complain("evidence-unavailable", (operator,))
+            continue
+
+        if not vector.is_consistent(navigator.keystore):
+            complain("malformed-evidence-commitment", (operator,))
+            continue
+        if not disclosure.verify_signature(navigator.keystore) or (
+            disclosure.round != config.round
+        ):
+            complain("unsigned-evidence-disclosure", (operator,))
+            continue
+        if not disclosure.matches(vector):
+            violations.append(
+                Violation(
+                    kind="bad-opening",
+                    accused=prover_name,
+                    evidence=BadOpeningEvidence(
+                        vector=vector, disclosure=disclosure
+                    ),
+                )
+            )
+            continue
+
+        if disclosure.opening.value != 1:
+            if receipt is not None:
+                violations.append(
+                    Violation(
+                        kind="false-bit",
+                        accused=prover_name,
+                        evidence=FalseBitEvidence(
+                            vector=vector,
+                            disclosure=disclosure,
+                            announcement=announcement,
+                            receipt=receipt,
+                        ),
+                    )
+                )
+            else:
+                complain("false-bit-unreceipted", (operator, my_length))
+
+    return Verdict(verifier=me, violations=tuple(violations))
+
+
+def verify_as_output_recipient(
+    navigator: Navigator,
+    config: GraphRoundConfig,
+    output_variable: str,
+    attestation: ExportAttestation,
+    expected_skeleton: Sequence[OperatorSkeleton],
+    known_providers: Sequence[str] = (),
+) -> Verdict:
+    """B's procedure: structure, operator types, evidence, export.
+
+    ``expected_skeleton`` lists the operators B expects on the path from
+    the inputs to its output, outermost (closest to the output) first —
+    for Figure 1 that is ``[min]``; for Figure 2 ``[shorter-of, min]``.
+    The *final* export consistency check uses the outermost operator's
+    evidence.
+    """
+    me = navigator.me
+    prover_name = config.prover
+    violations: List[Violation] = []
+
+    def complain(claim: str, context: tuple = ()) -> None:
+        violations.append(
+            Violation(
+                kind=claim,
+                accused=prover_name,
+                complaint=Complaint(
+                    accuser=me, accused=prover_name, round=config.round,
+                    claim=claim, context=context,
+                ),
+            )
+        )
+
+    # attestation basics
+    if not attestation.verify_signature(navigator.keystore) or (
+        attestation.recipient != me or attestation.round != config.round
+    ):
+        complain("invalid-attestation")
+        return Verdict(verifier=me, violations=tuple(violations))
+    if not attestation.provenance_valid(navigator.keystore) or (
+        attestation.provenance is not None
+        and known_providers
+        and attestation.provenance.origin not in known_providers
+    ):
+        from repro.pvr.evidence import BadProvenanceEvidence
+
+        violations.append(
+            Violation(
+                kind="bad-provenance",
+                accused=prover_name,
+                evidence=BadProvenanceEvidence(attestation=attestation),
+            )
+        )
+
+    # structural walk: the producer chain must match the declared skeleton
+    try:
+        current = output_variable
+        for expected in expected_skeleton:
+            producers = navigator.predecessors(current)
+            if len(producers) != 1 or producers[0] != expected.name:
+                complain(
+                    "structure-mismatch",
+                    (current, tuple(producers), expected.name),
+                )
+                return Verdict(verifier=me, violations=tuple(violations))
+            payload = navigator.payload(expected.name)
+            tag, type_tag = payload[0], payload[1]
+            if tag != "op-payload" or type_tag != expected.type_tag:
+                complain("operator-type-mismatch", (expected.name, type_tag))
+                return Verdict(verifier=me, violations=tuple(violations))
+            op_inputs = navigator.predecessors(expected.name)
+            if expected.inputs is not None and tuple(op_inputs) != tuple(
+                expected.inputs
+            ):
+                complain(
+                    "operator-wiring-mismatch",
+                    (expected.name, tuple(op_inputs)),
+                )
+                return Verdict(verifier=me, violations=tuple(violations))
+            # descend along the first input for the next skeleton entry
+            current = op_inputs[0] if op_inputs else current
+            # the evidence digests in the payload must match the published
+            # evidence vector (binding evidence to the committed operator)
+            vector = navigator.prover.evidence_vector(me, expected.name)
+            if tuple(payload[3]) != tuple(c.digest for c in vector.commitments):
+                complain("evidence-digest-mismatch", (expected.name,))
+                return Verdict(verifier=me, violations=tuple(violations))
+    except (AccessDenied, NavigationError) as exc:
+        complain("navigation-failed", (str(exc),))
+        return Verdict(verifier=me, violations=tuple(violations))
+
+    # evidence check on the outermost operator
+    outer = expected_skeleton[0]
+    vector = navigator.prover.evidence_vector(me, outer.name)
+    if not vector.is_consistent(navigator.keystore):
+        complain("malformed-evidence-commitment", (outer.name,))
+        return Verdict(verifier=me, violations=tuple(violations))
+
+    disclosures: Dict[int, SignedDisclosure] = {}
+    for index in range(1, config.max_length + 1):
+        try:
+            disclosure = navigator.prover.evidence_disclosure(me, outer.name, index)
+        except AccessDenied:
+            complain("missing-evidence-disclosure", (outer.name, index))
+            return Verdict(verifier=me, violations=tuple(violations))
+        if not disclosure.verify_signature(navigator.keystore):
+            complain("unsigned-evidence-disclosure", (outer.name, index))
+            continue
+        if not disclosure.matches(vector):
+            violations.append(
+                Violation(
+                    kind="bad-opening",
+                    accused=prover_name,
+                    evidence=BadOpeningEvidence(
+                        vector=vector, disclosure=disclosure
+                    ),
+                )
+            )
+            continue
+        disclosures[index] = disclosure
+
+    if len(disclosures) != config.max_length:
+        return Verdict(verifier=me, violations=tuple(violations))
+
+    bits = {i: d.opening.value for i, d in disclosures.items()}
+    set_indices = sorted(i for i, b in bits.items() if b == 1)
+    clear_after_set = [
+        j for i in set_indices for j in bits if j > i and bits[j] == 0
+    ]
+    if clear_after_set:
+        violations.append(
+            Violation(
+                kind="non-monotone",
+                accused=prover_name,
+                evidence=MonotonicityEvidence(
+                    vector=vector,
+                    set_bit=disclosures[set_indices[0]],
+                    clear_bit=disclosures[min(clear_after_set)],
+                ),
+            )
+        )
+
+    exported = attestation.exported_length()
+    if outer.type_tag in MIN_SEMANTICS:
+        if exported is None:
+            if set_indices:
+                violations.append(
+                    Violation(
+                        kind="suppression",
+                        accused=prover_name,
+                        evidence=SuppressionEvidence(
+                            vector=vector,
+                            attestation=attestation,
+                            disclosure=disclosures[set_indices[0]],
+                        ),
+                    )
+                )
+        elif not 1 <= exported <= config.max_length:
+            complain("export-length-out-of-range", (exported,))
+        else:
+            if bits.get(exported) == 0:
+                violations.append(
+                    Violation(
+                        kind="phantom-export",
+                        accused=prover_name,
+                        evidence=PhantomExportEvidence(
+                            vector=vector,
+                            attestation=attestation,
+                            disclosure=disclosures[exported],
+                        ),
+                    )
+                )
+            shorter = [i for i in set_indices if i < exported]
+            if shorter:
+                violations.append(
+                    Violation(
+                        kind="shorter-available",
+                        accused=prover_name,
+                        evidence=ShorterAvailableEvidence(
+                            vector=vector,
+                            attestation=attestation,
+                            disclosure=disclosures[min(shorter)],
+                        ),
+                    )
+                )
+    elif outer.type_tag in EXISTS_SEMANTICS:
+        if exported is None and set_indices:
+            violations.append(
+                Violation(
+                    kind="suppression",
+                    accused=prover_name,
+                    evidence=SuppressionEvidence(
+                        vector=vector,
+                        attestation=attestation,
+                        disclosure=disclosures[set_indices[0]],
+                    ),
+                )
+            )
+        if exported is not None and not set_indices:
+            violations.append(
+                Violation(
+                    kind="phantom-export",
+                    accused=prover_name,
+                    evidence=PhantomExportEvidence(
+                        vector=vector,
+                        attestation=attestation,
+                        disclosure=disclosures[config.max_length],
+                    ),
+                )
+            )
+    else:
+        complain("unsupported-operator-semantics", (outer.type_tag,))
+
+    return Verdict(verifier=me, violations=tuple(violations))

@@ -1,0 +1,182 @@
+"""Scenario runner and the four PVR properties as executable checks.
+
+Ties the protocol pieces together for experiments: given per-provider
+routes and a (possibly Byzantine) prover, run a full round — announce,
+prove, verify at every neighbor, gossip — and evaluate the paper's four
+properties (Section 2.3) on the outcome:
+
+* **Detection** — a deviation visible to a correct neighbor produces at
+  least one non-OK verdict or an equivocation record;
+* **Evidence** — every transferable evidence object convinces the judge;
+* **Accuracy** — honest runs produce no violations and no upholdable
+  complaints;
+* **Confidentiality** — no party's learned facts exceed its baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bgp.route import Route
+from repro.crypto.keystore import KeyStore
+from repro.net.gossip import EquivocationRecord, GossipLayer, exchange
+from repro.pvr import leakage
+from repro.pvr.evidence import Complaint, Evidence, Verdict
+from repro.pvr.judge import Judge
+from repro.pvr.minimum import (
+    HonestProver,
+    RoundConfig,
+    RoundTranscript,
+    announce,
+    verify_as_provider,
+    verify_as_recipient,
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything observable after one verification round."""
+
+    config: RoundConfig
+    transcript: RoundTranscript
+    verdicts: Dict[str, Verdict]
+    equivocations: Tuple[EquivocationRecord, ...]
+    honest_chosen_length: Optional[int]
+
+    # -- aggregates ---------------------------------------------------------
+
+    def violation_found(self) -> bool:
+        return bool(self.equivocations) or any(
+            not v.ok for v in self.verdicts.values()
+        )
+
+    def detecting_parties(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(name for name, v in self.verdicts.items() if not v.ok)
+        )
+
+    def all_evidence(self) -> Tuple[Evidence, ...]:
+        found: List[Evidence] = []
+        for verdict in self.verdicts.values():
+            found.extend(verdict.evidence())
+        from repro.pvr.evidence import EquivocationEvidence
+
+        found.extend(EquivocationEvidence(record=r) for r in self.equivocations)
+        return tuple(found)
+
+    def all_complaints(self) -> Tuple[Complaint, ...]:
+        found: List[Complaint] = []
+        for verdict in self.verdicts.values():
+            found.extend(verdict.complaints())
+        return tuple(found)
+
+
+def run_minimum_scenario(
+    keystore: KeyStore,
+    config: RoundConfig,
+    routes: Mapping[str, Optional[Route]],
+    prover: HonestProver | None = None,
+    gossip: bool = True,
+) -> ScenarioResult:
+    """One full round of the Section 3.3 protocol.
+
+    ``routes`` maps each provider to the route it announces (None =
+    silent).  ``gossip=False`` is the D4 ablation: neighbors skip the
+    commitment exchange, so equivocation goes unnoticed.
+    """
+    for asn in (config.prover, config.recipient) + tuple(config.providers):
+        keystore.register(asn)
+    if prover is None:
+        prover = HonestProver(keystore)
+    announcements = announce(keystore, config, routes)
+    transcript = prover.run(config, announcements)
+
+    verdicts: Dict[str, Verdict] = {}
+    for provider in config.providers:
+        verdicts[provider] = verify_as_provider(
+            keystore,
+            config,
+            provider,
+            announcements.get(provider),
+            transcript.provider_views[provider],
+        )
+    verdicts[config.recipient] = verify_as_recipient(
+        keystore, config, transcript.recipient_view
+    )
+
+    equivocations: Tuple[EquivocationRecord, ...] = ()
+    if gossip:
+        layers = {
+            name: GossipLayer(name, keystore)
+            for name in tuple(config.providers) + (config.recipient,)
+        }
+        for provider in config.providers:
+            view = transcript.provider_views[provider]
+            if view.vector is not None:
+                layers[provider].observe(view.vector.statement)
+        recipient_view = transcript.recipient_view
+        if recipient_view.vector is not None:
+            layers[config.recipient].observe(recipient_view.vector.statement)
+        equivocations = tuple(exchange(layers.values()))
+
+    lengths = [
+        len(route.as_path)
+        for route in routes.values()
+        if route is not None and 1 <= len(route.as_path) <= config.max_length
+    ]
+    honest_chosen_length = min(lengths) if lengths else None
+
+    return ScenarioResult(
+        config=config,
+        transcript=transcript,
+        verdicts=verdicts,
+        equivocations=equivocations,
+        honest_chosen_length=honest_chosen_length,
+    )
+
+
+# -- the four properties -------------------------------------------------------
+
+
+def detection_holds(result: ScenarioResult, deviated: bool) -> bool:
+    """Detection (and its converse half of Accuracy): a deviation is
+    flagged somewhere iff one occurred."""
+    return result.violation_found() == deviated
+
+
+def evidence_holds(result: ScenarioResult, judge: Judge) -> bool:
+    """Every piece of transferable evidence convinces the judge."""
+    evidence = result.all_evidence()
+    return all(judge.validate(item) for item in evidence)
+
+
+def accuracy_holds(result: ScenarioResult) -> bool:
+    """No correct AS detects a violation in an honest run."""
+    return not result.violation_found() and not result.all_complaints()
+
+
+def confidentiality_holds(
+    result: ScenarioResult, routes: Mapping[str, Optional[Route]]
+) -> bool:
+    """No party learned facts beyond its unsecured-system baseline."""
+    config = result.config
+    for provider in config.providers:
+        view = result.transcript.provider_views[provider]
+        learned = leakage.facts_learned_by_provider(view)
+        route = routes.get(provider)
+        own_length = len(route.as_path) if route is not None else None
+        baseline = leakage.baseline_facts_provider(config, own_length)
+        if leakage.confidentiality_violations(
+            learned, baseline, config.max_length
+        ):
+            return False
+    recipient_learned = leakage.facts_learned_by_recipient(
+        result.transcript.recipient_view
+    )
+    recipient_baseline = leakage.baseline_facts_recipient(
+        config, result.honest_chosen_length
+    )
+    return not leakage.confidentiality_violations(
+        recipient_learned, recipient_baseline, config.max_length
+    )

@@ -1,0 +1,366 @@
+"""The generalized PVR protocol over arbitrary route-flow graphs
+(paper Sections 3.5-3.7).
+
+Where the Section 3.2/3.3 protocols hard-wire one operator, this engine
+takes any :class:`repro.rfg.graph.RouteFlowGraph`:
+
+* the prover evaluates the graph, commits to every vertex's record
+  ``I(x) = (c(preds), c(succs), c(payload))``, commits per-operator
+  *evidence* (the aggregate length-bit vector of the operator's inputs,
+  exactly the ``b_1..b_k`` of Section 3.3), builds the sparse Merkle tree
+  over the records and signs its root;
+* neighbors retrieve records by navigation (:mod:`repro.pvr.navigation`)
+  with Merkle proofs against the signed root, and request aspect openings
+  and evidence-bit disclosures, which the prover grants per the access
+  policy α;
+* verification is *collective*, as in the single-operator case: each
+  input's owner checks its announcement was counted in the evidence of
+  the operator consuming it, while the output's recipient checks the
+  export is consistent with the final operator's evidence.
+
+The engine thereby verifies Figure 2's two-operator promise with B never
+seeing r1..rk and the Ni never seeing the outcome — the paper's headline
+generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.bgp.route import Route
+from repro.crypto.keystore import KeyStore
+from repro.crypto.merkle import MerkleProof, SparseMerkleTree
+from repro.net.gossip import SignedStatement, make_statement
+from repro.pvr.access import PAYLOAD, AccessPolicy
+from repro.pvr.announcements import (
+    Receipt,
+    SignedAnnouncement,
+    make_receipt,
+)
+from repro.pvr.commitments import (
+    BitVectorOpenings,
+    CommittedBitVector,
+    ExportAttestation,
+    SignedDisclosure,
+    commit_bits,
+    compute_length_bits,
+    make_attestation,
+    make_disclosure,
+)
+from repro.pvr.vertex_info import (
+    ASPECT_PAYLOAD,
+    ASPECT_PREDS,
+    ASPECT_SUCCS,
+    VertexOpenings,
+    VertexRecord,
+    make_vertex_record,
+    operator_payload,
+    variable_payload,
+)
+from repro.rfg.graph import RouteFlowGraph
+from repro.rfg.operators import normalize_routes
+
+ROOT_TOPIC = "pvr-rfg-root"
+
+
+class AccessDenied(Exception):
+    """The prover refuses a query α does not authorize."""
+
+
+@dataclass(frozen=True)
+class GraphRoundConfig:
+    """Parameters of one generalized-protocol round."""
+
+    prover: str
+    round: int
+    max_length: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_length < 1:
+            raise ValueError("max_length must be >= 1")
+
+
+@dataclass(frozen=True)
+class RecordResponse:
+    """Answer to a navigation query: the record plus its Merkle proof."""
+
+    record: VertexRecord
+    proof: MerkleProof
+
+
+@dataclass(frozen=True)
+class AspectResponse:
+    """A disclosed aspect opening (checked against the vertex record)."""
+
+    vertex: str
+    aspect: str
+    opening: object  # crypto.commitment.Opening
+
+
+class GraphProver:
+    """A's side of the generalized protocol for one round.
+
+    ``alpha`` governs every disclosure.  The prover is constructed with
+    the *true* inputs (the announcements it received); adversarial
+    variants override :meth:`assignment_for_evaluation` or
+    :meth:`choose_export` the same way the minimum-protocol adversaries
+    do.
+    """
+
+    def __init__(
+        self,
+        keystore: KeyStore,
+        graph: RouteFlowGraph,
+        alpha: AccessPolicy,
+        config: GraphRoundConfig,
+        random_bytes: Callable[[int], bytes] | None = None,
+    ) -> None:
+        self.keystore = keystore
+        self.graph = graph
+        self.alpha = alpha
+        self.config = config
+        self.random_bytes = random_bytes
+        self._records: Dict[str, VertexRecord] = {}
+        self._openings: Dict[str, VertexOpenings] = {}
+        self._evidence_vectors: Dict[str, CommittedBitVector] = {}
+        self._evidence_openings: Dict[str, BitVectorOpenings] = {}
+        self._values: Dict[str, object] = {}
+        self._announcements: Dict[str, SignedAnnouncement] = {}
+        self._tree: SparseMerkleTree | None = None
+        self._root_statement: SignedStatement | None = None
+
+    # -- round execution ----------------------------------------------------
+
+    def receive(
+        self, announcements: Mapping[str, Optional[SignedAnnouncement]]
+    ) -> Dict[str, Receipt]:
+        """Accept announcements keyed by *input variable name*; returns
+        receipts keyed the same way."""
+        receipts: Dict[str, Receipt] = {}
+        for vertex in self.graph.inputs():
+            ann = announcements.get(vertex.name)
+            if ann is None:
+                continue
+            if ann.origin != vertex.party or ann.recipient != self.config.prover:
+                continue
+            if ann.round != self.config.round:
+                continue
+            if not 1 <= len(ann.route.as_path) <= self.config.max_length:
+                continue
+            if not ann.verify(self.keystore):
+                continue
+            self._announcements[vertex.name] = ann
+            receipts[vertex.name] = make_receipt(
+                self.keystore, self.config.prover, ann
+            )
+        return receipts
+
+    def assignment_for_evaluation(self) -> Dict[str, Optional[Route]]:
+        """The input assignment the prover actually evaluates (override
+        point for adversaries that drop inputs)."""
+        return {
+            name: ann.route for name, ann in self._announcements.items()
+        }
+
+    def commit_round(self) -> SignedStatement:
+        """Evaluate, build all records and the Merkle tree, sign the root."""
+        assignment = self.assignment_for_evaluation()
+        self._values = self.graph.evaluate(assignment)
+
+        for op in self.graph.operators():
+            input_routes = [
+                r
+                for name in op.inputs
+                for r in normalize_routes(self._values[name])
+            ]
+            bits = compute_length_bits(
+                [len(r.as_path) for r in input_routes], self.config.max_length
+            )
+            vector, openings = commit_bits(
+                self.keystore,
+                self.config.prover,
+                f"op-evidence:{op.name}",
+                self.config.round,
+                bits,
+                self.random_bytes,
+            )
+            self._evidence_vectors[op.name] = vector
+            self._evidence_openings[op.name] = openings
+
+        leaves = {}
+        for name in self.graph.vertex_names():
+            is_operator = self.graph.is_operator(name)
+            if is_operator:
+                op = self.graph.operator(name)
+                vector = self._evidence_vectors[name]
+                payload = operator_payload(
+                    op.operator.type_tag,
+                    op.operator.params(),
+                    tuple(c.digest for c in vector.commitments),
+                )
+            else:
+                value = self._values.get(name)
+                routes = normalize_routes(value)
+                payload = variable_payload(routes[0] if routes else None)
+            record, openings = make_vertex_record(
+                name,
+                is_operator,
+                self.graph.predecessors(name),
+                self.graph.successors(name),
+                payload,
+                self.random_bytes,
+            )
+            self._records[name] = record
+            self._openings[name] = openings
+            leaves[record.address()] = record.leaf_payload()
+
+        self._tree = SparseMerkleTree(leaves, self.random_bytes)
+        self._root_statement = make_statement(
+            self.keystore,
+            self.config.prover,
+            ROOT_TOPIC,
+            self.config.round,
+            self._tree.root,
+        )
+        return self._root_statement
+
+    # -- query interface (all α-mediated) --------------------------------------
+
+    @property
+    def root_statement(self) -> SignedStatement:
+        if self._root_statement is None:
+            raise RuntimeError("commit_round has not been called")
+        return self._root_statement
+
+    def get_record(self, requester: str, vertex: str) -> Optional[RecordResponse]:
+        """Navigation step: the record and its inclusion proof.
+
+        Any neighbor may fetch records for vertices it can *name* (the
+        record's three digests reveal nothing); unknown names return None
+        without distinguishing "hidden" from "absent".
+        """
+        record = self._records.get(vertex)
+        if record is None or self._tree is None:
+            return None
+        proof = self._tree.prove(record.address())
+        return RecordResponse(record=record, proof=proof)
+
+    def open_aspect(self, requester: str, vertex: str, aspect: str) -> AspectResponse:
+        """Disclose one aspect of I(x), if α authorizes the requester."""
+        if vertex not in self._records:
+            raise AccessDenied(f"unknown vertex {vertex!r}")
+        alpha_aspect = {
+            ASPECT_PREDS: "preds",
+            ASPECT_SUCCS: "succs",
+            ASPECT_PAYLOAD: PAYLOAD,
+        }[aspect]
+        if not self.alpha.allows(requester, vertex, alpha_aspect):
+            raise AccessDenied(f"{requester} may not see {aspect} of {vertex}")
+        opening = self._openings[vertex].opening_for(aspect)
+        return AspectResponse(vertex=vertex, aspect=aspect, opening=opening)
+
+    def evidence_disclosure(
+        self, requester: str, operator: str, index: int
+    ) -> SignedDisclosure:
+        """Disclose bit ``index`` of an operator's evidence vector.
+
+        Authorized when the requester may see the operator (payload
+        aspect) — the paper's α(n, min) = TRUE — *and* the bit is one the
+        protocol owes them: their own announcement's length, or any bit
+        when they receive the operator's downstream output.
+        """
+        if operator not in self._evidence_vectors:
+            raise AccessDenied(f"unknown operator {operator!r}")
+        if not self.alpha.allows(requester, operator, PAYLOAD):
+            raise AccessDenied(f"{requester} may not query {operator}")
+        if not self._bit_owed_to(requester, operator, index):
+            raise AccessDenied(
+                f"bit {index} of {operator} is not owed to {requester}"
+            )
+        openings = self._evidence_openings[operator]
+        return make_disclosure(
+            self.keystore,
+            self.config.prover,
+            f"op-evidence:{operator}",
+            self.config.round,
+            index,
+            openings.opening(index),
+        )
+
+    def evidence_vector(self, requester: str, operator: str) -> CommittedBitVector:
+        """The public commitment vector (digests only — safe to share)."""
+        if operator not in self._evidence_vectors:
+            raise AccessDenied(f"unknown operator {operator!r}")
+        return self._evidence_vectors[operator]
+
+    def _bit_owed_to(self, requester: str, operator: str, index: int) -> bool:
+        if not 1 <= index <= self.config.max_length:
+            return False
+        op = self.graph.operator(operator)
+        # output recipients may see every bit of operators on their path
+        for out in self.graph.outputs():
+            if out.party == requester and self._feeds(operator, out.name):
+                return True
+        # an input owner may see exactly the bit at its own route's length,
+        # for operators its input (transitively) feeds
+        for vertex in self.graph.inputs():
+            if vertex.party != requester:
+                continue
+            ann = self._announcements.get(vertex.name)
+            if ann is None:
+                continue
+            if index != len(ann.route.as_path):
+                continue
+            if self._feeds(vertex.name, operator) or vertex.name in op.inputs:
+                return True
+        return False
+
+    def _feeds(self, source: str, target: str) -> bool:
+        """Is there a directed path from ``source`` to ``target``?"""
+        frontier = [source]
+        seen = set()
+        while frontier:
+            name = frontier.pop()
+            if name == target:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(self.graph.successors(name))
+        return False
+
+    # -- export ----------------------------------------------------------------
+
+    def export_attestation(self, output: str) -> ExportAttestation:
+        """Sign what the graph's ``output`` variable exports this round."""
+        vertex = self.graph.variable(output)
+        if vertex.role != "output":
+            raise ValueError(f"{output!r} is not an output variable")
+        routes = normalize_routes(self._values.get(output))
+        chosen = routes[0] if routes else None
+        provenance = None
+        if chosen is not None:
+            provenance = self._provenance_for(chosen)
+        exported = (
+            chosen.exported_by(self.config.prover) if chosen is not None else None
+        )
+        return make_attestation(
+            self.keystore,
+            self.config.prover,
+            vertex.party,
+            self.config.round,
+            exported,
+            provenance,
+        )
+
+    def _provenance_for(self, route: Route) -> Optional[SignedAnnouncement]:
+        for ann in self._announcements.values():
+            if ann.route == route:
+                return ann
+        # value objects may differ in receiver-local fields; match on the
+        # announcement content instead
+        for ann in self._announcements.values():
+            if ann.route.announcement_key() == route.announcement_key():
+                return ann
+        return None

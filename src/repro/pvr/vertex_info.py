@@ -1,0 +1,136 @@
+"""Per-vertex commitment records I(x) (paper Section 3.7).
+
+"We can enable this by choosing I(x) to be (c(x^p_1..x^p_a),
+c(x^s_1..x^s_b), c(x̄)), where the c(·) are commitments and the x^p and
+x^s are bitstrings identifying predecessor and successor vertices.  x̄ is
+the route itself (in the case of a variable) or the operator type and the
+evidence (in the case of an operator).  Thus, the three types of
+information can be revealed independently, depending on the authorization
+of the querying neighbor."
+
+A :class:`VertexRecord` holds the three commitments; the record's
+canonical encoding is the Merkle-leaf payload at the vertex's prefix-free
+address.  The prover retains the matching :class:`VertexOpenings` for
+selective disclosure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.bgp.route import Route
+from repro.crypto.commitment import Commitment, Opening, commit, verify_opening
+from repro.util.bitstrings import BitString, encode_prefix_free
+from repro.util.encoding import canonical_encode
+
+ASPECT_PREDS = "preds"
+ASPECT_SUCCS = "succs"
+ASPECT_PAYLOAD = "payload"
+
+
+def vertex_address(name: str, is_operator: bool) -> BitString:
+    """The paper's prefix-free identifiers: ``rule(x)`` / ``var(v)``."""
+    tag = "rule" if is_operator else "var"
+    return encode_prefix_free(f"{tag}({name})".encode("utf-8"))
+
+
+def variable_payload(value: Optional[Route]) -> tuple:
+    """x̄ for a variable vertex: the route itself (or None)."""
+    return ("var-payload", value.canonical() if value is not None else None)
+
+
+def operator_payload(type_tag: str, params: tuple, evidence_digests: tuple) -> tuple:
+    """x̄ for an operator vertex: the operator type and the evidence.
+
+    ``evidence_digests`` pins the operator's committed evidence (the
+    aggregate bit-vector commitments of :mod:`repro.pvr.protocol`), so the
+    payload binds type, parameters and evidence together.
+    """
+    return ("op-payload", type_tag, canonical_encode(params), tuple(evidence_digests))
+
+
+@dataclass(frozen=True)
+class VertexRecord:
+    """The public half of I(x): three independent commitments."""
+
+    name: str
+    is_operator: bool
+    preds: Commitment
+    succs: Commitment
+    payload: Commitment
+
+    def address(self) -> BitString:
+        return vertex_address(self.name, self.is_operator)
+
+    def leaf_payload(self) -> bytes:
+        """The bytes stored at this vertex's Merkle leaf."""
+        return canonical_encode(
+            (
+                "vertex-record",
+                self.name,
+                self.is_operator,
+                self.preds.digest,
+                self.succs.digest,
+                self.payload.digest,
+            )
+        )
+
+    def commitment_for(self, aspect: str) -> Commitment:
+        if aspect == ASPECT_PREDS:
+            return self.preds
+        if aspect == ASPECT_SUCCS:
+            return self.succs
+        if aspect == ASPECT_PAYLOAD:
+            return self.payload
+        raise ValueError(f"unknown aspect {aspect!r}")
+
+
+@dataclass(frozen=True)
+class VertexOpenings:
+    """The private half, held by the prover."""
+
+    preds: Opening
+    succs: Opening
+    payload: Opening
+
+    def opening_for(self, aspect: str) -> Opening:
+        if aspect == ASPECT_PREDS:
+            return self.preds
+        if aspect == ASPECT_SUCCS:
+            return self.succs
+        if aspect == ASPECT_PAYLOAD:
+            return self.payload
+        raise ValueError(f"unknown aspect {aspect!r}")
+
+
+def make_vertex_record(
+    name: str,
+    is_operator: bool,
+    preds: Tuple[str, ...],
+    succs: Tuple[str, ...],
+    payload: tuple,
+    random_bytes: Callable[[int], bytes] | None = None,
+) -> Tuple[VertexRecord, VertexOpenings]:
+    """Commit to the three aspects of one vertex."""
+    preds_c, preds_o = commit(f"vertex:{name}:preds", tuple(preds), random_bytes)
+    succs_c, succs_o = commit(f"vertex:{name}:succs", tuple(succs), random_bytes)
+    payload_c, payload_o = commit(f"vertex:{name}:payload", payload, random_bytes)
+    record = VertexRecord(
+        name=name,
+        is_operator=is_operator,
+        preds=preds_c,
+        succs=succs_c,
+        payload=payload_c,
+    )
+    openings = VertexOpenings(preds=preds_o, succs=succs_o, payload=payload_o)
+    return record, openings
+
+
+def verify_aspect(record: VertexRecord, aspect: str, opening: Opening) -> bool:
+    """Check a disclosed aspect against the vertex record."""
+    try:
+        commitment = record.commitment_for(aspect)
+    except ValueError:
+        return False
+    return verify_opening(commitment, opening)

@@ -1,0 +1,81 @@
+"""Route-flow graphs: the paper's verifiable model of routing policy.
+
+Variables and operators form a bipartite DAG (Section 2.1); the canonical
+graphs of Figure 1, Section 3.2 and Figure 2 are provided as builders;
+:mod:`repro.rfg.static_check` answers whether a graph implements a given
+promise and whether an access-control policy suffices to verify it; and
+:mod:`repro.rfg.compiler` translates promises and route-map policies into
+graphs.
+"""
+
+from repro.rfg.builder import (
+    GraphBuilder,
+    existential_graph,
+    figure2_graph,
+    input_name,
+    minimum_graph,
+    subset_minimum_graph,
+)
+from repro.rfg.compiler import CompileError, compile_policy, compile_promise
+from repro.rfg.graph import (
+    GraphError,
+    OperatorVertex,
+    RouteFlowGraph,
+    VariableVertex,
+)
+from repro.rfg.operators import (
+    ASAbsenceFilter,
+    BGPBestPath,
+    CommunityFilter,
+    Composite,
+    Const,
+    Existential,
+    Min,
+    NeighborFilter,
+    Operator,
+    PrefixFilter,
+    ShorterOf,
+    Union,
+    normalize_routes,
+)
+from repro.rfg.static_check import (
+    Descriptor,
+    collectively_verifiable,
+    describe_vertices,
+    implements,
+    reachable_vertices,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "existential_graph",
+    "figure2_graph",
+    "input_name",
+    "minimum_graph",
+    "subset_minimum_graph",
+    "CompileError",
+    "compile_policy",
+    "compile_promise",
+    "GraphError",
+    "OperatorVertex",
+    "RouteFlowGraph",
+    "VariableVertex",
+    "ASAbsenceFilter",
+    "BGPBestPath",
+    "CommunityFilter",
+    "Composite",
+    "Const",
+    "Existential",
+    "Min",
+    "NeighborFilter",
+    "Operator",
+    "PrefixFilter",
+    "ShorterOf",
+    "Union",
+    "normalize_routes",
+    "Descriptor",
+    "collectively_verifiable",
+    "describe_vertices",
+    "implements",
+    "reachable_vertices",
+]

@@ -1,0 +1,155 @@
+"""Builders for the canonical route-flow graphs of the paper.
+
+These are the graphs of Figure 1 (single ``min`` operator), Section 3.2
+(single ``existential`` operator) and Figure 2 (``min`` feeding a
+``shorter-of``), parameterized by the neighbor set, plus a fluent
+:class:`GraphBuilder` for assembling custom policies in the examples.
+
+Naming convention matches the paper: inputs are ``r1 .. rk`` (one per
+neighbor Ni), the output toward B is ``ro``, Figure 2's internal variable
+is ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.rfg.graph import RouteFlowGraph
+from repro.rfg.operators import (
+    Existential,
+    Min,
+    NeighborFilter,
+    Operator,
+    ShorterOf,
+    Union,
+)
+
+
+def input_name(index: int) -> str:
+    return f"r{index}"
+
+
+def minimum_graph(neighbors: Sequence[str], recipient: str = "B") -> RouteFlowGraph:
+    """Figure 1: ``ro = min(r1 .. rk)`` by AS-path length."""
+    if not neighbors:
+        raise ValueError("need at least one neighbor")
+    graph = RouteFlowGraph()
+    inputs = []
+    for index, neighbor in enumerate(neighbors, start=1):
+        graph.add_input(input_name(index), party=neighbor)
+        inputs.append(input_name(index))
+    graph.add_output("ro", party=recipient)
+    graph.add_operator("min", Min(), inputs=inputs, output="ro")
+    graph.validate()
+    return graph
+
+
+def existential_graph(neighbors: Sequence[str], recipient: str = "B") -> RouteFlowGraph:
+    """Section 3.2: ``ro`` exists iff some ``ri`` exists."""
+    if not neighbors:
+        raise ValueError("need at least one neighbor")
+    graph = RouteFlowGraph()
+    inputs = []
+    for index, neighbor in enumerate(neighbors, start=1):
+        graph.add_input(input_name(index), party=neighbor)
+        inputs.append(input_name(index))
+    graph.add_output("ro", party=recipient)
+    graph.add_operator("exists", Existential(), inputs=inputs, output="ro")
+    graph.validate()
+    return graph
+
+
+def figure2_graph(neighbors: Sequence[str], recipient: str = "B") -> RouteFlowGraph:
+    """Figure 2: "export some route via N2..Nk unless N1 provides a
+    shorter route".
+
+    ``v = min(r2 .. rk)``; ``ro = shorter-of(v, r1)``.
+    """
+    if len(neighbors) < 2:
+        raise ValueError("Figure 2 needs at least two neighbors")
+    graph = RouteFlowGraph()
+    for index, neighbor in enumerate(neighbors, start=1):
+        graph.add_input(input_name(index), party=neighbor)
+    graph.add_internal("v")
+    graph.add_output("ro", party=recipient)
+    rest = [input_name(i) for i in range(2, len(neighbors) + 1)]
+    graph.add_operator("min", Min(), inputs=rest, output="v")
+    graph.add_operator(
+        "unless-shorter", ShorterOf(), inputs=["v", "r1"], output="ro"
+    )
+    graph.validate()
+    return graph
+
+
+def subset_minimum_graph(
+    neighbors: Sequence[str],
+    subset: Sequence[str],
+    recipient: str = "B",
+) -> RouteFlowGraph:
+    """Promise 2 in general form: min over routes from a declared subset.
+
+    All neighbors feed a union; a neighbor filter keeps the subset; a min
+    picks the winner.  The filter's parameters are part of its committed
+    payload, so B can verify the min really ranged over the agreed subset.
+    """
+    if not neighbors:
+        raise ValueError("need at least one neighbor")
+    unknown = set(subset) - set(neighbors)
+    if unknown:
+        raise ValueError(f"subset names unknown neighbors: {sorted(unknown)}")
+    graph = RouteFlowGraph()
+    inputs = []
+    for index, neighbor in enumerate(neighbors, start=1):
+        graph.add_input(input_name(index), party=neighbor)
+        inputs.append(input_name(index))
+    graph.add_internal("all")
+    graph.add_internal("eligible")
+    graph.add_output("ro", party=recipient)
+    graph.add_operator("union", Union(), inputs=inputs, output="all")
+    graph.add_operator(
+        "filter", NeighborFilter(subset), inputs=["all"], output="eligible"
+    )
+    graph.add_operator("min", Min(), inputs=["eligible"], output="ro")
+    graph.validate()
+    return graph
+
+
+class GraphBuilder:
+    """Fluent construction helper used by the examples.
+
+    >>> g = (GraphBuilder()
+    ...      .input("r1", party="N1")
+    ...      .input("r2", party="N2")
+    ...      .output("ro", party="B")
+    ...      .op("min", Min(), ["r1", "r2"], "ro")
+    ...      .build())
+    """
+
+    def __init__(self) -> None:
+        self._graph = RouteFlowGraph()
+
+    def input(self, name: str, party: str) -> "GraphBuilder":
+        self._graph.add_input(name, party=party)
+        return self
+
+    def internal(self, name: str) -> "GraphBuilder":
+        self._graph.add_internal(name)
+        return self
+
+    def output(self, name: str, party: str) -> "GraphBuilder":
+        self._graph.add_output(name, party=party)
+        return self
+
+    def op(
+        self,
+        name: str,
+        operator: Operator,
+        inputs: Sequence[str],
+        output: str,
+    ) -> "GraphBuilder":
+        self._graph.add_operator(name, operator, inputs=inputs, output=output)
+        return self
+
+    def build(self) -> RouteFlowGraph:
+        self._graph.validate()
+        return self._graph

@@ -1,0 +1,194 @@
+"""Compilation of promises and router policies into route-flow graphs.
+
+Section 4 of the paper calls for "language support for compiling a
+high-level policy description (or router configuration file) into a
+compact route-flow graph".  Two entry points:
+
+* :func:`compile_promise` — produce the canonical graph that *implements*
+  a promise template over a neighbor set (the graph a cooperative AS
+  would publish to back that promise);
+* :func:`compile_policy` — translate the filter portion of a route-map
+  :class:`repro.bgp.policy.Policy` into a chain of filter operators
+  feeding a best-path selection.  Deny clauses over communities and
+  AS-path membership compile directly; constructs with no filter-operator
+  equivalent (actions that rewrite attributes) raise
+  :class:`CompileError` with an explanation rather than silently
+  approximating the policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bgp.policy import (
+    Clause,
+    MatchASInPath,
+    MatchCommunity,
+    MatchPrefix,
+    Policy,
+)
+from repro.promises.spec import (
+    ExistentialPromise,
+    Promise,
+    ShortestFromSubset,
+    ShortestRoute,
+    WithinKHops,
+    YouGetWhatYoureGiven,
+)
+from repro.rfg.builder import (
+    existential_graph,
+    input_name,
+    minimum_graph,
+    subset_minimum_graph,
+)
+from repro.rfg.graph import RouteFlowGraph
+from repro.rfg.operators import (
+    ASAbsenceFilter,
+    BGPBestPath,
+    CommunityFilter,
+    Union,
+)
+
+
+class CompileError(Exception):
+    """Raised when a policy has no faithful route-flow-graph rendering."""
+
+
+def compile_promise(
+    promise: Promise, neighbors: Sequence[str], recipient: str = "B"
+) -> RouteFlowGraph:
+    """The canonical graph implementing ``promise`` over ``neighbors``."""
+    if isinstance(promise, ShortestRoute):
+        return minimum_graph(neighbors, recipient=recipient)
+    if isinstance(promise, ShortestFromSubset):
+        return subset_minimum_graph(neighbors, promise.subset, recipient=recipient)
+    if isinstance(promise, ExistentialPromise):
+        missing = set(promise.subset) - set(neighbors)
+        if missing:
+            raise CompileError(f"promise names unknown neighbors {sorted(missing)}")
+        if tuple(sorted(promise.subset)) == tuple(sorted(neighbors)):
+            return existential_graph(neighbors, recipient=recipient)
+        return subset_minimum_graph(neighbors, promise.subset, recipient=recipient)
+    if isinstance(promise, WithinKHops):
+        # the conservative implementation: always export the shortest,
+        # which satisfies within-k for every k
+        return minimum_graph(neighbors, recipient=recipient)
+    if isinstance(promise, YouGetWhatYoureGiven):
+        graph = RouteFlowGraph()
+        names = []
+        for index, neighbor in enumerate(neighbors, start=1):
+            graph.add_input(input_name(index), party=neighbor)
+            names.append(input_name(index))
+        graph.add_output("ro", party=recipient)
+        graph.add_operator("best", BGPBestPath(), inputs=names, output="ro")
+        graph.validate()
+        return graph
+    raise CompileError(f"no compilation rule for {type(promise).__name__}")
+
+
+def compile_policy(
+    policy: Policy, neighbors: Sequence[str], recipient: str = "B"
+) -> RouteFlowGraph:
+    """Compile the *filtering* content of a route map into a graph.
+
+    The result is: union of all neighbor inputs → one filter operator per
+    compilable deny clause → best-path selection → output.  Permit-all
+    clauses and the default disposition need no operator.
+    """
+    if not neighbors:
+        raise CompileError("need at least one neighbor")
+    if not policy.default_permit:
+        raise CompileError(
+            "default-deny policies are not compilable: 'deny the rest' "
+            "would require a positive filter over the union of all permit "
+            "clauses, which the current operator set cannot express "
+            "faithfully (paper Section 4, 'More operators')"
+        )
+    graph = RouteFlowGraph()
+    names = []
+    for index, neighbor in enumerate(neighbors, start=1):
+        graph.add_input(input_name(index), party=neighbor)
+        names.append(input_name(index))
+    graph.add_internal("all")
+    graph.add_operator("union", Union(), inputs=names, output="all")
+
+    current = "all"
+    for index, clause in enumerate(policy.clauses):
+        if clause.permit and not clause.matches and not clause.actions:
+            break  # permit-all: every later clause is unreachable
+        operator = _compile_clause(clause)
+        if operator is None:
+            continue
+        var = f"filtered{index}"
+        graph.add_internal(var)
+        graph.add_operator(f"clause{index}", operator, inputs=[current], output=var)
+        current = var
+
+    graph.add_output("ro", party=recipient)
+    graph.add_operator("best", BGPBestPath(), inputs=[current], output="ro")
+    graph.validate()
+    return graph
+
+
+def _compile_clause(clause: Clause):
+    """One route-map clause → one filter operator (or None for no-ops)."""
+    if clause.permit:
+        if clause.actions:
+            raise CompileError(
+                f"clause {clause.name or clause.describe()!r} rewrites "
+                "attributes; attribute-rewriting has no filter-operator "
+                "equivalent (paper Section 4, 'More operators')"
+            )
+        if clause.matches:
+            raise CompileError(
+                "a guarded permit clause is an early exit past later deny "
+                "clauses; a filter chain cannot express first-match-wins "
+                "semantics faithfully"
+            )
+        return None  # pure permit-all: routes pass through unchanged
+    if len(clause.matches) != 1:
+        raise CompileError(
+            "deny clauses with conjunctive matches are not yet compilable"
+        )
+    match = clause.matches[0]
+    if isinstance(match, MatchCommunity):
+        return CommunityFilter(match.community, require=False)
+    if isinstance(match, MatchASInPath):
+        return ASAbsenceFilter(match.asn)
+    raise CompileError(
+        f"no filter operator for match type {type(match).__name__}"
+    )
+
+
+def scope_to_prefix(graph: RouteFlowGraph, prefix, position: str = "all"):
+    """Narrow an existing compiled graph to one destination prefix by
+    inserting a :class:`PrefixFilter` after the named variable.
+
+    Returns a *new* graph; the input graph is not modified.  Used when a
+    promise negotiated per prefix is implemented by a shared policy
+    graph.
+    """
+    from repro.rfg.operators import PrefixFilter
+
+    rebuilt = RouteFlowGraph()
+    for vertex in graph.variables():
+        if vertex.role == "input":
+            rebuilt.add_input(vertex.name, party=vertex.party)
+        elif vertex.role == "output":
+            rebuilt.add_output(vertex.name, party=vertex.party)
+        else:
+            rebuilt.add_internal(vertex.name)
+    if not graph.is_variable(position):
+        raise CompileError(f"no variable {position!r} to scope at")
+    scoped_var = f"{position}__scoped"
+    rebuilt.add_internal(scoped_var)
+    rebuilt.add_operator(
+        f"scope-{position}", PrefixFilter(prefix), inputs=[position],
+        output=scoped_var,
+    )
+    for op in graph.operators():
+        inputs = [scoped_var if name == position else name for name in op.inputs]
+        rebuilt.add_operator(op.name, op.operator, inputs=inputs,
+                             output=op.output)
+    rebuilt.validate()
+    return rebuilt

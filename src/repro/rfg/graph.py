@@ -1,0 +1,252 @@
+"""Route-flow graphs: the paper's model of routing policy (Section 2.1).
+
+A route-flow graph (RFG) is a bipartite DAG of *variable* vertices and
+*operator* vertices.  "An edge (o, v) from an operator o to a variable v
+indicates that v is computed by o; an edge (v, o) indicates that v is an
+input to o" (Section 3.5).  Input variables correspond to incoming route
+announcements; output variables to exported routes.
+
+The graph both *executes* (the honest evaluation an AS performs) and
+*describes itself* (the structural records PVR commits to, one per vertex:
+predecessors, successors, payload — see :mod:`repro.pvr.vertex_info`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.rfg.operators import Operator, Value
+
+
+class GraphError(Exception):
+    """Raised on malformed graph construction or evaluation."""
+
+
+@dataclass(frozen=True)
+class VariableVertex:
+    """A variable: holds a route (or route set) during evaluation.
+
+    ``role`` is one of ``input`` (set by the environment: a route received
+    from the named neighbor), ``internal``, or ``output`` (exported to the
+    named neighbor).  ``party`` names the neighbor for input/output
+    variables.
+    """
+
+    name: str
+    role: str = "internal"
+    party: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.role not in ("input", "internal", "output"):
+            raise GraphError(f"invalid variable role {self.role!r}")
+        if self.role in ("input", "output") and not self.party:
+            raise GraphError(f"{self.role} variable {self.name!r} needs a party")
+
+
+@dataclass(frozen=True)
+class OperatorVertex:
+    """An operator vertex: a rule applied to its input variables in order."""
+
+    name: str
+    operator: Operator
+    inputs: Tuple[str, ...]
+    output: str
+
+
+class RouteFlowGraph:
+    """A bipartite DAG of variables and operators.
+
+    Construction is incremental (:meth:`add_input`, :meth:`add_operator`,
+    …); :meth:`validate` checks well-formedness; :meth:`evaluate` runs the
+    graph on an assignment of input variables.
+    """
+
+    def __init__(self) -> None:
+        self._variables: Dict[str, VariableVertex] = {}
+        self._operators: Dict[str, OperatorVertex] = {}
+        self._producer: Dict[str, str] = {}  # variable -> operator computing it
+
+    # -- construction ------------------------------------------------------
+
+    def add_input(self, name: str, party: str) -> VariableVertex:
+        return self._add_variable(VariableVertex(name=name, role="input", party=party))
+
+    def add_internal(self, name: str) -> VariableVertex:
+        return self._add_variable(VariableVertex(name=name, role="internal"))
+
+    def add_output(self, name: str, party: str) -> VariableVertex:
+        return self._add_variable(VariableVertex(name=name, role="output", party=party))
+
+    def _add_variable(self, vertex: VariableVertex) -> VariableVertex:
+        self._check_fresh(vertex.name)
+        self._variables[vertex.name] = vertex
+        return vertex
+
+    def add_operator(
+        self,
+        name: str,
+        operator: Operator,
+        inputs: Sequence[str],
+        output: str,
+    ) -> OperatorVertex:
+        """Wire ``operator`` to compute variable ``output`` from ``inputs``."""
+        self._check_fresh(name)
+        for var in list(inputs) + [output]:
+            if var not in self._variables:
+                raise GraphError(f"operator {name!r} references unknown variable {var!r}")
+        if self._variables[output].role == "input":
+            raise GraphError(f"operator {name!r} writes input variable {output!r}")
+        if output in self._producer:
+            raise GraphError(f"variable {output!r} already has a producer")
+        vertex = OperatorVertex(
+            name=name, operator=operator, inputs=tuple(inputs), output=output
+        )
+        self._operators[name] = vertex
+        self._producer[output] = name
+        return vertex
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._variables or name in self._operators:
+            raise GraphError(f"duplicate vertex name {name!r}")
+
+    # -- structure -----------------------------------------------------------
+
+    def variables(self) -> Tuple[VariableVertex, ...]:
+        return tuple(self._variables[n] for n in sorted(self._variables))
+
+    def operators(self) -> Tuple[OperatorVertex, ...]:
+        return tuple(self._operators[n] for n in sorted(self._operators))
+
+    def variable(self, name: str) -> VariableVertex:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise GraphError(f"unknown variable {name!r}") from None
+
+    def operator(self, name: str) -> OperatorVertex:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise GraphError(f"unknown operator {name!r}") from None
+
+    def is_variable(self, name: str) -> bool:
+        return name in self._variables
+
+    def is_operator(self, name: str) -> bool:
+        return name in self._operators
+
+    def vertex_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(list(self._variables) + list(self._operators)))
+
+    def inputs(self) -> Tuple[VariableVertex, ...]:
+        return tuple(v for v in self.variables() if v.role == "input")
+
+    def outputs(self) -> Tuple[VariableVertex, ...]:
+        return tuple(v for v in self.variables() if v.role == "output")
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        """Vertices with an edge into ``name``."""
+        if name in self._operators:
+            return self._operators[name].inputs
+        producer = self._producer.get(name)
+        return (producer,) if producer else ()
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        """Vertices ``name`` has an edge to."""
+        if name in self._operators:
+            return (self._operators[name].output,)
+        consumers = tuple(
+            sorted(
+                op.name
+                for op in self._operators.values()
+                if name in op.inputs
+            )
+        )
+        return consumers
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the graph is a well-formed DAG with producible outputs."""
+        for vertex in self.variables():
+            if vertex.role in ("internal", "output") and vertex.name not in self._producer:
+                raise GraphError(f"variable {vertex.name!r} has no producer")
+        self._topological_order()  # raises on cycles
+
+    def _topological_order(self) -> List[str]:
+        """Topological order over operator vertices."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 unseen, 1 visiting, 2 done
+
+        def visit(op_name: str) -> None:
+            status = state.get(op_name, 0)
+            if status == 2:
+                return
+            if status == 1:
+                raise GraphError(f"cycle through operator {op_name!r}")
+            state[op_name] = 1
+            for var in self._operators[op_name].inputs:
+                producer = self._producer.get(var)
+                if producer is not None:
+                    visit(producer)
+            state[op_name] = 2
+            order.append(op_name)
+
+        for op_name in sorted(self._operators):
+            visit(op_name)
+        return order
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, Value]) -> Dict[str, Value]:
+        """Run the graph on input values; returns every variable's value.
+
+        ``assignment`` maps input-variable names to route values; missing
+        inputs default to None ("that neighbor announced nothing").
+        Unknown names in the assignment are rejected — a typo here would
+        otherwise silently verify the wrong thing.
+        """
+        self.validate()
+        values: Dict[str, Value] = {}
+        input_names = {v.name for v in self.inputs()}
+        for name in assignment:
+            if name not in input_names:
+                raise GraphError(f"assignment names non-input variable {name!r}")
+        for name in input_names:
+            values[name] = assignment.get(name)
+        for op_name in self._topological_order():
+            op = self._operators[op_name]
+            args = [values[var] for var in op.inputs]
+            values[op.output] = op.operator.evaluate(args)
+        return values
+
+    def evaluate_output(self, assignment: Mapping[str, Value], output: str) -> Value:
+        return self.evaluate(assignment)[output]
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz dot syntax (variables as ellipses,
+        operators as boxes) for documentation and debugging."""
+        lines = ["digraph rfg {", "  rankdir=LR;"]
+        for vertex in self.variables():
+            style = {
+                "input": 'shape=ellipse, style=filled, fillcolor="#dfefff"',
+                "internal": "shape=ellipse",
+                "output": 'shape=ellipse, style=filled, fillcolor="#e8ffe8"',
+            }[vertex.role]
+            label = vertex.name
+            if vertex.party:
+                label += f"\\n({vertex.party})"
+            lines.append(f'  "{vertex.name}" [{style}, label="{label}"];')
+        for op in self.operators():
+            lines.append(
+                f'  "{op.name}" [shape=box, label="{op.name}\\n'
+                f'{op.operator.type_tag}"];'
+            )
+            for source in op.inputs:
+                lines.append(f'  "{source}" -> "{op.name}";')
+            lines.append(f'  "{op.name}" -> "{op.output}";')
+        lines.append("}")
+        return "\n".join(lines)

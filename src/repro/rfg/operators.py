@@ -1,0 +1,320 @@
+"""Route-flow-graph operators (paper Section 2.1).
+
+"A rule is an operation that takes some set of input routes and emits a
+set of output routes (which may be a single route, or no route at all)."
+Operators are *pure*: they map input values to an output value and carry a
+machine-readable type tag, so that (a) the PVR layer can commit to the
+operator type independently of its inputs (Section 3.7), and (b) the
+static checker can reason about what a graph computes without running it.
+
+Values flowing along edges are either a single :class:`Route` (or None) or
+a tuple of routes (a route *set*).  ``normalize_routes`` coerces both
+shapes into a tuple, which is what lets one operator feed another.
+
+The two operators the paper builds protocols for — ``Existential``
+(Section 3.2) and ``Min`` (Section 3.3) — are here, plus the operators
+needed for the generalizations it sketches: filters over neighbors and
+communities, union, the shorter-of combinator of Figure 2, the full BGP
+pipeline as one black-box rule, and hierarchical composites (the
+"structural privacy" challenge of Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.bgp.decision import decide, rank_key
+from repro.bgp.route import Route
+
+Value = object  # Route | None | tuple[Route, ...]
+
+
+def normalize_routes(value: Value) -> Tuple[Route, ...]:
+    """Coerce an edge value into a tuple of routes."""
+    if value is None:
+        return ()
+    if isinstance(value, Route):
+        return (value,)
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            if not isinstance(item, Route):
+                raise TypeError(f"route set contains {type(item).__name__}")
+        return tuple(value)
+    raise TypeError(f"not a route value: {type(value).__name__}")
+
+
+class Operator:
+    """Base class: a named, typed rule.
+
+    ``type_tag`` identifies *which function* the operator computes — it is
+    the operator-vertex payload PVR commits to.  ``params()`` returns the
+    tag's parameters (e.g. the subset of neighbors a filter keeps), which
+    are part of the committed payload too: a network must not be able to
+    claim after the fact that its filter had a different subset.
+    """
+
+    type_tag: str = "abstract"
+
+    def params(self) -> tuple:
+        return ()
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        params = self.params()
+        inner = ", ".join(repr(p) for p in params)
+        return f"{self.type_tag}({inner})"
+
+    def payload(self) -> tuple:
+        """The committable identity: (type tag, parameters)."""
+        return (self.type_tag, self.params())
+
+
+class Min(Operator):
+    """Select the route with minimal AS-path length (Section 3.3).
+
+    Ties are broken deterministically by the full BGP rank key so that the
+    operator is a function; the PVR minimum protocol only ever reasons
+    about the *length* of the winner, so any tie-break satisfies the
+    promise.
+    """
+
+    type_tag = "min-path-length"
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        candidates = [r for value in inputs for r in normalize_routes(value)]
+        if not candidates:
+            return None
+        best_len = min(r.path_length for r in candidates)
+        shortest = [r for r in candidates if r.path_length == best_len]
+        return min(shortest, key=rank_key)
+
+
+class Existential(Operator):
+    """Emit a route whenever at least one input provides one (Section 3.2).
+
+    Deterministically picks the rank-best of the available routes; the
+    existential *promise* only constrains whether a route is emitted, not
+    which.
+    """
+
+    type_tag = "existential"
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        candidates = [r for value in inputs for r in normalize_routes(value)]
+        if not candidates:
+            return None
+        return min(candidates, key=rank_key)
+
+
+class NeighborFilter(Operator):
+    """Keep only routes learned from a fixed subset of neighbors.
+
+    This is how "the shortest route out of those received from a specific
+    subset of neighbors" (promise 2) is expressed: a filter feeding a Min.
+    """
+
+    type_tag = "neighbor-filter"
+
+    def __init__(self, neighbors: Sequence[str]) -> None:
+        self.neighbors = tuple(sorted(neighbors))
+
+    def params(self) -> tuple:
+        return (self.neighbors,)
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        kept = [
+            r
+            for value in inputs
+            for r in normalize_routes(value)
+            if r.neighbor in self.neighbors
+        ]
+        return tuple(kept)
+
+
+class CommunityFilter(Operator):
+    """Keep only routes carrying (or lacking) a community tag.
+
+    Covers the Section 4 challenge "operators that evaluate communities" —
+    e.g. partial transit expressed as 'prefer routes tagged eu-peer'.
+    """
+
+    type_tag = "community-filter"
+
+    def __init__(self, community: str, require: bool = True) -> None:
+        self.community = community
+        self.require = require
+
+    def params(self) -> tuple:
+        return (self.community, self.require)
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        kept = [
+            r
+            for value in inputs
+            for r in normalize_routes(value)
+            if r.has_community(self.community) == self.require
+        ]
+        return tuple(kept)
+
+
+class PrefixFilter(Operator):
+    """Keep only routes for destinations covered by a prefix.
+
+    The per-prefix scoping the paper's promises assume ("shortest-path
+    routing to a given IP prefix", Section 1) expressed as a rule: a
+    promise about 10.0.0.0/8 must not range over unrelated destinations.
+    """
+
+    type_tag = "prefix-filter"
+
+    def __init__(self, prefix, exact: bool = False) -> None:
+        self.prefix = prefix
+        self.exact = exact
+
+    def params(self) -> tuple:
+        return (str(self.prefix), self.exact)
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        kept = []
+        for value in inputs:
+            for r in normalize_routes(value):
+                if self.exact:
+                    if r.prefix == self.prefix:
+                        kept.append(r)
+                elif self.prefix.contains(r.prefix):
+                    kept.append(r)
+        return tuple(kept)
+
+
+class ASAbsenceFilter(Operator):
+    """Drop routes whose AS path traverses a given AS.
+
+    Covers "check for the presence of particular ASes on the path"
+    (Section 4) — the avoid-this-network policy.
+    """
+
+    type_tag = "as-absence-filter"
+
+    def __init__(self, asn: str) -> None:
+        self.asn = asn
+
+    def params(self) -> tuple:
+        return (self.asn,)
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        kept = [
+            r
+            for value in inputs
+            for r in normalize_routes(value)
+            if not r.as_path.contains(self.asn)
+        ]
+        return tuple(kept)
+
+
+class Union(Operator):
+    """Merge route sets (deduplicating identical routes, order-stable)."""
+
+    type_tag = "union"
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        seen = []
+        for value in inputs:
+            for route in normalize_routes(value):
+                if route not in seen:
+                    seen.append(route)
+        return tuple(seen)
+
+
+class ShorterOf(Operator):
+    """Figure 2's combinator: emit the first input unless the second is
+    shorter — i.e. "some route via N2..Nk unless N1 provides a shorter
+    route" wires (min(r2..rk), r1) into this operator.
+
+    Input order is (default, challenger).  The challenger wins only when
+    strictly shorter.
+    """
+
+    type_tag = "shorter-of"
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        if len(inputs) != 2:
+            raise ValueError("ShorterOf takes exactly (default, challenger)")
+        default = normalize_routes(inputs[0])
+        challenger = normalize_routes(inputs[1])
+        best_default = min(default, key=rank_key) if default else None
+        best_challenger = min(challenger, key=rank_key) if challenger else None
+        if best_default is None:
+            return best_challenger
+        if best_challenger is None:
+            return best_default
+        if best_challenger.path_length < best_default.path_length:
+            return best_challenger
+        return best_default
+
+
+class BGPBestPath(Operator):
+    """The entire standard decision process as one black-box rule.
+
+    "The entire BGP decision process could be modeled by a single
+    black-box rule" (Section 2.1) — this is that rule, used when a network
+    promises nothing finer-grained.
+    """
+
+    type_tag = "bgp-best-path"
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        candidates = [r for value in inputs for r in normalize_routes(value)]
+        return decide(candidates)
+
+
+class Composite(Operator):
+    """A hierarchical operator hiding an inner route-flow graph.
+
+    Addresses the paper's *structural privacy* challenge (Section 4): the
+    composite's type tag reveals only "composite"; authorized neighbors
+    may be shown the inner graph through the access-control layer, while
+    others see a single opaque vertex.
+    """
+
+    type_tag = "composite"
+
+    def __init__(self, inner_graph, input_names: Sequence[str], output_name: str,
+                 label: str = "") -> None:
+        self.inner = inner_graph
+        self.input_names = tuple(input_names)
+        self.output_name = output_name
+        self.label = label
+
+    def params(self) -> tuple:
+        # Only the label is public; the inner structure is not part of the
+        # committed operator identity visible to unauthorized parties.
+        return (self.label,)
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        if len(inputs) != len(self.input_names):
+            raise ValueError(
+                f"composite expects {len(self.input_names)} inputs, got {len(inputs)}"
+            )
+        assignment = dict(zip(self.input_names, inputs))
+        values = self.inner.evaluate(assignment)
+        return values[self.output_name]
+
+
+class Const(Operator):
+    """A constant route value (locally-originated routes enter this way)."""
+
+    type_tag = "const"
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def params(self) -> tuple:
+        routes = normalize_routes(self.value)
+        return (tuple(r.canonical() for r in routes),)
+
+    def evaluate(self, inputs: Sequence[Value]) -> Value:
+        if inputs:
+            raise ValueError("Const takes no inputs")
+        return self.value

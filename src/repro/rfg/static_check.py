@@ -1,0 +1,229 @@
+"""Static verification of route-flow graphs against promises.
+
+Two questions from the paper are answered here, both "based purely on
+static inspection of the route-flow graph, tracing connections from input
+variables to output variables" (Section 2.2):
+
+1. **Does the visible graph implement the promise?**  (Section 4,
+   "Minimum access", requirement (a).)  :func:`implements` runs a small
+   abstract interpretation over the graph: each vertex is assigned a
+   *descriptor* summarizing what its value provably is as a function of
+   the input parties, and the output descriptor is checked against the
+   promise's requirement.
+
+2. **Are the access privileges sufficient to verify it?**  (Requirement
+   (b).)  :func:`collectively_verifiable` checks that, under a given
+   access-control policy, the participating neighbors can jointly see
+   every operator on the input→output paths, each input's own party can
+   see that input, and the recipient can see the output.
+
+The descriptor algebra is sound but deliberately incomplete: an operator
+the analysis does not understand yields an ``opaque`` descriptor, and
+opaque graphs verify only the vacuous promise — mirroring the paper's
+observation that an invisible derivation makes promises unverifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.promises.spec import (
+    ExistentialPromise,
+    NoLongerThanOthers,
+    Promise,
+    ShortestFromSubset,
+    ShortestRoute,
+    WithinKHops,
+    YouGetWhatYoureGiven,
+)
+from repro.rfg.graph import RouteFlowGraph
+from repro.rfg.operators import (
+    ASAbsenceFilter,
+    BGPBestPath,
+    CommunityFilter,
+    Existential,
+    Min,
+    NeighborFilter,
+    PrefixFilter,
+    ShorterOf,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """What a vertex's value provably is.
+
+    ``kind`` is one of:
+
+    * ``routes`` — a set of routes announced by parties in ``parties``
+      (possibly narrowed by filters; ``narrowed`` records whether some
+      filter may have removed routes, which breaks minimality claims);
+    * ``minsel`` — a single route of globally minimal AS-path length over
+      the announcements of ``parties`` (None iff none announced);
+    * ``anysel`` — a single route from ``parties``' announcements, present
+      iff at least one exists, with no length guarantee;
+    * ``opaque`` — derived from ``parties`` somehow; nothing guaranteed.
+    """
+
+    kind: str
+    parties: FrozenSet[str]
+    narrowed: bool = False
+
+
+def _routes(parties, narrowed=False) -> Descriptor:
+    return Descriptor(kind="routes", parties=frozenset(parties), narrowed=narrowed)
+
+
+def describe_vertices(graph: RouteFlowGraph) -> Dict[str, Descriptor]:
+    """Assign a descriptor to every variable vertex."""
+    graph.validate()
+    descriptors: Dict[str, Descriptor] = {}
+    for vertex in graph.inputs():
+        descriptors[vertex.name] = _routes({vertex.party})
+    for op_name in graph._topological_order():
+        op = graph.operator(op_name)
+        args = [descriptors[name] for name in op.inputs]
+        descriptors[op.output] = _apply(op.operator, args)
+    return descriptors
+
+
+def _apply(operator, args: List[Descriptor]) -> Descriptor:
+    parties = frozenset().union(*(a.parties for a in args)) if args else frozenset()
+    narrowed = any(a.narrowed for a in args)
+
+    if isinstance(operator, Union):
+        if all(a.kind in ("routes", "minsel", "anysel") for a in args):
+            # selections re-enter as route sets; a selection is a narrowing
+            selection = any(a.kind in ("minsel", "anysel") for a in args)
+            return _routes(parties, narrowed=narrowed or selection)
+        return Descriptor(kind="opaque", parties=parties)
+
+    if isinstance(operator, NeighborFilter):
+        if all(a.kind == "routes" for a in args):
+            kept = parties & frozenset(operator.neighbors)
+            # keeping exactly the routes of `kept` parties is not a
+            # narrowing *within* those parties
+            return _routes(kept, narrowed=narrowed)
+        return Descriptor(kind="opaque", parties=parties)
+
+    if isinstance(operator, (CommunityFilter, ASAbsenceFilter, PrefixFilter)):
+        if all(a.kind == "routes" for a in args):
+            return _routes(parties, narrowed=True)
+        return Descriptor(kind="opaque", parties=parties)
+
+    if isinstance(operator, Min):
+        if all(a.kind == "routes" for a in args) and not narrowed:
+            return Descriptor(kind="minsel", parties=parties)
+        if all(a.kind in ("routes", "minsel") for a in args) and not narrowed:
+            # min over (route sets | previous minima) is still the minimum
+            # over the union of their parties
+            return Descriptor(kind="minsel", parties=parties)
+        return Descriptor(kind="anysel", parties=parties)
+
+    if isinstance(operator, Existential):
+        if all(a.kind in ("routes", "minsel", "anysel") for a in args) and not narrowed:
+            return Descriptor(kind="anysel", parties=parties)
+        return Descriptor(kind="opaque", parties=parties)
+
+    if isinstance(operator, ShorterOf):
+        if len(args) == 2 and not narrowed:
+            a, b = args
+            # shorter-of two minima (or a minimum and a raw announcement)
+            # is the minimum over the combined parties
+            if a.kind in ("minsel", "routes") and b.kind in ("minsel", "routes"):
+                return Descriptor(kind="minsel", parties=parties)
+        return Descriptor(kind="anysel", parties=parties)
+
+    if isinstance(operator, BGPBestPath):
+        if all(a.kind in ("routes", "minsel", "anysel") for a in args) and not narrowed:
+            return Descriptor(kind="anysel", parties=parties)
+        return Descriptor(kind="opaque", parties=parties)
+
+    return Descriptor(kind="opaque", parties=parties)
+
+
+def implements(
+    graph: RouteFlowGraph, promise: Promise, output: str = "ro"
+) -> bool:
+    """Does a *correct* evaluation of ``graph`` always keep ``promise``?
+
+    Sound: a True answer is a guarantee.  Incomplete: a False answer may
+    just mean the analysis could not prove it.
+    """
+    descriptors = describe_vertices(graph)
+    if output not in descriptors:
+        return False
+    desc = descriptors[output]
+    all_parties = frozenset(v.party for v in graph.inputs())
+
+    if isinstance(promise, YouGetWhatYoureGiven):
+        return True
+    if isinstance(promise, ShortestRoute):
+        return desc.kind == "minsel" and desc.parties == all_parties
+    if isinstance(promise, ShortestFromSubset):
+        return desc.kind == "minsel" and desc.parties == frozenset(promise.subset)
+    if isinstance(promise, WithinKHops):
+        # the minimum is trivially within k of the best for every k >= 0
+        return desc.kind == "minsel" and desc.parties == all_parties
+    if isinstance(promise, ExistentialPromise):
+        return (
+            desc.kind in ("minsel", "anysel")
+            and desc.parties == frozenset(promise.subset)
+        )
+    if isinstance(promise, NoLongerThanOthers):
+        outputs = graph.outputs()
+        descs = [descriptors[v.name] for v in outputs]
+        return all(d.kind == "minsel" for d in descs) and len(
+            {d.parties for d in descs}
+        ) == 1
+    return False
+
+
+def reachable_vertices(graph: RouteFlowGraph, output: str) -> Tuple[str, ...]:
+    """All vertices on some path from an input to ``output`` (inclusive)."""
+    seen = set()
+    frontier = [output]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(graph.predecessors(name))
+    return tuple(sorted(seen))
+
+
+def collectively_verifiable(
+    graph: RouteFlowGraph,
+    alpha,
+    output: str = "ro",
+) -> Tuple[bool, Tuple[str, ...]]:
+    """Section 4 "Minimum access", requirement (b).
+
+    ``alpha(network, vertex_name) -> bool`` is the access-control policy.
+    The neighbors can collectively verify a promise about ``output`` when:
+
+    * every *operator* on an input→output path is visible to at least one
+      participating network,
+    * every input variable is visible to its own party, and
+    * the output variable is visible to its recipient.
+
+    Returns ``(ok, blocked_vertices)`` where the second element lists the
+    vertices failing their visibility requirement.
+    """
+    participants = sorted(
+        {v.party for v in graph.inputs()} | {v.party for v in graph.outputs()}
+    )
+    blocked: List[str] = []
+    for name in reachable_vertices(graph, output):
+        if graph.is_operator(name):
+            if not any(alpha(network, name) for network in participants):
+                blocked.append(name)
+        else:
+            vertex = graph.variable(name)
+            if vertex.role == "input" and not alpha(vertex.party, name):
+                blocked.append(name)
+            if vertex.role == "output" and not alpha(vertex.party, name):
+                blocked.append(name)
+    return (not blocked, tuple(sorted(blocked)))

@@ -1,0 +1,37 @@
+"""Strawman baselines of Section 3.1: generic SMC and ZKP.
+
+These exist so the STRAW benchmark can *measure* the paper's claim that
+PVR is orders of magnitude cheaper than generic cryptography, rather than
+restate it: an executable boolean-circuit substrate, a real GMW execution
+with counted gates/rounds/messages, calibrated wall-clock models tied to
+the paper's published FairplayMP data point, and a small executable
+cut-and-choose proof for the hash-commitment constant factors.
+"""
+
+from repro.strawman.circuits import (
+    Circuit,
+    bits_to_int,
+    minimum_length_circuit,
+    word_to_inputs,
+)
+from repro.strawman.smc import GMWProtocol, SMCCostModel, SMCResult
+from repro.strawman.zkp import (
+    BitProof,
+    ZKPCostModel,
+    cut_and_choose_commitment_proof,
+    verify_bit_proof,
+)
+
+__all__ = [
+    "Circuit",
+    "bits_to_int",
+    "minimum_length_circuit",
+    "word_to_inputs",
+    "GMWProtocol",
+    "SMCCostModel",
+    "SMCResult",
+    "BitProof",
+    "ZKPCostModel",
+    "cut_and_choose_commitment_proof",
+    "verify_bit_proof",
+]

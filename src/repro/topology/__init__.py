@@ -1,0 +1,35 @@
+"""AS-level topology substrate.
+
+Reads real CAIDA AS-relationship snapshots (:mod:`repro.topology.caida`),
+generates synthetic Internet-like graphs with the same annotation model
+(:mod:`repro.topology.generate`), and instantiates either as a running
+Gao-Rexford BGP network (:mod:`repro.topology.internet`).
+"""
+
+from repro.topology.caida import (
+    ASGraph,
+    CaidaFormatError,
+    P2C,
+    P2P,
+    parse,
+    parse_file,
+    serialize,
+    write_file,
+)
+from repro.topology.generate import TopologyParams, generate, star_topology
+from repro.topology.internet import build_bgp_network
+
+__all__ = [
+    "ASGraph",
+    "CaidaFormatError",
+    "P2C",
+    "P2P",
+    "parse",
+    "parse_file",
+    "serialize",
+    "write_file",
+    "TopologyParams",
+    "generate",
+    "star_topology",
+    "build_bgp_network",
+]

@@ -1,0 +1,180 @@
+"""CAIDA AS-relationship file format (serial-1).
+
+The paper's context — inferring AS business relationships "on the basis of
+publicly available data [5, 7]" — refers to the CAIDA AS-relationship
+datasets.  This module reads and writes that format so experiments can run
+on real snapshots when available and on synthetic ones (written in the
+same format by :mod:`repro.topology.generate`) offline:
+
+::
+
+    # comment lines start with '#'
+    <provider-as>|<customer-as>|-1
+    <peer-as>|<peer-as>|0
+
+AS numbers are kept as strings throughout (the simulator's AS names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.bgp.relationships import Relationship
+
+P2C = -1
+P2P = 0
+
+
+class CaidaFormatError(ValueError):
+    """Raised on malformed AS-relationship lines."""
+
+
+@dataclass
+class ASGraph:
+    """An AS-level topology with annotated business relationships.
+
+    ``edges`` maps a frozenset pair of AS names to the relationship code
+    (:data:`P2C` with an orientation stored separately, or :data:`P2P`).
+    Provider orientation for p2c edges is kept in ``providers``: the pair
+    maps to the provider's name.
+    """
+
+    edges: Dict[frozenset, int] = field(default_factory=dict)
+    providers: Dict[frozenset, str] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    def add_p2c(self, provider: str, customer: str) -> None:
+        if provider == customer:
+            raise CaidaFormatError("self-loop relationship")
+        key = frozenset((provider, customer))
+        if key in self.edges:
+            raise CaidaFormatError(f"duplicate edge {provider}|{customer}")
+        self.edges[key] = P2C
+        self.providers[key] = provider
+
+    def add_p2p(self, a: str, b: str) -> None:
+        if a == b:
+            raise CaidaFormatError("self-loop relationship")
+        key = frozenset((a, b))
+        if key in self.edges:
+            raise CaidaFormatError(f"duplicate edge {a}|{b}")
+        self.edges[key] = P2P
+
+    # -- queries -------------------------------------------------------------
+
+    def ases(self) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for key in self.edges:
+            names.update(key)
+        return tuple(sorted(names))
+
+    def relationship(self, of: str, to: str) -> Relationship:
+        """The relationship of ``to`` as seen from ``of``."""
+        key = frozenset((of, to))
+        if key not in self.edges:
+            raise KeyError(f"no edge {of}-{to}")
+        if self.edges[key] == P2P:
+            return Relationship.PEER
+        if self.providers[key] == to:
+            return Relationship.PROVIDER
+        return Relationship.CUSTOMER
+
+    def neighbors(self, asn: str) -> Tuple[str, ...]:
+        out = []
+        for key in self.edges:
+            if asn in key:
+                (other,) = key - {asn}
+                out.append(other)
+        return tuple(sorted(out))
+
+    def customers(self, asn: str) -> Tuple[str, ...]:
+        return tuple(
+            n for n in self.neighbors(asn)
+            if self.relationship(asn, n) is Relationship.CUSTOMER
+        )
+
+    def providers_of(self, asn: str) -> Tuple[str, ...]:
+        return tuple(
+            n for n in self.neighbors(asn)
+            if self.relationship(asn, n) is Relationship.PROVIDER
+        )
+
+    def peers_of(self, asn: str) -> Tuple[str, ...]:
+        return tuple(
+            n for n in self.neighbors(asn)
+            if self.relationship(asn, n) is Relationship.PEER
+        )
+
+    def degree(self, asn: str) -> int:
+        return len(self.neighbors(asn))
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def edge_list(self) -> List[Tuple[str, str, int]]:
+        """Edges as (a, b, code) with p2c oriented provider-first."""
+        rows = []
+        for key, code in self.edges.items():
+            if code == P2C:
+                provider = self.providers[key]
+                (customer,) = key - {provider}
+                rows.append((provider, customer, P2C))
+            else:
+                a, b = sorted(key)
+                rows.append((a, b, P2P))
+        rows.sort()
+        return rows
+
+    def tier1_core(self) -> Tuple[str, ...]:
+        """ASes with no providers: the (approximate) tier-1 clique."""
+        return tuple(
+            asn for asn in self.ases() if not self.providers_of(asn)
+        )
+
+
+def parse(lines: Iterable[str]) -> ASGraph:
+    """Parse serial-1 AS-relationship lines into an :class:`ASGraph`."""
+    graph = ASGraph()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) < 3:
+            raise CaidaFormatError(f"line {lineno}: expected 3+ fields: {line!r}")
+        a, b, code_text = parts[0], parts[1], parts[2]
+        if not a or not b:
+            raise CaidaFormatError(f"line {lineno}: empty AS name")
+        try:
+            code = int(code_text)
+        except ValueError:
+            raise CaidaFormatError(
+                f"line {lineno}: bad relationship code {code_text!r}"
+            ) from None
+        if code == P2C:
+            graph.add_p2c(provider=a, customer=b)
+        elif code == P2P:
+            graph.add_p2p(a, b)
+        else:
+            raise CaidaFormatError(f"line {lineno}: unknown code {code}")
+    return graph
+
+
+def parse_file(path) -> ASGraph:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle)
+
+
+def serialize(graph: ASGraph) -> str:
+    """Render an :class:`ASGraph` back to serial-1 text."""
+    lines = ["# AS relationships (serial-1): <provider>|<customer>|-1, <peer>|<peer>|0"]
+    for a, b, code in graph.edge_list():
+        lines.append(f"{a}|{b}|{code}")
+    return "\n".join(lines) + "\n"
+
+
+def write_file(graph: ASGraph, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(graph))

@@ -1,0 +1,130 @@
+"""Synthetic Internet-like AS topology generation.
+
+The paper's experiments would run over real ISP topologies; those are the
+*substituted* input here (see DESIGN.md): a three-tier generative model
+that reproduces the structural properties the PVR experiments depend on —
+a small densely-peered tier-1 clique, preferential-attachment provider
+selection (yielding heavy-tailed customer-cone sizes), and sparse lateral
+peering in the middle tier.  Output is an annotated
+:class:`repro.topology.caida.ASGraph`, so synthetic and real inputs are
+interchangeable everywhere downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.caida import ASGraph
+from repro.util.rng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """Knobs for the generator.
+
+    ``tier1`` ASes form a full peering clique.  ``tier2`` ASes buy transit
+    from 1-3 providers drawn preferentially by current degree and peer
+    laterally with probability ``peering_prob`` per sampled pair.  ``stub``
+    ASes attach to 1-2 tier-2 providers.
+    """
+
+    tier1: int = 4
+    tier2: int = 12
+    stubs: int = 24
+    peering_prob: float = 0.15
+    seed: int = 0
+
+    def total(self) -> int:
+        return self.tier1 + self.tier2 + self.stubs
+
+
+def _asn(index: int) -> str:
+    return f"AS{index}"
+
+
+def generate(params: TopologyParams) -> ASGraph:
+    """Generate a connected, valley-free-annotated AS graph."""
+    if params.tier1 < 1:
+        raise ValueError("need at least one tier-1 AS")
+    if params.peering_prob < 0 or params.peering_prob > 1:
+        raise ValueError("peering_prob must be in [0, 1]")
+    rng = DeterministicRandom(params.seed).fork("topology")
+    graph = ASGraph()
+
+    tier1 = [_asn(i) for i in range(params.tier1)]
+    tier2 = [_asn(params.tier1 + i) for i in range(params.tier2)]
+    stubs = [
+        _asn(params.tier1 + params.tier2 + i) for i in range(params.stubs)
+    ]
+
+    # Tier-1 clique: full mesh of peering.
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            graph.add_p2p(a, b)
+
+    degree = {asn: max(graph.degree(asn), 1) for asn in tier1}
+
+    def pick_providers(pool, count):
+        """Preferential attachment: sample ``count`` distinct providers
+        weighted by current degree."""
+        chosen = []
+        candidates = list(pool)
+        for _ in range(min(count, len(candidates))):
+            weights = [degree.get(c, 1) for c in candidates]
+            total = sum(weights)
+            point = rng.random() * total
+            acc = 0.0
+            for candidate, weight in zip(candidates, weights):
+                acc += weight
+                if point < acc:
+                    chosen.append(candidate)
+                    candidates.remove(candidate)
+                    break
+            else:  # floating-point edge: take the last
+                chosen.append(candidates.pop())
+        return chosen
+
+    # Tier-2: 1-3 providers from tier-1, preferential by degree.
+    for asn in tier2:
+        count = rng.randint(1, min(3, len(tier1)))
+        for provider in pick_providers(tier1, count):
+            graph.add_p2c(provider=provider, customer=asn)
+            degree[provider] = degree.get(provider, 1) + 1
+        degree[asn] = graph.degree(asn)
+
+    # Lateral tier-2 peering.
+    for i, a in enumerate(tier2):
+        for b in tier2[i + 1 :]:
+            if rng.random() < params.peering_prob:
+                graph.add_p2p(a, b)
+                degree[a] = degree.get(a, 1) + 1
+                degree[b] = degree.get(b, 1) + 1
+
+    # Stubs: 1-2 providers from tier-2 (or tier-1 when there is no tier-2).
+    provider_pool = tier2 if tier2 else tier1
+    for asn in stubs:
+        count = rng.randint(1, min(2, len(provider_pool)))
+        for provider in pick_providers(provider_pool, count):
+            graph.add_p2c(provider=provider, customer=asn)
+            degree[provider] = degree.get(provider, 1) + 1
+        degree[asn] = graph.degree(asn)
+
+    return graph
+
+
+def star_topology(center: str, leaf_count: int, extra: str | None = None) -> ASGraph:
+    """The paper's Figure 1 shape: A in the middle, N1..Nk providers of
+    routes, B the verifying customer.
+
+    ``center`` is provider-of nobody; the Ni are modelled as ``center``'s
+    peers and ``extra`` (B) as its customer, matching the information-flow
+    directions in the figure.
+    """
+    if leaf_count < 1:
+        raise ValueError("need at least one leaf")
+    graph = ASGraph()
+    for i in range(1, leaf_count + 1):
+        graph.add_p2p(center, f"N{i}")
+    if extra is not None:
+        graph.add_p2c(provider=center, customer=extra)
+    return graph

@@ -1,0 +1,40 @@
+"""Build a runnable BGP network from an annotated AS graph.
+
+Bridges the topology substrate to the BGP substrate: every AS becomes a
+:class:`repro.bgp.router.BGPRouter`, every relationship edge becomes a
+peering configured with the matching Gao-Rexford import/export policies,
+and sessions are established.  The result is the "unsecured system" over
+which PVR deployments and the SCALE benchmark operate.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.network import BGPNetwork
+from repro.bgp.relationships import export_policy, import_policy
+from repro.topology.caida import ASGraph
+
+
+def build_bgp_network(
+    graph: ASGraph,
+    latency: float = 0.01,
+    establish: bool = True,
+) -> BGPNetwork:
+    """Instantiate routers and Gao-Rexford-policied sessions for ``graph``."""
+    net = BGPNetwork()
+    for asn in graph.ases():
+        net.add_as(asn)
+    for a, b, _code in graph.edge_list():
+        rel_of_b_to_a = graph.relationship(a, b)   # how a sees b
+        rel_of_a_to_b = graph.relationship(b, a)   # how b sees a
+        net.connect(
+            a,
+            b,
+            latency=latency,
+            import_policy_a=import_policy(rel_of_b_to_a),
+            export_policy_a=export_policy(rel_of_b_to_a),
+            import_policy_b=import_policy(rel_of_a_to_b),
+            export_policy_b=export_policy(rel_of_a_to_b),
+        )
+    if establish:
+        net.establish_sessions()
+    return net

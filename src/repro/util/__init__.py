@@ -1,0 +1,29 @@
+"""Shared utilities: bitstrings, canonical encoding, deterministic RNG.
+
+These helpers underpin the cryptographic substrate: the Merkle tree of
+Section 3.6 addresses leaves by *prefix-free bitstrings*, and every value
+that is hashed or signed must first be serialized *canonically* so that two
+honest parties always hash identical bytes.
+"""
+
+from repro.util.bitstrings import (
+    BitString,
+    encode_prefix_free,
+    is_prefix_free,
+)
+from repro.util.encoding import (
+    CanonicalEncodeError,
+    canonical_decode,
+    canonical_encode,
+)
+from repro.util.rng import DeterministicRandom
+
+__all__ = [
+    "BitString",
+    "encode_prefix_free",
+    "is_prefix_free",
+    "CanonicalEncodeError",
+    "canonical_decode",
+    "canonical_encode",
+    "DeterministicRandom",
+]

@@ -1,0 +1,191 @@
+"""Prefix-free bitstrings for Merkle-tree addressing (paper Section 3.6).
+
+The paper requires that every rule and variable of a route-flow graph be
+assigned a *unique, prefix-free* bitstring: no valid identifier may be a
+prefix of another, so that every identifier names a *leaf* of the Merkle
+hash tree and no inner node can collide with a valid identifier.
+
+The encoding used here follows the paper's suggestion: encode the literal
+string ``rule(x)`` / ``var(x)`` (or any other tagged name), then make the
+result self-delimiting by expanding each source byte to 8 bits and
+terminating with a fixed 9-bit end marker that cannot appear at a byte
+boundary of the payload.  Concretely we use a *byte-stuffed* scheme:
+
+* each payload byte ``b`` is emitted as the 9 bits ``1`` + ``bits(b)``;
+* the string ends with the 9 bits ``0`` + ``00000000``.
+
+Because every 9-bit group starts with a continuation flag, a decoder always
+knows whether more groups follow; therefore no valid encoding can be a
+proper prefix of another (the shorter one would have to end with the
+terminator group exactly where the longer one has a continuation group).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+_GROUP_BITS = 9
+_TERMINATOR = (0,) * _GROUP_BITS
+
+
+class BitString:
+    """An immutable sequence of bits with value semantics.
+
+    Bits are stored as a tuple of 0/1 integers.  ``BitString`` instances are
+    hashable, comparable and sliceable, and support concatenation with
+    ``+``.  They are used as Merkle-tree paths: bit 0 selects the left
+    child, bit 1 the right child.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        normalized = tuple(int(b) for b in bits)
+        for bit in normalized:
+            if bit not in (0, 1):
+                raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._bits = normalized
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BitString":
+        """Expand ``data`` into its big-endian bit representation."""
+        bits = []
+        for byte in data:
+            for shift in range(7, -1, -1):
+                bits.append((byte >> shift) & 1)
+        return cls(bits)
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "BitString":
+        """Encode ``value`` as exactly ``width`` big-endian bits."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        return cls(((value >> shift) & 1) for shift in range(width - 1, -1, -1))
+
+    @classmethod
+    def from_str(cls, text: str) -> "BitString":
+        """Parse a string of ``'0'``/``'1'`` characters."""
+        return cls(int(ch) for ch in text)
+
+    @property
+    def bits(self) -> tuple:
+        return self._bits
+
+    def to_str(self) -> str:
+        return "".join(str(b) for b in self._bits)
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes, zero-padding the final partial byte."""
+        out = bytearray()
+        acc = 0
+        count = 0
+        for bit in self._bits:
+            acc = (acc << 1) | bit
+            count += 1
+            if count == 8:
+                out.append(acc)
+                acc = 0
+                count = 0
+        if count:
+            out.append(acc << (8 - count))
+        return bytes(out)
+
+    def is_prefix_of(self, other: "BitString") -> bool:
+        """True when ``self`` is a (non-strict) prefix of ``other``."""
+        if len(self._bits) > len(other._bits):
+            return False
+        return other._bits[: len(self._bits)] == self._bits
+
+    def __add__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return BitString(self._bits + other._bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BitString(self._bits[index])
+        return self._bits[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __lt__(self, other: "BitString") -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._bits < other._bits
+
+    def __hash__(self) -> int:
+        return hash(("BitString", self._bits))
+
+    def __repr__(self) -> str:
+        return f"BitString('{self.to_str()}')"
+
+
+def encode_prefix_free(payload: bytes) -> BitString:
+    """Encode ``payload`` as a self-delimiting, prefix-free bitstring.
+
+    See the module docstring for the byte-stuffed group scheme.  Any two
+    distinct payloads produce encodings where neither is a prefix of the
+    other, which is exactly the property Section 3.6 of the paper requires
+    of rule/variable identifiers.
+    """
+    bits: list[int] = []
+    for byte in payload:
+        bits.append(1)
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    bits.extend(_TERMINATOR)
+    return BitString(bits)
+
+
+def decode_prefix_free(encoded: BitString) -> bytes:
+    """Invert :func:`encode_prefix_free`.
+
+    Raises ``ValueError`` when the bitstring is not a valid encoding.
+    """
+    bits = encoded.bits
+    if len(bits) % _GROUP_BITS != 0:
+        raise ValueError("length is not a multiple of the group size")
+    payload = bytearray()
+    groups = len(bits) // _GROUP_BITS
+    for index in range(groups):
+        group = bits[index * _GROUP_BITS : (index + 1) * _GROUP_BITS]
+        flag, rest = group[0], group[1:]
+        if flag == 1:
+            value = 0
+            for bit in rest:
+                value = (value << 1) | bit
+            payload.append(value)
+        else:
+            if any(rest):
+                raise ValueError("malformed terminator group")
+            if index != groups - 1:
+                raise ValueError("terminator before end of string")
+            return bytes(payload)
+    raise ValueError("missing terminator group")
+
+
+def is_prefix_free(strings: Sequence[BitString]) -> bool:
+    """Check that no string in ``strings`` is a proper prefix of another.
+
+    Duplicates are allowed (a string is a prefix of itself but not a
+    *proper* prefix); the Merkle-tree layer separately rejects duplicate
+    identifiers.
+    """
+    ordered = sorted(strings)
+    for left, right in zip(ordered, ordered[1:]):
+        if left != right and left.is_prefix_of(right):
+            return False
+    return True

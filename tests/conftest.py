@@ -1,0 +1,36 @@
+"""Shared fixtures: deterministic randomness and small, fast RSA keys.
+
+RSA-1024 keygen takes a noticeable fraction of a second; unit tests use
+512-bit keys (generated once per session) so the suite stays fast while
+still exercising the real code paths.  Benchmarks use 1024-bit keys to
+match the paper's Section 3.8 discussion.
+"""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.keystore import KeyStore
+from repro.util.rng import DeterministicRandom
+
+TEST_KEY_BITS = 512
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRandom(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def session_keypair():
+    return rsa.generate_keypair(TEST_KEY_BITS, DeterministicRandom(1).bytes)
+
+
+@pytest.fixture(scope="session")
+def second_keypair():
+    return rsa.generate_keypair(TEST_KEY_BITS, DeterministicRandom(2).bytes)
+
+
+@pytest.fixture(scope="session")
+def keystore():
+    """A session-wide keystore with small keys; registration is lazy."""
+    return KeyStore(seed=99, key_bits=TEST_KEY_BITS)

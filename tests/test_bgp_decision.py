@@ -1,0 +1,127 @@
+"""Tests for the BGP decision process."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.decision import (
+    decide,
+    rank_key,
+    step_as_path_length,
+    step_local_pref,
+    step_med,
+    step_neighbor_tiebreak,
+    step_origin,
+)
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import ORIGIN_EGP, ORIGIN_IGP, ORIGIN_INCOMPLETE, Route
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor="N1", path=("X",), lp=100, med=0, origin=ORIGIN_IGP):
+    return Route(
+        prefix=PFX,
+        as_path=ASPath(path),
+        neighbor=neighbor,
+        local_pref=lp,
+        med=med,
+        origin=origin,
+    )
+
+
+class TestSteps:
+    def test_local_pref_keeps_highest(self):
+        kept = step_local_pref([route(lp=100), route(neighbor="N2", lp=200)])
+        assert [r.neighbor for r in kept] == ["N2"]
+
+    def test_path_length_keeps_shortest(self):
+        kept = step_as_path_length(
+            [route(path=("X", "Y")), route(neighbor="N2", path=("X",))]
+        )
+        assert [r.neighbor for r in kept] == ["N2"]
+
+    def test_origin_prefers_igp(self):
+        kept = step_origin(
+            [route(origin=ORIGIN_INCOMPLETE), route(neighbor="N2", origin=ORIGIN_IGP),
+             route(neighbor="N3", origin=ORIGIN_EGP)]
+        )
+        assert [r.neighbor for r in kept] == ["N2"]
+
+    def test_med_keeps_lowest(self):
+        kept = step_med([route(med=10), route(neighbor="N2", med=5)])
+        assert [r.neighbor for r in kept] == ["N2"]
+
+    def test_tiebreak_unique(self):
+        kept = step_neighbor_tiebreak([route("N2"), route("N1")])
+        assert [r.neighbor for r in kept] == ["N1"]
+
+    def test_steps_handle_empty(self):
+        for step in (step_local_pref, step_as_path_length, step_origin,
+                     step_med, step_neighbor_tiebreak):
+            assert step([]) == []
+
+
+class TestDecide:
+    def test_empty_returns_none(self):
+        assert decide([]) is None
+
+    def test_single_candidate(self):
+        r = route()
+        assert decide([r]) == r
+
+    def test_local_pref_dominates_path_length(self):
+        long_but_preferred = route(neighbor="N1", path=("a", "b", "c"), lp=200)
+        short = route(neighbor="N2", path=("a",), lp=100)
+        assert decide([long_but_preferred, short]) == long_but_preferred
+
+    def test_path_length_dominates_origin(self):
+        short_incomplete = route(neighbor="N1", path=("a",), origin=ORIGIN_INCOMPLETE)
+        long_igp = route(neighbor="N2", path=("a", "b"), origin=ORIGIN_IGP)
+        assert decide([short_incomplete, long_igp]) == short_incomplete
+
+    def test_origin_dominates_med(self):
+        igp_high_med = route(neighbor="N1", origin=ORIGIN_IGP, med=99)
+        egp_low_med = route(neighbor="N2", origin=ORIGIN_EGP, med=0)
+        assert decide([igp_high_med, egp_low_med]) == igp_high_med
+
+    def test_full_tie_broken_by_neighbor(self):
+        assert decide([route("N9"), route("N2")]).neighbor == "N2"
+
+    def test_deterministic_under_permutation(self):
+        candidates = [
+            route("N1", path=("a", "b")),
+            route("N2", path=("c",), lp=150),
+            route("N3", path=("d",), lp=150, med=3),
+        ]
+        import itertools
+        results = {
+            decide(list(perm)).neighbor
+            for perm in itertools.permutations(candidates)
+        }
+        assert len(results) == 1
+
+
+neighbors = st.sampled_from(["N1", "N2", "N3", "N4"])
+routes = st.builds(
+    route,
+    neighbor=neighbors,
+    path=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=4).map(tuple),
+    lp=st.integers(min_value=0, max_value=300),
+    med=st.integers(min_value=0, max_value=50),
+    origin=st.sampled_from([ORIGIN_IGP, ORIGIN_EGP, ORIGIN_INCOMPLETE]),
+)
+
+
+class TestRankKeyConsistency:
+    @given(st.lists(routes, min_size=1, max_size=8))
+    def test_rank_key_matches_decide(self, candidates):
+        # de-duplicate neighbors to keep the tie-break total
+        unique = list({r.neighbor: r for r in candidates}.values())
+        assert decide(unique) == min(unique, key=rank_key)
+
+    @given(st.lists(routes, min_size=1, max_size=8))
+    def test_winner_is_a_candidate(self, candidates):
+        unique = list({r.neighbor: r for r in candidates}.values())
+        assert decide(unique) in unique

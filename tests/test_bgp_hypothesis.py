@@ -1,0 +1,142 @@
+"""Property-based tests over the BGP substrate: random topologies must
+converge, reach everywhere, and pick shortest paths under permissive
+policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.network import BGPNetwork
+from repro.bgp.prefix import Prefix
+from repro.topology.generate import TopologyParams, generate
+from repro.topology.internet import build_bgp_network
+from repro.util.rng import DeterministicRandom
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def random_connected_graph(n, extra_edges, seed):
+    """A random connected graph: a random spanning tree plus extras."""
+    rng = DeterministicRandom(seed).fork("bgph")
+    names = [f"AS{i}" for i in range(n)]
+    edges = set()
+    for i in range(1, n):
+        j = rng.randint(0, i - 1)
+        edges.add(frozenset((names[i], names[j])))
+    attempts = 0
+    while len(edges) < (n - 1) + extra_edges and attempts < 10 * extra_edges:
+        a, b = rng.sample(names, 2)
+        edges.add(frozenset((a, b)))
+        attempts += 1
+    return names, [tuple(sorted(e)) for e in edges]
+
+
+@st.composite
+def graph_params(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    extra = draw(st.integers(min_value=0, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    origin_index = draw(st.integers(min_value=0, max_value=n - 1))
+    return n, extra, seed, origin_index
+
+
+def build(names, edges):
+    net = BGPNetwork()
+    for name in names:
+        net.add_as(name)
+    for a, b in sorted(edges):
+        net.connect(a, b)
+    net.establish_sessions()
+    return net
+
+
+def bfs_distances(names, edges, origin):
+    adjacency = {name: set() for name in names}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    dist = {origin: 0}
+    frontier = [origin]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    nxt.append(neighbor)
+        frontier = nxt
+    return dist
+
+
+class TestPermissiveNetworks:
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params())
+    def test_converges_and_reaches_everywhere(self, params):
+        n, extra, seed, origin_index = params
+        names, edges = random_connected_graph(n, extra, seed)
+        net = build(names, edges)
+        origin = names[origin_index]
+        net.originate(origin, PFX)
+        net.run_to_quiescence()
+        reach = net.reachability(PFX)
+        assert all(route is not None for route in reach.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params())
+    def test_paths_are_shortest_under_permissive_policy(self, params):
+        """With permit-all policies the decision process reduces to
+        shortest AS path, so BGP distances must equal BFS distances."""
+        n, extra, seed, origin_index = params
+        names, edges = random_connected_graph(n, extra, seed)
+        net = build(names, edges)
+        origin = names[origin_index]
+        net.originate(origin, PFX)
+        net.run_to_quiescence()
+        expected = bfs_distances(names, edges, origin)
+        for name in names:
+            route = net.best_route(name, PFX)
+            if name == origin:
+                assert route.neighbor is None
+                continue
+            assert len(route.as_path) == expected[name], name
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params())
+    def test_forwarding_paths_are_loop_free(self, params):
+        n, extra, seed, origin_index = params
+        names, edges = random_connected_graph(n, extra, seed)
+        net = build(names, edges)
+        origin = names[origin_index]
+        net.originate(origin, PFX)
+        net.run_to_quiescence()
+        for name in names:
+            path = net.forwarding_path(name, PFX)
+            assert len(path) == len(set(path)), "loop in forwarding path"
+            assert path[-1] == origin
+
+    @settings(max_examples=10, deadline=None)
+    @given(graph_params())
+    def test_withdrawal_clears_everywhere(self, params):
+        n, extra, seed, origin_index = params
+        names, edges = random_connected_graph(n, extra, seed)
+        net = build(names, edges)
+        origin = names[origin_index]
+        net.originate(origin, PFX)
+        net.run_to_quiescence()
+        net.withdraw(origin, PFX)
+        net.run_to_quiescence()
+        assert all(r is None for r in net.reachability(PFX).values())
+
+
+class TestGaoRexfordNetworks:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**4))
+    def test_synthetic_internet_always_converges(self, seed):
+        params = TopologyParams(tier1=2, tier2=5, stubs=8, seed=seed)
+        graph = generate(params)
+        net = build_bgp_network(graph)
+        origin = graph.ases()[0]  # a tier-1; reaches everyone downhill
+        net.originate(origin, PFX)
+        net.run_to_quiescence()
+        reach = net.reachability(PFX)
+        assert all(route is not None for route in reach.values())

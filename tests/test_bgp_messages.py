@@ -1,0 +1,101 @@
+"""Tests for BGP message types and S-BGP-style update signing."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.messages import (
+    Keepalive,
+    Notification,
+    Open,
+    Update,
+    sign_update,
+)
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor="N1", length=2):
+    return Route(prefix=PFX,
+                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor)
+
+
+class TestMessageValidation:
+    def test_empty_update_rejected(self):
+        with pytest.raises(ValueError):
+            Update()
+
+    def test_update_with_announcement_only(self):
+        update = Update(announced=route())
+        assert update.withdrawn == ()
+
+    def test_update_with_withdrawals_only(self):
+        update = Update(withdrawn=(PFX,))
+        assert update.announced is None
+
+    def test_withdrawn_normalized_to_tuple(self):
+        update = Update(withdrawn=[PFX])
+        assert isinstance(update.withdrawn, tuple)
+
+    def test_canonical_encodings_distinct(self):
+        messages = [
+            Open(asn="A"),
+            Keepalive(),
+            Notification(code="cease"),
+            Update(announced=route()),
+            Update(withdrawn=(PFX,)),
+        ]
+        encodings = {m.canonical() for m in messages}
+        assert len(encodings) == len(messages)
+
+
+class TestSignedUpdates:
+    def test_sign_and_verify(self, keystore):
+        keystore.register("N1")
+        signed = sign_update(keystore, "N1", Update(announced=route()))
+        assert signed.verify(keystore)
+
+    def test_wrong_signer_rejected(self, keystore):
+        keystore.register("N1")
+        keystore.register("N2")
+        signed = sign_update(keystore, "N1", Update(announced=route()))
+        relabeled = type(signed)(update=signed.update, signer="N2",
+                                 signature=signed.signature)
+        assert not relabeled.verify(keystore)
+
+    def test_tampered_announcement_rejected(self, keystore):
+        keystore.register("N1")
+        signed = sign_update(keystore, "N1", Update(announced=route(length=2)))
+        tampered = type(signed)(
+            update=Update(announced=route(length=5)),
+            signer=signed.signer,
+            signature=signed.signature,
+        )
+        assert not tampered.verify(keystore)
+
+    def test_receiver_local_fields_do_not_break_verification(self, keystore):
+        """The signature covers the announcement key, so local-pref and
+        the recorded neighbor may change in transit."""
+        keystore.register("N1")
+        original = route()
+        signed = sign_update(keystore, "N1", Update(announced=original))
+        adjusted = original.with_local_pref(250).with_neighbor("X")
+        readdressed = type(signed)(
+            update=Update(announced=adjusted),
+            signer=signed.signer,
+            signature=signed.signature,
+        )
+        assert readdressed.verify(keystore)
+
+    def test_withdrawals_covered(self, keystore):
+        keystore.register("N1")
+        signed = sign_update(keystore, "N1", Update(withdrawn=(PFX,)))
+        other = Prefix.parse("20.0.0.0/8")
+        tampered = type(signed)(
+            update=Update(withdrawn=(other,)),
+            signer=signed.signer,
+            signature=signed.signature,
+        )
+        assert not tampered.verify(keystore)

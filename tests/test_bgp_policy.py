@@ -1,0 +1,151 @@
+"""Tests for the route-map policy engine."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.policy import (
+    DENY_ALL,
+    PERMIT_ALL,
+    AddCommunity,
+    Clause,
+    MatchAny,
+    MatchASInPath,
+    MatchCommunity,
+    MatchNeighbor,
+    MatchPathLength,
+    MatchPrefix,
+    Policy,
+    Prepend,
+    RemoveCommunity,
+    SetLocalPref,
+    SetMed,
+)
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(**kwargs):
+    defaults = dict(prefix=PFX, as_path=ASPath(["X"]), neighbor="N1")
+    defaults.update(kwargs)
+    return Route(**defaults)
+
+
+class TestMatches:
+    def test_match_any(self):
+        assert MatchAny().matches(route())
+
+    def test_match_prefix_covering(self):
+        m = MatchPrefix(Prefix.parse("10.0.0.0/8"))
+        assert m.matches(route(prefix=Prefix.parse("10.1.0.0/16")))
+        assert not m.matches(route(prefix=Prefix.parse("11.0.0.0/8")))
+
+    def test_match_prefix_exact(self):
+        m = MatchPrefix(Prefix.parse("10.0.0.0/8"), exact=True)
+        assert m.matches(route(prefix=Prefix.parse("10.0.0.0/8")))
+        assert not m.matches(route(prefix=Prefix.parse("10.1.0.0/16")))
+
+    def test_match_community(self):
+        assert MatchCommunity("eu").matches(route(communities={"eu"}))
+        assert not MatchCommunity("eu").matches(route())
+
+    def test_match_neighbor(self):
+        m = MatchNeighbor(["N1", "N2"])
+        assert m.matches(route(neighbor="N1"))
+        assert not m.matches(route(neighbor="N9"))
+
+    def test_match_as_in_path(self):
+        assert MatchASInPath("X").matches(route())
+        assert not MatchASInPath("Z").matches(route())
+
+    def test_match_path_length(self):
+        m = MatchPathLength(min_length=2, max_length=3)
+        assert not m.matches(route())  # length 1
+        assert m.matches(route(as_path=ASPath(["a", "b"])))
+        assert not m.matches(route(as_path=ASPath(["a", "b", "c", "d"])))
+
+
+class TestActions:
+    def test_set_local_pref(self):
+        assert SetLocalPref(250).apply(route()).local_pref == 250
+
+    def test_set_med(self):
+        assert SetMed(7).apply(route()).med == 7
+
+    def test_add_remove_community(self):
+        r = AddCommunity("x").apply(route())
+        assert r.has_community("x")
+        assert not RemoveCommunity("x").apply(r).has_community("x")
+
+    def test_prepend(self):
+        r = Prepend("ME", count=2).apply(route())
+        assert list(r.as_path) == ["ME", "ME", "X"]
+
+
+class TestClause:
+    def test_all_matches_required(self):
+        clause = Clause(matches=(MatchNeighbor(["N1"]), MatchCommunity("eu")))
+        assert not clause.applies_to(route(neighbor="N1"))
+        assert clause.applies_to(route(neighbor="N1", communities={"eu"}))
+
+    def test_deny_with_actions_rejected(self):
+        with pytest.raises(ValueError):
+            Clause(permit=False, actions=(SetMed(1),))
+
+    def test_describe(self):
+        text = Clause(
+            matches=(MatchCommunity("eu"),),
+            actions=(SetLocalPref(200),),
+            name="prefer-eu",
+        ).describe()
+        assert "prefer-eu" in text and "community eu" in text
+
+
+class TestPolicy:
+    def test_permit_all(self):
+        r = route()
+        assert PERMIT_ALL.apply(r) == r
+
+    def test_deny_all(self):
+        assert DENY_ALL.apply(route()) is None
+
+    def test_first_match_wins(self):
+        policy = Policy(clauses=(
+            Clause(matches=(MatchNeighbor(["N1"]),), actions=(SetLocalPref(200),)),
+            Clause(matches=(MatchAny(),), actions=(SetLocalPref(50),)),
+        ))
+        assert policy.apply(route(neighbor="N1")).local_pref == 200
+        assert policy.apply(route(neighbor="N2")).local_pref == 50
+
+    def test_deny_clause_stops_route(self):
+        policy = Policy(clauses=(
+            Clause(matches=(MatchASInPath("EVIL"),), permit=False),
+        ))
+        assert policy.apply(route(as_path=ASPath(["EVIL", "X"]))) is None
+        assert policy.apply(route()) is not None
+
+    def test_default_deny(self):
+        policy = Policy(
+            clauses=(Clause(matches=(MatchCommunity("allowed"),)),),
+            default_permit=False,
+        )
+        assert policy.apply(route(communities={"allowed"})) is not None
+        assert policy.apply(route()) is None
+
+    def test_actions_compose_in_order(self):
+        policy = Policy(clauses=(
+            Clause(matches=(MatchAny(),),
+                   actions=(AddCommunity("a"), RemoveCommunity("a"),
+                            AddCommunity("b"))),
+        ))
+        result = policy.apply(route())
+        assert result.communities == frozenset({"b"})
+
+    def test_describe_renders(self):
+        policy = Policy(
+            clauses=(Clause(matches=(MatchAny(),), name="c1"),),
+            name="test-policy",
+        )
+        text = policy.describe()
+        assert "test-policy" in text and "default permit" in text

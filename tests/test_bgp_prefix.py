@@ -1,0 +1,98 @@
+"""Tests for IPv4 prefixes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix, PrefixError
+
+
+class TestParse:
+    def test_basic(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.network == 10 << 24
+        assert p.length == 8
+        assert str(p) == "10.0.0.0/8"
+
+    def test_host_route(self):
+        assert str(Prefix.parse("192.168.1.1/32")) == "192.168.1.1/32"
+
+    def test_default_route(self):
+        p = Prefix.parse("0.0.0.0/0")
+        assert p.length == 0
+        assert p.mask() == 0
+
+    @pytest.mark.parametrize("bad", [
+        "10.0.0.0",          # no length
+        "10.0.0/8",          # three octets
+        "10.0.0.0.0/8",      # five octets
+        "10.0.0.256/32",     # octet overflow
+        "10.0.0.0/33",       # length overflow
+        "10.0.0.0/-1",       # negative length
+        "10.0.0.0/x",        # non-numeric length
+        "10.01.0.0/16",      # leading zero
+        "10.0.0.1/8",        # host bits set
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_not_contains_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").contains(Prefix.parse("10.0.0.0/8"))
+
+    def test_not_contains_disjoint(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(Prefix.parse("11.0.0.0/8"))
+
+    def test_overlaps_symmetric(self):
+        a, b = Prefix.parse("10.0.0.0/8"), Prefix.parse("10.1.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        c = Prefix.parse("11.0.0.0/8")
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_subnets(self):
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert str(low) == "10.0.0.0/9"
+        assert str(high) == "10.128.0.0/9"
+
+    def test_host_route_has_no_subnets(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/32").subnets()
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_normalized_roundtrip(self, addr, length):
+        mask = 0 if length == 0 else ((1 << 32) - 1) << (32 - length) & ((1 << 32) - 1)
+        p = Prefix(network=addr & mask, length=length)
+        assert Prefix.parse(str(p)) == p
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=31))
+    def test_subnets_partition(self, addr, length):
+        mask = ((1 << 32) - 1) << (32 - length) & ((1 << 32) - 1)
+        p = Prefix(network=addr & mask, length=length)
+        low, high = p.subnets()
+        assert p.contains(low) and p.contains(high)
+        assert not low.overlaps(high)
+
+
+class TestOrderingAndEncoding:
+    def test_sortable(self):
+        ps = [Prefix.parse(s) for s in ("10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/16")]
+        assert [str(p) for p in sorted(ps)] == [
+            "9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16",
+        ]
+
+    def test_canonical_distinct(self):
+        assert Prefix.parse("10.0.0.0/8").canonical() != Prefix.parse("10.0.0.0/16").canonical()
+
+    def test_hashable(self):
+        assert len({Prefix.parse("10.0.0.0/8"), Prefix.parse("10.0.0.0/8")}) == 1

@@ -1,0 +1,143 @@
+"""Tests for Gao-Rexford relationship policies and valley-freeness."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.network import BGPNetwork
+from repro.bgp.prefix import Prefix
+from repro.bgp.relationships import (
+    LOCAL_PREF_CUSTOMER,
+    LOCAL_PREF_PEER,
+    LOCAL_PREF_PROVIDER,
+    PROVENANCE_CUSTOMER,
+    PROVENANCE_PEER,
+    PROVENANCE_PROVIDER,
+    Relationship,
+    export_policy,
+    import_policy,
+    is_valley_free,
+)
+from repro.bgp.route import Route
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def incoming(communities=frozenset()):
+    return Route(prefix=PFX, as_path=ASPath(["X"]), neighbor="N",
+                 communities=communities)
+
+
+class TestImportPolicies:
+    @pytest.mark.parametrize("rel,pref,tag", [
+        (Relationship.CUSTOMER, LOCAL_PREF_CUSTOMER, PROVENANCE_CUSTOMER),
+        (Relationship.PEER, LOCAL_PREF_PEER, PROVENANCE_PEER),
+        (Relationship.PROVIDER, LOCAL_PREF_PROVIDER, PROVENANCE_PROVIDER),
+    ])
+    def test_tags_and_prefs(self, rel, pref, tag):
+        result = import_policy(rel).apply(incoming())
+        assert result.local_pref == pref
+        assert result.has_community(tag)
+
+    def test_forged_provenance_stripped(self):
+        # a provider trying to smuggle in a "customer" tag is sanitized
+        result = import_policy(Relationship.PROVIDER).apply(
+            incoming(communities=frozenset({PROVENANCE_CUSTOMER}))
+        )
+        assert not result.has_community(PROVENANCE_CUSTOMER)
+        assert result.has_community(PROVENANCE_PROVIDER)
+
+
+class TestExportPolicies:
+    def test_everything_to_customers(self):
+        policy = export_policy(Relationship.CUSTOMER)
+        for tag in (PROVENANCE_CUSTOMER, PROVENANCE_PEER, PROVENANCE_PROVIDER):
+            assert policy.apply(incoming(frozenset({tag}))) is not None
+
+    @pytest.mark.parametrize("rel", [Relationship.PEER, Relationship.PROVIDER])
+    def test_only_customer_routes_upward(self, rel):
+        policy = export_policy(rel)
+        assert policy.apply(incoming(frozenset({PROVENANCE_CUSTOMER}))) is not None
+        assert policy.apply(incoming(frozenset({PROVENANCE_PEER}))) is None
+        assert policy.apply(incoming(frozenset({PROVENANCE_PROVIDER}))) is None
+
+    def test_own_originations_exported_everywhere(self):
+        # locally-originated routes carry no provenance tag
+        for rel in Relationship:
+            assert export_policy(rel).apply(incoming()) is not None
+
+
+class TestValleyFree:
+    U, F, D = Relationship.PROVIDER, Relationship.PEER, Relationship.CUSTOMER
+
+    @pytest.mark.parametrize("steps", [
+        [], ["U"], ["D"], ["F"], ["U", "D"], ["U", "F", "D"],
+        ["U", "U", "D", "D"], ["U", "U", "F", "D"],
+    ])
+    def test_valid(self, steps):
+        mapping = {"U": self.U, "F": self.F, "D": self.D}
+        assert is_valley_free([mapping[s] for s in steps])
+
+    @pytest.mark.parametrize("steps", [
+        ["D", "U"], ["F", "U"], ["F", "F"], ["D", "F"],
+        ["U", "D", "U"], ["U", "F", "F"],
+    ])
+    def test_invalid(self, steps):
+        mapping = {"U": self.U, "F": self.F, "D": self.D}
+        assert not is_valley_free([mapping[s] for s in steps])
+
+    def test_non_relationship_rejected(self):
+        with pytest.raises(TypeError):
+            is_valley_free(["up"])
+
+
+class TestEndToEndGaoRexford:
+    def _triangle(self):
+        """Provider P on top; customers A and B below; A-B also peer.
+
+        P is provider of both A and B; A and B peer with each other.
+        """
+        net = BGPNetwork()
+        for asn in ("P", "A", "B"):
+            net.add_as(asn)
+
+        def connect(upper, lower):
+            # upper is lower's provider
+            net.connect(
+                upper, lower,
+                import_policy_a=import_policy(Relationship.CUSTOMER),
+                export_policy_a=export_policy(Relationship.CUSTOMER),
+                import_policy_b=import_policy(Relationship.PROVIDER),
+                export_policy_b=export_policy(Relationship.PROVIDER),
+            )
+
+        connect("P", "A")
+        connect("P", "B")
+        net.connect(
+            "A", "B",
+            import_policy_a=import_policy(Relationship.PEER),
+            export_policy_a=export_policy(Relationship.PEER),
+            import_policy_b=import_policy(Relationship.PEER),
+            export_policy_b=export_policy(Relationship.PEER),
+        )
+        net.establish_sessions()
+        return net
+
+    def test_peer_route_preferred_over_provider(self):
+        net = self._triangle()
+        net.originate("B", PFX)
+        net.run_to_quiescence()
+        # A hears B's route both directly (peer) and via P (provider);
+        # Gao-Rexford prefers the peer route.
+        best = net.best_route("A", PFX)
+        assert best.neighbor == "B"
+
+    def test_no_transit_through_peer(self):
+        # A must not provide transit between its peer B and its provider P:
+        # the route P uses to reach PFX originated at B must be the direct
+        # customer route, and A must not re-export B's routes to P.
+        net = self._triangle()
+        net.originate("B", PFX)
+        net.run_to_quiescence()
+        assert net.best_route("P", PFX).neighbor == "B"
+        adv = net.router("A").adj_rib_out.advertised("P", PFX)
+        assert adv is None

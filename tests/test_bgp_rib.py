@@ -1,0 +1,118 @@
+"""Tests for the three RIBs."""
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import AdjRIBIn, AdjRIBOut, LocRIB
+from repro.bgp.route import Route
+
+P1 = Prefix.parse("10.0.0.0/8")
+P2 = Prefix.parse("20.0.0.0/8")
+
+
+def route(prefix=P1, neighbor="N1", path=("X",)):
+    return Route(prefix=prefix, as_path=ASPath(path), neighbor=neighbor)
+
+
+class TestAdjRIBIn:
+    def test_insert_and_candidates(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route(neighbor="N1"))
+        rib.insert("N2", route(neighbor="N2"))
+        assert [r.neighbor for r in rib.candidates(P1)] == ["N1", "N2"]
+
+    def test_implicit_withdraw_on_replacement(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route(path=("X",)))
+        rib.insert("N1", route(path=("X", "Y")))
+        cands = rib.candidates(P1)
+        assert len(cands) == 1
+        assert cands[0].path_length == 2
+
+    def test_insert_fixes_neighbor_field(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route(neighbor="WRONG"))
+        assert rib.candidates(P1)[0].neighbor == "N1"
+
+    def test_withdraw(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route())
+        assert rib.withdraw("N1", P1) is not None
+        assert rib.withdraw("N1", P1) is None
+        assert rib.candidates(P1) == []
+
+    def test_per_prefix_isolation(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route(prefix=P1))
+        rib.insert("N1", route(prefix=P2))
+        assert len(rib.candidates(P1)) == 1
+        assert rib.prefixes() == (P1, P2)
+
+    def test_neighbors_announcing(self):
+        rib = AdjRIBIn()
+        rib.insert("N2", route(neighbor="N2"))
+        rib.insert("N1", route(neighbor="N1"))
+        assert rib.neighbors_announcing(P1) == ("N1", "N2")
+
+    def test_drop_neighbor(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route(prefix=P1))
+        rib.insert("N1", route(prefix=P2))
+        rib.insert("N2", route(prefix=P1, neighbor="N2"))
+        affected = rib.drop_neighbor("N1")
+        assert sorted(map(str, affected)) == ["10.0.0.0/8", "20.0.0.0/8"]
+        assert [r.neighbor for r in rib.candidates(P1)] == ["N2"]
+
+    def test_route_from(self):
+        rib = AdjRIBIn()
+        rib.insert("N1", route())
+        assert rib.route_from("N1", P1) is not None
+        assert rib.route_from("N2", P1) is None
+
+
+class TestLocRIB:
+    def test_set_and_get(self):
+        rib = LocRIB()
+        r = route()
+        assert rib.set_best(P1, r) is True
+        assert rib.best(P1) == r
+
+    def test_unchanged_returns_false(self):
+        rib = LocRIB()
+        r = route()
+        rib.set_best(P1, r)
+        assert rib.set_best(P1, r) is False
+
+    def test_clear(self):
+        rib = LocRIB()
+        rib.set_best(P1, route())
+        assert rib.set_best(P1, None) is True
+        assert rib.best(P1) is None
+        assert rib.set_best(P1, None) is False
+
+    def test_routes_sorted_by_prefix(self):
+        rib = LocRIB()
+        rib.set_best(P2, route(prefix=P2))
+        rib.set_best(P1, route(prefix=P1))
+        assert [r.prefix for r in rib.routes()] == [P1, P2]
+
+
+class TestAdjRIBOut:
+    def test_record_and_lookup(self):
+        rib = AdjRIBOut()
+        r = route()
+        rib.record("N1", r)
+        assert rib.advertised("N1", P1) == r
+        assert rib.advertised("N2", P1) is None
+
+    def test_clear(self):
+        rib = AdjRIBOut()
+        rib.record("N1", route())
+        assert rib.clear("N1", P1) is not None
+        assert rib.clear("N1", P1) is None
+
+    def test_prefixes_to(self):
+        rib = AdjRIBOut()
+        rib.record("N1", route(prefix=P2))
+        rib.record("N1", route(prefix=P1))
+        rib.record("N2", route(prefix=P1))
+        assert rib.prefixes_to("N1") == (P1, P2)

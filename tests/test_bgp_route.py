@@ -1,0 +1,106 @@
+"""Tests for AS paths and routes."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import DEFAULT_LOCAL_PREF, ORIGIN_EGP, Route
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+class TestASPath:
+    def test_empty(self):
+        p = ASPath()
+        assert len(p) == 0
+        assert p.origin_as is None
+        assert p.first_hop is None
+
+    def test_prepend(self):
+        p = ASPath(["B", "C"]).prepend("A")
+        assert list(p) == ["A", "B", "C"]
+        assert p.origin_as == "C"
+        assert p.first_hop == "A"
+
+    def test_prepend_multiple(self):
+        p = ASPath(["B"]).prepend("A", count=3)
+        assert list(p) == ["A", "A", "A", "B"]
+
+    def test_prepend_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ASPath().prepend("A", count=0)
+
+    def test_prepend_immutable(self):
+        base = ASPath(["B"])
+        base.prepend("A")
+        assert list(base) == ["B"]
+
+    def test_loop_detection(self):
+        p = ASPath(["A", "B", "C"])
+        assert p.has_loop_for("B")
+        assert not p.has_loop_for("D")
+
+    def test_str(self):
+        assert str(ASPath(["A", "B"])) == "A B"
+        assert str(ASPath()) == "<empty>"
+
+    def test_canonical_order_sensitive(self):
+        assert ASPath(["A", "B"]).canonical() != ASPath(["B", "A"]).canonical()
+
+
+class TestRoute:
+    def test_defaults(self):
+        r = Route(prefix=PFX)
+        assert r.local_pref == DEFAULT_LOCAL_PREF
+        assert r.path_length == 0
+        assert r.neighbor is None
+
+    def test_invalid_origin_rejected(self):
+        with pytest.raises(ValueError):
+            Route(prefix=PFX, origin=7)
+
+    def test_communities_normalized_to_frozenset(self):
+        r = Route(prefix=PFX, communities={"x", "y"})
+        assert isinstance(r.communities, frozenset)
+        assert r.has_community("x")
+
+    def test_transformations_immutable(self):
+        r = Route(prefix=PFX)
+        r2 = r.with_local_pref(300).add_community("c").with_med(5)
+        assert r.local_pref == DEFAULT_LOCAL_PREF
+        assert r.communities == frozenset()
+        assert r2.local_pref == 300 and r2.med == 5 and r2.has_community("c")
+
+    def test_remove_community(self):
+        r = Route(prefix=PFX, communities={"a", "b"}).remove_community("a")
+        assert r.communities == frozenset({"b"})
+
+    def test_exported_by(self):
+        r = Route(
+            prefix=PFX, as_path=ASPath(["B"]), local_pref=300, neighbor="B"
+        )
+        out = r.exported_by("A")
+        assert list(out.as_path) == ["A", "B"]
+        assert out.local_pref == DEFAULT_LOCAL_PREF  # non-transitive
+        assert out.neighbor == "A"
+
+    def test_announcement_key_ignores_local_fields(self):
+        r1 = Route(prefix=PFX, as_path=ASPath(["B"]), neighbor="B", local_pref=300)
+        r2 = Route(prefix=PFX, as_path=ASPath(["B"]), neighbor="X", local_pref=50)
+        assert r1.announcement_key() == r2.announcement_key()
+
+    def test_announcement_key_covers_attributes(self):
+        r1 = Route(prefix=PFX, as_path=ASPath(["B"]))
+        assert r1.announcement_key() != r1.with_med(9).announcement_key()
+        assert r1.announcement_key() != r1.add_community("c").announcement_key()
+        r3 = Route(prefix=PFX, as_path=ASPath(["B"]), origin=ORIGIN_EGP)
+        assert r1.announcement_key() != r3.announcement_key()
+
+    def test_canonical_covers_everything(self):
+        r = Route(prefix=PFX, as_path=ASPath(["B"]), neighbor="B")
+        assert r.canonical() != r.with_neighbor("C").canonical()
+        assert r.canonical() != r.with_local_pref(1).canonical()
+
+    def test_str_readable(self):
+        text = str(Route(prefix=PFX, as_path=ASPath(["A", "B"]), neighbor="A"))
+        assert "10.0.0.0/8" in text and "A B" in text

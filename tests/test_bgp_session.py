@@ -1,0 +1,79 @@
+"""Tests for the BGP session FSM."""
+
+import pytest
+
+from repro.bgp.messages import Notification, Open
+from repro.bgp.session import Session, SessionError, SessionState
+
+
+def fresh():
+    return Session(local_as="A", peer_as="B")
+
+
+class TestHappyPath:
+    def test_active_side(self):
+        s = fresh()
+        opened = s.start()
+        assert opened.asn == "A"
+        assert s.state == SessionState.OPEN_SENT
+        reply = s.handle_open(Open(asn="B"))
+        assert reply is not None
+        assert s.state == SessionState.OPEN_CONFIRM
+        s.handle_keepalive()
+        assert s.established
+
+    def test_passive_side(self):
+        s = fresh()
+        reply = s.handle_open(Open(asn="B"))
+        assert reply is not None
+        assert s.state == SessionState.OPEN_CONFIRM
+        s.handle_keepalive()
+        assert s.established
+
+    def test_keepalive_in_established_is_noop(self):
+        s = fresh()
+        s.handle_open(Open(asn="B"))
+        s.handle_keepalive()
+        s.handle_keepalive()
+        assert s.established
+
+
+class TestErrors:
+    def test_start_twice_rejected(self):
+        s = fresh()
+        s.start()
+        with pytest.raises(SessionError):
+            s.start()
+
+    def test_open_from_wrong_as_rejected(self):
+        s = fresh()
+        s.start()
+        with pytest.raises(SessionError):
+            s.handle_open(Open(asn="MALLORY"))
+        assert s.state == SessionState.IDLE
+
+    def test_premature_keepalive_rejected(self):
+        with pytest.raises(SessionError):
+            fresh().handle_keepalive()
+
+    def test_open_when_established_rejected(self):
+        s = fresh()
+        s.handle_open(Open(asn="B"))
+        s.handle_keepalive()
+        with pytest.raises(SessionError):
+            s.handle_open(Open(asn="B"))
+
+    def test_notification_resets(self):
+        s = fresh()
+        s.handle_open(Open(asn="B"))
+        s.handle_keepalive()
+        s.handle_notification(Notification(code="cease"))
+        assert s.state == SessionState.IDLE
+
+    def test_reset(self):
+        s = fresh()
+        s.start()
+        s.reset()
+        assert s.state == SessionState.IDLE
+        s.start()  # can restart after reset
+        assert s.state == SessionState.OPEN_SENT

@@ -1,0 +1,69 @@
+"""Tests for hash commitments, including the footnote-2 attack."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.commitment import (
+    brute_force_bit,
+    commit,
+    insecure_commit_no_nonce,
+    verify_opening,
+)
+from repro.util.rng import DeterministicRandom
+
+
+class TestCommitOpen:
+    def test_roundtrip(self, rng):
+        c, o = commit("bit", 1, rng.bytes)
+        assert verify_opening(c, o)
+
+    def test_wrong_value_rejected(self, rng):
+        c, o = commit("bit", 1, rng.bytes)
+        forged = type(o)(label=o.label, value=0, nonce=o.nonce)
+        assert not verify_opening(c, forged)
+
+    def test_wrong_nonce_rejected(self, rng):
+        c, o = commit("bit", 1, rng.bytes)
+        forged = type(o)(label=o.label, value=o.value, nonce=b"\x00" * 32)
+        assert not verify_opening(c, forged)
+
+    def test_label_binding(self, rng):
+        c1, o1 = commit("bit[1]", 1, rng.bytes)
+        c2, _ = commit("bit[2]", 1, rng.bytes)
+        # an opening for one label cannot open a commitment under another
+        assert not verify_opening(c2, o1)
+
+    def test_hiding_across_nonces(self, rng):
+        c1, _ = commit("bit", 1, rng.bytes)
+        c2, _ = commit("bit", 1, rng.bytes)
+        assert c1.digest != c2.digest  # fresh nonce each time
+
+    def test_structured_values(self, rng):
+        value = {"route": ("AS1", "AS2"), "pref": 100}
+        c, o = commit("route", value, rng.bytes)
+        assert verify_opening(c, o)
+
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=2**32))
+    def test_roundtrip_property(self, bit, seed):
+        rng = DeterministicRandom(seed)
+        c, o = commit("b", bit, rng.bytes)
+        assert verify_opening(c, o)
+        forged = type(o)(label=o.label, value=1 - bit, nonce=o.nonce)
+        assert not verify_opening(c, forged)
+
+
+class TestFootnote2Attack:
+    """Paper footnote 2: without the nonce, a bit commitment is guessable."""
+
+    def test_attack_succeeds_without_nonce(self):
+        for bit in (0, 1):
+            c = insecure_commit_no_nonce("b", bit)
+            assert brute_force_bit(c) == bit
+
+    def test_attack_fails_with_nonce(self, rng):
+        hits = 0
+        for bit in (0, 1):
+            c, _ = commit("b", bit, rng.bytes)
+            if brute_force_bit(c) is not None:
+                hits += 1
+        assert hits == 0

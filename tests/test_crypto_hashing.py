@@ -1,0 +1,62 @@
+"""Tests for domain-separated hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import DIGEST_SIZE, hash_bytes, hash_int, hash_many, hash_value
+
+
+class TestHashBytes:
+    def test_digest_size(self):
+        assert len(hash_bytes("d", b"x")) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        assert hash_bytes("d", b"x") == hash_bytes("d", b"x")
+
+    def test_domain_separation(self):
+        assert hash_bytes("a", b"x") != hash_bytes("b", b"x")
+
+    def test_domain_boundary_unambiguous(self):
+        # domain "ab" with data "c" must differ from domain "a" with "bc"
+        assert hash_bytes("ab", b"c") != hash_bytes("a", b"bc")
+
+
+class TestHashMany:
+    def test_framing_unambiguous(self):
+        assert hash_many("d", b"ab", b"c") != hash_many("d", b"a", b"bc")
+        assert hash_many("d", b"ab") != hash_many("d", b"ab", b"")
+
+    def test_empty_parts_ok(self):
+        assert len(hash_many("d")) == DIGEST_SIZE
+
+    @given(st.lists(st.binary(max_size=8), max_size=4),
+           st.lists(st.binary(max_size=8), max_size=4))
+    def test_injective_on_part_lists(self, a, b):
+        if a != b:
+            assert hash_many("d", *a) != hash_many("d", *b)
+
+
+class TestHashValue:
+    def test_structured_values(self):
+        assert hash_value("d", ("x", 1)) == hash_value("d", ("x", 1))
+        assert hash_value("d", ("x", 1)) != hash_value("d", ("x", 2))
+
+
+class TestHashInt:
+    def test_width_respected(self):
+        for width in (1, 7, 8, 9, 255, 256, 1023):
+            value = hash_int("d", b"data", width)
+            assert 0 <= value < (1 << width)
+
+    def test_deterministic(self):
+        assert hash_int("d", b"x", 100) == hash_int("d", b"x", 100)
+
+    def test_spreads_over_width(self):
+        # with 512 output bits, the top 64 bits should not be all zero
+        value = hash_int("d", b"x", 512)
+        assert value >> 448 != 0
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            hash_int("d", b"x", 0)

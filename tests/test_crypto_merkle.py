@@ -1,0 +1,188 @@
+"""Tests for sparse and batch Merkle trees (Section 3.6 / 3.8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import (
+    BatchTree,
+    MerkleError,
+    MerkleProof,
+    SparseMerkleTree,
+)
+from repro.util.bitstrings import BitString, encode_prefix_free
+from repro.util.rng import DeterministicRandom
+
+
+def _addr(name: str) -> BitString:
+    return encode_prefix_free(name.encode())
+
+
+def _tree(leaves: dict, seed=0) -> SparseMerkleTree:
+    rng = DeterministicRandom(seed)
+    return SparseMerkleTree(
+        {_addr(k): v for k, v in leaves.items()}, rng.bytes
+    )
+
+
+class TestSparseTreeConstruction:
+    def test_single_leaf(self):
+        tree = _tree({"var(r1)": b"route-data"})
+        assert len(tree.root) == 32
+
+    def test_rejects_empty(self):
+        with pytest.raises(MerkleError):
+            SparseMerkleTree({}, DeterministicRandom(0).bytes)
+
+    def test_rejects_prefix_violation(self):
+        rng = DeterministicRandom(0)
+        leaves = {
+            BitString.from_str("10"): b"a",
+            BitString.from_str("101"): b"b",
+        }
+        with pytest.raises(MerkleError):
+            SparseMerkleTree(leaves, rng.bytes)
+
+    def test_rejects_empty_address(self):
+        with pytest.raises(MerkleError):
+            SparseMerkleTree({BitString(): b"a"}, DeterministicRandom(0).bytes)
+
+    def test_root_depends_on_payload(self):
+        t1 = _tree({"var(r1)": b"a", "var(r2)": b"b"})
+        t2 = _tree({"var(r1)": b"a", "var(r2)": b"c"})
+        assert t1.root != t2.root
+
+    def test_root_depends_on_addresses(self):
+        t1 = _tree({"var(r1)": b"a"})
+        t2 = _tree({"var(r2)": b"a"})
+        assert t1.root != t2.root
+
+    def test_blinding_randomizes_root(self):
+        # same leaves, different blinding source -> different roots, so the
+        # root does not leak the leaf set
+        t1 = _tree({"var(r1)": b"a"}, seed=1)
+        t2 = _tree({"var(r1)": b"a"}, seed=2)
+        assert t1.root != t2.root
+
+
+class TestSparseTreeProofs:
+    def test_proof_verifies(self):
+        tree = _tree({"var(r1)": b"a", "var(r2)": b"b", "rule(min)": b"op"})
+        for name in ("var(r1)", "var(r2)", "rule(min)"):
+            proof = tree.prove(_addr(name))
+            assert proof.verify(tree.root)
+
+    def test_proof_fails_against_other_root(self):
+        t1 = _tree({"var(r1)": b"a"}, seed=1)
+        t2 = _tree({"var(r1)": b"a"}, seed=2)
+        assert not t1.prove(_addr("var(r1)")).verify(t2.root)
+
+    def test_tampered_payload_fails(self):
+        tree = _tree({"var(r1)": b"a", "var(r2)": b"b"})
+        proof = tree.prove(_addr("var(r1)"))
+        forged = MerkleProof(
+            path=proof.path, payload=b"evil", siblings=proof.siblings
+        )
+        assert not forged.verify(tree.root)
+
+    def test_tampered_sibling_fails(self):
+        tree = _tree({"var(r1)": b"a", "var(r2)": b"b"})
+        proof = tree.prove(_addr("var(r1)"))
+        siblings = list(proof.siblings)
+        siblings[0] = b"\x00" * 32
+        forged = MerkleProof(
+            path=proof.path, payload=proof.payload, siblings=tuple(siblings)
+        )
+        assert not forged.verify(tree.root)
+
+    def test_mismatched_lengths_fail(self):
+        tree = _tree({"var(r1)": b"a"})
+        proof = tree.prove(_addr("var(r1)"))
+        bad = MerkleProof(
+            path=proof.path, payload=proof.payload, siblings=proof.siblings[:-1]
+        )
+        assert not bad.verify(tree.root)
+
+    def test_unknown_address_rejected(self):
+        tree = _tree({"var(r1)": b"a"})
+        with pytest.raises(MerkleError):
+            tree.prove(_addr("var(r9)"))
+
+    def test_payload_accessor(self):
+        tree = _tree({"var(r1)": b"a"})
+        assert tree.payload(_addr("var(r1)")) == b"a"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(
+        st.text(alphabet="abcdef", min_size=1, max_size=6),
+        st.binary(max_size=16),
+        min_size=1,
+        max_size=8,
+    ))
+    def test_all_proofs_verify_property(self, leaves):
+        tree = _tree(leaves)
+        for name in leaves:
+            assert tree.prove(_addr(name)).verify(tree.root)
+
+
+class TestStructureHiding:
+    """The paper's requirement: disclosure reveals nothing about siblings."""
+
+    def test_proof_size_independent_of_sibling_payloads(self):
+        small = _tree({"var(a)": b"x", "var(b)": b"y"})
+        # var(a)'s proof should not change length when var(b)'s payload grows
+        big = _tree({"var(a)": b"x", "var(b)": b"y" * 1000})
+        assert len(small.prove(_addr("var(a)")).siblings) == len(
+            big.prove(_addr("var(a)")).siblings
+        )
+
+    def test_sibling_hashes_look_uniform(self):
+        # All disclosed sibling digests are 32-byte values; nothing in the
+        # proof distinguishes blinded padding from real subtrees.
+        tree = _tree({"var(a)": b"x", "var(b)": b"y", "var(c)": b"z"})
+        proof = tree.prove(_addr("var(a)"))
+        assert all(len(s) == 32 for s in proof.siblings)
+
+
+class TestBatchTree:
+    def test_single_message(self):
+        tree = BatchTree([b"m0"])
+        assert tree.prove(0).verify(tree.root)
+
+    def test_all_indices_verify(self):
+        msgs = [f"update-{i}".encode() for i in range(7)]  # non-power-of-two
+        tree = BatchTree(msgs)
+        for i in range(7):
+            proof = tree.prove(i)
+            assert proof.payload == msgs[i]
+            assert proof.verify(tree.root)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MerkleError):
+            BatchTree([])
+
+    def test_index_out_of_range(self):
+        tree = BatchTree([b"a", b"b"])
+        with pytest.raises(MerkleError):
+            tree.prove(2)
+
+    def test_proof_depth_logarithmic(self):
+        tree = BatchTree([bytes([i]) for i in range(64)])
+        assert len(tree.prove(0).siblings) == 6
+
+    def test_message_order_matters(self):
+        assert BatchTree([b"a", b"b"]).root != BatchTree([b"b", b"a"]).root
+
+    def test_cross_index_proof_fails(self):
+        tree = BatchTree([b"a", b"b", b"c", b"d"])
+        p0 = tree.prove(0)
+        forged = MerkleProof(path=tree.prove(1).path, payload=p0.payload,
+                             siblings=p0.siblings)
+        assert not forged.verify(tree.root)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(max_size=12), min_size=1, max_size=33))
+    def test_roundtrip_property(self, messages):
+        tree = BatchTree(messages)
+        for i in range(len(messages)):
+            assert tree.prove(i).verify(tree.root)

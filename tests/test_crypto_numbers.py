@@ -1,0 +1,94 @@
+"""Tests for the number-theory layer under RSA."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import numbers
+from repro.util.rng import DeterministicRandom
+
+
+class TestEgcd:
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.integers(min_value=1, max_value=10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = numbers.egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    def test_zero_cases(self):
+        assert numbers.egcd(0, 5)[0] == 5
+        assert numbers.egcd(5, 0)[0] == 5
+
+
+class TestModinv:
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_inverse_mod_prime(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = numbers.modinv(a, p)
+        assert (a * inv) % p == 1
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ValueError):
+            numbers.modinv(6, 9)
+
+
+class TestMillerRabin:
+    SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                    53, 59, 61, 67, 71, 73, 79, 83, 89, 97}
+
+    def test_exact_below_1000(self):
+        for n in range(1000):
+            expected = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+            assert numbers.is_probable_prime(n) == expected, n
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not numbers.is_probable_prime(n)
+
+    def test_known_large_prime(self):
+        assert numbers.is_probable_prime(2**127 - 1)  # Mersenne prime
+        assert not numbers.is_probable_prime(2**128 - 1)
+
+    def test_negative_and_small(self):
+        assert not numbers.is_probable_prime(-7)
+        assert not numbers.is_probable_prime(0)
+        assert not numbers.is_probable_prime(1)
+
+
+class TestGeneratePrime:
+    def test_bit_length_and_primality(self):
+        rng = DeterministicRandom(11)
+        for bits in (64, 128, 256):
+            p = numbers.generate_prime(bits, rng.bytes)
+            assert p.bit_length() == bits
+            assert numbers.is_probable_prime(p)
+            assert p % 2 == 1
+
+    def test_top_two_bits_set(self):
+        rng = DeterministicRandom(12)
+        p = numbers.generate_prime(128, rng.bytes)
+        assert (p >> 126) == 0b11
+
+    def test_deterministic_given_stream(self):
+        a = numbers.generate_prime(64, DeterministicRandom(5).bytes)
+        b = numbers.generate_prime(64, DeterministicRandom(5).bytes)
+        assert a == b
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            numbers.generate_prime(8, DeterministicRandom(0).bytes)
+
+
+class TestCrt:
+    def test_matches_direct_exponentiation(self):
+        p, q = 1_000_003, 999_983
+        n = p * q
+        d = numbers.modinv(65537, (p - 1) * (q - 1))
+        q_inv = numbers.modinv(q, p)
+        x = 123456789
+        mp = pow(x % p, d % (p - 1), p)
+        mq = pow(x % q, d % (q - 1), q)
+        assert numbers.crt_combine(mp, mq, p, q, q_inv) % n == pow(x, d, n)

@@ -1,0 +1,110 @@
+"""Tests for RST ring signatures (link-state variant of Section 3.2)."""
+
+import pytest
+
+from repro.crypto import ring, rsa
+from repro.util.rng import DeterministicRandom
+
+KEY_BITS = 512
+
+
+@pytest.fixture(scope="module")
+def members():
+    keys = [
+        rsa.generate_keypair(KEY_BITS, DeterministicRandom(100 + i).bytes)
+        for i in range(4)
+    ]
+    return keys
+
+
+@pytest.fixture(scope="module")
+def ring_keys(members):
+    return [k.public for k in members]
+
+
+class TestSignVerify:
+    def test_every_member_can_sign(self, members, ring_keys):
+        msg = b"A route exists"
+        for index, signer in enumerate(members):
+            rng = DeterministicRandom(index)
+            sig = ring.sign(msg, ring_keys, signer, index, rng.bytes)
+            assert ring.verify(msg, ring_keys, sig)
+
+    def test_wrong_message_rejected(self, members, ring_keys):
+        rng = DeterministicRandom(0)
+        sig = ring.sign(b"A route exists", ring_keys, members[0], 0, rng.bytes)
+        assert not ring.verify(b"No route exists", ring_keys, sig)
+
+    def test_wrong_ring_rejected(self, members, ring_keys):
+        rng = DeterministicRandom(0)
+        sig = ring.sign(b"m", ring_keys, members[0], 0, rng.bytes)
+        outsider = rsa.generate_keypair(KEY_BITS, DeterministicRandom(999).bytes)
+        other_ring = [outsider.public] + ring_keys[1:]
+        assert not ring.verify(b"m", other_ring, sig)
+
+    def test_tampered_glue_rejected(self, members, ring_keys):
+        rng = DeterministicRandom(0)
+        sig = ring.sign(b"m", ring_keys, members[0], 0, rng.bytes)
+        forged = ring.RingSignature(glue=sig.glue ^ 1, xs=sig.xs)
+        assert not ring.verify(b"m", ring_keys, forged)
+
+    def test_tampered_x_rejected(self, members, ring_keys):
+        rng = DeterministicRandom(0)
+        sig = ring.sign(b"m", ring_keys, members[1], 1, rng.bytes)
+        xs = list(sig.xs)
+        xs[2] ^= 1
+        forged = ring.RingSignature(glue=sig.glue, xs=tuple(xs))
+        assert not ring.verify(b"m", ring_keys, forged)
+
+    def test_wrong_member_count_rejected(self, members, ring_keys):
+        rng = DeterministicRandom(0)
+        sig = ring.sign(b"m", ring_keys, members[0], 0, rng.bytes)
+        forged = ring.RingSignature(glue=sig.glue, xs=sig.xs[:-1])
+        assert not ring.verify(b"m", ring_keys, forged)
+
+    def test_singleton_ring(self, members):
+        rng = DeterministicRandom(0)
+        solo = [members[0].public]
+        sig = ring.sign(b"m", solo, members[0], 0, rng.bytes)
+        assert ring.verify(b"m", solo, sig)
+
+    def test_signer_slot_mismatch_rejected(self, members, ring_keys):
+        with pytest.raises(ring.RingSignatureError):
+            ring.sign(b"m", ring_keys, members[0], 1,
+                      DeterministicRandom(0).bytes)
+
+    def test_index_out_of_range(self, members, ring_keys):
+        with pytest.raises(ring.RingSignatureError):
+            ring.sign(b"m", ring_keys, members[0], 9,
+                      DeterministicRandom(0).bytes)
+
+    def test_empty_ring_rejected(self, members):
+        with pytest.raises(ring.RingSignatureError):
+            ring.sign(b"m", [], members[0], 0, DeterministicRandom(0).bytes)
+
+
+class TestAnonymity:
+    def test_signature_shape_identical_across_signers(self, members, ring_keys):
+        """Signatures from different members are structurally identical:
+        same ring, same field sizes.  (Computational anonymity follows from
+        the RST argument; here we check no positional metadata leaks.)"""
+        msg = b"A route exists"
+        sigs = [
+            ring.sign(msg, ring_keys, members[i], i,
+                      DeterministicRandom(50 + i).bytes)
+            for i in range(len(members))
+        ]
+        for sig in sigs:
+            assert len(sig.xs) == len(ring_keys)
+            assert ring.verify(msg, ring_keys, sig)
+
+    def test_mixed_key_sizes_supported(self):
+        """RST extends each trapdoor to a common domain; members may have
+        different modulus sizes."""
+        small = rsa.generate_keypair(512, DeterministicRandom(201).bytes)
+        large = rsa.generate_keypair(768, DeterministicRandom(202).bytes)
+        keys = [small.public, large.public]
+        for index, signer in enumerate((small, large)):
+            sig = ring.sign(b"m", keys, signer, index,
+                            DeterministicRandom(index).bytes)
+            assert ring.verify(b"m", keys, sig)

@@ -1,0 +1,103 @@
+"""Tests for the from-scratch RSA signature scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import rsa
+from repro.util.rng import DeterministicRandom
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, session_keypair):
+        assert session_keypair.n.bit_length() == 512
+
+    def test_crt_parameters_consistent(self, session_keypair):
+        k = session_keypair
+        assert k.p * k.q == k.n
+        assert (k.d * k.e) % ((k.p - 1) * (k.q - 1)) == 1
+        assert k.dp == k.d % (k.p - 1)
+        assert k.dq == k.d % (k.q - 1)
+        assert (k.q * k.q_inv) % k.p == 1
+
+    def test_deterministic_from_stream(self):
+        a = rsa.generate_keypair(512, DeterministicRandom(3).bytes)
+        b = rsa.generate_keypair(512, DeterministicRandom(3).bytes)
+        assert a.n == b.n
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(128, DeterministicRandom(0).bytes)
+
+    def test_rejects_odd_modulus_size(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(513, DeterministicRandom(0).bytes)
+
+
+class TestPermutation:
+    def test_apply_roundtrip(self, session_keypair):
+        x = 0x1234567890ABCDEF
+        y = session_keypair.public.apply(x)
+        assert session_keypair.apply(y) == x
+
+    def test_inverse_direction(self, session_keypair):
+        x = 987654321
+        y = session_keypair.apply(x)
+        assert session_keypair.public.apply(y) == x
+
+    def test_domain_checked(self, session_keypair):
+        with pytest.raises(ValueError):
+            session_keypair.public.apply(session_keypair.n)
+        with pytest.raises(ValueError):
+            session_keypair.apply(-1)
+
+
+class TestSignatures:
+    def test_sign_verify(self, session_keypair):
+        sig = rsa.sign(session_keypair, b"hello")
+        assert rsa.verify(session_keypair.public, b"hello", sig)
+
+    def test_wrong_message_rejected(self, session_keypair):
+        sig = rsa.sign(session_keypair, b"hello")
+        assert not rsa.verify(session_keypair.public, b"goodbye", sig)
+
+    def test_wrong_key_rejected(self, session_keypair, second_keypair):
+        sig = rsa.sign(session_keypair, b"hello")
+        assert not rsa.verify(second_keypair.public, b"hello", sig)
+
+    def test_bitflip_rejected(self, session_keypair):
+        sig = bytearray(rsa.sign(session_keypair, b"hello"))
+        sig[5] ^= 0x40
+        assert not rsa.verify(session_keypair.public, b"hello", bytes(sig))
+
+    def test_wrong_length_rejected(self, session_keypair):
+        sig = rsa.sign(session_keypair, b"hello")
+        assert not rsa.verify(session_keypair.public, b"hello", sig + b"\x00")
+        assert not rsa.verify(session_keypair.public, b"hello", sig[:-1])
+
+    def test_oversized_integer_rejected(self, session_keypair):
+        nbytes = (session_keypair.n.bit_length() + 7) // 8
+        forged = (session_keypair.n + 1).to_bytes(nbytes, "big")
+        assert not rsa.verify(session_keypair.public, b"hello", forged)
+
+    def test_signature_length_fixed(self, session_keypair):
+        for msg in (b"", b"a", b"x" * 1000):
+            assert len(rsa.sign(session_keypair, msg)) == 64
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, session_keypair, message):
+        sig = rsa.sign(session_keypair, message)
+        assert rsa.verify(session_keypair.public, message, sig)
+
+
+class TestFingerprint:
+    def test_stable_and_distinct(self, session_keypair, second_keypair):
+        assert (
+            session_keypair.public.fingerprint()
+            == session_keypair.public.fingerprint()
+        )
+        assert (
+            session_keypair.public.fingerprint()
+            != second_keypair.public.fingerprint()
+        )

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion and prints the
+narrative it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Honest round" in out
+        assert "GUILTY" in out
+        assert "confidentiality holds: True" in out
+
+    def test_partial_transit(self):
+        out = run_example("partial_transit.py")
+        assert "graph implements the promise: True" in out
+        assert "B's verdict: OK" in out
+        assert "EU-PEER-1, EU-PEER-2" in out
+
+    def test_detect_violation(self):
+        out = run_example("detect_violation.py")
+        assert "GUILTY" in out
+        assert "dismissed" in out  # the false accusation collapses
+
+    def test_internet_scale(self):
+        out = run_example("internet_scale.py")
+        assert "clean" in out
+        assert "BGP converged" in out
+
+    def test_linkstate_ring(self):
+        out = run_example("linkstate_ring.py")
+        assert "REJECTED (ring mismatch)" in out
+        assert "REJECTED (statement binds the round)" in out
+
+    def test_promise_levels(self):
+        out = run_example("promise_levels.py")
+        assert "contracted slack k=2: accepted" in out
+        assert "contracted slack k=1: VIOLATION" in out
+        assert "UNEQUAL TREATMENT" in out

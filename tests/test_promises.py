@@ -1,0 +1,170 @@
+"""Tests for promise semantics and the weaker-than lattice."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.promises.lattice import empirically_weaker, known_weaker
+from repro.promises.spec import (
+    ExistentialPromise,
+    NoLongerThanOthers,
+    ShortestFromSubset,
+    ShortestRoute,
+    WithinKHops,
+    YouGetWhatYoureGiven,
+)
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor, length=1):
+    return Route(
+        prefix=PFX,
+        as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+        neighbor=neighbor,
+    )
+
+
+class TestShortestRoute:
+    P = ShortestRoute()
+
+    def test_shortest_permitted(self):
+        inputs = {"N1": route("N1", 3), "N2": route("N2", 1)}
+        assert self.P.permits(inputs, inputs["N2"])
+
+    def test_longer_forbidden(self):
+        inputs = {"N1": route("N1", 3), "N2": route("N2", 1)}
+        assert not self.P.permits(inputs, inputs["N1"])
+
+    def test_equal_length_alternative_permitted(self):
+        # the promise is about length, not identity
+        inputs = {"N1": route("N1", 1), "N2": route("N2", 1)}
+        assert self.P.permits(inputs, inputs["N1"])
+        assert self.P.permits(inputs, inputs["N2"])
+
+    def test_silence_only_when_empty(self):
+        assert self.P.permits({"N1": None}, None)
+        assert not self.P.permits({"N1": route("N1")}, None)
+
+
+class TestShortestFromSubset:
+    P = ShortestFromSubset(["N1", "N2"])
+
+    def test_outsider_routes_invisible(self):
+        inputs = {"N1": route("N1", 4), "N3": route("N3", 1)}
+        # N3 is outside the subset: the best subset route is N1's
+        assert self.P.permits(inputs, inputs["N1"])
+        # exporting N3's (shorter!) route violates promise 2
+        assert not self.P.permits(inputs, inputs["N3"])
+
+    def test_silence_when_subset_empty(self):
+        inputs = {"N3": route("N3", 1)}
+        assert self.P.permits(inputs, None)
+
+    def test_subset_sorted_on_construction(self):
+        assert ShortestFromSubset(["N2", "N1"]).subset == ("N1", "N2")
+
+    def test_relevant_neighbors(self):
+        inputs = {"N1": None, "N2": None, "N3": None}
+        assert self.P.relevant_neighbors(inputs) == ("N1", "N2")
+
+
+class TestWithinKHops:
+    def test_latitude(self):
+        promise = WithinKHops(k=1)
+        inputs = {"N1": route("N1", 1), "N2": route("N2", 2), "N3": route("N3", 3)}
+        assert promise.permits(inputs, inputs["N1"])
+        assert promise.permits(inputs, inputs["N2"])
+        assert not promise.permits(inputs, inputs["N3"])
+
+    def test_k_zero_equals_shortest(self):
+        promise = WithinKHops(k=0)
+        inputs = {"N1": route("N1", 1), "N2": route("N2", 2)}
+        assert promise.permits(inputs, inputs["N1"])
+        assert not promise.permits(inputs, inputs["N2"])
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            WithinKHops(k=-1)
+
+    def test_silence_is_violation_when_routes_exist(self):
+        assert not WithinKHops(k=5).permits({"N1": route("N1")}, None)
+
+
+class TestNoLongerThanOthers:
+    P = NoLongerThanOthers()
+
+    def test_compares_to_other_exports(self):
+        view = {"export:C": route("C", 2), "export:D": route("D", 3)}
+        assert self.P.permits(view, route("B", 2))
+        assert not self.P.permits(view, route("B", 3))
+
+    def test_silence_violates_when_others_served(self):
+        view = {"export:C": route("C", 2)}
+        assert not self.P.permits(view, None)
+
+    def test_vacuous_without_other_exports(self):
+        assert self.P.permits({}, None)
+        assert self.P.permits({}, route("B", 9))
+
+
+class TestExistentialPromise:
+    P = ExistentialPromise(["N1", "N2"])
+
+    def test_route_required_when_available(self):
+        assert not self.P.permits({"N1": route("N1")}, None)
+        assert self.P.permits({"N1": route("N1")}, route("N1"))
+
+    def test_silence_required_when_subset_empty(self):
+        assert self.P.permits({"N3": route("N3")}, None)
+        assert not self.P.permits({"N3": route("N3")}, route("N3"))
+
+    def test_any_route_acceptable(self):
+        # existential constrains existence, not content
+        inputs = {"N1": route("N1", 1), "N2": route("N2", 9)}
+        assert self.P.permits(inputs, inputs["N2"])
+
+
+class TestVacuousPromise:
+    @given(st.booleans(), st.booleans())
+    def test_never_violated(self, has_input, has_output):
+        promise = YouGetWhatYoureGiven()
+        inputs = {"N1": route("N1") if has_input else None}
+        output = route("N1", 7) if has_output else None
+        assert promise.permits(inputs, output)
+
+
+class TestLattice:
+    def test_reflexive(self):
+        for p in (ShortestRoute(), WithinKHops(2), YouGetWhatYoureGiven()):
+            assert known_weaker(p, p)
+
+    def test_vacuous_is_bottom(self):
+        bottom = YouGetWhatYoureGiven()
+        for stronger in (ShortestRoute(), WithinKHops(3),
+                         ShortestFromSubset(["N1"])):
+            assert known_weaker(bottom, stronger)
+            assert empirically_weaker(bottom, stronger)
+
+    def test_within_k_ordered_by_k(self):
+        assert known_weaker(WithinKHops(3), WithinKHops(1))
+        assert not known_weaker(WithinKHops(1), WithinKHops(3))
+        assert empirically_weaker(WithinKHops(3), WithinKHops(1))
+        assert not empirically_weaker(WithinKHops(1), WithinKHops(3))
+
+    def test_shortest_is_within_zero(self):
+        assert known_weaker(WithinKHops(2), ShortestRoute())
+        assert empirically_weaker(WithinKHops(2), ShortestRoute())
+
+    def test_incomparable_subsets(self):
+        a = ShortestFromSubset(["N1"])
+        b = ShortestFromSubset(["N2"])
+        assert not known_weaker(a, b)
+        assert not empirically_weaker(a, b)
+
+    def test_empirical_refutes_shortest_weaker_than_vacuous(self):
+        # the vacuous promise permits everything, so it cannot be stronger
+        assert not empirically_weaker(ShortestRoute(), YouGetWhatYoureGiven())

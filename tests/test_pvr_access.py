@@ -1,0 +1,87 @@
+"""Tests for access-control policies α."""
+
+import pytest
+
+from repro.pvr.access import PAYLOAD, PREDS, SUCCS, AccessPolicy, opaque_alpha, paper_alpha
+from repro.rfg.builder import figure2_graph, minimum_graph
+from repro.rfg.static_check import collectively_verifiable
+
+NEIGHBORS = ["N1", "N2", "N3"]
+
+
+class TestAccessPolicy:
+    def test_grant_and_check(self):
+        graph = minimum_graph(NEIGHBORS)
+        policy = AccessPolicy(graph)
+        policy.grant("N1", "r1", PAYLOAD)
+        assert policy.allows("N1", "r1", PAYLOAD)
+        assert not policy.allows("N2", "r1", PAYLOAD)
+
+    def test_wildcard_grant(self):
+        graph = minimum_graph(NEIGHBORS)
+        policy = AccessPolicy(graph)
+        policy.grant_all_networks("min", PAYLOAD)
+        assert policy.allows("anyone", "min", PAYLOAD)
+
+    def test_structure_public_by_default(self):
+        graph = minimum_graph(NEIGHBORS)
+        policy = AccessPolicy(graph)
+        assert policy.allows("N1", "ro", PREDS)
+        assert policy.allows("N1", "ro", SUCCS)
+        assert not policy.allows("N1", "ro", PAYLOAD)
+
+    def test_structure_private_mode(self):
+        graph = minimum_graph(NEIGHBORS)
+        policy = AccessPolicy(graph, structure_public=False)
+        assert not policy.allows("N1", "ro", PREDS)
+
+    def test_unknown_vertex(self):
+        graph = minimum_graph(NEIGHBORS)
+        policy = AccessPolicy(graph)
+        with pytest.raises(KeyError):
+            policy.grant("N1", "nope")
+        assert not policy.allows("N1", "nope", PAYLOAD)
+
+    def test_unknown_aspect(self):
+        graph = minimum_graph(NEIGHBORS)
+        with pytest.raises(ValueError):
+            AccessPolicy(graph).grant("N1", "r1", "sideways")
+
+
+class TestPaperAlpha:
+    def test_figure1_grants(self):
+        graph = minimum_graph(NEIGHBORS, recipient="B")
+        alpha = paper_alpha(graph)
+        # α(Ni, ri) = TRUE
+        for index, neighbor in enumerate(NEIGHBORS, start=1):
+            assert alpha.allows(neighbor, f"r{index}", PAYLOAD)
+        # α(B, ro) = TRUE
+        assert alpha.allows("B", "ro", PAYLOAD)
+        # α(n, min) = TRUE for all n
+        assert alpha.allows("N1", "min", PAYLOAD)
+        assert alpha.allows("B", "min", PAYLOAD)
+        # FALSE otherwise
+        assert not alpha.allows("N1", "r2", PAYLOAD)
+        assert not alpha.allows("N1", "ro", PAYLOAD)
+        assert not alpha.allows("B", "r1", PAYLOAD)
+
+    def test_figure2_internal_variable_hidden(self):
+        graph = figure2_graph(NEIGHBORS, recipient="B")
+        alpha = paper_alpha(graph)
+        for network in NEIGHBORS + ["B"]:
+            assert not alpha.allows(network, "v", PAYLOAD)
+
+    def test_paper_alpha_is_collectively_sufficient(self):
+        graph = minimum_graph(NEIGHBORS, recipient="B")
+        alpha = paper_alpha(graph)
+        ok, blocked = collectively_verifiable(graph, alpha.payload_alpha())
+        assert ok, blocked
+
+
+class TestOpaqueAlpha:
+    def test_unverifiable(self):
+        graph = minimum_graph(NEIGHBORS, recipient="B")
+        alpha = opaque_alpha(graph)
+        ok, blocked = collectively_verifiable(graph, alpha.payload_alpha())
+        assert not ok
+        assert "min" in blocked

@@ -1,0 +1,272 @@
+"""Detection/Evidence/Accuracy against every adversary class.
+
+This is the executable version of the paper's Section 2.3 property table:
+each Byzantine prover must be detected by the parties the protocol
+analysis predicts, with judge-convincing evidence wherever the mechanism
+admits it.
+"""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.pvr.adversary import (
+    BadOpeningProver,
+    EquivocatingProver,
+    ForgedProvenanceProver,
+    LeakyProver,
+    LongerRouteProver,
+    LyingSuppressor,
+    NoDisclosureProver,
+    NonMonotoneProver,
+    NoReceiptProver,
+    SuppressingProver,
+    UnderstatingProver,
+)
+from repro.pvr.judge import Judge
+from repro.pvr.minimum import RoundConfig
+from repro.pvr.properties import (
+    confidentiality_holds,
+    detection_holds,
+    evidence_holds,
+    run_minimum_scenario,
+)
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor, length):
+    return Route(prefix=PFX,
+                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor)
+
+
+@pytest.fixture
+def config():
+    return RoundConfig(prover="A", providers=("N1", "N2", "N3"),
+                       recipient="B", round=1, max_length=8)
+
+
+@pytest.fixture
+def routes():
+    return {"N1": route("N1", 4), "N2": route("N2", 2), "N3": route("N3", 6)}
+
+
+@pytest.fixture
+def judge(keystore):
+    return Judge(keystore)
+
+
+class TestLongerRoute:
+    def test_recipient_detects_shorter_available(self, keystore, config,
+                                                  routes, judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=LongerRouteProver(keystore)
+        )
+        assert detection_holds(result, deviated=True)
+        assert "B" in result.detecting_parties()
+        kinds = {v.kind for v in result.verdicts["B"].violations}
+        assert "shorter-available" in kinds
+        assert evidence_holds(result, judge)
+
+
+class TestUnderstating:
+    def test_cheated_provider_detects_false_bit(self, keystore, config,
+                                                 routes, judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=UnderstatingProver(keystore)
+        )
+        assert detection_holds(result, deviated=True)
+        # N2 (shortest route, length 2) was erased from the bit vector
+        assert "N2" in result.detecting_parties()
+        kinds = {v.kind for v in result.verdicts["N2"].violations}
+        assert "false-bit" in kinds
+        assert evidence_holds(result, judge)
+
+    def test_recipient_alone_cannot_detect(self, keystore, config, routes):
+        # the forged bits are self-consistent from B's standpoint: this is
+        # exactly why the paper needs condition 3 verified by the Ni
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=UnderstatingProver(keystore)
+        )
+        assert result.verdicts["B"].ok
+
+
+class TestSuppression:
+    def test_recipient_detects_suppression(self, keystore, config, routes,
+                                           judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=SuppressingProver(keystore)
+        )
+        assert "B" in result.detecting_parties()
+        kinds = {v.kind for v in result.verdicts["B"].violations}
+        assert "suppression" in kinds
+        assert evidence_holds(result, judge)
+
+    def test_lying_suppressor_caught_by_providers(self, keystore, config,
+                                                  routes, judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=LyingSuppressor(keystore)
+        )
+        assert detection_holds(result, deviated=True)
+        # every provider that announced sees b_|ri| = 0
+        for provider in ("N1", "N2", "N3"):
+            kinds = {v.kind for v in result.verdicts[provider].violations}
+            assert "false-bit" in kinds
+        assert evidence_holds(result, judge)
+
+
+class TestNonMonotone:
+    def test_recipient_detects(self, keystore, config, routes, judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=NonMonotoneProver(keystore)
+        )
+        kinds = {v.kind for v in result.verdicts["B"].violations}
+        assert "non-monotone" in kinds
+        assert evidence_holds(result, judge)
+
+
+class TestEquivocation:
+    def test_gossip_detects(self, keystore, config, routes, judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=EquivocatingProver(keystore)
+        )
+        assert result.equivocations
+        assert evidence_holds(result, judge)
+
+    def test_without_gossip_split_view_survives_cross_check(
+        self, keystore, config, routes
+    ):
+        """Ablation D4: without gossip the equivocation itself goes
+        unnoticed (no equivocation records)."""
+        result = run_minimum_scenario(
+            keystore, config, routes,
+            prover=EquivocatingProver(keystore), gossip=False,
+        )
+        assert result.equivocations == ()
+        # note: this particular equivocator also suppresses toward B, so
+        # B's local checks still flag *something* -- but the commitment
+        # split itself is invisible without gossip
+        assert all(
+            v.kind != "equivocation"
+            for verdict in result.verdicts.values()
+            for v in verdict.violations
+        )
+
+
+class TestBadOpening:
+    def test_providers_get_transferable_evidence(self, keystore, config,
+                                                 routes, judge):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=BadOpeningProver(keystore)
+        )
+        detecting = result.detecting_parties()
+        assert set(detecting) & {"N1", "N2", "N3"}
+        for party in detecting:
+            for violation in result.verdicts[party].violations:
+                assert violation.kind == "bad-opening"
+                assert violation.transferable()
+        assert evidence_holds(result, judge)
+
+
+class TestWithheldMessages:
+    def test_missing_receipt_yields_complaint(self, keystore, config, routes):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=NoReceiptProver(keystore)
+        )
+        assert detection_holds(result, deviated=True)
+        claims = {c.claim for c in result.all_complaints()}
+        assert "missing-receipt" in claims
+
+    def test_missing_disclosure_yields_complaint(self, keystore, config,
+                                                 routes):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=NoDisclosureProver(keystore)
+        )
+        claims = {c.claim for c in result.all_complaints()}
+        assert "missing-disclosure" in claims
+
+
+class TestForgedProvenance:
+    def test_recipient_detects(self, keystore, config, routes, judge):
+        forged = route("N9", 1)
+        result = run_minimum_scenario(
+            keystore, config, routes,
+            prover=ForgedProvenanceProver(keystore, forged, "N2"),
+        )
+        kinds = {v.kind for v in result.verdicts["B"].violations}
+        assert "bad-provenance" in kinds
+        assert evidence_holds(result, judge)
+
+
+class TestLeakyProver:
+    def test_verifiers_see_nothing_wrong(self, keystore, config, routes):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=LeakyProver(keystore)
+        )
+        assert not result.violation_found()
+
+    def test_confidentiality_checker_flags_it(self, keystore, config, routes):
+        result = run_minimum_scenario(
+            keystore, config, routes, prover=LeakyProver(keystore)
+        )
+        assert not confidentiality_holds(result, routes)
+
+
+class TestAccuracyAgainstFabrication:
+    """Accuracy: an honest AS can disprove fabricated evidence."""
+
+    def test_fabricated_false_bit_fails_at_judge(self, keystore, config,
+                                                 routes, judge):
+        # run an honest round, then try to frame A by reusing its honest
+        # disclosure of a zero bit with an unrelated announcement
+        from repro.pvr.evidence import FalseBitEvidence
+        from repro.pvr.announcements import make_announcement, make_receipt
+
+        result = run_minimum_scenario(keystore, config, routes)
+        view = result.transcript.recipient_view
+        zero_disclosures = [
+            d for d in view.disclosures if d.opening.value == 0
+        ]
+        assert zero_disclosures
+        # N1 fabricates an announcement of length 1 "from this round" --
+        # but A never receipted it, and the accuser cannot forge A's
+        # receipt signature; reusing a receipt for a different
+        # announcement fails the digest check
+        fake_ann = make_announcement(keystore, route("N1", 1), "N1", "A",
+                                     config.round)
+        honest_receipt = result.transcript.provider_views["N1"].receipt
+        fabricated = FalseBitEvidence(
+            vector=view.vector,
+            disclosure=zero_disclosures[0],
+            announcement=fake_ann,
+            receipt=honest_receipt,
+        )
+        assert not judge.validate(fabricated)
+
+    def test_fabricated_shorter_available_fails(self, keystore, config,
+                                                routes, judge):
+        from repro.pvr.evidence import ShorterAvailableEvidence
+
+        result = run_minimum_scenario(keystore, config, routes)
+        view = result.transcript.recipient_view
+        # accuse using a disclosure of a zero bit (value must be 1)
+        zero = [d for d in view.disclosures if d.opening.value == 0][0]
+        fabricated = ShorterAvailableEvidence(
+            vector=view.vector, attestation=view.attestation, disclosure=zero,
+        )
+        assert not judge.validate(fabricated)
+
+    def test_fabricated_suppression_fails(self, keystore, config, routes,
+                                          judge):
+        from repro.pvr.evidence import SuppressionEvidence
+
+        result = run_minimum_scenario(keystore, config, routes)
+        view = result.transcript.recipient_view
+        one = [d for d in view.disclosures if d.opening.value == 1][0]
+        fabricated = SuppressionEvidence(
+            vector=view.vector, attestation=view.attestation, disclosure=one,
+        )
+        # the attestation shows a route was exported, so suppression fails
+        assert not judge.validate(fabricated)

@@ -1,0 +1,186 @@
+"""Tests for PVR building blocks: announcements, receipts, bit vectors,
+disclosures, attestations."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.pvr.announcements import make_announcement, make_receipt
+from repro.pvr.commitments import (
+    commit_bits,
+    compute_length_bits,
+    make_attestation,
+    make_disclosure,
+)
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor="N1", length=2):
+    return Route(prefix=PFX, as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor)
+
+
+@pytest.fixture
+def parties(keystore):
+    for asn in ("A", "B", "N1", "N2"):
+        keystore.register(asn)
+    return keystore
+
+
+class TestComputeLengthBits:
+    def test_paper_semantics(self):
+        # routes of lengths 2 and 4, L = 5: b_i = 1 iff min(2,4) <= i
+        assert compute_length_bits([2, 4], 5) == (0, 1, 1, 1, 1)
+
+    def test_no_routes(self):
+        assert compute_length_bits([], 4) == (0, 0, 0, 0)
+
+    def test_monotone_by_construction(self):
+        bits = compute_length_bits([3, 7, 9], 10)
+        assert all(a <= b for a, b in zip(bits, bits[1:]))
+
+    def test_length_one(self):
+        assert compute_length_bits([1], 3) == (1, 1, 1)
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            compute_length_bits([1], 0)
+
+
+class TestAnnouncementsAndReceipts:
+    def test_announcement_verifies(self, parties):
+        ann = make_announcement(parties, route(), "N1", "A", 1)
+        assert ann.verify(parties)
+
+    def test_announcement_binds_round(self, parties):
+        ann = make_announcement(parties, route(), "N1", "A", 1)
+        replayed = type(ann)(route=ann.route, origin=ann.origin,
+                             recipient=ann.recipient, round=2,
+                             signature=ann.signature)
+        assert not replayed.verify(parties)
+
+    def test_announcement_binds_recipient(self, parties):
+        ann = make_announcement(parties, route(), "N1", "A", 1)
+        redirected = type(ann)(route=ann.route, origin=ann.origin,
+                               recipient="B", round=1,
+                               signature=ann.signature)
+        assert not redirected.verify(parties)
+
+    def test_announcement_binds_origin(self, parties):
+        ann = make_announcement(parties, route(), "N1", "A", 1)
+        relabeled = type(ann)(route=ann.route, origin="N2",
+                              recipient="A", round=1,
+                              signature=ann.signature)
+        assert not relabeled.verify(parties)
+
+    def test_receipt_verifies(self, parties):
+        ann = make_announcement(parties, route(), "N1", "A", 1)
+        receipt = make_receipt(parties, "A", ann)
+        assert receipt.verify(parties)
+        assert receipt.provider == "N1"
+        assert receipt.announcement_digest == ann.digest()
+
+    def test_receipt_binds_announcement(self, parties):
+        ann1 = make_announcement(parties, route(length=2), "N1", "A", 1)
+        ann2 = make_announcement(parties, route(length=3), "N1", "A", 1)
+        receipt = make_receipt(parties, "A", ann1)
+        assert receipt.announcement_digest != ann2.digest()
+
+
+class TestCommittedBitVector:
+    def test_consistent(self, parties, rng):
+        vector, openings = commit_bits(parties, "A", "t", 1, (0, 1, 1), rng.bytes)
+        assert vector.is_consistent(parties)
+        assert openings.bits() == (0, 1, 1)
+
+    def test_commitment_indexing_one_based(self, parties, rng):
+        vector, openings = commit_bits(parties, "A", "t", 1, (0, 1), rng.bytes)
+        assert vector.commitment(1).digest == vector.commitments[0].digest
+        with pytest.raises(IndexError):
+            vector.commitment(0)
+        with pytest.raises(IndexError):
+            vector.commitment(3)
+        with pytest.raises(IndexError):
+            openings.opening(3)
+
+    def test_tampered_digest_inconsistent(self, parties, rng):
+        vector, _ = commit_bits(parties, "A", "t", 1, (0, 1), rng.bytes)
+        from repro.crypto.commitment import Commitment
+        forged_commitments = (
+            Commitment(label=vector.commitments[0].label, digest=b"\x00" * 32),
+            vector.commitments[1],
+        )
+        forged = type(vector)(author="A", topic="t", round=1,
+                              commitments=forged_commitments,
+                              statement=vector.statement)
+        assert not forged.is_consistent(parties)
+
+    def test_invalid_bits_rejected(self, parties, rng):
+        with pytest.raises(ValueError):
+            commit_bits(parties, "A", "t", 1, (0, 2), rng.bytes)
+        with pytest.raises(ValueError):
+            commit_bits(parties, "A", "t", 1, (), rng.bytes)
+
+
+class TestSignedDisclosure:
+    def test_matches_and_verifies(self, parties, rng):
+        vector, openings = commit_bits(parties, "A", "t", 1, (0, 1), rng.bytes)
+        disclosure = make_disclosure(parties, "A", "t", 1, 2, openings.opening(2))
+        assert disclosure.verify_signature(parties)
+        assert disclosure.matches(vector)
+
+    def test_wrong_index_does_not_match(self, parties, rng):
+        vector, openings = commit_bits(parties, "A", "t", 1, (0, 1), rng.bytes)
+        disclosure = make_disclosure(parties, "A", "t", 1, 1, openings.opening(2))
+        assert not disclosure.matches(vector)
+
+    def test_out_of_range_index(self, parties, rng):
+        vector, openings = commit_bits(parties, "A", "t", 1, (0, 1), rng.bytes)
+        disclosure = make_disclosure(parties, "A", "t", 1, 9, openings.opening(2))
+        assert not disclosure.matches(vector)
+
+
+class TestExportAttestation:
+    def test_valid_provenance_chain(self, parties):
+        announced = route("N1", length=2)
+        ann = make_announcement(parties, announced, "N1", "A", 1)
+        exported = announced.exported_by("A")
+        att = make_attestation(parties, "A", "B", 1, exported, ann)
+        assert att.verify_signature(parties)
+        assert att.provenance_valid(parties)
+        assert att.exported_length() == 2
+
+    def test_none_export(self, parties):
+        att = make_attestation(parties, "A", "B", 1, None, None)
+        assert att.provenance_valid(parties)
+        assert att.exported_length() is None
+
+    def test_route_without_provenance_invalid(self, parties):
+        att = make_attestation(parties, "A", "B", 1,
+                               route().exported_by("A"), None)
+        assert not att.provenance_valid(parties)
+
+    def test_path_mismatch_invalid(self, parties):
+        announced = route("N1", length=2)
+        ann = make_announcement(parties, announced, "N1", "A", 1)
+        other = route("N1", length=3).exported_by("A")
+        att = make_attestation(parties, "A", "B", 1, other, ann)
+        assert not att.provenance_valid(parties)
+
+    def test_round_mismatch_invalid(self, parties):
+        announced = route("N1", length=2)
+        ann = make_announcement(parties, announced, "N1", "A", 2)
+        att = make_attestation(parties, "A", "B", 1,
+                               announced.exported_by("A"), ann)
+        assert not att.provenance_valid(parties)
+
+    def test_forged_announcement_invalid(self, parties):
+        announced = route("N1", length=2)
+        ann = make_announcement(parties, announced, "N1", "A", 1)
+        forged = type(ann)(route=ann.route, origin="N2", recipient="A",
+                           round=1, signature=ann.signature)
+        att = make_attestation(parties, "A", "B", 1,
+                               announced.exported_by("A"), forged)
+        assert not att.provenance_valid(parties)

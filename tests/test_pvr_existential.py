@@ -1,0 +1,177 @@
+"""Tests for the existential protocol (paper Section 3.2) and its
+ring-signature link-state variant."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.pvr.existential import (
+    ExistentialProver,
+    ring_announce,
+    ring_statement,
+    verify_as_provider,
+    verify_as_recipient,
+    verify_ring_provenance,
+)
+from repro.pvr.judge import Judge
+from repro.pvr.minimum import RoundConfig, announce
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor, length=2):
+    return Route(prefix=PFX,
+                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor)
+
+
+@pytest.fixture
+def config(keystore):
+    cfg = RoundConfig(prover="A", providers=("N1", "N2"), recipient="B",
+                      round=1, max_length=8)
+    for asn in ("A", "B", "N1", "N2"):
+        keystore.register(asn)
+    return cfg
+
+
+def run_round(keystore, config, routes, prover=None):
+    announcements = announce(keystore, config, routes)
+    if prover is None:
+        prover = ExistentialProver(keystore)
+    transcript = prover.run(config, announcements)
+    verdicts = {
+        provider: verify_as_provider(
+            keystore, config, provider, announcements.get(provider),
+            transcript.provider_views[provider],
+        )
+        for provider in config.providers
+    }
+    verdicts[config.recipient] = verify_as_recipient(
+        keystore, config, transcript.recipient_view
+    )
+    return transcript, verdicts
+
+
+class TestHonestRounds:
+    def test_route_present(self, keystore, config):
+        transcript, verdicts = run_round(
+            keystore, config, {"N1": route("N1"), "N2": None}
+        )
+        assert all(v.ok for v in verdicts.values())
+        assert transcript.recipient_view.attestation.route is not None
+        assert transcript.recipient_view.disclosure.opening.value == 1
+
+    def test_no_routes(self, keystore, config):
+        transcript, verdicts = run_round(keystore, config,
+                                         {"N1": None, "N2": None})
+        assert all(v.ok for v in verdicts.values())
+        assert transcript.recipient_view.attestation.route is None
+        assert transcript.recipient_view.disclosure.opening.value == 0
+
+    def test_silent_provider_owed_nothing(self, keystore, config):
+        transcript, verdicts = run_round(
+            keystore, config, {"N1": route("N1"), "N2": None}
+        )
+        assert verdicts["N2"].ok
+        assert transcript.provider_views["N2"].disclosure is None
+
+
+class TestByzantineProvers:
+    def test_denying_receipt_of_routes(self, keystore, config):
+        """A claims b = 0 while N1 announced: N1 gets false-bit evidence."""
+
+        class Denier(ExistentialProver):
+            def compute_bit(self, config, accepted):
+                return 0
+
+            def choose_export(self, config, accepted):
+                return None
+
+        transcript, verdicts = run_round(
+            keystore, config, {"N1": route("N1"), "N2": None},
+            prover=Denier(keystore),
+        )
+        assert not verdicts["N1"].ok
+        kinds = {v.kind for v in verdicts["N1"].violations}
+        assert "exists-false-bit" in kinds
+        judge = Judge(keystore)
+        for violation in verdicts["N1"].violations:
+            if violation.evidence is not None:
+                assert judge.validate(violation.evidence)
+
+    def test_suppression_detected_by_recipient(self, keystore, config):
+        class Suppressor(ExistentialProver):
+            def choose_export(self, config, accepted):
+                return None
+
+        _, verdicts = run_round(
+            keystore, config, {"N1": route("N1"), "N2": None},
+            prover=Suppressor(keystore),
+        )
+        kinds = {v.kind for v in verdicts["B"].violations}
+        assert "suppression" in kinds
+
+    def test_phantom_export_detected(self, keystore, config):
+        """A commits b=0 but still exports a (validly-announced) route."""
+
+        class Phantom(ExistentialProver):
+            def compute_bit(self, config, accepted):
+                return 0
+
+        _, verdicts = run_round(
+            keystore, config, {"N1": route("N1"), "N2": None},
+            prover=Phantom(keystore),
+        )
+        kinds = {v.kind for v in verdicts["B"].violations}
+        assert "exists-phantom" in kinds
+
+    def test_forged_provenance_detected(self, keystore, config):
+        from repro.pvr.announcements import SignedAnnouncement, announcement_bytes
+
+        class Forger(ExistentialProver):
+            def choose_export(self, config, accepted):
+                forged_route = route("N9", 1)
+                body = announcement_bytes(forged_route, "N1", config.prover,
+                                          config.round)
+                return SignedAnnouncement(
+                    route=forged_route, origin="N1", recipient=config.prover,
+                    round=config.round,
+                    signature=self.keystore.sign(config.prover, body),
+                )
+
+            def compute_bit(self, config, accepted):
+                return 1
+
+        _, verdicts = run_round(
+            keystore, config, {"N1": route("N1"), "N2": None},
+            prover=Forger(keystore),
+        )
+        kinds = {v.kind for v in verdicts["B"].violations}
+        assert "bad-provenance" in kinds
+
+
+class TestRingVariant:
+    def test_any_provider_can_vouch(self, keystore, config):
+        for signer in config.providers:
+            sig = ring_announce(keystore, config, signer)
+            assert verify_ring_provenance(keystore, config, sig)
+
+    def test_statement_binds_round(self, keystore, config):
+        sig = ring_announce(keystore, config, "N1")
+        other_round = RoundConfig(prover="A", providers=("N1", "N2"),
+                                  recipient="B", round=2, max_length=8)
+        assert not verify_ring_provenance(keystore, other_round, sig)
+
+    def test_non_provider_cannot_sign(self, keystore, config):
+        keystore.register("MALLORY")
+        with pytest.raises(ValueError):
+            ring_announce(keystore, config, "MALLORY")
+
+    def test_recipient_cannot_identify_signer(self, keystore, config):
+        """The verification procedure is identical for every possible
+        signer: B's only check is against the whole ring."""
+        sigs = [ring_announce(keystore, config, s) for s in config.providers]
+        for sig in sigs:
+            assert verify_ring_provenance(keystore, config, sig)
+            assert len(sig.xs) == len(config.providers)

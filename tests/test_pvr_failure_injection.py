@@ -1,0 +1,110 @@
+"""Failure injection at the transport layer: PVR messages that are
+dropped or tampered in flight must surface in the verdicts, because
+verification now consumes the *received* views."""
+
+import pytest
+
+from repro.bgp.network import BGPNetwork
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.net.simnet import Message
+from repro.pvr.deployment import PVRDeployment, ViewPayload
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+@pytest.fixture
+def deployed():
+    net = BGPNetwork()
+    for asn in ("O", "X", "N1", "N2", "N3", "A", "B"):
+        net.add_as(asn)
+    net.connect("O", "X")
+    net.connect("X", "N1")
+    net.connect("X", "N3")
+    net.connect("O", "N2")
+    for n in ("N1", "N2", "N3"):
+        net.connect(n, "A")
+    net.connect("A", "B")
+    net.establish_sessions()
+    net.originate("O", PFX)
+    net.run_to_quiescence()
+    keystore = KeyStore(seed=21, key_bits=512)
+    return net, PVRDeployment(net, keystore, max_length=8)
+
+
+class TestDrops:
+    def test_clean_channel_baseline(self, deployed):
+        net, deployment = deployed
+        verdicts, stats = deployment.monitored_round("A", PFX, "B")
+        assert stats.violations == 0
+
+    def test_dropped_provider_view_yields_complaints(self, deployed):
+        net, deployment = deployed
+
+        def drop_views_to_n2(message: Message):
+            if message.dst == "N2" and isinstance(message.payload, ViewPayload):
+                return None
+            return message
+
+        net.transport.set_interceptor("A", drop_views_to_n2)
+        verdicts, stats = deployment.monitored_round("A", PFX, "B")
+        net.transport.clear_interceptor("A")
+        assert not verdicts["N2"].ok
+        claims = {c.claim for c in verdicts["N2"].complaints()}
+        # N2 announced a route, so the silent treatment is a violation
+        assert "missing-commitment" in claims or "missing-receipt" in claims
+
+    def test_dropped_recipient_view_yields_complaints(self, deployed):
+        net, deployment = deployed
+
+        def drop_views_to_b(message: Message):
+            if message.dst == "B" and isinstance(message.payload, ViewPayload):
+                return None
+            return message
+
+        net.transport.set_interceptor("A", drop_views_to_b)
+        verdicts, stats = deployment.monitored_round("A", PFX, "B")
+        net.transport.clear_interceptor("A")
+        assert not verdicts["B"].ok
+
+    def test_channel_recovers_after_interceptor_cleared(self, deployed):
+        net, deployment = deployed
+        net.transport.set_interceptor("A", lambda m: None if isinstance(
+            m.payload, ViewPayload) else m)
+        deployment.monitored_round("A", PFX, "B")
+        net.transport.clear_interceptor("A")
+        verdicts, stats = deployment.monitored_round("A", PFX, "B")
+        assert stats.violations == 0
+
+
+class TestTampering:
+    def test_tampered_view_in_flight_is_attributable_nonsense(self, deployed):
+        """A man-in-the-middle replacing A's recipient view with an older
+        or altered one cannot frame A: signatures bind author and round,
+        so the verdict shows complaints, and no *evidence* (which would
+        require A's signature over the forged content) can be produced."""
+        net, deployment = deployed
+
+        swapped = {}
+
+        def corrupt(message: Message):
+            if message.dst == "B" and isinstance(message.payload, ViewPayload):
+                view = message.payload.view
+                # strip the attestation: B must complain, not convict
+                from repro.pvr.minimum import RecipientView
+
+                stripped = RecipientView(
+                    vector=view.vector, attestation=None,
+                    disclosures=view.disclosures,
+                )
+                return Message(src=message.src, dst=message.dst,
+                               payload=ViewPayload(stripped))
+            return message
+
+        net.transport.set_interceptor("A", corrupt)
+        verdicts, _ = deployment.monitored_round("A", PFX, "B")
+        net.transport.clear_interceptor("A")
+        b = verdicts["B"]
+        assert not b.ok
+        assert b.evidence() == ()  # nothing transferable against honest A
+        assert b.complaints()

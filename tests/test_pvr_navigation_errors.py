@@ -1,0 +1,132 @@
+"""Error-path tests for graph navigation (Section 3.7)."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.net.gossip import SignedStatement, make_statement
+from repro.pvr.access import paper_alpha
+from repro.pvr.announcements import make_announcement
+from repro.pvr.navigation import NavigationError, Navigator
+from repro.pvr.protocol import AccessDenied, GraphProver, GraphRoundConfig, RecordResponse
+from repro.pvr.vertex_info import ASPECT_PAYLOAD, ASPECT_PREDS
+from repro.rfg.builder import minimum_graph
+
+PFX = Prefix.parse("10.0.0.0/8")
+NEIGHBORS = ("N1", "N2")
+
+
+@pytest.fixture
+def committed_prover(keystore):
+    for asn in ("A", "B") + NEIGHBORS:
+        keystore.register(asn)
+    graph = minimum_graph(NEIGHBORS, recipient="B")
+    config = GraphRoundConfig(prover="A", round=1, max_length=6)
+    prover = GraphProver(keystore, graph, paper_alpha(graph), config)
+    announcements = {
+        "r1": make_announcement(
+            keystore,
+            Route(prefix=PFX, as_path=ASPath(("N1", "X")), neighbor="N1"),
+            "N1", "A", 1,
+        ),
+    }
+    prover.receive(announcements)
+    root = prover.commit_round()
+    return keystore, prover, root, config
+
+
+class TestRootValidation:
+    def test_bad_root_signature_rejected(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        forged = SignedStatement(
+            author=root.author, topic=root.topic, round=root.round,
+            value=b"\x00" * 32, signature=root.signature,
+        )
+        with pytest.raises(NavigationError):
+            Navigator(keystore, "B", prover, forged)
+
+    def test_foreign_root_accepted_but_proofs_fail(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        # a *validly signed* statement for a different (wrong) root value:
+        # the navigator accepts the signature but every proof then fails
+        wrong = make_statement(keystore, "A", root.topic, root.round + 1,
+                               b"\x11" * 32)
+        nav = Navigator(keystore, "B", prover, wrong)
+        with pytest.raises(NavigationError):
+            nav.fetch_record("ro")
+
+
+class TestQueryChecks:
+    def test_query_before_commit_raises(self, keystore):
+        graph = minimum_graph(NEIGHBORS, recipient="B")
+        config = GraphRoundConfig(prover="A", round=1)
+        prover = GraphProver(keystore, graph, paper_alpha(graph), config)
+        with pytest.raises(RuntimeError):
+            prover.root_statement
+
+    def test_open_aspect_on_unknown_vertex(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        with pytest.raises(AccessDenied):
+            prover.open_aspect("B", "nonexistent", ASPECT_PAYLOAD)
+
+    def test_evidence_bit_bounds_checked(self, committed_prover):
+        keystore, prover, root, config = committed_prover
+        with pytest.raises(AccessDenied):
+            prover.evidence_disclosure("B", "min", 0)
+        with pytest.raises(AccessDenied):
+            prover.evidence_disclosure("B", "min", config.max_length + 1)
+
+    def test_evidence_on_unknown_operator(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        with pytest.raises(AccessDenied):
+            prover.evidence_disclosure("B", "not-an-op", 1)
+        with pytest.raises(AccessDenied):
+            prover.evidence_vector("B", "not-an-op")
+
+    def test_silent_provider_owed_no_bits(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        # N2 announced nothing this round, so it is owed no bit at all
+        with pytest.raises(AccessDenied):
+            prover.evidence_disclosure("N2", "min", 2)
+
+    def test_outsider_gets_nothing(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        keystore.register("MALLORY")
+        with pytest.raises(AccessDenied):
+            prover.open_aspect("MALLORY", "r1", ASPECT_PAYLOAD)
+        with pytest.raises(AccessDenied):
+            prover.evidence_disclosure("MALLORY", "min", 2)
+
+
+class TestResponseTampering:
+    def test_swapped_record_response_caught(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        real_get = prover.get_record
+
+        def swapped(requester, vertex):
+            # answer the query for r1 with the (genuine) record of r2
+            return real_get(requester, "r2" if vertex == "r1" else vertex)
+
+        prover.get_record = swapped
+        nav = Navigator(keystore, "N1", prover, root)
+        with pytest.raises(NavigationError):
+            nav.fetch_record("r1")
+
+    def test_wrong_aspect_response_caught(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        real_open = prover.open_aspect
+
+        def swapped(requester, vertex, aspect):
+            response = real_open(requester, vertex, ASPECT_PREDS)
+            return response
+
+        prover.open_aspect = swapped
+        nav = Navigator(keystore, "B", prover, root)
+        with pytest.raises(NavigationError):
+            nav.open_aspect("ro", ASPECT_PAYLOAD)
+
+    def test_export_attestation_requires_output_vertex(self, committed_prover):
+        keystore, prover, root, _ = committed_prover
+        with pytest.raises(ValueError):
+            prover.export_attestation("r1")

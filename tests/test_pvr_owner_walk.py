@@ -1,0 +1,219 @@
+"""Tests for the structure-derived owner check list
+(:func:`repro.pvr.navigation.owner_check_operators`)."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.pvr.access import paper_alpha
+from repro.pvr.announcements import make_announcement
+from repro.pvr.navigation import Navigator, owner_check_operators, verify_as_input_owner
+from repro.pvr.protocol import GraphProver, GraphRoundConfig
+from repro.rfg.builder import (
+    GraphBuilder,
+    figure2_graph,
+    minimum_graph,
+    subset_minimum_graph,
+)
+from repro.rfg.operators import CommunityFilter, Min, Union
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor, length=2, communities=frozenset()):
+    return Route(prefix=PFX,
+                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor, communities=communities)
+
+
+def committed(keystore, graph, routes_by_var, round_no=1):
+    for vertex in graph.inputs():
+        keystore.register(vertex.party)
+    keystore.register("A")
+    keystore.register("B")
+    config = GraphRoundConfig(prover="A", round=round_no, max_length=8)
+    prover = GraphProver(keystore, graph, paper_alpha(graph), config)
+    announcements = {
+        name: make_announcement(keystore, r, graph.variable(name).party,
+                                "A", round_no)
+        for name, r in routes_by_var.items()
+    }
+    receipts = prover.receive(announcements)
+    root = prover.commit_round()
+    return config, prover, root, announcements, receipts
+
+
+class TestWalk:
+    def test_single_min(self, keystore):
+        graph = minimum_graph(("N1", "N2"), recipient="B")
+        r = route("N1")
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": r, "r2": route("N2", 3)}
+        )
+        nav = Navigator(keystore, "N1", prover, root)
+        assert owner_check_operators(nav, "r1", r) == ("min",)
+
+    def test_figure2_chain(self, keystore):
+        graph = figure2_graph(("N1", "N2", "N3"), recipient="B")
+        r2 = route("N2")
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": route("N1", 4), "r2": r2},
+            round_no=2,
+        )
+        nav = Navigator(keystore, "N2", prover, root)
+        assert owner_check_operators(nav, "r2", r2) == ("min", "unless-shorter")
+        # N1 feeds the shorter-of directly
+        nav1 = Navigator(keystore, "N1", prover, root)
+        assert owner_check_operators(nav1, "r1", route("N1", 4)) == (
+            "unless-shorter",
+        )
+
+    def test_subset_graph_insider_walks_through_filter(self, keystore):
+        graph = subset_minimum_graph(("N1", "N2", "N3"), subset=("N1", "N2"),
+                                     recipient="B")
+        r1 = route("N1")
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": r1, "r3": route("N3", 1)}, round_no=3,
+        )
+        nav = Navigator(keystore, "N1", prover, root)
+        # union -> filter (passes: N1 in subset) -> min
+        assert owner_check_operators(nav, "r1", r1) == (
+            "union", "filter", "min",
+        )
+
+    def test_subset_graph_outsider_stops_at_filter(self, keystore):
+        graph = subset_minimum_graph(("N1", "N2", "N3"), subset=("N1", "N2"),
+                                     recipient="B")
+        r3 = route("N3", 1)
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": route("N1"), "r3": r3}, round_no=4,
+        )
+        nav = Navigator(keystore, "N3", prover, root)
+        # union and the filter itself still count N3's route; the min does not
+        assert owner_check_operators(nav, "r3", r3) == ("union", "filter")
+
+    def test_community_filter_respects_tags(self, keystore):
+        graph = (GraphBuilder()
+                 .input("r1", party="N1")
+                 .input("r2", party="N2")
+                 .internal("all")
+                 .internal("eu")
+                 .output("ro", party="B")
+                 .op("union", Union(), ["r1", "r2"], "all")
+                 .op("eu-only", CommunityFilter("eu"), ["all"], "eu")
+                 .op("min", Min(), ["eu"], "ro")
+                 .build())
+        tagged = route("N1", communities=frozenset({"eu"}))
+        plain = route("N2", 3)
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": tagged, "r2": plain}, round_no=5,
+        )
+        nav1 = Navigator(keystore, "N1", prover, root)
+        assert owner_check_operators(nav1, "r1", tagged) == (
+            "union", "eu-only", "min",
+        )
+        nav2 = Navigator(keystore, "N2", prover, root)
+        assert owner_check_operators(nav2, "r2", plain) == ("union", "eu-only")
+
+
+class TestPrefixFilterWalk:
+    def test_prefix_scoped_graph(self, keystore):
+        from repro.rfg.operators import PrefixFilter
+
+        graph = (GraphBuilder()
+                 .input("r1", party="N1")
+                 .input("r2", party="N2")
+                 .internal("all")
+                 .internal("scoped")
+                 .output("ro", party="B")
+                 .op("union", Union(), ["r1", "r2"], "all")
+                 .op("scope", PrefixFilter(PFX), ["all"], "scoped")
+                 .op("min", Min(), ["scoped"], "ro")
+                 .build())
+        from repro.bgp.prefix import Prefix
+
+        in_scope = route("N1", 3)
+        out_of_scope = Route(
+            prefix=Prefix.parse("172.16.0.0/12"),
+            as_path=ASPath(("N2",)), neighbor="N2",
+        )
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": in_scope, "r2": out_of_scope},
+            round_no=11,
+        )
+        nav1 = Navigator(keystore, "N1", prover, root)
+        assert owner_check_operators(nav1, "r1", in_scope) == (
+            "union", "scope", "min",
+        )
+        nav2 = Navigator(keystore, "N2", prover, root)
+        assert owner_check_operators(nav2, "r2", out_of_scope) == (
+            "union", "scope",
+        )
+
+
+class TestWalkDrivenVerification:
+    def test_insider_verifies_through_derived_list(self, keystore):
+        graph = subset_minimum_graph(("N1", "N2", "N3"), subset=("N1", "N2"),
+                                     recipient="B")
+        r1 = route("N1")
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": r1, "r3": route("N3", 1)}, round_no=6,
+        )
+        nav = Navigator(keystore, "N1", prover, root)
+        ops = owner_check_operators(nav, "r1", r1)
+        verdict = verify_as_input_owner(
+            nav, config, "r1", anns["r1"], receipts["r1"],
+            check_operators=ops,
+        )
+        assert verdict.ok, verdict.violations
+
+    def test_outsider_verifies_without_false_alarm(self, keystore):
+        """N3's shorter route is filtered out; the derived check list must
+        not make N3 falsely accuse A of understating the min."""
+        graph = subset_minimum_graph(("N1", "N2", "N3"), subset=("N1", "N2"),
+                                     recipient="B")
+        r3 = route("N3", 1)
+        config, prover, root, anns, receipts = committed(
+            keystore, graph, {"r1": route("N1"), "r3": r3}, round_no=7,
+        )
+        nav = Navigator(keystore, "N3", prover, root)
+        ops = owner_check_operators(nav, "r3", r3)
+        verdict = verify_as_input_owner(
+            nav, config, "r3", anns["r3"], receipts["r3"],
+            check_operators=ops,
+        )
+        assert verdict.ok, verdict.violations
+
+    def test_filter_cheat_detected_by_insider(self, keystore):
+        """A pretends the insider's route was filtered out (drops it from
+        evaluation): the union/filter evidence bits betray the lie."""
+        graph = subset_minimum_graph(("N1", "N2", "N3"), subset=("N1", "N2"),
+                                     recipient="B")
+
+        class Dropper(GraphProver):
+            def assignment_for_evaluation(self):
+                assignment = super().assignment_for_evaluation()
+                assignment.pop("r1", None)
+                return assignment
+
+        for vertex in graph.inputs():
+            keystore.register(vertex.party)
+        config = GraphRoundConfig(prover="A", round=8, max_length=8)
+        prover = Dropper(keystore, graph, paper_alpha(graph), config)
+        r1 = route("N1")
+        announcements = {
+            "r1": make_announcement(keystore, r1, "N1", "A", 8),
+            "r3": make_announcement(keystore, route("N3", 1), "N3", "A", 8),
+        }
+        receipts = prover.receive(announcements)
+        root = prover.commit_round()
+        nav = Navigator(keystore, "N1", prover, root)
+        ops = owner_check_operators(nav, "r1", r1)
+        verdict = verify_as_input_owner(
+            nav, config, "r1", announcements["r1"], receipts["r1"],
+            check_operators=ops,
+        )
+        assert not verdict.ok
+        kinds = {v.kind for v in verdict.violations}
+        assert "false-bit" in kinds or "announcement-not-in-graph" in kinds

@@ -1,0 +1,96 @@
+"""Structural privacy (paper Section 4): composite operators hide their
+internal structure from unauthorized neighbors while still evaluating
+correctly and carrying evidence."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.pvr.access import PAYLOAD, AccessPolicy
+from repro.pvr.announcements import make_announcement
+from repro.pvr.navigation import Navigator
+from repro.pvr.protocol import AccessDenied, GraphProver, GraphRoundConfig
+from repro.rfg.builder import GraphBuilder, minimum_graph
+from repro.rfg.operators import Composite
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor, length):
+    return Route(prefix=PFX,
+                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+                 neighbor=neighbor)
+
+
+@pytest.fixture
+def composite_round(keystore):
+    """An outer graph whose only operator is a composite wrapping the
+    minimum computation — the 'secret sauce' A does not reveal."""
+    inner = minimum_graph(("N1", "N2"), recipient="B")
+    secret = Composite(inner, input_names=["r1", "r2"], output_name="ro",
+                       label="proprietary-selection")
+    outer = (GraphBuilder()
+             .input("x1", party="N1")
+             .input("x2", party="N2")
+             .output("out", party="B")
+             .op("secret", secret, ["x1", "x2"], "out")
+             .build())
+    alpha = AccessPolicy(outer)
+    alpha.grant("N1", "x1", PAYLOAD)
+    alpha.grant("N2", "x2", PAYLOAD)
+    alpha.grant("B", "out", PAYLOAD)
+    alpha.grant_all_networks("secret", PAYLOAD)
+    for asn in ("A", "B", "N1", "N2"):
+        keystore.register(asn)
+    config = GraphRoundConfig(prover="A", round=1, max_length=8)
+    prover = GraphProver(keystore, outer, alpha, config)
+    announcements = {
+        "x1": make_announcement(keystore, route("N1", 3), "N1", "A", 1),
+        "x2": make_announcement(keystore, route("N2", 2), "N2", "A", 1),
+    }
+    prover.receive(announcements)
+    root = prover.commit_round()
+    return keystore, prover, root, config
+
+
+class TestCompositePrivacy:
+    def test_composite_evaluates_inner_graph(self, composite_round):
+        keystore, prover, root, config = composite_round
+        attestation = prover.export_attestation("out")
+        assert attestation.exported_length() == 2  # the inner min worked
+        assert attestation.provenance.origin == "N2"
+
+    def test_payload_reveals_only_type_and_label(self, composite_round):
+        keystore, prover, root, config = composite_round
+        nav = Navigator(keystore, "B", prover, root)
+        payload = nav.payload("secret")
+        assert payload[0] == "op-payload"
+        assert payload[1] == "composite"
+        # the committed parameters are just the public label — nothing of
+        # the inner min/r1/r2 structure
+        from repro.util.encoding import canonical_decode
+
+        assert canonical_decode(payload[2]) == ("proprietary-selection",)
+
+    def test_inner_vertices_are_not_committed_vertices(self, composite_round):
+        """The inner graph's vertices do not exist in the outer tree: a
+        neighbor cannot even fetch records for them."""
+        keystore, prover, root, config = composite_round
+        nav = Navigator(keystore, "B", prover, root)
+        for hidden in ("r1", "r2", "min", "ro"):
+            assert nav.fetch_record(hidden) is None
+
+    def test_evidence_still_collective(self, composite_round):
+        """Even with the operator hidden, the aggregate evidence bits
+        cover the composite's inputs, so input owners keep their checks."""
+        keystore, prover, root, config = composite_round
+        disclosure = prover.evidence_disclosure("N2", "secret", 2)
+        vector = prover.evidence_vector("N2", "secret")
+        assert disclosure.matches(vector)
+        assert disclosure.opening.value == 1
+
+    def test_unauthorized_bit_still_denied(self, composite_round):
+        keystore, prover, root, config = composite_round
+        with pytest.raises(AccessDenied):
+            prover.evidence_disclosure("N2", "secret", 3)  # not N2's length

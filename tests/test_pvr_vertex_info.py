@@ -1,0 +1,102 @@
+"""Tests for per-vertex records I(x) (paper Section 3.7)."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.crypto.commitment import Opening
+from repro.pvr.vertex_info import (
+    ASPECT_PAYLOAD,
+    ASPECT_PREDS,
+    ASPECT_SUCCS,
+    make_vertex_record,
+    operator_payload,
+    variable_payload,
+    verify_aspect,
+    vertex_address,
+)
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def sample_record(rng):
+    return make_vertex_record(
+        name="min",
+        is_operator=True,
+        preds=("r1", "r2"),
+        succs=("ro",),
+        payload=operator_payload("min-path-length", (), (b"\x01" * 32,)),
+        random_bytes=rng.bytes,
+    )
+
+
+class TestAddressing:
+    def test_rule_vs_var_addresses_differ(self):
+        assert vertex_address("x", True) != vertex_address("x", False)
+
+    def test_addresses_prefix_free(self):
+        from repro.util.bitstrings import is_prefix_free
+
+        addresses = [
+            vertex_address(name, is_op)
+            for name in ("r1", "r2", "min", "ro", "r", "r12")
+            for is_op in (True, False)
+        ]
+        assert is_prefix_free(addresses)
+
+
+class TestPayloads:
+    def test_variable_payload_none(self):
+        assert variable_payload(None) == ("var-payload", None)
+
+    def test_variable_payload_route(self):
+        r = Route(prefix=PFX, as_path=ASPath(("X",)), neighbor="N1")
+        payload = variable_payload(r)
+        assert payload[0] == "var-payload"
+        assert payload[1] == r.canonical()
+
+    def test_operator_payload_binds_evidence(self):
+        a = operator_payload("min-path-length", (), (b"\x01" * 32,))
+        b = operator_payload("min-path-length", (), (b"\x02" * 32,))
+        assert a != b
+
+
+class TestRecords:
+    def test_aspects_open_independently(self, rng):
+        record, openings = sample_record(rng)
+        assert verify_aspect(record, ASPECT_PREDS, openings.preds)
+        assert verify_aspect(record, ASPECT_SUCCS, openings.succs)
+        assert verify_aspect(record, ASPECT_PAYLOAD, openings.payload)
+
+    def test_cross_aspect_opening_rejected(self, rng):
+        record, openings = sample_record(rng)
+        assert not verify_aspect(record, ASPECT_PREDS, openings.succs)
+        assert not verify_aspect(record, ASPECT_PAYLOAD, openings.preds)
+
+    def test_forged_value_rejected(self, rng):
+        record, openings = sample_record(rng)
+        forged = Opening(
+            label=openings.preds.label,
+            value=("r1", "r2", "r3"),  # extra predecessor
+            nonce=openings.preds.nonce,
+        )
+        assert not verify_aspect(record, ASPECT_PREDS, forged)
+
+    def test_unknown_aspect(self, rng):
+        record, openings = sample_record(rng)
+        assert not verify_aspect(record, "sideways", openings.preds)
+        with pytest.raises(ValueError):
+            record.commitment_for("sideways")
+        with pytest.raises(ValueError):
+            openings.opening_for("sideways")
+
+    def test_leaf_payload_binds_everything(self, rng):
+        record1, _ = sample_record(rng)
+        record2, _ = sample_record(rng)  # fresh nonces -> new digests
+        assert record1.leaf_payload() != record2.leaf_payload()
+        assert record1.name in str(record1.leaf_payload())
+
+    def test_record_address_tags_kind(self, rng):
+        record, _ = sample_record(rng)
+        assert record.address() == vertex_address("min", True)

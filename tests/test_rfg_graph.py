@@ -1,0 +1,217 @@
+"""Tests for route-flow-graph structure and evaluation."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.rfg.builder import (
+    GraphBuilder,
+    existential_graph,
+    figure2_graph,
+    minimum_graph,
+    subset_minimum_graph,
+)
+from repro.rfg.graph import GraphError, RouteFlowGraph
+from repro.rfg.operators import Composite, Min, ShorterOf, Union
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor, length=1):
+    return Route(
+        prefix=PFX,
+        as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+        neighbor=neighbor,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        g = RouteFlowGraph()
+        g.add_input("r1", party="N1")
+        with pytest.raises(GraphError):
+            g.add_internal("r1")
+
+    def test_operator_name_collision_with_variable(self):
+        g = RouteFlowGraph()
+        g.add_input("r1", party="N1")
+        g.add_output("ro", party="B")
+        with pytest.raises(GraphError):
+            g.add_operator("r1", Min(), inputs=["r1"], output="ro")
+
+    def test_unknown_variable_rejected(self):
+        g = RouteFlowGraph()
+        g.add_output("ro", party="B")
+        with pytest.raises(GraphError):
+            g.add_operator("min", Min(), inputs=["missing"], output="ro")
+
+    def test_writing_input_rejected(self):
+        g = RouteFlowGraph()
+        g.add_input("r1", party="N1")
+        g.add_input("r2", party="N2")
+        with pytest.raises(GraphError):
+            g.add_operator("min", Min(), inputs=["r1"], output="r2")
+
+    def test_double_producer_rejected(self):
+        g = RouteFlowGraph()
+        g.add_input("r1", party="N1")
+        g.add_output("ro", party="B")
+        g.add_operator("m1", Min(), inputs=["r1"], output="ro")
+        with pytest.raises(GraphError):
+            g.add_operator("m2", Min(), inputs=["r1"], output="ro")
+
+    def test_unproduced_output_rejected(self):
+        g = RouteFlowGraph()
+        g.add_input("r1", party="N1")
+        g.add_output("ro", party="B")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_party_required_for_io(self):
+        g = RouteFlowGraph()
+        with pytest.raises(GraphError):
+            g.add_input("r1", party=None)
+
+    def test_invalid_role_rejected(self):
+        from repro.rfg.graph import VariableVertex
+        with pytest.raises(GraphError):
+            VariableVertex(name="x", role="sideways")
+
+    def test_cycle_rejected(self):
+        g = RouteFlowGraph()
+        g.add_input("r1", party="N1")
+        g.add_internal("a")
+        g.add_internal("b")
+        g.add_operator("op1", Union(), inputs=["r1", "b"], output="a")
+        g.add_operator("op2", Union(), inputs=["a"], output="b")
+        with pytest.raises(GraphError):
+            g.validate()
+
+
+class TestStructure:
+    def test_predecessors_successors(self):
+        g = figure2_graph(["N1", "N2", "N3"])
+        assert g.predecessors("v") == ("min",)
+        assert g.predecessors("min") == ("r2", "r3")
+        assert g.successors("v") == ("unless-shorter",)
+        assert g.successors("unless-shorter") == ("ro",)
+        assert g.predecessors("r1") == ()
+        assert g.successors("ro") == ()
+
+    def test_vertex_names_sorted(self):
+        g = minimum_graph(["N1", "N2"])
+        assert g.vertex_names() == ("min", "r1", "r2", "ro")
+
+    def test_io_listing(self):
+        g = minimum_graph(["N1", "N2"], recipient="B")
+        assert [v.party for v in g.inputs()] == ["N1", "N2"]
+        assert [v.party for v in g.outputs()] == ["B"]
+
+
+class TestEvaluation:
+    def test_minimum_graph(self):
+        g = minimum_graph(["N1", "N2", "N3"])
+        values = g.evaluate({"r1": route("N1", 3), "r2": route("N2", 1),
+                             "r3": route("N3", 2)})
+        assert values["ro"].neighbor == "N2"
+
+    def test_missing_inputs_default_to_none(self):
+        g = minimum_graph(["N1", "N2"])
+        values = g.evaluate({"r1": route("N1", 2)})
+        assert values["ro"].neighbor == "N1"
+
+    def test_all_absent_yields_none(self):
+        g = minimum_graph(["N1", "N2"])
+        assert g.evaluate({})["ro"] is None
+
+    def test_unknown_assignment_rejected(self):
+        g = minimum_graph(["N1"])
+        with pytest.raises(GraphError):
+            g.evaluate({"nope": route("N1")})
+
+    def test_assignment_to_internal_rejected(self):
+        g = figure2_graph(["N1", "N2"])
+        with pytest.raises(GraphError):
+            g.evaluate({"v": route("N1")})
+
+    def test_existential_graph(self):
+        g = existential_graph(["N1", "N2"])
+        assert g.evaluate({})["ro"] is None
+        assert g.evaluate({"r2": route("N2")})["ro"] is not None
+
+    def test_figure2_semantics(self):
+        g = figure2_graph(["N1", "N2", "N3"])
+        # default route via N2/N3 wins on tie
+        values = g.evaluate({"r1": route("N1", 2), "r2": route("N2", 2)})
+        assert values["ro"].neighbor == "N2"
+        # N1 wins only when strictly shorter
+        values = g.evaluate({"r1": route("N1", 1), "r2": route("N2", 2)})
+        assert values["ro"].neighbor == "N1"
+
+    def test_subset_minimum_ignores_outsiders(self):
+        g = subset_minimum_graph(["N1", "N2", "N3"], subset=["N1", "N2"])
+        values = g.evaluate({"r3": route("N3", 1)})
+        assert values["ro"] is None
+        values = g.evaluate({"r2": route("N2", 5), "r3": route("N3", 1)})
+        assert values["ro"].neighbor == "N2"
+
+    def test_evaluate_output_helper(self):
+        g = minimum_graph(["N1"])
+        assert g.evaluate_output({"r1": route("N1")}, "ro").neighbor == "N1"
+
+
+class TestComposite:
+    def test_composite_hides_inner_graph(self):
+        inner = minimum_graph(["N1", "N2"])
+        comp = Composite(inner, input_names=["r1", "r2"], output_name="ro",
+                         label="secret-sauce")
+        outer = (GraphBuilder()
+                 .input("x1", party="N1")
+                 .input("x2", party="N2")
+                 .output("out", party="B")
+                 .op("comp", comp, ["x1", "x2"], "out")
+                 .build())
+        values = outer.evaluate({"x1": route("N1", 3), "x2": route("N2", 1)})
+        assert values["out"].neighbor == "N2"
+        # the committed payload reveals only the label
+        assert comp.payload() == ("composite", ("secret-sauce",))
+
+    def test_composite_arity_checked(self):
+        inner = minimum_graph(["N1"])
+        comp = Composite(inner, input_names=["r1"], output_name="ro")
+        with pytest.raises(ValueError):
+            comp.evaluate([route("N1"), route("N2")])
+
+
+class TestRendering:
+    def test_to_dot_structure(self):
+        g = figure2_graph(["N1", "N2"])
+        dot = g.to_dot()
+        assert dot.startswith("digraph rfg {")
+        assert dot.rstrip().endswith("}")
+        for vertex in ("r1", "r2", "v", "ro", "min", "unless-shorter"):
+            assert f'"{vertex}"' in dot
+        assert '"min" -> "v"' in dot
+        assert '"v" -> "unless-shorter"' in dot
+        assert "min-path-length" in dot
+
+    def test_to_dot_marks_parties(self):
+        g = minimum_graph(["N1"], recipient="B")
+        dot = g.to_dot()
+        assert "(N1)" in dot
+        assert "(B)" in dot
+
+
+class TestBuilders:
+    def test_minimum_graph_requires_neighbors(self):
+        with pytest.raises(ValueError):
+            minimum_graph([])
+
+    def test_figure2_requires_two(self):
+        with pytest.raises(ValueError):
+            figure2_graph(["N1"])
+
+    def test_subset_must_be_known(self):
+        with pytest.raises(ValueError):
+            subset_minimum_graph(["N1"], subset=["N9"])

@@ -1,0 +1,208 @@
+"""Tests for route-flow-graph operators."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.rfg.operators import (
+    ASAbsenceFilter,
+    BGPBestPath,
+    CommunityFilter,
+    Const,
+    Existential,
+    Min,
+    NeighborFilter,
+    ShorterOf,
+    Union,
+    normalize_routes,
+)
+
+PFX = Prefix.parse("10.0.0.0/8")
+
+
+def route(neighbor="N1", path=("X",), lp=100, communities=frozenset()):
+    return Route(prefix=PFX, as_path=ASPath(path), neighbor=neighbor,
+                 local_pref=lp, communities=communities)
+
+
+class TestNormalize:
+    def test_none(self):
+        assert normalize_routes(None) == ()
+
+    def test_single(self):
+        r = route()
+        assert normalize_routes(r) == (r,)
+
+    def test_tuple_and_list(self):
+        r = route()
+        assert normalize_routes((r,)) == (r,)
+        assert normalize_routes([r]) == (r,)
+
+    def test_rejects_non_routes(self):
+        with pytest.raises(TypeError):
+            normalize_routes(("x",))
+        with pytest.raises(TypeError):
+            normalize_routes(42)
+
+
+class TestMin:
+    def test_picks_shortest(self):
+        short = route("N2", path=("a",))
+        long = route("N1", path=("a", "b"))
+        assert Min().evaluate([long, short]) == short
+
+    def test_empty_returns_none(self):
+        assert Min().evaluate([None, None]) is None
+
+    def test_mixed_sets_and_singles(self):
+        r1 = route("N1", path=("a", "b"))
+        r2 = route("N2", path=("c",))
+        r3 = route("N3", path=("d", "e", "f"))
+        assert Min().evaluate([(r1, r3), r2]) == r2
+
+    def test_tie_broken_deterministically(self):
+        a = route("N1", path=("x",))
+        b = route("N2", path=("y",))
+        winner = Min().evaluate([a, b])
+        assert winner == Min().evaluate([b, a])
+
+    def test_min_ignores_local_pref(self):
+        # Min is by path length, unlike full BGP
+        preferred_long = route("N1", path=("a", "b"), lp=300)
+        short = route("N2", path=("a",), lp=50)
+        assert Min().evaluate([preferred_long, short]) == short
+
+
+class TestExistential:
+    def test_emits_when_any(self):
+        assert Existential().evaluate([None, route()]) is not None
+
+    def test_silent_when_none(self):
+        assert Existential().evaluate([None, ()]) is None
+
+    def test_deterministic(self):
+        a, b = route("N1"), route("N2")
+        assert Existential().evaluate([a, b]) == Existential().evaluate([b, a])
+
+
+class TestFilters:
+    def test_neighbor_filter(self):
+        op = NeighborFilter(["N1", "N3"])
+        kept = op.evaluate([(route("N1"), route("N2"), route("N3"))])
+        assert {r.neighbor for r in kept} == {"N1", "N3"}
+
+    def test_neighbor_filter_params_sorted(self):
+        assert NeighborFilter(["N3", "N1"]).params() == (("N1", "N3"),)
+
+    def test_community_filter_require(self):
+        tagged = route("N1", communities=frozenset({"eu"}))
+        plain = route("N2")
+        op = CommunityFilter("eu")
+        assert op.evaluate([(tagged, plain)]) == (tagged,)
+
+    def test_community_filter_exclude(self):
+        tagged = route("N1", communities=frozenset({"eu"}))
+        plain = route("N2")
+        op = CommunityFilter("eu", require=False)
+        assert op.evaluate([(tagged, plain)]) == (plain,)
+
+    def test_as_absence_filter(self):
+        clean = route("N1", path=("a", "b"))
+        tainted = route("N2", path=("a", "EVIL"))
+        assert ASAbsenceFilter("EVIL").evaluate([(clean, tainted)]) == (clean,)
+
+
+class TestPrefixFilter:
+    def test_covering_mode(self):
+        from repro.rfg.operators import PrefixFilter
+
+        inside = Route(prefix=Prefix.parse("10.1.0.0/16"),
+                       as_path=ASPath(("X",)), neighbor="N1")
+        outside = Route(prefix=Prefix.parse("11.0.0.0/8"),
+                        as_path=ASPath(("Y",)), neighbor="N2")
+        op = PrefixFilter(Prefix.parse("10.0.0.0/8"))
+        assert op.evaluate([(inside, outside)]) == (inside,)
+
+    def test_exact_mode(self):
+        from repro.rfg.operators import PrefixFilter
+
+        exact = Route(prefix=Prefix.parse("10.0.0.0/8"),
+                      as_path=ASPath(("X",)), neighbor="N1")
+        specific = Route(prefix=Prefix.parse("10.1.0.0/16"),
+                         as_path=ASPath(("Y",)), neighbor="N2")
+        op = PrefixFilter(Prefix.parse("10.0.0.0/8"), exact=True)
+        assert op.evaluate([(exact, specific)]) == (exact,)
+
+    def test_params_committed(self):
+        from repro.rfg.operators import PrefixFilter
+
+        a = PrefixFilter(Prefix.parse("10.0.0.0/8"))
+        b = PrefixFilter(Prefix.parse("11.0.0.0/8"))
+        assert a.payload() != b.payload()
+
+
+class TestUnion:
+    def test_merges_and_dedupes(self):
+        a, b = route("N1"), route("N2")
+        assert Union().evaluate([(a,), (b, a)]) == (a, b)
+
+    def test_empty(self):
+        assert Union().evaluate([None, ()]) == ()
+
+
+class TestShorterOf:
+    def test_default_wins_on_tie(self):
+        default = route("N2", path=("a",))
+        challenger = route("N1", path=("b",))
+        assert ShorterOf().evaluate([default, challenger]) == default
+
+    def test_challenger_wins_when_strictly_shorter(self):
+        default = route("N2", path=("a", "b"))
+        challenger = route("N1", path=("c",))
+        assert ShorterOf().evaluate([default, challenger]) == challenger
+
+    def test_missing_sides(self):
+        r = route()
+        assert ShorterOf().evaluate([None, r]) == r
+        assert ShorterOf().evaluate([r, None]) == r
+        assert ShorterOf().evaluate([None, None]) is None
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            ShorterOf().evaluate([route()])
+
+
+class TestBGPBestPath:
+    def test_follows_full_pipeline(self):
+        preferred_long = route("N1", path=("a", "b"), lp=300)
+        short = route("N2", path=("a",), lp=50)
+        # unlike Min, BGP best-path lets local-pref dominate
+        assert BGPBestPath().evaluate([preferred_long, short]) == preferred_long
+
+    def test_empty(self):
+        assert BGPBestPath().evaluate([]) is None
+
+
+class TestConst:
+    def test_emits_value(self):
+        r = route()
+        assert Const(r).evaluate([]) == r
+
+    def test_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            Const(route()).evaluate([route()])
+
+    def test_params_bind_value(self):
+        assert Const(route("N1")).params() != Const(route("N2")).params()
+
+
+class TestPayloads:
+    def test_payload_identifies_operator(self):
+        assert Min().payload() != Existential().payload()
+        assert (
+            NeighborFilter(["N1"]).payload() != NeighborFilter(["N2"]).payload()
+        )
+
+    def test_describe_readable(self):
+        assert "neighbor-filter" in NeighborFilter(["N1"]).describe()

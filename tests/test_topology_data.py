@@ -1,0 +1,74 @@
+"""Tests against the bundled sample CAIDA snapshot (data/sample-as-rel.txt)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.relationships import Relationship
+from repro.topology.caida import parse_file, serialize, parse
+from repro.topology.internet import build_bgp_network
+
+DATA = Path(__file__).resolve().parent.parent / "data" / "sample-as-rel.txt"
+PFX = Prefix.parse("203.0.113.0/24")
+
+
+@pytest.fixture(scope="module")
+def sample_graph():
+    return parse_file(DATA)
+
+
+class TestSampleSnapshot:
+    def test_loads(self, sample_graph):
+        assert len(sample_graph.ases()) == 15
+        assert sample_graph.edge_count() == 20
+
+    def test_tier1_clique(self, sample_graph):
+        assert sample_graph.tier1_core() == ("1", "2", "3")
+        for a in ("1", "2", "3"):
+            for b in ("1", "2", "3"):
+                if a != b:
+                    assert sample_graph.relationship(a, b) is Relationship.PEER
+
+    def test_stub_structure(self, sample_graph):
+        assert sample_graph.providers_of("101") == ("11",)
+        assert sample_graph.peers_of("101") == ("102",)
+        assert sample_graph.customers("11") == ("101", "102")
+
+    def test_serialize_roundtrip(self, sample_graph):
+        again = parse(serialize(sample_graph).splitlines())
+        assert again.edge_list() == sample_graph.edge_list()
+
+    def test_bgp_network_from_snapshot(self, sample_graph):
+        net = build_bgp_network(sample_graph)
+        net.originate("108", PFX)  # a stub under AS 14
+        net.run_to_quiescence()
+        reach = net.reachability(PFX)
+        assert all(route is not None for route in reach.values())
+
+    def test_no_valley_paths_from_snapshot(self, sample_graph):
+        from repro.bgp.relationships import is_valley_free
+
+        net = build_bgp_network(sample_graph)
+        net.originate("101", PFX)
+        net.run_to_quiescence()
+        for asn in net.as_names():
+            route = net.best_route(asn, PFX)
+            if route is None or not len(route.as_path):
+                continue
+            hops = [asn] + list(route.as_path)
+            steps = [
+                sample_graph.relationship(cur, nxt)
+                for cur, nxt in zip(hops, hops[1:])
+            ]
+            assert is_valley_free(steps), hops
+
+    def test_peer_route_not_given_transit(self, sample_graph):
+        """101 and 102 peer; 102 must not re-export 101's routes to its
+        provider 11 -- but 11 still reaches 101 as its direct customer."""
+        net = build_bgp_network(sample_graph)
+        net.originate("101", PFX)
+        net.run_to_quiescence()
+        router_102 = net.routers["102"]
+        assert router_102.adj_rib_out.advertised("11", PFX) is None
+        assert net.best_route("11", PFX).neighbor == "101"

@@ -1,0 +1,125 @@
+"""Tests for prefix-free bitstring encoding (Merkle addressing substrate)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitstrings import (
+    BitString,
+    decode_prefix_free,
+    encode_prefix_free,
+    is_prefix_free,
+)
+
+
+class TestBitString:
+    def test_empty(self):
+        assert len(BitString()) == 0
+        assert BitString().to_str() == ""
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            BitString([0, 2])
+
+    def test_from_bytes_roundtrip(self):
+        bs = BitString.from_bytes(b"\xa5")
+        assert bs.to_str() == "10100101"
+        assert bs.to_bytes() == b"\xa5"
+
+    def test_to_bytes_pads_final_byte(self):
+        assert BitString.from_str("101").to_bytes() == b"\xa0"
+
+    def test_from_int(self):
+        assert BitString.from_int(5, 4).to_str() == "0101"
+
+    def test_from_int_width_zero(self):
+        assert len(BitString.from_int(0, 0)) == 0
+
+    def test_from_int_overflow(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(8, 3)
+
+    def test_from_int_negative(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(-1, 3)
+
+    def test_concatenation(self):
+        assert (BitString.from_str("10") + BitString.from_str("01")).to_str() == "1001"
+
+    def test_indexing_and_slicing(self):
+        bs = BitString.from_str("1011")
+        assert bs[0] == 1
+        assert bs[1] == 0
+        assert bs[1:3] == BitString.from_str("01")
+
+    def test_equality_and_hash(self):
+        assert BitString.from_str("101") == BitString.from_str("101")
+        assert hash(BitString.from_str("101")) == hash(BitString.from_str("101"))
+        assert BitString.from_str("101") != BitString.from_str("100")
+
+    def test_ordering(self):
+        assert BitString.from_str("0") < BitString.from_str("1")
+        assert BitString.from_str("01") < BitString.from_str("1")
+
+    def test_prefix_relation(self):
+        assert BitString.from_str("10").is_prefix_of(BitString.from_str("101"))
+        assert BitString.from_str("10").is_prefix_of(BitString.from_str("10"))
+        assert not BitString.from_str("11").is_prefix_of(BitString.from_str("101"))
+        assert not BitString.from_str("1011").is_prefix_of(BitString.from_str("10"))
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=32, max_value=40))
+    def test_from_int_roundtrip(self, value, width):
+        bs = BitString.from_int(value, width)
+        assert len(bs) == width
+        back = 0
+        for bit in bs:
+            back = (back << 1) | bit
+        assert back == value
+
+
+class TestPrefixFreeEncoding:
+    def test_roundtrip_simple(self):
+        assert decode_prefix_free(encode_prefix_free(b"var(r1)")) == b"var(r1)"
+
+    def test_empty_payload(self):
+        assert decode_prefix_free(encode_prefix_free(b"")) == b""
+
+    def test_length(self):
+        # one 9-bit group per byte plus the terminator group
+        assert len(encode_prefix_free(b"ab")) == 9 * 3
+
+    @given(st.binary(max_size=40))
+    def test_roundtrip_property(self, payload):
+        assert decode_prefix_free(encode_prefix_free(payload)) == payload
+
+    @given(st.binary(max_size=12), st.binary(max_size=12))
+    def test_prefix_freedom_property(self, a, b):
+        ea, eb = encode_prefix_free(a), encode_prefix_free(b)
+        if a != b:
+            assert not ea.is_prefix_of(eb)
+            assert not eb.is_prefix_of(ea)
+
+    def test_decode_rejects_truncation(self):
+        encoded = encode_prefix_free(b"xy")
+        with pytest.raises(ValueError):
+            decode_prefix_free(encoded[:9])
+
+    def test_decode_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            decode_prefix_free(BitString.from_str("10101"))
+
+    def test_decode_rejects_missing_terminator(self):
+        with pytest.raises(ValueError):
+            decode_prefix_free(BitString.from_str("1" + "0" * 8))
+
+    def test_is_prefix_free_detects_violation(self):
+        strings = [BitString.from_str("10"), BitString.from_str("101")]
+        assert not is_prefix_free(strings)
+
+    def test_is_prefix_free_accepts_disjoint(self):
+        strings = [BitString.from_str("10"), BitString.from_str("11"), BitString.from_str("0")]
+        assert is_prefix_free(strings)
+
+    def test_is_prefix_free_allows_duplicates(self):
+        strings = [BitString.from_str("10"), BitString.from_str("10")]
+        assert is_prefix_free(strings)

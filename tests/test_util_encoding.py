@@ -1,0 +1,117 @@
+"""Tests for canonical encoding — injectivity is what makes commitments bind."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.encoding import (
+    CanonicalEncodeError,
+    canonical_decode,
+    canonical_encode,
+)
+
+# A recursive strategy over the supported value universe.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.binary(max_size=24),
+    st.text(max_size=24),
+)
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalEncode:
+    def test_scalars(self):
+        assert canonical_encode(None) == b"N0:"
+        assert canonical_encode(True) == b"T0:"
+        assert canonical_encode(False) == b"F0:"
+        assert canonical_encode(42) == b"I2:42"
+        assert canonical_encode(-7) == b"I2:-7"
+        assert canonical_encode(b"ab") == b"B2:ab"
+        assert canonical_encode("ab") == b"S2:ab"
+
+    def test_bool_and_int_distinct(self):
+        # bool is a subclass of int in Python; the encoding must separate them.
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_str_and_bytes_distinct(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_list_and_tuple_equivalent(self):
+        assert canonical_encode([1, 2]) == canonical_encode((1, 2))
+
+    def test_nesting_unambiguous(self):
+        assert canonical_encode(((1,), 2)) != canonical_encode((1, (2,)))
+        assert canonical_encode(("a", "bc")) != canonical_encode(("ab", "c"))
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(CanonicalEncodeError):
+            canonical_encode(3.14)
+
+    def test_rejects_non_str_dict_keys(self):
+        with pytest.raises(CanonicalEncodeError):
+            canonical_encode({1: "x"})
+
+    def test_canonical_hook(self):
+        class Thing:
+            def canonical(self):
+                return canonical_encode(("thing", 7))
+
+        assert canonical_encode(Thing()) == canonical_encode(("thing", 7))
+
+    def test_canonical_hook_must_return_bytes(self):
+        class Bad:
+            def canonical(self):
+                return "not-bytes"
+
+        with pytest.raises(CanonicalEncodeError):
+            canonical_encode(Bad())
+
+
+class TestCanonicalDecode:
+    @given(values)
+    def test_roundtrip(self, value):
+        decoded = canonical_decode(canonical_encode(value))
+        assert decoded == _normalize(value)
+
+    @given(values, values)
+    def test_injective(self, a, b):
+        if _normalize(a) != _normalize(b):
+            assert canonical_encode(a) != canonical_encode(b)
+
+    def test_rejects_trailing_bytes(self):
+        with pytest.raises(ValueError):
+            canonical_decode(canonical_encode(1) + b"x")
+
+    def test_rejects_truncation(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"I5:12")
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"Z0:")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"")
+
+
+def _normalize(value):
+    """Lists decode as tuples; normalize for comparison."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    return value

@@ -1,0 +1,86 @@
+"""Tests for the deterministic RNG substrate."""
+
+import pytest
+
+from repro.util.rng import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(42)
+        b = DeterministicRandom(42)
+        assert a.bytes(64) == b.bytes(64)
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRandom(1).bytes(32) != DeterministicRandom(2).bytes(32)
+
+    def test_bytes_seed_supported(self):
+        a = DeterministicRandom(b"seed")
+        b = DeterministicRandom(b"seed")
+        assert a.bytes(16) == b.bytes(16)
+
+    def test_fork_is_independent_of_parent_consumption(self):
+        a = DeterministicRandom(7)
+        fork_before = a.fork("x").bytes(16)
+        a.bytes(100)  # consume from the parent
+        fork_after = a.fork("x").bytes(16)
+        assert fork_before == fork_after
+
+    def test_forks_with_different_labels_differ(self):
+        root = DeterministicRandom(7)
+        assert root.fork("a").bytes(16) != root.fork("b").bytes(16)
+
+
+class TestDistributions:
+    def test_bytes_length(self):
+        rng = DeterministicRandom(0)
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(rng.bytes(n)) == n
+
+    def test_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(0).bytes(-1)
+
+    def test_randint_bounds(self):
+        rng = DeterministicRandom(3)
+        values = [rng.randint(5, 9) for _ in range(500)]
+        assert set(values) == {5, 6, 7, 8, 9}
+
+    def test_randint_single_point(self):
+        assert DeterministicRandom(0).randint(4, 4) == 4
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(0).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRandom(9)
+        values = [rng.random() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.3 < sum(values) / len(values) < 0.7
+
+    def test_choice(self):
+        rng = DeterministicRandom(1)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_choice_empty(self):
+        with pytest.raises(IndexError):
+            DeterministicRandom(0).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRandom(5)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_sample_distinct(self):
+        rng = DeterministicRandom(5)
+        picked = rng.sample(range(10), 4)
+        assert len(picked) == 4
+        assert len(set(picked)) == 4
+
+    def test_sample_too_large(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(0).sample([1, 2], 3)
