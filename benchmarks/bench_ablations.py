@@ -26,9 +26,10 @@ from repro.crypto.commitment import (
 )
 from repro.crypto.hashing import hash_many
 from repro.crypto.merkle import SparseMerkleTree
+from repro.promises.spec import ShortestRoute
 from repro.pvr.adversary import EquivocatingProver
-from repro.pvr.minimum import RoundConfig
-from repro.pvr.properties import run_minimum_scenario
+from repro.pvr.engine import VerificationSession
+from repro.pvr.session import PromiseSpec
 from repro.util.bitstrings import encode_prefix_free
 from repro.util.rng import DeterministicRandom
 
@@ -129,14 +130,16 @@ class TestD3StructureHiding:
 
 class TestD4Gossip:
     def _scenario(self, keystore, gossip):
-        config = RoundConfig(prover="A", providers=("N1", "N2", "N3"),
-                             recipient="B", round=1, max_length=8)
+        spec = PromiseSpec(promise=ShortestRoute(), prover="A",
+                           providers=("N1", "N2", "N3"), recipients=("B",),
+                           max_length=8)
         routes = {"N1": route("N1", 4), "N2": route("N2", 2),
                   "N3": route("N3", 6)}
-        return run_minimum_scenario(
-            keystore, config, routes,
+        session = VerificationSession(
+            keystore, spec, round=1,
             prover=EquivocatingProver(keystore), gossip=gossip,
         )
+        return session.run(routes)
 
     def test_gossip_catches_split_view(self, benchmark, bench_keystore):
         with_gossip = run_once(
@@ -159,30 +162,26 @@ class TestD4Gossip:
 
 class TestD5BatchedDisclosures:
     def test_signature_reduction_table(self, benchmark, bench_keystore):
-        """One batch-root signature replaces k + L per-disclosure ones."""
-        from repro.pvr.batching import BatchingProver
-        from repro.pvr.minimum import HonestProver
-
+        """One batch-root signature replaces k + L per-disclosure ones —
+        batching is an engine option, not a separate code path."""
         routes = {"N1": route("N1", 4), "N2": route("N2", 2),
                   "N3": route("N3", 6)}
+        spec = PromiseSpec(promise=ShortestRoute(), prover="A",
+                           providers=("N1", "N2", "N3"), recipients=("B",),
+                           max_length=16)
 
         def experiment():
             rows = []
-            for label, prover_cls, round_no in (
-                ("per-disclosure", HonestProver, 41),
-                ("batched", BatchingProver, 42),
+            for label, batching, round_no in (
+                ("per-disclosure", False, 41),
+                ("batched", True, 42),
             ):
-                config = RoundConfig(prover="A",
-                                     providers=("N1", "N2", "N3"),
-                                     recipient="B", round=round_no,
-                                     max_length=16)
-                before = bench_keystore.sign_count
-                result = run_minimum_scenario(
-                    bench_keystore, config, routes,
-                    prover=prover_cls(bench_keystore),
+                session = VerificationSession(
+                    bench_keystore, spec, round=round_no, batching=batching
                 )
-                assert not result.violation_found()
-                rows.append((label, bench_keystore.sign_count - before))
+                report = session.run(routes)
+                assert not report.violation_found()
+                rows.append((label, report.crypto.signatures))
             return rows
 
         rows = run_once(benchmark, experiment)

@@ -1,10 +1,11 @@
 """EX1 — Section 3.2: the existential-operator protocol and the
 ring-signature link-state variant.
 
-Measures the single-bit protocol round and the RST ring signature costs
-as the ring grows.  Shape assertions: ring signing is linear in ring
-size (one trapdoor application per member), and any ring member's
-signature verifies identically (signer anonymity at the interface).
+Measures the single-bit protocol round (through the unified engine) and
+the RST ring signature costs as the ring grows.  Shape assertions: ring
+signing is linear in ring size (one trapdoor application per member),
+and any ring member's signature verifies identically (signer anonymity
+at the interface).
 """
 
 import pytest
@@ -12,14 +13,10 @@ import pytest
 from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
-from repro.pvr.existential import (
-    ExistentialProver,
-    ring_announce,
-    verify_as_provider,
-    verify_as_recipient,
-    verify_ring_provenance,
-)
-from repro.pvr.minimum import RoundConfig, announce
+from repro.promises.spec import ExistentialPromise
+from repro.pvr.engine import VerificationSession
+from repro.pvr.existential import ring_announce, verify_ring_provenance
+from repro.pvr.session import PromiseSpec
 
 from conftest import print_table, run_once
 
@@ -32,36 +29,34 @@ def route(neighbor, length=3):
                  neighbor=neighbor)
 
 
+def spec_for(k):
+    providers = tuple(f"N{i}" for i in range(1, k + 1))
+    return PromiseSpec(
+        promise=ExistentialPromise(providers),
+        prover="A",
+        providers=providers,
+        recipients=("B",),
+        max_length=8,
+    )
+
+
 def config_for(k, round=1):
-    return RoundConfig(prover="A",
-                       providers=tuple(f"N{i}" for i in range(1, k + 1)),
-                       recipient="B", round=round, max_length=8)
+    return spec_for(k).round_config(round)
 
 
 @pytest.mark.parametrize("k", [2, 4, 8, 16])
 def test_existential_round(benchmark, bench_keystore, k):
-    config = config_for(k, round=300 + k)
+    spec = spec_for(k)
     routes = {f"N{i}": (route(f"N{i}") if i % 2 else None)
               for i in range(1, k + 1)}
 
     def round_once():
-        announcements = announce(bench_keystore, config, routes)
-        prover = ExistentialProver(bench_keystore)
-        transcript = prover.run(config, announcements)
-        verdicts = [
-            verify_as_provider(bench_keystore, config, p,
-                               announcements.get(p),
-                               transcript.provider_views[p])
-            for p in config.providers
-        ]
-        verdicts.append(
-            verify_as_recipient(bench_keystore, config,
-                                transcript.recipient_view)
-        )
-        return verdicts
+        session = VerificationSession(bench_keystore, spec, round=300 + k)
+        return session.run(routes)
 
-    verdicts = benchmark(round_once)
-    assert all(v.ok for v in verdicts)
+    report = benchmark(round_once)
+    assert report.variant == "existential"
+    assert all(v.ok for v in report.verdicts.values())
 
 
 @pytest.mark.parametrize("ring_size", [2, 4, 8, 16])

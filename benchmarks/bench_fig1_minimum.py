@@ -1,6 +1,7 @@
 """FIG1 — Figure 1 / Section 3.3: the minimum-operator protocol.
 
-Reproduces the paper's central scenario quantitatively:
+Reproduces the paper's central scenario quantitatively, driven entirely
+through the unified engine (`PromiseSpec` + `VerificationSession`):
 
 * full-round latency (prove + verify everywhere + gossip) as the number
   of providers k grows;
@@ -18,6 +19,7 @@ import pytest
 from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
+from repro.promises.spec import ShortestRoute
 from repro.pvr.adversary import (
     BadOpeningProver,
     EquivocatingProver,
@@ -27,15 +29,9 @@ from repro.pvr.adversary import (
     SuppressingProver,
     UnderstatingProver,
 )
+from repro.pvr.engine import VerificationSession
 from repro.pvr.judge import Judge
-from repro.pvr.minimum import HonestProver, RoundConfig
-from repro.pvr.properties import (
-    accuracy_holds,
-    confidentiality_holds,
-    detection_holds,
-    evidence_holds,
-    run_minimum_scenario,
-)
+from repro.pvr.session import PromiseSpec
 from repro.util.rng import DeterministicRandom
 
 from conftest import print_table, run_once
@@ -57,22 +53,28 @@ def make_routes(k, seed=0):
     return routes
 
 
-def config_for(k, round=1):
-    return RoundConfig(prover="A", providers=tuple(f"N{i}" for i in range(1, k + 1)),
-                       recipient="B", round=round, max_length=MAX_LEN)
+def spec_for(k):
+    return PromiseSpec(
+        promise=ShortestRoute(),
+        prover="A",
+        providers=tuple(f"N{i}" for i in range(1, k + 1)),
+        recipients=("B",),
+        max_length=MAX_LEN,
+    )
 
 
 @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
 def test_round_latency_vs_providers(benchmark, bench_keystore, k):
     """Full verification round wall time as the neighbor count grows."""
-    config = config_for(k)
+    spec = spec_for(k)
     routes = make_routes(k)
 
     def round_once():
-        return run_minimum_scenario(bench_keystore, config, routes)
+        session = VerificationSession(bench_keystore, spec, round=1)
+        return session.run(routes)
 
-    result = benchmark(round_once)
-    assert accuracy_holds(result)
+    report = benchmark(round_once)
+    assert report.accuracy_ok
 
 
 def test_detection_matrix(benchmark, bench_keystore):
@@ -88,19 +90,21 @@ def test_detection_matrix(benchmark, bench_keystore):
         ("bad-opening", BadOpeningProver(bench_keystore), ("N",)),
     ]
     judge = Judge(bench_keystore)
+    spec = spec_for(8)
 
     def experiment():
         rows = []
         for index, (name, prover, expected) in enumerate(adversaries):
-            config = config_for(8, round=index + 1)
             routes = make_routes(8, seed=3)
-            result = run_minimum_scenario(bench_keystore, config, routes,
-                                          prover=prover)
+            session = VerificationSession(
+                bench_keystore, spec, round=index + 1, prover=prover
+            )
+            report = session.run(routes, judge=judge)
             deviated = prover is not None
-            assert detection_holds(result, deviated), name
-            assert evidence_holds(result, judge), name
-            detectors = list(result.detecting_parties())
-            if result.equivocations:
+            assert report.detection_ok(deviated), name
+            assert report.adjudication.evidence_ok(), name
+            detectors = list(report.detecting_parties())
+            if report.equivocations:
                 detectors.append("gossip")
             for expectation in expected:
                 if expectation == "N":
@@ -109,7 +113,7 @@ def test_detection_matrix(benchmark, bench_keystore):
                     assert expectation in detectors, name
             rows.append((name, "yes" if deviated else "no",
                          ",".join(detectors) or "-",
-                         len(result.all_evidence())))
+                         len(report.all_evidence())))
         return rows
 
     rows = run_once(benchmark, experiment)
@@ -126,12 +130,14 @@ def test_properties_across_random_scenarios(benchmark, bench_keystore):
         checked = 0
         for seed in range(15):
             k = 2 + seed % 5
-            config = config_for(k, round=100 + seed)
             routes = make_routes(k, seed=seed)
-            result = run_minimum_scenario(bench_keystore, config, routes)
-            assert accuracy_holds(result)
-            assert confidentiality_holds(result, routes)
-            assert evidence_holds(result, judge)
+            session = VerificationSession(
+                bench_keystore, spec_for(k), round=100 + seed
+            )
+            report = session.run(routes, judge=judge)
+            assert report.accuracy_ok
+            assert report.confidentiality_ok
+            assert report.adjudication.evidence_ok()
             checked += 1
         return checked
 
@@ -142,16 +148,18 @@ def test_signature_cost_dominates(benchmark, bench_keystore):
     """Section 3.8's claim: the expensive part is the signatures."""
     import time
 
-    config = config_for(8, round=777)
+    spec = spec_for(8)
     routes = make_routes(8, seed=1)
-    sign_before = bench_keystore.sign_count
     started = time.perf_counter()
-    result = run_once(
-        benchmark, lambda: run_minimum_scenario(bench_keystore, config, routes)
-    )
+
+    def round_once():
+        session = VerificationSession(bench_keystore, spec, round=777)
+        return session.run(routes)
+
+    report = run_once(benchmark, round_once)
     elapsed = time.perf_counter() - started
-    signatures = bench_keystore.sign_count - sign_before
-    assert accuracy_holds(result)
+    signatures = report.crypto.signatures
+    assert report.accuracy_ok
     # measure one signature on this machine
     t0 = time.perf_counter()
     bench_keystore.sign("A", b"probe")
@@ -164,3 +172,27 @@ def test_signature_cost_dominates(benchmark, bench_keystore):
                 rows)
     # signatures should account for a large share of the round
     assert signatures * sig_time / elapsed > 0.3
+
+
+def test_batching_halves_signatures(benchmark, bench_keystore):
+    """The engine's batching option (Section 3.8) against the default
+    prover, measured via the session's own crypto counters."""
+    spec = spec_for(6)
+    routes = make_routes(6, seed=4)
+
+    def experiment():
+        rows = []
+        for label, batching, round_no in (("per-disclosure", False, 888),
+                                          ("batched", True, 889)):
+            session = VerificationSession(
+                bench_keystore, spec, round=round_no, batching=batching
+            )
+            report = session.run(routes)
+            assert report.accuracy_ok, label
+            rows.append((label, report.crypto.signatures))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("FIG1 batching option (k=6, L=12)",
+                ["prover", "signatures"], rows)
+    assert rows[1][1] < rows[0][1]

@@ -2,13 +2,15 @@
 
 "I will export some route via N2..Nk unless N1 provides a shorter route."
 Runs the generalized protocol (vertex records, sparse Merkle tree, signed
-root, navigation) over the two-operator graph and measures:
+root, navigation) over the two-operator graph — as a `PromiseSpec`
+carrying the Figure 2 plan through the unified `VerificationSession` —
+and measures:
 
 * prover commit cost and recipient verification cost vs k;
 * static promise checking (the graph provably computes the global
   shortest route);
-* detection of an understated downstream operator via the transitive
-  owner check.
+* full collective verification: every party checks its own slice through
+  one engine call.
 """
 
 import pytest
@@ -17,15 +19,8 @@ from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
 from repro.promises.spec import ShortestRoute
-from repro.pvr.access import paper_alpha
-from repro.pvr.announcements import make_announcement
-from repro.pvr.navigation import (
-    Navigator,
-    OperatorSkeleton,
-    verify_as_input_owner,
-    verify_as_output_recipient,
-)
-from repro.pvr.protocol import GraphProver, GraphRoundConfig
+from repro.pvr.engine import VerificationSession, derive_skeleton
+from repro.pvr.session import PromiseSpec
 from repro.rfg.builder import figure2_graph
 from repro.rfg.static_check import implements
 from repro.util.rng import DeterministicRandom
@@ -42,24 +37,24 @@ def route(neighbor, length):
                  neighbor=neighbor)
 
 
-def setup_round(keystore, k, seed=0, round_no=1):
+def spec_for(k):
     neighbors = tuple(f"N{i}" for i in range(1, k + 1))
-    graph = figure2_graph(neighbors, recipient="B")
-    config = GraphRoundConfig(prover="A", round=round_no, max_length=MAX_LEN)
+    return PromiseSpec(
+        promise=ShortestRoute(),
+        prover="A",
+        providers=neighbors,
+        recipients=("B",),
+        max_length=MAX_LEN,
+        plan=figure2_graph(neighbors, recipient="B"),
+    )
+
+
+def routes_for(k, seed=0):
     rng = DeterministicRandom(seed).fork("fig2")
-    announcements = {}
-    for index, vertex in enumerate(graph.inputs(), start=1):
-        length = rng.randint(1, MAX_LEN)
-        announcements[vertex.name] = make_announcement(
-            keystore, route(vertex.party, length), vertex.party, "A", round_no,
-        )
-    return graph, config, announcements
-
-
-SKELETON = [
-    OperatorSkeleton(name="unless-shorter", type_tag="shorter-of"),
-    OperatorSkeleton(name="min", type_tag="min-path-length"),
-]
+    return {
+        f"N{i}": route(f"N{i}", rng.randint(1, MAX_LEN))
+        for i in range(1, k + 1)
+    }
 
 
 def test_static_check_figure2(benchmark):
@@ -68,72 +63,70 @@ def test_static_check_figure2(benchmark):
     assert run_once(benchmark, lambda: implements(graph, ShortestRoute()))
 
 
+def test_spec_resolves_to_graph_variant(benchmark):
+    """A spec carrying a hand-built plan runs the generalized protocol,
+    and the derived verification skeleton matches Figure 2."""
+    spec = spec_for(3)
+
+    def resolve():
+        return spec.resolve_variant(), derive_skeleton(spec.plan, "ro")
+
+    variant, skeleton = run_once(benchmark, resolve)
+    assert variant == "graph"
+    assert [(s.name, s.type_tag) for s in skeleton] == [
+        ("unless-shorter", "shorter-of"),
+        ("min", "min-path-length"),
+    ]
+
+
 @pytest.mark.parametrize("k", [2, 4, 8, 16])
 def test_prover_commit_cost(benchmark, bench_keystore, k):
-    graph, config, announcements = setup_round(bench_keystore, k,
-                                               round_no=10 + k)
-    alpha = paper_alpha(graph)
+    spec = spec_for(k)
+    routes = routes_for(k)
 
     def commit_once():
-        prover = GraphProver(bench_keystore, graph, alpha, config)
-        prover.receive(announcements)
-        prover.commit_round()
-        return prover
+        session = VerificationSession(bench_keystore, spec, round=10 + k)
+        session.announce(routes)
+        session.commit()
+        return session
 
-    prover = benchmark(commit_once)
-    assert prover.export_attestation("ro").route is not None
+    session = benchmark(commit_once)
+    views = session.disclose()
+    assert views["B"].route is not None
 
 
 @pytest.mark.parametrize("k", [2, 4, 8, 16])
 def test_recipient_verification_cost(benchmark, bench_keystore, k):
-    graph, config, announcements = setup_round(bench_keystore, k,
-                                               round_no=50 + k)
-    alpha = paper_alpha(graph)
-    prover = GraphProver(bench_keystore, graph, alpha, config)
-    prover.receive(announcements)
-    root = prover.commit_round()
-    attestation = prover.export_attestation("ro")
+    spec = spec_for(k)
+    routes = routes_for(k)
+    session = VerificationSession(bench_keystore, spec, round=50 + k)
+    session.announce(routes)
+    session.commit()
+    session.disclose()
 
     def verify_once():
-        nav = Navigator(bench_keystore, "B", prover, root)
-        return verify_as_output_recipient(nav, config, "ro", attestation,
-                                          SKELETON)
+        return session.verify(parties=("B",))
 
-    verdict = benchmark(verify_once)
+    report = benchmark(verify_once)
+    verdict = report.verdicts["B"]
     assert verdict.ok, verdict.violations
 
 
 def test_full_figure2_collective_verification(benchmark, bench_keystore):
-    """All parties verify; table of who checks what."""
+    """All parties verify through one engine call; table of the verdicts."""
     k = 6
-    graph, config, announcements = setup_round(bench_keystore, k,
-                                               round_no=99)
-    alpha = paper_alpha(graph)
+    spec = spec_for(k)
+    routes = routes_for(k)
 
     def experiment():
-        prover = GraphProver(bench_keystore, graph, alpha, config)
-        receipts = prover.receive(announcements)
-        root = prover.commit_round()
-        attestation = prover.export_attestation("ro")
-
-        rows = []
-        nav_b = Navigator(bench_keystore, "B", prover, root)
-        verdict = verify_as_output_recipient(nav_b, config, "ro",
-                                             attestation, SKELETON)
-        assert verdict.ok, verdict.violations
-        rows.append(("B", "structure+evidence+export", "ok"))
-
-        for vertex in graph.inputs():
-            ops = ("unless-shorter",) if vertex.name == "r1" else (
-                "min", "unless-shorter")
-            nav = Navigator(bench_keystore, vertex.party, prover, root)
-            verdict = verify_as_input_owner(
-                nav, config, vertex.name,
-                announcements.get(vertex.name), receipts.get(vertex.name),
-                check_operators=ops,
-            )
-            assert verdict.ok, (vertex.party, verdict.violations)
-            rows.append((vertex.party, "+".join(ops), "ok"))
+        session = VerificationSession(bench_keystore, spec, round=99)
+        report = session.run(routes)
+        assert report.ok(), report.verdicts
+        rows = [("B", "structure+evidence+export",
+                 "ok" if report.verdicts["B"].ok else "VIOLATION")]
+        for party in spec.providers:
+            rows.append((party, "receipt+counted-bit",
+                         "ok" if report.verdicts[party].ok else "VIOLATION"))
         return rows
 
     rows = run_once(benchmark, experiment)
@@ -147,13 +140,12 @@ def test_merkle_tree_size_constant_per_query(benchmark, bench_keystore):
     def experiment():
         sizes = []
         for k in (2, 8, 32):
-            graph, config, announcements = setup_round(bench_keystore, k,
-                                                       round_no=200 + k)
-            alpha = paper_alpha(graph)
-            prover = GraphProver(bench_keystore, graph, alpha, config)
-            prover.receive(announcements)
-            prover.commit_round()
-            response = prover.get_record("B", "ro")
+            session = VerificationSession(
+                bench_keystore, spec_for(k), round=200 + k
+            )
+            session.announce(routes_for(k))
+            session.commit()
+            response = session.prover.get_record("B", "ro")
             sizes.append((k, len(response.proof.siblings)))
         return sizes
 

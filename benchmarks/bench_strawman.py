@@ -21,8 +21,9 @@ import pytest
 from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
-from repro.pvr.minimum import RoundConfig
-from repro.pvr.properties import run_minimum_scenario
+from repro.promises.spec import ShortestRoute
+from repro.pvr.engine import VerificationSession
+from repro.pvr.session import PromiseSpec
 from repro.strawman.circuits import bits_to_int, minimum_length_circuit, word_to_inputs
 from repro.strawman.smc import GMWProtocol, SMCCostModel
 from repro.strawman.zkp import ZKPCostModel
@@ -45,13 +46,14 @@ def pvr_round_seconds(keystore, k, seed=0):
         )
         for i in range(1, k + 1)
     }
-    config = RoundConfig(prover="A",
-                         providers=tuple(f"N{i}" for i in range(1, k + 1)),
-                         recipient="B", round=700 + k, max_length=MAX_LEN)
+    spec = PromiseSpec(promise=ShortestRoute(), prover="A",
+                       providers=tuple(f"N{i}" for i in range(1, k + 1)),
+                       recipients=("B",), max_length=MAX_LEN)
+    session = VerificationSession(keystore, spec, round=700 + k)
     t0 = time.perf_counter()
-    result = run_minimum_scenario(keystore, config, routes)
+    report = session.run(routes)
     elapsed = time.perf_counter() - t0
-    assert not result.violation_found()
+    assert not report.violation_found()
     return elapsed
 
 

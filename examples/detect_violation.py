@@ -2,11 +2,12 @@
 """The adversary gallery: every Byzantine behaviour, its detector, and
 the evidence trail through the judge (paper Section 2.3's properties).
 
-For each adversary class the script runs a verification round, reports
-which neighbor detected the violation, validates the transferable
-evidence with the third-party judge, and — for the withheld-message
-cases — walks the interactive complaint-resolution protocol showing that
-an *honest* AS would have been exonerated.
+For each adversary class the script runs one :class:`VerificationSession`
+with the Byzantine prover injected, reports which neighbor detected the
+violation, adjudicates the transferable evidence with the third-party
+judge, and — for the withheld-message cases — walks the interactive
+complaint-resolution protocol showing that an *honest* AS would have
+been exonerated.
 
 Run:  python examples/detect_violation.py
 """
@@ -15,6 +16,8 @@ from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore
+from repro.promises.spec import ShortestRoute
+from repro.pvr import PromiseSpec, VerificationSession
 from repro.pvr.adversary import (
     BadOpeningProver,
     EquivocatingProver,
@@ -27,8 +30,6 @@ from repro.pvr.adversary import (
     UnderstatingProver,
 )
 from repro.pvr.judge import Judge
-from repro.pvr.minimum import RoundConfig
-from repro.pvr.properties import run_minimum_scenario
 
 PREFIX = Prefix.parse("192.0.2.0/24")
 
@@ -41,6 +42,15 @@ def make_routes():
         "N3": Route(prefix=PREFIX, as_path=ASPath(("N3", "T5", "O")),
                     neighbor="N3"),
     }
+
+
+SPEC = PromiseSpec(
+    promise=ShortestRoute(),
+    prover="A",
+    providers=("N1", "N2", "N3"),
+    recipients=("B",),
+    max_length=8,
+)
 
 
 def main() -> None:
@@ -61,23 +71,23 @@ def main() -> None:
 
     routes = make_routes()
     for round_no, (label, prover) in enumerate(adversaries, start=1):
-        config = RoundConfig(prover="A", providers=("N1", "N2", "N3"),
-                             recipient="B", round=round_no, max_length=8)
-        result = run_minimum_scenario(keystore, config, routes, prover=prover)
-        detectors = list(result.detecting_parties())
-        if result.equivocations:
+        session = VerificationSession(
+            keystore, SPEC, round=round_no, prover=prover
+        )
+        report = session.run(routes, judge=judge)
+        detectors = list(report.detecting_parties())
+        if report.equivocations:
             detectors.append("gossip")
         print(f"\n--- {label} ---")
-        if not result.violation_found() and not result.all_complaints():
+        if report.ok():
             print("  no violation detected (as expected)")
             continue
         print(f"  detected by: {', '.join(detectors) or 'complaint only'}")
-        for evidence in result.all_evidence():
-            verdict = "GUILTY" if judge.validate(evidence) else "INVALID"
+        for evidence, valid in report.adjudication.evidence_rulings:
+            verdict = "GUILTY" if valid else "INVALID"
             print(f"  evidence [{evidence.kind}] -> judge: {verdict}")
-        for complaint in result.all_complaints():
+        for complaint, ruling in report.adjudication.complaint_rulings:
             # the guilty prover cannot answer; an honest one could
-            ruling = judge.resolve_complaint(complaint, None)
             print(
                 f"  complaint [{complaint.claim}] by {complaint.accuser} "
                 f"-> unanswered: {ruling.outcome}"
@@ -86,14 +96,13 @@ def main() -> None:
     # Accuracy in action: a false complaint against an honest A collapses
     # once A produces the receipt.
     print("\n--- false accusation against an honest A ---")
-    config = RoundConfig(prover="A", providers=("N1", "N2", "N3"),
-                         recipient="B", round=99, max_length=8)
-    honest = run_minimum_scenario(keystore, config, routes)
+    session = VerificationSession(keystore, SPEC, round=99)
+    honest = session.run(routes)
     from repro.pvr.evidence import Complaint
 
     smear = Complaint(accuser="N1", accused="A", round=99,
                       claim="missing-receipt")
-    response = honest.transcript.provider_views["N1"].receipt
+    response = honest.transcript.views["N1"].receipt
     ruling = judge.resolve_complaint(smear, response)
     print(f"  N1 claims its receipt was withheld; A produces it -> "
           f"{ruling.outcome}")

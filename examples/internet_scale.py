@@ -5,7 +5,9 @@ Generates a synthetic AS graph with Gao-Rexford business relationships
 (tier-1 clique, transit customers, lateral peering), writes it out in
 CAIDA serial-1 format, runs BGP to convergence for a stub-originated
 prefix, and then audits every exporting AS with PVR — reporting the
-transport and crypto cost of the whole sweep.
+transport and crypto cost of the whole sweep.  Each audit round is one
+:class:`repro.pvr.engine.VerificationSession` whose lifecycle phases the
+deployment layer interleaves with wire transport.
 
 Run:  python examples/internet_scale.py
 """

@@ -6,33 +6,58 @@ a path exists.  Then the Ni can use a ring signature scheme to sign the
 statement 'A route exists'.  Thus, B could tell that some Ni had provided
 a route, but it could not tell which one."
 
-This script runs the existential protocol where the provenance shown to B
-is a ring signature over the provider set, demonstrating both soundness
-(only genuine providers can produce it) and anonymity (B's verification
-is identical regardless of the actual signer).
+The script first runs the plain existential protocol through the unified
+:class:`VerificationSession` (the spec resolves to the single-bit
+variant), then swaps the provenance shown to B for a ring signature over
+the provider set, demonstrating both soundness (only genuine providers
+can produce it) and anonymity (B's verification is identical regardless
+of the actual signer).
 
 Run:  python examples/linkstate_ring.py
 """
 
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
 from repro.crypto import ring as ring_mod
 from repro.crypto.keystore import KeyStore
+from repro.promises.spec import ExistentialPromise
+from repro.pvr import PromiseSpec, VerificationSession
 from repro.pvr.existential import (
     ring_announce,
     ring_statement,
     verify_ring_provenance,
 )
-from repro.pvr.minimum import RoundConfig
+
+PREFIX = Prefix.parse("198.51.100.0/24")
 
 
 def main() -> None:
     keystore = KeyStore(seed=3, key_bits=1024)
     providers = ("N1", "N2", "N3", "N4")
-    config = RoundConfig(prover="A", providers=providers, recipient="B",
-                         round=1, max_length=8)
-    for asn in ("A", "B") + providers:
-        keystore.register(asn)
+    spec = PromiseSpec(
+        promise=ExistentialPromise(providers),
+        prover="A",
+        providers=providers,
+        recipients=("B",),
+        max_length=8,
+    )
+    session = VerificationSession(keystore, spec, round=1)
+    config = session.config
 
-    print("Ring:", ", ".join(providers))
+    # one existential round through the engine: only N2 provides a route
+    routes = {
+        "N2": Route(prefix=PREFIX, as_path=ASPath(("N2", "ORIGIN")),
+                    neighbor="N2"),
+    }
+    report = session.run(routes)
+    print(f"Existential round via the {session.variant} protocol variant:")
+    exported = report.transcript.views["B"].attestation.route
+    print(f"  A exports to B: {exported}")
+    for party, verdict in sorted(report.verdicts.items()):
+        print(f"  {party}: {'OK' if verdict.ok else 'VIOLATION'}")
+
+    print("\nRing:", ", ".join(providers))
     print("Statement:", ring_statement(config)[:60], "...")
 
     # each provider in turn plays the anonymous voucher
@@ -62,8 +87,7 @@ def main() -> None:
           else "REJECTED (ring mismatch)")
 
     # replay protection: a round-1 signature fails for round 2
-    round2 = RoundConfig(prover="A", providers=providers, recipient="B",
-                         round=2, max_length=8)
+    round2 = spec.round_config(2)
     replayed = verify_ring_provenance(keystore, round2, signatures["N1"])
     print("Round-1 signature replayed into round 2:",
           "accepted" if replayed else "REJECTED (statement binds the round)")

@@ -6,10 +6,12 @@ network B and promise to deliver routes from, e.g., European peers in
 preference to other routes."
 
 This script expresses that contract as promise 2 ("the shortest route out
-of those received from a specific subset of neighbors"), compiles it to a
-route-flow graph, statically checks the graph implements it, verifies the
-access policy is sufficient, and runs the generalized PVR protocol so B
-can audit the contract without seeing any individual peer's routes.
+of those received from a specific subset of neighbors") in a
+:class:`PromiseSpec`.  The engine compiles it to a route-flow graph plan
+and resolves it to the generalized protocol; the script statically checks
+the plan implements the promise and that the access policy suffices, then
+drives the session phase by phase so B can audit the contract without
+seeing any individual peer's routes.
 
 Run:  python examples/partial_transit.py
 """
@@ -19,16 +21,8 @@ from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore
 from repro.promises.spec import ShortestFromSubset
-from repro.pvr.access import paper_alpha
-from repro.pvr.announcements import make_announcement
-from repro.pvr.navigation import (
-    Navigator,
-    OperatorSkeleton,
-    verify_as_input_owner,
-    verify_as_output_recipient,
-)
-from repro.pvr.protocol import GraphProver, GraphRoundConfig
-from repro.rfg.compiler import compile_promise
+from repro.pvr import PromiseSpec, VerificationSession
+from repro.pvr.navigation import Navigator
 from repro.rfg.static_check import collectively_verifiable, implements
 
 PREFIX = Prefix.parse("198.51.100.0/24")
@@ -43,22 +37,26 @@ def main() -> None:
     promise = ShortestFromSubset(EU_PEERS)
     print(f"Contract: {promise.describe()}")
 
-    # 1. compile the promise into a route-flow graph
-    graph = compile_promise(promise, ALL_NEIGHBORS, recipient="B")
-    print("\nRoute-flow graph vertices:", ", ".join(graph.vertex_names()))
+    # 1. the spec compiles the promise into a route-flow graph plan and
+    # resolves the protocol variant (a strict subset promise needs the
+    # generalized graph protocol)
+    keystore = KeyStore(seed=7, key_bits=1024)
+    spec = PromiseSpec(
+        promise=promise,
+        prover="A",
+        providers=ALL_NEIGHBORS,
+        recipients=("B",),
+        max_length=10,
+    )
+    session = VerificationSession(keystore, spec, round=1)
+    plan = session.plan
+    print(f"Resolved protocol variant: {session.variant}")
+    print("\nRoute-flow graph vertices:", ", ".join(plan.vertex_names()))
 
     # 2. static checks (Section 4 "Minimum access")
-    print("graph implements the promise:", implements(graph, promise))
-    alpha = paper_alpha(graph)
-    ok, blocked = collectively_verifiable(graph, alpha.payload_alpha())
+    print("graph implements the promise:", implements(plan, promise))
+    ok, blocked = collectively_verifiable(plan, session.alpha.payload_alpha())
     print("access policy sufficient to verify it:", ok)
-
-    # 3. run one round of the generalized protocol
-    keystore = KeyStore(seed=7, key_bits=1024)
-    for asn in ("A", "B") + ALL_NEIGHBORS:
-        keystore.register(asn)
-    config = GraphRoundConfig(prover="A", round=1, max_length=10)
-    prover = GraphProver(keystore, graph, alpha, config)
 
     # the US peer has the globally shortest route -- but it is outside the
     # contracted subset, so the promise requires the best EU route
@@ -68,50 +66,37 @@ def main() -> None:
         "US-PEER": ("US-PEER", "ORIGIN"),
         "ASIA-PEER": ("ASIA-PEER", "P", "Q", "R", "ORIGIN"),
     }
-    announcements = {}
-    for index, vertex in enumerate(graph.inputs(), start=1):
-        hops = paths[vertex.party]
-        announcements[vertex.name] = make_announcement(
-            keystore,
-            Route(prefix=PREFIX, as_path=ASPath(hops), neighbor=vertex.party),
-            vertex.party, "A", config.round,
-        )
-    receipts = prover.receive(announcements)
-    root = prover.commit_round()
-    attestation = prover.export_attestation("ro")
+    routes = {
+        party: Route(prefix=PREFIX, as_path=ASPath(hops), neighbor=party)
+        for party, hops in paths.items()
+    }
+
+    # 3. drive the lifecycle phase by phase
+    session.announce(routes)
+    root = session.commit()
+    views = session.disclose()
+    attestation = views["B"]
     print(f"\nA exports to B: {attestation.route}")
     print(f"  (from {attestation.provenance.origin}; the shorter US route "
           "is correctly ignored)")
 
-    # 4. B verifies the contract without seeing any peer's route
-    skeleton = [
-        OperatorSkeleton(name="min", type_tag="min-path-length"),
-        OperatorSkeleton(name="filter", type_tag="neighbor-filter"),
-    ]
-    nav_b = Navigator(keystore, "B", prover, root)
     # B checks the filter parameters too: the committed payload names the
     # exact subset the min ranged over
+    nav_b = Navigator(keystore, "B", session.prover, root)
     filter_payload = nav_b.payload("filter")
     from repro.util.encoding import canonical_decode
 
     (subset,) = canonical_decode(filter_payload[2])
     print("\nB sees the filter's committed subset:", ", ".join(subset))
-    verdict = verify_as_output_recipient(
-        nav_b, config, "ro", attestation, skeleton,
-        known_providers=ALL_NEIGHBORS,
-    )
-    print("B's verdict:", "OK" if verdict.ok else verdict.violations)
 
-    # 5. each EU peer confirms its route was counted
-    for index, vertex in enumerate(graph.inputs(), start=1):
-        if vertex.party not in EU_PEERS:
-            continue
-        nav = Navigator(keystore, vertex.party, prover, root)
-        verdict = verify_as_input_owner(
-            nav, config, vertex.name,
-            announcements[vertex.name], receipts[vertex.name],
-        )
-        print(f"{vertex.party}'s verdict:",
+    # 4. collective verification: B checks structure + evidence + export,
+    # each EU peer confirms its route was counted
+    report = session.verify()
+    verdict = report.verdicts["B"]
+    print("B's verdict:", "OK" if verdict.ok else verdict.violations)
+    for party in EU_PEERS:
+        verdict = report.verdicts[party]
+        print(f"{party}'s verdict:",
               "OK" if verdict.ok else verdict.violations)
 
 

@@ -7,10 +7,12 @@ weakest.  This script shows:
 * the permitted-set semantics of each promise on a concrete input set;
 * the strictly-weaker lattice (footnote 1), both analytically and by
   randomized refutation;
-* promise 3 enforced cryptographically via the protocol's ``slack``
-  parameter — the same export passing under the contracted latitude and
-  convicting A under a stricter contract;
-* promise 4 enforced by cross-recipient attestation gossip.
+* promise 3 enforced cryptographically: the same ``PromiseSpec`` carrying
+  :class:`WithinKHops` drives the engine's slack parameter, so one export
+  passes under the contracted latitude and convicts A under a stricter
+  contract;
+* promise 4 enforced by cross-recipient attestation gossip — the same
+  :class:`VerificationSession` API, resolved to the cross-check variant.
 
 Run:  python examples/promise_levels.py
 """
@@ -27,10 +29,10 @@ from repro.promises.spec import (
     WithinKHops,
     YouGetWhatYoureGiven,
 )
-from repro.pvr.crosscheck import discriminating_chooser, run_promise4_scenario
+from repro.pvr import PromiseSpec, VerificationSession
+from repro.pvr.crosscheck import discriminating_chooser
 from repro.pvr.judge import Judge
-from repro.pvr.minimum import HonestProver, RoundConfig
-from repro.pvr.properties import run_minimum_scenario
+from repro.pvr.minimum import HonestProver
 
 PREFIX = Prefix.parse("192.0.2.0/24")
 
@@ -85,26 +87,37 @@ def main() -> None:
             return accepted.get("N2")
 
     for slack in (2, 1):
-        config = RoundConfig(prover="A", providers=("N1", "N2", "N3"),
-                             recipient="B", round=slack, max_length=8,
-                             slack=slack)
-        result = run_minimum_scenario(keystore, config, ROUTES,
-                                      prover=ExportsN2(keystore))
-        status = "accepted" if not result.violation_found() else "VIOLATION"
+        spec = PromiseSpec(
+            promise=WithinKHops(slack),
+            prover="A",
+            providers=("N1", "N2", "N3"),
+            recipients=("B",),
+            max_length=8,
+        )
+        session = VerificationSession(
+            keystore, spec, round=slack, prover=ExportsN2(keystore)
+        )
+        report = session.run(ROUTES, judge=Judge(keystore))
+        status = "accepted" if not report.violation_found() else "VIOLATION"
         print(f"  contracted slack k={slack}: {status}")
-        if result.violation_found():
-            judge = Judge(keystore)
-            for ev in result.all_evidence():
+        if report.violation_found():
+            for ev, valid in report.adjudication.evidence_rulings:
                 print(f"    evidence [{ev.kind}] -> judge "
-                      f"{'GUILTY' if judge.validate(ev) else 'invalid'}")
+                      f"{'GUILTY' if valid else 'invalid'}")
 
     # promise 4: favored B1 gets the short route, B2/B3 the long one
     print("\nPromise 4 via attestation gossip (A favors B1):")
-    result = run_promise4_scenario(
-        keystore, "A", ("N1", "N2", "N3"), ("B1", "B2", "B3"), ROUTES,
-        round=50, chooser=discriminating_chooser("B1"),
+    spec = PromiseSpec(
+        promise=NoLongerThanOthers(),
+        prover="A",
+        providers=("N1", "N2", "N3"),
+        recipients=("B1", "B2", "B3"),
     )
-    for name, verdict in sorted(result.verdicts.items()):
+    session = VerificationSession(
+        keystore, spec, round=50, chooser=discriminating_chooser("B1")
+    )
+    report = session.run(ROUTES)
+    for name, verdict in sorted(report.verdicts.items()):
         if verdict.ok:
             print(f"  {name}: satisfied")
         else:

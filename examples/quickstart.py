@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's Figure 1 scenario, end to end.
+"""Quickstart: the paper's Figure 1 scenario through the unified engine.
 
 Network A has neighbors N1..N3 and customer B.  A promised B to export
-the shortest route it receives.  This script runs one PVR verification
-round with an honest A, then one with a cheating A that exports a longer
-route, and shows B obtaining judge-valid evidence — all without any
+the shortest route it receives.  The promise is declared once as a
+:class:`PromiseSpec`; a :class:`VerificationSession` then drives the full
+``announce -> commit -> disclose -> verify -> adjudicate`` lifecycle —
+first with an honest A, then with a cheating A that exports a longer
+route, showing B obtaining judge-valid evidence — all without any
 neighbor learning another neighbor's route.
 
 Run:  python examples/quickstart.py
@@ -14,14 +16,10 @@ from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore
+from repro.promises.spec import ShortestRoute
+from repro.pvr import PromiseSpec, VerificationSession
 from repro.pvr.adversary import LongerRouteProver
 from repro.pvr.judge import Judge
-from repro.pvr.minimum import RoundConfig
-from repro.pvr.properties import (
-    accuracy_holds,
-    confidentiality_holds,
-    run_minimum_scenario,
-)
 
 PREFIX = Prefix.parse("203.0.113.0/24")
 
@@ -40,50 +38,52 @@ def main() -> None:
         "N2": make_route("N2", "N2", "ORIGIN"),
         "N3": make_route("N3", "N3", "T4", "T9", "ORIGIN"),
     }
-    config = RoundConfig(
+
+    # The contract, declared once; the engine picks the protocol variant.
+    spec = PromiseSpec(
+        promise=ShortestRoute(),
         prover="A",
         providers=("N1", "N2", "N3"),
-        recipient="B",
-        round=1,
+        recipients=("B",),
         max_length=8,
     )
 
     print("=== Honest round ===")
-    result = run_minimum_scenario(keystore, config, routes)
-    attestation = result.transcript.recipient_view.attestation
+    session = VerificationSession(keystore, spec, round=1)
+    report = session.run(routes)
+    attestation = report.transcript.views["B"].attestation
     print(f"A exported to B: {attestation.route}")
     print(f"  provenance: announced by {attestation.provenance.origin}")
-    for party, verdict in sorted(result.verdicts.items()):
+    for party, verdict in sorted(report.verdicts.items()):
         print(f"  {party}: {'OK' if verdict.ok else 'VIOLATION'}")
-    print(f"  accuracy holds:        {accuracy_holds(result)}")
-    print(f"  confidentiality holds: {confidentiality_holds(result, routes)}")
+    print(f"  accuracy holds:        {report.accuracy_ok}")
+    print(f"  confidentiality holds: {report.confidentiality_ok}")
+    print(f"  crypto cost: {report.crypto.signatures} signatures, "
+          f"{report.crypto.verifications} verifications")
 
     print("\n=== Cheating round: A exports the longest route ===")
-    config2 = RoundConfig(
-        prover="A", providers=("N1", "N2", "N3"), recipient="B",
-        round=2, max_length=8,
+    session = VerificationSession(
+        keystore, spec, round=2, prover=LongerRouteProver(keystore)
     )
-    result = run_minimum_scenario(
-        keystore, config2, routes, prover=LongerRouteProver(keystore)
-    )
-    attestation = result.transcript.recipient_view.attestation
+    report = session.run(routes, judge=Judge(keystore))
+    attestation = report.transcript.views["B"].attestation
     print(f"A exported to B: {attestation.route}")
-    for party, verdict in sorted(result.verdicts.items()):
+    for party, verdict in sorted(report.verdicts.items()):
         status = "OK" if verdict.ok else ", ".join(
             v.kind for v in verdict.violations
         )
         print(f"  {party}: {status}")
 
-    judge = Judge(keystore)
-    for evidence in result.all_evidence():
+    # the judge already ruled on the full evidence trail (phase 5)
+    for evidence, valid in report.adjudication.evidence_rulings:
         print(
             f"  evidence [{evidence.kind}] against {evidence.accused}: "
-            f"judge says {'GUILTY' if judge.validate(evidence) else 'invalid'}"
+            f"judge says {'GUILTY' if valid else 'invalid'}"
         )
 
     # What did the neighbors learn?  N1 and N3 received only the opening
     # of the bit at their own route's length -- a fact they already knew.
-    view = result.transcript.provider_views["N1"]
+    view = report.transcript.views["N1"]
     print(
         "\nN1's entire view of the round: receipt + commitment digests + "
         f"1 disclosed bit (b_{view.disclosure.index} = "

@@ -24,17 +24,22 @@ Package map (bottom-up):
 ``repro.strawman``    the SMC / ZKP baselines of Section 3.1
 ====================  =====================================================
 
-Quickstart::
+Quickstart — every promise runs through the unified engine::
 
     from repro import pvr
     from repro.crypto import KeyStore
+    from repro.promises.spec import ShortestRoute
 
     keystore = KeyStore(seed=1, key_bits=512)
-    config = pvr.RoundConfig(prover="A", providers=("N1", "N2"),
-                             recipient="B", round=1, max_length=8)
-    result = pvr.run_minimum_scenario(keystore, config, routes={...})
+    spec = pvr.PromiseSpec(promise=ShortestRoute(), prover="A",
+                           providers=("N1", "N2"), recipients=("B",),
+                           max_length=8)
+    session = pvr.VerificationSession(keystore, spec, round=1)
+    report = session.run(routes={...}, judge=pvr.Judge(keystore))
+    assert report.ok() and report.confidentiality_ok
 
-See ``examples/quickstart.py`` for the complete version.
+See ``examples/quickstart.py`` for the complete version, and
+``pvr.scenarios`` for the registry of named workloads.
 """
 
 __version__ = "0.1.0"

@@ -13,6 +13,19 @@ The package implements the complete machinery of Sections 2-3:
   (:mod:`repro.pvr.protocol`, :mod:`repro.pvr.navigation`);
 * evidence, the judge, Byzantine adversaries, leakage accounting and the
   four PVR properties as executable checks.
+
+All four protocol variants run behind one promise-driven API — the
+**unified verification engine**:
+
+* :class:`~repro.pvr.session.PromiseSpec` describes the contract
+  (promise template, parties, parameters) and compiles to a route-flow
+  graph plan;
+* :class:`~repro.pvr.engine.VerificationSession` drives the
+  ``announce → commit → disclose → verify → adjudicate`` lifecycle
+  through whichever protocol variant the spec resolves to, emitting a
+  uniform :class:`~repro.pvr.session.SessionTranscript` and
+  :class:`~repro.pvr.session.SessionReport`;
+* :mod:`repro.pvr.scenarios` is the registry of named workloads.
 """
 
 from repro.pvr.access import AccessPolicy, opaque_alpha, paper_alpha
@@ -92,16 +105,29 @@ from repro.pvr.protocol import (
     GraphRoundConfig,
     RecordResponse,
 )
+from repro.pvr.session import (
+    Adjudication,
+    CryptoCounters,
+    PromiseSpec,
+    SessionError,
+    SessionReport,
+    SessionTranscript,
+)
+from repro.pvr.engine import VerificationSession, derive_skeleton
+from repro.pvr import scenarios
 from repro.pvr.vertex_info import VertexRecord, make_vertex_record
 
 __all__ = [
+    # access
     "AccessPolicy",
     "opaque_alpha",
     "paper_alpha",
+    # announcements
     "Receipt",
     "SignedAnnouncement",
     "make_announcement",
     "make_receipt",
+    # commitments
     "BitVectorOpenings",
     "CommittedBitVector",
     "ExportAttestation",
@@ -110,6 +136,7 @@ __all__ = [
     "compute_length_bits",
     "make_attestation",
     "make_disclosure",
+    # evidence
     "BadOpeningEvidence",
     "BadProvenanceEvidence",
     "Complaint",
@@ -122,10 +149,13 @@ __all__ = [
     "PhantomExportEvidence",
     "ShorterAvailableEvidence",
     "SuppressionEvidence",
+    "UnequalTreatmentEvidence",
     "Verdict",
     "Violation",
+    # judge
     "ComplaintRuling",
     "Judge",
+    # minimum protocol
     "HonestProver",
     "ProviderView",
     "RecipientView",
@@ -134,10 +164,51 @@ __all__ = [
     "announce",
     "verify_as_provider",
     "verify_as_recipient",
+    # batching
+    "BatchedDisclosure",
+    "BatchingProver",
+    "DisclosureBatch",
+    # promise-4 cross-check
+    "Promise4Result",
+    "cross_check",
+    "discriminating_chooser",
+    "honest_chooser",
+    "run_promise4_scenario",
+    "withholding_chooser",
+    # BGP deployment
+    "DeploymentReport",
+    "PVRDeployment",
+    "RoundStats",
+    # navigation (generalized protocol, verifier side)
+    "NavigationError",
+    "Navigator",
+    "OperatorSkeleton",
+    "owner_check_operators",
+    "verify_as_input_owner",
+    "verify_as_output_recipient",
+    # scenario runner + the four properties
     "ScenarioResult",
     "accuracy_holds",
     "confidentiality_holds",
     "detection_holds",
     "evidence_holds",
     "run_minimum_scenario",
+    # generalized protocol, prover side
+    "AccessDenied",
+    "GraphProver",
+    "GraphRoundConfig",
+    "RecordResponse",
+    # unified engine
+    "Adjudication",
+    "CryptoCounters",
+    "PromiseSpec",
+    "SessionError",
+    "SessionReport",
+    "SessionTranscript",
+    "VerificationSession",
+    "derive_skeleton",
+    "scenarios",
+    # vertex records
+    "VertexRecord",
+    "make_vertex_record",
 ]

@@ -21,9 +21,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore
 from repro.pvr.announcements import SignedAnnouncement
-from repro.pvr.commitments import ExportAttestation, make_attestation
+from repro.pvr.commitments import ExportAttestation
 from repro.pvr.evidence import UnequalTreatmentEvidence, Verdict, Violation
-from repro.pvr.minimum import RoundConfig, announce
 
 
 def cross_check(
@@ -129,42 +128,29 @@ def run_promise4_scenario(
     chooser: ExportChooser = honest_chooser,
     max_length: int = 16,
 ) -> Promise4Result:
-    """A multi-recipient round followed by full attestation gossip."""
+    """A multi-recipient round followed by full attestation gossip.
+
+    This is the legacy entry point; the round runs through the unified
+    :class:`repro.pvr.engine.VerificationSession` (variant
+    ``crosscheck``) and is adapted back to a :class:`Promise4Result`.
+    """
     if len(recipients) < 2:
         raise ValueError("promise 4 needs at least two recipients")
-    for asn in (prover, *providers, *recipients):
-        keystore.register(asn)
-    # one announcement set for the round, shared by all exports
-    base_config = RoundConfig(
-        prover=prover, providers=tuple(providers), recipient=recipients[0],
-        round=round, max_length=max_length,
+    from repro.promises.spec import NoLongerThanOthers
+    from repro.pvr.engine import VerificationSession
+    from repro.pvr.session import PromiseSpec
+
+    spec = PromiseSpec(
+        promise=NoLongerThanOthers(),
+        prover=prover,
+        providers=tuple(providers),
+        recipients=tuple(recipients),
+        variant="crosscheck",
+        max_length=max_length,
     )
-    announcements = announce(keystore, base_config, routes)
-    accepted = {
-        name: ann
-        for name, ann in announcements.items()
-        if ann is not None
-        and ann.verify(keystore)
-        and 1 <= len(ann.route.as_path) <= max_length
-    }
-
-    attestations: Dict[str, ExportAttestation] = {}
-    for recipient in recipients:
-        winner = chooser(recipient, accepted)
-        if winner is None:
-            attestations[recipient] = make_attestation(
-                keystore, prover, recipient, round, None, None
-            )
-        else:
-            attestations[recipient] = make_attestation(
-                keystore, prover, recipient, round,
-                winner.route.exported_by(prover), winner,
-            )
-
-    verdicts: Dict[str, Verdict] = {}
-    everyone = list(attestations.values())
-    for recipient in recipients:
-        verdicts[recipient] = cross_check(
-            keystore, recipient, attestations[recipient], everyone
-        )
-    return Promise4Result(attestations=attestations, verdicts=verdicts)
+    session = VerificationSession(keystore, spec, round=round, chooser=chooser)
+    report = session.run(routes)
+    return Promise4Result(
+        attestations=dict(report.transcript.detail),
+        verdicts=dict(report.verdicts),
+    )

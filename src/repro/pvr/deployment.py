@@ -30,17 +30,11 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.bgp.network import BGPNetwork
 from repro.bgp.prefix import Prefix
 from repro.crypto.keystore import KeyStore
-from repro.net.gossip import GossipLayer, exchange
+from repro.promises.spec import ShortestRoute
+from repro.pvr.engine import VerificationSession
 from repro.pvr.evidence import Verdict
-from repro.pvr.minimum import (
-    HonestProver,
-    ProviderView,
-    RecipientView,
-    RoundConfig,
-    announce,
-    verify_as_provider,
-    verify_as_recipient,
-)
+from repro.pvr.minimum import HonestProver
+from repro.pvr.session import PromiseSpec
 
 
 @dataclass(frozen=True)
@@ -171,12 +165,16 @@ class PVRDeployment:
                 f"{prover_as} has no providers for {prefix} (besides the recipient)"
             )
         self._round_counter += 1
-        config = RoundConfig(
+        spec = PromiseSpec(
+            promise=ShortestRoute(),
             prover=prover_as,
             providers=providers,
-            recipient=recipient,
-            round=self._round_counter,
+            recipients=(recipient,),
+            variant="minimum",
             max_length=self.max_length,
+        )
+        session = VerificationSession(
+            self.keystore, spec, round=self._round_counter, prover=prover
         )
         routes = {
             n: router.adj_rib_in.route_from(n, prefix) for n in providers
@@ -189,57 +187,30 @@ class PVRDeployment:
         started = time.perf_counter()
 
         # 1. providers announce over the wire
-        announcements = announce(self.keystore, config, routes)
+        announcements = session.announce(routes)
         for provider, ann in announcements.items():
             if ann is not None:
                 transport.send(provider, prover_as, AnnouncePayload(ann))
         transport.run()
 
-        # 2. the prover runs its round
-        if prover is None:
-            prover = HonestProver(self.keystore)
-        transcript = prover.run(config, announcements)
+        # 2. the prover commits (accept + decide + sign)
+        statement = session.commit()
 
         # 3. distribute commitment + views over the wire
-        statement_vector = None
+        views = session.disclose()
         for provider in providers:
-            view = transcript.provider_views[provider]
-            if view.vector is not None:
-                statement_vector = view.vector
-            transport.send(prover_as, provider, ViewPayload(view))
-        recipient_view = transcript.recipient_view
-        if recipient_view.vector is not None:
-            statement_vector = recipient_view.vector
-        transport.send(prover_as, recipient, ViewPayload(recipient_view))
-        if statement_vector is not None:
+            transport.send(prover_as, provider, ViewPayload(views[provider]))
+        transport.send(prover_as, recipient, ViewPayload(views[recipient]))
+        if statement is not None:
             for neighbor in self.network.transport.neighbors(prover_as):
-                transport.send(
-                    prover_as, neighbor, CommitPayload(statement_vector.statement)
-                )
+                transport.send(prover_as, neighbor, CommitPayload(statement))
         transport.run()
 
-        # 4. local verification from what actually ARRIVED (a dropped or
-        # tampered wire message must affect the verdicts), then gossip
+        # 4. collective verification from what actually ARRIVED (a dropped
+        # or tampered wire message must affect the verdicts), incl. gossip
         received = self._collect_views(prover_as, providers, recipient)
-        verdicts: Dict[str, Verdict] = {}
-        for provider in providers:
-            verdicts[provider] = verify_as_provider(
-                self.keystore, config, provider,
-                announcements.get(provider),
-                received.get(provider, ProviderView()),
-            )
-        arrived_recipient_view = received.get(recipient, RecipientView())
-        verdicts[recipient] = verify_as_recipient(
-            self.keystore, config, arrived_recipient_view
-        )
-        layers = {
-            name: GossipLayer(name, self.keystore)
-            for name in providers + (recipient,)
-        }
-        for name, view in received.items():
-            if name in layers and view.vector is not None:
-                layers[name].observe(view.vector.statement)
-        equivocations = exchange(layers.values())
+        report = session.verify(received=received)
+        verdicts: Dict[str, Verdict] = dict(report.verdicts)
 
         stats = RoundStats(
             prover=prover_as,
@@ -253,7 +224,7 @@ class PVRDeployment:
             violations=sum(
                 len(v.violations) for v in verdicts.values()
             ),
-            equivocations=len(equivocations),
+            equivocations=len(report.equivocations),
         )
         return verdicts, stats
 

@@ -20,18 +20,11 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore
-from repro.net.gossip import EquivocationRecord, GossipLayer, exchange
+from repro.net.gossip import EquivocationRecord
 from repro.pvr import leakage
 from repro.pvr.evidence import Complaint, Evidence, Verdict
 from repro.pvr.judge import Judge
-from repro.pvr.minimum import (
-    HonestProver,
-    RoundConfig,
-    RoundTranscript,
-    announce,
-    verify_as_provider,
-    verify_as_recipient,
-)
+from repro.pvr.minimum import HonestProver, RoundConfig, RoundTranscript
 
 
 @dataclass
@@ -84,55 +77,35 @@ def run_minimum_scenario(
     ``routes`` maps each provider to the route it announces (None =
     silent).  ``gossip=False`` is the D4 ablation: neighbors skip the
     commitment exchange, so equivocation goes unnoticed.
+
+    This is the legacy entry point; the round runs through the unified
+    :class:`repro.pvr.engine.VerificationSession` (variant ``minimum``)
+    and is adapted back to a :class:`ScenarioResult`.
     """
-    for asn in (config.prover, config.recipient) + tuple(config.providers):
-        keystore.register(asn)
-    if prover is None:
-        prover = HonestProver(keystore)
-    announcements = announce(keystore, config, routes)
-    transcript = prover.run(config, announcements)
+    from repro.promises.spec import ShortestRoute, WithinKHops
+    from repro.pvr.engine import VerificationSession
+    from repro.pvr.session import PromiseSpec
 
-    verdicts: Dict[str, Verdict] = {}
-    for provider in config.providers:
-        verdicts[provider] = verify_as_provider(
-            keystore,
-            config,
-            provider,
-            announcements.get(provider),
-            transcript.provider_views[provider],
-        )
-    verdicts[config.recipient] = verify_as_recipient(
-        keystore, config, transcript.recipient_view
+    promise = WithinKHops(config.slack) if config.slack else ShortestRoute()
+    spec = PromiseSpec(
+        promise=promise,
+        prover=config.prover,
+        providers=config.providers,
+        recipients=(config.recipient,),
+        variant="minimum",
+        max_length=config.max_length,
+        topic=config.topic,
     )
-
-    equivocations: Tuple[EquivocationRecord, ...] = ()
-    if gossip:
-        layers = {
-            name: GossipLayer(name, keystore)
-            for name in tuple(config.providers) + (config.recipient,)
-        }
-        for provider in config.providers:
-            view = transcript.provider_views[provider]
-            if view.vector is not None:
-                layers[provider].observe(view.vector.statement)
-        recipient_view = transcript.recipient_view
-        if recipient_view.vector is not None:
-            layers[config.recipient].observe(recipient_view.vector.statement)
-        equivocations = tuple(exchange(layers.values()))
-
-    lengths = [
-        len(route.as_path)
-        for route in routes.values()
-        if route is not None and 1 <= len(route.as_path) <= config.max_length
-    ]
-    honest_chosen_length = min(lengths) if lengths else None
-
+    session = VerificationSession(
+        keystore, spec, round=config.round, prover=prover, gossip=gossip
+    )
+    report = session.run(routes)
     return ScenarioResult(
         config=config,
-        transcript=transcript,
-        verdicts=verdicts,
-        equivocations=equivocations,
-        honest_chosen_length=honest_chosen_length,
+        transcript=report.transcript.detail,
+        verdicts=dict(report.verdicts),
+        equivocations=report.equivocations,
+        honest_chosen_length=report.honest_chosen_length,
     )
 
 

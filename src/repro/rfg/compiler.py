@@ -29,6 +29,7 @@ from repro.bgp.policy import (
 )
 from repro.promises.spec import (
     ExistentialPromise,
+    NoLongerThanOthers,
     Promise,
     ShortestFromSubset,
     ShortestRoute,
@@ -72,6 +73,12 @@ def compile_promise(
     if isinstance(promise, WithinKHops):
         # the conservative implementation: always export the shortest,
         # which satisfies within-k for every k
+        return minimum_graph(neighbors, recipient=recipient)
+    if isinstance(promise, NoLongerThanOthers):
+        # promise 4 constrains outputs across recipients; the honest
+        # implementation serves everyone the shared shortest route, so
+        # the per-recipient plan is the Figure 1 minimum graph (the
+        # cross-recipient half is enforced by attestation gossip)
         return minimum_graph(neighbors, recipient=recipient)
     if isinstance(promise, YouGetWhatYoureGiven):
         graph = RouteFlowGraph()
