@@ -10,34 +10,16 @@ at the interface).
 
 import pytest
 
-from repro.bgp.aspath import ASPath
-from repro.bgp.prefix import Prefix
-from repro.bgp.route import Route
-from repro.promises.spec import ExistentialPromise
+from repro.bench import workloads
 from repro.pvr.engine import VerificationSession
 from repro.pvr.existential import ring_announce, verify_ring_provenance
-from repro.pvr.session import PromiseSpec
 
 from conftest import print_table, run_once
 
-PFX = Prefix.parse("10.0.0.0/8")
-
-
-def route(neighbor, length=3):
-    return Route(prefix=PFX,
-                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
-                 neighbor=neighbor)
-
-
-def spec_for(k):
-    providers = tuple(f"N{i}" for i in range(1, k + 1))
-    return PromiseSpec(
-        promise=ExistentialPromise(providers),
-        prover="A",
-        providers=providers,
-        recipients=("B",),
-        max_length=8,
-    )
+# workload definitions shared with the registry experiment
+# "sec32-existential-round" (python -m repro.bench)
+route = workloads.route
+spec_for = workloads.existential_spec
 
 
 def config_for(k, round=1):
@@ -47,8 +29,7 @@ def config_for(k, round=1):
 @pytest.mark.parametrize("k", [2, 4, 8, 16])
 def test_existential_round(benchmark, bench_keystore, k):
     spec = spec_for(k)
-    routes = {f"N{i}": (route(f"N{i}") if i % 2 else None)
-              for i in range(1, k + 1)}
+    routes = workloads.existential_routes(k)
 
     def round_once():
         session = VerificationSession(bench_keystore, spec, round=300 + k)
@@ -57,6 +38,17 @@ def test_existential_round(benchmark, bench_keystore, k):
     report = benchmark(round_once)
     assert report.variant == "existential"
     assert all(v.ok for v in report.verdicts.values())
+
+
+def test_registry_experiment(benchmark):
+    """The registry twin of this series runs clean."""
+    from repro.bench import get, run_experiment
+
+    record = run_once(
+        benchmark,
+        lambda: run_experiment(get("sec32-existential-round"), quick=True),
+    )
+    assert record["metrics"]["signatures"] > 0
 
 
 @pytest.mark.parametrize("ring_size", [2, 4, 8, 16])

@@ -16,10 +16,7 @@ violations, and per-round cost dominated by signatures (linear in k).
 
 import pytest
 
-from repro.bgp.aspath import ASPath
-from repro.bgp.prefix import Prefix
-from repro.bgp.route import Route
-from repro.promises.spec import ShortestRoute
+from repro.bench import workloads
 from repro.pvr.adversary import (
     BadOpeningProver,
     EquivocatingProver,
@@ -31,36 +28,15 @@ from repro.pvr.adversary import (
 )
 from repro.pvr.engine import VerificationSession
 from repro.pvr.judge import Judge
-from repro.pvr.session import PromiseSpec
-from repro.util.rng import DeterministicRandom
 
 from conftest import print_table, run_once
 
-PFX = Prefix.parse("10.0.0.0/8")
-MAX_LEN = 12
+MAX_LEN = workloads.MAX_LEN
 
-
-def make_routes(k, seed=0):
-    rng = DeterministicRandom(seed).fork("fig1")
-    routes = {}
-    for i in range(1, k + 1):
-        length = rng.randint(1, MAX_LEN)
-        routes[f"N{i}"] = Route(
-            prefix=PFX,
-            as_path=ASPath(tuple(f"T{j}" for j in range(length))),
-            neighbor=f"N{i}",
-        )
-    return routes
-
-
-def spec_for(k):
-    return PromiseSpec(
-        promise=ShortestRoute(),
-        prover="A",
-        providers=tuple(f"N{i}" for i in range(1, k + 1)),
-        recipients=("B",),
-        max_length=MAX_LEN,
-    )
+# the workload definitions live in repro.bench.workloads, shared with
+# the `python -m repro.bench` registry experiment "fig1-minimum-round"
+make_routes = workloads.fig1_routes
+spec_for = workloads.minimum_spec
 
 
 @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
@@ -71,6 +47,23 @@ def test_round_latency_vs_providers(benchmark, bench_keystore, k):
 
     def round_once():
         session = VerificationSession(bench_keystore, spec, round=1)
+        return session.run(routes)
+
+    report = benchmark(round_once)
+    assert report.accuracy_ok
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_round_latency_vs_backend(benchmark, bench_keystore, backend):
+    """The k=16 round on each execution backend (identical transcripts;
+    only wall time may differ)."""
+    spec = spec_for(16)
+    routes = make_routes(16)
+
+    def round_once():
+        session = VerificationSession(
+            bench_keystore, spec, round=1, backend=backend
+        )
         return session.run(routes)
 
     report = benchmark(round_once)
@@ -196,3 +189,20 @@ def test_batching_halves_signatures(benchmark, bench_keystore):
     print_table("FIG1 batching option (k=6, L=12)",
                 ["prover", "signatures"], rows)
     assert rows[1][1] < rows[0][1]
+
+
+def test_registry_experiments(benchmark):
+    """This file's registry twins (`python -m repro.bench`) run clean and
+    report the same cost shape."""
+    from repro.bench import get, run_experiment
+
+    def experiment():
+        round_record = run_experiment(get("fig1-minimum-round"), quick=True)
+        matrix_record = run_experiment(get("fig1-detection-matrix"),
+                                       quick=True)
+        return round_record, matrix_record
+
+    round_record, matrix_record = run_once(benchmark, experiment)
+    assert round_record["metrics"]["accuracy_ok"]
+    assert round_record["metrics"]["signatures"] > 0
+    assert matrix_record["metrics"]["detection_rate"] == 1.0

@@ -15,38 +15,20 @@ and measures:
 
 import pytest
 
-from repro.bgp.aspath import ASPath
-from repro.bgp.prefix import Prefix
-from repro.bgp.route import Route
+from repro.bench import workloads
 from repro.promises.spec import ShortestRoute
 from repro.pvr.engine import VerificationSession, derive_skeleton
-from repro.pvr.session import PromiseSpec
 from repro.rfg.builder import figure2_graph
 from repro.rfg.static_check import implements
 from repro.util.rng import DeterministicRandom
 
 from conftest import print_table, run_once
 
-PFX = Prefix.parse("10.0.0.0/8")
-MAX_LEN = 12
+MAX_LEN = workloads.MAX_LEN
 
-
-def route(neighbor, length):
-    return Route(prefix=PFX,
-                 as_path=ASPath(tuple(f"T{i}" for i in range(length))),
-                 neighbor=neighbor)
-
-
-def spec_for(k):
-    neighbors = tuple(f"N{i}" for i in range(1, k + 1))
-    return PromiseSpec(
-        promise=ShortestRoute(),
-        prover="A",
-        providers=neighbors,
-        recipients=("B",),
-        max_length=MAX_LEN,
-        plan=figure2_graph(neighbors, recipient="B"),
-    )
+# spec construction shared with the registry experiment "fig2-graph-round"
+route = workloads.route
+spec_for = workloads.figure2_spec
 
 
 def routes_for(k, seed=0):
@@ -153,3 +135,14 @@ def test_merkle_tree_size_constant_per_query(benchmark, bench_keystore):
     print_table("FIG2 proof depth vs k", ["k", "proof siblings"], sizes)
     # depth is the prefix-free address length, constant in k for 'ro'
     assert sizes[0][1] == sizes[-1][1]
+
+
+def test_registry_experiment(benchmark):
+    """The registry twin of this series runs clean."""
+    from repro.bench import get, run_experiment
+
+    record = run_once(
+        benchmark,
+        lambda: run_experiment(get("fig2-graph-round"), quick=True),
+    )
+    assert record["metrics"]["signatures"] > 0

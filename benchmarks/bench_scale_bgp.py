@@ -34,7 +34,12 @@ SIZES = {
 def converged_network(params):
     graph = generate(params)
     net = build_bgp_network(graph)
-    origin = graph.ases()[-1]  # a stub
+    # a true stub (providers, no customers); ases() sorts
+    # lexicographically, so ases()[-1] would be a transit AS
+    origin = max(
+        (a for a in graph.ases() if not graph.customers(a)),
+        key=lambda a: int(a.removeprefix("AS")),
+    )
     net.originate(origin, PFX)
     net.run_to_quiescence()
     return net
@@ -147,3 +152,20 @@ def test_honest_convergence_statistics(benchmark):
         return True
 
     assert run_once(benchmark, experiment)
+
+
+def test_registry_experiments(benchmark):
+    """This file's registry twins, including the serial-vs-parallel
+    scaling scenario (`python -m repro.bench`)."""
+    from repro.bench import get, run_experiment
+
+    def experiment():
+        sweep = run_experiment(get("scale-bgp-sweep"), quick=True)
+        scaling = run_experiment(
+            get("scale-parallel"), quick=True, overrides={"ks": [4, 16]}
+        )
+        return sweep, scaling
+
+    sweep, scaling = run_once(benchmark, experiment)
+    assert sweep["metrics"]["violation_free"]
+    assert scaling["speedup_vs_serial"] is not None

@@ -3,10 +3,15 @@
 Benchmarks use RSA-1024 (the paper's Section 3.8 reference point) and a
 deterministic keystore, so runs are comparable across machines up to a
 constant factor.
+
+Table rendering lives in :mod:`repro.bench.tables` (shared with the
+``python -m repro.bench`` runner); this conftest binds it to the
+session's ``benchmark_tables.txt`` output file.
 """
 
 import pytest
 
+from repro.bench import tables
 from repro.crypto.keystore import KeyStore
 
 BENCH_KEY_BITS = 1024
@@ -41,18 +46,7 @@ def print_table(title, headers, rows):
     ``benchmark_tables.txt`` in the working directory, so the series
     survive pytest's output capture during ``--benchmark-only`` runs.
     """
-    widths = [
-        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
-        for i, h in enumerate(headers)
-    ]
-    lines = [f"\n== {title} =="]
-    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
-    text = "\n".join(lines)
-    print(text)
-    with open(TABLES_FILE, "a", encoding="utf-8") as handle:
-        handle.write(text + "\n")
+    return tables.print_table(title, headers, rows, path=TABLES_FILE)
 
 
 def run_once(benchmark, fn):

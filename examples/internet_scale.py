@@ -5,73 +5,86 @@ Generates a synthetic AS graph with Gao-Rexford business relationships
 (tier-1 clique, transit customers, lateral peering), writes it out in
 CAIDA serial-1 format, runs BGP to convergence for a stub-originated
 prefix, and then audits every exporting AS with PVR — reporting the
-transport and crypto cost of the whole sweep.  Each audit round is one
-:class:`repro.pvr.engine.VerificationSession` whose lifecycle phases the
-deployment layer interleaves with wire transport.
+transport and crypto cost of the whole sweep.
 
-Run:  python examples/internet_scale.py
+The topology build, convergence and audit all happen inside the
+registered benchmark experiment ``internet-scale-audit`` (see ``python
+-m repro.bench --list``); this script drives it once through
+:mod:`repro.bench` and prints its narrative from the returned record,
+so the numbers shown here are exactly the ones the benchmark JSON
+reports track over time.
+
+Run:  python examples/internet_scale.py [--quick] [--json PATH]
 """
 
+import argparse
+import sys
 import tempfile
 from pathlib import Path
 
-from repro.bgp.prefix import Prefix
-from repro.crypto.keystore import KeyStore
-from repro.pvr.deployment import PVRDeployment
+from repro.bench import get, run_experiment, write_report
+from repro.bench.experiments import AUDIT_PREFIX
+from repro.bench.runner import make_report
 from repro.topology.caida import parse_file, write_file
 from repro.topology.generate import TopologyParams, generate
-from repro.topology.internet import build_bgp_network
-
-PREFIX = Prefix.parse("203.0.113.0/24")
 
 
-def main() -> None:
-    params = TopologyParams(tier1=3, tier2=8, stubs=20, seed=2011)
+def caida_round_trip(params: TopologyParams) -> None:
+    """The serialization demo: write the graph in CAIDA serial-1 format
+    and read it back, as a real measurement pipeline would."""
     graph = generate(params)
-    print(f"Generated topology: {len(graph.ases())} ASes, "
-          f"{graph.edge_count()} relationships, "
-          f"tier-1 core = {', '.join(graph.tier1_core())}")
-
-    # round-trip through the CAIDA serial-1 format, as a real pipeline would
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "as-rel.txt"
         write_file(graph, path)
         graph = parse_file(path)
-        print(f"Re-read from CAIDA format: {graph.edge_count()} edges")
+    print(f"Re-read from CAIDA format: {graph.edge_count()} edges")
 
-    net = build_bgp_network(graph)
-    # a true stub: an AS with providers and no customers
-    origin = max(
-        (a for a in graph.ases() if not graph.customers(a)),
-        key=lambda a: int(a.removeprefix("AS")),
-    )
-    net.originate(origin, PREFIX)
-    events = net.run_to_quiescence()
-    reach = net.reachability(PREFIX)
-    reached = sum(1 for r in reach.values() if r is not None)
-    print(f"\nBGP converged in {events} events, "
-          f"{net.total_updates()} updates; "
-          f"{reached}/{len(reach)} ASes reach {PREFIX} (origin {origin})")
 
-    # sample forwarding path from a tier-1 AS
-    tier1 = graph.tier1_core()[0]
-    path = net.forwarding_path(tier1, PREFIX)
-    print(f"Forwarding path {tier1} -> origin: {' -> '.join(path)}")
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the experiment's quick profile")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the audit as a bench JSON report")
+    args = parser.parse_args(argv)
 
-    # PVR audit sweep
-    keystore = KeyStore(seed=7, key_bits=1024)
-    deployment = PVRDeployment(net, keystore, max_length=16)
-    report = deployment.verify_prefix_everywhere(PREFIX, max_rounds=20)
-    n = len(report.rounds)
+    spec = get("internet-scale-audit")
+    params = spec.resolved_params(quick=args.quick)
+
+    # one experiment run; every number below comes from this record
+    record = run_experiment(spec, quick=args.quick)
+    metrics = record["metrics"]
+
+    print(f"Generated topology: {metrics['ases']} ASes, "
+          f"{metrics['edges']} relationships, "
+          f"tier-1 core = {', '.join(metrics['tier1_core'])}")
+    caida_round_trip(TopologyParams(
+        tier1=int(params["tier1"]), tier2=int(params["tier2"]),
+        stubs=int(params["stubs"]), seed=int(params["seed"]),
+    ))
+    print(f"\nBGP converged in {metrics['events']} events, "
+          f"{metrics['updates']} updates; "
+          f"{metrics['reached']}/{metrics['ases']} ASes reach "
+          f"{AUDIT_PREFIX} (origin {metrics['origin']})")
+    path = metrics["forwarding_path"]
+    print(f"Forwarding path {path[0]} -> origin: {' -> '.join(path)}")
+
+    n = metrics["rounds"]
+    clean = metrics["violation_free"]
     print(f"\nPVR audit: {n} verification rounds, all "
-          f"{'clean' if report.violation_free() else 'NOT CLEAN'}")
-    print(f"  transport: {report.total('messages'):.0f} messages, "
-          f"{report.total('bytes') / 1024:.1f} KiB")
-    print(f"  crypto:    {report.total('signatures'):.0f} signatures, "
-          f"{report.total('verifications'):.0f} verifications")
-    print(f"  wall time: {report.total('wall_seconds') * 1000:.0f} ms "
-          f"({report.total('wall_seconds') / n * 1000:.1f} ms/round)")
+          f"{'clean' if clean else 'NOT CLEAN'}")
+    print(f"  transport: {metrics['messages']} messages, "
+          f"{metrics['bytes'] / 1024:.1f} KiB")
+    print(f"  crypto:    {record['ops']['signatures']} signatures, "
+          f"{record['ops']['verifications']} verifications, "
+          f"{record['ops']['hashes']} hashes")
+    print(f"  wall time: {metrics['timing']['sweep_seconds'] * 1000:.0f} ms "
+          f"({metrics['timing']['sweep_seconds'] / n * 1000:.1f} ms/round)")
+
+    if args.json:
+        write_report(make_report([record], quick=args.quick), args.json)
+        print(f"\nBench report written to {args.json}")
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""The benchmark experiment registry.
+
+An *experiment* is a named, parameterized measurement: a function
+``fn(ctx) -> metrics`` plus two parameter profiles — the full run and
+the ``--quick`` profile CI smokes on.  Experiments register themselves
+with the decorator::
+
+    @register(
+        "fig1-minimum-round",
+        "Figure 1 round latency and crypto cost",
+        params={"k": 16, "key_bits": 1024},
+        quick={"k": 4, "key_bits": 512},
+    )
+    def _fig1(ctx):
+        ...
+        return {"signatures": ..., "timing": {"round_seconds": ...}}
+
+Metric convention: everything outside the ``"timing"`` sub-dict must be
+deterministic for fixed parameters (the ``--quick`` determinism test
+enforces this); wall-clock measurements go under ``"timing"``.  A
+``"speedup_vs_serial"`` key, where present, is surfaced at the record's
+top level by the runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.crypto.keystore import KeyStore
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentSpec",
+    "get",
+    "names",
+    "register",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: metadata plus parameter profiles."""
+
+    name: str
+    description: str
+    fn: Callable[["ExperimentContext"], Mapping]
+    params: Mapping[str, object]
+    quick: Mapping[str, object]
+    tags: Tuple[str, ...] = ()
+
+    def resolved_params(
+        self,
+        quick: bool = False,
+        overrides: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """The effective parameters for one run."""
+        resolved = dict(self.params)
+        if quick:
+            resolved.update(self.quick)
+        if overrides:
+            resolved.update(overrides)
+        return resolved
+
+
+class ExperimentContext:
+    """What an experiment function gets to work with.
+
+    ``ctx.params`` are the resolved parameters; ``ctx.keystore(...)``
+    builds deterministic keystores whose signature/verification counters
+    the runner folds into the record's op totals; ``ctx.table(...)``
+    queues a paper-style table for the runner to render.
+    """
+
+    def __init__(self, params: Mapping[str, object], quick: bool) -> None:
+        self.params = dict(params)
+        self.quick = quick
+        self.tables: List[Tuple[str, tuple, list]] = []
+        self._keystores: List[KeyStore] = []
+
+    def keystore(self, seed: int = 2011, key_bits: Optional[int] = None) -> KeyStore:
+        """A deterministic keystore, tracked for op accounting.
+
+        ``key_bits`` defaults to the experiment's ``key_bits`` parameter
+        (falling back to 512), so quick profiles shrink keys uniformly.
+        """
+        if key_bits is None:
+            key_bits = int(self.params.get("key_bits", 512))
+        store = KeyStore(seed=seed, key_bits=key_bits)
+        self._keystores.append(store)
+        return store
+
+    def track(self, store: KeyStore) -> KeyStore:
+        """Track an externally-built keystore for op accounting."""
+        self._keystores.append(store)
+        return store
+
+    def table(self, title: str, headers, rows) -> None:
+        self.tables.append((title, tuple(headers), [tuple(r) for r in rows]))
+
+    def ops(self) -> Dict[str, int]:
+        """Signature/verification totals across every tracked keystore."""
+        return {
+            "signatures": sum(ks.sign_count for ks in self._keystores),
+            "verifications": sum(ks.verify_count for ks in self._keystores),
+        }
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    *,
+    params: Optional[Mapping[str, object]] = None,
+    quick: Optional[Mapping[str, object]] = None,
+    tags: Tuple[str, ...] = (),
+):
+    """Decorator: register ``fn(ctx) -> metrics`` under ``name``."""
+
+    def wrap(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        _REGISTRY[name] = ExperimentSpec(
+            name=name,
+            description=description,
+            fn=fn,
+            params=dict(params or {}),
+            quick=dict(quick or {}),
+            tags=tuple(tags),
+        )
+        return fn
+
+    return wrap
+
+
+def get(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

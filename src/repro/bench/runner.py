@@ -1,0 +1,316 @@
+"""The benchmark runner: measure, report, gate.
+
+``run_suite`` executes registered experiments and produces one
+schema-versioned, JSON-serializable report::
+
+    {
+      "schema": "repro.bench/report",
+      "schema_version": 1,
+      "quick": true,
+      "host": {"python": "3.11.7", "platform": "...", "cpus": 4},
+      "experiments": [
+        {
+          "name": "fig1-minimum-round",
+          "description": "...",
+          "params": {"k": 4, "key_bits": 512, ...},
+          "quick": true,
+          "wall_seconds": 0.18,
+          "ops": {"signatures": 28, "verifications": 34, "hashes": 911},
+          "metrics": {...},               # deterministic except "timing"
+          "speedup_vs_serial": null       # set by scaling experiments
+        }, ...
+      ]
+    }
+
+``validate_report`` structurally checks a report (CI round-trips the
+JSON through it); ``deterministic_view`` projects away wall-clock noise
+so two ``--quick`` runs can be compared byte-for-byte; and
+``compare_to_baseline`` is the CI perf-regression gate — an experiment
+fails the gate when its wall time exceeds ``factor ×`` its baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench import registry
+from repro.bench.tables import print_table
+from repro.crypto import hashing
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "BenchReportError",
+    "calibrate",
+    "compare_to_baseline",
+    "deterministic_view",
+    "load_report",
+    "make_report",
+    "run_experiment",
+    "run_suite",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA = "repro.bench/report"
+SCHEMA_VERSION = 1
+
+#: wall times below this are treated as this when computing gate ratios,
+#: so microsecond-scale experiments cannot trip the gate on noise
+GATE_FLOOR_SECONDS = 0.005
+
+
+class BenchReportError(ValueError):
+    """A report failed structural validation."""
+
+
+def run_experiment(
+    spec: registry.ExperimentSpec,
+    *,
+    quick: bool = False,
+    overrides: Optional[Mapping[str, object]] = None,
+    tables_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run one experiment and return its report record."""
+    params = spec.resolved_params(quick=quick, overrides=overrides)
+    ctx = registry.ExperimentContext(params, quick)
+    hashes_before = hashing.hash_count()
+    started = time.perf_counter()
+    metrics = dict(spec.fn(ctx))
+    wall = time.perf_counter() - started
+    ops = ctx.ops()
+    ops["hashes"] = hashing.hash_count() - hashes_before
+    for title, headers, rows in ctx.tables:
+        print_table(title, headers, rows, path=tables_path)
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "params": params,
+        "quick": quick,
+        "wall_seconds": wall,
+        "ops": ops,
+        "metrics": metrics,
+        "speedup_vs_serial": metrics.get("speedup_vs_serial"),
+    }
+
+
+def calibrate() -> float:
+    """Wall time of a fixed reference workload (deterministic RSA keygen
+    + signatures), stored per report so the baseline gate can compare
+    wall times *relative to each machine's speed* instead of absolutely.
+    """
+    from repro.crypto import rsa
+    from repro.util.rng import DeterministicRandom
+
+    started = time.perf_counter()
+    key = rsa.generate_keypair(512, DeterministicRandom(0xCA1).bytes)
+    for i in range(8):
+        rsa.sign(key, b"calibration-%d" % i)
+    return time.perf_counter() - started
+
+
+def make_report(
+    records: Sequence[Mapping],
+    *,
+    quick: bool = False,
+    calibration_seconds: Optional[float] = None,
+) -> Dict[str, object]:
+    """Wrap experiment records in the schema-versioned report envelope."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cpus = os.cpu_count() or 1
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": cpus,
+            "calibration_seconds": (
+                calibrate()
+                if calibration_seconds is None
+                else calibration_seconds
+            ),
+        },
+        "experiments": list(records),
+    }
+
+
+def run_suite(
+    only: Optional[Sequence[str]] = None,
+    *,
+    quick: bool = False,
+    overrides: Optional[Mapping[str, object]] = None,
+    tables_path: Optional[str] = None,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the selected experiments (default: all) into one report."""
+    selected = list(only) if only else list(registry.names())
+    records = []
+    for name in selected:
+        spec = registry.get(name)
+        if progress is not None:
+            progress(name)
+        records.append(
+            run_experiment(
+                spec, quick=quick, overrides=overrides,
+                tables_path=tables_path,
+            )
+        )
+    return make_report(records, quick=quick)
+
+
+# -- persistence & validation --------------------------------------------------
+
+
+def write_report(report: Mapping, path: str) -> None:
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    validate_report(report)
+    return report
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchReportError(message)
+
+
+def validate_report(report: Mapping) -> None:
+    """Structurally validate a report; raises :class:`BenchReportError`.
+
+    Also checks JSON round-trippability, so a validated report is
+    guaranteed to serialize.
+    """
+    _require(isinstance(report, Mapping), "report must be an object")
+    _require(report.get("schema") == SCHEMA,
+             f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    _require(report.get("schema_version") == SCHEMA_VERSION,
+             f"unsupported schema_version {report.get('schema_version')!r}")
+    _require(isinstance(report.get("quick"), bool), "quick must be a bool")
+    host = report.get("host")
+    _require(isinstance(host, Mapping), "host must be an object")
+    for key in ("python", "platform"):
+        _require(isinstance(host.get(key), str), f"host.{key} must be a string")
+    experiments = report.get("experiments")
+    _require(isinstance(experiments, list) and experiments,
+             "experiments must be a non-empty list")
+    seen = set()
+    for record in experiments:
+        _require(isinstance(record, Mapping), "experiment must be an object")
+        name = record.get("name")
+        _require(isinstance(name, str) and name, "experiment name required")
+        _require(name not in seen, f"duplicate experiment {name!r}")
+        seen.add(name)
+        _require(isinstance(record.get("params"), Mapping),
+                 f"{name}: params must be an object")
+        wall = record.get("wall_seconds")
+        _require(isinstance(wall, (int, float)) and wall >= 0,
+                 f"{name}: wall_seconds must be a non-negative number")
+        ops = record.get("ops")
+        _require(isinstance(ops, Mapping), f"{name}: ops must be an object")
+        for op in ("signatures", "verifications", "hashes"):
+            count = ops.get(op)
+            _require(isinstance(count, int) and count >= 0,
+                     f"{name}: ops.{op} must be a non-negative int")
+        _require(isinstance(record.get("metrics"), Mapping),
+                 f"{name}: metrics must be an object")
+        speedup = record.get("speedup_vs_serial")
+        _require(speedup is None or isinstance(speedup, (int, float)),
+                 f"{name}: speedup_vs_serial must be a number or null")
+    try:
+        json.dumps(report)
+    except (TypeError, ValueError) as exc:
+        raise BenchReportError(f"report is not JSON-serializable: {exc}") from None
+
+
+def deterministic_view(report: Mapping) -> Dict[str, object]:
+    """The portion of a report that must be identical across runs with
+    the same parameters: params, sign/verify op counts, and every metric
+    outside the ``"timing"`` sub-dict."""
+    view = {}
+    for record in report["experiments"]:
+        metrics = {
+            key: value
+            for key, value in record["metrics"].items()
+            if key not in ("timing", "speedup_vs_serial")
+        }
+        view[record["name"]] = {
+            "params": dict(record["params"]),
+            "signatures": record["ops"]["signatures"],
+            "verifications": record["ops"]["verifications"],
+            "metrics": metrics,
+        }
+    return view
+
+
+# -- the CI perf-regression gate -----------------------------------------------
+
+
+def _speed_scale(current: Mapping, baseline: Mapping) -> float:
+    """How much slower the current host is than the baseline host, from
+    the reports' calibration workloads.  Baseline wall times are scaled
+    by this before gating, so a slow CI runner does not read as a code
+    regression.  Reports without calibration (older schema revisions)
+    compare absolutely (scale 1)."""
+    current_cal = current.get("host", {}).get("calibration_seconds")
+    baseline_cal = baseline.get("host", {}).get("calibration_seconds")
+    if not current_cal or not baseline_cal:
+        return 1.0
+    return current_cal / baseline_cal
+
+
+def compare_to_baseline(
+    current: Mapping,
+    baseline: Mapping,
+    factor: float,
+) -> Tuple[bool, List[Tuple[str, str, str, str]]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(ok, rows)`` where each row is ``(experiment, baseline_s,
+    current_s, status)`` and status is ``ok``, ``REGRESSION`` (wall time
+    above ``factor`` × the machine-speed-scaled baseline, see
+    :func:`_speed_scale`), ``MISSING`` (in the baseline but not the
+    current run — also a failure, so experiments cannot silently drop
+    out of the gate) or ``new`` (not yet in the baseline).
+    """
+    current_by_name = {r["name"]: r for r in current["experiments"]}
+    baseline_by_name = {r["name"]: r for r in baseline["experiments"]}
+    scale = _speed_scale(current, baseline)
+    ok = True
+    rows = []
+    for name in sorted(set(current_by_name) | set(baseline_by_name)):
+        base = baseline_by_name.get(name)
+        now = current_by_name.get(name)
+        if base is None:
+            rows.append((name, "-", f"{now['wall_seconds']:.3f}", "new"))
+            continue
+        if now is None:
+            rows.append((name, f"{base['wall_seconds']:.3f}", "-", "MISSING"))
+            ok = False
+            continue
+        base_wall = max(base["wall_seconds"] * scale, GATE_FLOOR_SECONDS)
+        now_wall = max(now["wall_seconds"], GATE_FLOOR_SECONDS)
+        ratio = now_wall / base_wall
+        status = "ok" if ratio <= factor else "REGRESSION"
+        if status != "ok":
+            ok = False
+        rows.append((
+            name,
+            f"{base['wall_seconds']:.3f}",
+            f"{now['wall_seconds']:.3f}",
+            f"{status} ({ratio:.2f}x)",
+        ))
+    return ok, rows

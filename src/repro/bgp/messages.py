@@ -9,7 +9,7 @@ signing is enabled) wrap them rather than mutate them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.bgp.prefix import Prefix

@@ -8,7 +8,7 @@ Internet-scale example run PVR on top of.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.bgp.policy import Policy, PERMIT_ALL
 from repro.bgp.prefix import Prefix

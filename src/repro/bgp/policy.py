@@ -13,8 +13,8 @@ a policy does without executing a router.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route

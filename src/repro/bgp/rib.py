@@ -12,7 +12,7 @@ The classic three-RIB structure of a BGP speaker:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.bgp.decision import decide
 from repro.bgp.messages import Keepalive, Notification, Open, Update
-from repro.bgp.policy import DENY_ALL, PERMIT_ALL, Policy
+from repro.bgp.policy import PERMIT_ALL, Policy
 from repro.bgp.prefix import Prefix
 from repro.bgp.rib import AdjRIBIn, AdjRIBOut, LocRIB
 from repro.bgp.route import Route

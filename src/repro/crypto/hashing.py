@@ -17,9 +17,22 @@ from repro.util.encoding import canonical_encode
 
 DIGEST_SIZE = 32
 
+#: Running total of domain-separated digests computed in this process.
+#: The bench runner (:mod:`repro.bench`) reports per-experiment deltas of
+#: this counter; it is a plain int, so under thread workers the total is
+#: best-effort (process workers do not report back at all).
+_hash_count = 0
+
+
+def hash_count() -> int:
+    """Digests computed so far in this process (see :data:`_hash_count`)."""
+    return _hash_count
+
 
 def hash_bytes(domain: str, data: bytes) -> bytes:
     """SHA-256 of ``data`` under the given domain tag."""
+    global _hash_count
+    _hash_count += 1
     h = hashlib.sha256()
     tag = domain.encode("ascii")
     h.update(len(tag).to_bytes(2, "big"))
@@ -39,6 +52,8 @@ def hash_many(domain: str, *parts: bytes) -> bytes:
     Each part is length-prefixed so ``hash_many(d, a, b)`` can never equal
     ``hash_many(d, a + b)``.
     """
+    global _hash_count
+    _hash_count += 1
     h = hashlib.sha256()
     tag = domain.encode("ascii")
     h.update(len(tag).to_bytes(2, "big"))

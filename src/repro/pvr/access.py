@@ -17,8 +17,7 @@ lets B check *that* the min ranged over r1..rk without seeing the routes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Set, Tuple
+from typing import Callable, Set, Tuple
 
 from repro.rfg.graph import RouteFlowGraph
 

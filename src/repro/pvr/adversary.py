@@ -37,16 +37,11 @@ evidence wherever the mechanism admits it.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Tuple
+from typing import Optional
 
 from repro.crypto.commitment import Opening
 from repro.pvr.announcements import Receipt, SignedAnnouncement
-from repro.pvr.commitments import (
-    BitVectorOpenings,
-    CommittedBitVector,
-    commit_bits,
-    make_disclosure,
-)
+from repro.pvr.commitments import commit_bits, make_disclosure
 from repro.pvr.minimum import (
     HonestProver,
     ProviderView,

@@ -1,0 +1,288 @@
+"""Execution backends: fanning the crypto hot path out across workers.
+
+Section 3.8 prices a PVR round in RSA signatures — linear in the number
+of providers k — and those signatures are embarrassingly parallel: each
+receipt, disclosure and per-provider verification touches only its own
+announcement/view pair.  This module supplies the *how* without changing
+the *what*:
+
+* :class:`ExecutionBackend` — the strategy interface.  ``map`` must
+  return results **in task order**, so callers can merge worker output
+  deterministically and transcripts stay byte-identical to serial runs;
+* :class:`SerialBackend` — the default; runs tasks inline;
+* :class:`ThreadPoolBackend` — ``concurrent.futures.ThreadPoolExecutor``;
+  workers share the keystore's key table (no copying);
+* :class:`ProcessPoolBackend` — ``ProcessPoolExecutor``; tasks are
+  shipped as picklable :class:`CryptoTask` chunks, each carrying the
+  keystore snapshot once per chunk.
+
+Parallel-safety rests on three properties of the crypto layer: FDH-RSA
+signing is deterministic (same key + message ⇒ same bytes), key
+generation derives only from the keystore's immutable seed material (a
+worker's lazily-generated key equals the parent's), and per-worker
+keystore views count their own operations, which callers merge back in
+task order (:func:`run_tasks`), so :class:`~repro.pvr.session.CryptoCounters`
+match serial runs exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.crypto.keystore import KeyStore
+
+__all__ = [
+    "CryptoResult",
+    "CryptoTask",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "resolve_backend",
+    "run_tasks",
+    "shutdown_backends",
+]
+
+
+@dataclass(frozen=True)
+class CryptoTask:
+    """One picklable unit of crypto work.
+
+    ``fn`` must be a module-level function (picklable by reference) with
+    the keystore-first convention ``fn(keystore, *args)``; ``args`` must
+    be picklable for the process backend — the protocol's frozen
+    dataclasses (announcements, views, openings, configs) all are.
+    ``key`` labels the result (e.g. the provider name) so callers can
+    merge worker output without positional bookkeeping.
+    """
+
+    key: object
+    fn: Callable
+    args: Tuple
+
+    def execute(self, keystore: KeyStore) -> "CryptoResult":
+        view = keystore.worker_view()
+        value = self.fn(view, *self.args)
+        return CryptoResult(
+            key=self.key,
+            value=value,
+            signatures=view.sign_count,
+            verifications=view.verify_count,
+        )
+
+
+@dataclass(frozen=True)
+class CryptoResult:
+    """A task's value plus the keystore operations it performed."""
+
+    key: object
+    value: object
+    signatures: int
+    verifications: int
+
+
+def _execute_chunk(payload) -> Tuple[CryptoResult, ...]:
+    """Run one chunk of tasks against one keystore snapshot.
+
+    Module-level so the process backend can pickle it; the keystore
+    rides along once per chunk instead of once per task.
+    """
+    keystore, tasks = payload
+    return tuple(task.execute(keystore) for task in tasks)
+
+
+class ExecutionBackend:
+    """Strategy for running independent crypto tasks.
+
+    Implementations must preserve input order in ``map`` — callers rely
+    on it for deterministic merges.  ``parallel`` advertises whether the
+    backend actually fans out (provers fall back to their exact serial
+    code path when it does not).
+    """
+
+    name = "serial"
+    parallel = False
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources; the backend may not be reused."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """The default: run every task inline, in order."""
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared machinery for the executor-based backends.
+
+    The executor is created lazily (a backend can be constructed in
+    configs/scenarios without paying for workers until first use) and
+    reused across sessions.
+    """
+
+    parallel = True
+    _executor_cls: Callable = None
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+        self._executor = None
+
+    @property
+    def parallelism(self) -> int:
+        if self._max_workers is not None:
+            return self._max_workers
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux hosts
+            return os.cpu_count() or 1
+
+    def _pool(self):
+        if self._executor is None:
+            self._executor = self._executor_cls(
+                max_workers=self._max_workers
+            )
+        return self._executor
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        # Executor.map preserves input order by contract.
+        return list(self._pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Thread workers: zero-copy key access, overlaps the hash/bigint
+    work the interpreter releases the GIL for only partially — the
+    robust choice when task payloads are large."""
+
+    name = "thread"
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Process workers: true CPU fan-out for the RSA hot path.  Tasks
+    and keystore snapshots cross the boundary by pickle, one snapshot
+    per chunk (see :func:`run_tasks`)."""
+
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+BackendSpec = Union[None, str, ExecutionBackend]
+
+#: Shared backend instances, keyed by spec string, so repeated sessions
+#: reuse one worker pool instead of spawning a pool per round.
+_SHARED: Dict[str, ExecutionBackend] = {}
+
+
+def resolve_backend(spec: BackendSpec) -> ExecutionBackend:
+    """Turn a backend spec into a backend.
+
+    Accepts ``None``/``"serial"``, ``"thread"``, ``"process"`` — each
+    optionally suffixed ``:N`` for an explicit worker count — or an
+    :class:`ExecutionBackend` instance (returned as-is).  String specs
+    resolve to shared, lazily-started instances.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = "serial"
+    if not isinstance(spec, str):
+        raise TypeError(f"backend spec must be str or ExecutionBackend, got {spec!r}")
+    if spec in _SHARED:
+        return _SHARED[spec]
+    kind, _, workers = spec.partition(":")
+    max_workers = None
+    if workers:
+        try:
+            max_workers = int(workers)
+        except ValueError:
+            raise ValueError(f"bad worker count in backend spec {spec!r}") from None
+    if kind == "serial":
+        backend: ExecutionBackend = SerialBackend()
+    elif kind == "thread":
+        backend = ThreadPoolBackend(max_workers)
+    elif kind == "process":
+        backend = ProcessPoolBackend(max_workers)
+    else:
+        raise ValueError(
+            f"unknown backend {spec!r}; expected serial, thread[:N] or process[:N]"
+        )
+    _SHARED[spec] = backend
+    return backend
+
+
+def shutdown_backends() -> None:
+    """Close every shared backend (tests and the bench runner call this
+    so worker pools do not outlive their workload)."""
+    for backend in _SHARED.values():
+        backend.close()
+    _SHARED.clear()
+
+
+def _chunks(tasks: Sequence[CryptoTask], count: int) -> List[Tuple[CryptoTask, ...]]:
+    """Split ``tasks`` into at most ``count`` contiguous, order-preserving
+    chunks of near-equal size."""
+    count = max(1, min(count, len(tasks)))
+    size, extra = divmod(len(tasks), count)
+    out, start = [], 0
+    for i in range(count):
+        end = start + size + (1 if i < extra else 0)
+        out.append(tuple(tasks[start:end]))
+        start = end
+    return out
+
+
+def run_tasks(
+    backend: ExecutionBackend,
+    keystore: KeyStore,
+    tasks: Sequence[CryptoTask],
+    *,
+    merge_counts: bool = True,
+) -> List[CryptoResult]:
+    """Execute ``tasks`` on ``backend`` and return results in task order.
+
+    Every task runs against a :meth:`~repro.crypto.keystore.KeyStore.worker_view`
+    of ``keystore`` (whatever the backend), and the per-task operation
+    counts are merged back into ``keystore`` in task order — so serial
+    and parallel runs report identical
+    :class:`~repro.pvr.session.CryptoCounters`.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    chunked = _chunks(tasks, backend.parallelism)
+    payloads = [(keystore, chunk) for chunk in chunked]
+    results: List[CryptoResult] = []
+    for group in backend.map(_execute_chunk, payloads):
+        results.extend(group)
+    if merge_counts:
+        for result in results:
+            keystore.add_counts(result.signatures, result.verifications)
+    return results

@@ -15,7 +15,7 @@ properties (Section 2.3) on the outcome:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.bgp.route import Route

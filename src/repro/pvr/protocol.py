@@ -25,8 +25,8 @@ generalization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore

@@ -316,3 +316,47 @@ def _promise4_cheat() -> Scenario:
         chooser=discriminating_chooser("B1"),
         expect_violation=True,
     )
+
+
+# -- the Section 3.8 scaling scenarios -----------------------------------------
+#
+# Per-round cost is linear in the provider count k; these scenarios are
+# the measurement points for that line (k ∈ {4, 16, 64}), each in a
+# serial and a parallel (process-backend) flavour so the execution
+# backends can be compared on identical inputs.  The parallel runs are
+# transcript-identical to the serial ones — only wall time differs.
+
+SCALING_KS = (4, 16, 64)
+
+
+def _scale_scenario(k: int, backend: Optional[str]) -> Scenario:
+    routes = {
+        f"N{i}": _route(f"N{i}", 1 + (i * 7) % 12)
+        for i in range(1, k + 1)
+    }
+    return Scenario(
+        spec=PromiseSpec(
+            promise=ShortestRoute(),
+            prover="A",
+            providers=tuple(f"N{i}" for i in range(1, k + 1)),
+            recipients=("B",),
+            max_length=12,
+        ),
+        routes=routes,
+        session_options={"backend": backend} if backend else {},
+    )
+
+
+def _register_scaling() -> None:
+    for k in SCALING_KS:
+        register(
+            f"scale-k{k}",
+            f"Section 3.8 scaling: one honest round with k={k} providers",
+        )(lambda k=k: _scale_scenario(k, None))
+        register(
+            f"scale-k{k}-parallel",
+            f"Section 3.8 scaling: k={k} providers on the process backend",
+        )(lambda k=k: _scale_scenario(k, "process"))
+
+
+_register_scaling()

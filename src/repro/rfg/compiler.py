@@ -20,13 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.bgp.policy import (
-    Clause,
-    MatchASInPath,
-    MatchCommunity,
-    MatchPrefix,
-    Policy,
-)
+from repro.bgp.policy import Clause, MatchASInPath, MatchCommunity, Policy
 from repro.promises.spec import (
     ExistentialPromise,
     NoLongerThanOthers,

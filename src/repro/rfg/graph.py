@@ -13,7 +13,7 @@ predecessors, successors, payload — see :mod:`repro.pvr.vertex_info`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.rfg.operators import Operator, Value

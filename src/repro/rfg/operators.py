@@ -21,7 +21,7 @@ pipeline as one black-box rule, and hierarchical composites (the
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.bgp.decision import decide, rank_key
 from repro.bgp.route import Route

@@ -26,7 +26,7 @@ observation that an invisible derivation makes promises unverifiable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.promises.spec import (
     ExistentialPromise,

@@ -12,7 +12,7 @@ depth accounting (AND gates dominate SMC cost; XOR is free in GMW).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 XOR = "xor"

@@ -25,7 +25,7 @@ Two pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.crypto.commitment import Commitment, Opening, commit, verify_opening
 from repro.util.rng import DeterministicRandom

@@ -1,6 +1,5 @@
 """Tests for the BGP decision process."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 converge, reach everywhere, and pick shortest paths under permissive
 policies."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ decision-rule violations, Section 1).
 
 import pytest
 
-from repro.bgp.messages import Notification
 from repro.bgp.network import BGPNetwork
 from repro.bgp.prefix import Prefix
 from repro.crypto.keystore import KeyStore

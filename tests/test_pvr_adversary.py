@@ -222,7 +222,7 @@ class TestAccuracyAgainstFabrication:
         # run an honest round, then try to frame A by reusing its honest
         # disclosure of a zero bit with an unrelated announcement
         from repro.pvr.evidence import FalseBitEvidence
-        from repro.pvr.announcements import make_announcement, make_receipt
+        from repro.pvr.announcements import make_announcement
 
         result = run_minimum_scenario(keystore, config, routes)
         view = result.transcript.recipient_view

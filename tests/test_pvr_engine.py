@@ -49,7 +49,6 @@ from repro.pvr.engine import VerificationSession, derive_skeleton
 from repro.pvr.judge import Judge
 from repro.pvr.navigation import (
     Navigator,
-    OperatorSkeleton,
     verify_as_input_owner,
     verify_as_output_recipient,
 )

@@ -9,7 +9,6 @@ from repro.bgp.route import Route
 from repro.pvr.existential import (
     ExistentialProver,
     ring_announce,
-    ring_statement,
     verify_as_provider,
     verify_as_recipient,
     verify_ring_provenance,

@@ -85,8 +85,6 @@ class TestTampering:
         require A's signature over the forged content) can be produced."""
         net, deployment = deployed
 
-        swapped = {}
-
         def corrupt(message: Message):
             if message.dst == "B" and isinstance(message.payload, ViewPayload):
                 view = message.payload.view

@@ -1,6 +1,5 @@
 """Tests for confidentiality accounting (paper Section 2.3, last bullet)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,7 @@ from repro.net.gossip import SignedStatement, make_statement
 from repro.pvr.access import paper_alpha
 from repro.pvr.announcements import make_announcement
 from repro.pvr.navigation import NavigationError, Navigator
-from repro.pvr.protocol import AccessDenied, GraphProver, GraphRoundConfig, RecordResponse
+from repro.pvr.protocol import AccessDenied, GraphProver, GraphRoundConfig
 from repro.pvr.vertex_info import ASPECT_PAYLOAD, ASPECT_PREDS
 from repro.rfg.builder import minimum_graph
 

@@ -1,7 +1,6 @@
 """Tests for the structure-derived owner check list
 (:func:`repro.pvr.navigation.owner_check_operators`)."""
 
-import pytest
 
 from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix

@@ -1,0 +1,200 @@
+"""Execution backends: parallel runs must be observably identical to
+serial ones — verdicts, transcripts, crypto counters — for all four
+protocol variants, honest and Byzantine alike."""
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.crypto.keystore import KeyStore
+from repro.promises.spec import (
+    ExistentialPromise,
+    NoLongerThanOthers,
+    ShortestRoute,
+)
+from repro.pvr import execution
+from repro.pvr.engine import VerificationSession
+from repro.pvr.session import PromiseSpec
+from repro.rfg.builder import figure2_graph
+from repro.util.rng import DeterministicRandom
+
+PFX = Prefix.parse("203.0.113.0/24")
+PROVIDERS = tuple(f"N{i}" for i in range(1, 7))
+BACKENDS = ["thread:2", "process:2"]
+
+
+def route(neighbor, length):
+    return Route(
+        prefix=PFX,
+        as_path=ASPath(tuple(f"T{i}" for i in range(length))),
+        neighbor=neighbor,
+    )
+
+
+ROUTES = {p: route(p, 1 + i % 5) for i, p in enumerate(PROVIDERS)}
+
+
+def spec_variants():
+    return {
+        "minimum": PromiseSpec(
+            promise=ShortestRoute(), prover="A", providers=PROVIDERS,
+            recipients=("B",), max_length=8,
+        ),
+        "existential": PromiseSpec(
+            promise=ExistentialPromise(PROVIDERS), prover="A",
+            providers=PROVIDERS, recipients=("B",), max_length=8,
+        ),
+        "graph": PromiseSpec(
+            promise=ShortestRoute(), prover="A", providers=PROVIDERS,
+            recipients=("B",), max_length=8,
+            plan=figure2_graph(PROVIDERS, recipient="B"),
+        ),
+        "crosscheck": PromiseSpec(
+            promise=NoLongerThanOthers(), prover="A", providers=PROVIDERS,
+            recipients=("B1", "B2", "B3"), max_length=8,
+        ),
+    }
+
+
+def run_with(backend, spec, **options):
+    """One full session on a fresh (identically-seeded) keystore with a
+    deterministic nonce stream, so two runs are comparable bit-for-bit."""
+    keystore = KeyStore(seed=42, key_bits=512)
+    session = VerificationSession(
+        keystore, spec, round=5, backend=backend,
+        random_bytes=DeterministicRandom(7).bytes, **options,
+    )
+    return session.run(ROUTES)
+
+
+def assert_reports_identical(serial, parallel):
+    assert parallel.variant == serial.variant
+    assert parallel.verdicts == serial.verdicts
+    assert parallel.crypto == serial.crypto
+    assert parallel.equivocations == serial.equivocations
+    assert parallel.honest_chosen_length == serial.honest_chosen_length
+    assert parallel.confidentiality_ok == serial.confidentiality_ok
+    assert parallel.transcript.announcements == serial.transcript.announcements
+    assert parallel.transcript.commitment == serial.transcript.commitment
+    assert parallel.transcript.views == serial.transcript.views
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools():
+    yield
+    execution.shutdown_backends()
+
+
+class TestParityAcrossVariants:
+    @pytest.mark.parametrize("variant", sorted(spec_variants()))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallel_report_identical_to_serial(self, variant, backend):
+        spec = spec_variants()[variant]
+        serial = run_with(None, spec)
+        parallel = run_with(backend, spec)
+        assert_reports_identical(serial, parallel)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batching_prover_parity(self, backend):
+        spec = spec_variants()["minimum"]
+        serial = run_with(None, spec, batching=True)
+        parallel = run_with(backend, spec, batching=True)
+        assert_reports_identical(serial, parallel)
+
+
+class TestByzantineProversStayByzantine:
+    """Fan-out must never bypass an adversary's deviation: a subclassed
+    hook forces the serial path, and detection results match exactly."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_adversary_detected_identically(self, backend):
+        from repro.pvr.adversary import LongerRouteProver
+
+        spec = spec_variants()["minimum"]
+
+        def run(backend_spec):
+            keystore = KeyStore(seed=42, key_bits=512)
+            session = VerificationSession(
+                keystore, spec, round=5, backend=backend_spec,
+                prover=LongerRouteProver(
+                    keystore, DeterministicRandom(7).bytes
+                ),
+            )
+            return session.run(ROUTES)
+
+        serial, parallel = run(None), run(backend)
+        assert serial.violation_found()
+        assert parallel.verdicts == serial.verdicts
+
+    def test_overridden_hook_disables_fan_out(self):
+        from repro.pvr.adversary import BadOpeningProver
+        from repro.pvr.minimum import HonestProver
+
+        keystore = KeyStore(seed=1, key_bits=512)
+        adversary = BadOpeningProver(keystore)
+        adversary.backend = execution.resolve_backend("thread:2")
+        assert adversary._fan_out_backend() is None
+        honest = HonestProver(keystore)
+        honest.backend = execution.resolve_backend("thread:2")
+        assert honest._fan_out_backend() is not None
+
+
+class TestBackendResolution:
+    def test_specs(self):
+        assert execution.resolve_backend(None).name == "serial"
+        assert execution.resolve_backend("serial").name == "serial"
+        assert execution.resolve_backend("thread").name == "thread"
+        assert execution.resolve_backend("process:3").parallelism == 3
+
+    def test_shared_instances(self):
+        assert execution.resolve_backend("thread:2") is (
+            execution.resolve_backend("thread:2")
+        )
+
+    def test_instance_passthrough(self):
+        backend = execution.SerialBackend()
+        assert execution.resolve_backend(backend) is backend
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            execution.resolve_backend("quantum")
+        with pytest.raises(ValueError, match="worker count"):
+            execution.resolve_backend("thread:lots")
+        with pytest.raises(TypeError):
+            execution.resolve_backend(7)
+
+    def test_map_preserves_order(self):
+        backend = execution.ThreadPoolBackend(max_workers=4)
+        try:
+            assert backend.map(lambda x: x * x, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+        finally:
+            backend.close()
+
+
+class TestRunTasks:
+    def test_counts_merge_in_task_order(self):
+        keystore = KeyStore(seed=3, key_bits=512)
+        keystore.register("A")
+        tasks = [
+            execution.CryptoTask(key=i, fn=_sign_probe, args=(i,))
+            for i in range(5)
+        ]
+        backend = execution.resolve_backend("thread:2")
+        results = execution.run_tasks(backend, keystore, tasks)
+        assert [r.key for r in results] == list(range(5))
+        assert keystore.sign_count == 5
+        # signature bytes are deterministic, so worker output is stable
+        assert results[0].value == _sign_probe(keystore.worker_view(), 0)
+
+    def test_empty_task_list(self):
+        keystore = KeyStore(seed=3, key_bits=512)
+        assert execution.run_tasks(
+            execution.SerialBackend(), keystore, []
+        ) == []
+
+
+def _sign_probe(keystore, index):
+    return keystore.sign("A", b"probe-%d" % index)

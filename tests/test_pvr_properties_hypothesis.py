@@ -6,7 +6,6 @@ leaks nothing; under each adversary family the deviation is flagged
 whenever it is semantically visible.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 from repro.bgp.aspath import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Route
-from repro.pvr.access import PAYLOAD, paper_alpha
+from repro.pvr.access import paper_alpha
 from repro.pvr.announcements import make_announcement
 from repro.pvr.judge import Judge
 from repro.pvr.navigation import (

@@ -13,7 +13,7 @@ from repro.rfg.builder import (
     subset_minimum_graph,
 )
 from repro.rfg.graph import GraphError, RouteFlowGraph
-from repro.rfg.operators import Composite, Min, ShorterOf, Union
+from repro.rfg.operators import Composite, Min, Union
 
 PFX = Prefix.parse("10.0.0.0/8")
 

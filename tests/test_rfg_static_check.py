@@ -17,7 +17,7 @@ from repro.rfg.builder import (
     subset_minimum_graph,
 )
 from repro.rfg.compiler import CompileError, compile_policy, compile_promise
-from repro.rfg.operators import BGPBestPath, CommunityFilter, Min, Union
+from repro.rfg.operators import CommunityFilter, Min
 from repro.rfg.static_check import (
     collectively_verifiable,
     describe_vertices,
