@@ -17,7 +17,7 @@ import pytest
 from repro.bgp.prefix import Prefix
 from repro.crypto.keystore import KeyStore
 from repro.pvr.deployment import PVRDeployment
-from repro.topology.generate import TopologyParams, generate
+from repro.topology.generate import TopologyParams, generate, true_stub
 from repro.topology.internet import build_bgp_network
 
 from conftest import print_table, run_once
@@ -34,13 +34,7 @@ SIZES = {
 def converged_network(params):
     graph = generate(params)
     net = build_bgp_network(graph)
-    # a true stub (providers, no customers); ases() sorts
-    # lexicographically, so ases()[-1] would be a transit AS
-    origin = max(
-        (a for a in graph.ases() if not graph.customers(a)),
-        key=lambda a: int(a.removeprefix("AS")),
-    )
-    net.originate(origin, PFX)
+    net.originate(true_stub(graph), PFX)
     net.run_to_quiescence()
     return net
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The audit plane end to end: a policy-driven Monitor over live churn.
+
+The paper's Section 3.1 observes that promise verification "would have
+to be performed for every single BGP update" — so PVR is a *continuous*
+audit plane, not a one-shot experiment.  This walkthrough builds the
+Figure 1 network, registers promise policies on the monitored AS (one
+per protocol variant family), and drives BGP churn through verification
+epochs, showing
+
+* the epoch scheduler coalescing churn into bounded batches,
+* the incremental path serving unchanged (AS, prefix, promise) tuples
+  from the commitment cache with zero crypto operations,
+* the evidence store answering operator queries, and
+* a Byzantine prover caught mid-stream, adjudicated by the judge on
+  demand.
+
+Run:  python examples/continuous_audit.py
+"""
+
+from repro.audit import Monitor
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.promises.spec import ExistentialPromise, ShortestRoute
+from repro.pvr.adversary import LongerRouteProver
+from repro.pvr.scenarios import figure1_network, flap_session, restore_session
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def show_epoch(label: str, epoch) -> None:
+    print(f"  epoch {epoch.epoch} ({label}): "
+          f"{len(epoch.events)} events, {epoch.verified} verified, "
+          f"{epoch.reused} reused, {epoch.signatures} signatures")
+
+
+def main() -> None:
+    # the paper's Figure 1 as a converged BGP network (O originates; N2
+    # direct, N1/N3 via X; all three feed A; A exports to B)
+    net = figure1_network(PREFIX)
+    keystore = KeyStore(seed=2011, key_bits=512)
+    monitor = Monitor(keystore).attach(net)
+
+    # Per-neighbor policy overrides: toward B, A's shortest-route promise
+    # (the minimum protocol); alongside it, an existential promise over
+    # whatever providers are currently announcing (the single-bit
+    # protocol).  Both audit in the same epochs.
+    monitor.policy("A", ShortestRoute(), recipients=("B",),
+                   name="A/shortest->B", max_length=8)
+    monitor.policy("A", lambda providers: ExistentialPromise(providers),
+                   recipients=("B",), name="A/exists->B", max_length=8)
+
+    print("== initial state audited ==")
+    show_epoch("converged network", monitor.run_epoch())
+
+    print("\n== churn: the O-N2 session flaps ==")
+    flap_session("O", "N2")(net)
+    net.run_to_quiescence()
+    show_epoch("N2 lost its short route", monitor.run_epoch())
+
+    print("\n== churn: the session comes back ==")
+    restore_session("O", "N2")(net)
+    net.run_to_quiescence()
+    show_epoch("routes restored", monitor.run_epoch())
+
+    print("\n== steady state: full resync sweep ==")
+    monitor.resync()
+    epoch = monitor.run_epoch()
+    show_epoch("unchanged inputs reused", epoch)
+    assert epoch.signatures == 0, "steady-state sweep must be free"
+
+    print("\n== a cheat mid-stream ==")
+    event = monitor.audit_once(
+        "A", PREFIX, "B", prover=LongerRouteProver(keystore), max_length=8
+    )
+    print(f"  violation detected by: {', '.join(event.detecting_parties())}")
+
+    print("\n== the evidence store answers operator queries ==")
+    store = monitor.evidence
+    summary = store.summary()
+    print(f"  events recorded:   {summary['events']} "
+          f"({summary['reused']} reused)")
+    print(f"  at AS A:           {len(store.by_asn('A'))}")
+    print(f"  for {PREFIX}: {len(store.by_prefix(PREFIX))}")
+    print(f"  violations:        {len(store.violations())}")
+
+    print("\n== judge adjudication on demand ==")
+    for seq, adjudication in store.adjudicate().items():
+        verdict = "GUILTY" if adjudication.guilty() else "complaints only"
+        kinds = sorted({e.kind for e in adjudication.guilty()})
+        print(f"  event {seq}: {verdict}"
+              + (f" ({', '.join(kinds)})" if kinds else ""))
+
+    clean = [e for e in store.events() if not e.violation_found()]
+    assert clean and store.violations(), "expected both outcomes on the trail"
+    print("\ncontinuous audit complete: "
+          f"{summary['verified']} verified, {summary['reused']} reused, "
+          f"{len(store.violations())} violation(s) on the evidence trail")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,23 +1,25 @@
 #!/usr/bin/env python3
-"""The adversary gallery: every Byzantine behaviour, its detector, and
-the evidence trail through the judge (paper Section 2.3's properties).
+"""The adversary gallery, on the audit plane: every Byzantine behaviour
+caught in situ, its evidence trail flowing through the
+:class:`~repro.audit.store.EvidenceStore`, adjudicated on demand (paper
+Section 2.3's properties).
 
-For each adversary class the script runs one :class:`VerificationSession`
-with the Byzantine prover injected, reports which neighbor detected the
-violation, adjudicates the transferable evidence with the third-party
-judge, and — for the withheld-message cases — walks the interactive
-complaint-resolution protocol showing that an *honest* AS would have
+Each adversary class is injected into one monitored wire round on a
+running BGP network (:meth:`repro.audit.monitor.Monitor.audit_once` —
+the same path the continuous epochs use); the monitor records a
+:class:`~repro.audit.events.VerdictEvent` for every round, the store's
+``violations()`` query surfaces the detections, and the third-party
+judge rules on the transferable evidence only when asked.  For the
+withheld-message cases the script walks the interactive
+complaint-resolution protocol, showing that an *honest* AS would have
 been exonerated.
 
 Run:  python examples/detect_violation.py
 """
 
-from repro.bgp.aspath import ASPath
+from repro.audit import Monitor
 from repro.bgp.prefix import Prefix
-from repro.bgp.route import Route
 from repro.crypto.keystore import KeyStore
-from repro.promises.spec import ShortestRoute
-from repro.pvr import PromiseSpec, VerificationSession
 from repro.pvr.adversary import (
     BadOpeningProver,
     EquivocatingProver,
@@ -30,31 +32,17 @@ from repro.pvr.adversary import (
     UnderstatingProver,
 )
 from repro.pvr.judge import Judge
+from repro.pvr.scenarios import figure1_network
 
 PREFIX = Prefix.parse("192.0.2.0/24")
 
 
-def make_routes():
-    return {
-        "N1": Route(prefix=PREFIX, as_path=ASPath(("N1", "T1", "T2", "O")),
-                    neighbor="N1"),
-        "N2": Route(prefix=PREFIX, as_path=ASPath(("N2", "O")), neighbor="N2"),
-        "N3": Route(prefix=PREFIX, as_path=ASPath(("N3", "T5", "O")),
-                    neighbor="N3"),
-    }
-
-
-SPEC = PromiseSpec(
-    promise=ShortestRoute(),
-    prover="A",
-    providers=("N1", "N2", "N3"),
-    recipients=("B",),
-    max_length=8,
-)
-
-
 def main() -> None:
+    # Figure 1 live: N2 hears the origin directly (2 hops at A), N1 and
+    # N3 via X (3 hops at A); all three feed A, and A exports to B
+    net = figure1_network(PREFIX)
     keystore = KeyStore(seed=2011, key_bits=1024)
+    monitor = Monitor(keystore).attach(net)
     judge = Judge(keystore)
     adversaries = [
         ("honest prover", None),
@@ -69,40 +57,47 @@ def main() -> None:
         ("withholds disclosures", NoDisclosureProver(keystore)),
     ]
 
-    routes = make_routes()
-    for round_no, (label, prover) in enumerate(adversaries, start=1):
-        session = VerificationSession(
-            keystore, SPEC, round=round_no, prover=prover
-        )
-        report = session.run(routes, judge=judge)
-        detectors = list(report.detecting_parties())
-        if report.equivocations:
-            detectors.append("gossip")
+    labels = {}
+    for label, prover in adversaries:
+        event = monitor.audit_once("A", PREFIX, "B", prover=prover,
+                                   max_length=8)
+        labels[event.seq] = label
         print(f"\n--- {label} ---")
-        if report.ok():
+        if event.ok():
             print("  no violation detected (as expected)")
             continue
+        detectors = list(event.detecting_parties())
+        if event.report.equivocations:
+            detectors.append("gossip")
         print(f"  detected by: {', '.join(detectors) or 'complaint only'}")
-        for evidence, valid in report.adjudication.evidence_rulings:
-            verdict = "GUILTY" if valid else "INVALID"
-            print(f"  evidence [{evidence.kind}] -> judge: {verdict}")
-        for complaint, ruling in report.adjudication.complaint_rulings:
-            # the guilty prover cannot answer; an honest one could
-            print(
-                f"  complaint [{complaint.claim}] by {complaint.accuser} "
-                f"-> unanswered: {ruling.outcome}"
-            )
+        for seq, adjudication in monitor.evidence.adjudicate(event).items():
+            for evidence, valid in adjudication.evidence_rulings:
+                verdict = "GUILTY" if valid else "INVALID"
+                print(f"  evidence [{evidence.kind}] -> judge: {verdict}")
+            for complaint, ruling in adjudication.complaint_rulings:
+                # the guilty prover cannot answer; an honest one could
+                print(
+                    f"  complaint [{complaint.claim}] by {complaint.accuser}"
+                    f" -> unanswered: {ruling.outcome}"
+                )
+
+    # The store is the queryable audit trail the rounds left behind.
+    store = monitor.evidence
+    print("\n--- the evidence trail, queried ---")
+    print(f"  rounds recorded for A:  {len(store.by_asn('A'))}")
+    print(f"  violations on file:     {len(store.violations())}")
+    caught = ", ".join(labels[e.seq] for e in store.violations())
+    print(f"  caught: {caught}")
 
     # Accuracy in action: a false complaint against an honest A collapses
     # once A produces the receipt.
     print("\n--- false accusation against an honest A ---")
-    session = VerificationSession(keystore, SPEC, round=99)
-    honest = session.run(routes)
+    honest = monitor.audit_once("A", PREFIX, "B", max_length=8)
     from repro.pvr.evidence import Complaint
 
-    smear = Complaint(accuser="N1", accused="A", round=99,
+    smear = Complaint(accuser="N1", accused="A", round=honest.round,
                       claim="missing-receipt")
-    response = honest.transcript.views["N1"].receipt
+    response = honest.report.transcript.views["N1"].receipt
     ruling = judge.resolve_complaint(smear, response)
     print(f"  N1 claims its receipt was withheld; A produces it -> "
           f"{ruling.outcome}")

@@ -1,0 +1,144 @@
+"""The audit-plane CLI: ``python -m repro.audit``.
+
+Usage::
+
+    python -m repro.audit --list
+    python -m repro.audit --scenario churn-fig1
+    python -m repro.audit --scenario churn-64as --max-work 8 --adjudicate
+    python -m repro.audit --scenario churn-steady --json audit.json
+
+Runs a registered churn scenario through a continuous
+:class:`~repro.audit.monitor.Monitor`, printing one row per epoch
+(verified / reused / deferred / crypto cost) and the evidence-store
+summary; ``--adjudicate`` runs the third-party judge over every stored
+violation.  Exit status: 0 on a violation-free run (or when violations
+were expected), 1 when unexpected violations were found, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.audit.churn import run_churn
+from repro.bench.tables import print_table
+from repro.pvr.execution import shutdown_backends
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.audit",
+        description="Run a churn scenario under the continuous audit "
+        "monitor and report its epochs and evidence trail.",
+    )
+    parser.add_argument("--scenario", default="churn-fig1", metavar="NAME",
+                        help="registered churn scenario (default: churn-fig1)")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list registered churn scenarios and exit")
+    parser.add_argument("--backend", default=None, metavar="SPEC",
+                        help='execution backend passthrough ("thread", '
+                        '"process:4", ...)')
+    parser.add_argument("--max-work", type=int, default=None, metavar="N",
+                        help="bound fresh verifications per epoch")
+    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
+                        help="RSA modulus size (default: 512)")
+    parser.add_argument("--seed", type=int, default=2011,
+                        help="keystore / nonce-stream seed (default: 2011)")
+    parser.add_argument("--adjudicate", action="store_true",
+                        help="run the judge over every stored violation")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a machine-readable summary here")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.pvr import scenarios as registry
+
+    if args.list_scenarios:
+        rows = [
+            (name, registry.get_churn(name).description)
+            for name in registry.churn_names()
+        ]
+        print_table("registered churn scenarios", ["name", "description"],
+                    rows)
+        return 0
+
+    if args.max_work is not None and args.max_work < 1:
+        print(f"error: --max-work must be >= 1, got {args.max_work}",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = registry.get_churn(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_churn(
+            scenario,
+            key_bits=args.key_bits,
+            rng_seed=args.seed,
+            backend=args.backend,
+            max_work=args.max_work,
+        )
+    finally:
+        shutdown_backends()
+
+    print_table(
+        f"audit epochs — {scenario.name}",
+        ["epoch", "events", "verified", "reused", "deferred",
+         "signs", "verifies", "wall ms"],
+        [
+            (e.epoch, len(e.events), e.verified, e.reused, len(e.deferred),
+             e.signatures, e.verifications, f"{e.wall_seconds * 1000:.1f}")
+            for e in result.epochs
+        ],
+    )
+
+    store = result.monitor.evidence
+    summary = result.summary()
+    print_table(
+        "evidence store",
+        ["events", "verified", "reused", "violations", "monitored ASes"],
+        [(summary["events"], summary["verified"], summary["reused"],
+          summary["violations"],
+          ", ".join(sorted({e.asn for e in store.events()})))],
+    )
+
+    violations = store.violations()
+    if violations and args.adjudicate:
+        rows = []
+        rulings = store.adjudicate()
+        for event in violations:
+            adjudication = rulings[event.seq]
+            rows.append((
+                event.seq, event.asn, str(event.prefix),
+                ",".join(event.detecting_parties()) or "gossip",
+                "GUILTY" if adjudication.guilty() else "complaints only",
+            ))
+        print_table(
+            "judge adjudication",
+            ["event", "AS", "prefix", "detected by", "ruling"],
+            rows,
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[audit] summary written to {args.json}")
+
+    if violations and not scenario.expect_violation:
+        print(f"[audit] FAIL: {len(violations)} unexpected violation "
+              f"event(s)", file=sys.stderr)
+        return 1
+    print(f"[audit] {result.events} events across {len(result.epochs)} "
+          f"epochs; reuse ratio {result.reuse_ratio():.0%}; "
+          f"{'violations as expected' if violations else 'violation-free'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The audit plane's output vocabulary: verdict events and epoch reports.
+
+A :class:`VerdictEvent` is one audited (AS, prefix, policy, recipients)
+tuple in one epoch — either freshly verified (``reused=False``, with a
+full wire round behind it) or served from the incremental cache
+(``reused=True``, zero crypto operations, same report object as the
+verification it reuses).  An :class:`EpochReport` aggregates one epoch:
+what ran, what was reused, what was deferred by the work bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.pvr.session import PromiseSpec, SessionReport
+
+from repro.audit.wire import RoundStats
+
+
+@dataclass(frozen=True)
+class VerdictEvent:
+    """One audited tuple's outcome, as emitted on the monitor's stream.
+
+    ``routes`` is the exact Adj-RIB-In slice the session verified (the
+    replay inputs); ``report`` is the engine's full session report;
+    ``stats`` the wire-round cost accounting (zeroed for reused events).
+    ``epoch`` is ``None`` for out-of-epoch audits
+    (:meth:`~repro.audit.monitor.Monitor.audit_once`).
+    """
+
+    seq: int
+    epoch: Optional[int]
+    asn: str
+    prefix: Optional[Prefix]
+    policy: str
+    spec: PromiseSpec
+    round: int
+    routes: Dict[str, object]
+    report: SessionReport
+    stats: RoundStats
+    reused: bool = False
+
+    @property
+    def recipients(self) -> Tuple[str, ...]:
+        return self.spec.recipients
+
+    def ok(self) -> bool:
+        return not self.violation_found()
+
+    def violation_found(self) -> bool:
+        return self.report.violation_found()
+
+    def detecting_parties(self) -> Tuple[str, ...]:
+        return self.report.detecting_parties()
+
+
+@dataclass
+class EpochReport:
+    """What one verification epoch did.
+
+    ``verified`` events ran a full wire round; ``reused`` events were
+    served from the incremental cache; ``deferred`` (AS, prefix) pairs
+    exceeded the epoch's work bound and stay queued for the next epoch.
+    """
+
+    epoch: int
+    events: List[VerdictEvent] = field(default_factory=list)
+    deferred: List[Tuple[str, Prefix]] = field(default_factory=list)
+    signatures: int = 0
+    verifications: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def verified(self) -> int:
+        return sum(1 for e in self.events if not e.reused)
+
+    @property
+    def reused(self) -> int:
+        return sum(1 for e in self.events if e.reused)
+
+    def violations(self) -> Tuple[VerdictEvent, ...]:
+        return tuple(e for e in self.events if e.violation_found())
+
+    def violation_free(self) -> bool:
+        return not self.violations()

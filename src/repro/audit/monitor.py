@@ -1,0 +1,512 @@
+"""The continuous audit monitor: churn in, verdict events out.
+
+:class:`Monitor` is the audit plane's public API.  One monitor attaches
+to one running :class:`~repro.bgp.network.BGPNetwork`; promise policies
+are registered per AS; every BGP decision change at a monitored AS marks
+its (AS, prefix) tuple *dirty*; and :meth:`Monitor.run_epoch` coalesces
+the accumulated churn into one verification epoch:
+
+* **bounded work** — an epoch freshly verifies at most ``max_work``
+  tuples; overflow stays queued and the next epoch resumes exactly
+  where this one stopped (already-audited tuples of a deferred pair
+  are neither revisited nor re-emitted, so deferral never repeats
+  work — it only spreads it across epochs);
+* **incremental reuse** — a tuple whose contract and announced inputs
+  are unchanged since its last verification is served from the cache
+  with *zero* signature/verification operations, the paper's answer to
+  "performed for every single BGP update" at line rate;
+* **deterministic replay** — commitment nonces derive from
+  ``(rng_seed, round)``, so any emitted event can be reproduced by a
+  one-shot :class:`~repro.pvr.engine.VerificationSession` with the same
+  spec, round, inputs and randomness, byte for byte.
+
+Usage::
+
+    monitor = Monitor(keystore).attach(network)
+    monitor.policy("A", ShortestRoute(), recipients=("B",))
+    ... BGP churn ...
+    network.run_to_quiescence()
+    epoch = monitor.run_epoch()
+    monitor.evidence.violations()
+
+Epochs must run while the network is quiescent: verification rounds
+share the simulated links with BGP traffic, so they cannot execute
+inside the BGP event loop (the same constraint the legacy
+``PVRDeployment.run_pending`` had).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp.network import BGPNetwork
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.promises.spec import Promise, ShortestRoute
+from repro.pvr.minimum import DEFAULT_MAX_LENGTH
+from repro.pvr.session import PromiseSpec
+
+from repro.audit.events import EpochReport, VerdictEvent
+from repro.audit.policy import (
+    AuditPolicy,
+    SpecSource,
+    WorkItem,
+    single_recipient_item,
+)
+from repro.audit.store import EvidenceStore
+from repro.audit.wire import RoundStats, round_randomness, run_wire_round
+
+#: cache key: one (AS, prefix, policy, recipients) audited tuple
+TupleKey = Tuple[str, Optional[Prefix], str, Tuple[str, ...]]
+
+
+class MonitorError(RuntimeError):
+    """The monitor was used before :meth:`Monitor.attach`, or a policy
+    could not be materialized."""
+
+
+def _check_work_bound(max_work: Optional[int]) -> Optional[int]:
+    """A work bound of zero (or less) would make every epoch a no-op
+    and livelock ``run_until_idle`` — reject it up front."""
+    if max_work is not None and max_work < 1:
+        raise ValueError(f"work bound must be >= 1, got {max_work}")
+    return max_work
+
+
+class Monitor:
+    """A long-lived, policy-driven verification monitor.
+
+    ``backend`` is passed through to every
+    :class:`~repro.pvr.engine.VerificationSession` (the PR-2 execution
+    layer: ``"thread"``, ``"process:4"``, or a backend instance);
+    ``max_work_per_epoch`` bounds fresh verifications per epoch
+    (``None`` = unbounded); ``rng_seed`` roots the deterministic
+    commitment-nonce stream.
+    """
+
+    def __init__(
+        self,
+        keystore: Optional[KeyStore] = None,
+        *,
+        backend: object = None,
+        max_work_per_epoch: Optional[int] = None,
+        rng_seed: object = 2011,
+        store: Optional[EvidenceStore] = None,
+    ) -> None:
+        self.keystore = keystore if keystore is not None else KeyStore(
+            seed=rng_seed, key_bits=512
+        )
+        self.backend = backend
+        self.max_work_per_epoch = _check_work_bound(max_work_per_epoch)
+        self.rng_seed = rng_seed
+        self.network: Optional[BGPNetwork] = None
+        self._detached = False
+        self.evidence = store if store is not None else EvidenceStore(
+            self.keystore
+        )
+        self.epoch = 0
+        self._round_counter = 0
+        self._policy_counter = 0
+        self._policies: List[AuditPolicy] = []
+        self._hooked: Dict[str, Tuple[Callable, Callable]] = {}
+        # dirty pair -> None (fresh churn: audit every tuple) or the set
+        # of cache keys already audited this burst (a deferred pair
+        # resumes where it left off instead of replaying)
+        self._dirty: Dict[Tuple[str, Prefix], Optional[set]] = {}
+        self._cache: Dict[TupleKey, Tuple[Tuple, VerdictEvent]] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, network: BGPNetwork) -> "Monitor":
+        """Bind this monitor to ``network`` and register every AS's key."""
+        if self.network is not None:
+            raise MonitorError("monitor is already attached")
+        if self._detached:
+            raise MonitorError(
+                "a detached monitor cannot re-attach; build a fresh one"
+            )
+        self.network = network
+        for asn in network.as_names():
+            self.keystore.register(asn)
+        return self
+
+    def _require_network(self) -> BGPNetwork:
+        if self.network is None:
+            raise MonitorError("monitor is not attached to a network")
+        return self.network
+
+    def policy(
+        self,
+        asn: str,
+        spec: SpecSource,
+        *,
+        recipients: Optional[Tuple[str, ...]] = None,
+        prefixes: Optional[Tuple[Prefix, ...]] = None,
+        name: Optional[str] = None,
+        variant: str = "auto",
+        max_length: int = DEFAULT_MAX_LENGTH,
+        chooser: Optional[Callable] = None,
+        audit_now: bool = True,
+    ) -> AuditPolicy:
+        """Register a promise policy for ``asn`` and arm its churn hook.
+
+        ``spec`` is a promise template, a ``providers -> Promise``
+        factory, or a full :class:`~repro.pvr.session.PromiseSpec`;
+        ``recipients`` restricts the neighbors covered (per-neighbor
+        overrides).  With ``audit_now`` (the default) every prefix the
+        AS currently routes is marked dirty so the first epoch audits
+        the present state; ``audit_now=False`` only arms the hook, so
+        epochs cover decisions made from now on.
+        """
+        network = self._require_network()
+        router = network.router(asn)
+        if name is None:
+            # a monotonic counter, so names (the evidence-store and
+            # cache keys) stay unique across remove_policy()
+            name = f"{asn}/{self._describe(spec)}#{self._policy_counter}"
+        elif any(p.name == name for p in self._policies):
+            # duplicate names would share one incremental-cache slot and
+            # conflate evidence queries — refuse rather than thrash
+            raise ValueError(f"policy name {name!r} is already registered")
+        self._policy_counter += 1
+        policy = AuditPolicy(
+            name=name,
+            asn=asn,
+            spec=spec,
+            recipients=tuple(recipients) if recipients is not None else None,
+            prefixes=tuple(prefixes) if prefixes is not None else None,
+            variant=variant,
+            max_length=max_length,
+            chooser=chooser,
+        )
+        self._policies.append(policy)
+        if asn not in self._hooked:
+            def on_decision(prefix, candidates, best, asn=asn):
+                self.mark(asn, prefix)
+
+            def on_resync(peer, prefixes, asn=asn):
+                # a (re-)established session resends the full table: the
+                # export set toward that peer changed without any local
+                # decision, so those exports must be re-audited too
+                for prefix in prefixes:
+                    self.mark(asn, prefix)
+
+            router.add_decision_hook(on_decision)
+            router.add_resync_hook(on_resync)
+            self._hooked[asn] = (on_decision, on_resync)
+        if audit_now:
+            for prefix in self._known_prefixes(asn):
+                if policy.covers(prefix):
+                    self.mark(asn, prefix)
+        return policy
+
+    @staticmethod
+    def _describe(spec: SpecSource) -> str:
+        if isinstance(spec, PromiseSpec):
+            return spec.promise.describe()
+        if isinstance(spec, Promise):
+            return spec.describe()
+        return getattr(spec, "__name__", "factory")
+
+    def policies(self) -> Tuple[AuditPolicy, ...]:
+        return tuple(self._policies)
+
+    def remove_policy(self, policy: AuditPolicy) -> None:
+        """Unregister a policy.  Its churn hook stays armed (other
+        policies on the AS may still need it); its cache entries are
+        keyed by policy name and simply go cold."""
+        self._policies.remove(policy)
+
+    def detach(self) -> None:
+        """Unhook this monitor from its network: every decision hook it
+        registered is removed, so the network stops referencing (and
+        waking) the monitor.  Policies, the cache and the evidence store
+        survive for offline queries; re-attach is not supported — build
+        a fresh monitor instead."""
+        if self.network is None:
+            return
+        for asn, (on_decision, on_resync) in self._hooked.items():
+            router = self.network.router(asn)
+            router.remove_decision_hook(on_decision)
+            router.remove_resync_hook(on_resync)
+        self._hooked.clear()
+        self.network = None
+        self._detached = True
+
+    def subscribe(self, callback: Callable[[VerdictEvent], None]) -> None:
+        """Receive every verdict event as it is emitted."""
+        self.evidence.subscribe(callback)
+
+    @property
+    def events(self) -> Tuple[VerdictEvent, ...]:
+        return self.evidence.events()
+
+    # -- churn tracking ------------------------------------------------------
+
+    def mark(self, asn: str, prefix: Prefix) -> None:
+        """Mark (``asn``, ``prefix``) dirty for the next epoch.  Fresh
+        churn resets any resume state a deferred pair carried: every
+        tuple of the pair is audited again."""
+        self._dirty[(asn, prefix)] = None
+
+    def resync(self) -> int:
+        """Mark every (policy AS, known prefix) pair dirty — a full
+        re-audit sweep.  With unchanged inputs the sweep is served
+        entirely from the incremental cache.  Returns the pair count."""
+        marked = 0
+        for asn in dict.fromkeys(p.asn for p in self._policies):
+            for prefix in self._known_prefixes(asn):
+                self.mark(asn, prefix)
+                marked += 1
+        return marked
+
+    def pending(self) -> Tuple[Tuple[str, Prefix], ...]:
+        """The dirty (AS, prefix) pairs awaiting the next epoch."""
+        return tuple(self._dirty)
+
+    def _known_prefixes(self, asn: str) -> Tuple[Prefix, ...]:
+        router = self._require_network().router(asn)
+        seen = dict.fromkeys(router.adj_rib_in.prefixes())
+        seen.update(dict.fromkeys(router.loc_rib.prefixes()))
+        return tuple(seen)
+
+    # -- the epoch scheduler -------------------------------------------------
+
+    def run_epoch(self, max_work: Optional[int] = None) -> EpochReport:
+        """Coalesce accumulated churn into one verification epoch.
+
+        At most ``max_work`` (default: the monitor's
+        ``max_work_per_epoch``) tuples are *freshly* verified; cache
+        reuse is free and never counts against the bound.  Work beyond
+        the bound is deferred to the next epoch, which resumes exactly
+        where this one stopped — already-audited tuples of a deferred
+        pair are not revisited (and not re-emitted) unless new churn
+        marks the pair again.
+        """
+        network = self._require_network()
+        budget = (
+            _check_work_bound(max_work)
+            if max_work is not None
+            else self.max_work_per_epoch
+        )
+        self.epoch += 1
+        report = EpochReport(epoch=self.epoch)
+        sign0 = self.keystore.sign_count
+        verify0 = self.keystore.verify_count
+        started = time.perf_counter()
+
+        queue = list(self._dirty.items())
+        self._dirty.clear()
+        deferred: Dict[Tuple[str, Prefix], Optional[set]] = {}
+        fresh = 0  # budget bookkeeping, O(1) per item
+        for index, ((asn, prefix), resumed) in enumerate(queue):
+            router = network.router(asn)
+            done = set() if resumed is None else resumed
+            exhausted = False
+            for policy in self._policies:
+                if policy.asn != asn or not policy.covers(prefix):
+                    continue
+                for item in policy.work_items(router, prefix):
+                    key = self._cache_key(item)
+                    if key in done:
+                        continue  # audited earlier in this churn burst
+                    fingerprint = (item.fingerprint(), policy.chooser)
+                    if (
+                        budget is not None
+                        and fresh >= budget
+                        and not self._would_reuse(item, fingerprint)
+                    ):
+                        exhausted = True
+                        break
+                    event = self._process(item, policy, fingerprint)
+                    fresh += not event.reused
+                    done.add(key)
+                    report.events.append(event)
+                if exhausted:
+                    break
+            if exhausted:
+                # the current pair resumes after its completed tuples;
+                # every later pair waits untouched — deferral never
+                # repeats or re-emits work
+                deferred[(asn, prefix)] = done
+                for pair, state in queue[index + 1:]:
+                    deferred[pair] = state
+                break
+        if deferred:
+            report.deferred.extend(deferred)
+            # deferred work re-enters the queue ahead of new churn (a
+            # fresh mark() during the epoch overrides its resume state)
+            deferred.update(self._dirty)
+            self._dirty = deferred
+
+        report.signatures = self.keystore.sign_count - sign0
+        report.verifications = self.keystore.verify_count - verify0
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def run_until_idle(self, max_epochs: int = 64) -> List[EpochReport]:
+        """Run epochs until the dirty queue drains (work bounds can make
+        one churn burst span several epochs)."""
+        reports = []
+        while self._dirty:
+            if len(reports) >= max_epochs:
+                raise MonitorError(
+                    f"dirty queue did not drain within {max_epochs} epochs"
+                )
+            reports.append(self.run_epoch())
+        return reports
+
+    # -- verification --------------------------------------------------------
+
+    def _next_round(self) -> int:
+        """A fresh protocol round number (rounds are never reused, so
+        replayed material from an earlier round fails signature checks)."""
+        self._round_counter += 1
+        return self._round_counter
+
+    def _cache_key(self, item: WorkItem) -> TupleKey:
+        return (item.asn, item.prefix, item.policy, item.spec.recipients)
+
+    def _would_reuse(self, item: WorkItem, fingerprint: Tuple) -> bool:
+        cached = self._cache.get(self._cache_key(item))
+        return cached is not None and cached[0] == fingerprint
+
+    def _process(
+        self,
+        item: WorkItem,
+        policy: AuditPolicy,
+        fingerprint: Optional[Tuple] = None,
+    ) -> VerdictEvent:
+        key = self._cache_key(item)
+        if fingerprint is None:
+            # the chooser is part of the contract's behaviour (it picks
+            # the cross-check exports), so it is part of the reuse key —
+            # a same-name policy re-registered with a different chooser
+            # must never be served the old chooser's verdicts
+            fingerprint = (item.fingerprint(), policy.chooser)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == fingerprint:
+            return self._reuse(item, cached[1])
+        event = self._verify(item, chooser=policy.chooser, epoch=self.epoch)
+        if event.ok():
+            self._cache[key] = (fingerprint, event)
+        else:
+            # never serve a violation from the cache: a verdict that
+            # failed (a cheat, or a dropped/tampered wire message) is not
+            # reusable — the next audit of this tuple (further churn, or
+            # an explicit resync()) re-proves it fresh, so a transient
+            # transport fault cannot poison the incremental path
+            self._cache.pop(key, None)
+        return event
+
+    def _reuse(self, item: WorkItem, previous: VerdictEvent) -> VerdictEvent:
+        """Serve an unchanged tuple from the cache: same report, same
+        round, zero crypto operations."""
+        event = VerdictEvent(
+            seq=self.evidence.next_seq(),
+            epoch=self.epoch,
+            asn=item.asn,
+            prefix=item.prefix,
+            policy=item.policy,
+            spec=previous.spec,
+            round=previous.round,
+            routes=dict(previous.routes),
+            report=previous.report,
+            stats=RoundStats(
+                prover=previous.spec.prover,
+                recipient=previous.spec.recipient,
+                providers=previous.spec.providers,
+                recipients=previous.spec.recipients,
+                violations=previous.stats.violations,
+                equivocations=previous.stats.equivocations,
+                reused=True,
+            ),
+            reused=True,
+        )
+        return self.evidence.record(event)
+
+    def _verify(
+        self,
+        item: WorkItem,
+        *,
+        prover: object = None,
+        chooser: Optional[Callable] = None,
+        epoch: Optional[int] = None,
+    ) -> VerdictEvent:
+        network = self._require_network()
+        round_no = self._next_round()
+        report, stats = run_wire_round(
+            network,
+            self.keystore,
+            item.spec,
+            item.routes,
+            round=round_no,
+            prover=prover,
+            chooser=chooser,
+            backend=self.backend,
+            random_bytes=round_randomness(self.rng_seed, round_no),
+        )
+        event = VerdictEvent(
+            seq=self.evidence.next_seq(),
+            epoch=epoch,
+            asn=item.asn,
+            prefix=item.prefix,
+            policy=item.policy,
+            spec=item.spec,
+            round=round_no,
+            routes=dict(item.routes),
+            report=report,
+            stats=stats,
+        )
+        return self.evidence.record(event)
+
+    # -- one-shot audits -----------------------------------------------------
+
+    def audit_once(
+        self,
+        asn: str,
+        prefix: Prefix,
+        recipient: Optional[str] = None,
+        *,
+        promise: Optional[Promise] = None,
+        spec: Optional[PromiseSpec] = None,
+        prover: object = None,
+        chooser: Optional[Callable] = None,
+        max_length: int = DEFAULT_MAX_LENGTH,
+    ) -> VerdictEvent:
+        """Run one wire round right now, outside the epoch scheduler.
+
+        This is the legacy ``monitored_round`` path (and the adversary
+        gallery's): ``prover`` injects a Byzantine prover, so the result
+        is recorded in the evidence store but never cached, and — being
+        outside the epoch scheduler — the event carries ``epoch=None``
+        so per-epoch queries stay consistent.  ``spec``
+        overrides materialization entirely; otherwise ``promise``
+        (default :class:`~repro.promises.spec.ShortestRoute`) is
+        materialized against the AS's current RIBs toward ``recipient``.
+        """
+        network = self._require_network()
+        router = network.router(asn)
+        if spec is not None:
+            item = WorkItem(
+                asn=asn, prefix=prefix, policy="audit-once", spec=spec,
+                routes={
+                    p: router.adj_rib_in.route_from(p, prefix)
+                    for p in spec.providers
+                },
+            )
+        else:
+            if recipient is None:
+                raise ValueError("audit_once needs a recipient or a spec")
+            item = single_recipient_item(
+                router, asn, "audit-once", prefix, recipient,
+                promise if promise is not None else ShortestRoute(),
+                max_length=max_length,
+            )
+            if item is None:
+                raise ValueError(
+                    f"{asn} has no providers for {prefix} "
+                    f"(besides the recipient)"
+                )
+        return self._verify(item, prover=prover, chooser=chooser)

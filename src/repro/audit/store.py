@@ -1,0 +1,130 @@
+"""The evidence store: the audit plane's queryable trail.
+
+Every :class:`~repro.audit.events.VerdictEvent` the monitor emits is
+recorded here.  The store answers the operator questions a continuous
+audit plane exists for — *what happened at AS X*, *who touched this
+prefix*, *show me every violation* — and runs the paper's third-party
+judge over any slice of the trail on demand (adjudication is lazy: the
+judge's RSA work is only spent when an operator actually disputes
+something).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.pvr.evidence import Evidence
+from repro.pvr.judge import Judge
+from repro.pvr.session import Adjudication
+
+from repro.audit.events import VerdictEvent
+
+
+class EvidenceStore:
+    """Append-only store of verdict events with query and adjudication."""
+
+    def __init__(self, keystore: Optional[KeyStore] = None) -> None:
+        self.keystore = keystore
+        self._events: List[VerdictEvent] = []
+        self._subscribers: List[Callable[[VerdictEvent], None]] = []
+        self._seq = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """A store-unique event sequence number.  Allocated here rather
+        than per monitor, so several monitors sharing one store (the
+        ``store=`` constructor parameter) never emit colliding seqs."""
+        self._seq += 1
+        return self._seq
+
+    def record(self, event: VerdictEvent) -> VerdictEvent:
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[VerdictEvent], None]) -> None:
+        """Call ``callback`` with every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    # -- queries -------------------------------------------------------------
+
+    def events(self) -> Tuple[VerdictEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def by_asn(self, asn: str) -> Tuple[VerdictEvent, ...]:
+        """Every event auditing ``asn`` (as the prover under a policy)."""
+        return tuple(e for e in self._events if e.asn == asn)
+
+    def by_prefix(self, prefix: Prefix) -> Tuple[VerdictEvent, ...]:
+        return tuple(e for e in self._events if e.prefix == prefix)
+
+    def by_policy(self, policy: str) -> Tuple[VerdictEvent, ...]:
+        return tuple(e for e in self._events if e.policy == policy)
+
+    def by_epoch(self, epoch: Optional[int]) -> Tuple[VerdictEvent, ...]:
+        """Events of one epoch; ``None`` selects out-of-epoch audits
+        (:meth:`~repro.audit.monitor.Monitor.audit_once` rounds)."""
+        return tuple(e for e in self._events if e.epoch == epoch)
+
+    def violations(self) -> Tuple[VerdictEvent, ...]:
+        """Every event whose report flags a violation or equivocation."""
+        return tuple(e for e in self._events if e.violation_found())
+
+    def violation_free(self) -> bool:
+        return not self.violations()
+
+    def evidence(self) -> Tuple[Evidence, ...]:
+        """All transferable evidence across the recorded trail."""
+        found: List[Evidence] = []
+        for event in self._events:
+            found.extend(event.report.all_evidence())
+        return tuple(found)
+
+    # -- adjudication on demand ---------------------------------------------
+
+    def adjudicate(
+        self,
+        event: Optional[VerdictEvent] = None,
+        *,
+        judge: Optional[Judge] = None,
+    ) -> Dict[int, Adjudication]:
+        """Run the judge over ``event`` (default: every stored violation).
+
+        Returns ``{event.seq: Adjudication}``; rulings are also stored on
+        each event's report, so repeated queries are free.
+        """
+        if judge is None:
+            if self.keystore is None:
+                raise ValueError(
+                    "no judge given and the store has no keystore"
+                )
+            judge = Judge(self.keystore)
+        targets = (event,) if event is not None else self.violations()
+        rulings: Dict[int, Adjudication] = {}
+        for target in targets:
+            if target.report.adjudication is None:
+                target.report.adjudicate(judge)
+            rulings[target.seq] = target.report.adjudication
+        return rulings
+
+    # -- summaries -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        events = self._events
+        return {
+            "events": len(events),
+            "verified": sum(1 for e in events if not e.reused),
+            "reused": sum(1 for e in events if e.reused),
+            "violations": len(self.violations()),
+            "ases": sorted({e.asn for e in events}),
+            "last_epoch": max(
+                (e.epoch for e in events if e.epoch is not None), default=0
+            ),
+        }

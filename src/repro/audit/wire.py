@@ -1,0 +1,255 @@
+"""The transport-coupled verification round, shared by the audit plane.
+
+The engine (:mod:`repro.pvr.engine`) verifies in memory; this module
+runs one session *in situ* on a :class:`~repro.bgp.network.BGPNetwork`:
+every protocol message travels over the same simulated links as the BGP
+updates, so byte/message/latency accounting includes PVR's real
+transport cost, and a dropped or tampered wire message surfaces in the
+verdicts because verification consumes what actually *arrived*.
+
+Message flow per round, mirroring Section 3.3 (the same flow serves all
+four protocol variants, since the unified engine discloses one view per
+party regardless of variant):
+
+1. each provider re-announces its current route with a PVR signature
+   (``AnnouncePayload``);
+2. the prover receipts, commits, and broadcasts its signed commitment
+   statement to every neighbor (``CommitPayload``) — the gossip
+   substrate;
+3. the prover sends each party its round view (``ViewPayload``) —
+   provider/recipient views for the single-operator protocols,
+   ``(announcement, receipt)`` pairs and export attestations for the
+   graph variant, per-recipient attestations for the cross-check;
+4. parties verify locally from the received views and gossip the
+   statements pairwise.
+
+Crypto cost is measured via the keystore's operation counters and wall
+clock; transport cost via the network's byte/message counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.bgp.network import BGPNetwork
+from repro.crypto.keystore import KeyStore
+from repro.pvr.engine import VerificationSession
+from repro.pvr.session import PromiseSpec, SessionReport
+from repro.util.rng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class AnnouncePayload:
+    """Provider -> prover: the PVR-signed announcement."""
+
+    announcement: object
+    is_pvr = True
+
+
+@dataclass(frozen=True)
+class CommitPayload:
+    """Prover -> all neighbors: the signed commitment statement."""
+
+    statement: object
+    is_pvr = True
+
+
+@dataclass(frozen=True)
+class ViewPayload:
+    """Prover -> one party: its round view."""
+
+    view: object
+    is_pvr = True
+
+
+@dataclass
+class RoundStats:
+    """Cost accounting for one wire round.
+
+    ``recipient`` is the (first) recipient, kept for the legacy
+    single-recipient consumers; ``recipients`` carries the full set,
+    which the promise-4 cross-check makes plural.
+    """
+
+    prover: str
+    recipient: str
+    providers: Tuple[str, ...]
+    recipients: Tuple[str, ...] = ()
+    messages: int = 0
+    bytes: int = 0
+    signatures: int = 0
+    verifications: int = 0
+    wall_seconds: float = 0.0
+    violations: int = 0
+    equivocations: int = 0
+    reused: bool = False
+
+
+@dataclass
+class DeploymentReport:
+    """Aggregate across a batch of wire rounds."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    def total(self, attribute: str) -> float:
+        return sum(getattr(r, attribute) for r in self.rounds)
+
+    def violation_free(self) -> bool:
+        return all(r.violations == 0 and r.equivocations == 0 for r in self.rounds)
+
+
+def round_randomness(seed, round: int) -> Callable[[int], bytes]:
+    """The audit plane's commitment-nonce source for one round.
+
+    Deriving nonces deterministically from ``(seed, round)`` makes every
+    monitored round *replayable*: a one-shot
+    :class:`~repro.pvr.engine.VerificationSession` constructed with the
+    same spec, round and randomness reproduces the monitor's transcript
+    byte for byte — the property the incremental-reuse tests pin down.
+    """
+    return DeterministicRandom(seed).fork(f"audit-round:{round}").bytes
+
+
+def _announcement_senders(
+    session: VerificationSession, announcements: Mapping[str, object]
+) -> List[Tuple[str, object]]:
+    """Pair each announcement with the party that puts it on the wire.
+
+    Single-operator and cross-check announcements are keyed by provider
+    name already; graph-variant announcements are keyed by input
+    *variable* and owned by the variable's party (a party owning several
+    input variables sends one message per variable).  A provider with no
+    route this round produced no signed announcement, so nothing of its
+    goes on the wire.
+    """
+    if session.variant != "graph":
+        return [
+            (party, ann)
+            for party, ann in announcements.items()
+            if ann is not None
+        ]
+    sends: List[Tuple[str, object]] = []
+    for vertex in session.plan.inputs():
+        ann = announcements.get(vertex.name)
+        if ann is not None:
+            sends.append((vertex.party, ann))
+    return sends
+
+
+def run_wire_round(
+    network: BGPNetwork,
+    keystore: KeyStore,
+    spec: PromiseSpec,
+    routes: Mapping[str, object],
+    *,
+    round: int,
+    prover: object = None,
+    chooser: object = None,
+    backend: object = None,
+    random_bytes: Callable[[int], bytes] | None = None,
+) -> Tuple[SessionReport, RoundStats]:
+    """One verification round with every protocol message on the wire.
+
+    ``routes`` is the prover's current Adj-RIB-In slice (party -> Route
+    or None) — what each provider will re-announce.  Returns the
+    engine's :class:`~repro.pvr.session.SessionReport` plus the round's
+    cost accounting.
+    """
+    transport = network.transport
+    session = VerificationSession(
+        keystore,
+        spec,
+        round=round,
+        prover=prover,
+        chooser=chooser,
+        backend=backend,
+        random_bytes=random_bytes,
+    )
+
+    sign_before = keystore.sign_count
+    verify_before = keystore.verify_count
+    bytes_before = transport.bytes_sent
+    messages_before = transport.delivered
+    started = time.perf_counter()
+
+    # 1. providers announce over the wire
+    announcements = session.announce(routes)
+    for party, ann in _announcement_senders(session, announcements):
+        transport.send(party, spec.prover, AnnouncePayload(ann))
+    transport.run()
+
+    # 2. the prover commits (accept + decide + sign)
+    statement = session.commit()
+
+    # 3. distribute commitment + views over the wire
+    views = session.disclose()
+    for party in views:
+        transport.send(spec.prover, party, ViewPayload(views[party]))
+    if statement is not None:
+        for neighbor in transport.neighbors(spec.prover):
+            transport.send(spec.prover, neighbor, CommitPayload(statement))
+    transport.run()
+
+    # 4. collective verification from what actually ARRIVED (a dropped
+    # or tampered wire message must affect the verdicts), incl. gossip
+    received = _collect_views(network, spec.prover, tuple(views))
+    _drain_round(network, spec.prover)
+    report = session.verify(received=received)
+
+    stats = RoundStats(
+        prover=spec.prover,
+        recipient=spec.recipient,
+        providers=spec.providers,
+        recipients=spec.recipients,
+        messages=transport.delivered - messages_before,
+        bytes=transport.bytes_sent - bytes_before,
+        signatures=keystore.sign_count - sign_before,
+        verifications=keystore.verify_count - verify_before,
+        wall_seconds=time.perf_counter() - started,
+        violations=sum(len(v.violations) for v in report.verdicts.values()),
+        equivocations=len(report.equivocations),
+    )
+    return report, stats
+
+
+def _collect_views(
+    network: BGPNetwork, prover_as: str, parties: Tuple[str, ...]
+) -> Dict[str, object]:
+    """Drain each party's PVR inbox for this round's view payload."""
+    received: Dict[str, object] = {}
+    for name in parties:
+        router = network.router(name)
+        remaining = []
+        for message in router.pvr_inbox:
+            payload = message.payload
+            if message.src == prover_as and isinstance(payload, ViewPayload):
+                received[name] = payload.view
+            else:
+                remaining.append(message)
+        router.pvr_inbox[:] = remaining
+    return received
+
+
+def _drain_round(network: BGPNetwork, prover_as: str) -> None:
+    """Drop this round's announcement and commitment payloads from the
+    inboxes they landed in.
+
+    The views are consumed by :func:`_collect_views`; announcements (at
+    the prover) and commitment broadcasts (at every neighbor) exist only
+    for transport-cost fidelity and would otherwise accumulate without
+    bound across a long-lived monitor's epochs.
+    """
+    prover = network.router(prover_as)
+    prover.pvr_inbox[:] = [
+        m for m in prover.pvr_inbox
+        if not isinstance(m.payload, AnnouncePayload)
+    ]
+    for neighbor in network.transport.neighbors(prover_as):
+        router = network.router(neighbor)
+        router.pvr_inbox[:] = [
+            m for m in router.pvr_inbox
+            if not (m.src == prover_as
+                    and isinstance(m.payload, CommitPayload))
+        ]

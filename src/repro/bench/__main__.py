@@ -68,6 +68,16 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.only:
+        # validate the selection up front, so a KeyError escaping an
+        # experiment body surfaces as a traceback, not a usage error
+        try:
+            for name in args.only:
+                registry.get(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
     try:
         report = runner.run_suite(
             args.only,
@@ -75,9 +85,6 @@ def main(argv=None) -> int:
             tables_path=args.tables,
             progress=lambda name: print(f"[bench] running {name} ..."),
         )
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
     finally:
         shutdown_backends()
 

@@ -8,7 +8,11 @@ and ``--quick`` parameter profiles:
   primitives and batching, the BGP-scale sweep, the strawman gap);
 * the ``examples/internet_scale.py`` audit sweep;
 * the serial-vs-parallel scaling scenario over the execution backends
-  (providers k ∈ {4, 16, 64}), which records ``speedup_vs_serial``.
+  (providers k ∈ {4, 16, 64}), which records ``speedup_vs_serial``;
+* the continuous-audit churn experiments (``audit-churn``,
+  ``audit-churn-steady``): a :class:`repro.audit.monitor.Monitor` over
+  the registered churn scenarios, measuring epochs, incremental
+  commitment reuse and the evidence trail.
 
 Metric convention (enforced by the determinism test): wall-clock numbers
 live under ``metrics["timing"]``; everything else must be reproducible
@@ -357,7 +361,7 @@ def run_internet_scale_audit(ctx: ExperimentContext) -> dict:
     returned fields so both describe the same run."""
     from repro.bgp.prefix import Prefix
     from repro.pvr.deployment import PVRDeployment
-    from repro.topology.generate import TopologyParams, generate
+    from repro.topology.generate import TopologyParams, generate, true_stub
     from repro.topology.internet import build_bgp_network
 
     prefix = Prefix.parse(AUDIT_PREFIX)
@@ -369,12 +373,7 @@ def run_internet_scale_audit(ctx: ExperimentContext) -> dict:
     )
     graph = generate(params)
     net = build_bgp_network(graph)
-    # a true stub: an AS with providers and no customers (ases() sorts
-    # lexicographically, so ases()[-1] would be a transit AS)
-    origin = max(
-        (a for a in graph.ases() if not graph.customers(a)),
-        key=lambda a: int(a.removeprefix("AS")),
-    )
+    origin = true_stub(graph)
     net.originate(origin, prefix)
     events = net.run_to_quiescence()
     reach = net.reachability(prefix)
@@ -404,6 +403,73 @@ def run_internet_scale_audit(ctx: ExperimentContext) -> dict:
         "bytes": int(report.total("bytes")),
         "violation_free": report.violation_free(),
         "sweep_seconds": sweep_seconds,
+    }
+
+
+@register(
+    "audit-churn",
+    "Continuous audit plane: a Monitor over a churned synthetic "
+    "Internet — epochs, incremental reuse, evidence trail",
+    params={"scenario": "churn-64as", "key_bits": 1024},
+    quick={"scenario": "churn-fig1", "key_bits": 512},
+    tags=("audit", "churn"),
+)
+def _audit_churn(ctx: ExperimentContext):
+    from repro.audit.churn import run_churn
+
+    keystore = ctx.keystore()
+    started = time.perf_counter()
+    result = run_churn(str(ctx.params["scenario"]), keystore)
+    elapsed = time.perf_counter() - started
+    assert result.violation_free()
+    assert result.reused > 0, "churn run exercised no incremental reuse"
+    ctx.table(
+        f"AUDIT churn epochs ({result.scenario})",
+        ["epoch", "events", "verified", "reused", "signs"],
+        [(e.epoch, len(e.events), e.verified, e.reused, e.signatures)
+         for e in result.epochs],
+    )
+    return {
+        "scenario": result.scenario,
+        "epochs": len(result.epochs),
+        "events": result.events,
+        "verified": result.verified,
+        "reused": result.reused,
+        "reuse_ratio": result.reuse_ratio(),
+        "signatures": result.signatures,
+        "verifications": result.verifications,
+        "violation_free": result.violation_free(),
+        "timing": {"run_seconds": elapsed},
+    }
+
+
+@register(
+    "audit-churn-steady",
+    "Audit-plane steady state: epochs whose inputs are unchanged are "
+    "served entirely from the commitment cache (zero crypto)",
+    params={"scenario": "churn-steady", "key_bits": 1024},
+    quick={"key_bits": 512},
+    tags=("audit", "churn"),
+)
+def _audit_churn_steady(ctx: ExperimentContext):
+    from repro.audit.churn import run_churn
+
+    keystore = ctx.keystore()
+    started = time.perf_counter()
+    result = run_churn(str(ctx.params["scenario"]), keystore)
+    elapsed = time.perf_counter() - started
+    assert result.violation_free()
+    first, rest = result.epochs[0], result.epochs[1:]
+    assert first.signatures > 0
+    # every post-churn epoch settles back to the cached commitments
+    assert all(e.signatures == 0 and e.reused == len(e.events) for e in rest)
+    return {
+        "scenario": result.scenario,
+        "epochs": len(result.epochs),
+        "cold_signatures": first.signatures,
+        "steady_signatures": sum(e.signatures for e in rest),
+        "reuse_ratio": result.reuse_ratio(),
+        "timing": {"run_seconds": elapsed},
     }
 
 

@@ -82,6 +82,13 @@ class BGPNetwork:
     def originate(self, asn: str, prefix: Prefix) -> None:
         self.routers[asn].originate(self.transport, prefix)
 
+    def drop_session(self, a: str, b: str) -> None:
+        """Administratively drop the a<->b BGP session on both sides;
+        each router withdraws everything learned over it.  Re-establish
+        with ``routers[a].start_session(transport, b)``."""
+        self.routers[a].drop_peer(self.transport, b)
+        self.routers[b].drop_peer(self.transport, a)
+
     def withdraw(self, asn: str, prefix: Prefix) -> None:
         self.routers[asn].withdraw_origin(self.transport, prefix)
 

@@ -14,8 +14,12 @@ throughout).  The router:
 
 Two hooks exist for the PVR layer and the adversary library:
 
-* ``decision_hook(prefix, candidates, chosen)`` fires after every
-  decision — the PVR deployment uses it to drive commitments;
+* decision hooks ``(prefix, candidates, chosen)`` fire after every
+  decision — the audit plane uses them to drive verification epochs.
+  Any number of hooks may be registered via :meth:`BGPRouter.add_decision_hook`
+  (the audit plane, a logger and a test probe can all observe the same
+  router); the legacy ``decision_hook`` attribute remains as a single
+  assignable slot for existing callers;
 * ``select_override(prefix, candidates) -> Route | None`` replaces the
   honest decision function — adversarial routers use it to break their
   promises (e.g. export a longer-than-best route).
@@ -35,6 +39,7 @@ from repro.bgp.session import Session, SessionError, SessionState
 from repro.net.simnet import Message, Network, Node
 
 DecisionHook = Callable[[Prefix, List[Route], Optional[Route]], None]
+ResyncHook = Callable[[str, tuple], None]
 SelectOverride = Callable[[Prefix, List[Route]], Optional[Route]]
 
 
@@ -51,7 +56,9 @@ class BGPRouter(Node):
         self.import_policies: Dict[str, Policy] = {}
         self.export_policies: Dict[str, Policy] = {}
         self.originated: Dict[Prefix, Route] = {}
-        self.decision_hook: Optional[DecisionHook] = None
+        self._decision_hooks: List[DecisionHook] = []
+        self._legacy_decision_hook: Optional[DecisionHook] = None
+        self._resync_hooks: List[ResyncHook] = []
         self.select_override: Optional[SelectOverride] = None
         self.updates_received = 0
         self.updates_sent = 0
@@ -86,6 +93,49 @@ class BGPRouter(Node):
         if peer_as not in self.sessions:
             raise KeyError(f"{self.asn}: unknown peer {peer_as}")
 
+    # -- decision hooks ------------------------------------------------------
+
+    @property
+    def decision_hook(self) -> Optional[DecisionHook]:
+        """The legacy single-hook slot.  Assigning it replaces only this
+        slot; hooks added via :meth:`add_decision_hook` are unaffected, so
+        a caller using the old attribute cannot clobber the audit plane."""
+        return self._legacy_decision_hook
+
+    @decision_hook.setter
+    def decision_hook(self, hook: Optional[DecisionHook]) -> None:
+        self._legacy_decision_hook = hook
+
+    def add_decision_hook(self, hook: DecisionHook) -> DecisionHook:
+        """Register ``hook`` to fire after every decision (alongside any
+        previously registered hooks).  Returns the hook for convenience."""
+        self._decision_hooks.append(hook)
+        return hook
+
+    def remove_decision_hook(self, hook: DecisionHook) -> None:
+        """Unregister a hook added with :meth:`add_decision_hook`."""
+        self._decision_hooks.remove(hook)
+
+    def decision_hooks(self) -> tuple:
+        """Every active hook, legacy slot first."""
+        hooks = []
+        if self._legacy_decision_hook is not None:
+            hooks.append(self._legacy_decision_hook)
+        hooks.extend(self._decision_hooks)
+        return tuple(hooks)
+
+    def add_resync_hook(self, hook: ResyncHook) -> ResyncHook:
+        """Register ``hook(peer, prefixes)`` to fire when this router
+        resends its full table to ``peer`` (session establishment or
+        re-establishment).  No decision runs on that path, so decision
+        hooks stay silent — yet the export set toward ``peer`` changes;
+        the audit plane listens here to re-audit those exports."""
+        self._resync_hooks.append(hook)
+        return hook
+
+    def remove_resync_hook(self, hook: ResyncHook) -> None:
+        self._resync_hooks.remove(hook)
+
     # -- session management ------------------------------------------------
 
     def start_session(self, network: Network, peer_as: str) -> None:
@@ -102,6 +152,15 @@ class BGPRouter(Node):
         return sorted(
             peer for peer, session in self.sessions.items() if session.established
         )
+
+    def drop_peer(self, network: Network, peer_as: str) -> None:
+        """Administratively drop the session with ``peer_as``: reset the
+        FSM and withdraw everything learned over it (decisions rerun, so
+        hooks fire).  The session can be re-established later with
+        :meth:`start_session`."""
+        self._require_peer(peer_as)
+        self.sessions[peer_as].reset()
+        self._flush_peer(network, peer_as)
 
     # -- origination ---------------------------------------------------------
 
@@ -193,8 +252,10 @@ class BGPRouter(Node):
             best = self.select_override(prefix, candidates)
         else:
             best = decide(candidates)
-        if self.decision_hook is not None:
-            self.decision_hook(prefix, candidates, best)
+        if self._legacy_decision_hook is not None:
+            self._legacy_decision_hook(prefix, candidates, best)
+        for hook in self._decision_hooks:
+            hook(prefix, candidates, best)
         if self.loc_rib.set_best(prefix, best):
             self._propagate(network, prefix)
 
@@ -205,8 +266,11 @@ class BGPRouter(Node):
             self._announce_to(network, peer, prefix)
 
     def _send_full_table(self, network: Network, peer: str) -> None:
-        for prefix in self.loc_rib.prefixes():
+        prefixes = self.loc_rib.prefixes()
+        for prefix in prefixes:
             self._announce_to(network, peer, prefix)
+        for hook in self._resync_hooks:
+            hook(peer, prefixes)
 
     def _announce_to(self, network: Network, peer: str, prefix: Prefix) -> None:
         best = self.loc_rib.best(prefix)

@@ -1,148 +1,121 @@
-"""PVR attached to a running BGP network.
+"""PVR attached to a running BGP network — the legacy one-shot API.
 
-The protocol modules verify single rounds in isolation; this module runs
-them *in situ*: after the simulated AS network converges on a prefix, a
-monitored AS A executes one verification round per exporting neighbor,
-with every protocol message travelling over the same simulated links as
-the BGP updates (so the SCALE benchmark's bytes/messages/latency numbers
-include PVR's real transport cost).
+.. deprecated-design::
+   :class:`PVRDeployment` predates the audit plane and is kept as a thin
+   *compatibility façade* over :class:`repro.audit.monitor.Monitor`.
+   New code should use the monitor directly: it adds policy selection
+   (any promise, per-neighbor overrides), epoch scheduling with bounded
+   work, incremental commitment reuse, a verdict-event stream and a
+   queryable evidence store.  This module only translates the old
+   call shapes — ``watch``/``run_pending``, ``monitored_round``,
+   ``verify_prefix_everywhere`` — onto that engine.
 
-Message flow per round, mirroring Section 3.3:
-
-1. each provider Ni re-announces its current route with a PVR signature
-   (``AnnouncePayload``);
-2. A receipts, commits, and broadcasts its signed commitment statement to
-   every neighbor (``CommitPayload``) — the gossip substrate;
-3. A sends each Ni its provider view and B its recipient view
-   (``ViewPayload``);
-4. neighbors verify locally and gossip the statements pairwise.
-
-Crypto cost is measured via the keystore's operation counters and wall
-clock; transport cost via the network's byte/message counters.
+The wire payloads (``AnnouncePayload``, ``CommitPayload``,
+``ViewPayload``) and the cost records (:class:`RoundStats`,
+:class:`DeploymentReport`) now live in :mod:`repro.audit.wire` and are
+re-exported here unchanged for existing importers.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.audit.monitor import Monitor
+from repro.audit.wire import (
+    AnnouncePayload,
+    CommitPayload,
+    DeploymentReport,
+    RoundStats,
+    ViewPayload,
+)
 from repro.bgp.network import BGPNetwork
 from repro.bgp.prefix import Prefix
 from repro.crypto.keystore import KeyStore
-from repro.promises.spec import ShortestRoute
-from repro.pvr.engine import VerificationSession
+from repro.promises.spec import Promise, ShortestRoute
 from repro.pvr.evidence import Verdict
 from repro.pvr.minimum import HonestProver
 from repro.pvr.session import PromiseSpec
 
-
-@dataclass(frozen=True)
-class AnnouncePayload:
-    """Ni -> A: the PVR-signed announcement."""
-
-    announcement: object
-    is_pvr = True
-
-
-@dataclass(frozen=True)
-class CommitPayload:
-    """A -> all neighbors: the signed commitment statement."""
-
-    statement: object
-    is_pvr = True
-
-
-@dataclass(frozen=True)
-class ViewPayload:
-    """A -> one neighbor: its round view (provider or recipient)."""
-
-    view: object
-    is_pvr = True
-
-
-@dataclass
-class RoundStats:
-    """Cost accounting for one deployment round."""
-
-    prover: str
-    recipient: str
-    providers: Tuple[str, ...]
-    messages: int = 0
-    bytes: int = 0
-    signatures: int = 0
-    verifications: int = 0
-    wall_seconds: float = 0.0
-    violations: int = 0
-    equivocations: int = 0
-
-
-@dataclass
-class DeploymentReport:
-    """Aggregate across all rounds of a deployment run."""
-
-    rounds: List[RoundStats] = field(default_factory=list)
-
-    def total(self, attribute: str) -> float:
-        return sum(getattr(r, attribute) for r in self.rounds)
-
-    def violation_free(self) -> bool:
-        return all(r.violations == 0 and r.equivocations == 0 for r in self.rounds)
+__all__ = [
+    "AnnouncePayload",
+    "CommitPayload",
+    "DeploymentReport",
+    "PVRDeployment",
+    "RoundStats",
+    "ViewPayload",
+]
 
 
 class PVRDeployment:
-    """Runs PVR rounds for monitored ASes on a converged BGP network."""
+    """Runs PVR rounds for monitored ASes on a converged BGP network.
+
+    ``promise`` selects the contract every round verifies (default: the
+    paper's promise 2, :class:`~repro.promises.spec.ShortestRoute`); any
+    :class:`~repro.promises.spec.Promise` template works — the audit
+    plane resolves it to the protocol variant that covers it.
+    ``backend`` is passed to the execution layer.
+    """
 
     def __init__(
         self,
         network: BGPNetwork,
         keystore: KeyStore,
         max_length: int = 16,
+        promise: Optional[Promise] = None,
+        backend: object = None,
     ) -> None:
         self.network = network
         self.keystore = keystore
         self.max_length = max_length
-        for asn in network.as_names():
-            keystore.register(asn)
-        self._round_counter = 0
-        self._pending: List[Tuple[str, Prefix]] = []
+        self.promise = promise if promise is not None else ShortestRoute()
+        self.monitor = Monitor(keystore, backend=backend).attach(network)
+        self._watched: Dict[str, object] = {}
+
+    @property
+    def _round_counter(self) -> int:
+        return self.monitor._round_counter
 
     # -- continuous operation -------------------------------------------------
 
-    def watch(self, asn: str) -> None:
+    def watch(self, asn: str, promise: Optional[Promise] = None) -> None:
         """Arm continuous verification for ``asn``: every decision change
         queues a verification round ("such a task would have to be
         performed for every single BGP update", Section 3.1).
 
         Rounds cannot run inside the BGP event loop (their messages share
         the links), so they are queued and executed by
-        :meth:`run_pending` once the network has quiesced.
+        :meth:`run_pending` once the network has quiesced.  This is a
+        façade over :meth:`repro.audit.monitor.Monitor.policy`, which
+        registers its churn hooks additively — other decision hooks on
+        the router are preserved.  Like the legacy implementation,
+        re-watching an AS replaces its watcher rather than stacking a
+        second one, and the present state is not audited up front
+        (``audit_now=False``; the monitor's own default would audit it).
+        Beyond the legacy hook, the audit plane also picks up full-table
+        resends when a session (re-)establishes — exports that change
+        without any local decision are queued too.
         """
-        router = self.network.router(asn)
-
-        def on_decision(prefix, candidates, best) -> None:
-            self._pending.append((asn, prefix))
-
-        router.decision_hook = on_decision
+        previous = self._watched.pop(asn, None)
+        if previous is not None:
+            self.monitor.remove_policy(previous)
+        self._watched[asn] = self.monitor.policy(
+            asn,
+            promise if promise is not None else self.promise,
+            max_length=self.max_length,
+            name=f"watch:{asn}",
+            audit_now=False,
+        )
 
     def run_pending(self) -> DeploymentReport:
-        """Run one round per queued (AS, prefix) decision change, toward
-        every neighbor the AS currently exports the prefix to."""
-        report = DeploymentReport()
-        pending, self._pending = self._pending, []
-        for asn, prefix in dict.fromkeys(pending):
-            router = self.network.router(asn)
-            providers = router.adj_rib_in.neighbors_announcing(prefix)
-            if not providers:
-                continue
-            for recipient in router.established_peers():
-                if router.adj_rib_out.advertised(recipient, prefix) is None:
-                    continue
-                if recipient in providers and len(providers) == 1:
-                    continue
-                _, stats = self.monitored_round(asn, prefix, recipient)
-                report.rounds.append(stats)
-        return report
+        """Run one verification epoch over the queued decision changes.
+
+        The audit plane's incremental path applies: a queued (AS,
+        prefix, recipient) tuple whose inputs are unchanged since its
+        last round is served from the commitment cache with zero crypto
+        operations (its :class:`RoundStats` entry has ``reused=True``).
+        """
+        epoch = self.monitor.run_epoch()
+        return DeploymentReport(rounds=[e.stats for e in epoch.events])
 
     def monitored_round(
         self,
@@ -150,100 +123,51 @@ class PVRDeployment:
         prefix: Prefix,
         recipient: str,
         prover: HonestProver | None = None,
+        promise: Optional[Promise] = None,
+        spec: Optional[PromiseSpec] = None,
     ) -> Tuple[Dict[str, Verdict], RoundStats]:
         """One verification round: ``prover_as`` proves its export of
-        ``prefix`` toward ``recipient`` against its current Adj-RIB-In."""
-        router = self.network.router(prover_as)
-        transport = self.network.transport
-        providers = tuple(
-            n
-            for n in router.adj_rib_in.neighbors_announcing(prefix)
-            if n != recipient
-        )
-        if not providers:
-            raise ValueError(
-                f"{prover_as} has no providers for {prefix} (besides the recipient)"
-            )
-        self._round_counter += 1
-        spec = PromiseSpec(
-            promise=ShortestRoute(),
-            prover=prover_as,
-            providers=providers,
-            recipients=(recipient,),
-            variant="minimum",
+        ``prefix`` toward ``recipient`` against its current Adj-RIB-In.
+
+        ``promise`` (or a full ``spec``) overrides the deployment's
+        contract for this round; ``prover`` injects a Byzantine prover.
+        """
+        event = self.monitor.audit_once(
+            prover_as,
+            prefix,
+            recipient,
+            promise=promise if promise is not None else self.promise,
+            spec=spec,
+            prover=prover,
             max_length=self.max_length,
         )
-        session = VerificationSession(
-            self.keystore, spec, round=self._round_counter, prover=prover
-        )
-        routes = {
-            n: router.adj_rib_in.route_from(n, prefix) for n in providers
-        }
+        return dict(event.report.verdicts), event.stats
 
-        sign_before = self.keystore.sign_count
-        verify_before = self.keystore.verify_count
-        bytes_before = transport.bytes_sent
-        messages_before = transport.delivered
-        started = time.perf_counter()
+    def verify_prefix_everywhere(
+        self, prefix: Prefix, max_rounds: int | None = None
+    ) -> DeploymentReport:
+        """Run one round for every (AS, exporting neighbor) pair that has
+        providers for ``prefix`` — the whole-network deployment sweep."""
+        report = DeploymentReport()
+        count = 0
+        for asn in self.network.as_names():
+            router = self.network.router(asn)
+            providers = router.adj_rib_in.neighbors_announcing(prefix)
+            if not providers:
+                continue
+            for recipient in router.established_peers():
+                if recipient in providers and len(providers) == 1:
+                    continue  # the only provider cannot also be the auditor
+                if router.adj_rib_out.advertised(recipient, prefix) is None:
+                    continue
+                if max_rounds is not None and count >= max_rounds:
+                    return report
+                _, stats = self.monitored_round(asn, prefix, recipient)
+                report.rounds.append(stats)
+                count += 1
+        return report
 
-        # 1. providers announce over the wire
-        announcements = session.announce(routes)
-        for provider, ann in announcements.items():
-            if ann is not None:
-                transport.send(provider, prover_as, AnnouncePayload(ann))
-        transport.run()
-
-        # 2. the prover commits (accept + decide + sign)
-        statement = session.commit()
-
-        # 3. distribute commitment + views over the wire
-        views = session.disclose()
-        for provider in providers:
-            transport.send(prover_as, provider, ViewPayload(views[provider]))
-        transport.send(prover_as, recipient, ViewPayload(views[recipient]))
-        if statement is not None:
-            for neighbor in self.network.transport.neighbors(prover_as):
-                transport.send(prover_as, neighbor, CommitPayload(statement))
-        transport.run()
-
-        # 4. collective verification from what actually ARRIVED (a dropped
-        # or tampered wire message must affect the verdicts), incl. gossip
-        received = self._collect_views(prover_as, providers, recipient)
-        report = session.verify(received=received)
-        verdicts: Dict[str, Verdict] = dict(report.verdicts)
-
-        stats = RoundStats(
-            prover=prover_as,
-            recipient=recipient,
-            providers=providers,
-            messages=transport.delivered - messages_before,
-            bytes=transport.bytes_sent - bytes_before,
-            signatures=self.keystore.sign_count - sign_before,
-            verifications=self.keystore.verify_count - verify_before,
-            wall_seconds=time.perf_counter() - started,
-            violations=sum(
-                len(v.violations) for v in verdicts.values()
-            ),
-            equivocations=len(report.equivocations),
-        )
-        return verdicts, stats
-
-    def _collect_views(
-        self, prover_as: str, providers: Tuple[str, ...], recipient: str
-    ) -> Dict[str, object]:
-        """Drain each neighbor's PVR inbox for this round's view payload."""
-        received: Dict[str, object] = {}
-        for name in providers + (recipient,):
-            router = self.network.router(name)
-            remaining = []
-            for message in router.pvr_inbox:
-                payload = message.payload
-                if message.src == prover_as and isinstance(payload, ViewPayload):
-                    received[name] = payload.view
-                else:
-                    remaining.append(message)
-            router.pvr_inbox[:] = remaining
-        return received
+    # -- promise 4 ------------------------------------------------------------
 
     def promise4_round(self, prover_as: str, prefix: Prefix):
         """Promise 4 in deployment: A attests its export of ``prefix`` to
@@ -270,8 +194,7 @@ class PVRDeployment:
             raise ValueError(
                 f"{prover_as} exports {prefix} to fewer than two neighbors"
             )
-        self._round_counter += 1
-        round_no = self._round_counter
+        round_no = self.monitor._next_round()
         best = router.loc_rib.best(prefix)
         attestations = {}
         for recipient in recipients:
@@ -296,27 +219,3 @@ class PVRDeployment:
             for recipient in recipients
         }
         return Promise4Result(attestations=attestations, verdicts=verdicts)
-
-    def verify_prefix_everywhere(
-        self, prefix: Prefix, max_rounds: int | None = None
-    ) -> DeploymentReport:
-        """Run one round for every (AS, exporting neighbor) pair that has
-        providers for ``prefix`` — the whole-network deployment sweep."""
-        report = DeploymentReport()
-        count = 0
-        for asn in self.network.as_names():
-            router = self.network.router(asn)
-            providers = router.adj_rib_in.neighbors_announcing(prefix)
-            if not providers:
-                continue
-            for recipient in router.established_peers():
-                if recipient in providers and len(providers) == 1:
-                    continue  # the only provider cannot also be the auditor
-                if router.adj_rib_out.advertised(recipient, prefix) is None:
-                    continue
-                if max_rounds is not None and count >= max_rounds:
-                    return report
-                _, stats = self.monitored_round(asn, prefix, recipient)
-                report.rounds.append(stats)
-                count += 1
-        return report

@@ -49,6 +49,16 @@ __all__ = [
     "names",
     "run",
     "build_session",
+    "ChurnScenario",
+    "register_churn",
+    "get_churn",
+    "churn_names",
+    "figure1_network",
+    "flap_session",
+    "restore_session",
+    "bounce_session",
+    "reoriginate",
+    "reoriginate_origin",
 ]
 
 
@@ -360,3 +370,272 @@ def _register_scaling() -> None:
 
 
 _register_scaling()
+
+
+# -- churn scenarios: continuous-audit workloads -------------------------------
+#
+# A churn scenario is a *network-level* workload for the audit plane
+# (:mod:`repro.audit`): a converged BGP network, promise policies per
+# monitored AS, and a script of churn steps.  The driver
+# (:func:`repro.audit.churn.run_churn`) attaches a Monitor, runs one
+# verification epoch after the initial convergence and one after each
+# churn step, and returns the epoch reports plus the evidence trail.
+# Scenario objects here are pure data — no audit imports — so the
+# registry stays import-cycle-free.
+
+
+@dataclass(frozen=True)
+class ChurnScenario:
+    """One continuous-audit workload.
+
+    ``build()`` returns a converged :class:`~repro.bgp.network.BGPNetwork`
+    carrying ``prefix``; ``policies`` is a tuple of
+    ``(asn, spec_source, options)`` triples handed to
+    :meth:`repro.audit.monitor.Monitor.policy`; ``churn`` is the script —
+    each step mutates the network (the driver quiesces and runs an epoch
+    after each).  ``resync_after`` appends a full re-audit sweep as a
+    final epoch, the steady-state reuse measurement.
+    """
+
+    build: Callable[[], "object"]
+    prefix: Prefix
+    policies: Tuple[Tuple[str, object, Dict[str, object]], ...]
+    churn: Tuple[Callable, ...] = ()
+    description: str = ""
+    name: str = ""
+    resync_after: bool = True
+    expect_violation: bool = False
+
+
+_CHURN_REGISTRY: Dict[str, Callable[[], ChurnScenario]] = {}
+_CHURN_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_churn(name: str, description: str = ""):
+    """Decorator: register a zero-argument churn-scenario factory."""
+
+    def wrap(factory: Callable[[], ChurnScenario]) -> Callable[[], ChurnScenario]:
+        if name in _CHURN_REGISTRY:
+            raise ValueError(f"churn scenario {name!r} already registered")
+        _CHURN_REGISTRY[name] = factory
+        _CHURN_DESCRIPTIONS[name] = description or (factory.__doc__ or "").strip()
+        return factory
+
+    return wrap
+
+
+def get_churn(name: str) -> ChurnScenario:
+    """Build the named churn scenario (fresh objects each call)."""
+    try:
+        factory = _CHURN_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown churn scenario {name!r}; "
+            f"known: {', '.join(sorted(_CHURN_REGISTRY))}"
+        ) from None
+    scenario = factory()
+    if not scenario.name:
+        scenario = dataclasses.replace(
+            scenario,
+            name=name,
+            description=scenario.description or _CHURN_DESCRIPTIONS[name],
+        )
+    return scenario
+
+
+def churn_names() -> Tuple[str, ...]:
+    return tuple(sorted(_CHURN_REGISTRY))
+
+
+# churn-step builders ----------------------------------------------------------
+
+
+def flap_session(a: str, b: str):
+    """Drop the a<->b BGP session and all routes learned over it."""
+
+    def step(net) -> None:
+        net.drop_session(a, b)
+
+    step.__name__ = f"flap_session({a},{b})"
+    return step
+
+
+def restore_session(a: str, b: str):
+    """Re-establish a previously flapped session (full table resent)."""
+
+    def step(net) -> None:
+        net.routers[a].start_session(net.transport, b)
+
+    step.__name__ = f"restore_session({a},{b})"
+    return step
+
+
+def bounce_session(a: str, b: str):
+    """Flap and immediately restore: after quiescence every route is
+    back, but the decision hooks fired — the pure-reuse churn case."""
+    down, up = flap_session(a, b), restore_session(a, b)
+
+    def step(net) -> None:
+        down(net)
+        net.run_to_quiescence()
+        up(net)
+
+    step.__name__ = f"bounce_session({a},{b})"
+    return step
+
+
+def reoriginate(asn: str, prefix: Prefix):
+    """Withdraw and immediately re-originate ``prefix`` at ``asn``."""
+
+    def step(net) -> None:
+        net.withdraw(asn, prefix)
+        net.run_to_quiescence()
+        net.originate(asn, prefix)
+
+    step.__name__ = f"reoriginate({asn})"
+    return step
+
+
+_CHURN_PFX = Prefix.parse("10.0.0.0/8")
+
+
+def figure1_network(prefix: Prefix = _CHURN_PFX):
+    """The paper's Figure 1 as a converged BGP network: O originates
+    ``prefix``; N2 hears it directly (2 hops at A), N1 and N3 via X
+    (3 hops at A); all three feed A, and A exports to B.
+
+    The shared topology behind the churn scenarios, the audit examples
+    and the monitor tests — one definition, so they cannot diverge.
+    """
+    from repro.bgp.network import BGPNetwork
+
+    net = BGPNetwork()
+    for asn in ("O", "X", "N1", "N2", "N3", "A", "B"):
+        net.add_as(asn)
+    net.connect("O", "X")
+    net.connect("X", "N1")
+    net.connect("X", "N3")
+    net.connect("O", "N2")
+    for n in ("N1", "N2", "N3"):
+        net.connect(n, "A")
+    net.connect("A", "B")
+    net.establish_sessions()
+    net.originate("O", prefix)
+    net.run_to_quiescence()
+    return net
+
+
+@register_churn(
+    "churn-fig1",
+    "Figure 1 under churn: the O-N2 session flaps while A's shortest-"
+    "route promise is continuously audited",
+)
+def _churn_fig1() -> ChurnScenario:
+    return ChurnScenario(
+        build=figure1_network,
+        prefix=_CHURN_PFX,
+        policies=((("A"), ShortestRoute(), {"max_length": 8}),),
+        churn=(
+            flap_session("O", "N2"),
+            restore_session("O", "N2"),
+        ),
+    )
+
+
+@register_churn(
+    "churn-steady",
+    "Steady-state reuse: sessions bounce but every input settles back "
+    "unchanged, so epochs after the first are served from the cache",
+)
+def _churn_steady() -> ChurnScenario:
+    return ChurnScenario(
+        build=figure1_network,
+        prefix=_CHURN_PFX,
+        policies=((("A"), ShortestRoute(), {"max_length": 8}),),
+        churn=(
+            bounce_session("O", "N2"),
+            bounce_session("X", "N1"),
+        ),
+    )
+
+
+@register_churn(
+    "churn-variants",
+    "Per-neighbor policy overrides on Figure 1: promise 2 toward B plus "
+    "an existential promise audited in the same epochs",
+)
+def _churn_variants() -> ChurnScenario:
+    def existential(providers):
+        from repro.promises.spec import ExistentialPromise
+
+        return ExistentialPromise(providers)
+
+    return ChurnScenario(
+        build=figure1_network,
+        prefix=_CHURN_PFX,
+        policies=(
+            ("A", ShortestRoute(), {"max_length": 8, "recipients": ("B",)}),
+            ("A", existential, {"max_length": 8, "recipients": ("B",)}),
+        ),
+        churn=(flap_session("O", "N2"),),
+    )
+
+
+def _generated_churn_network(tier1: int, tier2: int, stubs: int, seed: int):
+    from repro.topology.generate import TopologyParams, generate, true_stub
+    from repro.topology.internet import build_bgp_network
+
+    graph = generate(
+        TopologyParams(tier1=tier1, tier2=tier2, stubs=stubs, seed=seed)
+    )
+    net = build_bgp_network(graph)
+    net.originate(true_stub(graph), _CHURN_PFX)
+    net.run_to_quiescence()
+    return net
+
+
+def _churn_64as_scenario(tier1=4, tier2=12, stubs=48, seed=2011,
+                         monitored=3) -> ChurnScenario:
+    def build():
+        return _generated_churn_network(tier1, tier2, stubs, seed)
+
+    # policies go on the tier-1 core: the ASes with the most neighbors,
+    # hence the most (provider, recipient) tuples per epoch
+    tier1_names = tuple(f"AS{i}" for i in range(min(monitored, tier1)))
+    policies = tuple(
+        (asn, ShortestRoute(), {"max_length": 16}) for asn in tier1_names
+    )
+    return ChurnScenario(
+        build=build,
+        prefix=_CHURN_PFX,
+        policies=policies,
+        churn=(
+            bounce_session("AS0", "AS1"),
+            reoriginate_origin(),
+        ),
+    )
+
+
+def reoriginate_origin(prefix: Prefix = _CHURN_PFX):
+    """Withdraw and re-originate ``prefix`` at its origin (discovered
+    from the network at run time)."""
+
+    def step(net) -> None:
+        origin = next(
+            (asn for asn, router in net.routers.items()
+             if prefix in router.originated),
+            None,
+        )
+        if origin is None:
+            raise ValueError(f"no router originates {prefix}")
+        reoriginate(origin, prefix)(net)
+
+    step.__name__ = f"reoriginate_origin({prefix})"
+    return step
+
+
+register_churn(
+    "churn-64as",
+    "A 64-AS synthetic Internet under churn: tier-1 policies audited "
+    "across session bounces and a prefix re-origination",
+)(_churn_64as_scenario)

@@ -112,6 +112,19 @@ def generate(params: TopologyParams) -> ASGraph:
     return graph
 
 
+def true_stub(graph: ASGraph) -> str:
+    """The highest-numbered AS with providers and no customers — the
+    canonical prefix origin for generated-topology experiments.
+
+    ``graph.ases()`` sorts lexicographically (``AS10`` < ``AS9``), so the
+    last element would be a transit AS; the numeric key avoids that.
+    """
+    return max(
+        (a for a in graph.ases() if not graph.customers(a)),
+        key=lambda a: int(a[2:]) if a.startswith("AS") else 0,
+    )
+
+
 def star_topology(center: str, leaf_count: int, extra: str | None = None) -> ASGraph:
     """The paper's Figure 1 shape: A in the middle, N1..Nk providers of
     routes, B the verifying customer.

@@ -1,0 +1,679 @@
+"""The audit plane: Monitor epochs, incremental reuse, evidence store.
+
+The load-bearing test here is the acceptance criterion for the
+continuous-audit redesign: on a churned 64-AS topology, a Monitor whose
+(AS, prefix, promise) inputs are unchanged performs *strictly fewer* RSA
+signature operations in epoch N+1 than a cold re-run (measured via the
+keystore counters), while verdicts and evidence stay byte-identical to
+the one-shot VerificationSession path for the same inputs.
+"""
+
+import pytest
+
+from repro.audit import Monitor, round_randomness
+from repro.audit.monitor import MonitorError
+from repro.audit.wire import ViewPayload
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.net.simnet import Message
+from repro.promises.spec import (
+    ExistentialPromise,
+    NoLongerThanOthers,
+    ShortestFromSubset,
+    ShortestRoute,
+)
+from repro.pvr import scenarios
+from repro.pvr.adversary import LongerRouteProver
+from repro.pvr.deployment import PVRDeployment
+from repro.pvr.engine import VerificationSession
+from repro.pvr.scenarios import figure1_network
+
+PFX = Prefix.parse("10.0.0.0/8")
+SEED = 2011
+
+
+def make_monitor(net, seed=SEED, **options) -> Monitor:
+    return Monitor(
+        KeyStore(seed=seed, key_bits=512), rng_seed=seed, **options
+    ).attach(net)
+
+
+class TestAcceptance:
+    """The redesign's headline property, on the 64-AS churn scenario."""
+
+    def test_incremental_epoch_beats_cold_rerun_on_64as(self):
+        scenario = scenarios.get_churn("churn-64as")
+        net = scenario.build()
+        assert len(net.as_names()) == 64
+
+        monitor = make_monitor(net)
+        for asn, spec, options in scenario.policies:
+            monitor.policy(asn, spec, **options)
+        cold = monitor.run_epoch()
+        assert cold.verified > 0 and cold.signatures > 0
+        assert cold.violation_free()
+
+        # churn that settles back: a session bounce re-announces every
+        # route unchanged, then a full resync sweep re-audits everything
+        scenarios.bounce_session("AS0", "AS1")(net)
+        net.run_to_quiescence()
+        monitor.resync()
+        sign_before = monitor.keystore.sign_count
+        incremental = monitor.run_epoch()
+        incremental_signatures = monitor.keystore.sign_count - sign_before
+
+        # a cold re-run of the same audit surface, for the baseline
+        rerun = make_monitor(net, seed=SEED + 1)
+        for asn, spec, options in scenario.policies:
+            rerun.policy(asn, spec, **options)
+        sign_before = rerun.keystore.sign_count
+        cold_rerun = rerun.run_epoch()
+        cold_signatures = rerun.keystore.sign_count - sign_before
+
+        # same audit surface...
+        assert len(incremental.events) == len(cold_rerun.events)
+        # ...strictly fewer RSA signatures on the incremental path
+        assert incremental_signatures < cold_signatures
+        assert incremental_signatures == 0  # inputs unchanged: all reused
+        assert incremental.reused == len(incremental.events)
+
+    def test_monitor_verdicts_byte_identical_to_one_shot_sessions(self):
+        """Every freshly verified event reproduces byte-for-byte through
+        a one-shot VerificationSession with the same spec, round, inputs
+        and nonce stream — on a fresh keystore with the same seed."""
+        scenario = scenarios.get_churn("churn-64as")
+        net = scenario.build()
+        monitor = make_monitor(net)
+        for asn, spec, options in scenario.policies:
+            monitor.policy(asn, spec, **options)
+        epoch = monitor.run_epoch()
+        fresh = [e for e in epoch.events if not e.reused]
+        assert fresh
+
+        replay_keystore = KeyStore(seed=SEED, key_bits=512)
+        for event in fresh[:5]:
+            session = VerificationSession(
+                replay_keystore,
+                event.spec,
+                round=event.round,
+                random_bytes=round_randomness(SEED, event.round),
+            )
+            report = session.run(event.routes)
+            assert report.verdicts == event.report.verdicts
+            assert report.all_evidence() == event.report.all_evidence()
+            assert report.all_complaints() == event.report.all_complaints()
+
+    def test_violation_evidence_byte_identical_to_one_shot(self):
+        """The parity holds for violating rounds too: the monitor's
+        evidence trail is exactly what a one-shot session would emit."""
+        net = figure1_network()
+        monitor = make_monitor(net)
+        # pre-advance so the audited round has a known number
+        event = monitor.audit_once(
+            "A", PFX, "B",
+            prover=LongerRouteProver(
+                monitor.keystore, round_randomness(SEED, 1)
+            ),
+            max_length=8,
+        )
+        assert event.violation_found()
+
+        replay_keystore = KeyStore(seed=SEED, key_bits=512)
+        session = VerificationSession(
+            replay_keystore,
+            event.spec,
+            round=event.round,
+            prover=LongerRouteProver(
+                replay_keystore, round_randomness(SEED, event.round)
+            ),
+            random_bytes=round_randomness(SEED, event.round),
+        )
+        report = session.run(event.routes)
+        assert report.verdicts == event.report.verdicts
+        assert report.all_evidence() == event.report.all_evidence()
+
+
+class TestEpochScheduler:
+    def test_churn_marks_dirty_and_epoch_drains(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        assert monitor.pending()  # current state queued at registration
+        epoch = monitor.run_epoch()
+        assert epoch.verified == len(epoch.events) > 0
+        assert not monitor.pending()
+        # quiescent network, no churn: nothing to do
+        assert monitor.run_epoch().events == []
+
+    def test_decision_changes_requeue(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        monitor.run_epoch()
+        scenarios.flap_session("O", "N2")(net)
+        net.run_to_quiescence()
+        assert ("A", PFX) in monitor.pending()
+        epoch = monitor.run_epoch()
+        assert epoch.verified > 0
+        assert epoch.violation_free()
+        # N2 lost its route, so it is no longer among the providers
+        assert all("N2" not in e.spec.providers for e in epoch.events)
+
+    def test_bounded_work_defers_and_resumes(self):
+        net = figure1_network()
+        monitor = make_monitor(net, max_work_per_epoch=1)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        first = monitor.run_epoch()
+        assert first.verified == 1
+        assert first.deferred
+        assert monitor.pending()
+        reports = monitor.run_until_idle()
+        assert sum(e.verified for e in reports) >= 2
+        # deferral resumes, never repeats: every tuple audited exactly
+        # once across the burst, with no duplicate events of any kind
+        all_events = list(first.events)
+        for r in reports:
+            all_events.extend(r.events)
+        keys = [(e.asn, e.prefix, e.policy, e.spec.recipients)
+                for e in all_events]
+        assert len(keys) == len(set(keys))
+
+    def test_bounded_epoch_with_persistent_violation_still_drains(self):
+        """A never-cacheable failing tuple at the head of the queue must
+        not starve later policies or livelock the scheduler."""
+        net = figure1_network()
+        monitor = make_monitor(net, max_work_per_epoch=1)
+        monitor.policy("A", ShortestRoute(), recipients=("B",),
+                       name="p1", max_length=8)
+        monitor.policy("A", lambda ps: ExistentialPromise(ps),
+                       recipients=("B",), name="p2", max_length=8)
+        net.transport.set_interceptor(
+            "A",
+            lambda m: None if (m.dst == "B"
+                               and isinstance(m.payload, ViewPayload)) else m,
+        )
+        try:
+            reports = [monitor.run_epoch()]
+            reports.extend(monitor.run_until_idle())
+        finally:
+            net.transport.clear_interceptor("A")
+        assert not monitor.pending()
+        audited = {e.policy for r in reports for e in r.events}
+        assert audited == {"p1", "p2"}  # the tail was not starved
+        # one violation event per policy per burst, not per epoch
+        violations = [e for r in reports for e in r.events
+                      if e.violation_found()]
+        assert len(violations) == 2
+
+    def test_reuse_skips_crypto_on_unchanged_inputs(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        cold = monitor.run_epoch()
+        monitor.resync()
+        warm = monitor.run_epoch()
+        assert cold.signatures > 0
+        assert warm.signatures == 0 and warm.verifications == 0
+        assert warm.reused == len(warm.events) == len(cold.events)
+        # the reused event serves the same report object
+        assert warm.events[0].report is cold.events[0].report
+
+    def test_changed_inputs_reverify(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+        monitor.run_epoch()
+        scenarios.flap_session("O", "N2")(net)
+        net.run_to_quiescence()
+        epoch = monitor.run_epoch()
+        assert epoch.reused == 0 and epoch.verified > 0
+
+    def test_session_reestablishment_marks_exports_dirty(self):
+        """A restored session resends the full table with no decision at
+        the monitored AS — the export set toward the peer changed, so
+        the audit plane must still pick it up (via the resync hook)."""
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+        monitor.run_epoch()
+        # B is a pure recipient: dropping it fires no decision at A
+        net.drop_session("A", "B")
+        net.run_to_quiescence()
+        monitor.run_epoch()
+        net.routers["A"].start_session(net.transport, "B")
+        net.run_to_quiescence()
+        assert ("A", PFX) in monitor.pending()
+        epoch = monitor.run_epoch()
+        assert [e.spec.recipient for e in epoch.events] == ["B"]
+        assert epoch.violation_free()
+
+    def test_zero_work_bound_rejected(self):
+        net = figure1_network()
+        with pytest.raises(ValueError):
+            make_monitor(net, max_work_per_epoch=0)
+        monitor = make_monitor(net)
+        with pytest.raises(ValueError):
+            monitor.run_epoch(max_work=0)
+
+    def test_detached_monitor_refuses_to_run(self):
+        monitor = Monitor(KeyStore(seed=1, key_bits=512))
+        with pytest.raises(MonitorError):
+            monitor.run_epoch()
+        with pytest.raises(MonitorError):
+            monitor.policy("A", ShortestRoute())
+
+
+class TestPolicyVariants:
+    """Satellite: beyond the hardcoded ShortestRoute — an existential and
+    a graph-variant policy end to end, plus the promise-4 cross-check."""
+
+    def test_existential_policy_end_to_end(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy(
+            "A", lambda providers: ExistentialPromise(providers),
+            recipients=("B",), max_length=8,
+        )
+        epoch = monitor.run_epoch()
+        assert epoch.verified == 1
+        event = epoch.events[0]
+        assert event.report.variant == "existential"
+        assert event.ok()
+        assert set(event.report.verdicts) == {"N1", "N2", "N3", "B"}
+
+    def test_graph_variant_policy_end_to_end(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        # promise 2 over a strict subset of the providers resolves to the
+        # generalized route-flow-graph protocol
+        monitor.policy(
+            "A", lambda providers: ShortestFromSubset(providers[:2]),
+            recipients=("B",), max_length=8,
+        )
+        epoch = monitor.run_epoch()
+        assert epoch.verified == 1
+        event = epoch.events[0]
+        assert event.report.variant == "graph"
+        assert event.ok()
+        assert "B" in event.report.verdicts
+
+    def test_crosscheck_policy_end_to_end(self):
+        net = figure1_network()
+        # second customer so A serves two comparable recipients
+        net.add_as("B2")
+        net.connect("A", "B2")
+        net.routers["A"].start_session(net.transport, "B2")
+        net.run_to_quiescence()
+        monitor = make_monitor(net)
+        monitor.policy("A", NoLongerThanOthers(), max_length=8)
+        epoch = monitor.run_epoch()
+        crosschecks = [e for e in epoch.events
+                       if e.report.variant == "crosscheck"]
+        assert crosschecks
+        event = crosschecks[0]
+        assert set(event.spec.recipients) == {"B", "B2"}
+        assert event.ok()
+
+    def test_fixed_promisespec_policy(self):
+        from repro.pvr.session import PromiseSpec
+
+        net = figure1_network()
+        monitor = make_monitor(net)
+        spec = PromiseSpec(
+            promise=ShortestRoute(),
+            prover="A",
+            providers=("N1", "N2", "N3"),
+            recipients=("B",),
+            max_length=8,
+        )
+        monitor.policy("A", spec)
+        epoch = monitor.run_epoch()
+        assert epoch.verified == 1
+        assert epoch.events[0].spec is spec
+        # a prefix none of the pinned providers announce (A learns it
+        # from B alone) is irrelevant to the pinned contract: no vacuous
+        # wire round, no misleading "ok" event
+        other = Prefix.parse("172.16.0.0/12")
+        net.originate("B", other)
+        net.run_to_quiescence()
+        later = monitor.run_epoch()
+        assert all(e.prefix != other for e in later.events)
+
+    def test_per_neighbor_overrides_audit_in_same_epoch(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",),
+                       name="p2", max_length=8)
+        monitor.policy("A", lambda ps: ExistentialPromise(ps),
+                       recipients=("B",), name="exists", max_length=8)
+        epoch = monitor.run_epoch()
+        assert {e.policy for e in epoch.events} == {"p2", "exists"}
+        assert epoch.violation_free()
+
+
+class TestTransportFaults:
+    """Satellite: dropped/tampered wire messages surface as failed
+    verdicts in the audit stream — never as crashes."""
+
+    def test_dropped_recipient_view_fails_verdict_in_epoch(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+
+        def drop_views_to_b(message: Message):
+            if message.dst == "B" and isinstance(message.payload, ViewPayload):
+                return None
+            return message
+
+        net.transport.set_interceptor("A", drop_views_to_b)
+        epoch = monitor.run_epoch()
+        net.transport.clear_interceptor("A")
+        assert len(epoch.events) == 1
+        event = epoch.events[0]
+        assert event.violation_found()
+        assert not event.report.verdicts["B"].ok
+        assert event in monitor.evidence.violations()
+
+    def test_dropped_view_does_not_poison_the_cache(self):
+        """Once the fault clears, the same inputs re-verify fresh and
+        come back clean — a transient drop is never served from cache."""
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+        net.transport.set_interceptor(
+            "A",
+            lambda m: None if isinstance(m.payload, ViewPayload) else m,
+        )
+        bad = monitor.run_epoch()
+        net.transport.clear_interceptor("A")
+        assert not bad.violation_free()
+        monitor.resync()
+        good = monitor.run_epoch()
+        assert good.reused == 0 and good.verified == len(good.events)
+        assert good.violation_free()
+        # now clean and cached: the next sweep reuses
+        monitor.resync()
+        assert monitor.run_epoch().reused == len(good.events)
+
+    def test_tampered_view_yields_complaints_not_evidence(self):
+        from repro.pvr.minimum import RecipientView
+
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+
+        def corrupt(message: Message):
+            if message.dst == "B" and isinstance(message.payload, ViewPayload):
+                view = message.payload.view
+                stripped = RecipientView(
+                    vector=view.vector, attestation=None,
+                    disclosures=view.disclosures,
+                )
+                return Message(src=message.src, dst=message.dst,
+                               payload=ViewPayload(stripped))
+            return message
+
+        net.transport.set_interceptor("A", corrupt)
+        epoch = monitor.run_epoch()
+        net.transport.clear_interceptor("A")
+        verdict = epoch.events[0].report.verdicts["B"]
+        assert not verdict.ok
+        assert verdict.evidence() == ()  # nothing transferable: honest A
+        assert verdict.complaints()
+
+
+class TestEvidenceStore:
+    def test_queries(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        monitor.run_epoch()
+        monitor.audit_once(
+            "A", PFX, "B",
+            prover=LongerRouteProver(monitor.keystore), max_length=8,
+        )
+        store = monitor.evidence
+        assert store.by_asn("A") == store.events()
+        assert store.by_asn("B") == ()
+        assert store.by_prefix(PFX) == store.events()
+        assert len(store.violations()) == 1
+        assert not store.violation_free()
+        assert store.by_epoch(1)
+        # out-of-epoch audits never pollute per-epoch queries
+        assert all(e.ok() for e in store.by_epoch(1))
+        assert store.by_epoch(None) == store.violations()
+        summary = store.summary()
+        assert summary["violations"] == 1
+        assert summary["ases"] == ["A"]
+        assert summary["last_epoch"] == 1
+
+    def test_adjudication_on_demand(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        event = monitor.audit_once(
+            "A", PFX, "B",
+            prover=LongerRouteProver(monitor.keystore), max_length=8,
+        )
+        assert event.report.adjudication is None  # lazy until queried
+        rulings = monitor.evidence.adjudicate()
+        assert rulings[event.seq].guilty()
+        assert event.report.adjudication is rulings[event.seq]
+
+    def test_event_stream_subscription(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        seen = []
+        monitor.subscribe(seen.append)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        epoch = monitor.run_epoch()
+        assert seen == list(epoch.events) == list(monitor.events)
+
+
+class TestMultipleDecisionHooks:
+    """Satellite: watch() no longer clobbers an existing decision hook."""
+
+    def test_hooks_stack(self):
+        net = figure1_network()
+        router = net.router("A")
+        legacy_calls, added_calls = [], []
+        router.decision_hook = lambda *a: legacy_calls.append(a)
+        router.add_decision_hook(lambda *a: added_calls.append(a))
+        net.withdraw("O", PFX)
+        net.run_to_quiescence()
+        assert legacy_calls and added_calls
+
+    def test_legacy_assignment_does_not_clobber_audit_plane(self):
+        net = figure1_network()
+        keystore = KeyStore(seed=SEED, key_bits=512)
+        deployment = PVRDeployment(net, keystore, max_length=8)
+        deployment.watch("A")
+        probe = []
+        net.router("A").decision_hook = lambda *a: probe.append(a)
+        scenarios.flap_session("O", "N2")(net)
+        net.run_to_quiescence()
+        assert probe  # the legacy hook fired...
+        report = deployment.run_pending()  # ...and so did the audit plane
+        assert report.rounds
+        assert report.violation_free()
+
+    def test_remove_decision_hook(self):
+        net = figure1_network()
+        router = net.router("A")
+        calls = []
+        hook = router.add_decision_hook(lambda *a: calls.append(a))
+        router.remove_decision_hook(hook)
+        net.withdraw("O", PFX)
+        net.run_to_quiescence()
+        assert not calls
+
+
+class TestDeploymentFacade:
+    def test_rewatch_replaces_instead_of_stacking(self):
+        """The legacy semantics: watch() twice is one watcher, not two."""
+        net = figure1_network()
+        keystore = KeyStore(seed=SEED, key_bits=512)
+        deployment = PVRDeployment(net, keystore, max_length=8)
+        deployment.watch("A")
+        deployment.watch("A")
+        assert len(deployment.monitor.policies()) == 1
+        scenarios.flap_session("O", "N2")(net)
+        net.run_to_quiescence()
+        report = deployment.run_pending()
+        # one round per exported recipient, not two
+        recipients = [r.recipient for r in report.rounds]
+        assert len(recipients) == len(set(recipients))
+
+    def test_run_pending_reuses_on_settled_churn(self):
+        net = figure1_network()
+        keystore = KeyStore(seed=SEED, key_bits=512)
+        deployment = PVRDeployment(net, keystore, max_length=8)
+        deployment.watch("A")
+        scenarios.bounce_session("O", "N2")(net)
+        net.run_to_quiescence()
+        first = deployment.run_pending()
+        assert first.rounds and first.violation_free()
+        scenarios.bounce_session("O", "N2")(net)
+        net.run_to_quiescence()
+        second = deployment.run_pending()
+        assert second.rounds
+        assert all(r.reused for r in second.rounds)
+        assert second.total("signatures") == 0
+
+    def test_parameterized_promise(self):
+        net = figure1_network()
+        keystore = KeyStore(seed=SEED, key_bits=512)
+        deployment = PVRDeployment(
+            net, keystore, max_length=8,
+            promise=ExistentialPromise(("N1", "N2", "N3")),
+        )
+        verdicts, stats = deployment.monitored_round("A", PFX, "B")
+        assert all(v.ok for v in verdicts.values())
+        event = deployment.monitor.events[-1]
+        assert event.report.variant == "existential"
+
+    def test_per_round_promise_override(self):
+        net = figure1_network()
+        keystore = KeyStore(seed=SEED, key_bits=512)
+        deployment = PVRDeployment(net, keystore, max_length=8)
+        verdicts, _ = deployment.monitored_round(
+            "A", PFX, "B",
+            promise=ShortestFromSubset(("N1", "N2")),
+        )
+        assert all(v.ok for v in verdicts.values())
+        assert deployment.monitor.events[-1].report.variant == "graph"
+
+
+class TestBackendPassthrough:
+    def test_thread_backend_identical_to_serial(self):
+        """backend= reaches the PR-2 execution layer; parallel epochs
+        are observably identical to serial ones."""
+        results = {}
+        for backend in (None, "thread"):
+            net = figure1_network()
+            monitor = make_monitor(net, backend=backend)
+            monitor.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            epoch = monitor.run_epoch()
+            results[backend] = (
+                epoch.events[0].report.verdicts,
+                epoch.signatures,
+                epoch.verifications,
+            )
+        assert results[None] == results["thread"]
+
+
+class TestLongLivedHygiene:
+    def test_pvr_inboxes_do_not_accumulate_across_epochs(self):
+        """A continuous monitor must not leak wire payloads: every round
+        drains its announcements, commitments and views."""
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        for _ in range(3):
+            monitor.resync()
+            scenarios.bounce_session("O", "N2")(net)
+            net.run_to_quiescence()
+            monitor.run_epoch()
+        assert all(
+            net.router(asn).pvr_inbox == [] for asn in net.as_names()
+        )
+
+    def test_default_policy_names_stay_unique_after_removal(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        first = monitor.policy("A", ShortestRoute(), max_length=8)
+        second = monitor.policy("A", ShortestRoute(), max_length=8)
+        monitor.remove_policy(first)
+        third = monitor.policy("A", ShortestRoute(), max_length=8)
+        assert second.name != third.name
+
+    def test_changed_chooser_invalidates_the_cache(self):
+        """The export chooser is part of the contract's behaviour: a
+        re-registered same-name policy with a cheating chooser must be
+        re-verified, never served the honest chooser's cached verdicts."""
+        from repro.pvr.crosscheck import discriminating_chooser
+
+        net = figure1_network()
+        net.add_as("B2")
+        net.connect("A", "B2")
+        net.routers["A"].start_session(net.transport, "B2")
+        net.run_to_quiescence()
+        monitor = make_monitor(net)
+        honest = monitor.policy("A", NoLongerThanOthers(), name="p4",
+                                max_length=8)
+        assert monitor.run_epoch().violation_free()
+        monitor.remove_policy(honest)
+        monitor.policy("A", NoLongerThanOthers(), name="p4", max_length=8,
+                       chooser=discriminating_chooser("B"))
+        monitor.resync()
+        epoch = monitor.run_epoch()
+        assert epoch.reused == 0
+        assert not epoch.violation_free()
+
+    def test_duplicate_user_supplied_names_rejected(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), name="p", max_length=8)
+        with pytest.raises(ValueError):
+            monitor.policy("A", ShortestRoute(), name="p", max_length=8)
+
+    def test_detach_unhooks_the_network(self):
+        net = figure1_network()
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), max_length=8)
+        epoch = monitor.run_epoch()
+        monitor.detach()
+        assert net.router("A").decision_hooks() == ()
+        scenarios.flap_session("O", "N2")(net)
+        net.run_to_quiescence()
+        assert not monitor.pending()  # churn no longer wakes it
+        # the trail survives for offline queries
+        assert monitor.evidence.by_epoch(epoch.epoch)
+        with pytest.raises(MonitorError):
+            monitor.attach(net)
+
+
+class TestChurnRunner:
+    def test_bounded_run_still_audits_every_policy(self):
+        """A work bound defers — it must never leave part of the audit
+        surface unverified at the end of a churn run."""
+        from repro.audit import run_churn
+
+        result = run_churn("churn-64as", key_bits=512, max_work=2)
+        assert not result.monitor.pending()
+        audited = {e.asn for e in result.monitor.events}
+        registered = {p.asn for p in result.monitor.policies()}
+        assert audited == registered
+        assert result.violation_free()
+
+    def test_run_churn_by_name(self):
+        from repro.audit import run_churn
+
+        result = run_churn("churn-steady", key_bits=512)
+        assert result.violation_free()
+        assert result.reused > 0
+        # every epoch after the cold start is pure reuse
+        assert all(e.signatures == 0 for e in result.epochs[1:])
+        summary = result.summary()
+        assert summary["events"] == result.events
+        assert summary["pending"] == 0

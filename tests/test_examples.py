@@ -46,6 +46,13 @@ class TestExamples:
         out = run_example("detect_violation.py")
         assert "GUILTY" in out
         assert "dismissed" in out  # the false accusation collapses
+        assert "violations on file:     9" in out  # the store's tally
+
+    def test_continuous_audit(self):
+        out = run_example("continuous_audit.py")
+        assert "0 verified, 2 reused, 0 signatures" in out
+        assert "violation detected by: B" in out
+        assert "GUILTY (shorter-available)" in out
 
     def test_internet_scale(self):
         out = run_example("internet_scale.py")
