@@ -28,7 +28,7 @@ scenarios.
 
 from repro.audit.churn import ChurnRunResult, run_churn
 from repro.audit.events import EpochReport, VerdictEvent
-from repro.audit.monitor import Monitor
+from repro.audit.monitor import EpochPlan, Monitor, PlannedItem
 from repro.audit.policy import AuditPolicy
 from repro.audit.store import EvidenceStore
 from repro.audit.wire import (
@@ -47,9 +47,11 @@ __all__ = [
     "ChurnRunResult",
     "CommitPayload",
     "DeploymentReport",
+    "EpochPlan",
     "EpochReport",
     "EvidenceStore",
     "Monitor",
+    "PlannedItem",
     "RoundStats",
     "VerdictEvent",
     "ViewPayload",

@@ -125,8 +125,15 @@ def main(argv=None) -> int:
         )
 
     if args.json:
+        # schema-versioned like the repro.bench reports, so downstream
+        # tooling can detect incompatible summary layouts
+        document = {
+            "schema": "repro.audit/summary",
+            "schema_version": 1,
+            **summary,
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
+            json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"[audit] summary written to {args.json}")
 

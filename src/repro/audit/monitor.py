@@ -38,6 +38,7 @@ inside the BGP event loop (the same constraint the legacy
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bgp.network import BGPNetwork
@@ -45,7 +46,7 @@ from repro.bgp.prefix import Prefix
 from repro.crypto.keystore import KeyStore
 from repro.promises.spec import Promise, ShortestRoute
 from repro.pvr.minimum import DEFAULT_MAX_LENGTH
-from repro.pvr.session import PromiseSpec
+from repro.pvr.session import PromiseSpec, SessionReport
 
 from repro.audit.events import EpochReport, VerdictEvent
 from repro.audit.policy import (
@@ -59,6 +60,45 @@ from repro.audit.wire import RoundStats, round_randomness, run_wire_round
 
 #: cache key: one (AS, prefix, policy, recipients) audited tuple
 TupleKey = Tuple[str, Optional[Prefix], str, Tuple[str, ...]]
+
+
+@dataclass
+class PlannedItem:
+    """One scheduled tuple of an epoch plan.
+
+    Fresh work carries a pre-allocated ``round`` (so an external
+    executor — the sharded service — reproduces exactly the nonce
+    stream a serial :meth:`Monitor.run_epoch` would have used); a cache
+    hit instead carries ``previous``, the verdict event it re-emits.
+    """
+
+    item: WorkItem
+    chooser: Optional[Callable]
+    fingerprint: Tuple
+    round: Optional[int] = None
+    previous: Optional[VerdictEvent] = None
+
+    @property
+    def fresh(self) -> bool:
+        return self.previous is None
+
+
+@dataclass
+class EpochPlan:
+    """The deterministic schedule of one epoch, before any crypto runs.
+
+    ``entries`` are in canonical scan order (dirty pairs in churn order,
+    policies in registration order) — the order round numbers and event
+    sequence numbers are allocated in, whatever executes the plan.
+    """
+
+    epoch: int
+    entries: List[PlannedItem] = field(default_factory=list)
+    deferred: List[Tuple[str, Prefix]] = field(default_factory=list)
+
+    def fresh_entries(self) -> List[Tuple[int, PlannedItem]]:
+        """(plan position, entry) for every entry needing verification."""
+        return [(i, e) for i, e in enumerate(self.entries) if e.fresh]
 
 
 class MonitorError(RuntimeError):
@@ -93,6 +133,7 @@ class Monitor:
         max_work_per_epoch: Optional[int] = None,
         rng_seed: object = 2011,
         store: Optional[EvidenceStore] = None,
+        pair_filter: Optional[Callable[[str, Prefix], bool]] = None,
     ) -> None:
         self.keystore = keystore if keystore is not None else KeyStore(
             seed=rng_seed, key_bits=512
@@ -100,6 +141,12 @@ class Monitor:
         self.backend = backend
         self.max_work_per_epoch = _check_work_bound(max_work_per_epoch)
         self.rng_seed = rng_seed
+        # shard-aware construction: a monitor given a pair_filter owns
+        # only the (AS, prefix) pairs its filter accepts — churn outside
+        # its shard of the policy space is ignored at mark() time, so N
+        # filtered monitors over one network partition the audit load
+        # (see repro.serve.sharding.shard_filter)
+        self.pair_filter = pair_filter
         self.network: Optional[BGPNetwork] = None
         self._detached = False
         self.evidence = store if store is not None else EvidenceStore(
@@ -247,7 +294,10 @@ class Monitor:
     def mark(self, asn: str, prefix: Prefix) -> None:
         """Mark (``asn``, ``prefix``) dirty for the next epoch.  Fresh
         churn resets any resume state a deferred pair carried: every
-        tuple of the pair is audited again."""
+        tuple of the pair is audited again.  A pair outside the
+        monitor's ``pair_filter`` (its shard) is silently ignored."""
+        if self.pair_filter is not None and not self.pair_filter(asn, prefix):
+            return
         self._dirty[(asn, prefix)] = None
 
     def resync(self) -> int:
@@ -284,6 +334,20 @@ class Monitor:
         pair are not revisited (and not re-emitted) unless new churn
         marks the pair again.
         """
+        return self.execute_plan(self.plan_epoch(max_work))
+
+    def plan_epoch(self, max_work: Optional[int] = None) -> EpochPlan:
+        """Turn the accumulated churn into a deterministic epoch plan.
+
+        Planning does everything but the crypto: the dirty-pair scan,
+        work-item materialization, the cache-reuse decision per tuple,
+        round-number allocation for fresh work, and work-bound deferral
+        — all state the scheduler owns is updated here.  The plan can
+        then be executed serially (:meth:`execute_plan`) or fanned out
+        across shard workers (:mod:`repro.serve`): both record through
+        the same code path, so verdicts, rounds and sequence numbers
+        cannot depend on who executes.
+        """
         network = self._require_network()
         budget = (
             _check_work_bound(max_work)
@@ -291,10 +355,7 @@ class Monitor:
             else self.max_work_per_epoch
         )
         self.epoch += 1
-        report = EpochReport(epoch=self.epoch)
-        sign0 = self.keystore.sign_count
-        verify0 = self.keystore.verify_count
-        started = time.perf_counter()
+        plan = EpochPlan(epoch=self.epoch)
 
         queue = list(self._dirty.items())
         self._dirty.clear()
@@ -312,17 +373,23 @@ class Monitor:
                     if key in done:
                         continue  # audited earlier in this churn burst
                     fingerprint = (item.fingerprint(), policy.chooser)
-                    if (
-                        budget is not None
-                        and fresh >= budget
-                        and not self._would_reuse(item, fingerprint)
-                    ):
+                    cached = self._cache.get(key)
+                    reusable = cached is not None and cached[0] == fingerprint
+                    if budget is not None and fresh >= budget and not reusable:
                         exhausted = True
                         break
-                    event = self._process(item, policy, fingerprint)
-                    fresh += not event.reused
+                    planned = PlannedItem(
+                        item=item,
+                        chooser=policy.chooser,
+                        fingerprint=fingerprint,
+                    )
+                    if reusable:
+                        planned.previous = cached[1]
+                    else:
+                        planned.round = self._next_round()
+                        fresh += 1
                     done.add(key)
-                    report.events.append(event)
+                    plan.entries.append(planned)
                 if exhausted:
                     break
             if exhausted:
@@ -334,12 +401,29 @@ class Monitor:
                     deferred[pair] = state
                 break
         if deferred:
-            report.deferred.extend(deferred)
+            plan.deferred.extend(deferred)
             # deferred work re-enters the queue ahead of new churn (a
             # fresh mark() during the epoch overrides its resume state)
             deferred.update(self._dirty)
             self._dirty = deferred
+        return plan
 
+    def execute_plan(self, plan: EpochPlan) -> EpochReport:
+        """Execute a plan serially, in order, over the live network."""
+        report = EpochReport(epoch=plan.epoch)
+        report.deferred.extend(plan.deferred)
+        sign0 = self.keystore.sign_count
+        verify0 = self.keystore.verify_count
+        started = time.perf_counter()
+        for entry in plan.entries:
+            if entry.fresh:
+                session_report, stats = self.run_planned_round(entry)
+                event = self.record_planned(
+                    entry, session_report, stats, epoch=plan.epoch
+                )
+            else:
+                event = self.emit_reused(entry, epoch=plan.epoch)
+            report.events.append(event)
         report.signatures = self.keystore.sign_count - sign0
         report.verifications = self.keystore.verify_count - verify0
         report.wall_seconds = time.perf_counter() - started
@@ -368,29 +452,11 @@ class Monitor:
     def _cache_key(self, item: WorkItem) -> TupleKey:
         return (item.asn, item.prefix, item.policy, item.spec.recipients)
 
-    def _would_reuse(self, item: WorkItem, fingerprint: Tuple) -> bool:
-        cached = self._cache.get(self._cache_key(item))
-        return cached is not None and cached[0] == fingerprint
-
-    def _process(
-        self,
-        item: WorkItem,
-        policy: AuditPolicy,
-        fingerprint: Optional[Tuple] = None,
-    ) -> VerdictEvent:
-        key = self._cache_key(item)
-        if fingerprint is None:
-            # the chooser is part of the contract's behaviour (it picks
-            # the cross-check exports), so it is part of the reuse key —
-            # a same-name policy re-registered with a different chooser
-            # must never be served the old chooser's verdicts
-            fingerprint = (item.fingerprint(), policy.chooser)
-        cached = self._cache.get(key)
-        if cached is not None and cached[0] == fingerprint:
-            return self._reuse(item, cached[1])
-        event = self._verify(item, chooser=policy.chooser, epoch=self.epoch)
+    def _absorb(self, entry: PlannedItem, event: VerdictEvent) -> None:
+        """Fold a freshly executed plan entry into the reuse cache."""
+        key = self._cache_key(entry.item)
         if event.ok():
-            self._cache[key] = (fingerprint, event)
+            self._cache[key] = (entry.fingerprint, event)
         else:
             # never serve a violation from the cache: a verdict that
             # failed (a cheat, or a dropped/tampered wire message) is not
@@ -398,14 +464,14 @@ class Monitor:
             # an explicit resync()) re-proves it fresh, so a transient
             # transport fault cannot poison the incremental path
             self._cache.pop(key, None)
-        return event
 
-    def _reuse(self, item: WorkItem, previous: VerdictEvent) -> VerdictEvent:
-        """Serve an unchanged tuple from the cache: same report, same
-        round, zero crypto operations."""
+    def emit_reused(self, entry: PlannedItem, *, epoch: int) -> VerdictEvent:
+        """Serve an unchanged plan entry from the cache: same report,
+        same round, zero crypto operations."""
+        item, previous = entry.item, entry.previous
         event = VerdictEvent(
             seq=self.evidence.next_seq(),
-            epoch=self.epoch,
+            epoch=epoch,
             asn=item.asn,
             prefix=item.prefix,
             policy=item.policy,
@@ -426,16 +492,69 @@ class Monitor:
         )
         return self.evidence.record(event)
 
-    def _verify(
+    def record_planned(
+        self,
+        entry: PlannedItem,
+        report: SessionReport,
+        stats: RoundStats,
+        *,
+        epoch: int,
+    ) -> VerdictEvent:
+        """Record one externally executed fresh plan entry.
+
+        The sharded service's merger calls this in plan order, so the
+        evidence store's sequence numbers, the reuse cache and the
+        violation-never-cached rule behave exactly as a serial
+        :meth:`execute_plan` — the sharding layer cannot invent its own
+        recording semantics.
+        """
+        item = entry.item
+        event = VerdictEvent(
+            seq=self.evidence.next_seq(),
+            epoch=epoch,
+            asn=item.asn,
+            prefix=item.prefix,
+            policy=item.policy,
+            spec=item.spec,
+            round=entry.round,
+            routes=dict(item.routes),
+            report=report,
+            stats=stats,
+        )
+        self.evidence.record(event)
+        self._absorb(entry, event)
+        return event
+
+    def run_planned_round(
+        self, entry: PlannedItem
+    ) -> Tuple[SessionReport, RoundStats]:
+        """One fresh plan entry's wire round, *without* recording.
+
+        The sharded service uses this for entries it cannot ship to a
+        worker (custom-chooser policies); the merger records the result
+        in plan order alongside the shard outcomes."""
+        network = self._require_network()
+        return run_wire_round(
+            network,
+            self.keystore,
+            entry.item.spec,
+            entry.item.routes,
+            round=entry.round,
+            chooser=entry.chooser,
+            backend=self.backend,
+            random_bytes=round_randomness(self.rng_seed, entry.round),
+        )
+
+    def _verify_round(
         self,
         item: WorkItem,
+        round_no: int,
         *,
         prover: object = None,
         chooser: Optional[Callable] = None,
         epoch: Optional[int] = None,
     ) -> VerdictEvent:
         network = self._require_network()
-        round_no = self._next_round()
         report, stats = run_wire_round(
             network,
             self.keystore,
@@ -460,6 +579,22 @@ class Monitor:
             stats=stats,
         )
         return self.evidence.record(event)
+
+    def _verify(
+        self,
+        item: WorkItem,
+        *,
+        prover: object = None,
+        chooser: Optional[Callable] = None,
+        epoch: Optional[int] = None,
+    ) -> VerdictEvent:
+        return self._verify_round(
+            item,
+            self._next_round(),
+            prover=prover,
+            chooser=chooser,
+            epoch=epoch,
+        )
 
     # -- one-shot audits -----------------------------------------------------
 

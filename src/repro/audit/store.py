@@ -11,7 +11,19 @@ something).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import dataclasses
+from collections import deque
+from itertools import chain
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bgp.prefix import Prefix
 from repro.crypto.keystore import KeyStore
@@ -23,11 +35,34 @@ from repro.audit.events import VerdictEvent
 
 
 class EvidenceStore:
-    """Append-only store of verdict events with query and adjudication."""
+    """Append-only store of verdict events with query and adjudication.
 
-    def __init__(self, keystore: Optional[KeyStore] = None) -> None:
+    ``max_events`` bounds memory under sustained churn: when the trail
+    exceeds the bound, the *oldest clean* verdicts are evicted first and
+    violations are pinned — an operator can always adjudicate every
+    recorded violation, however long the service has been up.  (A store
+    holding more than ``max_events`` pinned violations exceeds the bound
+    rather than discard evidence.)  ``evicted`` counts what was dropped.
+    """
+
+    def __init__(
+        self,
+        keystore: Optional[KeyStore] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.keystore = keystore
-        self._events: List[VerdictEvent] = []
+        self.max_events = max_events
+        self.evicted = 0
+        # two segments, both in recording order: ``_pinned`` holds
+        # violations that sank past the eviction horizon (kept forever),
+        # ``_tail`` everything newer.  Eviction pops from the tail's
+        # left, so each event is examined at most once — amortized O(1)
+        # per record, however long the service runs
+        self._pinned: List[VerdictEvent] = []
+        self._tail: deque = deque()
         self._subscribers: List[Callable[[VerdictEvent], None]] = []
         self._seq = 0
 
@@ -41,10 +76,75 @@ class EvidenceStore:
         return self._seq
 
     def record(self, event: VerdictEvent) -> VerdictEvent:
-        self._events.append(event)
+        self._tail.append(event)
+        self._evict_overflow()
         for subscriber in self._subscribers:
             subscriber(event)
         return event
+
+    def _evict_overflow(self) -> None:
+        if self.max_events is None:
+            return
+        while len(self) > self.max_events and self._tail:
+            oldest = self._tail[0]
+            if oldest.violation_found():
+                # pinned: sinks below the eviction horizon for good
+                self._pinned.append(self._tail.popleft())
+                continue
+            self._tail.popleft()
+            self.evicted += 1
+
+    def _all(self) -> Iterator[VerdictEvent]:
+        return chain(self._pinned, self._tail)
+
+    def absorb(self, events: Iterable[VerdictEvent]) -> List[VerdictEvent]:
+        """Fold foreign events (another store's stream) into this one.
+
+        Each event is re-recorded under a fresh local sequence number,
+        in the order given — the caller owns the merge order.  This is
+        the primitive behind :meth:`merged` and the sharded service's
+        per-shard stream folding.
+        """
+        return [
+            self.record(dataclasses.replace(event, seq=self.next_seq()))
+            for event in events
+        ]
+
+    @classmethod
+    def merged(
+        cls,
+        stores: Sequence["EvidenceStore"],
+        *,
+        keystore: Optional[KeyStore] = None,
+        key: Optional[Callable[[VerdictEvent], tuple]] = None,
+        max_events: Optional[int] = None,
+    ) -> "EvidenceStore":
+        """One queryable view over several stores' trails.
+
+        Events are interleaved in a deterministic canonical order —
+        by default ``(epoch, asn, prefix, policy, round)``, which is
+        independent of which shard recorded what first — and re-seq'd
+        into the merged store.  Used to fold the per-shard stores of
+        pair-filtered monitors (see
+        :func:`repro.serve.sharding.shard_filter`) into a single view.
+        """
+        if key is None:
+            key = lambda e: (
+                e.epoch if e.epoch is not None else 0,
+                e.asn,
+                str(e.prefix),
+                e.policy,
+                e.round,
+            )
+        merged = cls(
+            keystore if keystore is not None else next(
+                (s.keystore for s in stores if s.keystore is not None), None
+            ),
+            max_events=max_events,
+        )
+        events = [e for store in stores for e in store.events()]
+        merged.absorb(sorted(events, key=key))
+        return merged
 
     def subscribe(self, callback: Callable[[VerdictEvent], None]) -> None:
         """Call ``callback`` with every subsequently recorded event."""
@@ -53,29 +153,29 @@ class EvidenceStore:
     # -- queries -------------------------------------------------------------
 
     def events(self) -> Tuple[VerdictEvent, ...]:
-        return tuple(self._events)
+        return tuple(self._all())
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._pinned) + len(self._tail)
 
     def by_asn(self, asn: str) -> Tuple[VerdictEvent, ...]:
         """Every event auditing ``asn`` (as the prover under a policy)."""
-        return tuple(e for e in self._events if e.asn == asn)
+        return tuple(e for e in self._all() if e.asn == asn)
 
     def by_prefix(self, prefix: Prefix) -> Tuple[VerdictEvent, ...]:
-        return tuple(e for e in self._events if e.prefix == prefix)
+        return tuple(e for e in self._all() if e.prefix == prefix)
 
     def by_policy(self, policy: str) -> Tuple[VerdictEvent, ...]:
-        return tuple(e for e in self._events if e.policy == policy)
+        return tuple(e for e in self._all() if e.policy == policy)
 
     def by_epoch(self, epoch: Optional[int]) -> Tuple[VerdictEvent, ...]:
         """Events of one epoch; ``None`` selects out-of-epoch audits
         (:meth:`~repro.audit.monitor.Monitor.audit_once` rounds)."""
-        return tuple(e for e in self._events if e.epoch == epoch)
+        return tuple(e for e in self._all() if e.epoch == epoch)
 
     def violations(self) -> Tuple[VerdictEvent, ...]:
         """Every event whose report flags a violation or equivocation."""
-        return tuple(e for e in self._events if e.violation_found())
+        return tuple(e for e in self._all() if e.violation_found())
 
     def violation_free(self) -> bool:
         return not self.violations()
@@ -83,7 +183,7 @@ class EvidenceStore:
     def evidence(self) -> Tuple[Evidence, ...]:
         """All transferable evidence across the recorded trail."""
         found: List[Evidence] = []
-        for event in self._events:
+        for event in self._all():
             found.extend(event.report.all_evidence())
         return tuple(found)
 
@@ -117,9 +217,10 @@ class EvidenceStore:
     # -- summaries -----------------------------------------------------------
 
     def summary(self) -> Dict[str, object]:
-        events = self._events
+        events = self.events()
         return {
             "events": len(events),
+            "evicted": self.evicted,
             "verified": sum(1 for e in events if not e.reused),
             "reused": sum(1 for e in events if e.reused),
             "violations": len(self.violations()),

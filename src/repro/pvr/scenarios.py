@@ -525,6 +525,65 @@ def figure1_network(prefix: Prefix = _CHURN_PFX):
     return net
 
 
+def serve_network(prefix_count: int = 8):
+    """The serving-layer workload substrate: Figure 1, many prefixes.
+
+    The Figure 1 topology plus a second customer ``B2`` at A (so the
+    promise-4 cross-check has two comparable recipients), with
+    ``prefix_count`` prefixes all originated at O — every (A, prefix)
+    pair is a distinct shard key, which is what makes the sharded
+    service's partition (and the load generator's hot-prefix Zipf skew)
+    observable.  Returns ``(network, prefixes)`` with ``prefixes`` in
+    rank order (index 0 is the load generator's hot head).
+    """
+    if prefix_count < 1:
+        raise ValueError(f"prefix_count must be >= 1, got {prefix_count}")
+    if prefix_count > 200:
+        raise ValueError("prefix_count > 200 leaves 10.x space")
+    from repro.bgp.network import BGPNetwork
+
+    net = BGPNetwork()
+    for asn in ("O", "X", "N1", "N2", "N3", "A", "B", "B2"):
+        net.add_as(asn)
+    net.connect("O", "X")
+    net.connect("X", "N1")
+    net.connect("X", "N3")
+    net.connect("O", "N2")
+    for n in ("N1", "N2", "N3"):
+        net.connect(n, "A")
+    net.connect("A", "B")
+    net.connect("A", "B2")
+    net.establish_sessions()
+    prefixes = tuple(
+        Prefix.parse(f"10.{i}.0.0/16") for i in range(prefix_count)
+    )
+    for prefix in prefixes:
+        net.originate("O", prefix)
+    net.run_to_quiescence()
+    return net, prefixes
+
+
+@register_churn(
+    "churn-multiprefix",
+    "The serving substrate under churn: four prefixes at O, shortest-"
+    "route audited at A across a session flap and a re-origination",
+)
+def _churn_multiprefix() -> ChurnScenario:
+    def build():
+        return serve_network(4)[0]
+
+    return ChurnScenario(
+        build=build,
+        prefix=Prefix.parse("10.0.0.0/16"),
+        policies=((("A"), ShortestRoute(), {"max_length": 8}),),
+        churn=(
+            flap_session("O", "N2"),
+            restore_session("O", "N2"),
+            reoriginate("O", Prefix.parse("10.1.0.0/16")),
+        ),
+    )
+
+
 @register_churn(
     "churn-fig1",
     "Figure 1 under churn: the O-N2 session flaps while A's shortest-"

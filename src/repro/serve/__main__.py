@@ -1,0 +1,222 @@
+"""The serving-layer CLI: ``python -m repro.serve``.
+
+Usage::
+
+    python -m repro.serve --shards 4 --requests 200
+    python -m repro.serve --shards 2 --duration 10 --rate 40 \\
+        --violations 10 --json serve-metrics.json
+    python -m repro.serve --simnet-latency 0.05 --drop-rate 0.1
+
+Builds the multi-prefix serving scenario
+(:func:`repro.pvr.scenarios.serve_network`), starts a
+:class:`~repro.serve.service.VerificationService` with the requested
+shard count, and drives the open-loop load generator against it —
+optionally through a :class:`~repro.serve.loadgen.SimnetGateway` so
+link latency and drops perturb admission.  Prints per-request-type
+latency percentiles and the epoch/shard/parity counters; ``--json``
+writes the schema-versioned metrics snapshot.
+
+Exit status: 0 on success, 1 when any verdict-parity self-check failed
+(or request futures errored), 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.bench.tables import print_table
+from repro.promises.spec import ShortestRoute
+from repro.pvr.execution import shutdown_backends
+
+from repro.serve.loadgen import (
+    LoadProfile,
+    ServeWorkload,
+    SimnetGateway,
+    build_schedule,
+    run_open_loop,
+)
+from repro.serve.service import VerificationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the sharded verification service under an "
+        "open-loop generated load and report latency percentiles.",
+    )
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="worker shards (default: 2)")
+    parser.add_argument("--prefixes", type=int, default=8, metavar="P",
+                        help="prefixes originated in the scenario "
+                        "(default: 8)")
+    parser.add_argument("--requests", type=int, default=None, metavar="N",
+                        help="total requests (default: 100, or "
+                        "duration x rate)")
+    parser.add_argument("--duration", type=float, default=None, metavar="S",
+                        help="target run length in seconds (with --rate)")
+    parser.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="open-loop arrival rate; omit to fire "
+                        "back-to-back")
+    parser.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                        help="admission queue bound (default: 64)")
+    parser.add_argument("--batch-max", type=int, default=16, metavar="N",
+                        help="max requests coalesced per dispatch "
+                        "(default: 16)")
+    parser.add_argument("--max-events", type=int, default=None, metavar="N",
+                        help="evidence-store eviction bound")
+    parser.add_argument("--violations", type=int, default=0, metavar="N",
+                        help="inject a promise violation every N churn "
+                        "requests (default: never)")
+    parser.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                        help="hot-prefix skew exponent (default: 1.1)")
+    parser.add_argument("--simnet-latency", type=float, default=None,
+                        metavar="S", help="route requests over a simnet "
+                        "link with this latency")
+    parser.add_argument("--drop-rate", type=float, default=0.0, metavar="P",
+                        help="simnet gateway drop probability "
+                        "(implies a gateway)")
+    parser.add_argument("--parity-sample", type=int, default=4, metavar="K",
+                        help="re-prove every Kth fresh verdict as a "
+                        "parity self-check; 0 disables (default: 4)")
+    parser.add_argument("--backend", default=None, metavar="SPEC",
+                        help='shard executor backend override '
+                        '("process:4", "thread", "serial")')
+    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
+                        help="RSA modulus size (default: 512)")
+    parser.add_argument("--seed", type=int, default=2011,
+                        help="keystore / nonce / workload seed "
+                        "(default: 2011)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the metrics snapshot here")
+    return parser
+
+
+async def serve_and_load(args) -> tuple:
+    from repro.pvr.scenarios import serve_network
+
+    network, prefixes = serve_network(args.prefixes)
+    service = VerificationService(
+        network,
+        shards=args.shards,
+        key_bits=args.key_bits,
+        rng_seed=args.seed,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        max_events=args.max_events,
+        backend=args.backend,
+        parity_sample=args.parity_sample,
+    )
+    service.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+
+    requests = args.requests
+    if requests is None:
+        if args.duration is not None and args.rate is not None:
+            requests = max(1, int(args.duration * args.rate))
+        else:
+            requests = 100
+    profile = LoadProfile(
+        requests=requests,
+        rate=args.rate,
+        zipf_s=args.zipf,
+        violation_every=args.violations,
+        seed=args.seed,
+    )
+    workload = ServeWorkload(
+        prefixes=prefixes,
+        flappable=(("O", "N2"), ("X", "N1")),
+        violator=("A", "B") if args.violations else None,
+    )
+    gateway = None
+    if args.simnet_latency is not None or args.drop_rate > 0:
+        gateway = SimnetGateway(
+            latency=(
+                args.simnet_latency
+                if args.simnet_latency is not None
+                else 0.02
+            ),
+            drop_rate=args.drop_rate,
+            seed=args.seed,
+        )
+
+    await service.start()
+    try:
+        schedule = build_schedule(profile, workload)
+        report = await run_open_loop(service, schedule, gateway=gateway)
+    finally:
+        await service.stop()
+    return service, report
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.prefixes < 1:
+        print(f"error: --prefixes must be >= 1, got {args.prefixes}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        service, report = asyncio.run(serve_and_load(args))
+    finally:
+        shutdown_backends()
+    metrics = service.metrics
+    snapshot = metrics.snapshot()
+
+    print_table(
+        f"request latency — {args.shards} shard(s)",
+        ["type", "admitted", "rejected", "dropped", "completed",
+         "p50 ms", "p90 ms", "p99 ms", "max ms"],
+        metrics.table_rows(),
+    )
+    epochs = snapshot["epochs"]
+    probes = snapshot["probes"]
+    print_table(
+        "epoch pipeline",
+        ["epochs", "coalesced", "events", "verified", "reused",
+         "violations", "probes", "caught", "evicted"],
+        [(epochs["count"], epochs["coalesced_requests"], epochs["events"],
+          epochs["verified"], epochs["reused"], epochs["violations"],
+          probes["count"], probes["violations"],
+          service.evidence.evicted)],
+    )
+    shard_rows = sorted(
+        snapshot["sharding"]["events_per_shard"].items(),
+        key=lambda kv: int(kv[0]),
+    )
+    if shard_rows:
+        print_table(
+            "events per shard (hot-prefix skew)",
+            ["shard", "fresh verifications"],
+            shard_rows,
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[serve] metrics written to {args.json}")
+
+    parity = snapshot["parity"]
+    print(f"[serve] {report.delivered}/{report.offered} requests admitted "
+          f"({report.rejected} rejected, {report.dropped} dropped in "
+          f"transit); parity checks: {parity['checked']} run, "
+          f"{parity['failed']} failed")
+    if report.errors:
+        print(f"[serve] FAIL: {len(report.errors)} request(s) errored; "
+              f"first: {report.errors[0]!r}", file=sys.stderr)
+        return 1
+    if parity["failed"]:
+        print(f"[serve] FAIL: {parity['failed']} verdict-parity check(s) "
+              f"failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

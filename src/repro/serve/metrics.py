@@ -1,0 +1,253 @@
+"""Serving metrics: throughput, tail latency, admission accounting.
+
+The serving layer's product is a latency distribution, not a mean: an
+audit plane in front of BGP churn is judged by what its slowest
+requests see.  :class:`LatencySeries` keeps raw samples and answers
+nearest-rank percentiles exactly (no streaming sketch — sample counts
+here are bounded by the workload, and exactness keeps the bench
+experiments reproducible to the sample).  :class:`ServeMetrics` is the
+service-wide ledger: per-request-type admission counters and latency
+series, per-shard event counts (hot-shard skew), epoch/coalescing
+counters, and the verdict-parity self-check tallies the CI smoke job
+gates on.  ``snapshot()`` emits the schema-versioned JSON document the
+CLI writes and CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LatencySeries", "ServeMetrics", "SCHEMA", "SCHEMA_VERSION"]
+
+SCHEMA = "repro.serve/metrics"
+SCHEMA_VERSION = 1
+
+#: the percentiles every snapshot reports
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class LatencySeries:
+    """Raw latency samples with exact nearest-rank percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative: {seconds}")
+        self._samples.append(seconds)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ordered(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile: the smallest sample ≥ p% of the
+        distribution.  ``None`` on an empty series."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = self._ordered()
+        if not ordered:
+            return None
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def mean(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> Optional[float]:
+        return self._ordered()[-1] if self._samples else None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": len(self._samples),
+            "mean_s": self.mean(),
+            "max_s": self.max(),
+            **{
+                f"p{p:g}_s": self.percentile(p)
+                for p in PERCENTILES
+            },
+        }
+
+
+class _TypeMetrics:
+    """Counters and series for one request type."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+        self.dropped = 0
+        self.completed = 0
+        self.latency = LatencySeries()   # enqueue (+ net delay) -> done
+        self.queue_delay = LatencySeries()  # enqueue -> dispatch
+        self.service = LatencySeries()   # dispatch -> done
+
+
+class ServeMetrics:
+    """The service-wide ledger, shared by service, loadgen and CLI."""
+
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+        self._types: Dict[str, _TypeMetrics] = {}
+        # epoch pipeline
+        self.epochs = 0
+        self.coalesced_requests = 0
+        self.events = 0
+        self.verified = 0
+        self.reused = 0
+        self.violations = 0
+        self.deferred = 0
+        # out-of-epoch Byzantine probes (the loadgen's violation injection)
+        self.probes = 0
+        self.probe_violations = 0
+        # sharding
+        self.shards = 0
+        self.shard_events: Dict[int, int] = {}
+        # verdict-parity self-checks (CI gates on failed == 0)
+        self.parity_checked = 0
+        self.parity_failed = 0
+
+    def type_metrics(self, kind: str) -> _TypeMetrics:
+        return self._types.setdefault(kind, _TypeMetrics())
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, kind: str) -> None:
+        self.type_metrics(kind).admitted += 1
+
+    def reject(self, kind: str) -> None:
+        self.type_metrics(kind).rejected += 1
+
+    def drop(self, kind: str) -> None:
+        """A request lost in transit (the simnet gateway's drops)."""
+        self.type_metrics(kind).dropped += 1
+
+    def complete(
+        self,
+        kind: str,
+        *,
+        latency: float,
+        queue_delay: float,
+        service: float,
+    ) -> None:
+        tm = self.type_metrics(kind)
+        tm.completed += 1
+        tm.latency.add(latency)
+        tm.queue_delay.add(queue_delay)
+        tm.service.add(service)
+
+    # -- the epoch pipeline -------------------------------------------------
+
+    def note_epoch(self, report, *, coalesced: int = 1) -> None:
+        """Absorb one :class:`~repro.audit.events.EpochReport`."""
+        self.epochs += 1
+        self.coalesced_requests += coalesced
+        self.events += len(report.events)
+        self.verified += report.verified
+        self.reused += report.reused
+        self.violations += len(report.violations())
+        self.deferred += len(report.deferred)
+
+    def note_probes(self, events) -> None:
+        """Absorb out-of-epoch audit probes (violation injection)."""
+        self.probes += len(events)
+        self.probe_violations += sum(
+            1 for e in events if e.violation_found()
+        )
+
+    def note_shard(self, shard: int, events: int) -> None:
+        self.shard_events[shard] = self.shard_events.get(shard, 0) + events
+
+    def note_parity(self, checked: int, failed: int) -> None:
+        self.parity_checked += checked
+        self.parity_failed += failed
+
+    # -- reporting ----------------------------------------------------------
+
+    def window_seconds(self) -> float:
+        return time.perf_counter() - self.started
+
+    def snapshot(self) -> Dict[str, object]:
+        """The schema-versioned, JSON-serializable metrics document."""
+        window = self.window_seconds()
+        requests = {}
+        for kind in sorted(self._types):
+            tm = self._types[kind]
+            requests[kind] = {
+                "admitted": tm.admitted,
+                "rejected": tm.rejected,
+                "dropped": tm.dropped,
+                "completed": tm.completed,
+                "throughput_rps": (
+                    tm.completed / window if window > 0 else None
+                ),
+                "latency": tm.latency.summary(),
+                "queue_delay": tm.queue_delay.summary(),
+                "service_time": tm.service.summary(),
+            }
+        snapshot = {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "window_seconds": window,
+            "requests": requests,
+            "epochs": {
+                "count": self.epochs,
+                "coalesced_requests": self.coalesced_requests,
+                "events": self.events,
+                "verified": self.verified,
+                "reused": self.reused,
+                "violations": self.violations,
+                "deferred": self.deferred,
+            },
+            "probes": {
+                "count": self.probes,
+                "violations": self.probe_violations,
+            },
+            "sharding": {
+                "shards": self.shards,
+                "events_per_shard": {
+                    str(shard): count
+                    for shard, count in sorted(self.shard_events.items())
+                },
+            },
+            "parity": {
+                "checked": self.parity_checked,
+                "failed": self.parity_failed,
+            },
+        }
+        json.dumps(snapshot)  # must always serialize; fail loudly here
+        return snapshot
+
+    def table_rows(self) -> List[tuple]:
+        """CLI rows: one per request type."""
+        rows = []
+        for kind in sorted(self._types):
+            tm = self._types[kind]
+
+            def ms(value):
+                return "-" if value is None else f"{value * 1000:.1f}"
+
+            rows.append((
+                kind,
+                tm.admitted,
+                tm.rejected,
+                tm.dropped,
+                tm.completed,
+                ms(tm.latency.percentile(50)),
+                ms(tm.latency.percentile(90)),
+                ms(tm.latency.percentile(99)),
+                ms(tm.latency.max()),
+            ))
+        return rows

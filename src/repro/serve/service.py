@@ -1,0 +1,545 @@
+"""The verification service: an asyncio front-end over the audit plane.
+
+One long-lived :class:`VerificationService` fronts one
+:class:`~repro.bgp.network.BGPNetwork`'s monitor.  The request
+lifecycle is **admit → shard → verify → merge**:
+
+* **admit** — requests (:class:`ChurnRequest`, :class:`QueryRequest`,
+  :class:`AdjudicateRequest`) enter a bounded admission queue; a full
+  queue rejects at the door (:class:`AdmissionError`) instead of
+  building unbounded backlog — the open-loop load generator measures
+  exactly this behaviour;
+* **shard** — the dispatcher coalesces adjacent churn requests into one
+  verification epoch (:meth:`~repro.audit.monitor.Monitor.plan_epoch`),
+  and the plan's fresh entries are partitioned by (AS, prefix) shard
+  key across the worker pool;
+* **verify** — each shard's batch runs serially inside its worker
+  process with the rounds and nonce streams the planner pre-allocated;
+* **merge** — the merger folds the per-shard outcome streams back into
+  the single evidence store in plan order, byte-identical to an
+  unsharded monitor run (optionally re-proving a sample of fresh
+  verdicts as an online parity self-check).
+
+Queries and adjudication are answered from the merged store between
+epochs, so readers always see a consistent, fully merged trail.
+
+The verification epochs themselves run in a worker thread
+(``asyncio.to_thread``) — the event loop stays responsive to admission
+while RSA grinds — but only one epoch runs at a time: epochs must see a
+quiescent network, exactly the constraint
+:meth:`~repro.audit.monitor.Monitor.run_epoch` documents.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.audit.events import EpochReport
+from repro.audit.monitor import EpochPlan, Monitor
+from repro.audit.store import EvidenceStore
+from repro.audit.wire import round_randomness
+from repro.bgp.network import BGPNetwork
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.pvr.engine import VerificationSession
+from repro.pvr.execution import BackendSpec
+
+from repro.serve import merge
+from repro.serve.metrics import ServeMetrics
+from repro.serve.sharding import ShardExecutor
+
+__all__ = [
+    "AdjudicateRequest",
+    "AdmissionError",
+    "AuditProbe",
+    "ChurnRequest",
+    "Completion",
+    "EpochOutcome",
+    "QueryRequest",
+    "VerificationService",
+]
+
+
+class AdmissionError(RuntimeError):
+    """The admission queue is full; the request was rejected."""
+
+
+@dataclass(frozen=True)
+class AuditProbe:
+    """One out-of-epoch audit ridden on a churn request.
+
+    ``prover`` (a ``keystore -> prover`` factory, e.g. ``LongerRouteProver``)
+    injects a Byzantine prover — the load generator's violation
+    injection.  Probes run on the monitor's local wire path
+    (:meth:`~repro.audit.monitor.Monitor.audit_once`): Byzantine
+    deviations are live objects that must see the real transport, so
+    they are never shipped to shard workers.
+    """
+
+    asn: str
+    prefix: Prefix
+    recipient: str
+    prover: Optional[Callable[[KeyStore], object]] = None
+    max_length: int = 8
+
+
+@dataclass(frozen=True)
+class ChurnRequest:
+    """Apply BGP churn and audit what changed.
+
+    ``steps`` are network mutations (the churn-step builders of
+    :mod:`repro.pvr.scenarios`); ``marks`` are explicit (AS, prefix)
+    pairs to re-audit without any mutation (a resync nudge);
+    ``probes`` are out-of-epoch :class:`AuditProbe` rounds run after
+    the epoch work.
+    """
+
+    steps: Tuple[Callable[[BGPNetwork], None], ...] = ()
+    marks: Tuple[Tuple[str, Prefix], ...] = ()
+    probes: Tuple[AuditProbe, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "churn"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Read the evidence trail: ``what``, scoped by the optional args."""
+
+    what: str = "summary"  # summary | violations | events | evidence
+    asn: Optional[str] = None
+    prefix: Optional[Prefix] = None
+    policy: Optional[str] = None
+
+    @property
+    def kind(self) -> str:
+        return "query"
+
+
+@dataclass(frozen=True)
+class AdjudicateRequest:
+    """Run the judge: one event by ``seq``, or every stored violation."""
+
+    seq: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return "adjudicate"
+
+
+@dataclass
+class Completion:
+    """What a resolved request future carries."""
+
+    request: object
+    payload: object
+    enqueued: float
+    started: float = 0.0
+    finished: float = 0.0
+    net_delay: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """Client-observed latency: network transit + queue + service."""
+        return (self.finished - self.enqueued) + self.net_delay
+
+    @property
+    def queue_delay(self) -> float:
+        return self.started - self.enqueued
+
+    @property
+    def service_time(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass
+class _Ticket:
+    request: object
+    future: "asyncio.Future[Completion]"
+    enqueued: float
+    net_delay: float = 0.0
+
+
+@dataclass
+class EpochOutcome:
+    """A churn group's result: the epochs (and probes) it triggered."""
+
+    reports: List[EpochReport] = field(default_factory=list)
+    probe_events: List[object] = field(default_factory=list)
+
+    @property
+    def events(self) -> int:
+        return sum(len(r.events) for r in self.reports)
+
+    @property
+    def violations(self) -> int:
+        return sum(len(r.violations()) for r in self.reports) + sum(
+            1 for e in self.probe_events if e.violation_found()
+        )
+
+
+class VerificationService:
+    """The sharded, asynchronous serving layer over one audit monitor."""
+
+    def __init__(
+        self,
+        network: BGPNetwork,
+        *,
+        shards: int = 1,
+        keystore: Optional[KeyStore] = None,
+        key_bits: int = 512,
+        rng_seed: object = 2011,
+        queue_depth: int = 64,
+        batch_max: int = 16,
+        max_work: Optional[int] = None,
+        max_events: Optional[int] = None,
+        backend: BackendSpec = None,
+        parity_sample: int = 0,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if parity_sample < 0:
+            raise ValueError("parity_sample must be >= 0")
+        self.keystore = (
+            keystore
+            if keystore is not None
+            else KeyStore(seed=rng_seed, key_bits=key_bits)
+        )
+        self.rng_seed = rng_seed
+        self.monitor = Monitor(
+            self.keystore,
+            rng_seed=rng_seed,
+            max_work_per_epoch=max_work,
+            store=EvidenceStore(self.keystore, max_events=max_events),
+        ).attach(network)
+        self.network = network
+        self.shards = shards
+        self.executor = ShardExecutor(shards, backend=backend)
+        self.queue_depth = queue_depth
+        self.batch_max = batch_max
+        self.parity_sample = parity_sample
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.metrics.shards = shards
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- configuration -------------------------------------------------------
+
+    def policy(self, asn: str, spec, **options):
+        """Register a promise policy (passthrough to the monitor)."""
+        return self.monitor.policy(asn, spec, **options)
+
+    @property
+    def evidence(self) -> EvidenceStore:
+        return self.monitor.evidence
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "VerificationService":
+        if self._dispatcher is not None:
+            raise RuntimeError("service is already started")
+        # warm the worker pool before the loop owns any helper threads,
+        # so process workers fork from a single-threaded parent
+        self.executor.warm()
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        if self._dispatcher is None:
+            return
+        if drain:
+            await self.drain()
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        self._dispatcher = None
+        self._queue = None
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has been served."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit_nowait(
+        self, request, *, net_delay: float = 0.0
+    ) -> "asyncio.Future[Completion]":
+        """Admit one request, or raise :class:`AdmissionError`.
+
+        Returns a future resolving to the request's
+        :class:`Completion` — the open-loop load generator fires
+        requests without awaiting them.
+        """
+        if self._queue is None:
+            raise RuntimeError("service is not started")
+        ticket = _Ticket(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued=time.perf_counter(),
+            net_delay=net_delay,
+        )
+        try:
+            self._queue.put_nowait(ticket)
+        except asyncio.QueueFull:
+            self.metrics.reject(request.kind)
+            raise AdmissionError(
+                f"admission queue full (depth {self.queue_depth})"
+            ) from None
+        self.metrics.admit(request.kind)
+        return ticket.future
+
+    async def request(self, request, *, net_delay: float = 0.0) -> Completion:
+        """Admit one request and await its completion."""
+        return await self.submit_nowait(request, net_delay=net_delay)
+
+    # -- the dispatcher ------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        queue = self._queue
+        while True:
+            batch = [await queue.get()]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._process_batch(batch)
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    async def _process_batch(self, batch: List[_Ticket]) -> None:
+        index = 0
+        while index < len(batch):
+            ticket = batch[index]
+            if isinstance(ticket.request, ChurnRequest):
+                group = [ticket]
+                index += 1
+                while index < len(batch) and isinstance(
+                    batch[index].request, ChurnRequest
+                ):
+                    group.append(batch[index])
+                    index += 1
+                await self._serve_churn_group(group)
+            else:
+                await self._serve_one(batch[index])
+                index += 1
+
+    async def _serve_churn_group(self, group: List[_Ticket]) -> None:
+        started = time.perf_counter()
+
+        def run() -> EpochOutcome:
+            for ticket in group:
+                request = ticket.request
+                for step in request.steps:
+                    step(self.network)
+                for asn, prefix in request.marks:
+                    self.monitor.mark(asn, prefix)
+            self.network.run_to_quiescence()
+            outcome = EpochOutcome()
+            # a work bound may defer pairs; drain within the group so
+            # every admitted churn request is fully audited when its
+            # future resolves.  Metrics absorb each epoch as it lands,
+            # so a failure later in the group cannot leave recorded
+            # evidence unaccounted for.
+            while True:
+                report = self._run_epoch_sharded()
+                outcome.reports.append(report)
+                self.metrics.note_epoch(
+                    report,
+                    coalesced=len(group) if len(outcome.reports) == 1
+                    else 0,
+                )
+                if not self.monitor.pending():
+                    break
+            for ticket in group:
+                for probe in ticket.request.probes:
+                    outcome.probe_events.append(
+                        self.monitor.audit_once(
+                            probe.asn,
+                            probe.prefix,
+                            probe.recipient,
+                            prover=(
+                                probe.prover(self.keystore)
+                                if probe.prover is not None
+                                else None
+                            ),
+                            max_length=probe.max_length,
+                        )
+                    )
+            if outcome.probe_events:
+                self.metrics.note_probes(outcome.probe_events)
+            return outcome
+
+        try:
+            outcome = await asyncio.to_thread(run)
+        except Exception as exc:  # resolve, never hang the clients
+            self._fail_group(group, exc)
+            return
+        finished = time.perf_counter()
+        for ticket in group:
+            self._resolve(ticket, outcome, started, finished)
+
+    def _fail_group(self, group: List[_Ticket], exc: Exception) -> None:
+        for ticket in group:
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+
+    async def _serve_one(self, ticket: _Ticket) -> None:
+        started = time.perf_counter()
+        request = ticket.request
+        try:
+            if isinstance(request, QueryRequest):
+                payload = self._answer_query(request)
+            elif isinstance(request, AdjudicateRequest):
+                payload = await asyncio.to_thread(
+                    self._answer_adjudicate, request
+                )
+            else:
+                raise TypeError(
+                    f"unknown request type {type(request).__name__}"
+                )
+        except Exception as exc:
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+            return
+        self._resolve(ticket, payload, started, time.perf_counter())
+
+    def _resolve(
+        self, ticket: _Ticket, payload, started: float, finished: float
+    ) -> None:
+        completion = Completion(
+            request=ticket.request,
+            payload=payload,
+            enqueued=ticket.enqueued,
+            started=started,
+            finished=finished,
+            net_delay=ticket.net_delay,
+        )
+        self.metrics.complete(
+            ticket.request.kind,
+            latency=completion.latency,
+            queue_delay=completion.queue_delay,
+            service=completion.service_time,
+        )
+        if not ticket.future.done():
+            ticket.future.set_result(completion)
+
+    # -- request handlers ----------------------------------------------------
+
+    def _answer_query(self, request: QueryRequest):
+        store = self.evidence
+        if request.what == "summary":
+            return store.summary()
+        if request.what == "violations":
+            return store.violations()
+        if request.what == "evidence":
+            return store.evidence()
+        if request.what == "events":
+            events = store.events()
+            if request.asn is not None:
+                events = tuple(e for e in events if e.asn == request.asn)
+            if request.prefix is not None:
+                events = tuple(
+                    e for e in events if e.prefix == request.prefix
+                )
+            if request.policy is not None:
+                events = tuple(
+                    e for e in events if e.policy == request.policy
+                )
+            return events
+        raise ValueError(f"unknown query {request.what!r}")
+
+    def _answer_adjudicate(self, request: AdjudicateRequest):
+        store = self.evidence
+        if request.seq is None:
+            return store.adjudicate()
+        for event in store.events():
+            if event.seq == request.seq:
+                return store.adjudicate(event)
+        raise KeyError(f"no stored event with seq {request.seq}")
+
+    # -- the sharded epoch pipeline ------------------------------------------
+
+    def _run_epoch_sharded(self) -> EpochReport:
+        """One epoch: plan centrally, verify on shards, merge in order."""
+        started = time.perf_counter()
+        plan = self.monitor.plan_epoch()
+        try:
+            fresh = plan.fresh_entries()
+            shardable = [(i, e) for i, e in fresh if e.chooser is None]
+            local_entries = [
+                (i, e) for i, e in fresh if e.chooser is not None
+            ]
+            outcomes = self.executor.execute(
+                self.keystore, shardable, self.rng_seed
+            )
+            # custom choosers are live callables (they may not pickle);
+            # those entries run on the monitor's own wire path
+            local = {
+                position: self.monitor.run_planned_round(entry)
+                for position, entry in local_entries
+            }
+            report = merge.fold_plan(self.monitor, plan, outcomes, local)
+        except Exception:
+            # planning consumed the dirty marks; a failed execution must
+            # not leave an audit hole, so the planned pairs go back on
+            # the queue (a later epoch re-audits them from scratch —
+            # at-least-once, never silently-never)
+            for entry in plan.entries:
+                self.monitor.mark(entry.item.asn, entry.item.prefix)
+            raise
+        report.wall_seconds = time.perf_counter() - started
+        for shard, stream in merge.shard_streams(outcomes).items():
+            self.metrics.note_shard(shard, len(stream))
+        self._parity_check(plan, outcomes)
+        return report
+
+    def _parity_check(self, plan: EpochPlan, outcomes) -> None:
+        """Re-prove a sample of fresh verdicts in-process and compare.
+
+        Catches anything that could make a shard diverge from the
+        planner's promise — pickling loss, worker nondeterminism, a bad
+        merge — without paying for a full shadow monitor.  Failures are
+        counted (never raised): the CI smoke job asserts the counter is
+        zero, and operators can alert on it.
+        """
+        if self.parity_sample < 1:
+            return
+        checked = failed = 0
+        sampled = sorted(outcomes)[:: self.parity_sample]
+        for position in sampled:
+            outcome = outcomes[position]
+            entry = plan.entries[position]
+            view = self.keystore.worker_view()
+            replay = VerificationSession(
+                view,
+                entry.item.spec,
+                round=entry.round,
+                chooser=entry.chooser,
+                random_bytes=round_randomness(self.rng_seed, entry.round),
+            ).run(dict(entry.item.routes))
+            checked += 1
+            report = outcome.report
+            if (
+                replay.verdicts != report.verdicts
+                or replay.equivocations != report.equivocations
+                or replay.all_evidence() != report.all_evidence()
+                or replay.all_complaints() != report.all_complaints()
+            ):
+                failed += 1
+        self.metrics.note_parity(checked, failed)

@@ -1,0 +1,229 @@
+"""Sharding: partitioning the audit plane's policy space across workers.
+
+The unit of partition is the **(AS, prefix) pair** — the same key the
+monitor's dirty-tracking and incremental cache use.  Two consequences
+make it the right shard key:
+
+* every (AS, prefix, policy, recipients) tuple of a pair lands on one
+  shard, so the per-tuple reuse cache never needs cross-shard
+  coherence;
+* hot prefixes (the Zipf head the load generator models) concentrate on
+  single shards, which is exactly the hot-region behaviour the
+  distributed-aggregation literature warns about — the metrics module
+  counts per-shard load so the skew is observable.
+
+:func:`shard_key` is a stable content hash (not Python's randomized
+``hash``), so a pair's shard assignment is reproducible across
+processes, runs and hosts.
+
+Two consumers:
+
+* :class:`ShardExecutor` — the serving layer's fan-out engine.  It
+  takes the *fresh* entries of a centrally planned epoch
+  (:meth:`repro.audit.monitor.Monitor.plan_epoch`), groups them by
+  shard, and runs each shard's batch as one serial unit inside a worker
+  of a :class:`repro.pvr.execution.ProcessPoolBackend` pool (the
+  worker-safe :class:`~repro.crypto.keystore.KeyStore` crosses the
+  boundary by pickle exactly as the PR-2 crypto fan-out does).  Because
+  rounds and nonces were pre-allocated by the planner, the outcome is
+  byte-identical to serial execution, whatever the interleaving.
+* :func:`shard_filter` — a pair filter for *distributed* deployments:
+  N pair-filtered monitors over one network each own one shard of the
+  policy space (``Monitor(pair_filter=shard_filter(i, n))``), and their
+  stores fold back together with
+  :meth:`repro.audit.store.EvidenceStore.merged`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.audit.monitor import PlannedItem
+from repro.audit.wire import round_randomness
+from repro.crypto.keystore import KeyStore
+from repro.pvr.execution import BackendSpec, resolve_backend
+from repro.pvr.session import PromiseSpec, SessionReport
+
+__all__ = [
+    "ShardExecutor",
+    "ShardOutcome",
+    "ShardTask",
+    "shard_filter",
+    "shard_key",
+    "shard_of",
+]
+
+
+def shard_key(asn: str, prefix: object) -> int:
+    """A stable 64-bit key for one (AS, prefix) pair."""
+    digest = hashlib.sha256(f"{asn}|{prefix}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_of(asn: str, prefix: object, shards: int) -> int:
+    """Which of ``shards`` shards owns the (``asn``, ``prefix``) pair."""
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return shard_key(asn, prefix) % shards
+
+
+def shard_filter(index: int, shards: int) -> Callable[[str, object], bool]:
+    """A ``Monitor(pair_filter=...)`` predicate selecting one shard."""
+    if not 0 <= index < shards:
+        raise ValueError(f"shard index {index} outside 0..{shards - 1}")
+
+    def accepts(asn: str, prefix: object) -> bool:
+        return shard_of(asn, prefix, shards) == index
+
+    accepts.__name__ = f"shard_{index}_of_{shards}"
+    return accepts
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One picklable fresh verification: the plan entry's wire-free core.
+
+    ``position`` is the entry's index in the epoch plan — the merge key
+    that puts out-of-order shard results back into canonical order.
+    ``rng_seed`` rides along so the worker derives the exact nonce
+    stream (``round_randomness(rng_seed, round)``) the planner promised.
+    """
+
+    position: int
+    shard: int
+    spec: PromiseSpec
+    routes: Tuple[Tuple[str, object], ...]
+    round: int
+    rng_seed: object
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One executed task: the session report plus its cost accounting."""
+
+    position: int
+    shard: int
+    report: SessionReport
+    signatures: int
+    verifications: int
+    wall_seconds: float
+
+
+def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
+    """Execute one shard's batch serially against one keystore snapshot.
+
+    Module-level so the process backend can pickle it by reference.
+    Each task runs a one-shot in-memory
+    :class:`~repro.pvr.engine.VerificationSession` — the audit plane's
+    replay property (same spec, round, inputs, nonce stream ⇒ same
+    bytes) is what makes this equal to the monitor's wire round; the
+    parity suite in ``tests/test_serve.py`` pins it.  Per-task crypto
+    counts come from a fresh worker view per task.
+    """
+    from repro.pvr.engine import VerificationSession
+
+    keystore, tasks = payload
+    outcomes: List[ShardOutcome] = []
+    for task in tasks:
+        view = keystore.worker_view()
+        started = time.perf_counter()
+        session = VerificationSession(
+            view,
+            task.spec,
+            round=task.round,
+            random_bytes=round_randomness(task.rng_seed, task.round),
+        )
+        report = session.run(dict(task.routes))
+        outcomes.append(
+            ShardOutcome(
+                position=task.position,
+                shard=task.shard,
+                report=report,
+                signatures=view.sign_count,
+                verifications=view.verify_count,
+                wall_seconds=time.perf_counter() - started,
+            )
+        )
+    return tuple(outcomes)
+
+
+class ShardExecutor:
+    """Fan an epoch plan's fresh entries out across shard workers.
+
+    ``shards`` fixes the partition; ``backend`` defaults to one worker
+    process per shard (``"process:<shards>"``), or runs everything
+    inline for ``shards == 1`` — the degenerate configuration the
+    parity suite compares against.  Each shard's batch executes as one
+    serial unit, so per-shard work never interleaves and adding shards
+    adds genuine process parallelism.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        backend: BackendSpec = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+        if backend is None:
+            backend = "serial" if shards == 1 else f"process:{shards}"
+        self.backend = resolve_backend(backend)
+
+    def warm(self) -> None:
+        """Start the worker pool now, from the calling thread.
+
+        The service calls this before its asyncio dispatcher exists, so
+        process workers fork from a single-threaded parent.
+        """
+        self.backend.map(len, [()])
+
+    def plan_tasks(
+        self,
+        fresh: Sequence[Tuple[int, PlannedItem]],
+        rng_seed: object,
+    ) -> List[List[ShardTask]]:
+        """Group fresh plan entries into per-shard batches."""
+        batches: List[List[ShardTask]] = [[] for _ in range(self.shards)]
+        for position, entry in fresh:
+            item = entry.item
+            shard = shard_of(item.asn, item.prefix, self.shards)
+            batches[shard].append(
+                ShardTask(
+                    position=position,
+                    shard=shard,
+                    spec=item.spec,
+                    routes=tuple(sorted(item.routes.items())),
+                    round=entry.round,
+                    rng_seed=rng_seed,
+                )
+            )
+        return batches
+
+    def execute(
+        self,
+        keystore: KeyStore,
+        fresh: Sequence[Tuple[int, PlannedItem]],
+        rng_seed: object,
+    ) -> Dict[int, ShardOutcome]:
+        """Run the fresh entries; returns outcomes keyed by plan position.
+
+        Worker crypto counts are merged back into ``keystore`` in plan
+        order, so the service's op totals match a serial monitor's.
+        """
+        batches = self.plan_tasks(fresh, rng_seed)
+        payloads = [(keystore, tuple(batch)) for batch in batches if batch]
+        outcomes: Dict[int, ShardOutcome] = {}
+        if not payloads:
+            return outcomes
+        for group in self.backend.map(_run_shard_batch, payloads):
+            for outcome in group:
+                outcomes[outcome.position] = outcome
+        for position in sorted(outcomes):
+            outcome = outcomes[position]
+            keystore.add_counts(outcome.signatures, outcome.verifications)
+        return outcomes

@@ -677,3 +677,110 @@ class TestChurnRunner:
         summary = result.summary()
         assert summary["events"] == result.events
         assert summary["pending"] == 0
+
+
+class TestSimnetTransport:
+    """Satellite: the audit plane over simnet links with real latency
+    and lossy interceptors — the delay/drop paths the serving layer's
+    gateway leans on."""
+
+    @staticmethod
+    def latent_figure1(latency):
+        from repro.bgp.network import BGPNetwork
+
+        net = BGPNetwork()
+        for asn in ("O", "X", "N1", "N2", "N3", "A", "B"):
+            net.add_as(asn)
+        for a, b in (("O", "X"), ("X", "N1"), ("X", "N3"), ("O", "N2"),
+                     ("N1", "A"), ("N2", "A"), ("N3", "A"), ("A", "B")):
+            net.connect(a, b, latency=latency)
+        net.establish_sessions()
+        net.originate("O", PFX)
+        net.run_to_quiescence()
+        return net
+
+    def test_epoch_advances_the_simulated_clock(self):
+        """Verification rounds ride the same latent links as BGP: one
+        epoch costs two message waves (announce, then commit+views), so
+        the simulated clock advances by 2x the link latency."""
+        net = self.latent_figure1(0.25)
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",),
+                       max_length=8)
+        before = net.transport.simulator.now
+        epoch = monitor.run_epoch()
+        elapsed = net.transport.simulator.now - before
+        assert epoch.violation_free()
+        assert elapsed == pytest.approx(0.5)
+
+    def test_latency_never_changes_verdict_bytes(self):
+        """Nonces derive from (seed, round), so a slow network produces
+        the same evidence trail as a fast one, later."""
+        slow = self.latent_figure1(0.5)
+        fast = self.latent_figure1(0.001)
+        trails = []
+        for net in (slow, fast):
+            monitor = make_monitor(net)
+            monitor.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            epoch = monitor.run_epoch()
+            trails.append(epoch.events)
+        assert len(trails[0]) == len(trails[1]) == 1
+        ours, theirs = trails[0][0], trails[1][0]
+        assert ours.report.verdicts == theirs.report.verdicts
+        assert ours.report.all_evidence() == theirs.report.all_evidence()
+        assert ours.round == theirs.round
+
+    def test_dropped_announcement_only_dents_the_cost_accounting(self):
+        """The announce wave exists for transport-cost fidelity: the
+        authoritative round inputs are the monitor's replay ``routes``
+        (what the engine's announce step signed), so a lost announce
+        *copy* never changes verdicts — it shows up as one missing
+        message in the round's cost accounting.  Only the view/commit
+        wave is consumed from the wire (see
+        ``test_latent_lossy_view_still_fails_loudly``)."""
+        from repro.audit.wire import AnnouncePayload
+
+        def audit(drop: bool):
+            net = self.latent_figure1(0.1)
+            monitor = make_monitor(net)
+            monitor.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            if drop:
+                net.transport.set_interceptor(
+                    "N2",
+                    lambda m: None
+                    if (m.dst == "A"
+                        and isinstance(m.payload, AnnouncePayload))
+                    else m,
+                )
+            epoch = monitor.run_epoch()
+            net.transport.clear_interceptor("N2")
+            return epoch.events[0]
+
+        clean, lossy = audit(drop=False), audit(drop=True)
+        assert lossy.report.verdicts == clean.report.verdicts
+        assert lossy.report.all_evidence() == clean.report.all_evidence()
+        # the drop is visible exactly once, in the transport counters
+        assert lossy.stats.messages == clean.stats.messages - 1
+        assert lossy.stats.bytes < clean.stats.bytes
+
+    def test_latent_lossy_view_still_fails_loudly(self):
+        """Latency plus loss: the drop path behaves identically on a
+        latent network — the verdict fails, the clock still advances."""
+        net = self.latent_figure1(0.2)
+        monitor = make_monitor(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",),
+                       max_length=8)
+        net.transport.set_interceptor(
+            "A",
+            lambda m: None if (m.dst == "B"
+                               and isinstance(m.payload, ViewPayload))
+            else m,
+        )
+        before = net.transport.simulator.now
+        epoch = monitor.run_epoch()
+        net.transport.clear_interceptor("A")
+        assert not epoch.violation_free()
+        assert not epoch.events[0].report.verdicts["B"].ok
+        assert net.transport.simulator.now > before

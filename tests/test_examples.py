@@ -59,6 +59,13 @@ class TestExamples:
         assert "clean" in out
         assert "BGP converged" in out
 
+    def test_serve_demo(self):
+        out = run_example("serve_demo.py")
+        assert "served from cache (0 signatures)" in out
+        assert "violation probe: caught=True" in out
+        assert "1 adjudicated guilty" in out
+        assert "0 failed" in out  # the parity self-check
+
     def test_linkstate_ring(self):
         out = run_example("linkstate_ring.py")
         assert "REJECTED (ring mismatch)" in out

@@ -1,0 +1,608 @@
+"""The serving layer: sharding, the async service, merge parity, load.
+
+The load-bearing suite here is the acceptance criterion for the
+``repro.serve`` subsystem: a sharded
+:class:`~repro.serve.service.VerificationService` produces an evidence
+trail **byte-identical** to an unsharded
+:class:`~repro.audit.monitor.Monitor` driven over the same churn — same
+events, same sequence numbers, same rounds, same verdict/evidence
+bytes, same crypto counts — for all four protocol variants.
+"""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.audit import Monitor
+from repro.audit.store import EvidenceStore
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+from repro.promises.spec import (
+    ExistentialPromise,
+    NoLongerThanOthers,
+    ShortestFromSubset,
+    ShortestRoute,
+)
+from repro.pvr.adversary import LongerRouteProver
+from repro.pvr.scenarios import (
+    flap_session,
+    restore_session,
+    serve_network,
+)
+from repro.serve import (
+    AdjudicateRequest,
+    AdmissionError,
+    AuditProbe,
+    ChurnRequest,
+    LatencySeries,
+    LoadProfile,
+    QueryRequest,
+    ServeMetrics,
+    ServeWorkload,
+    SimnetGateway,
+    VerificationService,
+    ZipfSampler,
+    build_schedule,
+    run_open_loop,
+    shard_filter,
+    shard_key,
+    shard_of,
+)
+from repro.serve.bench import run_workload
+from repro.serve.merge import MergeError, fold_plan
+from repro.util.rng import DeterministicRandom
+
+SEED = 2011
+
+
+def make_service(net, **options):
+    options.setdefault("shards", 3)
+    options.setdefault("backend", "serial")
+    options.setdefault("rng_seed", SEED)
+    return VerificationService(net, **options)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+# -- the shard key -------------------------------------------------------------
+
+
+class TestShardKey:
+    def test_stable_and_process_independent(self):
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert shard_key("A", prefix) == shard_key("A", prefix)
+        # pinned value: the key is a content hash, not Python's
+        # randomized hash(), so assignments survive restarts
+        assert shard_of("A", prefix, 4) == shard_key("A", prefix) % 4
+
+    def test_distributes_pairs(self):
+        prefixes = [Prefix.parse(f"10.{i}.0.0/16") for i in range(32)]
+        shards = {shard_of("A", p, 4) for p in prefixes}
+        assert shards == {0, 1, 2, 3}
+
+    def test_shard_filter_partitions_exactly(self):
+        prefixes = [Prefix.parse(f"10.{i}.0.0/16") for i in range(16)]
+        filters = [shard_filter(i, 3) for i in range(3)]
+        for prefix in prefixes:
+            owners = [f("A", prefix) for f in filters]
+            assert owners.count(True) == 1
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_of("A", Prefix.parse("10.0.0.0/8"), 0)
+        with pytest.raises(ValueError):
+            shard_filter(3, 3)
+
+
+class TestPairFilteredMonitors:
+    """Shard-aware Monitor construction: N pair-filtered monitors over
+    one network partition the audit load; their stores merge into one
+    deterministic view."""
+
+    def test_filtered_monitors_partition_the_policy_space(self):
+        net, prefixes = serve_network(6)
+        shards = 3
+        keystore = KeyStore(seed=SEED, key_bits=512)
+        monitors = [
+            Monitor(
+                keystore,
+                rng_seed=SEED,
+                store=EvidenceStore(keystore),
+                pair_filter=shard_filter(i, shards),
+            ).attach(net)
+            for i in range(shards)
+        ]
+        for monitor in monitors:
+            monitor.policy("A", ShortestRoute(), recipients=("B",),
+                           name="A/min->B", max_length=8)
+        reports = [m.run_epoch() for m in monitors]
+        audited = [
+            (e.asn, e.prefix) for r in reports for e in r.events
+        ]
+        # every pair audited exactly once, across all shards
+        assert sorted(str(p) for _, p in audited) == sorted(
+            str(p) for p in prefixes
+        )
+        per_shard = [len(r.events) for r in reports]
+        assert sum(per_shard) == len(prefixes)
+
+        merged = EvidenceStore.merged([m.evidence for m in monitors])
+        assert len(merged) == len(prefixes)
+        # canonical order: prefix-sorted within the epoch
+        assert [str(e.prefix) for e in merged.events()] == sorted(
+            str(p) for p in prefixes
+        )
+
+    def test_out_of_shard_churn_is_ignored(self):
+        net, prefixes = serve_network(4)
+        target = prefixes[0]
+        index = shard_of("A", target, 2)
+        monitor = Monitor(
+            KeyStore(seed=SEED, key_bits=512),
+            rng_seed=SEED,
+            pair_filter=shard_filter(1 - index, 2),
+        ).attach(net)
+        monitor.mark("A", target)
+        assert monitor.pending() == ()
+
+
+# -- the acceptance criterion: sharded == unsharded, all four variants ---------
+
+
+VARIANT_POLICIES = {
+    "minimum": lambda svc: svc.policy(
+        "A", ShortestRoute(), recipients=("B",),
+        name="A/min->B", max_length=8,
+    ),
+    "existential": lambda svc: svc.policy(
+        "A", lambda providers: ExistentialPromise(providers),
+        recipients=("B",), name="A/exists->B", max_length=8,
+    ),
+    "graph": lambda svc: svc.policy(
+        "A", lambda providers: ShortestFromSubset(providers[:2]),
+        recipients=("B",), name="A/subset->B", max_length=8,
+    ),
+    "crosscheck": lambda svc: svc.policy(
+        "A", NoLongerThanOthers(), name="A/p4", max_length=8,
+    ),
+}
+
+CHURN = (
+    flap_session("O", "N2"),
+    restore_session("O", "N2"),
+)
+
+
+def sharded_trail(variant, *, prefixes=3, shards=3, backend="serial"):
+    async def go():
+        net, prefix_list = serve_network(prefixes)
+        service = VerificationService(
+            net, shards=shards, backend=backend, rng_seed=SEED,
+            parity_sample=1,
+        )
+        VARIANT_POLICIES[variant](service)
+        await service.start()
+        await service.request(ChurnRequest())
+        for step in CHURN:
+            await service.request(ChurnRequest(steps=(step,)))
+        # a full resync sweep over settled state: pure cache reuse
+        await service.request(ChurnRequest(
+            marks=tuple(("A", p) for p in prefix_list),
+        ))
+        await service.stop()
+        assert service.metrics.parity_failed == 0
+        return service
+
+    return run_async(go())
+
+
+def unsharded_trail(variant, *, prefixes=3):
+    net, prefix_list = serve_network(prefixes)
+    monitor = Monitor(
+        KeyStore(seed=SEED, key_bits=512), rng_seed=SEED
+    ).attach(net)
+    VARIANT_POLICIES[variant](monitor)
+    monitor.run_epoch()
+    for step in CHURN:
+        step(net)
+        net.run_to_quiescence()
+        monitor.run_epoch()
+    for prefix in prefix_list:
+        monitor.mark("A", prefix)
+    monitor.run_epoch()
+    return monitor
+
+
+def assert_byte_identical(sharded_store, serial_store):
+    sharded_events = sharded_store.events()
+    serial_events = serial_store.events()
+    assert len(sharded_events) == len(serial_events)
+    assert len(sharded_events) > 0
+    for ours, theirs in zip(sharded_events, serial_events):
+        assert ours.seq == theirs.seq
+        assert ours.epoch == theirs.epoch
+        assert ours.round == theirs.round
+        assert ours.asn == theirs.asn
+        assert ours.prefix == theirs.prefix
+        assert ours.policy == theirs.policy
+        assert ours.reused == theirs.reused
+        assert ours.spec == theirs.spec
+        assert ours.routes == theirs.routes
+        assert ours.report.verdicts == theirs.report.verdicts
+        assert ours.report.equivocations == theirs.report.equivocations
+        assert ours.report.all_evidence() == theirs.report.all_evidence()
+        assert (
+            ours.report.all_complaints() == theirs.report.all_complaints()
+        )
+        assert ours.stats.signatures == theirs.stats.signatures
+        assert ours.stats.verifications == theirs.stats.verifications
+
+
+class TestShardedParity:
+    """The acceptance suite: evidence/verdict byte-parity per variant."""
+
+    @pytest.mark.parametrize("variant", sorted(VARIANT_POLICIES))
+    def test_sharded_service_matches_unsharded_monitor(self, variant):
+        service = sharded_trail(variant)
+        monitor = unsharded_trail(variant)
+        assert_byte_identical(service.evidence, monitor.evidence)
+
+    def test_parity_holds_on_process_workers(self):
+        """The real process pool: results cross a pickle boundary."""
+        service = sharded_trail("minimum", shards=2, backend="process:2")
+        monitor = unsharded_trail("minimum")
+        assert_byte_identical(service.evidence, monitor.evidence)
+
+    def test_settled_churn_is_served_from_cache(self):
+        service = sharded_trail("minimum")
+        reused = [e for e in service.evidence.events() if e.reused]
+        assert reused  # the final settled epoch reused its tuples
+
+
+# -- merge safety --------------------------------------------------------------
+
+
+class TestMerge:
+    def test_missing_outcome_raises(self):
+        net, _ = serve_network(2)
+        monitor = Monitor(
+            KeyStore(seed=SEED, key_bits=512), rng_seed=SEED
+        ).attach(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",),
+                       max_length=8)
+        plan = monitor.plan_epoch()
+        assert plan.fresh_entries()
+        with pytest.raises(MergeError, match="no outcome"):
+            fold_plan(monitor, plan, outcomes={})
+
+
+# -- the evidence-store bound (satellite) --------------------------------------
+
+
+class TestEvidenceStoreBound:
+    def run_probe_service(self, *, max_events):
+        async def go():
+            net, prefixes = serve_network(4)
+            service = make_service(net, shards=2, max_events=max_events)
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            await service.start()
+            await service.request(ChurnRequest())
+            await service.request(ChurnRequest(probes=(
+                AuditProbe("A", prefixes[0], "B",
+                           prover=LongerRouteProver),
+            )))
+            # sustained churn: repeated re-audits overflow the bound
+            for _ in range(3):
+                await service.request(ChurnRequest(
+                    steps=(flap_session("O", "N2"),),
+                ))
+                await service.request(ChurnRequest(
+                    steps=(restore_session("O", "N2"),),
+                ))
+            await service.stop()
+            return service
+
+        return run_async(go())
+
+    def test_oldest_clean_evicted_violations_pinned(self):
+        service = self.run_probe_service(max_events=6)
+        store = service.evidence
+        assert len(store) <= 6
+        assert store.evicted > 0
+        # the violation survived every eviction wave
+        assert len(store.violations()) == 1
+        # and the survivors are the *newest* clean events
+        clean = [e for e in store.events() if not e.violation_found()]
+        seqs = [e.seq for e in clean]
+        assert seqs == sorted(seqs)
+        assert seqs[0] > 1  # the oldest clean verdicts are gone
+
+    def test_unbounded_store_never_evicts(self):
+        service = self.run_probe_service(max_events=None)
+        assert service.evidence.evicted == 0
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            EvidenceStore(max_events=0)
+
+    def test_summary_reports_evictions(self):
+        service = self.run_probe_service(max_events=6)
+        summary = service.evidence.summary()
+        assert summary["evicted"] == service.evidence.evicted > 0
+
+    def test_absorb_reassigns_seqs(self):
+        net, _ = serve_network(2)
+        monitor = Monitor(
+            KeyStore(seed=SEED, key_bits=512), rng_seed=SEED
+        ).attach(net)
+        monitor.policy("A", ShortestRoute(), recipients=("B",),
+                       max_length=8)
+        monitor.run_epoch()
+        other = EvidenceStore()
+        copied = other.absorb(monitor.evidence.events())
+        assert [e.seq for e in copied] == [1, 2]
+        assert [
+            dataclasses.replace(e, seq=0) for e in other.events()
+        ] == [
+            dataclasses.replace(e, seq=0)
+            for e in monitor.evidence.events()
+        ]
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+class TestLatencySeries:
+    def test_nearest_rank_percentiles_are_exact(self):
+        series = LatencySeries()
+        for value in [0.05, 0.01, 0.03, 0.02, 0.04]:
+            series.add(value)
+        assert series.percentile(50) == 0.03
+        assert series.percentile(90) == 0.05
+        assert series.percentile(99) == 0.05
+        assert series.percentile(20) == 0.01
+        assert series.max() == 0.05
+        assert series.mean() == pytest.approx(0.03)
+
+    def test_empty_series(self):
+        series = LatencySeries()
+        assert series.percentile(50) is None
+        assert series.mean() is None
+        assert len(series) == 0
+
+    def test_rejects_bad_input(self):
+        series = LatencySeries()
+        with pytest.raises(ValueError):
+            series.add(-0.1)
+        with pytest.raises(ValueError):
+            series.percentile(0)
+
+    def test_snapshot_schema(self):
+        metrics = ServeMetrics()
+        metrics.admit("churn")
+        metrics.complete("churn", latency=0.1, queue_delay=0.02,
+                         service=0.08)
+        snapshot = metrics.snapshot()
+        assert snapshot["schema"] == "repro.serve/metrics"
+        assert snapshot["schema_version"] == 1
+        churn = snapshot["requests"]["churn"]
+        assert churn["admitted"] == 1
+        assert churn["latency"]["p99_s"] == 0.1
+        for section in ("epochs", "sharding", "parity", "probes"):
+            assert section in snapshot
+
+
+# -- the load generator --------------------------------------------------------
+
+
+class TestLoadgen:
+    def workload(self, prefixes):
+        return ServeWorkload(
+            prefixes=prefixes,
+            flappable=(("O", "N2"),),
+            violator=("A", "B"),
+        )
+
+    def test_schedule_is_deterministic(self):
+        prefixes = tuple(
+            Prefix.parse(f"10.{i}.0.0/16") for i in range(4)
+        )
+        profile = LoadProfile(requests=40, rate=100.0,
+                              violation_every=5, seed=3)
+        first = build_schedule(profile, self.workload(prefixes))
+        second = build_schedule(profile, self.workload(prefixes))
+        assert [op.at for op in first] == [op.at for op in second]
+        assert [op.kind for op in first] == [op.kind for op in second]
+        assert [
+            type(op.request).__name__ for op in first
+        ] == [type(op.request).__name__ for op in second]
+
+    def test_violation_ops_appear_at_cadence(self):
+        prefixes = tuple(
+            Prefix.parse(f"10.{i}.0.0/16") for i in range(4)
+        )
+        profile = LoadProfile(requests=60, violation_every=4, seed=3)
+        ops = build_schedule(profile, self.workload(prefixes))
+        probes = [
+            op for op in ops
+            if op.kind == "churn" and op.request.probes
+        ]
+        churn_ops = [op for op in ops if op.kind == "churn"]
+        assert len(probes) == len(churn_ops) // 4
+
+    def test_zipf_head_is_hot(self):
+        rng = DeterministicRandom(5)
+        sampler = ZipfSampler(8, s=1.2)
+        counts = [0] * 8
+        for _ in range(2000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[-1]
+
+    def test_poisson_arrivals_are_increasing(self):
+        prefixes = (Prefix.parse("10.0.0.0/16"),)
+        profile = LoadProfile(requests=20, rate=50.0, seed=9)
+        ops = build_schedule(profile, self.workload(prefixes))
+        ats = [op.at for op in ops]
+        assert ats == sorted(ats)
+        assert ats[-1] > 0
+
+
+# -- the service ---------------------------------------------------------------
+
+
+class TestService:
+    def test_queries_and_adjudication(self):
+        async def go():
+            net, prefixes = serve_network(3)
+            service = make_service(net, shards=2)
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            await service.start()
+            await service.request(ChurnRequest())
+            await service.request(ChurnRequest(probes=(
+                AuditProbe("A", prefixes[0], "B",
+                           prover=LongerRouteProver),
+            )))
+            summary = (await service.request(QueryRequest())).payload
+            violations = (await service.request(
+                QueryRequest(what="violations")
+            )).payload
+            events = (await service.request(QueryRequest(
+                what="events", prefix=prefixes[0],
+            ))).payload
+            rulings = (await service.request(AdjudicateRequest())).payload
+            await service.stop()
+            return summary, violations, events, rulings
+
+        summary, violations, events, rulings = run_async(go())
+        assert summary["events"] == 4  # 3 epoch events + 1 probe
+        assert len(violations) == 1
+        assert all(e.prefix == Prefix.parse("10.0.0.0/16") for e in events)
+        assert len(rulings) == 1
+        assert next(iter(rulings.values())).guilty()
+
+    def test_admission_queue_rejects_when_full(self):
+        async def go():
+            net, _ = serve_network(2)
+            service = make_service(net, shards=1, queue_depth=2)
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            await service.start()
+            # the dispatcher is not yet draining (no await since start),
+            # so the queue fills synchronously
+            futures = [
+                service.submit_nowait(QueryRequest()) for _ in range(2)
+            ]
+            with pytest.raises(AdmissionError):
+                service.submit_nowait(QueryRequest())
+            rejected = service.metrics.type_metrics("query").rejected
+            await service.drain()
+            for future in futures:
+                await future
+            await service.stop()
+            return rejected
+
+        assert run_async(go()) == 1
+
+    def test_churn_requests_coalesce_into_one_epoch(self):
+        async def go():
+            net, prefixes = serve_network(4)
+            service = make_service(net, shards=2, batch_max=8)
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            await service.start()
+            marks = [
+                ChurnRequest(marks=((("A"), prefix),))
+                for prefix in prefixes
+            ]
+            futures = [service.submit_nowait(r) for r in marks]
+            await service.drain()
+            completions = [await f for f in futures]
+            await service.stop()
+            return service, completions
+
+        service, completions = run_async(go())
+        # all four churn requests share one coalesced epoch outcome
+        assert service.metrics.epochs == 1
+        assert service.metrics.coalesced_requests == 4
+        assert len({id(c.payload) for c in completions}) == 1
+
+    def test_errors_resolve_futures(self):
+        async def go():
+            net, _ = serve_network(2)
+            service = make_service(net, shards=1)
+            await service.start()
+            with pytest.raises(ValueError, match="unknown query"):
+                await service.request(QueryRequest(what="nope"))
+            # the service still serves after a failed request
+            summary = (await service.request(QueryRequest())).payload
+            await service.stop()
+            return summary
+
+        assert run_async(go())["events"] == 0
+
+    def test_gateway_latency_and_drops_perturb_admission(self):
+        async def go():
+            net, prefixes = serve_network(3)
+            service = make_service(net, shards=1)
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            gateway = SimnetGateway(latency=0.04, drop_rate=0.4, seed=5)
+            profile = LoadProfile(requests=30, seed=5,
+                                  churn_weight=0.0, query_weight=1.0,
+                                  adjudicate_weight=0.0)
+            workload = ServeWorkload(prefixes=prefixes)
+            ops = build_schedule(profile, workload)
+            await service.start()
+            report = await run_open_loop(
+                service, ops, gateway=gateway, time_scale=0.0
+            )
+            await service.stop()
+            return service, report
+
+        service, report = run_async(go())
+        assert report.dropped > 0
+        assert report.delivered == report.offered - report.dropped
+        assert service.metrics.type_metrics("query").dropped == (
+            report.dropped
+        )
+        # link transit shows up in client-observed latency
+        latency = service.metrics.type_metrics("query").latency
+        assert latency.percentile(50) >= 0.04
+
+
+# -- the bench driver ----------------------------------------------------------
+
+
+class TestBenchDriver:
+    def test_scripted_runs_agree_across_shard_counts(self):
+        common = dict(prefixes=4, requests=10, seed=7, burst=3,
+                      parity_sample=1, backend="serial")
+        one = run_workload(shards=1, **common)
+        four = run_workload(shards=4, **common)
+        assert not one.report.errors and not four.report.errors
+        for run in (one, four):
+            assert run.service.metrics.parity_failed == 0
+        for attribute in ("events", "verified", "reused", "violations"):
+            assert getattr(one.service.metrics, attribute) == getattr(
+                four.service.metrics, attribute
+            )
+        assert four.wall_seconds > 0
+        # the partition actually spread over multiple shards
+        assert len(four.service.metrics.shard_events) > 1
+
+    def test_open_loop_with_violations(self):
+        run = run_workload(
+            shards=2, prefixes=4, requests=16, seed=7,
+            violation_every=3, parity_sample=1, backend="serial",
+        )
+        assert not run.report.errors
+        assert run.service.metrics.probe_violations > 0
+        assert run.service.metrics.parity_failed == 0
+        snapshot = run.snapshot
+        assert snapshot["probes"]["violations"] > 0
