@@ -26,6 +26,7 @@ Run ``python -m repro.audit`` for the CLI over the registered churn
 scenarios.
 """
 
+from repro.audit import choosers
 from repro.audit.churn import ChurnRunResult, run_churn
 from repro.audit.events import EpochReport, VerdictEvent
 from repro.audit.monitor import EpochPlan, Monitor, PlannedItem
@@ -55,6 +56,7 @@ __all__ = [
     "RoundStats",
     "VerdictEvent",
     "ViewPayload",
+    "choosers",
     "round_randomness",
     "run_churn",
     "run_wire_round",

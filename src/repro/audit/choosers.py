@@ -1,0 +1,110 @@
+"""The named chooser registry: export policies that survive pickling.
+
+A cross-check *chooser* (:mod:`repro.pvr.crosscheck`) is the prover's
+per-recipient export policy — a live callable.  Live callables cannot
+cross a process boundary by pickle, which is why the sharded service
+historically ran every custom-chooser policy on the monitor's local
+wire path instead of the shard pool (a ROADMAP open item), and why a
+callable chooser makes an incremental-cache fingerprint compare by
+object *identity* — useless across cluster workers that each built
+their own copy.
+
+Registering a chooser under a **name** fixes both: policies reference
+the chooser as a string (``chooser="discriminating:B1"``), the string
+rides the wire/pickle for free, and every worker resolves it back to
+the same callable through this registry.
+
+Two kinds of entry:
+
+* :func:`register` — a concrete chooser under an exact name;
+* :func:`register_factory` — a parameterized family: the name
+  ``"family:arg"`` resolves to ``factory("arg")``.
+
+The built-ins mirror the scenario gallery: ``"honest"``, and the
+``"discriminating:<favored>"`` / ``"withholding:<starved>"`` factories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.pvr.crosscheck import (
+    discriminating_chooser,
+    honest_chooser,
+    withholding_chooser,
+)
+
+__all__ = [
+    "ChooserRef",
+    "get",
+    "names",
+    "register",
+    "register_factory",
+    "resolve",
+]
+
+#: what policy/session call sites accept: a live callable, a registered
+#: name, or None (the honest default)
+ChooserRef = Union[None, str, Callable]
+
+_CHOOSERS: Dict[str, Callable] = {}
+_FACTORIES: Dict[str, Callable[[str], Callable]] = {}
+
+
+def register(name: str, chooser: Callable) -> Callable:
+    """Register a concrete chooser under ``name``.  Returns ``chooser``
+    so it can be used as a decorator."""
+    if ":" in name:
+        raise ValueError(
+            f"chooser name {name!r} may not contain ':' "
+            f"(reserved for factory arguments)"
+        )
+    if name in _CHOOSERS or name in _FACTORIES:
+        raise ValueError(f"chooser {name!r} is already registered")
+    _CHOOSERS[name] = chooser
+    return chooser
+
+
+def register_factory(name: str, factory: Callable[[str], Callable]) -> Callable:
+    """Register a parameterized chooser family: ``"{name}:{arg}"``
+    resolves to ``factory(arg)``."""
+    if ":" in name:
+        raise ValueError(f"factory name {name!r} may not contain ':'")
+    if name in _CHOOSERS or name in _FACTORIES:
+        raise ValueError(f"chooser {name!r} is already registered")
+    _FACTORIES[name] = factory
+    return factory
+
+
+def get(name: str) -> Callable:
+    """The chooser registered under ``name`` (``"family:arg"`` builds
+    through the family's factory)."""
+    if name in _CHOOSERS:
+        return _CHOOSERS[name]
+    head, sep, arg = name.partition(":")
+    if sep and head in _FACTORIES:
+        return _FACTORIES[head](arg)
+    raise KeyError(
+        f"unknown chooser {name!r}; known: {', '.join(names())}"
+    )
+
+
+def names() -> Tuple[str, ...]:
+    """Registered names (factories shown as ``family:<arg>``)."""
+    return tuple(
+        sorted(_CHOOSERS)
+        + sorted(f"{name}:<arg>" for name in _FACTORIES)
+    )
+
+
+def resolve(chooser: ChooserRef) -> Optional[Callable]:
+    """A call-site-ready chooser: names resolve through the registry,
+    callables (and None) pass through unchanged."""
+    if isinstance(chooser, str):
+        return get(chooser)
+    return chooser
+
+
+register("honest", honest_chooser)
+register_factory("discriminating", discriminating_chooser)
+register_factory("withholding", withholding_chooser)

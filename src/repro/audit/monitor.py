@@ -48,6 +48,7 @@ from repro.promises.spec import Promise, ShortestRoute
 from repro.pvr.minimum import DEFAULT_MAX_LENGTH
 from repro.pvr.session import PromiseSpec, SessionReport
 
+from repro.audit.choosers import ChooserRef, resolve as resolve_chooser
 from repro.audit.events import EpochReport, VerdictEvent
 from repro.audit.policy import (
     AuditPolicy,
@@ -73,7 +74,7 @@ class PlannedItem:
     """
 
     item: WorkItem
-    chooser: Optional[Callable]
+    chooser: ChooserRef
     fingerprint: Tuple
     round: Optional[int] = None
     previous: Optional[VerdictEvent] = None
@@ -193,7 +194,7 @@ class Monitor:
         name: Optional[str] = None,
         variant: str = "auto",
         max_length: int = DEFAULT_MAX_LENGTH,
-        chooser: Optional[Callable] = None,
+        chooser: ChooserRef = None,
         audit_now: bool = True,
     ) -> AuditPolicy:
         """Register a promise policy for ``asn`` and arm its churn hook.
@@ -201,10 +202,14 @@ class Monitor:
         ``spec`` is a promise template, a ``providers -> Promise``
         factory, or a full :class:`~repro.pvr.session.PromiseSpec`;
         ``recipients`` restricts the neighbors covered (per-neighbor
-        overrides).  With ``audit_now`` (the default) every prefix the
-        AS currently routes is marked dirty so the first epoch audits
-        the present state; ``audit_now=False`` only arms the hook, so
-        epochs cover decisions made from now on.
+        overrides).  ``chooser`` may be a live callable or a name from
+        the :mod:`repro.audit.choosers` registry — named choosers
+        pickle, so the policy can run on shard and cluster workers
+        instead of the monitor's local wire path.  With ``audit_now``
+        (the default) every prefix the AS currently routes is marked
+        dirty so the first epoch audits the present state;
+        ``audit_now=False`` only arms the hook, so epochs cover
+        decisions made from now on.
         """
         network = self._require_network()
         router = network.router(asn)
@@ -540,7 +545,7 @@ class Monitor:
             entry.item.spec,
             entry.item.routes,
             round=entry.round,
-            chooser=entry.chooser,
+            chooser=resolve_chooser(entry.chooser),
             backend=self.backend,
             random_bytes=round_randomness(self.rng_seed, entry.round),
         )
@@ -551,7 +556,7 @@ class Monitor:
         round_no: int,
         *,
         prover: object = None,
-        chooser: Optional[Callable] = None,
+        chooser: ChooserRef = None,
         epoch: Optional[int] = None,
     ) -> VerdictEvent:
         network = self._require_network()
@@ -562,7 +567,7 @@ class Monitor:
             item.routes,
             round=round_no,
             prover=prover,
-            chooser=chooser,
+            chooser=resolve_chooser(chooser),
             backend=self.backend,
             random_bytes=round_randomness(self.rng_seed, round_no),
         )

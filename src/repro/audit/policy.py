@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.audit.choosers import ChooserRef
 from repro.bgp.prefix import Prefix
 from repro.bgp.router import BGPRouter
 from repro.promises.spec import NoLongerThanOthers, Promise
@@ -105,7 +106,9 @@ class AuditPolicy:
     prefixes: Optional[Tuple[Prefix, ...]] = None
     variant: str = "auto"
     max_length: int = DEFAULT_MAX_LENGTH
-    chooser: Optional[Callable] = None
+    #: a live callable, or a :mod:`repro.audit.choosers` registry name
+    #: (names pickle, so the policy ships to shard/cluster workers)
+    chooser: ChooserRef = None
     session_options: Dict[str, object] = field(default_factory=dict)
 
     def covers(self, prefix: Prefix) -> bool:

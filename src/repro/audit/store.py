@@ -124,13 +124,18 @@ class EvidenceStore:
         Events are interleaved in a deterministic canonical order —
         by default ``(epoch, asn, prefix, policy, round)``, which is
         independent of which shard recorded what first — and re-seq'd
-        into the merged store.  Used to fold the per-shard stores of
+        into the merged store.  Out-of-epoch audits (``epoch=None``:
+        probes, :meth:`~repro.audit.monitor.Monitor.audit_once`) sort
+        *after* all epoch work at their round position, matching when
+        they actually ran.  Used to fold the per-shard stores of
         pair-filtered monitors (see
-        :func:`repro.serve.sharding.shard_filter`) into a single view.
+        :func:`repro.serve.sharding.shard_filter`) and the per-worker
+        trails of a :class:`repro.cluster.cluster.Cluster` into a
+        single view.
         """
         if key is None:
             key = lambda e: (
-                e.epoch if e.epoch is not None else 0,
+                e.epoch if e.epoch is not None else float("inf"),
                 e.asn,
                 str(e.prefix),
                 e.policy,

@@ -157,6 +157,48 @@ def run_wire_round(
     engine's :class:`~repro.pvr.session.SessionReport` plus the round's
     cost accounting.
     """
+    # an injected prover instance (a Byzantine deviation) that was built
+    # without a nonce source adopts the round's deterministic stream for
+    # the duration of this round (restored afterwards, so a reused
+    # instance gets each round's own stream): monitored Byzantine rounds
+    # are replayable — and a cluster worker's probe transcript is
+    # byte-identical to the unsharded monitor's
+    seeded_prover = (
+        prover is not None
+        and random_bytes is not None
+        and getattr(prover, "random_bytes", False) is None
+    )
+    if seeded_prover:
+        prover.random_bytes = random_bytes
+    try:
+        return _run_wire_round(
+            network,
+            keystore,
+            spec,
+            routes,
+            round=round,
+            prover=prover,
+            chooser=chooser,
+            backend=backend,
+            random_bytes=random_bytes,
+        )
+    finally:
+        if seeded_prover:
+            prover.random_bytes = None
+
+
+def _run_wire_round(
+    network: BGPNetwork,
+    keystore: KeyStore,
+    spec: PromiseSpec,
+    routes: Mapping[str, object],
+    *,
+    round: int,
+    prover: object,
+    chooser: object,
+    backend: object,
+    random_bytes: Callable[[int], bytes] | None,
+) -> Tuple[SessionReport, RoundStats]:
     transport = network.transport
     session = VerificationSession(
         keystore,
@@ -212,6 +254,44 @@ def run_wire_round(
         equivocations=len(report.equivocations),
     )
     return report, stats
+
+
+def modeled_wire_stats(
+    session: VerificationSession,
+    announcements: Mapping[str, object],
+    views: Mapping[str, object],
+    statement: object,
+    neighbor_count: int,
+) -> Tuple[int, int]:
+    """The (messages, bytes) a :func:`run_wire_round` of this session
+    would have recorded, computed without a network.
+
+    Shard and cluster workers verify off-wire; replaying the transport
+    cost model here is what makes a sharded round report the *same*
+    byte/message counts as the serial wire path instead of zero.  The
+    model mirrors the wire round exactly — one message per signed
+    announcement, one view per party, the commitment statement broadcast
+    to every neighbor of the prover — and prices each payload with
+    :func:`repro.net.simnet.estimate_size`, the same function the
+    network's byte counter uses.  It is exact when the network is
+    quiescent and no interceptor is armed (both true on the serve path:
+    epochs only run at quiescence, and Byzantine probes never ship to
+    workers).
+    """
+    from repro.net.simnet import estimate_size
+
+    messages = 0
+    total = 0
+    for _, ann in _announcement_senders(session, announcements):
+        messages += 1
+        total += estimate_size(AnnouncePayload(ann))
+    for view in views.values():
+        messages += 1
+        total += estimate_size(ViewPayload(view))
+    if statement is not None and neighbor_count > 0:
+        messages += neighbor_count
+        total += neighbor_count * estimate_size(CommitPayload(statement))
+    return messages, total
 
 
 def _collect_views(

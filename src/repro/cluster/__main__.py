@@ -1,0 +1,239 @@
+"""The cluster CLI: ``python -m repro.cluster``.
+
+Usage::
+
+    python -m repro.cluster --workers 2 --churns 12
+    python -m repro.cluster --workers 2 --placement consistent \\
+        --reshard-at 6 --grow 1 --json cluster-metrics.json
+    python -m repro.cluster --placement hotsplit --rebalance-at 6
+    python -m repro.cluster --transport inline --no-verify
+
+Builds the multi-prefix serving scenario, stands up a
+:class:`~repro.cluster.cluster.Cluster` of process-isolated Monitor
+workers from a :class:`~repro.cluster.spec.ClusterSpec`, and drives the
+deterministic churn script (:mod:`repro.cluster.workload`) through the
+IPC admission plane — with an optional **online reshard** (grow via
+``--reshard-at``/``--grow``, or a hot-split ``--rebalance-at``) midway.
+Afterwards the folded evidence trail is checked byte-for-byte against a
+freshly driven unsharded Monitor (``--no-verify`` skips it), and
+``--json`` writes the schema-versioned cluster metrics snapshot.
+
+Exit status: 0 on success, 1 on any parity mismatch or failed online
+parity self-check, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.tables import print_table
+from repro.promises.spec import ShortestRoute
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Drive a churn workload through a multi-process "
+        "verification cluster, optionally resharding online, and check "
+        "byte-parity against an unsharded monitor.",
+    )
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes (default: 2)")
+    parser.add_argument("--placement", default="consistent",
+                        choices=["static", "consistent", "hotsplit"],
+                        help="placement strategy (default: consistent)")
+    parser.add_argument("--admission", default="reject", metavar="SPEC",
+                        help='admission policy: "reject", '
+                        '"deadline[:S]" or "priority" (default: reject)')
+    parser.add_argument("--transport", default="process",
+                        choices=["process", "inline"],
+                        help="worker isolation (default: process)")
+    parser.add_argument("--prefixes", type=int, default=8, metavar="P",
+                        help="prefixes originated in the scenario "
+                        "(default: 8)")
+    parser.add_argument("--churns", type=int, default=12, metavar="N",
+                        help="churn rounds in the script (default: 12)")
+    parser.add_argument("--violations", type=int, default=0, metavar="N",
+                        help="Byzantine probe every N churn rounds "
+                        "(default: never)")
+    parser.add_argument("--reshard-at", type=int, default=None, metavar="K",
+                        help="reshard online after the Kth request")
+    parser.add_argument("--grow", type=int, default=1, metavar="N",
+                        help="workers added by the reshard (default: 1)")
+    parser.add_argument("--rebalance-at", type=int, default=None,
+                        metavar="K", help="hot-split rebalance after the "
+                        "Kth request (hotsplit placement)")
+    parser.add_argument("--max-work", type=int, default=None, metavar="N",
+                        help="fresh verifications per epoch bound")
+    parser.add_argument("--parity-sample", type=int, default=1, metavar="K",
+                        help="re-prove every Kth fresh verdict online; "
+                        "0 disables (default: 1)")
+    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
+                        help="RSA modulus size (default: 512)")
+    parser.add_argument("--seed", type=int, default=2011,
+                        help="keystore / nonce seed (default: 2011)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the unsharded-reference parity check")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the metrics snapshot here")
+    return parser
+
+
+def run(args) -> int:
+    from repro.cluster import ClusterSpec, PolicySpec
+    from repro.cluster.workload import (
+        churn_script,
+        drive_monitor,
+        trail_mismatches,
+    )
+    from repro.pvr.scenarios import serve_network
+
+    prefix_count = args.prefixes
+
+    def network():
+        return serve_network(prefix_count)[0]
+
+    _, prefixes = serve_network(prefix_count)
+    spec = ClusterSpec(
+        network=network,
+        policies=(
+            PolicySpec(
+                "A",
+                ShortestRoute(),
+                {"recipients": ("B",), "name": "A/min->B", "max_length": 8},
+            ),
+        ),
+        workers=args.workers,
+        placement=args.placement,
+        admission=args.admission,
+        transport=args.transport,
+        rng_seed=args.seed,
+        key_bits=args.key_bits,
+        max_work=args.max_work,
+        parity_sample=args.parity_sample,
+    )
+    requests = churn_script(
+        prefixes, rounds=args.churns, violation_every=args.violations
+    )
+
+    cluster = spec.build()
+    try:
+        for index, request in enumerate(requests):
+            cluster.request(request)
+            if args.reshard_at is not None and index + 1 == args.reshard_at:
+                record = cluster.reshard(
+                    workers=cluster.workers + args.grow
+                )
+                print(
+                    f"[cluster] resharded to {cluster.workers} workers: "
+                    f"{record['moved_pairs']}/{record['tracked_pairs']} "
+                    f"tracked pairs moved, "
+                    f"{record['migrated_cache_entries']} cache entries "
+                    f"migrated"
+                )
+            if (
+                args.rebalance_at is not None
+                and index + 1 == args.rebalance_at
+            ):
+                record = cluster.rebalance()
+                if record is None:
+                    print("[cluster] rebalance: placement already balanced")
+                else:
+                    print(
+                        f"[cluster] hot-split rebalance: "
+                        f"{record['moved_pairs']} pairs moved"
+                    )
+        snapshot = cluster.snapshot()
+        mismatches = []
+        if not args.no_verify:
+            monitor = spec.build_monitor()
+            drive_monitor(monitor, requests)
+            mismatches = trail_mismatches(cluster.evidence, monitor.evidence)
+    finally:
+        cluster.stop()
+
+    placement = snapshot["placement"]
+    epochs = snapshot["epochs"]
+    print_table(
+        f"cluster — {args.transport} transport, "
+        f"{placement['spec']['strategy']} placement",
+        ["workers", "epochs", "events", "verified", "reused",
+         "violations", "probes caught"],
+        [(placement["spec"]["shards"], epochs["count"], epochs["events"],
+          epochs["verified"], epochs["reused"], epochs["violations"],
+          snapshot["probes"]["violations"])],
+    )
+    worker_rows = sorted(
+        placement["events_per_worker"].items(), key=lambda kv: int(kv[0])
+    )
+    if worker_rows:
+        print_table(
+            "fresh verifications per worker",
+            ["worker", "fresh"],
+            worker_rows,
+        )
+    latency_rows = [
+        (kind, record["completed"],
+         "-" if record["latency"]["p50_s"] is None
+         else f"{record['latency']['p50_s'] * 1000:.1f}",
+         "-" if record["latency"]["p99_s"] is None
+         else f"{record['latency']['p99_s'] * 1000:.1f}")
+        for kind, record in sorted(snapshot["requests"].items())
+    ]
+    if latency_rows:
+        print_table(
+            "request latency",
+            ["type", "completed", "p50 ms", "p99 ms"],
+            latency_rows,
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[cluster] metrics written to {args.json}")
+
+    parity = snapshot["parity"]
+    print(f"[cluster] online parity self-checks: {parity['checked']} run, "
+          f"{parity['failed']} failed")
+    status = 0
+    if parity["failed"]:
+        print(f"[cluster] FAIL: {parity['failed']} online parity "
+              f"self-check(s) failed", file=sys.stderr)
+        status = 1
+    if args.no_verify:
+        print("[cluster] reference parity check skipped (--no-verify)")
+    elif mismatches:
+        print(f"[cluster] FAIL: trail diverged from the unsharded "
+              f"reference ({len(mismatches)} mismatch(es)):",
+              file=sys.stderr)
+        for line in mismatches:
+            print(f"  - {line}", file=sys.stderr)
+        status = 1
+    else:
+        print("[cluster] evidence trail is byte-identical to the "
+              "unsharded reference")
+    return status
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.prefixes < 1:
+        print(f"error: --prefixes must be >= 1, got {args.prefixes}",
+              file=sys.stderr)
+        return 2
+    if args.grow < 1:
+        print(f"error: --grow must be >= 1, got {args.grow}",
+              file=sys.stderr)
+        return 2
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

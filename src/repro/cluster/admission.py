@@ -1,0 +1,156 @@
+"""Admission policies: what happens at the door when load exceeds room.
+
+The serve layer's only policy used to be hard-coded: a bounded queue
+that rejects at the door.  :class:`AdmissionPolicy` makes the decision
+pluggable at two points of a request's life:
+
+* :meth:`~AdmissionPolicy.at_door` — when the client submits: admit
+  into the queue, or reject immediately;
+* :meth:`~AdmissionPolicy.at_dispatch` — when the dispatcher finally
+  picks the request up: serve it, or *shed* it (resolve the client's
+  future with an error without doing the work — the queueing delay
+  already made the answer worthless).
+
+Three policies:
+
+* :class:`RejectAtDoor` — the classic bounded queue (the previous
+  behaviour, and the default);
+* :class:`DeadlineShed` — admit freely while there is room, but shed
+  any request that waited longer than its type's deadline: under a
+  burst the queue drains at the cost of the stalest work, which is the
+  right trade for *query* traffic whose answer goes stale anyway;
+* :class:`PriorityAdmission` — per-request-type priorities: a type of
+  priority ``p`` may only use the first ``(p+1)/(P+1)`` fraction of
+  the queue, so background traffic (adjudication) is turned away while
+  churn — the traffic that keeps the audit trail current — still has
+  headroom.
+
+Policies are stateless values (picklable), shared by the asyncio serve
+layer and the cluster coordinator's IPC admission plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cluster.requests import AdmissionError
+
+__all__ = [
+    "AdmissionPolicy",
+    "DeadlineShed",
+    "PriorityAdmission",
+    "RejectAtDoor",
+    "ShedError",
+    "make_admission",
+]
+
+
+class ShedError(AdmissionError):
+    """The request was admitted but shed before service (its deadline
+    passed while it queued)."""
+
+
+class AdmissionPolicy:
+    """Strategy interface for the two admission decision points."""
+
+    def at_door(self, kind: str, queued: int, depth: int) -> bool:
+        """May a ``kind`` request enter a queue holding ``queued`` of
+        ``depth``?  The queue's hard bound still applies on top."""
+        raise NotImplementedError
+
+    def at_dispatch(self, kind: str, waited: float) -> bool:
+        """Serve a ``kind`` request that queued for ``waited`` seconds
+        (``False`` = shed it)?"""
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        return {"policy": type(self).__name__}
+
+
+@dataclass(frozen=True)
+class RejectAtDoor(AdmissionPolicy):
+    """The bounded queue: room or rejection, nothing in between."""
+
+    def at_door(self, kind: str, queued: int, depth: int) -> bool:
+        return queued < depth
+
+
+@dataclass(frozen=True)
+class DeadlineShed(AdmissionPolicy):
+    """Admit while there is room; shed what queued past its deadline.
+
+    ``deadline`` is the default per-type bound in seconds;
+    ``deadlines`` overrides it per request kind (``None`` = that kind
+    is never shed — churn usually should not be, since dropping it
+    silently leaves the audit trail stale).
+    """
+
+    deadline: float = 0.25
+    deadlines: Mapping[str, Optional[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        object.__setattr__(self, "deadlines", dict(self.deadlines))
+
+    def at_door(self, kind: str, queued: int, depth: int) -> bool:
+        return queued < depth
+
+    def at_dispatch(self, kind: str, waited: float) -> bool:
+        bound = self.deadlines.get(kind, self.deadline)
+        return bound is None or waited <= bound
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["deadline_s"] = self.deadline
+        return summary
+
+
+@dataclass(frozen=True)
+class PriorityAdmission(AdmissionPolicy):
+    """Graduated door: priority ``p`` of ``P`` may fill ``(p+1)/(P+1)``
+    of the queue.  Defaults favor churn over queries over adjudication."""
+
+    priorities: Mapping[str, int] = field(default_factory=dict)
+
+    DEFAULTS = {"adjudicate": 0, "query": 1, "churn": 2}
+
+    def __post_init__(self) -> None:
+        merged = dict(self.DEFAULTS)
+        merged.update(self.priorities)
+        if any(p < 0 for p in merged.values()):
+            raise ValueError("priorities must be >= 0")
+        object.__setattr__(self, "priorities", merged)
+
+    def at_door(self, kind: str, queued: int, depth: int) -> bool:
+        top = max(self.priorities.values(), default=0)
+        priority = self.priorities.get(kind, top)
+        allowed = depth * (priority + 1) / (top + 1)
+        return queued < allowed
+
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["priorities"] = dict(self.priorities)
+        return summary
+
+
+def make_admission(spec: object) -> AdmissionPolicy:
+    """Resolve an admission spec: an instance passes through; ``None``
+    and ``"reject"`` build :class:`RejectAtDoor`; ``"deadline"`` or
+    ``"deadline:0.5"`` build :class:`DeadlineShed`; ``"priority"``
+    builds :class:`PriorityAdmission`."""
+    if isinstance(spec, AdmissionPolicy):
+        return spec
+    if spec is None or spec == "reject":
+        return RejectAtDoor()
+    if isinstance(spec, str):
+        head, sep, arg = spec.partition(":")
+        if head == "deadline":
+            return DeadlineShed(float(arg)) if sep else DeadlineShed()
+        if head == "priority":
+            return PriorityAdmission()
+    raise ValueError(
+        f"unknown admission policy {spec!r}; "
+        f"expected reject, deadline[:SECONDS] or priority"
+    )

@@ -1,0 +1,562 @@
+"""The cluster coordinator: placement-driven multi-process verification.
+
+A :class:`Cluster` is built from a :class:`~repro.cluster.spec.ClusterSpec`
+and runs N **fully independent Monitor workers** — each in its own
+process with its own network replica, keystore and evidence store —
+behind one IPC admission plane (request/response over multiprocessing
+pipes; the ``"inline"`` transport drives the same protocol in-process).
+
+The coordinator does four things, none of which is planning:
+
+* **admission** — requests queue behind the spec's
+  :class:`~repro.cluster.admission.AdmissionPolicy`;
+* **fan-out** — churn/epoch/probe commands broadcast to every worker;
+  workers co-plan deterministically (see :mod:`repro.cluster.worker`)
+  and execute their placement's slice concurrently;
+* **folding** — per-worker event slices interleave by plan position
+  into the coordinator's central :class:`~repro.audit.store.EvidenceStore`
+  (re-sequenced on absorption, exactly the
+  :meth:`~repro.audit.store.EvidenceStore.merged` primitive), so the
+  trail is byte-identical to an unsharded monitor's — seq for seq,
+  round for round, verdict for verdict, crypto count for crypto count;
+* **resharding** — :meth:`Cluster.reshard` swaps the placement online:
+  grow-spawned workers fast-forward from the churn log plus a planning
+  snapshot, moved (AS, prefix) ownership migrates its commitment-cache
+  entries to the new owners, and parity is preserved across the move.
+
+Queries and adjudication are answered from the folded central trail, so
+readers always see a consistent view between epochs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.choosers import resolve as resolve_chooser
+from repro.audit.events import EpochReport
+from repro.audit.monitor import Monitor
+from repro.audit.store import EvidenceStore
+from repro.audit.wire import round_randomness
+from repro.pvr.engine import VerificationSession
+
+from repro.cluster.admission import ShedError
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.placement import make_placement, moved_pairs
+from repro.cluster.requests import (
+    AdjudicateRequest,
+    AdmissionError,
+    ChurnRequest,
+    Completion,
+    QueryRequest,
+    answer_adjudicate,
+    answer_query,
+)
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.worker import WorkerState, worker_main
+
+__all__ = ["Cluster", "ClusterError", "EpochOutcome"]
+
+
+class ClusterError(RuntimeError):
+    """A worker failed, or the cluster's shared state diverged."""
+
+
+@dataclass
+class EpochOutcome:
+    """A churn request's result: the epochs (and probes) it triggered."""
+
+    reports: List[EpochReport] = field(default_factory=list)
+    probe_events: List[object] = field(default_factory=list)
+
+    @property
+    def events(self) -> int:
+        return sum(len(r.events) for r in self.reports)
+
+    @property
+    def violations(self) -> int:
+        return sum(len(r.violations()) for r in self.reports) + sum(
+            1 for e in self.probe_events if e.violation_found()
+        )
+
+
+@dataclass
+class _Ticket:
+    request: object
+    enqueued: float
+    completion: Optional[Completion] = None
+    error: Optional[BaseException] = None
+
+    def result(self) -> Completion:
+        if self.error is not None:
+            raise self.error
+        if self.completion is None:
+            raise RuntimeError("ticket has not been served yet")
+        return self.completion
+
+
+class _InlineWorker:
+    """The command protocol against an in-process :class:`WorkerState` —
+    deterministic, pickle-free, and exactly the code path the process
+    transport runs on the far side of the pipe."""
+
+    def __init__(self, *args) -> None:
+        self.state = WorkerState(*args)
+        self._reply: Tuple[str, object] = ("ok", None)
+
+    def post(self, command: Tuple) -> None:
+        try:
+            self._reply = ("ok", self.state.handle(command))
+        except Exception as exc:
+            self._reply = ("error", f"{type(exc).__name__}: {exc}")
+
+    def wait(self) -> object:
+        status, payload = self._reply
+        if status == "error":
+            raise ClusterError(payload)
+        return payload
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _ProcessWorker:
+    """One worker process plus its pipe endpoint."""
+
+    def __init__(self, context, *args) -> None:
+        parent, child = context.Pipe()
+        self.process = context.Process(
+            target=worker_main, args=(*args, child), daemon=True
+        )
+        self.process.start()
+        child.close()
+        self.conn = parent
+        status, payload = self.conn.recv()  # the readiness handshake
+        if status == "error":
+            raise ClusterError(f"worker failed to start:\n{payload}")
+
+    def post(self, command: Tuple) -> None:
+        self.conn.send(command)
+
+    def wait(self) -> object:
+        try:
+            status, payload = self.conn.recv()
+        except EOFError:
+            raise ClusterError("worker died mid-command") from None
+        if status == "error":
+            raise ClusterError(f"worker command failed:\n{payload}")
+        return payload
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.close()
+        finally:
+            self.process.join(timeout=10)
+            if self.process.is_alive():  # pragma: no cover - safety net
+                self.process.terminate()
+
+
+class Cluster:
+    """N process-isolated monitors behind one admission plane."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.placement = spec.resolved_placement()
+        self.admission = spec.resolved_admission()
+        self.keystore = spec.build_keystore()
+        #: the authoritative folded trail (workers' slices interleaved
+        #: in plan order and re-sequenced on absorption)
+        self.evidence = EvidenceStore(
+            self.keystore, max_events=spec.max_events
+        )
+        self.metrics = ClusterMetrics()
+        self._context = (
+            multiprocessing.get_context("fork")
+            if spec.transport == "process"
+            else None
+        )
+        self._churn_log: List[Tuple[object, ...]] = []
+        self._pending: Deque[_Ticket] = deque()
+        self._invalidations: List[tuple] = []
+        self._seen_pairs: set = set()
+        self._load_at_rebalance: Dict[int, int] = {}
+        self._choosers = self._policy_choosers(spec)
+        self._workers = [
+            self._spawn(index) for index in range(self.placement.shards)
+        ]
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, index: int, snapshot=None):
+        args = (
+            self.spec,
+            index,
+            self.placement,
+            tuple(self._churn_log),
+            snapshot,
+        )
+        if self._context is None:
+            return _InlineWorker(*args)
+        return _ProcessWorker(self._context, *args)
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    def stop(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker in self._workers:
+            try:
+                worker.post(("stop",))
+                worker.wait()
+            except ClusterError:
+                pass
+        for worker in self._workers:
+            worker.shutdown()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the IPC fan-out -----------------------------------------------------
+
+    def _broadcast(self, command: Tuple) -> List[object]:
+        """Send one command to every worker, collect every reply.
+
+        Process workers execute concurrently between the post and wait
+        phases — this is where the cluster's parallelism lives.  Every
+        reply is drained before any error is raised: leaving a buffered
+        reply unread would permanently desynchronize that worker's
+        request/response pipe for the rest of the run."""
+        for worker in self._workers:
+            worker.post(command)
+        replies: List[object] = []
+        errors: List[str] = []
+        for index, worker in enumerate(self._workers):
+            try:
+                replies.append(worker.wait())
+            except ClusterError as exc:
+                replies.append(None)
+                errors.append(f"worker {index}: {exc}")
+        if errors:
+            raise ClusterError("; ".join(errors))
+        return replies
+
+    def _request(self, index: int, command: Tuple) -> object:
+        self._workers[index].post(command)
+        return self._workers[index].wait()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, request) -> _Ticket:
+        """Admit one request into the pending queue, or raise
+        :class:`~repro.cluster.requests.AdmissionError`."""
+        if self._stopped:
+            raise RuntimeError("cluster is stopped")
+        kind = request.kind
+        queued = len(self._pending)
+        if queued >= self.spec.queue_depth or not self.admission.at_door(
+            kind, queued, self.spec.queue_depth
+        ):
+            self.metrics.reject(kind)
+            raise AdmissionError(
+                f"admission refused ({kind}, queue {queued}/"
+                f"{self.spec.queue_depth})"
+            )
+        ticket = _Ticket(request=request, enqueued=time.perf_counter())
+        self._pending.append(ticket)
+        self.metrics.admit(kind)
+        return ticket
+
+    def pump(self) -> List[_Ticket]:
+        """Serve everything pending, in admission order."""
+        served = []
+        while self._pending:
+            ticket = self._pending.popleft()
+            self._serve(ticket)
+            served.append(ticket)
+        return served
+
+    def request(self, request) -> Completion:
+        """Admit one request, serve the queue, return its completion."""
+        ticket = self.submit(request)
+        self.pump()
+        return ticket.result()
+
+    def drain(self) -> None:
+        self.pump()
+
+    def _serve(self, ticket: _Ticket) -> None:
+        kind = ticket.request.kind
+        started = time.perf_counter()
+        if not self.admission.at_dispatch(
+            kind, started - ticket.enqueued
+        ):
+            self.metrics.shed(kind)
+            ticket.error = ShedError(
+                f"{kind} request shed after "
+                f"{started - ticket.enqueued:.3f}s in queue"
+            )
+            return
+        try:
+            if isinstance(ticket.request, ChurnRequest):
+                payload = self._serve_churn(ticket.request)
+            elif isinstance(ticket.request, QueryRequest):
+                payload = answer_query(self.evidence, ticket.request)
+            elif isinstance(ticket.request, AdjudicateRequest):
+                payload = answer_adjudicate(self.evidence, ticket.request)
+            else:
+                raise TypeError(
+                    f"unknown request type {type(ticket.request).__name__}"
+                )
+        except Exception as exc:
+            ticket.error = exc
+            return
+        ticket.completion = Completion(
+            request=ticket.request,
+            payload=payload,
+            enqueued=ticket.enqueued,
+            started=started,
+            finished=time.perf_counter(),
+        )
+        self.metrics.complete(kind, ticket.completion.latency)
+
+    # -- the churn pipeline --------------------------------------------------
+
+    def _serve_churn(self, request: ChurnRequest) -> EpochOutcome:
+        steps = tuple(request.steps)
+        marks = tuple(request.marks)
+        if steps:
+            self._churn_log.append(steps)
+        replies = self._broadcast(("churn", steps, marks))
+        pending = any(replies)
+        outcome = EpochOutcome()
+        while pending:
+            report, pending = self._run_epoch()
+            outcome.reports.append(report)
+        for probe in request.probes:
+            owner = self.placement.owner(probe.asn, probe.prefix)
+            replies = self._broadcast(("probe", probe, owner))
+            event = replies[owner]
+            if event is None:
+                raise ClusterError(
+                    f"worker {owner} returned no probe event"
+                )
+            outcome.probe_events.append(self.evidence.absorb([event])[0])
+        if outcome.probe_events:
+            self.metrics.note_probes(outcome.probe_events)
+        return outcome
+
+    def _run_epoch(self) -> Tuple[EpochReport, bool]:
+        """One co-planned epoch across every worker."""
+        replies = self._broadcast(("epoch", tuple(self._invalidations)))
+        self._invalidations = []
+        first = replies[0]
+        merged: Dict[int, object] = {}
+        for index, reply in enumerate(replies):
+            if (
+                reply["epoch"] != first["epoch"]
+                or reply["entries"] != first["entries"]
+            ):
+                raise ClusterError(
+                    f"worker {index} diverged from the co-plan: "
+                    f"epoch {reply['epoch']}/{reply['entries']} entries "
+                    f"vs {first['epoch']}/{first['entries']}"
+                )
+            fresh = sum(1 for _, e in reply["slice"] if not e.reused)
+            if fresh:
+                self.metrics.note_worker(index, fresh)
+            for position, event in reply["slice"]:
+                if position in merged:
+                    raise ClusterError(
+                        f"plan position {position} claimed by two workers"
+                    )
+                merged[position] = event
+            self._invalidations.extend(reply["violated"])
+        if len(merged) != first["entries"]:
+            missing = sorted(
+                set(range(first["entries"])) - set(merged)
+            )[:5]
+            raise ClusterError(
+                f"epoch {first['epoch']}: {len(merged)} of "
+                f"{first['entries']} plan entries executed "
+                f"(first missing positions: {missing})"
+            )
+        ordered = [merged[position] for position in sorted(merged)]
+        absorbed = self.evidence.absorb(ordered)
+        report = EpochReport(epoch=first["epoch"])
+        report.events.extend(absorbed)
+        report.deferred.extend(first["deferred"])
+        report.signatures = sum(e.stats.signatures for e in absorbed)
+        report.verifications = sum(
+            e.stats.verifications for e in absorbed
+        )
+        self.metrics.note_epoch(report)
+        self._seen_pairs.update((e.asn, e.prefix) for e in absorbed)
+        self._parity_check(absorbed)
+        return report, any(r["pending"] for r in replies)
+
+    # -- online resharding ---------------------------------------------------
+
+    def reshard(self, placement: object = None, *, workers: Optional[int] = None):
+        """Swap the placement online; migrate what moved.
+
+        ``placement`` is a :class:`~repro.cluster.placement.Placement`
+        (or strategy name resolved over ``workers`` slots); passing only
+        ``workers`` re-slots the current placement via its
+        ``with_shards``.  Growing spawns fast-forwarded workers (churn
+        replay + planning snapshot); shrinking drains and stops the
+        surplus.  Returns the reshard record appended to the metrics.
+        """
+        if self._pending:
+            self.pump()  # reshard only between requests
+        if placement is None:
+            if workers is None:
+                raise ValueError("reshard needs a placement or workers=")
+            if not hasattr(self.placement, "with_shards"):
+                raise ValueError(
+                    f"{type(self.placement).__name__} cannot re-slot; "
+                    f"pass an explicit placement"
+                )
+            new = self.placement.with_shards(workers)
+        else:
+            new = make_placement(
+                placement, workers if workers is not None else self.workers
+            )
+        old = self.placement
+        moved = moved_pairs(old, new, self._seen_pairs)
+        incumbents = len(self._workers)
+        # grow: spawn fast-forwarded workers before any ownership moves
+        # (self.placement flips first so they adopt the new map directly)
+        self.placement = new
+        if new.shards > incumbents:
+            snapshot = self._request(0, ("snapshot",))
+            for index in range(incumbents, new.shards):
+                self._workers.append(self._spawn(index, snapshot))
+        # every incumbent adopts the placement and exports what moved
+        exports_by_owner: Dict[int, Dict[tuple, tuple]] = {}
+        for index in range(incumbents):
+            exported = self._request(index, ("reshard", new))
+            for key, entry in exported.items():
+                owner = new.owner(key[0], key[1])
+                exports_by_owner.setdefault(owner, {})[key] = entry
+        migrated = 0
+        for owner, entries in sorted(exports_by_owner.items()):
+            migrated += self._request(owner, ("install", entries))
+        # shrink: surplus workers exported everything; retire them
+        while len(self._workers) > new.shards:
+            worker = self._workers.pop()
+            worker.post(("stop",))
+            worker.wait()
+            worker.shutdown()
+        self.metrics.note_reshard(
+            moved=len(moved),
+            tracked=len(self._seen_pairs),
+            migrated_entries=migrated,
+            placement=new.describe(),
+        )
+        return self.metrics.reshards[-1]
+
+    def rebalance(self) -> Optional[dict]:
+        """Hot-split rebalancing: feed the observed per-worker load back
+        into a placement that supports it (``rebalance(loads)``), and
+        reshard onto the result if it differs.  Returns the reshard
+        record, or ``None`` when the placement left itself unchanged."""
+        if not hasattr(self.placement, "rebalance"):
+            raise ValueError(
+                f"{type(self.placement).__name__} has no rebalance(); "
+                f"use the hotsplit placement"
+            )
+        # the load observed since the previous rebalance decision, not
+        # the all-time totals (which would keep splitting a shard that
+        # was hot once, long after its slots moved away)
+        current = dict(self.metrics.worker_events)
+        window = {
+            worker: count - self._load_at_rebalance.get(worker, 0)
+            for worker, count in current.items()
+        }
+        self._load_at_rebalance = current
+        new = self.placement.rebalance(window)
+        if new == self.placement:
+            return None
+        return self.reshard(new)
+
+    # -- parity and views ----------------------------------------------------
+
+    @staticmethod
+    def _policy_choosers(spec: ClusterSpec) -> Dict[str, object]:
+        """Policy name -> chooser ref, mirroring the workers' monitor
+        registration (auto-names included) so the coordinator can replay
+        cross-check rounds for the parity self-check."""
+        mapping: Dict[str, object] = {}
+        for counter, policy in enumerate(spec.policies):
+            name = policy.options.get("name") or (
+                f"{policy.asn}/{Monitor._describe(policy.spec)}#{counter}"
+            )
+            mapping[name] = policy.options.get("chooser")
+        return mapping
+
+    def _parity_check(self, events: Sequence[object]) -> None:
+        """Re-prove a sample of fresh verdicts in the coordinator and
+        compare — the cross-process analogue of the serve layer's
+        self-check.  Failures are counted, never raised; CI gates on the
+        counter staying zero."""
+        sample = self.spec.parity_sample
+        if sample < 1:
+            return
+        checked = failed = 0
+        fresh = [e for e in events if not e.reused]
+        for event in fresh[::sample]:
+            chooser = self._choosers.get(event.policy)
+            if callable(chooser) and not isinstance(chooser, str):
+                continue  # a live chooser cannot be replayed here
+            replay = VerificationSession(
+                self.keystore.worker_view(),
+                event.spec,
+                round=event.round,
+                chooser=resolve_chooser(chooser),
+                random_bytes=round_randomness(
+                    self.spec.rng_seed, event.round
+                ),
+            ).run(dict(event.routes))
+            checked += 1
+            report = event.report
+            if (
+                replay.verdicts != report.verdicts
+                or replay.equivocations != report.equivocations
+                or replay.all_evidence() != report.all_evidence()
+                or replay.all_complaints() != report.all_complaints()
+            ):
+                failed += 1
+        self.metrics.note_parity(checked, failed)
+
+    def merged_view(self) -> EvidenceStore:
+        """One queryable store folded from every worker's *own* trail
+        via :meth:`~repro.audit.store.EvidenceStore.merged` — the
+        distributed-query path.  (The authoritative plan-ordered trail
+        is :attr:`evidence`, folded incrementally as epochs land.)"""
+        stores = []
+        for events in self._broadcast(("events",)):
+            store = EvidenceStore()
+            store.absorb(events)
+            stores.append(store)
+        return EvidenceStore.merged(stores, keystore=self.keystore)
+
+    def worker_counts(self) -> List[Dict[str, int]]:
+        """Each worker's crypto/transport counters (debug/metrics)."""
+        return list(self._broadcast(("counts",)))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The schema-versioned cluster metrics document."""
+        return self.metrics.snapshot(
+            placement=self.placement, admission=self.admission
+        )

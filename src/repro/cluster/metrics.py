@@ -1,0 +1,221 @@
+"""Cluster metrics: the coordinator's ledger and latency primitives.
+
+:class:`LatencySeries` is the exact nearest-rank percentile series the
+whole serving stack shares (``repro.serve.metrics`` re-exports it).
+:class:`ClusterMetrics` is the coordinator-side ledger: per-request-type
+admission/latency accounting, per-worker fresh-verification load (the
+input :class:`~repro.cluster.placement.HotSplit` rebalances on),
+epoch/reuse counters, reshard history (keys moved, cache entries
+migrated), and the verdict-parity self-check tallies the CI cluster
+smoke job gates on.  ``snapshot()`` emits a schema-versioned JSON
+document.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["ClusterMetrics", "LatencySeries", "SCHEMA", "SCHEMA_VERSION"]
+
+SCHEMA = "repro.cluster/metrics"
+SCHEMA_VERSION = 1
+
+#: the percentiles every snapshot reports
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class LatencySeries:
+    """Raw latency samples with exact nearest-rank percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative: {seconds}")
+        self._samples.append(seconds)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ordered(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile: the smallest sample ≥ p% of the
+        distribution.  ``None`` on an empty series."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = self._ordered()
+        if not ordered:
+            return None
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def mean(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> Optional[float]:
+        return self._ordered()[-1] if self._samples else None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": len(self._samples),
+            "mean_s": self.mean(),
+            "max_s": self.max(),
+            **{f"p{p:g}_s": self.percentile(p) for p in PERCENTILES},
+        }
+
+
+class _TypeMetrics:
+    """Counters and latency for one request type."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.completed = 0
+        self.latency = LatencySeries()
+
+
+class ClusterMetrics:
+    """The cluster coordinator's service-wide ledger."""
+
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+        self._types: Dict[str, _TypeMetrics] = {}
+        # the epoch pipeline
+        self.epochs = 0
+        self.events = 0
+        self.verified = 0
+        self.reused = 0
+        self.violations = 0
+        self.deferred = 0
+        self.probes = 0
+        self.probe_violations = 0
+        # placement
+        self.worker_events: Dict[int, int] = {}
+        self.reshards: List[Dict[str, object]] = []
+        # verdict-parity self-checks (CI gates on failed == 0)
+        self.parity_checked = 0
+        self.parity_failed = 0
+
+    def type_metrics(self, kind: str) -> _TypeMetrics:
+        return self._types.setdefault(kind, _TypeMetrics())
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, kind: str) -> None:
+        self.type_metrics(kind).admitted += 1
+
+    def reject(self, kind: str) -> None:
+        self.type_metrics(kind).rejected += 1
+
+    def shed(self, kind: str) -> None:
+        self.type_metrics(kind).shed += 1
+
+    def complete(self, kind: str, latency: float) -> None:
+        tm = self.type_metrics(kind)
+        tm.completed += 1
+        tm.latency.add(latency)
+
+    # -- the epoch pipeline -------------------------------------------------
+
+    def note_epoch(self, report) -> None:
+        """Absorb one :class:`~repro.audit.events.EpochReport`."""
+        self.epochs += 1
+        self.events += len(report.events)
+        self.verified += report.verified
+        self.reused += report.reused
+        self.violations += len(report.violations())
+        self.deferred += len(report.deferred)
+
+    def note_probes(self, events) -> None:
+        self.probes += len(events)
+        self.probe_violations += sum(1 for e in events if e.violation_found())
+
+    def note_worker(self, worker: int, fresh: int) -> None:
+        self.worker_events[worker] = (
+            self.worker_events.get(worker, 0) + fresh
+        )
+
+    def note_reshard(
+        self,
+        *,
+        moved: int,
+        tracked: int,
+        migrated_entries: int,
+        placement: Dict[str, object],
+    ) -> None:
+        self.reshards.append({
+            "moved_pairs": moved,
+            "tracked_pairs": tracked,
+            "moved_fraction": (moved / tracked) if tracked else 0.0,
+            "migrated_cache_entries": migrated_entries,
+            "placement": placement,
+        })
+
+    def note_parity(self, checked: int, failed: int) -> None:
+        self.parity_checked += checked
+        self.parity_failed += failed
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self, placement=None, admission=None) -> Dict[str, object]:
+        """The schema-versioned, JSON-serializable metrics document."""
+        window = time.perf_counter() - self.started
+        requests = {}
+        for kind in sorted(self._types):
+            tm = self._types[kind]
+            requests[kind] = {
+                "admitted": tm.admitted,
+                "rejected": tm.rejected,
+                "shed": tm.shed,
+                "completed": tm.completed,
+                "latency": tm.latency.summary(),
+            }
+        snapshot = {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "window_seconds": window,
+            "requests": requests,
+            "epochs": {
+                "count": self.epochs,
+                "events": self.events,
+                "verified": self.verified,
+                "reused": self.reused,
+                "violations": self.violations,
+                "deferred": self.deferred,
+            },
+            "probes": {
+                "count": self.probes,
+                "violations": self.probe_violations,
+            },
+            "placement": {
+                "spec": placement.describe() if placement is not None else None,
+                "events_per_worker": {
+                    str(worker): count
+                    for worker, count in sorted(self.worker_events.items())
+                },
+                "reshards": list(self.reshards),
+            },
+            "admission": (
+                admission.describe() if admission is not None else None
+            ),
+            "parity": {
+                "checked": self.parity_checked,
+                "failed": self.parity_failed,
+            },
+        }
+        json.dumps(snapshot)  # must always serialize; fail loudly here
+        return snapshot

@@ -1,0 +1,160 @@
+"""The serving request vocabulary, shared by every front-end.
+
+One set of request types serves both front-ends — the single-process
+asyncio :class:`~repro.serve.service.VerificationService` and the
+multi-process :class:`~repro.cluster.cluster.Cluster` — so a workload
+schedule built once (:mod:`repro.serve.loadgen`) drives either.
+Historically these lived in ``repro.serve.service``; they moved here
+when the cluster API subsumed the serve-layer seams (``repro.serve``
+re-exports them, so existing imports keep working).
+
+Churn *steps* may be live callables (``step(network)``) or picklable
+``(builder, args)`` pairs resolved through
+:func:`repro.pvr.scenarios.apply_step` — the pair form crosses the
+cluster's IPC boundary, the callable form is single-process only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.crypto.keystore import KeyStore
+
+__all__ = [
+    "AdjudicateRequest",
+    "AdmissionError",
+    "AuditProbe",
+    "ChurnRequest",
+    "Completion",
+    "QueryRequest",
+    "answer_query",
+    "answer_adjudicate",
+]
+
+
+class AdmissionError(RuntimeError):
+    """The request was refused admission (full queue, priority door,
+    or — for :class:`~repro.cluster.admission.ShedError` — a deadline
+    that passed while it queued)."""
+
+
+@dataclass(frozen=True)
+class AuditProbe:
+    """One out-of-epoch audit ridden on a churn request.
+
+    ``prover`` (a ``keystore -> prover`` factory, e.g. ``LongerRouteProver``)
+    injects a Byzantine prover — the load generator's violation
+    injection.  Probes always run on a real wire path (the monitor's
+    own network, or the owning cluster worker's replica): Byzantine
+    deviations are live behaviours that must see real transport.
+    """
+
+    asn: str
+    prefix: Prefix
+    recipient: str
+    prover: Optional[Callable[[KeyStore], object]] = None
+    max_length: int = 8
+
+
+@dataclass(frozen=True)
+class ChurnRequest:
+    """Apply BGP churn and audit what changed.
+
+    ``steps`` are network mutations — live callables or picklable
+    ``(builder, args)`` pairs (the churn-step builders of
+    :mod:`repro.pvr.scenarios`); ``marks`` are explicit (AS, prefix)
+    pairs to re-audit without any mutation (a resync nudge);
+    ``probes`` are out-of-epoch :class:`AuditProbe` rounds run after
+    the epoch work.
+    """
+
+    steps: Tuple[object, ...] = ()
+    marks: Tuple[Tuple[str, Prefix], ...] = ()
+    probes: Tuple[AuditProbe, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "churn"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Read the evidence trail: ``what``, scoped by the optional args."""
+
+    what: str = "summary"  # summary | violations | events | evidence
+    asn: Optional[str] = None
+    prefix: Optional[Prefix] = None
+    policy: Optional[str] = None
+
+    @property
+    def kind(self) -> str:
+        return "query"
+
+
+@dataclass(frozen=True)
+class AdjudicateRequest:
+    """Run the judge: one event by ``seq``, or every stored violation."""
+
+    seq: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return "adjudicate"
+
+
+@dataclass
+class Completion:
+    """What a resolved request carries back to its client."""
+
+    request: object
+    payload: object
+    enqueued: float
+    started: float = 0.0
+    finished: float = 0.0
+    net_delay: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """Client-observed latency: network transit + queue + service."""
+        return (self.finished - self.enqueued) + self.net_delay
+
+    @property
+    def queue_delay(self) -> float:
+        return self.started - self.enqueued
+
+    @property
+    def service_time(self) -> float:
+        return self.finished - self.started
+
+
+def answer_query(store, request: QueryRequest):
+    """Resolve one :class:`QueryRequest` against an evidence store —
+    the single definition both front-ends serve reads through."""
+    if request.what == "summary":
+        return store.summary()
+    if request.what == "violations":
+        return store.violations()
+    if request.what == "evidence":
+        return store.evidence()
+    if request.what == "events":
+        events = store.events()
+        if request.asn is not None:
+            events = tuple(e for e in events if e.asn == request.asn)
+        if request.prefix is not None:
+            events = tuple(e for e in events if e.prefix == request.prefix)
+        if request.policy is not None:
+            events = tuple(e for e in events if e.policy == request.policy)
+        return events
+    raise ValueError(f"unknown query {request.what!r}")
+
+
+def answer_adjudicate(store, request: AdjudicateRequest) -> Dict[int, object]:
+    """Resolve one :class:`AdjudicateRequest` against an evidence store."""
+    if request.seq is None:
+        return store.adjudicate()
+    for event in store.events():
+        if event.seq == request.seq:
+            return store.adjudicate(event)
+    raise KeyError(f"no stored event with seq {request.seq}")

@@ -1,0 +1,142 @@
+"""The declarative cluster description: :class:`ClusterSpec`.
+
+A spec is everything needed to stand up — or *re*-stand up — a
+verification cluster: how to build the network substrate, which promise
+policies to register, how the policy space is placed across workers,
+what the admission plane does under load, and how workers are isolated
+(``"process"`` for real OS processes over multiprocessing pipes,
+``"inline"`` for same-process workers speaking the identical command
+protocol — the deterministic configuration tests and benchmarks pin
+against).
+
+The same spec also builds the *unsharded reference*
+(:meth:`ClusterSpec.build_monitor`): one plain
+:class:`~repro.audit.monitor.Monitor` over an identically constructed
+network — the byte-parity oracle every cluster trail is checked
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Optional, Tuple
+
+from repro.audit.monitor import Monitor
+from repro.audit.store import EvidenceStore
+from repro.crypto.keystore import KeyStore
+
+from repro.cluster.admission import AdmissionPolicy, make_admission
+from repro.cluster.placement import Placement, make_placement
+
+__all__ = ["ClusterSpec", "PolicySpec"]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One promise policy, as data: ``monitor.policy(asn, spec, **options)``.
+
+    For the process transport, prefer picklable ingredients: promise
+    templates and module-level factories for ``spec``, and *named*
+    choosers (:mod:`repro.audit.choosers`) in ``options`` — live
+    closures only work because workers fork from the coordinator, and
+    they cannot survive a worker restart on a spawn-based platform.
+    """
+
+    asn: str
+    spec: object
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+
+    def install(self, monitor: Monitor) -> None:
+        monitor.policy(self.asn, self.spec, **self.options)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A declarative description of one verification cluster.
+
+    ``network`` is a zero-argument factory building the
+    :class:`~repro.bgp.network.BGPNetwork` substrate — called once per
+    worker (each worker owns a fully independent replica) and once for
+    the reference monitor.  It must be deterministic: replicas stay in
+    lockstep because they apply identical churn to identical networks.
+
+    ``placement`` is a :class:`~repro.cluster.placement.Placement`, a
+    strategy name (``"static"``/``"consistent"``/``"hotsplit"``, built
+    over ``workers`` shard slots), or ``None`` (static).  ``admission``
+    likewise resolves through
+    :func:`~repro.cluster.admission.make_admission`.
+    """
+
+    network: Callable[[], object]
+    policies: Tuple[PolicySpec, ...] = ()
+    workers: int = 2
+    placement: object = None
+    admission: object = None
+    transport: str = "process"  # "process" | "inline"
+    queue_depth: int = 64
+    rng_seed: object = 2011
+    key_bits: int = 512
+    max_work: Optional[int] = None
+    #: eviction bound of the coordinator's folded trail
+    max_events: Optional[int] = None
+    #: eviction bound of each worker's *own* trail (workers re-record
+    #: their slice locally for the distributed-query path; a long-lived
+    #: worker should bound it — violations stay pinned either way)
+    worker_max_events: Optional[int] = None
+    parity_sample: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("process", "inline"):
+            raise ValueError(
+                f"transport must be 'process' or 'inline', "
+                f"got {self.transport!r}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.parity_sample < 0:
+            raise ValueError("parity_sample must be >= 0")
+        object.__setattr__(self, "policies", tuple(self.policies))
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolved_placement(self) -> Placement:
+        return make_placement(self.placement, self.workers)
+
+    def resolved_admission(self) -> AdmissionPolicy:
+        return make_admission(self.admission)
+
+    def with_transport(self, transport: str) -> "ClusterSpec":
+        return replace(self, transport=transport)
+
+    # -- construction --------------------------------------------------------
+
+    def build(self):
+        """Build (and start) the :class:`~repro.cluster.cluster.Cluster`."""
+        from repro.cluster.cluster import Cluster
+
+        return Cluster(self)
+
+    def build_keystore(self) -> KeyStore:
+        """A keystore identical to every worker's (deterministic keys
+        from the shared seed)."""
+        return KeyStore(seed=self.rng_seed, key_bits=self.key_bits)
+
+    def build_monitor(self, *, pair_filter=None) -> Monitor:
+        """The unsharded reference: one plain monitor, same network,
+        same policies, same seeds — the parity oracle."""
+        keystore = self.build_keystore()
+        monitor = Monitor(
+            keystore,
+            rng_seed=self.rng_seed,
+            max_work_per_epoch=self.max_work,
+            store=EvidenceStore(keystore, max_events=self.max_events),
+            pair_filter=pair_filter,
+        ).attach(self.network())
+        for policy in self.policies:
+            policy.install(monitor)
+        return monitor

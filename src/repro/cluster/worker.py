@@ -1,0 +1,368 @@
+"""The cluster worker: a fully independent Monitor in its own process.
+
+Every worker owns a complete, deterministic **replica** of the audited
+network (built from the spec's factory) and a
+:class:`ClusterWorkerMonitor` over it.  The coordinator never plans on
+the workers' behalf — instead the cluster runs **deterministic
+co-planning**: every worker applies the *same* churn to its replica,
+marks the *same* dirty pairs, and derives the *same* global epoch plan
+(same entries, same canonical order, same round allocation) — then
+executes only the slice its :class:`~repro.cluster.placement.Placement`
+assigns it, over its own wire.  Because round numbers and commitment
+nonces are a pure function of the shared plan, the union of the slices
+is byte-identical to an unsharded monitor's epoch, whoever owns what.
+
+Two pieces of shared state make co-planning exact:
+
+* **shadow cache entries** — a worker tracks the reuse *fingerprint* of
+  every out-of-shard tuple (with a :data:`SHADOW` placeholder instead
+  of the verdict event), so its reuse decisions — which determine round
+  allocation — match the owner's;
+* **violation invalidations** — violations are never cached; the owner
+  drops its entry locally and the coordinator broadcasts the tuple key
+  so every other worker drops its shadow before the next plan.
+
+The same mechanism powers **online resharding**: ownership moving to
+another worker exports the real cache entry (fingerprint + verdict
+event) for installation at the new owner and leaves a shadow behind —
+reuse decisions are unchanged everywhere, so parity survives the move.
+
+One worker process speaks a small request/response command protocol
+over a multiprocessing pipe (see :data:`COMMANDS`); the inline
+transport drives the identical :class:`WorkerState` object in-process.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.monitor import Monitor
+from repro.audit.store import EvidenceStore
+from repro.crypto.keystore import KeyStore
+from repro.pvr.scenarios import apply_step
+
+from repro.cluster.placement import Placement
+from repro.cluster.requests import AuditProbe
+
+__all__ = ["ClusterWorkerMonitor", "SHADOW", "WorkerState", "worker_main"]
+
+#: the wire-visible command vocabulary (documentation; the coordinator
+#: and :meth:`WorkerState.handle` are the two endpoints)
+COMMANDS = (
+    "churn",        # (steps, marks) -> pending
+    "epoch",        # (invalidations,) -> epoch slice
+    "probe",        # (probe, owner) -> event | None
+    "reshard",      # (placement,) -> exported cache entries
+    "install",      # (entries,) -> count installed
+    "snapshot",     # () -> planning state for a grow-spawned worker
+    "events",       # () -> this worker's own evidence trail
+    "counts",       # () -> crypto/transport counters
+    "stop",         # () -> None (the worker exits)
+)
+
+
+class _ShadowType:
+    """Placeholder for the verdict event of a tuple another worker owns
+    (only its fingerprint matters here).  A pickled shadow resolves back
+    to the singleton."""
+
+    _instance: Optional["_ShadowType"] = None
+
+    def __new__(cls) -> "_ShadowType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "<shadow>"
+
+    def __reduce__(self):
+        return (_ShadowType, ())
+
+
+SHADOW = _ShadowType()
+
+
+class ClusterStateError(RuntimeError):
+    """A worker's shared-planning state diverged (e.g. it owns a tuple
+    whose cache entry was never migrated to it)."""
+
+
+class ClusterWorkerMonitor(Monitor):
+    """A monitor that plans globally but executes only its placement's
+    share.
+
+    No ``pair_filter`` is installed: *marks are global*, so the plan —
+    and with it round allocation — is identical on every worker and on
+    the unsharded reference.  Ownership is enforced at execution time
+    instead, against the current (swappable) placement.
+    """
+
+    def __init__(
+        self,
+        keystore: KeyStore,
+        *,
+        placement: Placement,
+        index: int,
+        **options,
+    ) -> None:
+        super().__init__(keystore, **options)
+        self.placement = placement
+        self.index = index
+
+    def owns(self, asn: str, prefix) -> bool:
+        return self.placement.owner(asn, prefix) == self.index
+
+    # -- the co-planned epoch ------------------------------------------------
+
+    def run_epoch_slice(self):
+        """Plan the *global* epoch, execute this worker's slice.
+
+        Returns ``(plan, slice, violated)``: ``slice`` is the owned
+        events as ``(plan position, event)`` pairs — the coordinator
+        interleaves all workers' slices by position to reconstruct the
+        canonical trail — and ``violated`` lists the cache keys of
+        owned tuples whose fresh verdict found a violation (broadcast
+        as shadow invalidations before the next plan).
+        """
+        plan = self.plan_epoch()
+        events: List[Tuple[int, object]] = []
+        violated: List[tuple] = []
+        for position, entry in enumerate(plan.entries):
+            key = self._cache_key(entry.item)
+            owned = self.owns(entry.item.asn, entry.item.prefix)
+            if entry.fresh:
+                if owned:
+                    report, stats = self.run_planned_round(entry)
+                    event = self.record_planned(
+                        entry, report, stats, epoch=plan.epoch
+                    )
+                    events.append((position, event))
+                    if not event.ok():
+                        violated.append(key)
+                else:
+                    # mirror the owner's cache decision optimistically;
+                    # a violation there is invalidated by broadcast
+                    # before the next plan ever consults this entry
+                    self._cache[key] = (entry.fingerprint, SHADOW)
+            elif entry.previous is SHADOW:
+                if owned:
+                    raise ClusterStateError(
+                        f"worker {self.index} owns {key} but holds only "
+                        f"a shadow cache entry (missed migration?)"
+                    )
+            elif owned:
+                events.append(
+                    (position, self.emit_reused(entry, epoch=plan.epoch))
+                )
+            # an unowned real entry (pre-reshard leftover) needs no
+            # action: the owner emits, our copy keeps the fingerprint
+        return plan, events, violated
+
+    def invalidate(self, keys: Sequence[tuple]) -> None:
+        """Drop cache entries (real or shadow) for violated tuples."""
+        for key in keys:
+            self._cache.pop(tuple(key), None)
+
+    def probe_round(self, probe: AuditProbe, owner: int):
+        """One out-of-epoch audit.  The owner runs the wire round; every
+        other worker burns the same round number so allocation stays in
+        lockstep with the unsharded reference."""
+        if owner != self.index:
+            self._next_round()
+            return None
+        return self.audit_once(
+            probe.asn,
+            probe.prefix,
+            probe.recipient,
+            prover=(
+                probe.prover(self.keystore)
+                if probe.prover is not None
+                else None
+            ),
+            max_length=probe.max_length,
+        )
+
+    # -- resharding ----------------------------------------------------------
+
+    def reshard(self, placement: Placement) -> Dict[tuple, tuple]:
+        """Adopt ``placement``; export (and demote to shadow) every real
+        cache entry for a pair this worker no longer owns."""
+        self.placement = placement
+        exported: Dict[tuple, tuple] = {}
+        for key, (fingerprint, event) in list(self._cache.items()):
+            if event is SHADOW:
+                continue
+            asn, prefix = key[0], key[1]
+            if placement.owner(asn, prefix) != self.index:
+                exported[key] = (fingerprint, event)
+                self._cache[key] = (fingerprint, SHADOW)
+        return exported
+
+    def install(self, entries: Dict[tuple, tuple]) -> int:
+        """Install migrated real cache entries for pairs now owned."""
+        for key, (fingerprint, event) in entries.items():
+            asn, prefix = key[0], key[1]
+            if not self.owns(asn, prefix):
+                raise ClusterStateError(
+                    f"worker {self.index} was sent a cache entry for "
+                    f"({asn}, {prefix}) it does not own"
+                )
+            self._cache[key] = (fingerprint, event)
+        return len(entries)
+
+    # -- state sync (grow-spawned workers) -----------------------------------
+
+    def planning_snapshot(self) -> Tuple[int, int, Dict[tuple, tuple]]:
+        """The shared planning state a newly spawned worker adopts:
+        epoch counter, round counter, and the full fingerprint cache
+        (events stripped to shadows — reals arrive via migration)."""
+        if self._dirty:
+            raise ClusterStateError(
+                "cannot snapshot planning state with churn pending"
+            )
+        return (
+            self.epoch,
+            self._round_counter,
+            {
+                key: (fingerprint, SHADOW)
+                for key, (fingerprint, _) in self._cache.items()
+            },
+        )
+
+    def adopt_snapshot(
+        self, snapshot: Tuple[int, int, Dict[tuple, tuple]]
+    ) -> None:
+        epoch, round_counter, cache = snapshot
+        self.epoch = epoch
+        self._round_counter = round_counter
+        self._cache = dict(cache)
+        self._dirty.clear()
+
+
+class WorkerState:
+    """One worker's world: the network replica, the monitor, the
+    command handler.  Identical for both transports."""
+
+    def __init__(
+        self,
+        spec,
+        index: int,
+        placement: Placement,
+        churn_log: Sequence[Tuple[object, ...]] = (),
+        snapshot=None,
+    ) -> None:
+        self.spec = spec
+        self.index = index
+        network = spec.network()
+        keystore = spec.build_keystore()
+        self.monitor = ClusterWorkerMonitor(
+            keystore,
+            placement=placement,
+            index=index,
+            rng_seed=spec.rng_seed,
+            max_work_per_epoch=spec.max_work,
+            store=EvidenceStore(
+                keystore, max_events=spec.worker_max_events
+            ),
+        ).attach(network)
+        for policy in spec.policies:
+            policy.install(self.monitor)
+        self.network = network
+        # a grow-spawned worker fast-forwards: replay the churn history
+        # so its replica's RIBs match the incumbents', then adopt their
+        # planning state (the monitor hooks marked pairs dirty during
+        # replay and registration; adopt_snapshot clears them — those
+        # epochs already ran elsewhere)
+        for steps in churn_log:
+            for step in steps:
+                apply_step(step, network)
+            network.run_to_quiescence()
+        if snapshot is not None:
+            self.monitor.adopt_snapshot(snapshot)
+
+    # -- command handlers ----------------------------------------------------
+
+    def handle(self, command: Tuple) -> object:
+        op, args = command[0], command[1:]
+        handler = getattr(self, f"_do_{op}", None)
+        if handler is None:
+            raise ValueError(f"unknown worker command {op!r}")
+        return handler(*args)
+
+    def _do_churn(self, steps, marks) -> bool:
+        for step in steps:
+            apply_step(step, self.network)
+        for asn, prefix in marks:
+            self.monitor.mark(asn, prefix)
+        self.network.run_to_quiescence()
+        return bool(self.monitor.pending())
+
+    def _do_epoch(self, invalidations):
+        self.monitor.invalidate(invalidations)
+        plan, events, violated = self.monitor.run_epoch_slice()
+        return {
+            "epoch": plan.epoch,
+            "entries": len(plan.entries),
+            "slice": events,
+            "violated": violated,
+            "deferred": list(plan.deferred),
+            "pending": bool(self.monitor.pending()),
+        }
+
+    def _do_probe(self, probe, owner):
+        return self.monitor.probe_round(probe, owner)
+
+    def _do_reshard(self, placement):
+        return self.monitor.reshard(placement)
+
+    def _do_install(self, entries):
+        return self.monitor.install(entries)
+
+    def _do_snapshot(self):
+        return self.monitor.planning_snapshot()
+
+    def _do_events(self):
+        return self.monitor.evidence.events()
+
+    def _do_counts(self):
+        return {
+            "signatures": self.monitor.keystore.sign_count,
+            "verifications": self.monitor.keystore.verify_count,
+            "messages": self.network.transport.delivered,
+            "bytes": self.network.transport.bytes_sent,
+            "events": len(self.monitor.evidence),
+        }
+
+    def _do_stop(self):
+        return None
+
+
+def worker_main(spec, index, placement, churn_log, snapshot, conn) -> None:
+    """The process-transport entry point: serve commands until "stop".
+
+    Every command gets exactly one reply: ``("ok", payload)`` or
+    ``("error", message)`` — an exception must never leave the
+    coordinator hanging on ``recv()``.
+    """
+    try:
+        state = WorkerState(spec, index, placement, churn_log, snapshot)
+        conn.send(("ok", "ready"))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        try:
+            payload = state.handle(command)
+            conn.send(("ok", payload))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+        if command[0] == "stop":
+            break
+    conn.close()

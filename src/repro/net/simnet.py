@@ -208,14 +208,22 @@ class Network:
         return self.simulator.run(until=until, max_events=max_events)
 
 
-def _estimate_size(payload: Any) -> int:
-    """Rough wire-size accounting for the overhead benchmarks."""
+def estimate_size(payload: Any) -> int:
+    """Wire-size accounting for the overhead benchmarks and the serve
+    layer's replayed transport cost model: the canonical encoding's
+    length where one exists, a deterministic repr fallback otherwise.
+    This is the single definition of "bytes on the wire" — the network's
+    ``bytes_sent`` counter and any off-wire cost replay both use it, so
+    the two can never disagree."""
     from repro.util.encoding import CanonicalEncodeError, canonical_encode
 
     try:
         return len(canonical_encode(payload))
     except CanonicalEncodeError:
         return len(repr(payload).encode("utf-8"))
+
+
+_estimate_size = estimate_size
 
 
 def build_network(

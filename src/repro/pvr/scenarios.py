@@ -53,7 +53,10 @@ __all__ = [
     "register_churn",
     "get_churn",
     "churn_names",
+    "apply_step",
+    "step_name",
     "figure1_network",
+    "serve_network",
     "flap_session",
     "restore_session",
     "bounce_session",
@@ -450,6 +453,31 @@ def churn_names() -> Tuple[str, ...]:
 # churn-step builders ----------------------------------------------------------
 
 
+def apply_step(step, net) -> None:
+    """Apply one churn step to ``net``.
+
+    A step is either a live callable ``step(net)`` (the closures the
+    builders below return) or a picklable ``(builder, args)`` pair —
+    the form that crosses the cluster's IPC boundary, since the builders
+    are module-level functions that pickle by reference while their
+    closures do not.  The pair is rebuilt (``builder(*args)``) and
+    applied on the receiving side.
+    """
+    if callable(step):
+        step(net)
+        return
+    builder, args = step
+    builder(*args)(net)
+
+
+def step_name(step) -> str:
+    """A human-readable name for either step form (logs and CLIs)."""
+    if callable(step):
+        return getattr(step, "__name__", repr(step))
+    builder, args = step
+    return f"{builder.__name__}({','.join(map(str, args))})"
+
+
 def flap_session(a: str, b: str):
     """Drop the a<->b BGP session and all routes learned over it."""
 
@@ -580,6 +608,33 @@ def _churn_multiprefix() -> ChurnScenario:
             flap_session("O", "N2"),
             restore_session("O", "N2"),
             reoriginate("O", Prefix.parse("10.1.0.0/16")),
+        ),
+    )
+
+
+@register_churn(
+    "serve-burst",
+    "The serving substrate under burst churn: a flap storm across both "
+    "feed sessions followed by a full table reset, the loadgen burst "
+    "schedules' shape as an audit-CLI scenario",
+)
+def _serve_burst() -> ChurnScenario:
+    def build():
+        return serve_network(4)[0]
+
+    return ChurnScenario(
+        build=build,
+        prefix=Prefix.parse("10.0.0.0/16"),
+        policies=((("A"), ShortestRoute(), {"max_length": 8}),),
+        churn=(
+            # the storm: back-to-back bounces, no settling between
+            bounce_session("O", "N2"),
+            bounce_session("X", "N1"),
+            bounce_session("O", "N2"),
+            # the table reset: the origin feed drops and re-establishes,
+            # resending the full table through the resync hooks
+            flap_session("O", "X"),
+            restore_session("O", "X"),
         ),
     )
 

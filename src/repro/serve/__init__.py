@@ -2,7 +2,12 @@
 
 The audit plane (:mod:`repro.audit`) verifies; this package *serves* —
 the layer that turns one monitor into something that fronts heavy
-traffic.  The request lifecycle is **admit → shard → verify → merge**:
+traffic.  Its seams are the cluster API's (:mod:`repro.cluster`): the
+request vocabulary, :class:`~repro.cluster.placement.Placement` and
+:class:`~repro.cluster.admission.AdmissionPolicy` are shared with the
+multi-process :class:`~repro.cluster.cluster.Cluster`, and this module
+re-exports them, so ``from repro.serve import ChurnRequest`` keeps
+working.  The request lifecycle is **admit → shard → verify → merge**:
 
 * :class:`~repro.serve.service.VerificationService` — an asyncio
   front-end with a bounded admission queue and churn coalescing; three
@@ -28,6 +33,19 @@ traffic.  The request lifecycle is **admit → shard → verify → merge**:
 Run ``python -m repro.serve`` for the service + load-generator CLI.
 """
 
+from repro.cluster.admission import (
+    AdmissionPolicy,
+    DeadlineShed,
+    PriorityAdmission,
+    RejectAtDoor,
+    ShedError,
+)
+from repro.cluster.placement import (
+    ConsistentHash,
+    HotSplit,
+    Placement,
+    StaticHash,
+)
 from repro.serve.loadgen import (
     LoadProfile,
     LoadReport,
@@ -36,8 +54,10 @@ from repro.serve.loadgen import (
     SimnetGateway,
     ZipfSampler,
     build_schedule,
+    flap_storm,
     run_open_loop,
     run_scripted,
+    table_reset,
 )
 from repro.serve.merge import MergeError, fold_plan, shard_streams
 from repro.serve.metrics import LatencySeries, ServeMetrics
@@ -63,25 +83,35 @@ from repro.serve.sharding import (
 __all__ = [
     "AdjudicateRequest",
     "AdmissionError",
+    "AdmissionPolicy",
     "AuditProbe",
     "ChurnRequest",
     "Completion",
+    "ConsistentHash",
+    "DeadlineShed",
     "EpochOutcome",
+    "HotSplit",
     "LatencySeries",
     "LoadProfile",
     "LoadReport",
     "MergeError",
     "Op",
+    "Placement",
+    "PriorityAdmission",
     "QueryRequest",
+    "RejectAtDoor",
     "ServeMetrics",
     "ServeWorkload",
     "ShardExecutor",
     "ShardOutcome",
     "ShardTask",
+    "ShedError",
     "SimnetGateway",
+    "StaticHash",
     "VerificationService",
     "ZipfSampler",
     "build_schedule",
+    "flap_storm",
     "fold_plan",
     "run_open_loop",
     "run_scripted",
@@ -89,4 +119,5 @@ __all__ = [
     "shard_key",
     "shard_of",
     "shard_streams",
+    "table_reset",
 ]

@@ -49,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--shards", type=int, default=2, metavar="N",
                         help="worker shards (default: 2)")
+    parser.add_argument("--placement", default="static",
+                        choices=["static", "consistent", "hotsplit"],
+                        help="shard placement strategy (default: static)")
+    parser.add_argument("--admission", default="reject", metavar="SPEC",
+                        help='admission policy: "reject", '
+                        '"deadline[:S]" or "priority" (default: reject)')
+    parser.add_argument("--rebalance-every", type=int, default=0,
+                        metavar="N", help="hot-split rebalance every N "
+                        "epochs (hotsplit placement; default: off)")
     parser.add_argument("--prefixes", type=int, default=8, metavar="P",
                         help="prefixes originated in the scenario "
                         "(default: 8)")
@@ -95,12 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 async def serve_and_load(args) -> tuple:
+    from repro.cluster.placement import make_placement
     from repro.pvr.scenarios import serve_network
 
     network, prefixes = serve_network(args.prefixes)
     service = VerificationService(
         network,
         shards=args.shards,
+        placement=make_placement(args.placement, args.shards),
+        admission=args.admission,
         key_bits=args.key_bits,
         rng_seed=args.seed,
         queue_depth=args.queue_depth,
@@ -108,6 +120,7 @@ async def serve_and_load(args) -> tuple:
         max_events=args.max_events,
         backend=args.backend,
         parity_sample=args.parity_sample,
+        rebalance_every=args.rebalance_every,
     )
     service.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
 

@@ -38,9 +38,10 @@ def stats_from_outcome(
 ) -> RoundStats:
     """Wire-round-shaped cost accounting for a shard-executed session.
 
-    Shard workers verify in memory, so the transport counters are zero
-    (the byte/message cost of monitored rounds is the wire path's
-    concern); crypto counts and wall time are the worker's own.
+    Shard workers verify in memory but *replay the wire cost model*
+    (:func:`repro.audit.wire.modeled_wire_stats`), so the byte/message
+    counters here match what the serial wire path records for the same
+    round; crypto counts and wall time are the worker's own.
     """
     spec = entry.item.spec
     report = outcome.report
@@ -49,6 +50,8 @@ def stats_from_outcome(
         recipient=spec.recipient,
         providers=spec.providers,
         recipients=spec.recipients,
+        messages=outcome.messages,
+        bytes=outcome.bytes,
         signatures=outcome.signatures,
         verifications=outcome.verifications,
         wall_seconds=outcome.wall_seconds,

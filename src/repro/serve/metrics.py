@@ -2,9 +2,10 @@
 
 The serving layer's product is a latency distribution, not a mean: an
 audit plane in front of BGP churn is judged by what its slowest
-requests see.  :class:`LatencySeries` keeps raw samples and answers
-nearest-rank percentiles exactly (no streaming sketch — sample counts
-here are bounded by the workload, and exactness keeps the bench
+requests see.  :class:`LatencySeries` (the shared implementation from
+:mod:`repro.cluster.metrics`, re-exported here) keeps raw samples and
+answers nearest-rank percentiles exactly (no streaming sketch — sample
+counts here are bounded by the workload, and exactness keeps the bench
 experiments reproducible to the sample).  :class:`ServeMetrics` is the
 service-wide ledger: per-request-type admission counters and latency
 series, per-shard event counts (hot-shard skew), epoch/coalescing
@@ -16,70 +17,15 @@ CLI writes and CI uploads.
 from __future__ import annotations
 
 import json
-import math
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
+
+from repro.cluster.metrics import LatencySeries
 
 __all__ = ["LatencySeries", "ServeMetrics", "SCHEMA", "SCHEMA_VERSION"]
 
 SCHEMA = "repro.serve/metrics"
 SCHEMA_VERSION = 1
-
-#: the percentiles every snapshot reports
-PERCENTILES = (50.0, 90.0, 99.0)
-
-
-class LatencySeries:
-    """Raw latency samples with exact nearest-rank percentiles."""
-
-    def __init__(self) -> None:
-        self._samples: List[float] = []
-        self._sorted = True
-
-    def add(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"latency cannot be negative: {seconds}")
-        self._samples.append(seconds)
-        self._sorted = False
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    def _ordered(self) -> List[float]:
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
-        return self._samples
-
-    def percentile(self, p: float) -> Optional[float]:
-        """Nearest-rank percentile: the smallest sample ≥ p% of the
-        distribution.  ``None`` on an empty series."""
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile must be in (0, 100], got {p}")
-        ordered = self._ordered()
-        if not ordered:
-            return None
-        rank = math.ceil(p / 100.0 * len(ordered))
-        return ordered[rank - 1]
-
-    def mean(self) -> Optional[float]:
-        if not self._samples:
-            return None
-        return sum(self._samples) / len(self._samples)
-
-    def max(self) -> Optional[float]:
-        return self._ordered()[-1] if self._samples else None
-
-    def summary(self) -> Dict[str, object]:
-        return {
-            "count": len(self._samples),
-            "mean_s": self.mean(),
-            "max_s": self.max(),
-            **{
-                f"p{p:g}_s": self.percentile(p)
-                for p in PERCENTILES
-            },
-        }
 
 
 class _TypeMetrics:
@@ -89,6 +35,7 @@ class _TypeMetrics:
         self.admitted = 0
         self.rejected = 0
         self.dropped = 0
+        self.shed = 0
         self.completed = 0
         self.latency = LatencySeries()   # enqueue (+ net delay) -> done
         self.queue_delay = LatencySeries()  # enqueue -> dispatch
@@ -115,6 +62,7 @@ class ServeMetrics:
         # sharding
         self.shards = 0
         self.shard_events: Dict[int, int] = {}
+        self.rebalances: List[Dict[str, object]] = []
         # verdict-parity self-checks (CI gates on failed == 0)
         self.parity_checked = 0
         self.parity_failed = 0
@@ -133,6 +81,10 @@ class ServeMetrics:
     def drop(self, kind: str) -> None:
         """A request lost in transit (the simnet gateway's drops)."""
         self.type_metrics(kind).dropped += 1
+
+    def shed_one(self, kind: str) -> None:
+        """A request shed at dispatch (deadline-based admission)."""
+        self.type_metrics(kind).shed += 1
 
     def complete(
         self,
@@ -170,6 +122,10 @@ class ServeMetrics:
     def note_shard(self, shard: int, events: int) -> None:
         self.shard_events[shard] = self.shard_events.get(shard, 0) + events
 
+    def note_rebalance(self, placement: Dict[str, object]) -> None:
+        """A hot-split placement swap between epochs."""
+        self.rebalances.append(placement)
+
     def note_parity(self, checked: int, failed: int) -> None:
         self.parity_checked += checked
         self.parity_failed += failed
@@ -189,6 +145,7 @@ class ServeMetrics:
                 "admitted": tm.admitted,
                 "rejected": tm.rejected,
                 "dropped": tm.dropped,
+                "shed": tm.shed,
                 "completed": tm.completed,
                 "throughput_rps": (
                     tm.completed / window if window > 0 else None
@@ -221,6 +178,7 @@ class ServeMetrics:
                     str(shard): count
                     for shard, count in sorted(self.shard_events.items())
                 },
+                "rebalances": list(self.rebalances),
             },
             "parity": {
                 "checked": self.parity_checked,

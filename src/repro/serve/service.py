@@ -34,18 +34,31 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.audit.events import EpochReport
+from repro.audit.choosers import resolve as resolve_chooser
 from repro.audit.monitor import EpochPlan, Monitor
 from repro.audit.store import EvidenceStore
 from repro.audit.wire import round_randomness
 from repro.bgp.network import BGPNetwork
-from repro.bgp.prefix import Prefix
+from repro.cluster.admission import ShedError, make_admission
+from repro.cluster.cluster import EpochOutcome
+from repro.cluster.placement import Placement
+from repro.cluster.requests import (
+    AdjudicateRequest,
+    AdmissionError,
+    AuditProbe,
+    ChurnRequest,
+    Completion,
+    QueryRequest,
+    answer_adjudicate,
+    answer_query,
+)
 from repro.crypto.keystore import KeyStore
 from repro.pvr.engine import VerificationSession
 from repro.pvr.execution import BackendSpec
+from repro.pvr.scenarios import apply_step
 
 from repro.serve import merge
 from repro.serve.metrics import ServeMetrics
@@ -63,99 +76,6 @@ __all__ = [
 ]
 
 
-class AdmissionError(RuntimeError):
-    """The admission queue is full; the request was rejected."""
-
-
-@dataclass(frozen=True)
-class AuditProbe:
-    """One out-of-epoch audit ridden on a churn request.
-
-    ``prover`` (a ``keystore -> prover`` factory, e.g. ``LongerRouteProver``)
-    injects a Byzantine prover — the load generator's violation
-    injection.  Probes run on the monitor's local wire path
-    (:meth:`~repro.audit.monitor.Monitor.audit_once`): Byzantine
-    deviations are live objects that must see the real transport, so
-    they are never shipped to shard workers.
-    """
-
-    asn: str
-    prefix: Prefix
-    recipient: str
-    prover: Optional[Callable[[KeyStore], object]] = None
-    max_length: int = 8
-
-
-@dataclass(frozen=True)
-class ChurnRequest:
-    """Apply BGP churn and audit what changed.
-
-    ``steps`` are network mutations (the churn-step builders of
-    :mod:`repro.pvr.scenarios`); ``marks`` are explicit (AS, prefix)
-    pairs to re-audit without any mutation (a resync nudge);
-    ``probes`` are out-of-epoch :class:`AuditProbe` rounds run after
-    the epoch work.
-    """
-
-    steps: Tuple[Callable[[BGPNetwork], None], ...] = ()
-    marks: Tuple[Tuple[str, Prefix], ...] = ()
-    probes: Tuple[AuditProbe, ...] = ()
-
-    @property
-    def kind(self) -> str:
-        return "churn"
-
-
-@dataclass(frozen=True)
-class QueryRequest:
-    """Read the evidence trail: ``what``, scoped by the optional args."""
-
-    what: str = "summary"  # summary | violations | events | evidence
-    asn: Optional[str] = None
-    prefix: Optional[Prefix] = None
-    policy: Optional[str] = None
-
-    @property
-    def kind(self) -> str:
-        return "query"
-
-
-@dataclass(frozen=True)
-class AdjudicateRequest:
-    """Run the judge: one event by ``seq``, or every stored violation."""
-
-    seq: Optional[int] = None
-
-    @property
-    def kind(self) -> str:
-        return "adjudicate"
-
-
-@dataclass
-class Completion:
-    """What a resolved request future carries."""
-
-    request: object
-    payload: object
-    enqueued: float
-    started: float = 0.0
-    finished: float = 0.0
-    net_delay: float = 0.0
-
-    @property
-    def latency(self) -> float:
-        """Client-observed latency: network transit + queue + service."""
-        return (self.finished - self.enqueued) + self.net_delay
-
-    @property
-    def queue_delay(self) -> float:
-        return self.started - self.enqueued
-
-    @property
-    def service_time(self) -> float:
-        return self.finished - self.started
-
-
 @dataclass
 class _Ticket:
     request: object
@@ -164,32 +84,32 @@ class _Ticket:
     net_delay: float = 0.0
 
 
-@dataclass
-class EpochOutcome:
-    """A churn group's result: the epochs (and probes) it triggered."""
-
-    reports: List[EpochReport] = field(default_factory=list)
-    probe_events: List[object] = field(default_factory=list)
-
-    @property
-    def events(self) -> int:
-        return sum(len(r.events) for r in self.reports)
-
-    @property
-    def violations(self) -> int:
-        return sum(len(r.violations()) for r in self.reports) + sum(
-            1 for e in self.probe_events if e.violation_found()
-        )
+def _ships_to_shard(chooser) -> bool:
+    """Whether a plan entry's chooser ref can cross the worker boundary:
+    no chooser, or a :mod:`repro.audit.choosers` registry name."""
+    return chooser is None or isinstance(chooser, str)
 
 
 class VerificationService:
-    """The sharded, asynchronous serving layer over one audit monitor."""
+    """The sharded, asynchronous serving layer over one audit monitor.
+
+    ``placement`` (a :class:`~repro.cluster.placement.Placement`)
+    selects the partition strategy — default the static hash over
+    ``shards`` shards; a :class:`~repro.cluster.placement.HotSplit`
+    placement combined with ``rebalance_every=N`` re-splits the hottest
+    shard from the observed load every N epochs.  ``admission`` (an
+    :class:`~repro.cluster.admission.AdmissionPolicy` or spec string)
+    selects the overload behaviour — reject at the door (default),
+    deadline-based shedding, or per-request-type priorities.
+    """
 
     def __init__(
         self,
         network: BGPNetwork,
         *,
         shards: int = 1,
+        placement: Optional[Placement] = None,
+        admission: object = None,
         keystore: Optional[KeyStore] = None,
         key_bits: int = 512,
         rng_seed: object = 2011,
@@ -199,6 +119,7 @@ class VerificationService:
         max_events: Optional[int] = None,
         backend: BackendSpec = None,
         parity_sample: int = 0,
+        rebalance_every: int = 0,
         metrics: Optional[ServeMetrics] = None,
     ) -> None:
         if queue_depth < 1:
@@ -207,6 +128,8 @@ class VerificationService:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
         if parity_sample < 0:
             raise ValueError("parity_sample must be >= 0")
+        if rebalance_every < 0:
+            raise ValueError("rebalance_every must be >= 0")
         self.keystore = (
             keystore
             if keystore is not None
@@ -220,11 +143,19 @@ class VerificationService:
             store=EvidenceStore(self.keystore, max_events=max_events),
         ).attach(network)
         self.network = network
+        if placement is not None:
+            shards = placement.shards
         self.shards = shards
-        self.executor = ShardExecutor(shards, backend=backend)
+        self.executor = ShardExecutor(
+            shards, backend=backend, placement=placement
+        )
+        self.admission = make_admission(admission)
         self.queue_depth = queue_depth
         self.batch_max = batch_max
         self.parity_sample = parity_sample
+        self.rebalance_every = rebalance_every
+        self._epochs_since_rebalance = 0
+        self._shard_load_baseline: dict = {}
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.metrics.shards = shards
         self._queue: Optional[asyncio.Queue] = None
@@ -285,6 +216,14 @@ class VerificationService:
         """
         if self._queue is None:
             raise RuntimeError("service is not started")
+        if not self.admission.at_door(
+            request.kind, self._queue.qsize(), self.queue_depth
+        ):
+            self.metrics.reject(request.kind)
+            raise AdmissionError(
+                f"admission refused ({request.kind}, queue "
+                f"{self._queue.qsize()}/{self.queue_depth})"
+            )
         ticket = _Ticket(
             request=request,
             future=asyncio.get_running_loop().create_future(),
@@ -334,10 +273,30 @@ class VerificationService:
                 ):
                     group.append(batch[index])
                     index += 1
-                await self._serve_churn_group(group)
+                group = [t for t in group if not self._shed(t)]
+                if group:
+                    await self._serve_churn_group(group)
             else:
-                await self._serve_one(batch[index])
+                if not self._shed(batch[index]):
+                    await self._serve_one(batch[index])
                 index += 1
+
+    def _shed(self, ticket: _Ticket) -> bool:
+        """Apply the admission policy's dispatch-time decision: a shed
+        ticket resolves with :class:`~repro.cluster.admission.ShedError`
+        and its request is never applied."""
+        waited = time.perf_counter() - ticket.enqueued
+        if self.admission.at_dispatch(ticket.request.kind, waited):
+            return False
+        self.metrics.shed_one(ticket.request.kind)
+        if not ticket.future.done():
+            ticket.future.set_exception(
+                ShedError(
+                    f"{ticket.request.kind} request shed after "
+                    f"{waited:.3f}s in queue"
+                )
+            )
+        return True
 
     async def _serve_churn_group(self, group: List[_Ticket]) -> None:
         started = time.perf_counter()
@@ -346,7 +305,7 @@ class VerificationService:
             for ticket in group:
                 request = ticket.request
                 for step in request.steps:
-                    step(self.network)
+                    apply_step(step, self.network)
                 for asn, prefix in request.marks:
                     self.monitor.mark(asn, prefix)
             self.network.run_to_quiescence()
@@ -442,36 +401,10 @@ class VerificationService:
     # -- request handlers ----------------------------------------------------
 
     def _answer_query(self, request: QueryRequest):
-        store = self.evidence
-        if request.what == "summary":
-            return store.summary()
-        if request.what == "violations":
-            return store.violations()
-        if request.what == "evidence":
-            return store.evidence()
-        if request.what == "events":
-            events = store.events()
-            if request.asn is not None:
-                events = tuple(e for e in events if e.asn == request.asn)
-            if request.prefix is not None:
-                events = tuple(
-                    e for e in events if e.prefix == request.prefix
-                )
-            if request.policy is not None:
-                events = tuple(
-                    e for e in events if e.policy == request.policy
-                )
-            return events
-        raise ValueError(f"unknown query {request.what!r}")
+        return answer_query(self.evidence, request)
 
     def _answer_adjudicate(self, request: AdjudicateRequest):
-        store = self.evidence
-        if request.seq is None:
-            return store.adjudicate()
-        for event in store.events():
-            if event.seq == request.seq:
-                return store.adjudicate(event)
-        raise KeyError(f"no stored event with seq {request.seq}")
+        return answer_adjudicate(self.evidence, request)
 
     # -- the sharded epoch pipeline ------------------------------------------
 
@@ -481,15 +414,24 @@ class VerificationService:
         plan = self.monitor.plan_epoch()
         try:
             fresh = plan.fresh_entries()
-            shardable = [(i, e) for i, e in fresh if e.chooser is None]
-            local_entries = [
-                (i, e) for i, e in fresh if e.chooser is not None
+            # named choosers resolve through the registry inside the
+            # worker, so they ship; live callables (which may not
+            # pickle) stay on the monitor's own wire path
+            shardable = [
+                (i, e) for i, e in fresh if _ships_to_shard(e.chooser)
             ]
+            local_entries = [
+                (i, e) for i, e in fresh if not _ships_to_shard(e.chooser)
+            ]
+            neighbor_counts = {
+                entry.item.spec.prover: len(
+                    self.network.transport.neighbors(entry.item.spec.prover)
+                )
+                for _, entry in shardable
+            }
             outcomes = self.executor.execute(
-                self.keystore, shardable, self.rng_seed
+                self.keystore, shardable, self.rng_seed, neighbor_counts
             )
-            # custom choosers are live callables (they may not pickle);
-            # those entries run on the monitor's own wire path
             local = {
                 position: self.monitor.run_planned_round(entry)
                 for position, entry in local_entries
@@ -507,7 +449,37 @@ class VerificationService:
         for shard, stream in merge.shard_streams(outcomes).items():
             self.metrics.note_shard(shard, len(stream))
         self._parity_check(plan, outcomes)
+        self._maybe_rebalance()
         return report
+
+    def _maybe_rebalance(self) -> None:
+        """Hot-split rebalancing between epochs: feed the observed
+        per-shard load back into a placement that supports it.  Swapping
+        the placement only moves *where* future fresh work runs — plans,
+        rounds and verdicts are the central monitor's, so parity is
+        untouched."""
+        if not self.rebalance_every:
+            return
+        placement = self.executor.placement
+        if not hasattr(placement, "rebalance"):
+            return
+        self._epochs_since_rebalance += 1
+        if self._epochs_since_rebalance < self.rebalance_every:
+            return
+        self._epochs_since_rebalance = 0
+        # rebalance on the load observed SINCE the last decision — the
+        # all-time totals would keep a historically hot shard "hottest"
+        # long after its slots were split away
+        current = dict(self.metrics.shard_events)
+        window = {
+            shard: count - self._shard_load_baseline.get(shard, 0)
+            for shard, count in current.items()
+        }
+        self._shard_load_baseline = current
+        rebalanced = placement.rebalance(window)
+        if rebalanced != placement:
+            self.executor.placement = rebalanced
+            self.metrics.note_rebalance(rebalanced.describe())
 
     def _parity_check(self, plan: EpochPlan, outcomes) -> None:
         """Re-prove a sample of fresh verdicts in-process and compare.
@@ -530,7 +502,7 @@ class VerificationService:
                 view,
                 entry.item.spec,
                 round=entry.round,
-                chooser=entry.chooser,
+                chooser=resolve_chooser(entry.chooser),
                 random_bytes=round_randomness(self.rng_seed, entry.round),
             ).run(dict(entry.item.routes))
             checked += 1

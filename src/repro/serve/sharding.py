@@ -12,37 +12,45 @@ make it the right shard key:
   distributed-aggregation literature warns about — the metrics module
   counts per-shard load so the skew is observable.
 
-:func:`shard_key` is a stable content hash (not Python's randomized
-``hash``), so a pair's shard assignment is reproducible across
-processes, runs and hosts.
+*Who* owns a pair is delegated to a
+:class:`~repro.cluster.placement.Placement` — the pluggable strategy
+object the cluster API introduced.  The default is
+:class:`~repro.cluster.placement.StaticHash`, which reproduces the
+original fixed ``sha256 % N`` partition bit for bit (:func:`shard_key`,
+:func:`shard_of` and :func:`shard_filter` remain as thin façades over
+it); pass ``placement=ConsistentHash(...)`` or ``HotSplit(...)`` to the
+executor/service for resharding- and skew-aware partitions.
 
 Two consumers:
 
 * :class:`ShardExecutor` — the serving layer's fan-out engine.  It
   takes the *fresh* entries of a centrally planned epoch
   (:meth:`repro.audit.monitor.Monitor.plan_epoch`), groups them by
-  shard, and runs each shard's batch as one serial unit inside a worker
-  of a :class:`repro.pvr.execution.ProcessPoolBackend` pool (the
-  worker-safe :class:`~repro.crypto.keystore.KeyStore` crosses the
-  boundary by pickle exactly as the PR-2 crypto fan-out does).  Because
-  rounds and nonces were pre-allocated by the planner, the outcome is
-  byte-identical to serial execution, whatever the interleaving.
+  placement owner, and runs each shard's batch as one serial unit
+  inside a worker of a :class:`repro.pvr.execution.ProcessPoolBackend`
+  pool.  Because rounds and nonces were pre-allocated by the planner,
+  the outcome is byte-identical to serial execution, whatever the
+  interleaving — and each worker *replays the wire cost model*
+  (:func:`repro.audit.wire.modeled_wire_stats`), so a sharded round
+  reports the same byte/message counts as the serial wire path.
 * :func:`shard_filter` — a pair filter for *distributed* deployments:
   N pair-filtered monitors over one network each own one shard of the
   policy space (``Monitor(pair_filter=shard_filter(i, n))``), and their
   stores fold back together with
-  :meth:`repro.audit.store.EvidenceStore.merged`.
+  :meth:`repro.audit.store.EvidenceStore.merged`.  (The full
+  multi-process embodiment of this is :mod:`repro.cluster`.)
 """
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.audit.choosers import resolve as resolve_chooser
 from repro.audit.monitor import PlannedItem
-from repro.audit.wire import round_randomness
+from repro.audit.wire import modeled_wire_stats, round_randomness
+from repro.cluster.placement import Placement, StaticHash, pair_key
 from repro.crypto.keystore import KeyStore
 from repro.pvr.execution import BackendSpec, resolve_backend
 from repro.pvr.session import PromiseSpec, SessionReport
@@ -58,28 +66,21 @@ __all__ = [
 
 
 def shard_key(asn: str, prefix: object) -> int:
-    """A stable 64-bit key for one (AS, prefix) pair."""
-    digest = hashlib.sha256(f"{asn}|{prefix}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
+    """A stable 64-bit key for one (AS, prefix) pair (façade over
+    :func:`repro.cluster.placement.pair_key`)."""
+    return pair_key(asn, prefix)
 
 
 def shard_of(asn: str, prefix: object, shards: int) -> int:
-    """Which of ``shards`` shards owns the (``asn``, ``prefix``) pair."""
-    if shards < 1:
-        raise ValueError(f"shard count must be >= 1, got {shards}")
-    return shard_key(asn, prefix) % shards
+    """Which of ``shards`` statically hashed shards owns the pair —
+    the legacy fixed partition, now ``StaticHash(shards).owner``."""
+    return StaticHash(shards).owner(asn, prefix)
 
 
 def shard_filter(index: int, shards: int) -> Callable[[str, object], bool]:
-    """A ``Monitor(pair_filter=...)`` predicate selecting one shard."""
-    if not 0 <= index < shards:
-        raise ValueError(f"shard index {index} outside 0..{shards - 1}")
-
-    def accepts(asn: str, prefix: object) -> bool:
-        return shard_of(asn, prefix, shards) == index
-
-    accepts.__name__ = f"shard_{index}_of_{shards}"
-    return accepts
+    """A ``Monitor(pair_filter=...)`` predicate selecting one shard of
+    the static partition."""
+    return StaticHash(shards).pair_filter(index)
 
 
 @dataclass(frozen=True)
@@ -89,7 +90,11 @@ class ShardTask:
     ``position`` is the entry's index in the epoch plan — the merge key
     that puts out-of-order shard results back into canonical order.
     ``rng_seed`` rides along so the worker derives the exact nonce
-    stream (``round_randomness(rng_seed, round)``) the planner promised.
+    stream (``round_randomness(rng_seed, round)``) the planner promised;
+    ``chooser`` is a :mod:`repro.audit.choosers` registry name (named
+    choosers ship, live callables stay on the monitor's wire path);
+    ``neighbors`` is the prover's neighbor count, the commit-broadcast
+    fan-out the replayed wire cost model prices.
     """
 
     position: int
@@ -98,11 +103,18 @@ class ShardTask:
     routes: Tuple[Tuple[str, object], ...]
     round: int
     rng_seed: object
+    chooser: Optional[str] = None
+    neighbors: int = 0
 
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """One executed task: the session report plus its cost accounting."""
+    """One executed task: the session report plus its cost accounting.
+
+    ``messages``/``bytes`` are the replayed wire cost model's numbers —
+    what the round *would* have put on the wire — so sharded epochs
+    account transport identically to serial ones.
+    """
 
     position: int
     shard: int
@@ -110,6 +122,8 @@ class ShardOutcome:
     signatures: int
     verifications: int
     wall_seconds: float
+    messages: int = 0
+    bytes: int = 0
 
 
 def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
@@ -120,8 +134,10 @@ def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
     :class:`~repro.pvr.engine.VerificationSession` — the audit plane's
     replay property (same spec, round, inputs, nonce stream ⇒ same
     bytes) is what makes this equal to the monitor's wire round; the
-    parity suite in ``tests/test_serve.py`` pins it.  Per-task crypto
-    counts come from a fresh worker view per task.
+    parity suite in ``tests/test_serve.py`` pins it.  The session is
+    driven phase by phase so the announcement/view/statement artifacts
+    feed the wire cost model; per-task crypto counts come from a fresh
+    worker view per task.
     """
     from repro.pvr.engine import VerificationSession
 
@@ -134,9 +150,16 @@ def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
             view,
             task.spec,
             round=task.round,
+            chooser=resolve_chooser(task.chooser),
             random_bytes=round_randomness(task.rng_seed, task.round),
         )
-        report = session.run(dict(task.routes))
+        announcements = session.announce(dict(task.routes))
+        statement = session.commit()
+        views = session.disclose()
+        report = session.verify()
+        messages, wire_bytes = modeled_wire_stats(
+            session, announcements, views, statement, task.neighbors
+        )
         outcomes.append(
             ShardOutcome(
                 position=task.position,
@@ -145,6 +168,8 @@ def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
                 signatures=view.sign_count,
                 verifications=view.verify_count,
                 wall_seconds=time.perf_counter() - started,
+                messages=messages,
+                bytes=wire_bytes,
             )
         )
     return tuple(outcomes)
@@ -153,12 +178,15 @@ def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
 class ShardExecutor:
     """Fan an epoch plan's fresh entries out across shard workers.
 
-    ``shards`` fixes the partition; ``backend`` defaults to one worker
-    process per shard (``"process:<shards>"``), or runs everything
-    inline for ``shards == 1`` — the degenerate configuration the
-    parity suite compares against.  Each shard's batch executes as one
-    serial unit, so per-shard work never interleaves and adding shards
-    adds genuine process parallelism.
+    ``placement`` fixes the partition (default: the static hash over
+    ``shards`` shards); ``backend`` defaults to one worker process per
+    shard (``"process:<shards>"``), or runs everything inline for a
+    single shard — the degenerate configuration the parity suite
+    compares against.  Each shard's batch executes as one serial unit,
+    so per-shard work never interleaves and adding shards adds genuine
+    process parallelism.  ``placement`` is a plain attribute: swapping
+    it between epochs (hot-split rebalancing) only changes *where*
+    fresh work runs, never what it computes.
     """
 
     def __init__(
@@ -166,13 +194,25 @@ class ShardExecutor:
         shards: int,
         *,
         backend: BackendSpec = None,
+        placement: Optional[Placement] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
-        self.shards = shards
+        self.placement = (
+            placement if placement is not None else StaticHash(shards)
+        )
+        if self.placement.shards != shards:
+            raise ValueError(
+                f"placement spans {self.placement.shards} shards, "
+                f"executor was given {shards}"
+            )
         if backend is None:
             backend = "serial" if shards == 1 else f"process:{shards}"
         self.backend = resolve_backend(backend)
+
+    @property
+    def shards(self) -> int:
+        return self.placement.shards
 
     def warm(self) -> None:
         """Start the worker pool now, from the calling thread.
@@ -186,12 +226,14 @@ class ShardExecutor:
         self,
         fresh: Sequence[Tuple[int, PlannedItem]],
         rng_seed: object,
+        neighbor_counts: Optional[Dict[str, int]] = None,
     ) -> List[List[ShardTask]]:
         """Group fresh plan entries into per-shard batches."""
+        neighbor_counts = neighbor_counts or {}
         batches: List[List[ShardTask]] = [[] for _ in range(self.shards)]
         for position, entry in fresh:
             item = entry.item
-            shard = shard_of(item.asn, item.prefix, self.shards)
+            shard = self.placement.owner(item.asn, item.prefix)
             batches[shard].append(
                 ShardTask(
                     position=position,
@@ -200,6 +242,12 @@ class ShardExecutor:
                     routes=tuple(sorted(item.routes.items())),
                     round=entry.round,
                     rng_seed=rng_seed,
+                    chooser=(
+                        entry.chooser
+                        if isinstance(entry.chooser, str)
+                        else None
+                    ),
+                    neighbors=neighbor_counts.get(item.spec.prover, 0),
                 )
             )
         return batches
@@ -209,13 +257,14 @@ class ShardExecutor:
         keystore: KeyStore,
         fresh: Sequence[Tuple[int, PlannedItem]],
         rng_seed: object,
+        neighbor_counts: Optional[Dict[str, int]] = None,
     ) -> Dict[int, ShardOutcome]:
         """Run the fresh entries; returns outcomes keyed by plan position.
 
         Worker crypto counts are merged back into ``keystore`` in plan
         order, so the service's op totals match a serial monitor's.
         """
-        batches = self.plan_tasks(fresh, rng_seed)
+        batches = self.plan_tasks(fresh, rng_seed, neighbor_counts)
         payloads = [(keystore, tuple(batch)) for batch in batches if batch]
         outcomes: Dict[int, ShardOutcome] = {}
         if not payloads:

@@ -66,6 +66,14 @@ class TestExamples:
         assert "1 adjudicated guilty" in out
         assert "0 failed" in out  # the parity self-check
 
+    def test_cluster_demo(self):
+        out = run_example("cluster_demo.py")
+        assert "online reshard -> 3 workers" in out
+        assert "from cache (0 signatures)" in out
+        assert "violation probe: caught=True" in out
+        assert "BYTE-IDENTICAL" in out
+        assert "0 failed" in out
+
     def test_linkstate_ring(self):
         out = run_example("linkstate_ring.py")
         assert "REJECTED (ring mismatch)" in out

@@ -239,6 +239,11 @@ def assert_byte_identical(sharded_store, serial_store):
         )
         assert ours.stats.signatures == theirs.stats.signatures
         assert ours.stats.verifications == theirs.stats.verifications
+        # transport accounting: shard workers replay the wire cost
+        # model, so sharded rounds report the same byte/message counts
+        # as the serial wire path (instead of zero)
+        assert ours.stats.messages == theirs.stats.messages
+        assert ours.stats.bytes == theirs.stats.bytes
 
 
 class TestShardedParity:
@@ -260,6 +265,60 @@ class TestShardedParity:
         service = sharded_trail("minimum")
         reused = [e for e in service.evidence.events() if e.reused]
         assert reused  # the final settled epoch reused its tuples
+
+    def test_fresh_rounds_report_nonzero_wire_cost(self):
+        service = sharded_trail("minimum")
+        fresh = [e for e in service.evidence.events() if not e.reused]
+        assert fresh
+        assert all(e.stats.messages > 0 for e in fresh)
+        assert all(e.stats.bytes > 0 for e in fresh)
+
+
+class TestNamedChooserSharding:
+    """A policy with a *named* chooser ships to the shard pool (the
+    worker resolves it through the registry) instead of silently
+    falling back to the monitor's local wire path."""
+
+    def build_trails(self):
+        def sharded():
+            async def go():
+                net, _ = serve_network(3)
+                service = VerificationService(
+                    net, shards=3, backend="serial", rng_seed=SEED,
+                    parity_sample=1,
+                )
+                service.policy(
+                    "A", NoLongerThanOthers(), name="A/p4",
+                    max_length=8, chooser="discriminating:B",
+                )
+                await service.start()
+                await service.request(ChurnRequest())
+                for step in CHURN:
+                    await service.request(ChurnRequest(steps=(step,)))
+                await service.stop()
+                return service
+
+            return run_async(go())
+
+        net, _ = serve_network(3)
+        monitor = Monitor(
+            KeyStore(seed=SEED, key_bits=512), rng_seed=SEED
+        ).attach(net)
+        monitor.policy("A", NoLongerThanOthers(), name="A/p4",
+                       max_length=8, chooser="discriminating:B")
+        monitor.run_epoch()
+        for step in CHURN:
+            step(net)
+            net.run_to_quiescence()
+            monitor.run_epoch()
+        return sharded(), monitor
+
+    def test_named_chooser_entries_run_on_shards_with_parity(self):
+        service, monitor = self.build_trails()
+        # the work actually went through the shard pool
+        assert sum(service.metrics.shard_events.values()) > 0
+        assert service.metrics.parity_failed == 0
+        assert_byte_identical(service.evidence, monitor.evidence)
 
 
 # -- merge safety --------------------------------------------------------------
@@ -574,6 +633,172 @@ class TestService:
         # link transit shows up in client-observed latency
         latency = service.metrics.type_metrics("query").latency
         assert latency.percentile(50) >= 0.04
+
+
+# -- pluggable admission and placement (the cluster-API seams) -----------------
+
+
+class TestServeAdmissionPolicies:
+    def test_deadline_shed_resolves_futures_with_shed_error(self):
+        from repro.cluster.admission import DeadlineShed, ShedError
+
+        async def go():
+            net, _ = serve_network(2)
+            service = make_service(
+                net, shards=1, admission=DeadlineShed(1e-9),
+            )
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            await service.start()
+            future = service.submit_nowait(QueryRequest())
+            await service.drain()
+            with pytest.raises(ShedError):
+                await future
+            shed = service.metrics.type_metrics("query").shed
+            await service.stop(drain=False)
+            return shed
+
+        assert run_async(go()) == 1
+
+    def test_priority_door_turns_background_traffic_away_first(self):
+        from repro.cluster.admission import PriorityAdmission
+
+        async def go():
+            net, _ = serve_network(2)
+            service = make_service(
+                net, shards=1, queue_depth=9,
+                admission=PriorityAdmission(),
+            )
+            await service.start()
+            futures = [
+                service.submit_nowait(QueryRequest()) for _ in range(5)
+            ]
+            # adjudication (lowest priority) is already refused...
+            with pytest.raises(AdmissionError):
+                service.submit_nowait(AdjudicateRequest())
+            # ...while churn still has headroom
+            futures.append(service.submit_nowait(ChurnRequest()))
+            await service.drain()
+            for future in futures:
+                await future
+            await service.stop()
+            return service
+
+        service = run_async(go())
+        assert service.metrics.type_metrics("adjudicate").rejected == 1
+
+    def test_hotsplit_rebalance_swaps_the_placement_between_epochs(self):
+        from repro.cluster.placement import HotSplit
+
+        async def go():
+            net, prefixes = serve_network(6)
+            service = make_service(
+                net, shards=2, placement=HotSplit(2, slots=16),
+                rebalance_every=1,
+            )
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            before = service.executor.placement
+            await service.start()
+            await service.request(ChurnRequest())
+            await service.request(ChurnRequest(
+                steps=(flap_session("O", "N2"),),
+            ))
+            await service.stop()
+            return service, before
+
+        service, before = run_async(go())
+        # load was observed, the placement was re-split
+        assert service.metrics.rebalances
+        assert service.executor.placement != before
+        assert service.metrics.parity_failed == 0
+
+
+# -- burst schedules -----------------------------------------------------------
+
+
+class TestBurstSchedules:
+    def workload(self, prefixes):
+        return ServeWorkload(
+            prefixes=prefixes,
+            flappable=(("O", "N2"), ("X", "N1")),
+        )
+
+    def prefixes(self, count=4):
+        return tuple(
+            Prefix.parse(f"10.{i}.0.0/16") for i in range(count)
+        )
+
+    def test_flap_storm_shape(self):
+        from repro.serve.loadgen import flap_storm
+
+        ops = flap_storm(
+            self.workload(self.prefixes()),
+            storms=3, flaps_per_storm=4, spacing=0.001, gap=1.0,
+            queries_between=2,
+        )
+        churn = [op for op in ops if op.kind == "churn"]
+        queries = [op for op in ops if op.kind == "query"]
+        assert len(churn) == 12 and len(queries) == 6
+        ats = [op.at for op in ops]
+        assert ats == sorted(ats)
+        # bursts are dense, gaps are wide: the largest inter-arrival is
+        # the storm gap, orders of magnitude above the in-storm spacing
+        gaps = [b - a for a, b in zip(ats, ats[1:])]
+        assert max(gaps) >= 1.0 and min(gaps) <= 0.001
+        assert ops == flap_storm(
+            self.workload(self.prefixes()),
+            storms=3, flaps_per_storm=4, spacing=0.001, gap=1.0,
+            queries_between=2,
+        )  # deterministic
+
+    def test_table_reset_marks_every_prefix(self):
+        from repro.serve.loadgen import table_reset
+
+        prefixes = self.prefixes(5)
+        ops = table_reset(self.workload(prefixes), resets=2)
+        sweeps = [
+            op for op in ops
+            if op.kind == "churn" and op.request.marks
+        ]
+        assert len(sweeps) == 2
+        for sweep in sweeps:
+            assert len(sweep.request.marks) == len(prefixes)
+            assert {p for _, p in sweep.request.marks} == set(prefixes)
+
+    def test_flap_storm_drives_the_service(self):
+        from repro.serve.loadgen import flap_storm, table_reset
+
+        async def go():
+            net, prefixes = serve_network(4)
+            service = make_service(net, shards=2)
+            service.policy("A", ShortestRoute(), recipients=("B",),
+                           max_length=8)
+            workload = ServeWorkload(
+                prefixes=prefixes, flappable=(("O", "N2"), ("X", "N1")),
+            )
+            ops = flap_storm(workload, storms=2, flaps_per_storm=3)
+            ops += table_reset(workload, start=ops[-1].at + 0.1)
+            await service.start()
+            report = await run_open_loop(service, ops, time_scale=0.0)
+            await service.stop()
+            return service, report
+
+        service, report = run_async(go())
+        assert not report.errors
+        assert report.delivered == report.offered
+        # the storm coalesced: far fewer epochs than churn requests
+        churn = service.metrics.type_metrics("churn").completed
+        assert service.metrics.epochs < churn
+        # the table reset's settled sweep reused the cache
+        assert service.metrics.reused > 0
+
+    def test_serve_burst_scenario_registered(self):
+        from repro.pvr.scenarios import churn_names, get_churn
+
+        assert "serve-burst" in churn_names()
+        scenario = get_churn("serve-burst")
+        assert scenario.churn  # storm + table reset steps
 
 
 # -- the bench driver ----------------------------------------------------------
