@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""The accountability ledger end to end: trust earned, spent, slashed.
+
+The continuous-audit walkthroughs treat every AS the same forever.
+This one closes the loop: a :class:`~repro.ledger.ledger.TrustLedger`
+subscribes to the monitor's evidence store and turns verdict history
+into a trust level per AS — ``QUARANTINED < PROBATIONARY < STANDARD <
+TRUSTED`` — and the trust level feeds back into how hard the system
+audits:
+
+* **promotion is evidence-gated**: an AS climbs one rung only after N
+  consecutive clean, sufficiently covered epochs, and the transition
+  record cites the exact event seqs that earned it;
+* **trust buys lighter verification**: once TRUSTED, the epoch planner
+  samples the AS's tuples at rate r < 1 (deterministic seeded sampling
+  — every co-planning cluster replica skips the same tuples), so the
+  honest steady state costs measurably fewer signatures;
+* **demotion is slashing, never drift**: a recorded violation *stops*
+  promotion, but only a judge-confirmed adjudication — through the
+  challenge desk — demotes, and the hash-chained history row cites the
+  adjudicated evidence;
+* the transition history is **append-only and tamper-evident**: every
+  row's digest chains over the previous one, verified at the end.
+
+Run:  python examples/ledger_demo.py
+"""
+
+from repro.audit.monitor import Monitor
+from repro.crypto.keystore import KeyStore
+from repro.cluster.workload import churn_script, drive_monitor
+from repro.ledger import (
+    LedgerPolicy,
+    TrustLedger,
+    TrustLevel,
+    VerificationIntensity,
+    probe_budget,
+    strictness,
+)
+from repro.promises.spec import ShortestRoute
+from repro.pvr.adversary import LongerRouteProver
+from repro.pvr.scenarios import apply_step, serve_network
+
+PREFIXES = 4
+SEED = 2011
+TRUSTED_RATE = 0.5
+
+
+def build_monitor(ledger_policy=None):
+    network, prefixes = serve_network(PREFIXES)
+    keystore = KeyStore(seed=SEED, key_bits=512)
+    monitor = Monitor(keystore, rng_seed=SEED)
+    ledger = None
+    if ledger_policy is not None:
+        ledger = TrustLedger(ledger_policy).attach(monitor.evidence)
+        monitor.intensity = VerificationIntensity(
+            ledger_policy, seed=SEED, ledger=ledger
+        )
+    monitor.attach(network)
+    monitor.policy(
+        "A", ShortestRoute(), recipients=("B",), name="A/min->B",
+        max_length=8,
+    )
+    return monitor, ledger, prefixes
+
+
+def main() -> None:
+    policy = LedgerPolicy(
+        clean_epochs_to_promote=2,
+        sampling_rates={TrustLevel.TRUSTED: TRUSTED_RATE},
+    )
+    monitor, ledger, prefixes = build_monitor(policy)
+    requests = churn_script(prefixes, rounds=8)
+
+    print("== 1. climbing the ladder on clean evidence ==")
+    seen_transitions = 0
+    for request in requests:
+        for step in request.steps:
+            apply_step(step, monitor.network)
+        for asn, prefix in request.marks:
+            monitor.mark(asn, prefix)
+        monitor.network.run_to_quiescence()
+        while monitor.pending():
+            monitor.run_epoch()
+        for record in ledger.history.records()[seen_transitions:]:
+            print(
+                f"  epoch {record.epoch}: {record.asn} "
+                f"{record.from_level.name} -> {record.to_level.name} "
+                f"({record.rule}, citing seqs "
+                f"{','.join(str(s) for s in record.evidence_seqs)})"
+            )
+            seen_transitions += 1
+    ledger.settle()
+    level = ledger.trust_level("A")
+    print(f"  A now stands at {level.name}")
+
+    print("== 2. trust buys lighter verification ==")
+    twin, _, _ = build_monitor()  # ledger-free, same seed, same script
+    drive_monitor(twin, requests)
+    saved = twin.keystore.sign_count - monitor.keystore.sign_count
+    print(
+        f"  ledger-free twin signed {twin.keystore.sign_count}; "
+        f"trust-sampled run signed {monitor.keystore.sign_count} "
+        f"(saved {saved} signatures, "
+        f"{monitor.intensity.sampled_out} tuples sampled out at "
+        f"rate {TRUSTED_RATE})"
+    )
+
+    print("== 3. a violation alone never demotes ==")
+    monitor.audit_once(
+        "A", prefixes[0], "B", prover=LongerRouteProver(monitor.keystore)
+    )
+    ledger.settle()
+    print(
+        f"  Byzantine probe recorded "
+        f"{len(monitor.evidence.violations('A'))} violation(s) on file; "
+        f"A is still {ledger.trust_level('A').name} "
+        f"(streak reset, promotion frozen)"
+    )
+
+    print("== 4. the challenge desk: adjudicated slashing ==")
+    for outcome in ledger.challenge():
+        verdict = "CONFIRMED" if outcome.confirmed else "dismissed"
+        print(f"  seq {outcome.seq} ({outcome.asn}): judge says {verdict}")
+        if outcome.transition is not None:
+            t = outcome.transition
+            print(
+                f"  slashed: {t.from_level.name} -> {t.to_level.name} "
+                f"citing adjudicated seqs "
+                f"{','.join(str(s) for s in t.evidence_seqs)}"
+            )
+    quarantined = ledger.trust_level("A")
+    print(
+        f"  A now {quarantined.name}: next registration would carry "
+        f"{strictness(quarantined)} and "
+        f"{probe_budget(quarantined, policy)} extra probe(s) per cycle"
+    )
+
+    print("== 5. the history is append-only and tamper-evident ==")
+    for record in ledger.history.records():
+        print(
+            f"  #{record.index} {record.asn} "
+            f"{record.from_level.name}->{record.to_level.name} "
+            f"[{record.rule}] digest {record.digest[:12]}…"
+        )
+    print(f"  hash chain verified: {ledger.history.verify()}")
+
+
+if __name__ == "__main__":
+    main()

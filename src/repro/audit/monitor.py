@@ -124,6 +124,17 @@ class Monitor:
     ``max_work_per_epoch`` bounds fresh verifications per epoch
     (``None`` = unbounded); ``rng_seed`` roots the deterministic
     commitment-nonce stream.
+
+    ``intensity`` is the optional trust-aware sampling policy
+    (:class:`~repro.ledger.feedback.VerificationIntensity`, duck-typed:
+    ``begin_epoch(epoch)`` + ``should_verify(asn, prefix, policy,
+    recipients, epoch=)``).  :meth:`plan_epoch` consults it per fresh
+    tuple: a sampled-out tuple allocates no round, emits no event and
+    spends no crypto this epoch (it is treated as audited for the churn
+    burst).  Cache reuse is free and therefore never sampled away.  At
+    sampling rate 1.0 the hook is a strict identity — the plan and the
+    evidence trail are byte-for-byte those of a monitor with no
+    intensity installed.
     """
 
     def __init__(
@@ -135,6 +146,7 @@ class Monitor:
         rng_seed: object = 2011,
         store: Optional[EvidenceStore] = None,
         pair_filter: Optional[Callable[[str, Prefix], bool]] = None,
+        intensity: object = None,
     ) -> None:
         self.keystore = keystore if keystore is not None else KeyStore(
             seed=rng_seed, key_bits=512
@@ -148,6 +160,7 @@ class Monitor:
         # filtered monitors over one network partition the audit load
         # (see repro.serve.sharding.shard_filter)
         self.pair_filter = pair_filter
+        self.intensity = intensity
         self.network: Optional[BGPNetwork] = None
         self._detached = False
         self.evidence = store if store is not None else EvidenceStore(
@@ -360,6 +373,11 @@ class Monitor:
             else self.max_work_per_epoch
         )
         self.epoch += 1
+        if self.intensity is not None:
+            # epoch boundary: the intensity settles its ledger (when it
+            # owns one) so sampling sees trust as of epochs < this one —
+            # the same snapshot every co-planning cluster replica gets
+            self.intensity.begin_epoch(self.epoch)
         plan = EpochPlan(epoch=self.epoch)
 
         queue = list(self._dirty.items())
@@ -380,6 +398,21 @@ class Monitor:
                     fingerprint = (item.fingerprint(), policy.chooser)
                     cached = self._cache.get(key)
                     reusable = cached is not None and cached[0] == fingerprint
+                    if (
+                        not reusable
+                        and self.intensity is not None
+                        and not self.intensity.should_verify(
+                            item.asn,
+                            item.prefix,
+                            item.policy,
+                            item.spec.recipients,
+                            epoch=self.epoch,
+                        )
+                    ):
+                        # trust-sampled out: no round, no entry, no
+                        # budget spent — but done for this churn burst
+                        done.add(key)
+                        continue
                     if budget is not None and fresh >= budget and not reusable:
                         exhausted = True
                         break

@@ -64,6 +64,7 @@ class EvidenceStore:
         self._pinned: List[VerdictEvent] = []
         self._tail: deque = deque()
         self._subscribers: List[Callable[[VerdictEvent], None]] = []
+        self._evict_subscribers: List[Callable[[VerdictEvent], None]] = []
         self._seq = 0
 
     # -- ingestion -----------------------------------------------------------
@@ -91,8 +92,10 @@ class EvidenceStore:
                 # pinned: sinks below the eviction horizon for good
                 self._pinned.append(self._tail.popleft())
                 continue
-            self._tail.popleft()
+            evicted = self._tail.popleft()
             self.evicted += 1
+            for subscriber in self._evict_subscribers:
+                subscriber(evicted)
 
     def _all(self) -> Iterator[VerdictEvent]:
         return chain(self._pinned, self._tail)
@@ -155,6 +158,14 @@ class EvidenceStore:
         """Call ``callback`` with every subsequently recorded event."""
         self._subscribers.append(callback)
 
+    def on_evict(self, callback: Callable[[VerdictEvent], None]) -> None:
+        """Call ``callback`` with every clean event the ``max_events``
+        bound drops, *before* it is gone — a consumer keeping durable
+        aggregates (the accountability ledger's per-AS counters) folds
+        the event here so eviction never loses information it needs.
+        Violations are pinned, never evicted, and never reported."""
+        self._evict_subscribers.append(callback)
+
     # -- queries -------------------------------------------------------------
 
     def events(self) -> Tuple[VerdictEvent, ...]:
@@ -178,9 +189,20 @@ class EvidenceStore:
         (:meth:`~repro.audit.monitor.Monitor.audit_once` rounds)."""
         return tuple(e for e in self._all() if e.epoch == epoch)
 
-    def violations(self) -> Tuple[VerdictEvent, ...]:
-        """Every event whose report flags a violation or equivocation."""
-        return tuple(e for e in self._all() if e.violation_found())
+    def violations(
+        self,
+        asn: Optional[str] = None,
+        prefix: Optional[Prefix] = None,
+    ) -> Tuple[VerdictEvent, ...]:
+        """Every event whose report flags a violation or equivocation,
+        optionally narrowed to one prover AS and/or one prefix (the
+        challenge desk's query shape)."""
+        return tuple(
+            e for e in self._all()
+            if e.violation_found()
+            and (asn is None or e.asn == asn)
+            and (prefix is None or e.prefix == prefix)
+        )
 
     def violation_free(self) -> bool:
         return not self.violations()

@@ -820,3 +820,124 @@ def _cluster_reshard(ctx: ExperimentContext):
         },
         "speedup_vs_serial": speedup,
     }
+
+
+@register(
+    "ledger-steady-honest",
+    "Accountability ledger feedback on an honest steady-state churn "
+    "workload: the same script drives a ledger-free monitor and a "
+    "ledger-enabled one (promotion after N clean epochs, TRUSTED "
+    "sampled at rate r < 1); records signatures with and without "
+    "trust-driven sampling and asserts a strict steady-state reduction "
+    "once the audited AS reaches TRUSTED",
+    params={"prefixes": 6, "rounds": 10, "promote_after": 2,
+            "trusted_rate": 0.5, "key_bits": 512, "seed": 2011},
+    quick={"prefixes": 4, "rounds": 8},
+    tags=("ledger", "audit"),
+)
+def _ledger_steady_honest(ctx: ExperimentContext):
+    from repro.cluster import ClusterSpec, PolicySpec
+    from repro.cluster.workload import churn_script, drive_monitor
+    from repro.ledger import LedgerPolicy, TrustLevel
+    from repro.promises.spec import ShortestRoute
+
+    prefix_count = int(ctx.params["prefixes"])
+    rounds = int(ctx.params["rounds"])
+    promote_after = int(ctx.params["promote_after"])
+    trusted_rate = float(ctx.params["trusted_rate"])
+    seed = int(ctx.params["seed"])
+    key_bits = int(ctx.params["key_bits"])
+
+    def network():
+        return scenarios.serve_network(prefix_count)[0]
+
+    _, prefixes = scenarios.serve_network(prefix_count)
+    requests = churn_script(prefixes, rounds=rounds)
+    policy = LedgerPolicy(
+        clean_epochs_to_promote=promote_after,
+        sampling_rates={TrustLevel.TRUSTED: trusted_rate},
+    )
+
+    def spec(ledger):
+        return ClusterSpec(
+            network=network,
+            policies=(
+                PolicySpec(
+                    "A",
+                    ShortestRoute(),
+                    {"recipients": ("B",), "name": "A/min->B",
+                     "max_length": 8},
+                ),
+            ),
+            rng_seed=seed,
+            key_bits=key_bits,
+            ledger=ledger,
+        )
+
+    results = {}
+    for label, ledger in (("without", None), ("with", policy)):
+        monitor = spec(ledger).build_monitor()
+        ctx.track(monitor.keystore)
+        started = time.perf_counter()
+        drive_monitor(monitor, requests)
+        results[label] = {
+            "monitor": monitor,
+            "seconds": time.perf_counter() - started,
+            "signatures": monitor.keystore.sign_count,
+            "events": len(monitor.evidence),
+        }
+
+    with_ledger = results["with"]["monitor"]
+    ledger = with_ledger.ledger
+    ledger.settle()
+    trusted_at = next(
+        (
+            record.epoch
+            for record in ledger.history.records()
+            if record.to_level is TrustLevel.TRUSTED
+        ),
+        None,
+    )
+    assert trusted_at is not None, "the honest AS never reached TRUSTED"
+    assert ledger.history.verify(), "transition hash chain broken"
+    sampled_out = with_ledger.intensity.sampled_out
+    assert sampled_out > 0, "trust sampling never skipped a tuple"
+    signatures_without = results["without"]["signatures"]
+    signatures_with = results["with"]["signatures"]
+    assert signatures_with < signatures_without, (
+        f"no steady-state signature reduction: "
+        f"{signatures_with} >= {signatures_without}"
+    )
+
+    ctx.table(
+        "LEDGER steady honest: trust-sampled vs full verification",
+        ["run", "events", "signatures", "sampled out", "TRUSTED at",
+         "seconds"],
+        [
+            ("ledger-free", results["without"]["events"],
+             signatures_without, "-", "-",
+             f"{results['without']['seconds']:.2f}"),
+            (f"ledger r={trusted_rate}", results["with"]["events"],
+             signatures_with, sampled_out, f"epoch {trusted_at}",
+             f"{results['with']['seconds']:.2f}"),
+        ],
+    )
+    return {
+        "prefixes": prefix_count,
+        "rounds": rounds,
+        "promote_after": promote_after,
+        "trusted_rate": trusted_rate,
+        "signatures_without_ledger": signatures_without,
+        "signatures_with_ledger": signatures_with,
+        "signature_reduction": signatures_without - signatures_with,
+        "events_without_ledger": results["without"]["events"],
+        "events_with_ledger": results["with"]["events"],
+        "sampled_out": sampled_out,
+        "trusted_at_epoch": trusted_at,
+        "transitions": len(ledger.history),
+        "chain_verified": True,
+        "timing": {
+            "without_seconds": results["without"]["seconds"],
+            "with_seconds": results["with"]["seconds"],
+        },
+    }

@@ -59,6 +59,14 @@ class AdmissionPolicy:
         ``depth``?  The queue's hard bound still applies on top."""
         raise NotImplementedError
 
+    def at_door_request(self, request, queued: int, depth: int) -> bool:
+        """The richer door hook both front-ends actually call: it sees
+        the whole request, not just its kind.  The default delegates to
+        :meth:`at_door`, so kind-only policies are unchanged; a policy
+        that inspects request *content* (the ledger's trust-tiered
+        variant boosting low-trust ASes' traffic) overrides this."""
+        return self.at_door(request.kind, queued, depth)
+
     def at_dispatch(self, kind: str, waited: float) -> bool:
         """Serve a ``kind`` request that queued for ``waited`` seconds
         (``False`` = shed it)?"""
@@ -139,7 +147,9 @@ def make_admission(spec: object) -> AdmissionPolicy:
     """Resolve an admission spec: an instance passes through; ``None``
     and ``"reject"`` build :class:`RejectAtDoor`; ``"deadline"`` or
     ``"deadline:0.5"`` build :class:`DeadlineShed`; ``"priority"``
-    builds :class:`PriorityAdmission`."""
+    builds :class:`PriorityAdmission`; ``"trust"`` builds the ledger's
+    :class:`~repro.ledger.feedback.TrustTieredAdmission` (imported
+    lazily so the base admission plane has no ledger dependency)."""
     if isinstance(spec, AdmissionPolicy):
         return spec
     if spec is None or spec == "reject":
@@ -150,7 +160,11 @@ def make_admission(spec: object) -> AdmissionPolicy:
             return DeadlineShed(float(arg)) if sep else DeadlineShed()
         if head == "priority":
             return PriorityAdmission()
+        if head == "trust":
+            from repro.ledger.feedback import TrustTieredAdmission
+
+            return TrustTieredAdmission()
     raise ValueError(
         f"unknown admission policy {spec!r}; "
-        f"expected reject, deadline[:SECONDS] or priority"
+        f"expected reject, deadline[:SECONDS], priority or trust"
     )

@@ -172,6 +172,16 @@ class Cluster:
         self.evidence = EvidenceStore(
             self.keystore, max_events=spec.max_events
         )
+        #: accountability ledger over the folded trail (None when the
+        #: spec leaves it off).  Workers never run their own ledger —
+        #: the coordinator settles it at each epoch boundary and ships
+        #: the trust snapshot with the epoch command, so every worker
+        #: plans against identical trust state.
+        self.ledger = None
+        if spec.ledger is not None:
+            from repro.ledger import TrustLedger
+
+            self.ledger = TrustLedger(spec.ledger).attach(self.evidence)
         self.metrics = ClusterMetrics()
         self._context = (
             multiprocessing.get_context("fork")
@@ -264,8 +274,10 @@ class Cluster:
             raise RuntimeError("cluster is stopped")
         kind = request.kind
         queued = len(self._pending)
-        if queued >= self.spec.queue_depth or not self.admission.at_door(
-            kind, queued, self.spec.queue_depth
+        if queued >= self.spec.queue_depth or not (
+            self.admission.at_door_request(
+                request, queued, self.spec.queue_depth
+            )
         ):
             self.metrics.reject(kind)
             raise AdmissionError(
@@ -314,6 +326,8 @@ class Cluster:
                 payload = answer_query(self.evidence, ticket.request)
             elif isinstance(ticket.request, AdjudicateRequest):
                 payload = answer_adjudicate(self.evidence, ticket.request)
+                if self.ledger is not None:
+                    self.ledger.fold_adjudications(payload)
             else:
                 raise TypeError(
                     f"unknown request type {type(ticket.request).__name__}"
@@ -358,7 +372,15 @@ class Cluster:
 
     def _run_epoch(self) -> Tuple[EpochReport, bool]:
         """One co-planned epoch across every worker."""
-        replies = self._broadcast(("epoch", tuple(self._invalidations)))
+        trust = None
+        if self.ledger is not None:
+            self.ledger.settle()
+            trust = self.ledger.trust_map()
+            if hasattr(self.admission, "update"):
+                self.admission.update(trust)
+        replies = self._broadcast(
+            ("epoch", tuple(self._invalidations), trust)
+        )
         self._invalidations = []
         first = replies[0]
         merged: Dict[int, object] = {}
@@ -440,6 +462,12 @@ class Cluster:
         self.placement = new
         if new.shards > incumbents:
             snapshot = self._request(0, ("snapshot",))
+            # the snapshot carries the donor's pickled replica, so every
+            # churn step before it is already baked in: truncate the log
+            # at the snapshot point and future spawns replay only churn
+            # that lands after it — fast-forward cost is bounded by the
+            # inter-reshard churn, not the cluster's lifetime
+            self._churn_log.clear()
             for index in range(incumbents, new.shards):
                 self._workers.append(self._spawn(index, snapshot))
         # every incumbent adopts the placement and exports what moved
@@ -555,8 +583,23 @@ class Cluster:
         """Each worker's crypto/transport counters (debug/metrics)."""
         return list(self._broadcast(("counts",)))
 
+    def challenge(self, seq: Optional[int] = None, *, judge=None):
+        """Run the ledger's challenge/adjudicate desk over the folded
+        trail: adjudicate recorded violations (all of them, or one by
+        ``seq``) and slash the ASes whose evidence is upheld."""
+        if self.ledger is None:
+            raise ClusterError("cluster has no ledger configured")
+        from repro.ledger import run_challenge
+
+        return run_challenge(self.ledger, seq=seq, judge=judge)
+
     def snapshot(self) -> Dict[str, object]:
-        """The schema-versioned cluster metrics document."""
-        return self.metrics.snapshot(
+        """The schema-versioned cluster metrics document (with the
+        ledger's own schema-versioned snapshot under ``"ledger"`` when
+        one is configured)."""
+        document = self.metrics.snapshot(
             placement=self.placement, admission=self.admission
         )
+        if self.ledger is not None:
+            document["ledger"] = self.ledger.snapshot()
+        return document

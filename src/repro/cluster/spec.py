@@ -87,6 +87,15 @@ class ClusterSpec:
     #: worker should bound it — violations stay pinned either way)
     worker_max_events: Optional[int] = None
     parity_sample: int = 0
+    #: accountability ledger: ``None`` (off), ``True`` (default
+    #: :class:`~repro.ledger.levels.LedgerPolicy`), or a ``LedgerPolicy``
+    #: instance.  When set, the coordinator runs a
+    #: :class:`~repro.ledger.ledger.TrustLedger` over the folded central
+    #: trail and ships its settled trust snapshot to every worker with
+    #: each epoch command; workers install a matching
+    #: :class:`~repro.ledger.feedback.VerificationIntensity`, so the
+    #: co-plan (and with it round allocation) stays identical everywhere
+    ledger: object = None
 
     def __post_init__(self) -> None:
         if self.transport not in ("process", "inline"):
@@ -101,6 +110,10 @@ class ClusterSpec:
         if self.parity_sample < 0:
             raise ValueError("parity_sample must be >= 0")
         object.__setattr__(self, "policies", tuple(self.policies))
+        if self.ledger is True:
+            from repro.ledger.levels import LedgerPolicy
+
+            object.__setattr__(self, "ledger", LedgerPolicy())
 
     # -- resolution ----------------------------------------------------------
 
@@ -128,15 +141,34 @@ class ClusterSpec:
 
     def build_monitor(self, *, pair_filter=None) -> Monitor:
         """The unsharded reference: one plain monitor, same network,
-        same policies, same seeds — the parity oracle."""
+        same policies, same seeds — the parity oracle.  With a
+        ``ledger`` configured, the monitor gets its own
+        :class:`~repro.ledger.ledger.TrustLedger` over its own store
+        (exposed as ``monitor.ledger``) plus a bound
+        :class:`~repro.ledger.feedback.VerificationIntensity`, settling
+        at the same plan-time boundary the cluster coordinator settles
+        at — so the reference plans with the same trust snapshot as the
+        co-planning workers."""
         keystore = self.build_keystore()
+        store = EvidenceStore(keystore, max_events=self.max_events)
+        intensity = None
+        ledger = None
+        if self.ledger is not None:
+            from repro.ledger import TrustLedger, VerificationIntensity
+
+            ledger = TrustLedger(self.ledger).attach(store)
+            intensity = VerificationIntensity(
+                self.ledger, seed=self.rng_seed, ledger=ledger
+            )
         monitor = Monitor(
             keystore,
             rng_seed=self.rng_seed,
             max_work_per_epoch=self.max_work,
-            store=EvidenceStore(keystore, max_events=self.max_events),
+            store=store,
             pair_filter=pair_filter,
+            intensity=intensity,
         ).attach(self.network())
+        monitor.ledger = ledger
         for policy in self.policies:
             policy.install(monitor)
         return monitor

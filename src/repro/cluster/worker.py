@@ -34,6 +34,7 @@ transport drives the identical :class:`WorkerState` object in-process.
 
 from __future__ import annotations
 
+import pickle
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -51,11 +52,11 @@ __all__ = ["ClusterWorkerMonitor", "SHADOW", "WorkerState", "worker_main"]
 #: and :meth:`WorkerState.handle` are the two endpoints)
 COMMANDS = (
     "churn",        # (steps, marks) -> pending
-    "epoch",        # (invalidations,) -> epoch slice
+    "epoch",        # (invalidations, trust) -> epoch slice
     "probe",        # (probe, owner) -> event | None
     "reshard",      # (placement,) -> exported cache entries
     "install",      # (entries,) -> count installed
-    "snapshot",     # () -> planning state for a grow-spawned worker
+    "snapshot",     # () -> {"planning", "network"} for a grow-spawn
     "events",       # () -> this worker's own evidence trail
     "counts",       # () -> crypto/transport counters
     "stop",         # () -> None (the worker exits)
@@ -255,8 +256,24 @@ class WorkerState:
     ) -> None:
         self.spec = spec
         self.index = index
-        network = spec.network()
+        planning = snapshot
+        if isinstance(snapshot, dict):
+            # snapshot-truncated fast-forward: adopt the incumbent's
+            # pickled replica instead of rebuilding from the factory —
+            # any churn before the snapshot is already baked into its
+            # RIBs, so only the (truncated) suffix needs replaying
+            network = pickle.loads(snapshot["network"])
+            planning = snapshot["planning"]
+        else:
+            network = spec.network()
         keystore = spec.build_keystore()
+        intensity = None
+        if getattr(spec, "ledger", None) is not None:
+            from repro.ledger import VerificationIntensity
+
+            intensity = VerificationIntensity(
+                spec.ledger, seed=spec.rng_seed
+            )
         self.monitor = ClusterWorkerMonitor(
             keystore,
             placement=placement,
@@ -266,21 +283,23 @@ class WorkerState:
             store=EvidenceStore(
                 keystore, max_events=spec.worker_max_events
             ),
+            intensity=intensity,
         ).attach(network)
         for policy in spec.policies:
             policy.install(self.monitor)
         self.network = network
         # a grow-spawned worker fast-forwards: replay the churn history
-        # so its replica's RIBs match the incumbents', then adopt their
-        # planning state (the monitor hooks marked pairs dirty during
-        # replay and registration; adopt_snapshot clears them — those
-        # epochs already ran elsewhere)
+        # suffix so its replica's RIBs match the incumbents', then adopt
+        # their planning state (the monitor hooks marked pairs dirty
+        # during replay and registration; adopt_snapshot clears them —
+        # those epochs already ran elsewhere)
+        self.replayed_steps = sum(len(steps) for steps in churn_log)
         for steps in churn_log:
             for step in steps:
                 apply_step(step, network)
             network.run_to_quiescence()
-        if snapshot is not None:
-            self.monitor.adopt_snapshot(snapshot)
+        if planning is not None:
+            self.monitor.adopt_snapshot(planning)
 
     # -- command handlers ----------------------------------------------------
 
@@ -299,8 +318,10 @@ class WorkerState:
         self.network.run_to_quiescence()
         return bool(self.monitor.pending())
 
-    def _do_epoch(self, invalidations):
+    def _do_epoch(self, invalidations, trust=None):
         self.monitor.invalidate(invalidations)
+        if trust is not None and self.monitor.intensity is not None:
+            self.monitor.intensity.update(trust)
         plan, events, violated = self.monitor.run_epoch_slice()
         return {
             "epoch": plan.epoch,
@@ -321,7 +342,28 @@ class WorkerState:
         return self.monitor.install(entries)
 
     def _do_snapshot(self):
-        return self.monitor.planning_snapshot()
+        return {
+            "planning": self.monitor.planning_snapshot(),
+            "network": self._network_bytes(),
+        }
+
+    def _network_bytes(self) -> bytes:
+        """Pickle the replica with the monitor's churn hooks
+        temporarily unhooked — the hook closures capture the live
+        monitor and must not travel; they are re-armed before this
+        returns, so the running worker keeps marking dirty pairs."""
+        hooked = self.monitor._hooked
+        try:
+            for asn, (on_decision, on_resync) in hooked.items():
+                router = self.network.router(asn)
+                router.remove_decision_hook(on_decision)
+                router.remove_resync_hook(on_resync)
+            return pickle.dumps(self.network)
+        finally:
+            for asn, (on_decision, on_resync) in hooked.items():
+                router = self.network.router(asn)
+                router.add_decision_hook(on_decision)
+                router.add_resync_hook(on_resync)
 
     def _do_events(self):
         return self.monitor.evidence.events()
@@ -333,6 +375,7 @@ class WorkerState:
             "messages": self.network.transport.delivered,
             "bytes": self.network.transport.bytes_sent,
             "events": len(self.monitor.evidence),
+            "replayed_steps": self.replayed_steps,
         }
 
     def _do_stop(self):

@@ -1,0 +1,79 @@
+"""The challenge desk: dispute a verdict, let the judge decide.
+
+A recorded violation is an *accusation* until the paper's third-party
+judge validates its transferable evidence.  :func:`run_challenge` is
+the only path from accusation to demotion: it routes each challenged
+violation through the existing
+:meth:`~repro.audit.store.EvidenceStore.adjudicate` seam (the judge's
+RSA work is spent exactly once per event — rulings are cached on the
+report) and applies the confirmed rulings to the ledger via
+:meth:`~repro.ledger.ledger.TrustLedger.fold_adjudications`.  A
+dismissed accusation — a complaint the judge does not uphold, evidence
+that fails validation — changes nothing: honest ASes cannot be slashed
+by noise, and demotions only ever cite adjudicated violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["ChallengeOutcome", "run_challenge"]
+
+
+@dataclass(frozen=True)
+class ChallengeOutcome:
+    """One challenged event's fate."""
+
+    seq: int
+    asn: str
+    confirmed: bool
+    transition: Optional[object]  # the history record, when one landed
+
+    def describe(self) -> dict:
+        return {
+            "seq": self.seq,
+            "asn": self.asn,
+            "confirmed": self.confirmed,
+            "demoted": self.transition is not None,
+        }
+
+
+def run_challenge(
+    ledger,
+    *,
+    seq: Optional[int] = None,
+    judge=None,
+) -> Tuple[ChallengeOutcome, ...]:
+    """Challenge one stored violation (by ``seq``) or every one.
+
+    Returns one :class:`ChallengeOutcome` per challenged event.  Raises
+    ``KeyError`` for a ``seq`` that names no stored violation — you can
+    only dispute what the trail records.
+    """
+    store = ledger.store
+    if store is None:
+        raise RuntimeError("the ledger is not attached to a store")
+    if seq is None:
+        targets = store.violations()
+    else:
+        targets = tuple(e for e in store.violations() if e.seq == seq)
+        if not targets:
+            raise KeyError(f"no stored violation with seq {seq}")
+    outcomes: List[ChallengeOutcome] = []
+    for event in targets:
+        rulings = store.adjudicate(event, judge=judge)
+        adjudication = rulings[event.seq]
+        confirmed = bool(
+            adjudication.guilty() or adjudication.upheld_complaints()
+        )
+        transitions = ledger.fold_adjudications(rulings)
+        outcomes.append(
+            ChallengeOutcome(
+                seq=event.seq,
+                asn=event.asn,
+                confirmed=confirmed,
+                transition=transitions[0] if transitions else None,
+            )
+        )
+    return tuple(outcomes)

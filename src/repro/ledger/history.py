@@ -1,0 +1,141 @@
+"""The append-only, hash-chained transition history.
+
+Every trust-level change the ledger ever makes lands here as a
+:class:`TransitionRecord`: which AS, which epoch, from which level to
+which, under which rule, citing which evidence-store sequence numbers.
+Records are chained the way a transparency log is: each record's
+``digest`` is a domain-separated SHA-256 over its payload *and* the
+previous record's digest, so the history is tamper-evident —
+:meth:`TransitionHistory.verify` recomputes the chain from the genesis
+anchor and any edit, reorder, insertion or deletion breaks it.  The
+history is queryable (:meth:`TransitionHistory.for_asn`) and plain data
+(picklable), so a cluster coordinator can ship or snapshot it whole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.hashing import hash_many
+
+from repro.ledger.levels import TrustLevel
+
+__all__ = ["GENESIS", "TransitionHistory", "TransitionRecord"]
+
+_DOMAIN = "ledger-history"
+
+#: the chain anchor: the digest "before" the first record
+GENESIS = hash_many(_DOMAIN, b"genesis").hex()
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One trust-level change, as an immutable chained log row.
+
+    ``epoch`` is the settled epoch the rule fired in (``None`` for a
+    slash triggered before any epoch work was observed);
+    ``evidence_seqs`` are the store sequence numbers of the events the
+    rule cites — never empty: no transition without logged evidence.
+    """
+
+    index: int
+    asn: str
+    epoch: Optional[int]
+    from_level: TrustLevel
+    to_level: TrustLevel
+    rule: str
+    evidence_seqs: Tuple[int, ...]
+    prev_hash: str
+    digest: str
+
+    def payload(self) -> bytes:
+        """The canonical byte encoding the digest commits to."""
+        return repr((
+            self.index,
+            self.asn,
+            self.epoch,
+            int(self.from_level),
+            int(self.to_level),
+            self.rule,
+            tuple(self.evidence_seqs),
+        )).encode("utf-8")
+
+    def expected_digest(self) -> str:
+        return hash_many(
+            _DOMAIN, bytes.fromhex(self.prev_hash), self.payload()
+        ).hex()
+
+
+class TransitionHistory:
+    """The ledger's append-only log of every level transition."""
+
+    def __init__(self) -> None:
+        self._records: List[TransitionRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def head(self) -> str:
+        """The chain head: the last record's digest (or the genesis)."""
+        return self._records[-1].digest if self._records else GENESIS
+
+    def append(
+        self,
+        *,
+        asn: str,
+        epoch: Optional[int],
+        from_level: TrustLevel,
+        to_level: TrustLevel,
+        rule: str,
+        evidence_seqs: Tuple[int, ...],
+    ) -> TransitionRecord:
+        """Chain one transition onto the log and return its record."""
+        if not evidence_seqs:
+            raise ValueError(
+                "a transition must cite at least one evidence seq"
+            )
+        partial = TransitionRecord(
+            index=len(self._records),
+            asn=asn,
+            epoch=epoch,
+            from_level=TrustLevel(from_level),
+            to_level=TrustLevel(to_level),
+            rule=rule,
+            evidence_seqs=tuple(evidence_seqs),
+            prev_hash=self.head,
+            digest="",
+        )
+        record = dataclasses.replace(
+            partial, digest=partial.expected_digest()
+        )
+        self._records.append(record)
+        return record
+
+    def records(self) -> Tuple[TransitionRecord, ...]:
+        return tuple(self._records)
+
+    def for_asn(self, asn: str) -> Tuple[TransitionRecord, ...]:
+        return tuple(r for r in self._records if r.asn == asn)
+
+    def verify(self) -> bool:
+        """Recompute the whole chain from the genesis anchor."""
+        prev = GENESIS
+        for index, record in enumerate(self._records):
+            if (
+                record.index != index
+                or record.prev_hash != prev
+                or record.digest != record.expected_digest()
+            ):
+                return False
+            prev = record.digest
+        return True
+
+    def describe(self) -> dict:
+        return {
+            "length": len(self._records),
+            "head": self.head,
+            "verified": self.verify(),
+        }

@@ -121,6 +121,7 @@ class VerificationService:
         parity_sample: int = 0,
         rebalance_every: int = 0,
         metrics: Optional[ServeMetrics] = None,
+        ledger: object = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -142,6 +143,22 @@ class VerificationService:
             max_work_per_epoch=max_work,
             store=EvidenceStore(self.keystore, max_events=max_events),
         ).attach(network)
+        #: accountability ledger over the service's evidence trail:
+        #: ``None`` (off), ``True`` (default policy) or a
+        #: :class:`~repro.ledger.levels.LedgerPolicy`.  When on, the
+        #: monitor plans with a trust-aware
+        #: :class:`~repro.ledger.feedback.VerificationIntensity`, and
+        #: served adjudications feed slashing back into the ledger.
+        self.ledger = None
+        if ledger is not None:
+            from repro.ledger import TrustLedger, VerificationIntensity
+            from repro.ledger.levels import LedgerPolicy
+
+            policy = LedgerPolicy() if ledger is True else ledger
+            self.ledger = TrustLedger(policy).attach(self.monitor.evidence)
+            self.monitor.intensity = VerificationIntensity(
+                policy, seed=rng_seed, ledger=self.ledger
+            )
         self.network = network
         if placement is not None:
             shards = placement.shards
@@ -216,8 +233,8 @@ class VerificationService:
         """
         if self._queue is None:
             raise RuntimeError("service is not started")
-        if not self.admission.at_door(
-            request.kind, self._queue.qsize(), self.queue_depth
+        if not self.admission.at_door_request(
+            request, self._queue.qsize(), self.queue_depth
         ):
             self.metrics.reject(request.kind)
             raise AdmissionError(
@@ -404,7 +421,12 @@ class VerificationService:
         return answer_query(self.evidence, request)
 
     def _answer_adjudicate(self, request: AdjudicateRequest):
-        return answer_adjudicate(self.evidence, request)
+        payload = answer_adjudicate(self.evidence, request)
+        if self.ledger is not None:
+            self.ledger.fold_adjudications(payload)
+            if hasattr(self.admission, "update"):
+                self.admission.update(self.ledger.trust_map())
+        return payload
 
     # -- the sharded epoch pipeline ------------------------------------------
 
@@ -450,6 +472,9 @@ class VerificationService:
             self.metrics.note_shard(shard, len(stream))
         self._parity_check(plan, outcomes)
         self._maybe_rebalance()
+        if self.ledger is not None and hasattr(self.admission, "update"):
+            # refresh the trust-tiered door with trust as of this epoch
+            self.admission.update(self.ledger.trust_map())
         return report
 
     def _maybe_rebalance(self) -> None:

@@ -330,6 +330,33 @@ class TestClusterParity:
         assert 0 <= record["moved_pairs"] <= PREFIX_COUNT
         assert cluster.workers == 3
 
+    def test_grow_spawn_replay_is_snapshot_truncated(self):
+        """The snapshot a grow-spawned worker adopts carries the donor's
+        pickled network replica, so the coordinator truncates the churn
+        log at the snapshot point: fast-forward replay is bounded by
+        churn since the last snapshot (here zero), not cluster
+        lifetime — and parity still holds."""
+        spec = make_spec("minimum", workers=2)
+        _, prefixes = serve_network(PREFIX_COUNT)
+        requests = churn_script(prefixes, rounds=6)
+        cluster = spec.build()
+        try:
+            for index, request in enumerate(requests):
+                cluster.request(request)
+                if index + 1 == 4:
+                    assert len(cluster._churn_log) > 0
+                    cluster.reshard(workers=3)
+                    # the log was truncated at the snapshot point
+                    assert cluster._churn_log == []
+            counts = cluster.worker_counts()
+            # the bound: the spawned worker replayed only post-snapshot
+            # churn, which was empty — never the full history
+            assert counts[2]["replayed_steps"] == 0
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(cluster.evidence, reference) == []
+        finally:
+            cluster.stop()
+
     def test_parity_on_real_processes(self):
         """The full stack: forked worker processes, pipe IPC, a grow
         reshard with cache migration across the pickle boundary."""

@@ -74,6 +74,15 @@ class TestExamples:
         assert "BYTE-IDENTICAL" in out
         assert "0 failed" in out
 
+    def test_ledger_demo(self):
+        out = run_example("ledger_demo.py")
+        assert "PROBATIONARY -> STANDARD" in out
+        assert "STANDARD -> TRUSTED" in out
+        assert "saved" in out and "sampled out" in out
+        assert "judge says CONFIRMED" in out
+        assert "TRUSTED -> QUARANTINED citing adjudicated seqs" in out
+        assert "hash chain verified: True" in out
+
     def test_linkstate_ring(self):
         out = run_example("linkstate_ring.py")
         assert "REJECTED (ring mismatch)" in out
