@@ -77,7 +77,7 @@ def main() -> None:
         # 1. churn through the admission plane
         for request in requests:
             outcome = cluster.request(request).payload
-            print(f"  churn served: {outcome.events} events across "
+            print(f"  churn served: {outcome.event_count} events across "
                   f"{len(outcome.reports)} epoch(s)")
 
         # 2. reshard online: grow to three workers, migrate ownership

@@ -60,7 +60,7 @@ async def main() -> None:
     # 1. the initial converged state, audited through the shards
     first = await service.request(ChurnRequest())
     outcome = first.payload
-    print(f"  initial audit: {outcome.events} events across "
+    print(f"  initial audit: {outcome.event_count} events across "
           f"{len(outcome.reports)} epoch(s), "
           f"{sum(r.verified for r in outcome.reports)} verified")
 

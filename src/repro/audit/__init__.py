@@ -28,7 +28,12 @@ scenarios.
 
 from repro.audit import choosers
 from repro.audit.churn import ChurnRunResult, run_churn
-from repro.audit.events import EpochReport, VerdictEvent
+from repro.audit.events import (
+    EpochOutcome,
+    EpochReport,
+    SliceStats,
+    VerdictEvent,
+)
 from repro.audit.monitor import EpochPlan, Monitor, PlannedItem
 from repro.audit.policy import AuditPolicy
 from repro.audit.store import EvidenceStore
@@ -48,12 +53,14 @@ __all__ = [
     "ChurnRunResult",
     "CommitPayload",
     "DeploymentReport",
+    "EpochOutcome",
     "EpochPlan",
     "EpochReport",
     "EvidenceStore",
     "Monitor",
     "PlannedItem",
     "RoundStats",
+    "SliceStats",
     "VerdictEvent",
     "ViewPayload",
     "choosers",

@@ -11,19 +11,27 @@ Runs a registered churn scenario through a continuous
 :class:`~repro.audit.monitor.Monitor`, printing one row per epoch
 (verified / reused / deferred / crypto cost) and the evidence-store
 summary; ``--adjudicate`` runs the third-party judge over every stored
-violation.  Exit status: 0 on a violation-free run (or when violations
-were expected), 1 when unexpected violations were found, 2 on bad usage.
+violation.  Exit status (the shared :mod:`repro.util.cli` contract):
+0 on a violation-free run (or when violations were expected), 1 when
+unexpected violations were found, 2 on bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.audit.churn import run_churn
 from repro.bench.tables import print_table
 from repro.pvr.execution import shutdown_backends
+from repro.util.cli import (
+    EXIT_OK,
+    add_common_arguments,
+    envelope,
+    fail,
+    usage_error,
+    write_json,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,14 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                         '"process:4", ...)')
     parser.add_argument("--max-work", type=int, default=None, metavar="N",
                         help="bound fresh verifications per epoch")
-    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
-                        help="RSA modulus size (default: 512)")
-    parser.add_argument("--seed", type=int, default=2011,
-                        help="keystore / nonce-stream seed (default: 2011)")
     parser.add_argument("--adjudicate", action="store_true",
                         help="run the judge over every stored violation")
-    parser.add_argument("--json", metavar="PATH",
-                        help="write a machine-readable summary here")
+    add_common_arguments(
+        parser,
+        seed_help="keystore / nonce-stream seed (default: 2011)",
+        json_help="write a machine-readable summary here",
+    )
     return parser
 
 
@@ -66,14 +73,13 @@ def main(argv=None) -> int:
         return 0
 
     if args.max_work is not None and args.max_work < 1:
-        print(f"error: --max-work must be >= 1, got {args.max_work}",
-              file=sys.stderr)
-        return 2
+        return usage_error(
+            f"--max-work must be >= 1, got {args.max_work}"
+        )
     try:
         scenario = registry.get_churn(args.scenario)
     except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return usage_error(exc.args[0])
 
     try:
         result = run_churn(
@@ -127,24 +133,21 @@ def main(argv=None) -> int:
     if args.json:
         # schema-versioned like the repro.bench reports, so downstream
         # tooling can detect incompatible summary layouts
-        document = {
-            "schema": "repro.audit/summary",
-            "schema_version": 1,
-            **summary,
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"[audit] summary written to {args.json}")
+        write_json(
+            args.json,
+            envelope("repro.audit/summary", 1, summary),
+            tag="audit", what="summary",
+        )
 
     if violations and not scenario.expect_violation:
-        print(f"[audit] FAIL: {len(violations)} unexpected violation "
-              f"event(s)", file=sys.stderr)
-        return 1
+        return fail(
+            "audit",
+            f"{len(violations)} unexpected violation event(s)",
+        )
     print(f"[audit] {result.events} events across {len(result.epochs)} "
           f"epochs; reuse ratio {result.reuse_ratio():.0%}; "
           f"{'violations as expected' if violations else 'violation-free'}")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -6,6 +6,16 @@ full wire round behind it) or served from the incremental cache
 (``reused=True``, zero crypto operations, same report object as the
 verification it reuses).  An :class:`EpochReport` aggregates one epoch:
 what ran, what was reused, what was deferred by the work bound.
+
+:class:`EpochOutcome` is the **unified epoch-driving result**: the one
+shape :meth:`~repro.audit.monitor.Monitor.run_epoch`,
+:meth:`~repro.cluster.cluster.Cluster.run_epoch` and the serve layer's
+epoch path all return.  It aggregates one *driving step* — one or more
+epoch reports (a work bound or a coalesced churn group can span
+several), the out-of-epoch probe events that rode along, per-shard
+:class:`SliceStats`, and the cluster's respawn count — while forwarding
+every :class:`EpochReport` accessor, so code written against the old
+single-report shape keeps working unchanged.
 """
 
 from __future__ import annotations
@@ -85,3 +95,168 @@ class EpochReport:
 
     def violation_free(self) -> bool:
         return not self.violations()
+
+
+def reused_event(
+    previous: VerdictEvent, *, seq: int, epoch: int
+) -> VerdictEvent:
+    """Build the cache-served re-emission of ``previous`` for ``epoch``:
+    same report, same round, zero crypto operations.  Shared by
+    :meth:`~repro.audit.monitor.Monitor.emit_reused` and the cluster
+    coordinator (which re-emits from its cache mirror when the owning
+    worker died mid-epoch)."""
+    return VerdictEvent(
+        seq=seq,
+        epoch=epoch,
+        asn=previous.asn,
+        prefix=previous.prefix,
+        policy=previous.policy,
+        spec=previous.spec,
+        round=previous.round,
+        routes=dict(previous.routes),
+        report=previous.report,
+        stats=RoundStats(
+            prover=previous.spec.prover,
+            recipient=previous.spec.recipient,
+            providers=previous.spec.providers,
+            recipients=previous.spec.recipients,
+            violations=previous.stats.violations,
+            equivocations=previous.stats.equivocations,
+            reused=True,
+        ),
+        reused=True,
+    )
+
+
+@dataclass
+class SliceStats:
+    """One worker's (or shard's) share of one epoch's execution."""
+
+    worker: int
+    epoch: int
+    events: int
+    fresh: int
+    reused: int
+    #: positions this worker re-executed on behalf of a dead worker
+    backfilled: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class EpochOutcome:
+    """What one epoch-driving step produced, across every layer.
+
+    ``reports`` are the epochs the step ran (a work bound or a coalesced
+    churn group can span several); ``probe_events`` the out-of-epoch
+    audits that rode along; ``slices`` the per-worker/shard execution
+    stats; ``respawns`` how many dead workers the cluster replaced while
+    serving the step; ``coalesced`` how many churn requests shared it.
+
+    Every :class:`EpochReport` accessor is forwarded (``events``,
+    ``verified``, ``reused``, ``deferred``, ``signatures``,
+    ``verifications``, ``wall_seconds``, ``violations()``,
+    ``violation_free()``), so a single-epoch outcome reads exactly like
+    the report it wraps.  The legacy shapes remain as deprecated
+    properties: ``report`` (the old ``Monitor.run_epoch`` return) and
+    ``event_count``/``violation_count`` (the old cluster/serve outcome's
+    integer ``events``/``violations``).
+    """
+
+    reports: List[EpochReport] = field(default_factory=list)
+    probe_events: List[VerdictEvent] = field(default_factory=list)
+    slices: List[SliceStats] = field(default_factory=list)
+    respawns: int = 0
+    coalesced: int = 1
+
+    # -- canonical accessors (EpochReport-compatible) ------------------------
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The first epoch id this outcome covers (``None`` if empty)."""
+        return self.reports[0].epoch if self.reports else None
+
+    @property
+    def epochs(self) -> Tuple[int, ...]:
+        return tuple(r.epoch for r in self.reports)
+
+    @property
+    def events(self) -> List[VerdictEvent]:
+        """Every epoch event, in plan order across the reports (probe
+        events are separate — see :attr:`probe_events`)."""
+        return [e for r in self.reports for e in r.events]
+
+    @property
+    def verified(self) -> int:
+        return sum(r.verified for r in self.reports)
+
+    @property
+    def reused(self) -> int:
+        return sum(r.reused for r in self.reports)
+
+    @property
+    def deferred(self) -> List[Tuple[str, Prefix]]:
+        """The final report's deferred pairs — what is still queued
+        after this driving step (earlier reports' deferrals were
+        consumed by later ones)."""
+        return list(self.reports[-1].deferred) if self.reports else []
+
+    @property
+    def signatures(self) -> int:
+        return sum(r.signatures for r in self.reports)
+
+    @property
+    def verifications(self) -> int:
+        return sum(r.verifications for r in self.reports)
+
+    @property
+    def messages(self) -> int:
+        """Transport messages across every epoch event's round stats."""
+        return sum(e.stats.messages for e in self.events)
+
+    @property
+    def bytes(self) -> int:
+        """Transport bytes across every epoch event's round stats."""
+        return sum(e.stats.bytes for e in self.events)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.reports)
+
+    def violations(self) -> Tuple[VerdictEvent, ...]:
+        """Every violating event — epoch events and probe events."""
+        return tuple(
+            e
+            for e in (*self.events, *self.probe_events)
+            if e.violation_found()
+        )
+
+    def violation_free(self) -> bool:
+        return not self.violations()
+
+    # -- deprecated legacy shapes --------------------------------------------
+
+    @property
+    def report(self) -> EpochReport:
+        """Deprecated: the old single-report ``Monitor.run_epoch`` shape.
+        Valid only for single-epoch outcomes."""
+        if len(self.reports) != 1:
+            raise ValueError(
+                f"outcome spans {len(self.reports)} epochs; "
+                f"use .reports"
+            )
+        return self.reports[0]
+
+    @property
+    def event_count(self) -> int:
+        """Deprecated: the old cluster outcome's integer ``events``."""
+        return sum(len(r.events) for r in self.reports)
+
+    @property
+    def violation_count(self) -> int:
+        """Deprecated: the old cluster outcome's integer ``violations``."""
+        return len(self.violations())
+
+    @classmethod
+    def single(cls, report: EpochReport) -> "EpochOutcome":
+        """Wrap one serial epoch report (the Monitor path)."""
+        return cls(reports=[report])

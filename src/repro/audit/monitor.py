@@ -49,7 +49,12 @@ from repro.pvr.minimum import DEFAULT_MAX_LENGTH
 from repro.pvr.session import PromiseSpec, SessionReport
 
 from repro.audit.choosers import ChooserRef, resolve as resolve_chooser
-from repro.audit.events import EpochReport, VerdictEvent
+from repro.audit.events import (
+    EpochOutcome,
+    EpochReport,
+    VerdictEvent,
+    reused_event,
+)
 from repro.audit.policy import (
     AuditPolicy,
     SpecSource,
@@ -341,7 +346,7 @@ class Monitor:
 
     # -- the epoch scheduler -------------------------------------------------
 
-    def run_epoch(self, max_work: Optional[int] = None) -> EpochReport:
+    def run_epoch(self, max_work: Optional[int] = None) -> EpochOutcome:
         """Coalesce accumulated churn into one verification epoch.
 
         At most ``max_work`` (default: the monitor's
@@ -351,8 +356,14 @@ class Monitor:
         where this one stopped — already-audited tuples of a deferred
         pair are not revisited (and not re-emitted) unless new churn
         marks the pair again.
+
+        Returns the unified :class:`~repro.audit.events.EpochOutcome`
+        (one report; every :class:`~repro.audit.events.EpochReport`
+        accessor is forwarded, so existing callers read it unchanged).
         """
-        return self.execute_plan(self.plan_epoch(max_work))
+        return EpochOutcome.single(
+            self.execute_plan(self.plan_epoch(max_work))
+        )
 
     def plan_epoch(self, max_work: Optional[int] = None) -> EpochPlan:
         """Turn the accumulated churn into a deterministic epoch plan.
@@ -467,17 +478,17 @@ class Monitor:
         report.wall_seconds = time.perf_counter() - started
         return report
 
-    def run_until_idle(self, max_epochs: int = 64) -> List[EpochReport]:
+    def run_until_idle(self, max_epochs: int = 64) -> List[EpochOutcome]:
         """Run epochs until the dirty queue drains (work bounds can make
         one churn burst span several epochs)."""
-        reports = []
+        outcomes = []
         while self._dirty:
-            if len(reports) >= max_epochs:
+            if len(outcomes) >= max_epochs:
                 raise MonitorError(
                     f"dirty queue did not drain within {max_epochs} epochs"
                 )
-            reports.append(self.run_epoch())
-        return reports
+            outcomes.append(self.run_epoch())
+        return outcomes
 
     # -- verification --------------------------------------------------------
 
@@ -506,29 +517,13 @@ class Monitor:
     def emit_reused(self, entry: PlannedItem, *, epoch: int) -> VerdictEvent:
         """Serve an unchanged plan entry from the cache: same report,
         same round, zero crypto operations."""
-        item, previous = entry.item, entry.previous
-        event = VerdictEvent(
-            seq=self.evidence.next_seq(),
-            epoch=epoch,
-            asn=item.asn,
-            prefix=item.prefix,
-            policy=item.policy,
-            spec=previous.spec,
-            round=previous.round,
-            routes=dict(previous.routes),
-            report=previous.report,
-            stats=RoundStats(
-                prover=previous.spec.prover,
-                recipient=previous.spec.recipient,
-                providers=previous.spec.providers,
-                recipients=previous.spec.recipients,
-                violations=previous.stats.violations,
-                equivocations=previous.stats.equivocations,
-                reused=True,
-            ),
-            reused=True,
+        return self.evidence.record(
+            reused_event(
+                entry.previous,
+                seq=self.evidence.next_seq(),
+                epoch=epoch,
+            )
         )
-        return self.evidence.record(event)
 
     def record_planned(
         self,

@@ -709,10 +709,14 @@ def _serve_tail_latency(ctx: ExperimentContext):
 
 @register(
     "cluster-reshard",
-    "Placement-driven multi-process cluster: a churn script through "
-    "process-isolated Monitor workers with one online ConsistentHash "
-    "reshard (grow + cache migration) mid-run; byte parity asserted "
-    "against the unsharded monitor, speedup and keys-moved recorded",
+    "Placement-driven multi-process cluster: a churn script submitted "
+    "as coalesced epoch-pipelined bursts through process-isolated "
+    "Monitor workers with one online ConsistentHash reshard (grow + "
+    "cache migration) mid-run; byte parity asserted against an "
+    "unsharded monitor driven with the same coalescing, speedup "
+    "recorded against the pre-pipelining request-at-a-time serial "
+    "drive (coalesced groups settle churn before verifying, so the "
+    "pipeline does strictly less crypto)",
     params={"workers": 2, "grow": 1, "prefixes": 8, "rounds": 8,
             "reshard_at": 5, "key_bits": 512, "seed": 2011},
     quick={"prefixes": 6, "rounds": 6, "reshard_at": 4},
@@ -757,30 +761,49 @@ def _cluster_reshard(ctx: ExperimentContext):
         # the real gate, and a dense sample would re-prove every verdict
         # serially in the coordinator, drowning the workers' parallelism
         parity_sample=8,
+        coalesce_max=reshard_at,
     )
     requests = churn_script(prefixes, rounds=rounds)
+    # two equal coalesced bursts with the reshard between them, so the
+    # reference's uniform coalesce groups line up with the cluster's
+    assert len(requests) == 2 * reshard_at, (
+        f"reshard_at={reshard_at} must split the {len(requests)}-request "
+        "script into two equal coalesced bursts"
+    )
 
     cluster = spec.build()
     started = time.perf_counter()
     try:
-        record = None
-        for index, request in enumerate(requests):
-            cluster.request(request)
-            if index + 1 == reshard_at:
-                record = cluster.reshard(workers=cluster.workers + grow)
+        for request in requests[:reshard_at]:
+            cluster.submit(request)
+        cluster.pump()
+        record = cluster.reshard(workers=cluster.workers + grow)
+        for request in requests[reshard_at:]:
+            cluster.submit(request)
+        cluster.pump()
         cluster_seconds = time.perf_counter() - started
         metrics = cluster.metrics
-        assert record is not None, "the reshard never fired"
         assert metrics.parity_failed == 0, "online parity self-check failed"
+        assert metrics.coalesced_requests == len(requests), (
+            "every request should ride a coalesced epoch group"
+        )
 
-        # the serial reference doubles as the byte-parity oracle
+        # byte-parity oracle: a monitor driven with the same coalescing
         monitor = spec.build_monitor()
         ctx.track(monitor.keystore)
-        serial_started = time.perf_counter()
-        drive_monitor(monitor, requests)
-        serial_seconds = time.perf_counter() - serial_started
+        drive_monitor(monitor, requests, coalesce=reshard_at)
         mismatches = trail_mismatches(cluster.evidence, monitor.evidence)
         assert not mismatches, mismatches[:3]
+
+        # speedup baseline: the pre-pipelining synchronous path, one
+        # request (and its epoch) at a time — coalescing lets churn
+        # settle before anything is verified, so the pipelined cluster
+        # does strictly less crypto than this drive
+        serial = spec.build_monitor()
+        ctx.track(serial.keystore)
+        serial_started = time.perf_counter()
+        drive_monitor(serial, requests)
+        serial_seconds = time.perf_counter() - serial_started
         events_per_worker = dict(metrics.worker_events)
     finally:
         cluster.stop()

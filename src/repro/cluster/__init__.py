@@ -19,10 +19,17 @@ plane, with three pluggable seams:
 * transport — ``"process"`` workers over multiprocessing pipes, or
   ``"inline"`` workers speaking the identical protocol in-process.
 
-Workers **co-plan** every epoch deterministically and execute only
-their slice, so the folded trail is byte-identical to an unsharded
-monitor — including across an online :meth:`~repro.cluster.cluster.Cluster.reshard`
-that migrates ownership and commitment-cache entries mid-run.
+Workers **co-plan** every epoch deterministically, execute only their
+slice, and *stream* completed positions back; the coordinator folds the
+streams into plan order (:mod:`repro.cluster.fold`), so the trail is
+byte-identical to an unsharded monitor — including across an online
+:meth:`~repro.cluster.cluster.Cluster.reshard` that migrates ownership
+and commitment-cache entries mid-run, and across **worker deaths**: a
+worker that crashes, closes its pipe or misses the epoch deadline is
+backfilled by a buddy and respawned from a live snapshot
+(:class:`~repro.cluster.spec.ChaosSpec` injects such deaths
+deterministically).  Adjacent queued churn requests coalesce into one
+epoch sequence (``coalesce_max``).
 
 Run ``python -m repro.cluster`` for the cluster CLI (drives a churn
 workload through N workers with an optional mid-run reshard and checks
@@ -56,10 +63,11 @@ from repro.cluster.requests import (
     Completion,
     QueryRequest,
 )
-from repro.cluster.spec import ClusterSpec, PolicySpec
+from repro.cluster.spec import ChaosSpec, ClusterSpec, PolicySpec
 
 __all__ = [
     "AdjudicateRequest",
+    "ChaosSpec",
     "AdmissionError",
     "AdmissionPolicy",
     "AuditProbe",

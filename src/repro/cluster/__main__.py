@@ -6,6 +6,7 @@ Usage::
     python -m repro.cluster --workers 2 --placement consistent \\
         --reshard-at 6 --grow 1 --json cluster-metrics.json
     python -m repro.cluster --placement hotsplit --rebalance-at 6
+    python -m repro.cluster --kill-worker 1 --kill-at-epoch 4
     python -m repro.cluster --transport inline --no-verify
 
 Builds the multi-prefix serving scenario, stands up a
@@ -13,23 +14,36 @@ Builds the multi-prefix serving scenario, stands up a
 workers from a :class:`~repro.cluster.spec.ClusterSpec`, and drives the
 deterministic churn script (:mod:`repro.cluster.workload`) through the
 IPC admission plane — with an optional **online reshard** (grow via
-``--reshard-at``/``--grow``, or a hot-split ``--rebalance-at``) midway.
-Afterwards the folded evidence trail is checked byte-for-byte against a
-freshly driven unsharded Monitor (``--no-verify`` skips it), and
-``--json`` writes the schema-versioned cluster metrics snapshot.
+``--reshard-at``/``--grow``, or a hot-split ``--rebalance-at``) midway,
+and an optional **deterministic chaos kill**
+(``--kill-worker``/``--kill-at-epoch``): the chosen worker is SIGKILLed
+mid-slice at the chosen epoch, its unfinished positions are backfilled
+by a buddy, and it is respawned from a live snapshot.  Afterwards the
+folded evidence trail is checked byte-for-byte against a freshly
+driven unsharded Monitor (``--no-verify`` skips it) — so with a kill
+the gate is literally "the trail survives a worker death unchanged" —
+and ``--json`` writes the schema-versioned cluster metrics snapshot.
 
-Exit status: 0 on success, 1 on any parity mismatch or failed online
-parity self-check, 2 on bad usage.
+Exit status (the shared :mod:`repro.util.cli` contract): 0 on success,
+1 on any parity mismatch or failed online parity self-check, 2 on bad
+usage.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.bench.tables import print_table
 from repro.promises.spec import ShortestRoute
+from repro.util.cli import (
+    EXIT_OK,
+    EXIT_FAILURE,
+    add_common_arguments,
+    fail,
+    usage_error,
+    write_json,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,19 +84,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parity-sample", type=int, default=1, metavar="K",
                         help="re-prove every Kth fresh verdict online; "
                         "0 disables (default: 1)")
-    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
-                        help="RSA modulus size (default: 512)")
-    parser.add_argument("--seed", type=int, default=2011,
-                        help="keystore / nonce seed (default: 2011)")
+    parser.add_argument("--kill-worker", type=int, default=None,
+                        metavar="W", help="chaos: SIGKILL this worker "
+                        "mid-slice (with --kill-at-epoch)")
+    parser.add_argument("--kill-at-epoch", type=int, default=None,
+                        metavar="K", help="chaos: the epoch at which "
+                        "--kill-worker dies")
+    parser.add_argument("--kill-after", type=int, default=1, metavar="N",
+                        help="chaos: owned events the dying worker "
+                        "streams out first (default: 1)")
+    parser.add_argument("--epoch-deadline", type=float, default=None,
+                        metavar="S", help="declare a worker dead when "
+                        "its slice misses this per-epoch deadline")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the unsharded-reference parity check")
-    parser.add_argument("--json", metavar="PATH",
-                        help="write the metrics snapshot here")
+    add_common_arguments(
+        parser,
+        seed_help="keystore / nonce seed (default: 2011)",
+        json_help="write the metrics snapshot here",
+    )
     return parser
 
 
 def run(args) -> int:
     from repro.cluster import ClusterSpec, PolicySpec
+    from repro.cluster.spec import ChaosSpec
     from repro.cluster.workload import (
         churn_script,
         drive_monitor,
@@ -94,6 +120,14 @@ def run(args) -> int:
 
     def network():
         return serve_network(prefix_count)[0]
+
+    chaos = None
+    if args.kill_worker is not None:
+        chaos = ChaosSpec(
+            worker=args.kill_worker,
+            epoch=args.kill_at_epoch,
+            after=args.kill_after,
+        )
 
     _, prefixes = serve_network(prefix_count)
     spec = ClusterSpec(
@@ -113,6 +147,8 @@ def run(args) -> int:
         key_bits=args.key_bits,
         max_work=args.max_work,
         parity_sample=args.parity_sample,
+        epoch_deadline=args.epoch_deadline,
+        chaos=chaos,
     )
     requests = churn_script(
         prefixes, rounds=args.churns, violation_every=args.violations
@@ -190,19 +226,28 @@ def run(args) -> int:
         )
 
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"[cluster] metrics written to {args.json}")
+        write_json(args.json, snapshot, tag="cluster")
+
+    for respawn in snapshot["respawns"]:
+        print(f"[cluster] worker {respawn['worker']} died "
+              f"({respawn['reason']}) and was respawned with "
+              f"{respawn['installed_cache_entries']} cache entries")
+    if chaos is not None and not snapshot["respawns"]:
+        print(f"[cluster] FAIL: chaos kill of worker "
+              f"{chaos.worker} at epoch {chaos.epoch} never fired",
+              file=sys.stderr)
 
     parity = snapshot["parity"]
     print(f"[cluster] online parity self-checks: {parity['checked']} run, "
           f"{parity['failed']} failed")
-    status = 0
+    status = EXIT_OK
     if parity["failed"]:
-        print(f"[cluster] FAIL: {parity['failed']} online parity "
-              f"self-check(s) failed", file=sys.stderr)
-        status = 1
+        status = fail(
+            "cluster",
+            f"{parity['failed']} online parity self-check(s) failed",
+        )
+    if chaos is not None and not snapshot["respawns"]:
+        status = EXIT_FAILURE
     if args.no_verify:
         print("[cluster] reference parity check skipped (--no-verify)")
     elif mismatches:
@@ -211,7 +256,7 @@ def run(args) -> int:
               file=sys.stderr)
         for line in mismatches:
             print(f"  - {line}", file=sys.stderr)
-        status = 1
+        status = EXIT_FAILURE
     else:
         print("[cluster] evidence trail is byte-identical to the "
               "unsharded reference")
@@ -221,17 +266,31 @@ def run(args) -> int:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}",
-              file=sys.stderr)
-        return 2
+        return usage_error(f"--workers must be >= 1, got {args.workers}")
     if args.prefixes < 1:
-        print(f"error: --prefixes must be >= 1, got {args.prefixes}",
-              file=sys.stderr)
-        return 2
+        return usage_error(
+            f"--prefixes must be >= 1, got {args.prefixes}"
+        )
     if args.grow < 1:
-        print(f"error: --grow must be >= 1, got {args.grow}",
-              file=sys.stderr)
-        return 2
+        return usage_error(f"--grow must be >= 1, got {args.grow}")
+    if (args.kill_worker is None) != (args.kill_at_epoch is None):
+        return usage_error(
+            "--kill-worker and --kill-at-epoch must be given together"
+        )
+    if args.kill_worker is not None:
+        if not 0 <= args.kill_worker < args.workers:
+            return usage_error(
+                f"--kill-worker must name one of the {args.workers} "
+                f"workers, got {args.kill_worker}"
+            )
+        if args.kill_at_epoch < 1:
+            return usage_error(
+                f"--kill-at-epoch must be >= 1, got {args.kill_at_epoch}"
+            )
+        if args.kill_after < 0:
+            return usage_error(
+                f"--kill-after must be >= 0, got {args.kill_after}"
+            )
     return run(args)
 
 

@@ -1,28 +1,40 @@
-"""The cluster coordinator: placement-driven multi-process verification.
+"""The cluster coordinator: streaming, failure-tolerant epoch driving.
 
 A :class:`Cluster` is built from a :class:`~repro.cluster.spec.ClusterSpec`
 and runs N **fully independent Monitor workers** — each in its own
 process with its own network replica, keystore and evidence store —
-behind one IPC admission plane (request/response over multiprocessing
-pipes; the ``"inline"`` transport drives the same protocol in-process).
+behind one IPC admission plane (pipes for the ``"process"`` transport;
+the ``"inline"`` transport drives the same protocol in-process).
 
-The coordinator does four things, none of which is planning:
+The coordinator does five things, none of which is planning:
 
 * **admission** — requests queue behind the spec's
-  :class:`~repro.cluster.admission.AdmissionPolicy`;
-* **fan-out** — churn/epoch/probe commands broadcast to every worker;
-  workers co-plan deterministically (see :mod:`repro.cluster.worker`)
-  and execute their placement's slice concurrently;
-* **folding** — per-worker event slices interleave by plan position
-  into the coordinator's central :class:`~repro.audit.store.EvidenceStore`
-  (re-sequenced on absorption, exactly the
-  :meth:`~repro.audit.store.EvidenceStore.merged` primitive), so the
-  trail is byte-identical to an unsharded monitor's — seq for seq,
-  round for round, verdict for verdict, crypto count for crypto count;
-* **resharding** — :meth:`Cluster.reshard` swaps the placement online:
-  grow-spawned workers fast-forward from the churn log plus a planning
-  snapshot, moved (AS, prefix) ownership migrates its commitment-cache
-  entries to the new owners, and parity is preserved across the move.
+  :class:`~repro.cluster.admission.AdmissionPolicy`; adjacent churn
+  requests **coalesce**: up to ``spec.coalesce_max`` queued churn
+  requests ride a single epoch sequence and share one
+  :class:`~repro.audit.events.EpochOutcome`;
+* **fan-out** — churn/epoch/probe commands broadcast to every live
+  worker; workers co-plan deterministically (see
+  :mod:`repro.cluster.worker`) and execute their placement's slice
+  concurrently;
+* **streaming fold** — workers emit their slices *as positions
+  complete* (:class:`~repro.cluster.requests.SliceChunk` frames); the
+  coordinator folds them through a plan-order reorder buffer
+  (:class:`~repro.cluster.fold.SliceFold`) into the central
+  :class:`~repro.audit.store.EvidenceStore`, so the trail is
+  byte-identical to an unsharded monitor's — seq for seq, round for
+  round, verdict for verdict, crypto count for crypto count — and a
+  death mid-epoch loses only the dead worker's unstreamed suffix;
+* **failure tolerance** — a worker that closes its pipe, misses the
+  per-epoch deadline, or goes heartbeat-silent is declared dead: its
+  missing positions are **backfilled** by a live buddy (same plan, same
+  rounds, same nonces — byte-identical events), and the worker is
+  **respawned** through the same bootstrap path reshard-grow uses
+  (donor snapshot + truncated churn-log replay + commitment-cache
+  install from the coordinator's mirror).  More than
+  ``spec.max_failures_per_epoch`` deaths in one epoch fails loudly;
+* **resharding** — :meth:`Cluster.reshard` swaps the placement online;
+  moved (AS, prefix) ownership migrates its commitment-cache entries.
 
 Queries and adjudication are answered from the folded central trail, so
 readers always see a consistent view between epochs.
@@ -33,17 +45,24 @@ from __future__ import annotations
 import multiprocessing
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.audit.choosers import resolve as resolve_chooser
-from repro.audit.events import EpochReport
+from repro.audit.events import (
+    EpochOutcome,
+    EpochReport,
+    SliceStats,
+    reused_event,
+)
 from repro.audit.monitor import Monitor
 from repro.audit.store import EvidenceStore
 from repro.audit.wire import round_randomness
 from repro.pvr.engine import VerificationSession
 
 from repro.cluster.admission import ShedError
+from repro.cluster.fold import FoldError, SliceFold
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.placement import make_placement, moved_pairs
 from repro.cluster.requests import (
@@ -51,36 +70,22 @@ from repro.cluster.requests import (
     AdmissionError,
     ChurnRequest,
     Completion,
+    EpochSummary,
+    Heartbeat,
+    PlanHeader,
     QueryRequest,
+    SliceChunk,
     answer_adjudicate,
     answer_query,
 )
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.worker import WorkerState, worker_main
+from repro.cluster.worker import WorkerDied, WorkerState, worker_main
 
 __all__ = ["Cluster", "ClusterError", "EpochOutcome"]
 
 
 class ClusterError(RuntimeError):
-    """A worker failed, or the cluster's shared state diverged."""
-
-
-@dataclass
-class EpochOutcome:
-    """A churn request's result: the epochs (and probes) it triggered."""
-
-    reports: List[EpochReport] = field(default_factory=list)
-    probe_events: List[object] = field(default_factory=list)
-
-    @property
-    def events(self) -> int:
-        return sum(len(r.events) for r in self.reports)
-
-    @property
-    def violations(self) -> int:
-        return sum(len(r.violations()) for r in self.reports) + sum(
-            1 for e in self.probe_events if e.violation_found()
-        )
+    """A worker failed unrecoverably, or shared state diverged."""
 
 
 @dataclass
@@ -101,23 +106,42 @@ class _Ticket:
 class _InlineWorker:
     """The command protocol against an in-process :class:`WorkerState` —
     deterministic, pickle-free, and exactly the code path the process
-    transport runs on the far side of the pipe."""
+    transport runs on the far side of the pipe.  Stream frames buffer
+    in the state's ``stream`` list; an injected death unwinds as
+    :class:`~repro.cluster.worker.WorkerDied` and marks the worker
+    dead, mirroring a process worker's SIGKILL."""
 
     def __init__(self, *args) -> None:
         self.state = WorkerState(*args)
+        self.dead = False
         self._reply: Tuple[str, object] = ("ok", None)
 
     def post(self, command: Tuple) -> None:
+        del self.state.stream[:]
         try:
             self._reply = ("ok", self.state.handle(command))
+        except WorkerDied as exc:
+            self.dead = True
+            self._reply = ("died", str(exc))
         except Exception as exc:
             self._reply = ("error", f"{type(exc).__name__}: {exc}")
 
+    def take_stream(self) -> List[Tuple[str, object]]:
+        frames = list(self.state.stream)
+        del self.state.stream[:]
+        return frames
+
+    def reply(self) -> Tuple[str, object]:
+        return self._reply
+
     def wait(self) -> object:
         status, payload = self._reply
-        if status == "error":
-            raise ClusterError(payload)
+        if status != "ok":
+            raise ClusterError(str(payload))
         return payload
+
+    def kill(self) -> None:
+        self.dead = True
 
     def shutdown(self) -> None:
         pass
@@ -142,17 +166,34 @@ class _ProcessWorker:
         self.conn.send(command)
 
     def wait(self) -> object:
+        while True:
+            try:
+                status, payload = self.conn.recv()
+            except EOFError:
+                raise ClusterError("worker died mid-command") from None
+            if status == "stream":
+                continue  # stray frames from a superseded epoch
+            if status == "error":
+                raise ClusterError(f"worker command failed:\n{payload}")
+            return payload
+
+    def kill(self) -> None:
+        """Hard-stop a worker declared dead (idempotent)."""
         try:
-            status, payload = self.conn.recv()
-        except EOFError:
-            raise ClusterError("worker died mid-command") from None
-        if status == "error":
-            raise ClusterError(f"worker command failed:\n{payload}")
-        return payload
+            self.process.kill()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        self.process.join(timeout=10)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     def shutdown(self) -> None:
         try:
             self.conn.close()
+        except OSError:  # pragma: no cover - killed earlier
+            pass
         finally:
             self.process.join(timeout=10)
             if self.process.is_alive():  # pragma: no cover - safety net
@@ -194,6 +235,15 @@ class Cluster:
         self._seen_pairs: set = set()
         self._load_at_rebalance: Dict[int, int] = {}
         self._choosers = self._policy_choosers(spec)
+        #: worker index -> death reason, between detection and respawn
+        self._dead: Dict[int, str] = {}
+        #: the coordinator's commitment-cache mirror: cache key ->
+        #: (fingerprint, last ok fresh event), maintained from the
+        #: folded stream exactly as each owner maintains its own cache
+        #: (ok caches, violation evicts, reused leaves untouched).  It
+        #: re-emits reused events for a dead owner's positions and
+        #: seeds a respawned worker's real entries.
+        self._cache_mirror: Dict[tuple, tuple] = {}
         self._workers = [
             self._spawn(index) for index in range(self.placement.shards)
         ]
@@ -213,6 +263,29 @@ class Cluster:
             return _InlineWorker(*args)
         return _ProcessWorker(self._context, *args)
 
+    def _bootstrap_snapshot(self):
+        """Pull a bootstrap snapshot from the first live worker and
+        truncate the churn log at it — the **one** fast-forward recipe
+        (donor replica + planning state now, churn-suffix replay in the
+        spawned worker), shared by reshard-grow and failure respawn.
+        The snapshot carries the donor's pickled replica, so every
+        churn step before it is already baked in: future spawns replay
+        only churn that lands after it — fast-forward cost is bounded
+        by the inter-snapshot churn, not the cluster's lifetime."""
+        live = self._live_indices()
+        if not live:
+            raise ClusterError("no live worker left to donate a snapshot")
+        snapshot = self._request(live[0], ("snapshot",))
+        self._churn_log.clear()
+        return snapshot
+
+    def _live_indices(self) -> List[int]:
+        return [
+            index
+            for index in range(len(self._workers))
+            if index not in self._dead
+        ]
+
     @property
     def workers(self) -> int:
         return len(self._workers)
@@ -222,11 +295,11 @@ class Cluster:
         if self._stopped:
             return
         self._stopped = True
-        for worker in self._workers:
+        for index in self._live_indices():
             try:
-                worker.post(("stop",))
-                worker.wait()
-            except ClusterError:
+                self._workers[index].post(("stop",))
+                self._workers[index].wait()
+            except (ClusterError, OSError):
                 pass
         for worker in self._workers:
             worker.shutdown()
@@ -240,22 +313,23 @@ class Cluster:
     # -- the IPC fan-out -----------------------------------------------------
 
     def _broadcast(self, command: Tuple) -> List[object]:
-        """Send one command to every worker, collect every reply.
+        """Send one command to every *live* worker, collect every reply
+        (``None`` at dead indices).
 
         Process workers execute concurrently between the post and wait
         phases — this is where the cluster's parallelism lives.  Every
         reply is drained before any error is raised: leaving a buffered
         reply unread would permanently desynchronize that worker's
         request/response pipe for the rest of the run."""
-        for worker in self._workers:
-            worker.post(command)
-        replies: List[object] = []
+        live = self._live_indices()
+        for index in live:
+            self._workers[index].post(command)
+        replies: List[object] = [None] * len(self._workers)
         errors: List[str] = []
-        for index, worker in enumerate(self._workers):
+        for index in live:
             try:
-                replies.append(worker.wait())
+                replies[index] = self._workers[index].wait()
             except ClusterError as exc:
-                replies.append(None)
                 errors.append(f"worker {index}: {exc}")
         if errors:
             raise ClusterError("; ".join(errors))
@@ -290,12 +364,26 @@ class Cluster:
         return ticket
 
     def pump(self) -> List[_Ticket]:
-        """Serve everything pending, in admission order."""
+        """Serve everything pending, in admission order.  Adjacent
+        churn requests coalesce (up to ``spec.coalesce_max``): one
+        epoch sequence serves the whole group and every ticket shares
+        its :class:`~repro.audit.events.EpochOutcome`."""
         served = []
         while self._pending:
             ticket = self._pending.popleft()
-            self._serve(ticket)
-            served.append(ticket)
+            if isinstance(ticket.request, ChurnRequest):
+                group = [ticket]
+                while (
+                    self._pending
+                    and len(group) < self.spec.coalesce_max
+                    and isinstance(self._pending[0].request, ChurnRequest)
+                ):
+                    group.append(self._pending.popleft())
+                self._serve_churn_tickets(group)
+                served.extend(group)
+            else:
+                self._serve(ticket)
+                served.append(ticket)
         return served
 
     def request(self, request) -> Completion:
@@ -320,9 +408,7 @@ class Cluster:
             )
             return
         try:
-            if isinstance(ticket.request, ChurnRequest):
-                payload = self._serve_churn(ticket.request)
-            elif isinstance(ticket.request, QueryRequest):
+            if isinstance(ticket.request, QueryRequest):
                 payload = answer_query(self.evidence, ticket.request)
             elif isinstance(ticket.request, AdjudicateRequest):
                 payload = answer_adjudicate(self.evidence, ticket.request)
@@ -346,86 +432,527 @@ class Cluster:
 
     # -- the churn pipeline --------------------------------------------------
 
-    def _serve_churn(self, request: ChurnRequest) -> EpochOutcome:
-        steps = tuple(request.steps)
-        marks = tuple(request.marks)
-        if steps:
-            self._churn_log.append(steps)
-        replies = self._broadcast(("churn", steps, marks))
-        pending = any(replies)
-        outcome = EpochOutcome()
-        while pending:
-            report, pending = self._run_epoch()
-            outcome.reports.append(report)
-        for probe in request.probes:
-            owner = self.placement.owner(probe.asn, probe.prefix)
-            replies = self._broadcast(("probe", probe, owner))
-            event = replies[owner]
-            if event is None:
-                raise ClusterError(
-                    f"worker {owner} returned no probe event"
+    def _serve_churn_tickets(self, group: List[_Ticket]) -> None:
+        """Serve one coalesced churn group: shed what queued too long,
+        run the rest through a single epoch sequence, and resolve every
+        surviving ticket with the shared outcome."""
+        started = time.perf_counter()
+        live: List[_Ticket] = []
+        for ticket in group:
+            if not self.admission.at_dispatch(
+                "churn", started - ticket.enqueued
+            ):
+                self.metrics.shed("churn")
+                ticket.error = ShedError(
+                    f"churn request shed after "
+                    f"{started - ticket.enqueued:.3f}s in queue"
                 )
-            outcome.probe_events.append(self.evidence.absorb([event])[0])
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        try:
+            outcome = self._serve_churn_group(
+                [ticket.request for ticket in live]
+            )
+        except Exception as exc:
+            for ticket in live:
+                ticket.error = exc
+            return
+        finished = time.perf_counter()
+        for ticket in live:
+            ticket.completion = Completion(
+                request=ticket.request,
+                payload=outcome,
+                enqueued=ticket.enqueued,
+                started=started,
+                finished=finished,
+            )
+            self.metrics.complete("churn", ticket.completion.latency)
+
+    def _serve_churn_group(
+        self, requests: Sequence[ChurnRequest]
+    ) -> EpochOutcome:
+        """Apply a coalesced group's churn as one logical burst, drive
+        epochs until quiescent (respawning any workers lost on the
+        way), then run every request's probes in admission order."""
+        steps = tuple(s for request in requests for s in request.steps)
+        marks = tuple(m for request in requests for m in request.marks)
+        if steps:
+            # one churn-log entry for the whole group: a bootstrap
+            # replay applies it exactly as the workers did
+            self._churn_log.append(steps)
+        replies = self._broadcast_churn(("churn", steps, marks))
+        pending = any(reply for reply in replies if reply)
+        outcome = EpochOutcome(coalesced=len(requests))
+        coalesced = len(requests)
+        while pending:
+            report, slices, pending = self._run_epoch(coalesced=coalesced)
+            coalesced = 0  # count the group against its first epoch only
+            outcome.reports.append(report)
+            outcome.slices.extend(slices)
+        # respawn before probes so probe ownership needs no rerouting:
+        # the replacement adopted the donor's round counter and replica,
+        # so its probe rounds land exactly where the reference's do
+        outcome.respawns = self._respawn_dead()
+        for request in requests:
+            for probe in request.probes:
+                owner = self.placement.owner(probe.asn, probe.prefix)
+                probe_replies = self._broadcast(("probe", probe, owner))
+                event = probe_replies[owner]
+                if event is None:
+                    raise ClusterError(
+                        f"worker {owner} returned no probe event"
+                    )
+                outcome.probe_events.append(
+                    self.evidence.absorb([event])[0]
+                )
         if outcome.probe_events:
             self.metrics.note_probes(outcome.probe_events)
         return outcome
 
-    def _run_epoch(self) -> Tuple[EpochReport, bool]:
-        """One co-planned epoch across every worker."""
+    def _broadcast_churn(self, command: Tuple) -> List[object]:
+        """The churn fan-out, tolerant of workers found dead at send
+        time.  A broken pipe here is a death discovered late — the
+        worker is reaped, the epoch sequence runs without it (its
+        positions backfill like any mid-epoch loss), and the respawn
+        path replays the churn from a post-churn donor snapshot.  More
+        than ``max_failures_per_epoch`` such discoveries fail loud,
+        mirroring the in-epoch budget."""
+        found_dead: List[int] = []
+        posted: List[int] = []
+        for index in self._live_indices():
+            try:
+                self._workers[index].post(command)
+            except (BrokenPipeError, OSError):
+                self._note_death(
+                    index,
+                    "pipe closed at churn broadcast "
+                    "(worker process died)",
+                    found_dead,
+                )
+            else:
+                posted.append(index)
+        replies: List[object] = [None] * len(self._workers)
+        for index in posted:
+            try:
+                replies[index] = self._workers[index].wait()
+            except ClusterError:
+                self._note_death(
+                    index,
+                    "pipe closed at churn broadcast "
+                    "(worker process died)",
+                    found_dead,
+                )
+        if len(found_dead) > self.spec.max_failures_per_epoch:
+            raise ClusterError(
+                f"{len(found_dead)} workers ({sorted(found_dead)}) "
+                f"found dead at the churn broadcast, above "
+                f"max_failures_per_epoch="
+                f"{self.spec.max_failures_per_epoch}: "
+                + "; ".join(
+                    f"worker {i}: {self._dead[i]}"
+                    for i in sorted(found_dead)
+                )
+            )
+        if not self._live_indices():
+            raise ClusterError("no live workers to serve the churn")
+        return replies
+
+    def run_epoch(self) -> EpochOutcome:
+        """Drive one co-planned epoch across the cluster right now —
+        the unified epoch-driving surface shared with
+        :meth:`~repro.audit.monitor.Monitor.run_epoch` (the request
+        path drives epochs automatically; this is the direct API)."""
+        if self._stopped:
+            raise RuntimeError("cluster is stopped")
+        report, slices, _pending = self._run_epoch()
+        outcome = EpochOutcome(reports=[report], slices=slices)
+        outcome.respawns = self._respawn_dead()
+        return outcome
+
+    # -- the streaming epoch fold --------------------------------------------
+
+    def _run_epoch(
+        self, *, coalesced: int = 0
+    ) -> Tuple[EpochReport, List[SliceStats], bool]:
+        """One co-planned epoch: stream every live worker's slice,
+        fold it into the central trail in plan order as it arrives,
+        reap workers that die or stall, and backfill their missing
+        positions from a live buddy."""
         trust = None
         if self.ledger is not None:
             self.ledger.settle()
             trust = self.ledger.trust_map()
             if hasattr(self.admission, "update"):
                 self.admission.update(trust)
-        replies = self._broadcast(
-            ("epoch", tuple(self._invalidations), trust)
-        )
+        command = ("epoch", tuple(self._invalidations), trust)
         self._invalidations = []
-        first = replies[0]
-        merged: Dict[int, object] = {}
-        for index, reply in enumerate(replies):
-            if (
-                reply["epoch"] != first["epoch"]
-                or reply["entries"] != first["entries"]
-            ):
-                raise ClusterError(
-                    f"worker {index} diverged from the co-plan: "
-                    f"epoch {reply['epoch']}/{reply['entries']} entries "
-                    f"vs {first['epoch']}/{first['entries']}"
+        live = self._live_indices()
+        if not live:
+            raise ClusterError("no live workers to run an epoch")
+        fold = SliceFold()
+        absorbed: List[object] = []
+        headers: Dict[int, PlanHeader] = {}
+        summaries: Dict[int, EpochSummary] = {}
+        streamed: Dict[int, List[int]] = {}  # index -> [events, fresh]
+        new_deaths: List[int] = []
+        errors: List[str] = []
+
+        def ingest(index: int, frame) -> None:
+            if isinstance(frame, PlanHeader):
+                headers[index] = frame
+                try:
+                    fold.set_entries(frame.entries)
+                except FoldError as exc:
+                    errors.append(f"worker {index}: {exc}")
+            elif isinstance(frame, SliceChunk):
+                counts = streamed.setdefault(index, [0, 0])
+                counts[0] += len(frame.events)
+                counts[1] += sum(
+                    1 for _, e in frame.events if not e.reused
                 )
-            fresh = sum(1 for _, e in reply["slice"] if not e.reused)
-            if fresh:
-                self.metrics.note_worker(index, fresh)
-            for position, event in reply["slice"]:
-                if position in merged:
-                    raise ClusterError(
-                        f"plan position {position} claimed by two workers"
-                    )
-                merged[position] = event
-            self._invalidations.extend(reply["violated"])
-        if len(merged) != first["entries"]:
-            missing = sorted(
-                set(range(first["entries"])) - set(merged)
-            )[:5]
-            raise ClusterError(
-                f"epoch {first['epoch']}: {len(merged)} of "
-                f"{first['entries']} plan entries executed "
-                f"(first missing positions: {missing})"
+                self._fold_events(fold, frame.events, absorbed, errors)
+            elif not isinstance(frame, Heartbeat):
+                errors.append(
+                    f"worker {index}: unexpected stream frame "
+                    f"{type(frame).__name__}"
+                )
+
+        if self._context is None:
+            self._drive_epoch_inline(
+                live, command, ingest, summaries, new_deaths, errors
             )
-        ordered = [merged[position] for position in sorted(merged)]
-        absorbed = self.evidence.absorb(ordered)
-        report = EpochReport(epoch=first["epoch"])
+        else:
+            self._drive_epoch_process(
+                live, command, ingest, summaries, new_deaths, errors
+            )
+        if errors:
+            raise ClusterError("; ".join(errors))
+        if len(new_deaths) > self.spec.max_failures_per_epoch:
+            raise ClusterError(
+                f"{len(new_deaths)} workers "
+                f"({sorted(new_deaths)}) died in one epoch, above "
+                f"max_failures_per_epoch={self.spec.max_failures_per_epoch}: "
+                + "; ".join(
+                    f"worker {i}: {self._dead[i]}" for i in sorted(new_deaths)
+                )
+            )
+        reference = self._check_coplan(headers, summaries)
+        epoch, entries = reference.epoch, reference.entries
+        fold.set_entries(entries)
+        slices = [
+            SliceStats(
+                worker=index,
+                epoch=epoch,
+                events=summary.emitted,
+                fresh=summary.fresh,
+                reused=summary.reused,
+                wall_seconds=summary.wall_seconds,
+            )
+            for index, summary in sorted(summaries.items())
+        ]
+        for index in sorted(new_deaths):
+            events, fresh = streamed.get(index, [0, 0])
+            slices.append(
+                SliceStats(
+                    worker=index,
+                    epoch=epoch,
+                    events=events,
+                    fresh=fresh,
+                    reused=events - fresh,
+                )
+            )
+        missing = fold.missing()
+        if missing:
+            # any unrespawned dead worker justifies backfill — a death
+            # in a group's earlier epoch (or at the churn broadcast)
+            # leaves its positions missing in every epoch until the
+            # group drains and the respawn path runs
+            if not self._dead:
+                raise ClusterError(
+                    f"epoch {epoch}: {fold.received} of {entries} plan "
+                    f"entries executed with no worker lost "
+                    f"(first missing positions: {missing[:5]})"
+                )
+            slices.append(
+                self._backfill(fold, missing, epoch, absorbed, errors)
+            )
+            if errors:
+                raise ClusterError("; ".join(errors))
+        if not fold.complete():
+            raise ClusterError(
+                f"epoch {epoch}: fold incomplete after backfill "
+                f"({fold.released} of {entries} released)"
+            )
+        # the coordinator derives next-epoch invalidations from the
+        # folded trail itself — a violation streamed by a worker that
+        # died a moment later still evicts every shadow of its tuple
+        self._invalidations = [
+            (e.asn, e.prefix, e.policy, e.spec.recipients)
+            for e in absorbed
+            if not e.reused and not e.ok()
+        ]
+        report = EpochReport(epoch=epoch)
         report.events.extend(absorbed)
-        report.deferred.extend(first["deferred"])
+        report.deferred.extend(reference.deferred)
         report.signatures = sum(e.stats.signatures for e in absorbed)
         report.verifications = sum(
             e.stats.verifications for e in absorbed
         )
-        self.metrics.note_epoch(report)
+        self.metrics.note_epoch(report, coalesced=coalesced)
+        for stats in slices:
+            self.metrics.note_slice(stats)
+            if stats.fresh:
+                self.metrics.note_worker(stats.worker, stats.fresh)
         self._seen_pairs.update((e.asn, e.prefix) for e in absorbed)
         self._parity_check(absorbed)
-        return report, any(r["pending"] for r in replies)
+        pending = any(s.pending for s in summaries.values())
+        return report, slices, pending
+
+    def _drive_epoch_inline(
+        self, live, command, ingest, summaries, new_deaths, errors
+    ) -> None:
+        """Inline collection: each worker runs synchronously; its
+        buffered stream frames fold before its final reply is read."""
+        for index in live:
+            worker = self._workers[index]
+            worker.post(command)
+            for status, frame in worker.take_stream():
+                if status == "stream":
+                    ingest(index, frame)
+            status, payload = worker.reply()
+            if status == "ok":
+                summaries[index] = payload
+            elif status == "died":
+                self._note_death(index, payload, new_deaths)
+            else:
+                errors.append(f"worker {index}: {payload}")
+
+    def _drive_epoch_process(
+        self, live, command, ingest, summaries, new_deaths, errors
+    ) -> None:
+        """Process collection: post to every live worker, then fold
+        frames as pipes become readable.  A closed pipe, a missed
+        epoch deadline, or heartbeat silence reaps the worker."""
+        waiting = set()
+        for index in live:
+            try:
+                self._workers[index].post(command)
+            except (BrokenPipeError, OSError):
+                self._note_death(
+                    index,
+                    "pipe closed at epoch dispatch "
+                    "(worker process died)",
+                    new_deaths,
+                )
+            else:
+                waiting.add(index)
+        start = time.perf_counter()
+        deadline = self.spec.epoch_deadline
+        beat = self.spec.heartbeat_interval
+        by_conn = {self._workers[i].conn: i for i in waiting}
+        last_heard = {index: start for index in waiting}
+        while waiting:
+            ready = _connection_wait(
+                [self._workers[i].conn for i in waiting], timeout=0.05
+            )
+            now = time.perf_counter()
+            for conn in ready:
+                index = by_conn[conn]
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    self._note_death(
+                        index,
+                        "pipe closed mid-epoch (worker process died)",
+                        new_deaths,
+                    )
+                    waiting.discard(index)
+                    continue
+                last_heard[index] = now
+                if status == "stream":
+                    ingest(index, payload)
+                elif status == "ok":
+                    summaries[index] = payload
+                    waiting.discard(index)
+                else:
+                    errors.append(f"worker {index}: {payload}")
+                    waiting.discard(index)
+            now = time.perf_counter()
+            for index in sorted(waiting):
+                if deadline is not None and now - start > deadline:
+                    self._note_death(
+                        index,
+                        f"missed the {deadline:.3f}s epoch deadline",
+                        new_deaths,
+                    )
+                    waiting.discard(index)
+                elif beat > 0 and now - last_heard[index] > 5 * beat:
+                    self._note_death(
+                        index,
+                        f"heartbeat silent for "
+                        f"{now - last_heard[index]:.3f}s "
+                        f"(interval {beat:.3f}s)",
+                        new_deaths,
+                    )
+                    waiting.discard(index)
+
+    def _note_death(
+        self, index: int, reason: str, new_deaths: List[int]
+    ) -> None:
+        if index in self._dead:
+            return
+        self._dead[index] = reason
+        new_deaths.append(index)
+        self._workers[index].kill()
+
+    def _check_coplan(self, headers, summaries) -> EpochSummary:
+        """Every live worker must report the identical co-plan."""
+        reference: Optional[EpochSummary] = None
+        for index in sorted(summaries):
+            summary = summaries[index]
+            if reference is None:
+                reference = summary
+            elif (summary.epoch, summary.entries) != (
+                reference.epoch,
+                reference.entries,
+            ):
+                raise ClusterError(
+                    f"worker {index} diverged from the co-plan: epoch "
+                    f"{summary.epoch}/{summary.entries} entries vs "
+                    f"{reference.epoch}/{reference.entries}"
+                )
+        if reference is None:
+            raise ClusterError(
+                "every live worker died before finishing the epoch"
+            )
+        for index, header in sorted(headers.items()):
+            if (header.epoch, header.entries) != (
+                reference.epoch,
+                reference.entries,
+            ):
+                raise ClusterError(
+                    f"worker {index} planned epoch "
+                    f"{header.epoch}/{header.entries} entries vs "
+                    f"{reference.epoch}/{reference.entries}"
+                )
+        return reference
+
+    def _fold_events(
+        self,
+        fold: SliceFold,
+        pairs,
+        absorbed: List[object],
+        errors: List[str],
+    ) -> None:
+        """Push ``(position, event)`` pairs through the reorder buffer;
+        absorb whatever extends the contiguous plan-order prefix."""
+        for position, event in pairs:
+            try:
+                ready = fold.add(position, event)
+            except FoldError as exc:
+                errors.append(str(exc))
+                continue
+            for item in ready:
+                stored = self.evidence.absorb([item])[0]
+                absorbed.append(stored)
+                self._note_mirror(stored)
+
+    def _note_mirror(self, event) -> None:
+        """Maintain the commitment-cache mirror exactly as each owner
+        maintains its cache: a fresh ok verdict caches, a fresh
+        violation evicts (never served from cache), a reused event
+        leaves the entry untouched."""
+        if event.reused:
+            return
+        key = (event.asn, event.prefix, event.policy, event.spec.recipients)
+        if event.ok():
+            fingerprint = (
+                (
+                    event.spec,
+                    tuple(
+                        sorted(
+                            event.routes.items(), key=lambda kv: kv[0]
+                        )
+                    ),
+                ),
+                self._choosers.get(event.policy),
+            )
+            self._cache_mirror[key] = (fingerprint, event)
+        else:
+            self._cache_mirror.pop(key, None)
+
+    def _backfill(
+        self,
+        fold: SliceFold,
+        missing: List[int],
+        epoch: int,
+        absorbed: List[object],
+        errors: List[str],
+    ) -> SliceStats:
+        """Re-execute a dead worker's unfinished positions on the first
+        live buddy.  Fresh positions re-run the planned round there —
+        same round number, same nonce, same inputs, so the events are
+        byte-identical to what the owner would have streamed; reused
+        positions the buddy only shadows are re-emitted from the
+        coordinator's own mirror."""
+        buddy = self._live_indices()[0]
+        started = time.perf_counter()
+        result = self._request(buddy, ("backfill", tuple(missing)))
+        self._fold_events(fold, result.events, absorbed, errors)
+        for position, key in result.reused:
+            entry = self._cache_mirror.get(tuple(key))
+            if entry is None:
+                errors.append(
+                    f"backfill position {position}: no mirror entry "
+                    f"for {key} to re-emit"
+                )
+                continue
+            self._fold_events(
+                fold,
+                [(position, reused_event(entry[1], seq=0, epoch=epoch))],
+                absorbed,
+                errors,
+            )
+        return SliceStats(
+            worker=buddy,
+            epoch=epoch,
+            events=len(missing),
+            fresh=result.fresh,
+            reused=len(missing) - result.fresh,
+            backfilled=len(missing),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # -- failure respawn -----------------------------------------------------
+
+    def _respawn_dead(self) -> int:
+        """Replace every dead worker through the shared bootstrap path
+        (donor snapshot + truncated churn-log replay), then seed its
+        commitment cache from the mirror for the keys it owns — the
+        same migration a reshard runs, so the replacement's reuse
+        decisions match the worker it replaces."""
+        if not self._dead:
+            return 0
+        respawned = 0
+        for index in sorted(self._dead):
+            reason = self._dead[index]
+            snapshot = self._bootstrap_snapshot()
+            self._workers[index] = self._spawn(index, snapshot)
+            del self._dead[index]  # live again from here on
+            owned = {
+                key: entry
+                for key, entry in self._cache_mirror.items()
+                if self.placement.owner(key[0], key[1]) == index
+            }
+            if owned:
+                self._request(index, ("install", owned))
+            self.metrics.note_respawn(
+                worker=index, reason=reason, installed=len(owned)
+            )
+            respawned += 1
+        return respawned
 
     # -- online resharding ---------------------------------------------------
 
@@ -435,9 +962,10 @@ class Cluster:
         ``placement`` is a :class:`~repro.cluster.placement.Placement`
         (or strategy name resolved over ``workers`` slots); passing only
         ``workers`` re-slots the current placement via its
-        ``with_shards``.  Growing spawns fast-forwarded workers (churn
-        replay + planning snapshot); shrinking drains and stops the
-        surplus.  Returns the reshard record appended to the metrics.
+        ``with_shards``.  Growing spawns fast-forwarded workers (the
+        same bootstrap path failure respawn uses); shrinking drains and
+        stops the surplus.  Returns the reshard record appended to the
+        metrics.
         """
         if self._pending:
             self.pump()  # reshard only between requests
@@ -461,13 +989,7 @@ class Cluster:
         # (self.placement flips first so they adopt the new map directly)
         self.placement = new
         if new.shards > incumbents:
-            snapshot = self._request(0, ("snapshot",))
-            # the snapshot carries the donor's pickled replica, so every
-            # churn step before it is already baked in: truncate the log
-            # at the snapshot point and future spawns replay only churn
-            # that lands after it — fast-forward cost is bounded by the
-            # inter-reshard churn, not the cluster's lifetime
-            self._churn_log.clear()
+            snapshot = self._bootstrap_snapshot()
             for index in range(incumbents, new.shards):
                 self._workers.append(self._spawn(index, snapshot))
         # every incumbent adopts the placement and exports what moved
@@ -524,7 +1046,8 @@ class Cluster:
     def _policy_choosers(spec: ClusterSpec) -> Dict[str, object]:
         """Policy name -> chooser ref, mirroring the workers' monitor
         registration (auto-names included) so the coordinator can replay
-        cross-check rounds for the parity self-check."""
+        cross-check rounds for the parity self-check and reconstruct
+        cache fingerprints for the mirror."""
         mapping: Dict[str, object] = {}
         for counter, policy in enumerate(spec.policies):
             name = policy.options.get("name") or (
@@ -574,6 +1097,8 @@ class Cluster:
         is :attr:`evidence`, folded incrementally as epochs land.)"""
         stores = []
         for events in self._broadcast(("events",)):
+            if events is None:
+                continue
             store = EvidenceStore()
             store.absorb(events)
             stores.append(store)

@@ -1,0 +1,105 @@
+"""Plan-order slice folding: the coordinator's reorder buffer.
+
+Workers stream their slice events as owned positions complete, so the
+coordinator sees an arbitrary interleaving of per-worker streams — each
+worker's own events arrive in its slice order, but positions across
+workers interleave freely.  :class:`SliceFold` restores the single
+deterministic order that matters: the *plan order* the unsharded
+reference monitor would have recorded.  Events are buffered by plan
+position and released as the contiguous prefix extends; whatever the
+interleaving (including backfilled positions arriving long after their
+successors), the released sequence is identical — the property the
+Hypothesis suite drives directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FoldError", "SliceFold"]
+
+
+class FoldError(RuntimeError):
+    """A slice stream violated the fold's invariants (duplicate claim,
+    out-of-range position)."""
+
+
+class SliceFold:
+    """Reorder buffer keyed by plan position.
+
+    ``add(position, event)`` buffers one completed position and returns
+    the events newly released into plan order (possibly empty, possibly
+    several — filling a hole releases everything buffered behind it).
+    A position claimed twice is a :class:`FoldError`: exactly one worker
+    owns each plan entry, so a duplicate means the placement invariant
+    broke.
+    """
+
+    def __init__(self, entries: Optional[int] = None):
+        self._entries = entries
+        self._buffer: Dict[int, object] = {}
+        self._claimed: set = set()
+        self._next = 0
+
+    def set_entries(self, entries: int) -> None:
+        """Pin the plan size once the first plan header arrives."""
+        if self._entries is not None and self._entries != entries:
+            raise FoldError(
+                f"plan size changed: {self._entries} != {entries}"
+            )
+        self._entries = entries
+
+    @property
+    def entries(self) -> Optional[int]:
+        return self._entries
+
+    @property
+    def received(self) -> int:
+        """Positions claimed so far (released or still buffered)."""
+        return len(self._claimed)
+
+    @property
+    def released(self) -> int:
+        """Length of the contiguous prefix already released."""
+        return self._next
+
+    def add(self, position: int, event: object) -> List[object]:
+        if position < 0 or (
+            self._entries is not None and position >= self._entries
+        ):
+            raise FoldError(
+                f"position {position} outside plan of {self._entries}"
+            )
+        if position in self._claimed:
+            raise FoldError(f"position {position} claimed twice")
+        self._claimed.add(position)
+        self._buffer[position] = event
+        ready: List[object] = []
+        while self._next in self._buffer:
+            ready.append(self._buffer.pop(self._next))
+            self._next += 1
+        return ready
+
+    def add_many(
+        self, pairs: Iterable[Tuple[int, object]]
+    ) -> List[object]:
+        ready: List[object] = []
+        for position, event in pairs:
+            ready.extend(self.add(position, event))
+        return ready
+
+    def missing(self) -> List[int]:
+        """Positions never claimed, in plan order.  Requires the plan
+        size (a plan header must have arrived)."""
+        if self._entries is None:
+            raise FoldError("plan size unknown; no plan header folded")
+        return [
+            p for p in range(self._entries) if p not in self._claimed
+        ]
+
+    def complete(self) -> bool:
+        return (
+            self._entries is not None
+            and self._next == self._entries
+            and not self._buffer
+        )

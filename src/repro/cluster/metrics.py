@@ -21,7 +21,9 @@ from typing import Dict, List, Optional
 __all__ = ["ClusterMetrics", "LatencySeries", "SCHEMA", "SCHEMA_VERSION"]
 
 SCHEMA = "repro.cluster/metrics"
-SCHEMA_VERSION = 1
+#: version 2 added the per-worker ``workers`` section (slice latency,
+#: backfilled positions) and the ``respawns`` failure-tolerance section
+SCHEMA_VERSION = 2
 
 #: the percentiles every snapshot reports
 PERCENTILES = (50.0, 90.0, 99.0)
@@ -103,9 +105,18 @@ class ClusterMetrics:
         self.deferred = 0
         self.probes = 0
         self.probe_violations = 0
+        #: churn requests that shared an epoch sequence with at least
+        #: one other request (epoch pipelining's coalescing win)
+        self.coalesced_requests = 0
         # placement
         self.worker_events: Dict[int, int] = {}
         self.reshards: List[Dict[str, object]] = []
+        # per-worker streaming-slice execution
+        self.slice_latency: Dict[int, LatencySeries] = {}
+        self.slice_events: Dict[int, int] = {}
+        self.backfilled: Dict[int, int] = {}
+        # failure tolerance
+        self.respawns: List[Dict[str, object]] = []
         # verdict-parity self-checks (CI gates on failed == 0)
         self.parity_checked = 0
         self.parity_failed = 0
@@ -131,14 +142,41 @@ class ClusterMetrics:
 
     # -- the epoch pipeline -------------------------------------------------
 
-    def note_epoch(self, report) -> None:
-        """Absorb one :class:`~repro.audit.events.EpochReport`."""
+    def note_epoch(self, report, *, coalesced: int = 0) -> None:
+        """Absorb one :class:`~repro.audit.events.EpochReport`.
+        ``coalesced`` is how many churn requests this epoch served at
+        once (0 for epochs that are not a group's first)."""
         self.epochs += 1
         self.events += len(report.events)
         self.verified += report.verified
         self.reused += report.reused
         self.violations += len(report.violations())
         self.deferred += len(report.deferred)
+        if coalesced > 1:
+            self.coalesced_requests += coalesced
+
+    def note_slice(self, stats) -> None:
+        """Absorb one :class:`~repro.audit.events.SliceStats`."""
+        series = self.slice_latency.setdefault(
+            stats.worker, LatencySeries()
+        )
+        series.add(stats.wall_seconds)
+        self.slice_events[stats.worker] = (
+            self.slice_events.get(stats.worker, 0) + stats.events
+        )
+        if stats.backfilled:
+            self.backfilled[stats.worker] = (
+                self.backfilled.get(stats.worker, 0) + stats.backfilled
+            )
+
+    def note_respawn(
+        self, *, worker: int, reason: str, installed: int
+    ) -> None:
+        self.respawns.append({
+            "worker": worker,
+            "reason": reason,
+            "installed_cache_entries": installed,
+        })
 
     def note_probes(self, events) -> None:
         self.probes += len(events)
@@ -196,7 +234,17 @@ class ClusterMetrics:
                 "reused": self.reused,
                 "violations": self.violations,
                 "deferred": self.deferred,
+                "coalesced_requests": self.coalesced_requests,
             },
+            "workers": {
+                str(worker): {
+                    "slice_events": self.slice_events.get(worker, 0),
+                    "backfilled": self.backfilled.get(worker, 0),
+                    "slice_latency": series.summary(),
+                }
+                for worker, series in sorted(self.slice_latency.items())
+            },
+            "respawns": list(self.respawns),
             "probes": {
                 "count": self.probes,
                 "violations": self.probe_violations,

@@ -26,9 +26,14 @@ __all__ = [
     "AdjudicateRequest",
     "AdmissionError",
     "AuditProbe",
+    "BackfillSlice",
     "ChurnRequest",
     "Completion",
+    "EpochSummary",
+    "Heartbeat",
+    "PlanHeader",
     "QueryRequest",
+    "SliceChunk",
     "answer_query",
     "answer_adjudicate",
 ]
@@ -127,6 +132,77 @@ class Completion:
     @property
     def service_time(self) -> float:
         return self.finished - self.started
+
+
+# -- streaming epoch protocol ------------------------------------------------
+#
+# The epoch command is the one *streaming* exchange between coordinator
+# and worker: after planning, the worker emits ``("stream", message)``
+# frames — a PlanHeader, then SliceChunks (and Heartbeats when enabled)
+# as owned positions complete — and finishes with a normal
+# ``("ok", EpochSummary)`` reply.  The coordinator folds chunks into
+# the central trail in plan order as they arrive, so a dead worker
+# loses only its unstreamed suffix.
+
+
+@dataclass(frozen=True)
+class PlanHeader:
+    """First stream frame of an epoch: the worker's view of the co-plan.
+
+    Every live worker must report the same ``(epoch, entries)`` — a
+    divergence means the deterministic co-planning invariant broke."""
+
+    worker: int
+    epoch: int
+    entries: int
+
+
+@dataclass(frozen=True)
+class SliceChunk:
+    """A batch of completed owned positions: ``(plan position, event)``
+    pairs, emitted every ``ClusterSpec.stream_batch`` completions."""
+
+    worker: int
+    events: Tuple[Tuple[int, object], ...]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness-only frame: ``position`` plan entries processed so far.
+    Emitted between chunks when ``ClusterSpec.heartbeat_interval`` > 0."""
+
+    worker: int
+    position: int
+
+
+@dataclass(frozen=True)
+class EpochSummary:
+    """The epoch command's final reply — totals for what was streamed."""
+
+    worker: int
+    epoch: int
+    entries: int
+    emitted: int
+    fresh: int
+    reused: int
+    deferred: Tuple = ()
+    pending: bool = False
+    wall_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class BackfillSlice:
+    """A buddy worker's re-execution of a dead worker's missing
+    positions.  ``events`` are re-run fresh (or locally re-emitted
+    reused) positions; ``reused`` positions name the cache key for the
+    coordinator to re-emit from its own mirror (the buddy holds only a
+    shadow entry there)."""
+
+    worker: int
+    events: Tuple[Tuple[int, object], ...]
+    reused: Tuple[Tuple[int, tuple], ...]
+    fresh: int
+    wall_seconds: float = 0.0
 
 
 def answer_query(store, request: QueryRequest):

@@ -28,7 +28,38 @@ from repro.crypto.keystore import KeyStore
 from repro.cluster.admission import AdmissionPolicy, make_admission
 from repro.cluster.placement import Placement, make_placement
 
-__all__ = ["ClusterSpec", "PolicySpec"]
+__all__ = ["ChaosSpec", "ClusterSpec", "PolicySpec"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic failure injection: one worker fails at one epoch.
+
+    ``after`` counts the worker's *streamed* slice events before it
+    fails — ``0`` dies right after planning (nothing streamed), ``2``
+    dies with two events already folded (the rest is backfilled).
+    ``mode="kill"`` dies instantly (SIGKILL on the process transport, a
+    :class:`~repro.cluster.worker.WorkerDied` unwind inline);
+    ``mode="hang"`` sleeps ``hang_seconds`` mid-slice so only the
+    coordinator's deadline/heartbeat detector can reap it — process
+    transport only (an inline worker would hang the coordinator too).
+    """
+
+    worker: int
+    epoch: int
+    mode: str = "kill"  # "kill" | "hang"
+    after: int = 0
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("kill", "hang"):
+            raise ValueError(
+                f"chaos mode must be 'kill' or 'hang', got {self.mode!r}"
+            )
+        if self.worker < 0 or self.epoch < 1 or self.after < 0:
+            raise ValueError(
+                "chaos needs worker >= 0, epoch >= 1 and after >= 0"
+            )
 
 
 @dataclass(frozen=True)
@@ -87,6 +118,23 @@ class ClusterSpec:
     #: worker should bound it — violations stay pinned either way)
     worker_max_events: Optional[int] = None
     parity_sample: int = 0
+    #: per-epoch wall-clock budget: a worker that has not returned its
+    #: epoch summary this many seconds after the epoch command is posted
+    #: is declared dead, killed, and respawned (``None`` disables)
+    epoch_deadline: Optional[float] = None
+    #: when > 0, workers emit :class:`~repro.cluster.requests.Heartbeat`
+    #: messages between slice chunks; silence longer than five intervals
+    #: reaps the worker even before the epoch deadline
+    heartbeat_interval: float = 0.0
+    #: more than this many worker deaths in a single epoch is a loud
+    #: :class:`~repro.cluster.cluster.ClusterError` instead of a respawn
+    max_failures_per_epoch: int = 1
+    #: how many queued churn requests may ride a single epoch sequence
+    coalesce_max: int = 16
+    #: owned slice events per streamed chunk (1 = stream every event)
+    stream_batch: int = 8
+    #: deterministic failure injection (tests / CI chaos gate)
+    chaos: Optional[ChaosSpec] = None
     #: accountability ledger: ``None`` (off), ``True`` (default
     #: :class:`~repro.ledger.levels.LedgerPolicy`), or a ``LedgerPolicy``
     #: instance.  When set, the coordinator runs a
@@ -109,6 +157,25 @@ class ClusterSpec:
             )
         if self.parity_sample < 0:
             raise ValueError("parity_sample must be >= 0")
+        if self.epoch_deadline is not None and self.epoch_deadline <= 0:
+            raise ValueError("epoch_deadline must be positive or None")
+        if self.heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0")
+        if self.max_failures_per_epoch < 0:
+            raise ValueError("max_failures_per_epoch must be >= 0")
+        if self.coalesce_max < 1:
+            raise ValueError("coalesce_max must be >= 1")
+        if self.stream_batch < 1:
+            raise ValueError("stream_batch must be >= 1")
+        if (
+            self.chaos is not None
+            and self.chaos.mode == "hang"
+            and self.transport != "process"
+        ):
+            raise ValueError(
+                "chaos mode 'hang' requires the process transport "
+                "(an inline worker would hang the coordinator too)"
+            )
         object.__setattr__(self, "policies", tuple(self.policies))
         if self.ledger is True:
             from repro.ledger.levels import LedgerPolicy

@@ -27,14 +27,25 @@ another worker exports the real cache entry (fingerprint + verdict
 event) for installation at the new owner and leaves a shadow behind —
 reuse decisions are unchanged everywhere, so parity survives the move.
 
-One worker process speaks a small request/response command protocol
-over a multiprocessing pipe (see :data:`COMMANDS`); the inline
-transport drives the identical :class:`WorkerState` object in-process.
+One worker process speaks a small command protocol over a
+multiprocessing pipe (see :data:`COMMANDS`); the inline transport
+drives the identical :class:`WorkerState` object in-process.  Every
+command is request/response except ``"epoch"``, which *streams*: the
+worker emits ``("stream", frame)`` messages (a
+:class:`~repro.cluster.requests.PlanHeader`, then
+:class:`~repro.cluster.requests.SliceChunk` batches — and
+:class:`~repro.cluster.requests.Heartbeat` liveness frames when
+enabled — as owned positions complete) before its final
+``("ok", EpochSummary)`` reply, so the coordinator can fold the trail
+incrementally and a mid-slice death loses only the unstreamed suffix.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
+import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,23 +55,44 @@ from repro.crypto.keystore import KeyStore
 from repro.pvr.scenarios import apply_step
 
 from repro.cluster.placement import Placement
-from repro.cluster.requests import AuditProbe
+from repro.cluster.requests import (
+    AuditProbe,
+    BackfillSlice,
+    EpochSummary,
+    Heartbeat,
+    PlanHeader,
+    SliceChunk,
+)
 
-__all__ = ["ClusterWorkerMonitor", "SHADOW", "WorkerState", "worker_main"]
+__all__ = [
+    "ClusterWorkerMonitor",
+    "SHADOW",
+    "WorkerDied",
+    "WorkerState",
+    "bootstrap_from_snapshot",
+    "worker_main",
+]
 
 #: the wire-visible command vocabulary (documentation; the coordinator
 #: and :meth:`WorkerState.handle` are the two endpoints)
 COMMANDS = (
     "churn",        # (steps, marks) -> pending
-    "epoch",        # (invalidations, trust) -> epoch slice
+    "epoch",        # (invalidations, trust) -> streams, then EpochSummary
     "probe",        # (probe, owner) -> event | None
+    "backfill",     # (positions,) -> BackfillSlice for a dead worker
     "reshard",      # (placement,) -> exported cache entries
     "install",      # (entries,) -> count installed
-    "snapshot",     # () -> {"planning", "network"} for a grow-spawn
+    "snapshot",     # () -> {"planning", "network"} for a bootstrap spawn
     "events",       # () -> this worker's own evidence trail
     "counts",       # () -> crypto/transport counters
     "stop",         # () -> None (the worker exits)
 )
+
+
+class WorkerDied(RuntimeError):
+    """An inline worker's injected death: unwinds out of ``handle`` so
+    the inline transport can mark the worker dead, mirroring a process
+    worker's SIGKILL."""
 
 
 class _ShadowType:
@@ -117,8 +149,17 @@ class ClusterWorkerMonitor(Monitor):
 
     # -- the co-planned epoch ------------------------------------------------
 
-    def run_epoch_slice(self):
+    #: the most recent global plan, retained for buddy backfill of a
+    #: dead worker's unfinished positions
+    last_plan = None
+
+    def run_epoch_slice(self, *, on_plan=None, on_event=None, on_entry=None):
         """Plan the *global* epoch, execute this worker's slice.
+
+        ``on_plan(plan)`` fires once after planning, ``on_event(position,
+        event)`` per completed owned position, ``on_entry(position)``
+        per plan entry regardless of ownership — the streaming layer's
+        seams for chunk flushing, heartbeats and failure injection.
 
         Returns ``(plan, slice, violated)``: ``slice`` is the owned
         events as ``(plan position, event)`` pairs — the coordinator
@@ -128,18 +169,23 @@ class ClusterWorkerMonitor(Monitor):
         as shadow invalidations before the next plan).
         """
         plan = self.plan_epoch()
+        self.last_plan = plan
+        if on_plan is not None:
+            on_plan(plan)
         events: List[Tuple[int, object]] = []
         violated: List[tuple] = []
         for position, entry in enumerate(plan.entries):
+            if on_entry is not None:
+                on_entry(position)
             key = self._cache_key(entry.item)
             owned = self.owns(entry.item.asn, entry.item.prefix)
+            event = None
             if entry.fresh:
                 if owned:
                     report, stats = self.run_planned_round(entry)
                     event = self.record_planned(
                         entry, report, stats, epoch=plan.epoch
                     )
-                    events.append((position, event))
                     if not event.ok():
                         violated.append(key)
                 else:
@@ -154,12 +200,53 @@ class ClusterWorkerMonitor(Monitor):
                         f"a shadow cache entry (missed migration?)"
                     )
             elif owned:
+                event = self.emit_reused(entry, epoch=plan.epoch)
+            # an unowned real entry (pre-reshard leftover) needs no
+            # action: the owner emits, our copy keeps the fingerprint
+            if event is not None:
+                events.append((position, event))
+                if on_event is not None:
+                    on_event(position, event)
+        return plan, events, violated
+
+    def backfill(self, positions: Sequence[int]):
+        """Re-execute another (dead) worker's positions from the
+        retained plan, on this worker's own replica and wire.
+
+        Fresh positions run the planned round here — same round number,
+        same nonce, same inputs, so the event is byte-identical to what
+        the owner would have recorded.  Reused positions whose previous
+        event this worker holds for real are re-emitted locally; where
+        it holds only a shadow, the cache *key* is returned so the
+        coordinator re-emits from its own mirror.  Returns
+        ``(events, reused_keys, violated)``.
+        """
+        plan = self.last_plan
+        if plan is None:
+            raise ClusterStateError(
+                f"worker {self.index} has no retained plan to backfill"
+            )
+        events: List[Tuple[int, object]] = []
+        reused_keys: List[Tuple[int, tuple]] = []
+        violated: List[tuple] = []
+        for position in positions:
+            entry = plan.entries[position]
+            key = self._cache_key(entry.item)
+            if entry.fresh:
+                report, stats = self.run_planned_round(entry)
+                event = self.record_planned(
+                    entry, report, stats, epoch=plan.epoch
+                )
+                events.append((position, event))
+                if not event.ok():
+                    violated.append(key)
+            elif entry.previous is SHADOW:
+                reused_keys.append((position, key))
+            else:
                 events.append(
                     (position, self.emit_reused(entry, epoch=plan.epoch))
                 )
-            # an unowned real entry (pre-reshard leftover) needs no
-            # action: the owner emits, our copy keeps the fingerprint
-        return plan, events, violated
+        return events, reused_keys, violated
 
     def invalidate(self, keys: Sequence[tuple]) -> None:
         """Drop cache entries (real or shadow) for violated tuples."""
@@ -242,9 +329,36 @@ class ClusterWorkerMonitor(Monitor):
         self._dirty.clear()
 
 
+def bootstrap_from_snapshot(monitor, network, churn_log, planning) -> int:
+    """Fast-forward a freshly built worker to the cluster's present.
+
+    Replays the (snapshot-truncated) churn-log suffix so the replica's
+    RIBs match the incumbents', then adopts the donor's planning state
+    (the monitor hooks marked pairs dirty during replay and policy
+    registration; ``adopt_snapshot`` clears them — those epochs already
+    ran elsewhere).  This is the **one** fast-forward path, shared by
+    reshard-grow and failure respawn so the two can never drift.
+    Returns the number of replayed churn steps.
+    """
+    replayed = sum(len(steps) for steps in churn_log)
+    for steps in churn_log:
+        for step in steps:
+            apply_step(step, network)
+        network.run_to_quiescence()
+    if planning is not None:
+        monitor.adopt_snapshot(planning)
+    return replayed
+
+
 class WorkerState:
     """One worker's world: the network replica, the monitor, the
-    command handler.  Identical for both transports."""
+    command handler.  Identical for both transports.
+
+    ``emit`` is the streaming channel for the epoch command — the
+    process transport points it at ``conn.send``, the inline transport
+    at a per-command buffer.  By default frames accumulate in
+    ``self.stream`` (direct/test use).
+    """
 
     def __init__(
         self,
@@ -258,10 +372,10 @@ class WorkerState:
         self.index = index
         planning = snapshot
         if isinstance(snapshot, dict):
-            # snapshot-truncated fast-forward: adopt the incumbent's
-            # pickled replica instead of rebuilding from the factory —
-            # any churn before the snapshot is already baked into its
-            # RIBs, so only the (truncated) suffix needs replaying
+            # snapshot-truncated fast-forward: adopt the donor's pickled
+            # replica instead of rebuilding from the factory — any churn
+            # before the snapshot is already baked into its RIBs, so
+            # only the (truncated) suffix needs replaying
             network = pickle.loads(snapshot["network"])
             planning = snapshot["planning"]
         else:
@@ -288,18 +402,14 @@ class WorkerState:
         for policy in spec.policies:
             policy.install(self.monitor)
         self.network = network
-        # a grow-spawned worker fast-forwards: replay the churn history
-        # suffix so its replica's RIBs match the incumbents', then adopt
-        # their planning state (the monitor hooks marked pairs dirty
-        # during replay and registration; adopt_snapshot clears them —
-        # those epochs already ran elsewhere)
-        self.replayed_steps = sum(len(steps) for steps in churn_log)
-        for steps in churn_log:
-            for step in steps:
-                apply_step(step, network)
-            network.run_to_quiescence()
-        if planning is not None:
-            self.monitor.adopt_snapshot(planning)
+        self.replayed_steps = bootstrap_from_snapshot(
+            self.monitor, network, churn_log, planning
+        )
+        self.stream: List[Tuple[str, object]] = []
+        self.emit = self.stream.append
+        #: the process transport sets this: an injected kill is a real
+        #: SIGKILL there, a WorkerDied unwind inline
+        self.hard_kill = False
 
     # -- command handlers ----------------------------------------------------
 
@@ -319,18 +429,104 @@ class WorkerState:
         return bool(self.monitor.pending())
 
     def _do_epoch(self, invalidations, trust=None):
+        """The streaming epoch: plan header first, slice chunks as owned
+        positions complete, then the summary as the command's reply."""
         self.monitor.invalidate(invalidations)
         if trust is not None and self.monitor.intensity is not None:
             self.monitor.intensity.update(trust)
-        plan, events, violated = self.monitor.run_epoch_slice()
-        return {
-            "epoch": plan.epoch,
-            "entries": len(plan.entries),
-            "slice": events,
-            "violated": violated,
-            "deferred": list(plan.deferred),
-            "pending": bool(self.monitor.pending()),
-        }
+        started = time.perf_counter()
+        chaos = getattr(self.spec, "chaos", None)
+        batch = max(1, getattr(self.spec, "stream_batch", 8))
+        beat_every = getattr(self.spec, "heartbeat_interval", 0.0)
+        chunk: List[Tuple[int, object]] = []
+        counts = {"emitted": 0, "fresh": 0, "reused": 0}
+        last_emit = [started]
+
+        def send(frame) -> None:
+            self.emit(("stream", frame))
+            last_emit[0] = time.perf_counter()
+
+        def flush() -> None:
+            if chunk:
+                send(SliceChunk(worker=self.index, events=tuple(chunk)))
+                del chunk[:]
+
+        def chaos_armed(plan) -> bool:
+            return (
+                chaos is not None
+                and chaos.worker == self.index
+                and chaos.epoch == plan.epoch
+            )
+
+        def die() -> None:
+            # the injected failure: flush first so exactly `after`
+            # events made it out (deterministic on both transports)
+            flush()
+            if chaos.mode == "hang":
+                time.sleep(chaos.hang_seconds)
+                return  # reaped by the coordinator's deadline long ago
+            if self.hard_kill:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise WorkerDied(
+                f"chaos kill: worker {self.index} at epoch {chaos.epoch} "
+                f"after {counts['emitted']} events"
+            )
+
+        def on_plan(plan) -> None:
+            send(
+                PlanHeader(
+                    worker=self.index,
+                    epoch=plan.epoch,
+                    entries=len(plan.entries),
+                )
+            )
+            if chaos_armed(plan) and chaos.after == 0:
+                die()
+
+        def on_event(position, event) -> None:
+            chunk.append((position, event))
+            counts["emitted"] += 1
+            counts["reused" if event.reused else "fresh"] += 1
+            if chaos_armed(self.monitor.last_plan) and (
+                counts["emitted"] == chaos.after
+            ):
+                die()
+            if len(chunk) >= batch:
+                flush()
+
+        def on_entry(position) -> None:
+            if beat_every > 0 and (
+                time.perf_counter() - last_emit[0] >= beat_every
+            ):
+                flush()
+                send(Heartbeat(worker=self.index, position=position))
+
+        plan, _events, _violated = self.monitor.run_epoch_slice(
+            on_plan=on_plan, on_event=on_event, on_entry=on_entry
+        )
+        flush()
+        return EpochSummary(
+            worker=self.index,
+            epoch=plan.epoch,
+            entries=len(plan.entries),
+            emitted=counts["emitted"],
+            fresh=counts["fresh"],
+            reused=counts["reused"],
+            deferred=tuple(plan.deferred),
+            pending=bool(self.monitor.pending()),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def _do_backfill(self, positions):
+        started = time.perf_counter()
+        events, reused_keys, _violated = self.monitor.backfill(positions)
+        return BackfillSlice(
+            worker=self.index,
+            events=tuple(events),
+            reused=tuple(reused_keys),
+            fresh=sum(1 for _, e in events if not e.reused),
+            wall_seconds=time.perf_counter() - started,
+        )
 
     def _do_probe(self, probe, owner):
         return self.monitor.probe_round(probe, owner)
@@ -385,12 +581,15 @@ class WorkerState:
 def worker_main(spec, index, placement, churn_log, snapshot, conn) -> None:
     """The process-transport entry point: serve commands until "stop".
 
-    Every command gets exactly one reply: ``("ok", payload)`` or
-    ``("error", message)`` — an exception must never leave the
-    coordinator hanging on ``recv()``.
+    Every command gets exactly one *final* reply: ``("ok", payload)``
+    or ``("error", message)`` — an exception must never leave the
+    coordinator hanging on ``recv()``.  The epoch command additionally
+    emits ``("stream", frame)`` messages before its final reply.
     """
     try:
         state = WorkerState(spec, index, placement, churn_log, snapshot)
+        state.emit = conn.send
+        state.hard_kill = True
         conn.send(("ok", "ready"))
     except Exception:
         conn.send(("error", traceback.format_exc()))

@@ -85,32 +85,45 @@ def churn_script(
 
 
 def drive_monitor(
-    monitor: Monitor, requests: Sequence[ChurnRequest]
+    monitor: Monitor,
+    requests: Sequence[ChurnRequest],
+    *,
+    coalesce: int = 1,
 ) -> None:
     """Replay a churn script against an unsharded monitor, mirroring
     the cluster's request lifecycle exactly: steps, quiescence, epochs
-    until the dirty queue drains, then the request's probes."""
+    until the dirty queue drains, then the requests' probes in
+    admission order.  ``coalesce`` groups that many adjacent requests
+    into one burst — set it to the cluster's ``coalesce_max`` when the
+    cluster served the script from a full queue, so the reference's
+    epoch boundaries line up with the coalesced epochs."""
+    if coalesce < 1:
+        raise ValueError(f"coalesce must be >= 1, got {coalesce}")
     network = monitor.network
-    for request in requests:
-        for step in request.steps:
-            apply_step(step, network)
-        for asn, prefix in request.marks:
-            monitor.mark(asn, prefix)
+    queue = list(requests)
+    while queue:
+        group, queue = queue[:coalesce], queue[coalesce:]
+        for request in group:
+            for step in request.steps:
+                apply_step(step, network)
+            for asn, prefix in request.marks:
+                monitor.mark(asn, prefix)
         network.run_to_quiescence()
         while monitor.pending():
             monitor.run_epoch()
-        for probe in request.probes:
-            monitor.audit_once(
-                probe.asn,
-                probe.prefix,
-                probe.recipient,
-                prover=(
-                    probe.prover(monitor.keystore)
-                    if probe.prover is not None
-                    else None
-                ),
-                max_length=probe.max_length,
-            )
+        for request in group:
+            for probe in request.probes:
+                monitor.audit_once(
+                    probe.asn,
+                    probe.prefix,
+                    probe.recipient,
+                    prover=(
+                        probe.prover(monitor.keystore)
+                        if probe.prover is not None
+                        else None
+                    ),
+                    max_length=probe.max_length,
+                )
 
 
 def trail_mismatches(

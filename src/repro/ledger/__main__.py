@@ -19,14 +19,14 @@ final ladder and the hash-chain-verified transition history.
 (``schema: repro.ledger/snapshot``, ``schema_version: 1`` — the exact
 :meth:`~repro.ledger.ledger.TrustLedger.snapshot` document, consistent
 with the serve/cluster metrics documents) augmented with a ``run``
-section of epoch/cost totals.  Exit status: 0 on success, 1 if the
+section of epoch/cost totals.  Exit status (the shared
+:mod:`repro.util.cli` contract): 0 on success, 1 if the
 transition-history hash chain fails to verify, 2 on bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.audit.monitor import Monitor
@@ -35,6 +35,13 @@ from repro.cluster.workload import churn_script
 from repro.crypto.keystore import KeyStore
 from repro.promises.spec import ShortestRoute
 from repro.pvr.scenarios import apply_step, serve_network
+from repro.util.cli import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    add_common_arguments,
+    usage_error,
+    write_json,
+)
 
 from repro.ledger.ledger import TrustLedger
 from repro.ledger.levels import LedgerPolicy, TrustLevel
@@ -64,30 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="ride a Byzantine probe on every Nth churn "
                         "request (default: 0 = honest run)")
-    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
-                        help="RSA modulus size (default: 512)")
-    parser.add_argument("--seed", type=int, default=2011,
-                        help="keystore / nonce / sampling seed "
-                        "(default: 2011)")
-    parser.add_argument("--json", metavar="PATH",
-                        help="write the schema-versioned ledger "
-                        "snapshot here")
+    add_common_arguments(
+        parser,
+        seed_help="keystore / nonce / sampling seed (default: 2011)",
+        json_help="write the schema-versioned ledger snapshot here",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.prefixes < 1 or args.rounds < 1:
-        print("error: --prefixes and --rounds must be >= 1",
-              file=sys.stderr)
-        return 2
+        return usage_error("--prefixes and --rounds must be >= 1")
     if not 0.0 <= args.rate <= 1.0:
-        print(f"error: --rate must be in [0, 1], got {args.rate}",
-              file=sys.stderr)
-        return 2
+        return usage_error(f"--rate must be in [0, 1], got {args.rate}")
     if args.promote_after < 1:
-        print("error: --promote-after must be >= 1", file=sys.stderr)
-        return 2
+        return usage_error("--promote-after must be >= 1")
 
     policy = LedgerPolicy(
         clean_epochs_to_promote=args.promote_after,
@@ -116,11 +115,11 @@ def main(argv=None) -> int:
             monitor.mark(asn, prefix)
         network.run_to_quiescence()
         while monitor.pending():
-            report = monitor.run_epoch()
-            reports.append(report)
+            outcome = monitor.run_epoch()
+            reports.append(outcome)
             rows.append((
-                report.epoch, len(report.events), report.verified,
-                report.reused, report.signatures,
+                outcome.epoch, len(outcome.events), outcome.verified,
+                outcome.reused, outcome.signatures,
                 monitor.intensity.sampled_out,
                 ledger.trust_level("A").name,
             ))
@@ -184,11 +183,9 @@ def main(argv=None) -> int:
             "sampled_out": monitor.intensity.sampled_out,
             "challenges": [o.describe() for o in outcomes],
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-        print(f"wrote {args.json}")
+        write_json(args.json, document, tag="ledger", what="snapshot")
 
-    return 0 if verified else 1
+    return EXIT_OK if verified else EXIT_FAILURE
 
 
 if __name__ == "__main__":

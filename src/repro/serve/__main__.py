@@ -16,20 +16,27 @@ link latency and drops perturb admission.  Prints per-request-type
 latency percentiles and the epoch/shard/parity counters; ``--json``
 writes the schema-versioned metrics snapshot.
 
-Exit status: 0 on success, 1 when any verdict-parity self-check failed
-(or request futures errored), 2 on bad usage.
+Exit status (the shared :mod:`repro.util.cli` contract): 0 on success,
+1 when any verdict-parity self-check failed (or request futures
+errored), 2 on bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import sys
 
 from repro.bench.tables import print_table
 from repro.promises.spec import ShortestRoute
 from repro.pvr.execution import shutdown_backends
+from repro.util.cli import (
+    EXIT_OK,
+    add_common_arguments,
+    fail,
+    usage_error,
+    write_json,
+)
 
 from repro.serve.loadgen import (
     LoadProfile,
@@ -93,13 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default=None, metavar="SPEC",
                         help='shard executor backend override '
                         '("process:4", "thread", "serial")')
-    parser.add_argument("--key-bits", type=int, default=512, metavar="BITS",
-                        help="RSA modulus size (default: 512)")
-    parser.add_argument("--seed", type=int, default=2011,
-                        help="keystore / nonce / workload seed "
-                        "(default: 2011)")
-    parser.add_argument("--json", metavar="PATH",
-                        help="write the metrics snapshot here")
+    add_common_arguments(
+        parser,
+        json_help="write the metrics snapshot here",
+    )
     return parser
 
 
@@ -166,13 +170,11 @@ async def serve_and_load(args) -> tuple:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.shards < 1:
-        print(f"error: --shards must be >= 1, got {args.shards}",
-              file=sys.stderr)
-        return 2
+        return usage_error(f"--shards must be >= 1, got {args.shards}")
     if args.prefixes < 1:
-        print(f"error: --prefixes must be >= 1, got {args.prefixes}",
-              file=sys.stderr)
-        return 2
+        return usage_error(
+            f"--prefixes must be >= 1, got {args.prefixes}"
+        )
 
     try:
         service, report = asyncio.run(serve_and_load(args))
@@ -210,10 +212,7 @@ def main(argv=None) -> int:
         )
 
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"[serve] metrics written to {args.json}")
+        write_json(args.json, snapshot, tag="serve")
 
     parity = snapshot["parity"]
     print(f"[serve] {report.delivered}/{report.offered} requests admitted "
@@ -221,14 +220,17 @@ def main(argv=None) -> int:
           f"transit); parity checks: {parity['checked']} run, "
           f"{parity['failed']} failed")
     if report.errors:
-        print(f"[serve] FAIL: {len(report.errors)} request(s) errored; "
-              f"first: {report.errors[0]!r}", file=sys.stderr)
-        return 1
+        return fail(
+            "serve",
+            f"{len(report.errors)} request(s) errored; "
+            f"first: {report.errors[0]!r}",
+        )
     if parity["failed"]:
-        print(f"[serve] FAIL: {parity['failed']} verdict-parity check(s) "
-              f"failed", file=sys.stderr)
-        return 1
-    return 0
+        return fail(
+            "serve",
+            f"{parity['failed']} verdict-parity check(s) failed",
+        )
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -38,12 +38,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.audit.choosers import resolve as resolve_chooser
+from repro.audit.events import EpochOutcome, SliceStats
 from repro.audit.monitor import EpochPlan, Monitor
 from repro.audit.store import EvidenceStore
 from repro.audit.wire import round_randomness
 from repro.bgp.network import BGPNetwork
 from repro.cluster.admission import ShedError, make_admission
-from repro.cluster.cluster import EpochOutcome
 from repro.cluster.placement import Placement
 from repro.cluster.requests import (
     AdjudicateRequest,
@@ -326,15 +326,16 @@ class VerificationService:
                 for asn, prefix in request.marks:
                     self.monitor.mark(asn, prefix)
             self.network.run_to_quiescence()
-            outcome = EpochOutcome()
+            outcome = EpochOutcome(coalesced=len(group))
             # a work bound may defer pairs; drain within the group so
             # every admitted churn request is fully audited when its
             # future resolves.  Metrics absorb each epoch as it lands,
             # so a failure later in the group cannot leave recorded
             # evidence unaccounted for.
             while True:
-                report = self._run_epoch_sharded()
+                report, slices = self._run_epoch_sharded()
                 outcome.reports.append(report)
+                outcome.slices.extend(slices)
                 self.metrics.note_epoch(
                     report,
                     coalesced=len(group) if len(outcome.reports) == 1
@@ -430,8 +431,11 @@ class VerificationService:
 
     # -- the sharded epoch pipeline ------------------------------------------
 
-    def _run_epoch_sharded(self) -> EpochReport:
-        """One epoch: plan centrally, verify on shards, merge in order."""
+    def _run_epoch_sharded(self):
+        """One epoch: plan centrally, verify on shards, merge in order.
+        Returns ``(report, slices)`` — the merged
+        :class:`~repro.audit.events.EpochReport` plus per-shard
+        :class:`~repro.audit.events.SliceStats`."""
         started = time.perf_counter()
         plan = self.monitor.plan_epoch()
         try:
@@ -468,14 +472,23 @@ class VerificationService:
                 self.monitor.mark(entry.item.asn, entry.item.prefix)
             raise
         report.wall_seconds = time.perf_counter() - started
-        for shard, stream in merge.shard_streams(outcomes).items():
+        slices = []
+        for shard, stream in sorted(merge.shard_streams(outcomes).items()):
             self.metrics.note_shard(shard, len(stream))
+            slices.append(SliceStats(
+                worker=shard,
+                epoch=report.epoch,
+                events=len(stream),
+                fresh=len(stream),
+                reused=0,
+                wall_seconds=sum(o.wall_seconds for o in stream),
+            ))
         self._parity_check(plan, outcomes)
         self._maybe_rebalance()
         if self.ledger is not None and hasattr(self.admission, "update"):
             # refresh the trust-tiered door with trust as of this epoch
             self.admission.update(self.ledger.trust_map())
-        return report
+        return report, slices
 
     def _maybe_rebalance(self) -> None:
         """Hot-split rebalancing between epochs: feed the observed
