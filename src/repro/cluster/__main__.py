@@ -8,6 +8,7 @@ Usage::
     python -m repro.cluster --placement hotsplit --rebalance-at 6
     python -m repro.cluster --kill-worker 1 --kill-at-epoch 4
     python -m repro.cluster --transport inline --no-verify
+    python -m repro.cluster --controller --placement hotsplit
 
 Builds the multi-prefix serving scenario, stands up a
 :class:`~repro.cluster.cluster.Cluster` of process-isolated Monitor
@@ -59,8 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["static", "consistent", "hotsplit"],
                         help="placement strategy (default: consistent)")
     parser.add_argument("--admission", default="reject", metavar="SPEC",
-                        help='admission policy: "reject", '
-                        '"deadline[:S]" or "priority" (default: reject)')
+                        help='admission policy: "reject", "deadline[:S]", '
+                        '"priority", "trust" or "adaptive[:S]" '
+                        '(default: reject; --controller implies adaptive)')
+    parser.add_argument("--controller", action="store_true",
+                        help="enable the repro.control plane: adaptive "
+                        "admission plus automatic rebalance/grow with "
+                        "hysteresis, decided at epoch boundaries")
     parser.add_argument("--transport", default="process",
                         choices=["process", "inline"],
                         help="worker isolation (default: process)")
@@ -129,6 +135,10 @@ def run(args) -> int:
             after=args.kill_after,
         )
 
+    admission = args.admission
+    if args.controller and admission == "reject":
+        admission = "adaptive"
+
     _, prefixes = serve_network(prefix_count)
     spec = ClusterSpec(
         network=network,
@@ -141,7 +151,8 @@ def run(args) -> int:
         ),
         workers=args.workers,
         placement=args.placement,
-        admission=args.admission,
+        admission=admission,
+        controller=args.controller or None,
         transport=args.transport,
         rng_seed=args.seed,
         key_bits=args.key_bits,
@@ -227,6 +238,16 @@ def run(args) -> int:
 
     if args.json:
         write_json(args.json, snapshot, tag="cluster")
+
+    control = snapshot.get("control")
+    if control:
+        for decision in control["decisions"]:
+            applied = decision.get("applied")
+            suffix = "" if applied is None else (
+                " [applied]" if applied else " [not applied]"
+            )
+            print(f"[control] tick {decision['tick']}: "
+                  f"{decision['action']}{suffix} — {decision['reason']}")
 
     for respawn in snapshot["respawns"]:
         print(f"[cluster] worker {respawn['worker']} died "

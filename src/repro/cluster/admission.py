@@ -164,7 +164,14 @@ def make_admission(spec: object) -> AdmissionPolicy:
             from repro.ledger.feedback import TrustTieredAdmission
 
             return TrustTieredAdmission()
+        if head == "adaptive":
+            from repro.control.policies import AdaptiveAdmission
+
+            if sep:
+                return AdaptiveAdmission(stale_after=float(arg))
+            return AdaptiveAdmission()
     raise ValueError(
         f"unknown admission policy {spec!r}; "
-        f"expected reject, deadline[:SECONDS], priority or trust"
+        f"expected reject, deadline[:SECONDS], priority, trust "
+        f"or adaptive[:STALE_SECONDS]"
     )

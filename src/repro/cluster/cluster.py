@@ -223,7 +223,17 @@ class Cluster:
             from repro.ledger import TrustLedger
 
             self.ledger = TrustLedger(spec.ledger).attach(self.evidence)
+        #: the self-regulating control plane (None when the spec leaves
+        #: it off): fed from epoch outcomes, heartbeat backlogs and
+        #: queue depth, ticked after every ``pump()`` — see
+        #: :meth:`_control_tick`
+        self.controller = None
+        if spec.controller is not None:
+            from repro.control.controller import Controller
+
+            self.controller = Controller(spec.controller)
         self.metrics = ClusterMetrics()
+        self.metrics.control = self.controller
         self._context = (
             multiprocessing.get_context("fork")
             if spec.transport == "process"
@@ -361,6 +371,10 @@ class Cluster:
         ticket = _Ticket(request=request, enqueued=time.perf_counter())
         self._pending.append(ticket)
         self.metrics.admit(kind)
+        if self.controller is not None:
+            self.controller.observe_queue_depth(
+                len(self._pending), self.spec.queue_depth
+            )
         return ticket
 
     def pump(self) -> List[_Ticket]:
@@ -384,6 +398,8 @@ class Cluster:
             else:
                 self._serve(ticket)
                 served.append(ticket)
+        if served and self.controller is not None:
+            self._control_tick()
         return served
 
     def request(self, request) -> Completion:
@@ -394,6 +410,34 @@ class Cluster:
 
     def drain(self) -> None:
         self.pump()
+
+    def _control_tick(self) -> None:
+        """One controller evaluation at the request boundary (after
+        ``pump()`` drains the queue).  Placement decisions execute
+        through the very same :meth:`reshard`/:meth:`rebalance` seams
+        the CLI drives, at the same between-requests point — which is
+        why a controller-triggered reshard folds a byte-identical trail
+        to a CLI-triggered one."""
+        decisions = self.controller.tick()
+        if hasattr(self.admission, "update_signals"):
+            self.admission.update_signals(
+                severity=self.controller.severity,
+                stale_after=self.controller.policy.stale_after,
+            )
+        for decision in decisions:
+            if decision.action == "rebalance":
+                if hasattr(self.placement, "rebalance"):
+                    decision.applied = self.rebalance() is not None
+                else:
+                    decision.applied = False
+            elif decision.action == "grow":
+                if self.workers < self.controller.policy.max_workers and (
+                    hasattr(self.placement, "with_shards")
+                ):
+                    self.reshard(workers=self.workers + 1)
+                    decision.applied = True
+                else:
+                    decision.applied = False
 
     def _serve(self, ticket: _Ticket) -> None:
         kind = ticket.request.kind
@@ -580,6 +624,7 @@ class Cluster:
         fold it into the central trail in plan order as it arrives,
         reap workers that die or stall, and backfill their missing
         positions from a live buddy."""
+        epoch_started = time.perf_counter()
         trust = None
         if self.ledger is not None:
             self.ledger.settle()
@@ -613,7 +658,12 @@ class Cluster:
                     1 for _, e in frame.events if not e.reused
                 )
                 self._fold_events(fold, frame.events, absorbed, errors)
-            elif not isinstance(frame, Heartbeat):
+            elif isinstance(frame, Heartbeat):
+                if self.controller is not None:
+                    self.controller.observe_backlog(
+                        frame.worker, frame.backlog
+                    )
+            else:
                 errors.append(
                     f"worker {index}: unexpected stream frame "
                     f"{type(frame).__name__}"
@@ -700,7 +750,20 @@ class Cluster:
         report.verifications = sum(
             e.stats.verifications for e in absorbed
         )
+        # the coordinator-side wall clock for the whole drive (plan,
+        # stream, fold, backfill) — surfaced on EpochOutcome and fed to
+        # the control plane
+        report.wall_seconds = time.perf_counter() - epoch_started
         self.metrics.note_epoch(report, coalesced=coalesced)
+        if self.controller is not None:
+            self.controller.observe_epoch(
+                wall_seconds=report.wall_seconds,
+                worker_walls={
+                    index: summary.wall_seconds
+                    for index, summary in summaries.items()
+                },
+                shard_loads={s.worker: s.fresh for s in slices},
+            )
         for stats in slices:
             self.metrics.note_slice(stats)
             if stats.fresh:

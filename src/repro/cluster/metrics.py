@@ -1,93 +1,49 @@
-"""Cluster metrics: the coordinator's ledger and latency primitives.
+"""Cluster metrics: the coordinator's ledger.
 
-:class:`LatencySeries` is the exact nearest-rank percentile series the
-whole serving stack shares (``repro.serve.metrics`` re-exports it).
+The latency primitives (:class:`LatencySeries`, the exact nearest-rank
+rule) live in :mod:`repro.control.signals` and are re-exported here for
+backward compatibility — this ledger and ``repro.serve.metrics`` both
+emit the unified envelope from :mod:`repro.control.envelope`, so there
+is exactly one percentile implementation and one snapshot shape.
+
 :class:`ClusterMetrics` is the coordinator-side ledger: per-request-type
 admission/latency accounting, per-worker fresh-verification load (the
 input :class:`~repro.cluster.placement.HotSplit` rebalances on),
-epoch/reuse counters, reshard history (keys moved, cache entries
-migrated), and the verdict-parity self-check tallies the CI cluster
-smoke job gates on.  ``snapshot()`` emits a schema-versioned JSON
-document.
+epoch/reuse counters plus per-epoch wall-clock and coalesced-batch
+sizes, reshard history (keys moved, cache entries migrated), and the
+verdict-parity self-check tallies the CI cluster smoke job gates on.
+``snapshot()`` emits a schema-versioned JSON document.
 """
 
 from __future__ import annotations
 
-import json
-import math
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-__all__ = ["ClusterMetrics", "LatencySeries", "SCHEMA", "SCHEMA_VERSION"]
+from repro.control.envelope import TypeMetrics, envelope, placement_section
+from repro.control.signals import PERCENTILES, LatencySeries
+
+__all__ = [
+    "ClusterMetrics",
+    "LatencySeries",
+    "PERCENTILES",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+]
 
 SCHEMA = "repro.cluster/metrics"
-#: version 2 added the per-worker ``workers`` section (slice latency,
-#: backfilled positions) and the ``respawns`` failure-tolerance section
-SCHEMA_VERSION = 2
+#: version 3 moved onto the unified envelope (``repro.control``): the
+#: ``requests`` records gained ``dropped``/``throughput_rps``/
+#: ``queue_delay``/``service_time``, ``epochs`` gained per-epoch
+#: ``wall`` and ``coalesced_batches`` stats, ``placement`` gained the
+#: canonical ``load`` map (``events_per_worker`` stays as a deprecated
+#: alias), and a ``control`` section carries the controller snapshot
+#: when the control plane is enabled.  Version 2 added the per-worker
+#: ``workers`` section and ``respawns``.
+SCHEMA_VERSION = 3
 
-#: the percentiles every snapshot reports
-PERCENTILES = (50.0, 90.0, 99.0)
-
-
-class LatencySeries:
-    """Raw latency samples with exact nearest-rank percentiles."""
-
-    def __init__(self) -> None:
-        self._samples: List[float] = []
-        self._sorted = True
-
-    def add(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"latency cannot be negative: {seconds}")
-        self._samples.append(seconds)
-        self._sorted = False
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    def _ordered(self) -> List[float]:
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
-        return self._samples
-
-    def percentile(self, p: float) -> Optional[float]:
-        """Nearest-rank percentile: the smallest sample ≥ p% of the
-        distribution.  ``None`` on an empty series."""
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile must be in (0, 100], got {p}")
-        ordered = self._ordered()
-        if not ordered:
-            return None
-        rank = math.ceil(p / 100.0 * len(ordered))
-        return ordered[rank - 1]
-
-    def mean(self) -> Optional[float]:
-        if not self._samples:
-            return None
-        return sum(self._samples) / len(self._samples)
-
-    def max(self) -> Optional[float]:
-        return self._ordered()[-1] if self._samples else None
-
-    def summary(self) -> Dict[str, object]:
-        return {
-            "count": len(self._samples),
-            "mean_s": self.mean(),
-            "max_s": self.max(),
-            **{f"p{p:g}_s": self.percentile(p) for p in PERCENTILES},
-        }
-
-
-class _TypeMetrics:
-    """Counters and latency for one request type."""
-
-    def __init__(self) -> None:
-        self.admitted = 0
-        self.rejected = 0
-        self.shed = 0
-        self.completed = 0
-        self.latency = LatencySeries()
+# kept importable under the old private name for callers that reached in
+_TypeMetrics = TypeMetrics
 
 
 class ClusterMetrics:
@@ -95,7 +51,7 @@ class ClusterMetrics:
 
     def __init__(self) -> None:
         self.started = time.perf_counter()
-        self._types: Dict[str, _TypeMetrics] = {}
+        self._types: Dict[str, TypeMetrics] = {}
         # the epoch pipeline
         self.epochs = 0
         self.events = 0
@@ -108,6 +64,10 @@ class ClusterMetrics:
         #: churn requests that shared an epoch sequence with at least
         #: one other request (epoch pipelining's coalescing win)
         self.coalesced_requests = 0
+        #: coordinator-side wall clock per epoch drive
+        self.epoch_wall = LatencySeries()
+        #: sizes of the coalesced churn groups (first epochs only)
+        self.batch_sizes: List[int] = []
         # placement
         self.worker_events: Dict[int, int] = {}
         self.reshards: List[Dict[str, object]] = []
@@ -120,9 +80,12 @@ class ClusterMetrics:
         # verdict-parity self-checks (CI gates on failed == 0)
         self.parity_checked = 0
         self.parity_failed = 0
+        #: the controller, when the control plane is enabled (set by
+        #: the Cluster so ``snapshot()`` can embed its decision log)
+        self.control = None
 
-    def type_metrics(self, kind: str) -> _TypeMetrics:
-        return self._types.setdefault(kind, _TypeMetrics())
+    def type_metrics(self, kind: str) -> TypeMetrics:
+        return self._types.setdefault(kind, TypeMetrics())
 
     # -- admission ----------------------------------------------------------
 
@@ -135,10 +98,14 @@ class ClusterMetrics:
     def shed(self, kind: str) -> None:
         self.type_metrics(kind).shed += 1
 
-    def complete(self, kind: str, latency: float) -> None:
-        tm = self.type_metrics(kind)
-        tm.completed += 1
-        tm.latency.add(latency)
+    def complete(
+        self,
+        kind: str,
+        latency: float,
+        queue_delay: "float | None" = None,
+        service: "float | None" = None,
+    ) -> None:
+        self.type_metrics(kind).note_complete(latency, queue_delay, service)
 
     # -- the epoch pipeline -------------------------------------------------
 
@@ -152,6 +119,10 @@ class ClusterMetrics:
         self.reused += report.reused
         self.violations += len(report.violations())
         self.deferred += len(report.deferred)
+        if report.wall_seconds:
+            self.epoch_wall.add(report.wall_seconds)
+        if coalesced > 0:
+            self.batch_sizes.append(coalesced)
         if coalesced > 1:
             self.coalesced_requests += coalesced
 
@@ -209,61 +180,63 @@ class ClusterMetrics:
 
     # -- reporting ----------------------------------------------------------
 
+    def epochs_section(self) -> Dict[str, object]:
+        sizes = self.batch_sizes
+        return {
+            "count": self.epochs,
+            "events": self.events,
+            "verified": self.verified,
+            "reused": self.reused,
+            "violations": self.violations,
+            "deferred": self.deferred,
+            "coalesced_requests": self.coalesced_requests,
+            "wall": self.epoch_wall.summary(),
+            "coalesced_batches": {
+                "count": len(sizes),
+                "max_size": max(sizes) if sizes else None,
+                "mean_size": (sum(sizes) / len(sizes)) if sizes else None,
+            },
+        }
+
     def snapshot(self, placement=None, admission=None) -> Dict[str, object]:
         """The schema-versioned, JSON-serializable metrics document."""
         window = time.perf_counter() - self.started
-        requests = {}
-        for kind in sorted(self._types):
-            tm = self._types[kind]
-            requests[kind] = {
-                "admitted": tm.admitted,
-                "rejected": tm.rejected,
-                "shed": tm.shed,
-                "completed": tm.completed,
-                "latency": tm.latency.summary(),
-            }
-        snapshot = {
-            "schema": SCHEMA,
-            "schema_version": SCHEMA_VERSION,
-            "window_seconds": window,
-            "requests": requests,
-            "epochs": {
-                "count": self.epochs,
-                "events": self.events,
-                "verified": self.verified,
-                "reused": self.reused,
-                "violations": self.violations,
-                "deferred": self.deferred,
-                "coalesced_requests": self.coalesced_requests,
-            },
-            "workers": {
-                str(worker): {
-                    "slice_events": self.slice_events.get(worker, 0),
-                    "backfilled": self.backfilled.get(worker, 0),
-                    "slice_latency": series.summary(),
-                }
-                for worker, series in sorted(self.slice_latency.items())
-            },
-            "respawns": list(self.respawns),
-            "probes": {
+        spec = placement.describe() if placement is not None else None
+        placed = placement_section(
+            spec=spec, load=self.worker_events, reshards=self.reshards
+        )
+        # deprecated alias of placement.load, kept one schema version
+        placed["events_per_worker"] = placed["load"]
+        return envelope(
+            schema=SCHEMA,
+            schema_version=SCHEMA_VERSION,
+            window_seconds=window,
+            types=self._types,
+            epochs=self.epochs_section(),
+            probes={
                 "count": self.probes,
                 "violations": self.probe_violations,
             },
-            "placement": {
-                "spec": placement.describe() if placement is not None else None,
-                "events_per_worker": {
-                    str(worker): count
-                    for worker, count in sorted(self.worker_events.items())
-                },
-                "reshards": list(self.reshards),
-            },
-            "admission": (
+            placement=placed,
+            admission=(
                 admission.describe() if admission is not None else None
             ),
-            "parity": {
+            control=(
+                self.control.snapshot() if self.control is not None else None
+            ),
+            parity={
                 "checked": self.parity_checked,
                 "failed": self.parity_failed,
             },
-        }
-        json.dumps(snapshot)  # must always serialize; fail loudly here
-        return snapshot
+            extra={
+                "workers": {
+                    str(worker): {
+                        "slice_events": self.slice_events.get(worker, 0),
+                        "backfilled": self.backfilled.get(worker, 0),
+                        "slice_latency": series.summary(),
+                    }
+                    for worker, series in sorted(self.slice_latency.items())
+                },
+                "respawns": list(self.respawns),
+            },
+        )

@@ -168,11 +168,14 @@ class SliceChunk:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Liveness-only frame: ``position`` plan entries processed so far.
-    Emitted between chunks when ``ClusterSpec.heartbeat_interval`` > 0."""
+    """Liveness frame: ``position`` plan entries processed so far, and
+    ``backlog`` plan entries still ahead of this worker — the
+    queue-depth signal the control plane reads off the stream.  Emitted
+    between chunks when ``ClusterSpec.heartbeat_interval`` > 0."""
 
     worker: int
     position: int
+    backlog: int = 0
 
 
 @dataclass(frozen=True)

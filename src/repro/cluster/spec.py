@@ -135,6 +135,15 @@ class ClusterSpec:
     stream_batch: int = 8
     #: deterministic failure injection (tests / CI chaos gate)
     chaos: Optional[ChaosSpec] = None
+    #: the self-regulating control plane: ``None`` (off), ``True``
+    #: (default :class:`~repro.control.controller.ControlPolicy`), or a
+    #: ``ControlPolicy`` instance.  When set, the coordinator runs a
+    #: :class:`~repro.control.controller.Controller` fed from epoch
+    #: outcomes, heartbeat backlogs and admission-queue depth, ticked
+    #: after every ``pump()`` — its decisions drive the same
+    #: ``reshard``/``rebalance`` seams the CLI uses, so control stays
+    #: inside the byte-parity oracle
+    controller: object = None
     #: accountability ledger: ``None`` (off), ``True`` (default
     #: :class:`~repro.ledger.levels.LedgerPolicy`), or a ``LedgerPolicy``
     #: instance.  When set, the coordinator runs a
@@ -177,6 +186,10 @@ class ClusterSpec:
                 "(an inline worker would hang the coordinator too)"
             )
         object.__setattr__(self, "policies", tuple(self.policies))
+        if self.controller is True:
+            from repro.control.controller import ControlPolicy
+
+            object.__setattr__(self, "controller", ControlPolicy())
         if self.ledger is True:
             from repro.ledger.levels import LedgerPolicy
 

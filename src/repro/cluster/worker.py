@@ -499,7 +499,14 @@ class WorkerState:
                 time.perf_counter() - last_emit[0] >= beat_every
             ):
                 flush()
-                send(Heartbeat(worker=self.index, position=position))
+                entries = len(self.monitor.last_plan.entries)
+                send(
+                    Heartbeat(
+                        worker=self.index,
+                        position=position,
+                        backlog=max(0, entries - position),
+                    )
+                )
 
         plan, _events, _violated = self.monitor.run_epoch_slice(
             on_plan=on_plan, on_event=on_event, on_entry=on_entry

@@ -1,0 +1,328 @@
+"""The deterministic controller: signals in, decisions out.
+
+:class:`Controller` owns a :class:`~repro.control.signals.SignalBus`
+and is ticked by its host at epoch boundaries — after the cluster
+coordinator's ``pump()`` drains its pending queue, or after the serve
+layer finishes an epoch group.  Each ``tick()`` is a pure function of
+the bus contents and the controller's own hysteresis counters: no
+clocks, no randomness — the same observation sequence always produces
+the same decision log, which is what lets the parity suite assert a
+controller-driven reshard byte-identical to a CLI-driven one.
+
+Two loops per tick:
+
+* **admission** — the windowed epoch-wall percentile and queue-depth
+  history are collapsed into an overload ``severity`` ∈ [0, 1]; the
+  host pushes it into any policy exposing ``update_signals`` (the
+  :class:`~repro.control.policies.AdaptiveAdmission` contract).
+* **placement** — sustained per-shard load imbalance (windowed
+  ``max/mean`` ratio past ``imbalance_enter`` for ``sustain_epochs``
+  consecutive ticks) emits a ``rebalance`` decision; sustained
+  pipeline overload optionally emits ``grow``.  Both arms share one
+  cooldown: after any placement action, no further placement action
+  can fire for ``cooldown_epochs`` ticks, and the ratio must drop
+  below ``imbalance_exit`` before the imbalance counter re-arms — the
+  enter/exit gap plus cooldown is what keeps the cluster from
+  thrashing (reshard → moved load looks imbalanced → reshard ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.control.signals import SignalBus
+
+__all__ = ["ControlPolicy", "Controller", "Decision"]
+
+
+@dataclass(frozen=True)
+class ControlPolicy:
+    """The controller's knobs.  All thresholds are plain numbers so a
+    policy is picklable inside a ``ClusterSpec``."""
+
+    #: sliding-window capacity for every signal
+    window: int = 32
+    # -- admission loop ----------------------------------------------------
+    #: epoch-wall percentile the admission loop watches
+    latency_percentile: float = 90.0
+    #: seconds of epoch wall past which the pipeline counts as behind
+    latency_bound: float = 1.0
+    #: queue fraction (p90 over the window) that counts as pressure
+    queue_high: float = 0.5
+    #: staleness bound pushed into AdaptiveAdmission at dispatch
+    stale_after: float = 0.25
+    # -- placement loop ----------------------------------------------------
+    #: windowed max/mean shard-load ratio that starts the imbalance count
+    imbalance_enter: float = 2.0
+    #: ratio below which the imbalance count re-arms (must be < enter)
+    imbalance_exit: float = 1.25
+    #: consecutive over-threshold ticks before a placement action fires
+    sustain_epochs: int = 2
+    #: ticks after any placement action during which none may fire
+    cooldown_epochs: int = 6
+    #: ignore imbalance while the window holds fewer fresh events than this
+    min_load: int = 4
+    #: emit ``rebalance`` decisions (hot-split placements)
+    rebalance: bool = True
+    #: emit ``grow`` decisions (add a worker) under sustained overload
+    grow: bool = False
+    #: never grow past this many workers
+    max_workers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive: {self.window}")
+        if not 0 < self.latency_percentile <= 100:
+            raise ValueError(
+                f"latency_percentile must be in (0, 100]: "
+                f"{self.latency_percentile}"
+            )
+        if self.latency_bound <= 0:
+            raise ValueError(
+                f"latency_bound must be > 0: {self.latency_bound}"
+            )
+        if not 0 < self.queue_high <= 1:
+            raise ValueError(f"queue_high must be in (0, 1]: {self.queue_high}")
+        if self.stale_after <= 0:
+            raise ValueError(f"stale_after must be > 0: {self.stale_after}")
+        if self.imbalance_exit >= self.imbalance_enter:
+            raise ValueError(
+                f"imbalance_exit ({self.imbalance_exit}) must be below "
+                f"imbalance_enter ({self.imbalance_enter}) — the gap is "
+                f"the hysteresis band"
+            )
+        if self.imbalance_exit < 1.0:
+            raise ValueError(
+                f"imbalance_exit must be >= 1: {self.imbalance_exit}"
+            )
+        if self.sustain_epochs < 1:
+            raise ValueError(
+                f"sustain_epochs must be >= 1: {self.sustain_epochs}"
+            )
+        if self.cooldown_epochs < 1:
+            raise ValueError(
+                f"cooldown_epochs must be >= 1: {self.cooldown_epochs}"
+            )
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {self.max_workers}")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "window": self.window,
+            "latency_percentile": self.latency_percentile,
+            "latency_bound_s": self.latency_bound,
+            "queue_high": self.queue_high,
+            "stale_after_s": self.stale_after,
+            "imbalance_enter": self.imbalance_enter,
+            "imbalance_exit": self.imbalance_exit,
+            "sustain_epochs": self.sustain_epochs,
+            "cooldown_epochs": self.cooldown_epochs,
+            "min_load": self.min_load,
+            "rebalance": self.rebalance,
+            "grow": self.grow,
+            "max_workers": self.max_workers,
+        }
+
+
+@dataclass
+class Decision:
+    """One controller decision, JSON-ready for the decision log."""
+
+    tick: int
+    action: str  # "admission" | "rebalance" | "grow"
+    reason: str
+    signals: Dict[str, object] = field(default_factory=dict)
+    #: filled in by the host once the action is executed
+    applied: Optional[bool] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "action": self.action,
+            "reason": self.reason,
+            "signals": dict(self.signals),
+            "applied": self.applied,
+        }
+
+
+class Controller:
+    """Deterministic per-epoch control: severity + placement actions."""
+
+    #: decision actions that move load and therefore share the cooldown
+    PLACEMENT_ACTIONS = ("rebalance", "grow")
+
+    def __init__(
+        self,
+        policy: Optional[ControlPolicy] = None,
+        *,
+        bus: Optional[SignalBus] = None,
+    ) -> None:
+        self.policy = policy or ControlPolicy()
+        self.bus = bus or SignalBus(window=self.policy.window)
+        self.severity = 0.0
+        self.ticks = 0
+        self.decisions: List[Decision] = []
+        self._imbalance_epochs = 0
+        self._overload_epochs = 0
+        self._cooldown = 0
+
+    # -- signal feeding (hosts call through to the bus) ---------------------
+
+    def observe_epoch(
+        self,
+        *,
+        wall_seconds: float,
+        worker_walls: Optional[Dict[int, float]] = None,
+        shard_loads: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Absorb one epoch drive's observations."""
+        self.bus.observe_epoch_wall(wall_seconds)
+        for worker, wall in sorted((worker_walls or {}).items()):
+            self.bus.observe_worker_wall(worker, wall)
+        if shard_loads:
+            self.bus.observe_shard_loads(shard_loads)
+
+    def observe_queue_depth(self, depth: int, limit: int) -> None:
+        self.bus.observe_queue_depth(depth, limit)
+
+    def observe_backlog(self, worker: int, backlog: int) -> None:
+        self.bus.observe_backlog(worker, backlog)
+
+    # -- the tick ------------------------------------------------------------
+
+    def tick(self) -> List[Decision]:
+        """One epoch-boundary evaluation.  Returns the new decisions;
+        the host executes placement actions (through the same
+        ``reshard``/``rebalance`` seams the CLI uses) and pushes
+        ``severity`` into its admission policy."""
+        self.ticks += 1
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        fired: List[Decision] = []
+
+        severity, why = self._admission_severity()
+        if round(severity, 6) != round(self.severity, 6):
+            fired.append(
+                Decision(
+                    tick=self.ticks,
+                    action="admission",
+                    reason=why,
+                    signals={
+                        "severity": severity,
+                        "previous": self.severity,
+                    },
+                    applied=True,
+                )
+            )
+        self.severity = severity
+        self._overload_epochs = (
+            self._overload_epochs + 1 if severity >= 1.0 else 0
+        )
+
+        fired.extend(self._placement_decisions())
+        self.decisions.extend(fired)
+        return fired
+
+    def _admission_severity(self) -> "tuple[float, str]":
+        policy = self.policy
+        wall_p = self.bus.percentile("epoch_wall", policy.latency_percentile)
+        queue_p = self.bus.percentile("queue_fraction", 90.0)
+        latency_sev = 0.0
+        if wall_p is not None and wall_p > policy.latency_bound:
+            # 0 at the bound, 1 at twice the bound
+            latency_sev = min(1.0, wall_p / policy.latency_bound - 1.0)
+        queue_sev = 0.0
+        if queue_p is not None and queue_p >= policy.queue_high:
+            span = 1.0 - policy.queue_high
+            queue_sev = (
+                1.0
+                if span <= 0
+                else min(1.0, (queue_p - policy.queue_high) / span)
+            )
+        severity = max(latency_sev, queue_sev)
+        why = (
+            f"epoch_wall p{policy.latency_percentile:g}="
+            f"{'-' if wall_p is None else format(wall_p, '.4f')}s "
+            f"(bound {policy.latency_bound:g}s), "
+            f"queue p90={'-' if queue_p is None else format(queue_p, '.3f')} "
+            f"(high {policy.queue_high:g})"
+        )
+        return severity, why
+
+    def _placement_decisions(self) -> List[Decision]:
+        policy = self.policy
+        fired: List[Decision] = []
+
+        loads = self.bus.shard_loads()
+        totals = {shard: total for shard, (total, _) in loads.items()}
+        ratio = None
+        if len(totals) >= 2:
+            window_total = sum(totals.values())
+            mean = window_total / len(totals)
+            if window_total >= policy.min_load and mean > 0:
+                ratio = max(totals.values()) / mean
+        if ratio is not None and ratio >= policy.imbalance_enter:
+            self._imbalance_epochs += 1
+        elif ratio is None or ratio < policy.imbalance_exit:
+            self._imbalance_epochs = 0
+        # between exit and enter the count holds: the hysteresis band
+
+        if (
+            policy.rebalance
+            and self._imbalance_epochs >= policy.sustain_epochs
+            and self._cooldown == 0
+        ):
+            fired.append(
+                Decision(
+                    tick=self.ticks,
+                    action="rebalance",
+                    reason=(
+                        f"shard load ratio {ratio:.2f} sustained past "
+                        f"enter {policy.imbalance_enter:g} for "
+                        f"{self._imbalance_epochs} epoch(s) without "
+                        f"dropping below exit {policy.imbalance_exit:g}"
+                    ),
+                    signals={"ratio": ratio, "loads": {
+                        str(s): t for s, t in sorted(totals.items())
+                    }},
+                )
+            )
+            self._cooldown = policy.cooldown_epochs
+            self._imbalance_epochs = 0
+        elif (
+            policy.grow
+            and self._overload_epochs >= policy.sustain_epochs
+            and self._cooldown == 0
+        ):
+            fired.append(
+                Decision(
+                    tick=self.ticks,
+                    action="grow",
+                    reason=(
+                        f"severity 1.0 sustained for "
+                        f"{self._overload_epochs} epochs"
+                    ),
+                    signals={"max_workers": policy.max_workers},
+                )
+            )
+            self._cooldown = policy.cooldown_epochs
+            self._overload_epochs = 0
+        return fired
+
+    # -- reporting ----------------------------------------------------------
+
+    def decision_log(self) -> List[Dict[str, object]]:
+        return [decision.to_json() for decision in self.decisions]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.control/controller",
+            "schema_version": 1,
+            "policy": self.policy.describe(),
+            "ticks": self.ticks,
+            "severity": self.severity,
+            "cooldown": self._cooldown,
+            "decisions": self.decision_log(),
+            "signals": self.bus.snapshot(),
+        }

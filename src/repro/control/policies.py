@@ -1,0 +1,123 @@
+"""AdaptiveAdmission: the controller-driven admission policy.
+
+The open-loop policies in :mod:`repro.cluster.admission` decide from
+what they can see at the door (queue occupancy) or at dispatch (how
+long one request waited).  :class:`AdaptiveAdmission` instead takes an
+*overload severity* pushed down by the controller — computed from
+epoch-latency percentiles and queue-depth history — and sheds
+**query** traffic proportionally before it ever occupies queue room,
+plus stale queries at dispatch once the pipeline is behind.
+
+Two invariants, enforced structurally rather than by tuning:
+
+* churn and adjudication are **never** shed — churn keeps the audit
+  trail current and adjudication is how slashing evidence gets heard;
+  shedding either silently corrupts the service's whole point.  Only
+  kinds in :attr:`AdaptiveAdmission.SHEDDABLE` are ever dropped.
+* shedding is **deterministic given the seed**: the door coin is a
+  hash of ``(seed, draw_index)``, not ``random.random()``, so a run
+  replayed with the same request sequence and the same controller
+  decisions sheds exactly the same requests.  (stdlib ``hashlib`` is
+  used directly — the repo's counted crypto hasher would perturb the
+  op counters the parity oracle compares.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Optional
+
+from repro.cluster.admission import AdmissionPolicy
+
+__all__ = ["AdaptiveAdmission"]
+
+
+def _coin(seed: int, draw: int) -> float:
+    """Deterministic uniform in [0, 1): sha256(seed, draw) as a
+    64-bit fraction."""
+    digest = hashlib.sha256(struct.pack(">qq", seed, draw)).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class AdaptiveAdmission(AdmissionPolicy):
+    """Sheds query traffic in proportion to controller-set severity.
+
+    ``severity`` ∈ [0, 1] is the controller's overload estimate (0 =
+    healthy, 1 = the epoch pipeline is fully behind).  At the door a
+    query is shed with probability ``severity`` (seeded deterministic
+    coin) and, at severity ≥ 1, queries are also confined to the first
+    ``door_headroom`` fraction of the queue so protected traffic always
+    has room.  At dispatch, queries that waited past ``stale_after``
+    are shed whenever severity is non-zero — under overload a stale
+    answer is worthless, and shedding it is what lets the queue drain
+    to a stable plateau instead of collapsing.
+    """
+
+    #: the only kinds this policy will ever drop
+    SHEDDABLE = ("query",)
+
+    def __init__(
+        self,
+        *,
+        seed: int = 2011,
+        stale_after: float = 0.25,
+        door_headroom: float = 0.5,
+    ) -> None:
+        if stale_after <= 0:
+            raise ValueError(f"stale_after must be > 0, got {stale_after}")
+        if not 0 < door_headroom <= 1:
+            raise ValueError(
+                f"door_headroom must be in (0, 1], got {door_headroom}"
+            )
+        self.seed = seed
+        self.stale_after = stale_after
+        self.door_headroom = door_headroom
+        self.severity = 0.0
+        self._draws = 0
+
+    # -- the controller's knob ----------------------------------------------
+
+    def update_signals(
+        self, *, severity: float, stale_after: Optional[float] = None
+    ) -> None:
+        """Controller push: the new overload severity (clamped to
+        [0, 1]) and optionally a new staleness bound."""
+        self.severity = min(1.0, max(0.0, float(severity)))
+        if stale_after is not None:
+            if stale_after <= 0:
+                raise ValueError(
+                    f"stale_after must be > 0, got {stale_after}"
+                )
+            self.stale_after = stale_after
+
+    # -- the two decision points --------------------------------------------
+
+    def at_door(self, kind: str, queued: int, depth: int) -> bool:
+        if kind not in self.SHEDDABLE or self.severity == 0.0:
+            return queued < depth
+        if self.severity >= 1.0 and queued >= depth * self.door_headroom:
+            return False
+        # seeded proportional shedding: each query consumes one draw,
+        # so the shed pattern is a pure function of (seed, arrival index)
+        draw = self._draws
+        self._draws += 1
+        if _coin(self.seed, draw) < self.severity:
+            return False
+        return queued < depth
+
+    def at_dispatch(self, kind: str, waited: float) -> bool:
+        if kind not in self.SHEDDABLE or self.severity == 0.0:
+            return True
+        return waited <= self.stale_after
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "policy": type(self).__name__,
+            "seed": self.seed,
+            "severity": self.severity,
+            "stale_after_s": self.stale_after,
+            "door_headroom": self.door_headroom,
+            "door_draws": self._draws,
+            "sheddable": list(self.SHEDDABLE),
+        }

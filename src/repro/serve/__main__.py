@@ -6,6 +6,8 @@ Usage::
     python -m repro.serve --shards 2 --duration 10 --rate 40 \\
         --violations 10 --json serve-metrics.json
     python -m repro.serve --simnet-latency 0.05 --drop-rate 0.1
+    python -m repro.serve --ramp 4,16,64 --ramp-requests 24 \\
+        --controller --gate-p99 0.1 --json overload.json
 
 Builds the multi-prefix serving scenario
 (:func:`repro.pvr.scenarios.serve_network`), starts a
@@ -16,9 +18,20 @@ link latency and drops perturb admission.  Prints per-request-type
 latency percentiles and the epoch/shard/parity counters; ``--json``
 writes the schema-versioned metrics snapshot.
 
+``--ramp R1,R2,...`` switches to the open-loop **overload ramp**:
+each rate runs for ``--ramp-requests`` arrivals with no drain between
+stages, and the per-stage query-p99 curve is printed (and embedded in
+the ``--json`` snapshot under ``"ramp"``).  ``--controller`` closes
+the loop: the :mod:`repro.control` plane reads the epoch/queue
+signals, drives an :class:`~repro.control.policies.AdaptiveAdmission`
+policy (sheds queries — never churn or adjudication — when the
+pipeline falls behind ``--latency-bound``), and its decision log rides
+the snapshot.  ``--gate-p99 S`` turns the final ramp stage's
+completed-query p99 into an exit gate.
+
 Exit status (the shared :mod:`repro.util.cli` contract): 0 on success,
 1 when any verdict-parity self-check failed (or request futures
-errored), 2 on bad usage.
+errored, or the ``--gate-p99`` bound was exceeded), 2 on bad usage.
 """
 
 from __future__ import annotations
@@ -40,10 +53,13 @@ from repro.util.cli import (
 
 from repro.serve.loadgen import (
     LoadProfile,
+    RampReport,
     ServeWorkload,
     SimnetGateway,
     build_schedule,
+    ramp_schedule,
     run_open_loop,
+    run_ramp,
 )
 from repro.serve.service import VerificationService
 
@@ -60,8 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["static", "consistent", "hotsplit"],
                         help="shard placement strategy (default: static)")
     parser.add_argument("--admission", default="reject", metavar="SPEC",
-                        help='admission policy: "reject", '
-                        '"deadline[:S]" or "priority" (default: reject)')
+                        help='admission policy: "reject", "deadline[:S]", '
+                        '"priority", "trust" or "adaptive[:S]" '
+                        '(default: reject; --controller implies adaptive)')
     parser.add_argument("--rebalance-every", type=int, default=0,
                         metavar="N", help="hot-split rebalance every N "
                         "epochs (hotsplit placement; default: off)")
@@ -100,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default=None, metavar="SPEC",
                         help='shard executor backend override '
                         '("process:4", "thread", "serial")')
+    parser.add_argument("--ramp", default=None, metavar="R1,R2,...",
+                        help="overload ramp: comma-separated open-loop "
+                        "stage rates (rps), no drain between stages")
+    parser.add_argument("--ramp-requests", type=int, default=16,
+                        metavar="N", help="requests per ramp stage "
+                        "(default: 16)")
+    parser.add_argument("--controller", action="store_true",
+                        help="enable the repro.control plane: adaptive "
+                        "admission driven by epoch/queue signals")
+    parser.add_argument("--latency-bound", type=float, default=0.05,
+                        metavar="S", help="controller epoch-wall bound "
+                        "before shedding starts (default: 0.05)")
+    parser.add_argument("--stale-after", type=float, default=0.1,
+                        metavar="S", help="controller: shed queries "
+                        "queued longer than this under load "
+                        "(default: 0.1)")
+    parser.add_argument("--gate-p99", type=float, default=None,
+                        metavar="S", help="exit 1 if the final ramp "
+                        "stage's completed-query p99 exceeds this")
     add_common_arguments(
         parser,
         json_help="write the metrics snapshot here",
@@ -111,12 +147,29 @@ async def serve_and_load(args) -> tuple:
     from repro.cluster.placement import make_placement
     from repro.pvr.scenarios import serve_network
 
+    admission = args.admission
+    control_policy = None
+    if args.controller:
+        from repro.control.controller import ControlPolicy
+        from repro.control.policies import AdaptiveAdmission
+
+        if admission == "reject":
+            admission = AdaptiveAdmission(
+                seed=args.seed, stale_after=args.stale_after
+            )
+        control_policy = ControlPolicy(
+            window=12,
+            latency_bound=args.latency_bound,
+            stale_after=args.stale_after,
+            queue_high=0.125,
+        )
+
     network, prefixes = serve_network(args.prefixes)
     service = VerificationService(
         network,
         shards=args.shards,
         placement=make_placement(args.placement, args.shards),
-        admission=args.admission,
+        admission=admission,
         key_bits=args.key_bits,
         rng_seed=args.seed,
         queue_depth=args.queue_depth,
@@ -125,8 +178,31 @@ async def serve_and_load(args) -> tuple:
         backend=args.backend,
         parity_sample=args.parity_sample,
         rebalance_every=args.rebalance_every,
+        controller=control_policy,
     )
     service.policy("A", ShortestRoute(), recipients=("B",), max_length=8)
+
+    if args.ramp is not None:
+        rates = tuple(float(r) for r in args.ramp.split(","))
+        workload = ServeWorkload(
+            prefixes=prefixes,
+            flappable=(("O", "N2"), ("X", "N1")),
+            violator=("A", "B") if args.violations else None,
+        )
+        schedule = ramp_schedule(
+            workload,
+            rates=rates,
+            per_stage=args.ramp_requests,
+            seed=args.seed,
+            zipf_s=args.zipf,
+            violation_every=args.violations,
+        )
+        await service.start()
+        try:
+            report = await run_ramp(service, schedule, rates=rates)
+        finally:
+            await service.stop()
+        return service, report
 
     requests = args.requests
     if requests is None:
@@ -167,6 +243,64 @@ async def serve_and_load(args) -> tuple:
     return service, report
 
 
+def finish_ramp(args, service, report, snapshot) -> int:
+    """Report an overload-ramp drive and apply the exit gates."""
+    curve = report.curve()
+    print_table(
+        f"overload ramp — {args.shards} shard(s), controller "
+        f"{'on' if args.controller else 'off'}",
+        ["stage", "rate", "offered", "rejected", "shed", "completed",
+         "query p99 ms"],
+        [
+            (record["stage"], record["rate"], record["offered"],
+             record["rejected"], record["shed"], record["completed"],
+             "all shed" if record["query_p99_s"] is None
+             else f"{record['query_p99_s'] * 1000:.1f}")
+            for record in curve
+        ],
+    )
+    control = snapshot.get("control")
+    if control:
+        for decision in control["decisions"]:
+            signals = ", ".join(
+                f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(decision["signals"].items())
+            )
+            print(f"[control] tick {decision['tick']}: "
+                  f"{decision['action']} ({decision['reason']}; {signals})")
+
+    snapshot = dict(snapshot)
+    snapshot["ramp"] = curve
+    if args.json:
+        write_json(args.json, snapshot, tag="serve")
+
+    parity = snapshot["parity"]
+    errors = sum(stage.errors for stage in report.stages)
+    print(f"[serve] ramp {args.ramp}: {report.offered} offered, "
+          f"{report.rejected} rejected at the door, {report.shed} shed, "
+          f"{errors} errored; parity checks: {parity['checked']} run, "
+          f"{parity['failed']} failed")
+    if errors:
+        return fail("serve", f"{errors} request(s) errored during the ramp")
+    if parity["failed"]:
+        return fail(
+            "serve",
+            f"{parity['failed']} verdict-parity check(s) failed",
+        )
+    if args.gate_p99 is not None:
+        final = curve[-1]["query_p99_s"]
+        if final is not None and final > args.gate_p99:
+            return fail(
+                "serve",
+                f"final-stage query p99 {final:.3f}s exceeds the "
+                f"--gate-p99 bound {args.gate_p99:.3f}s",
+            )
+        bound = "all queries shed" if final is None else f"{final:.3f}s"
+        print(f"[serve] gate-p99 ok: final-stage query p99 {bound} "
+              f"<= {args.gate_p99:.3f}s")
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.shards < 1:
@@ -175,6 +309,21 @@ def main(argv=None) -> int:
         return usage_error(
             f"--prefixes must be >= 1, got {args.prefixes}"
         )
+    if args.ramp is not None:
+        try:
+            rates = [float(r) for r in args.ramp.split(",")]
+        except ValueError:
+            return usage_error(f"--ramp must be R1,R2,..., got {args.ramp!r}")
+        if not rates or any(r <= 0 for r in rates):
+            return usage_error("--ramp rates must all be positive")
+        if args.ramp_requests < 1:
+            return usage_error(
+                f"--ramp-requests must be >= 1, got {args.ramp_requests}"
+            )
+        if args.simnet_latency is not None or args.drop_rate > 0:
+            return usage_error("--ramp does not take a simnet gateway")
+    elif args.gate_p99 is not None:
+        return usage_error("--gate-p99 requires --ramp")
 
     try:
         service, report = asyncio.run(serve_and_load(args))
@@ -182,6 +331,8 @@ def main(argv=None) -> int:
         shutdown_backends()
     metrics = service.metrics
     snapshot = metrics.snapshot()
+    if isinstance(report, RampReport):
+        return finish_ramp(args, service, report, snapshot)
 
     print_table(
         f"request latency — {args.shards} shard(s)",
@@ -201,7 +352,7 @@ def main(argv=None) -> int:
           service.evidence.evicted)],
     )
     shard_rows = sorted(
-        snapshot["sharding"]["events_per_shard"].items(),
+        snapshot["placement"]["load"].items(),
         key=lambda kv: int(kv[0]),
     )
     if shard_rows:

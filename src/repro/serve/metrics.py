@@ -3,43 +3,41 @@
 The serving layer's product is a latency distribution, not a mean: an
 audit plane in front of BGP churn is judged by what its slowest
 requests see.  :class:`LatencySeries` (the shared implementation from
-:mod:`repro.cluster.metrics`, re-exported here) keeps raw samples and
+:mod:`repro.control.signals`, re-exported here) keeps raw samples and
 answers nearest-rank percentiles exactly (no streaming sketch — sample
 counts here are bounded by the workload, and exactness keeps the bench
 experiments reproducible to the sample).  :class:`ServeMetrics` is the
 service-wide ledger: per-request-type admission counters and latency
 series, per-shard event counts (hot-shard skew), epoch/coalescing
-counters, and the verdict-parity self-check tallies the CI smoke job
-gates on.  ``snapshot()`` emits the schema-versioned JSON document the
-CLI writes and CI uploads.
+counters with per-epoch wall-clock and batch sizes, and the
+verdict-parity self-check tallies the CI smoke job gates on.
+``snapshot()`` emits the schema-versioned unified envelope
+(:mod:`repro.control.envelope`) the CLI writes and CI uploads; the
+legacy ``sharding`` section (``shards``/``events_per_shard``/
+``rebalances``) is kept as a deprecated alias of the canonical
+``placement`` section.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Dict, List
 
-from repro.cluster.metrics import LatencySeries
+from repro.control.envelope import TypeMetrics, envelope, placement_section
+from repro.control.signals import LatencySeries
 
 __all__ = ["LatencySeries", "ServeMetrics", "SCHEMA", "SCHEMA_VERSION"]
 
 SCHEMA = "repro.serve/metrics"
-SCHEMA_VERSION = 1
+#: version 2 moved onto the unified envelope (``repro.control``):
+#: canonical ``placement`` section (the old ``sharding`` names remain
+#: as a deprecated alias), ``epochs.wall``/``epochs.coalesced_batches``
+#: stats, and a ``control`` section carrying the controller snapshot
+#: when the control plane is enabled
+SCHEMA_VERSION = 2
 
-
-class _TypeMetrics:
-    """Counters and series for one request type."""
-
-    def __init__(self) -> None:
-        self.admitted = 0
-        self.rejected = 0
-        self.dropped = 0
-        self.shed = 0
-        self.completed = 0
-        self.latency = LatencySeries()   # enqueue (+ net delay) -> done
-        self.queue_delay = LatencySeries()  # enqueue -> dispatch
-        self.service = LatencySeries()   # dispatch -> done
+# kept importable under the old private name for callers that reached in
+_TypeMetrics = TypeMetrics
 
 
 class ServeMetrics:
@@ -47,7 +45,7 @@ class ServeMetrics:
 
     def __init__(self) -> None:
         self.started = time.perf_counter()
-        self._types: Dict[str, _TypeMetrics] = {}
+        self._types: Dict[str, TypeMetrics] = {}
         # epoch pipeline
         self.epochs = 0
         self.coalesced_requests = 0
@@ -56,6 +54,8 @@ class ServeMetrics:
         self.reused = 0
         self.violations = 0
         self.deferred = 0
+        self.epoch_wall = LatencySeries()
+        self.batch_sizes: List[int] = []
         # out-of-epoch Byzantine probes (the loadgen's violation injection)
         self.probes = 0
         self.probe_violations = 0
@@ -66,9 +66,12 @@ class ServeMetrics:
         # verdict-parity self-checks (CI gates on failed == 0)
         self.parity_checked = 0
         self.parity_failed = 0
+        #: the controller, when the control plane is enabled (set by
+        #: the service so ``snapshot()`` can embed its decision log)
+        self.control = None
 
-    def type_metrics(self, kind: str) -> _TypeMetrics:
-        return self._types.setdefault(kind, _TypeMetrics())
+    def type_metrics(self, kind: str) -> TypeMetrics:
+        return self._types.setdefault(kind, TypeMetrics())
 
     # -- admission ----------------------------------------------------------
 
@@ -94,11 +97,7 @@ class ServeMetrics:
         queue_delay: float,
         service: float,
     ) -> None:
-        tm = self.type_metrics(kind)
-        tm.completed += 1
-        tm.latency.add(latency)
-        tm.queue_delay.add(queue_delay)
-        tm.service.add(service)
+        self.type_metrics(kind).note_complete(latency, queue_delay, service)
 
     # -- the epoch pipeline -------------------------------------------------
 
@@ -111,6 +110,10 @@ class ServeMetrics:
         self.reused += report.reused
         self.violations += len(report.violations())
         self.deferred += len(report.deferred)
+        if report.wall_seconds:
+            self.epoch_wall.add(report.wall_seconds)
+        if coalesced > 0:
+            self.batch_sizes.append(coalesced)
 
     def note_probes(self, events) -> None:
         """Absorb out-of-epoch audit probes (violation injection)."""
@@ -138,28 +141,18 @@ class ServeMetrics:
     def snapshot(self) -> Dict[str, object]:
         """The schema-versioned, JSON-serializable metrics document."""
         window = self.window_seconds()
-        requests = {}
-        for kind in sorted(self._types):
-            tm = self._types[kind]
-            requests[kind] = {
-                "admitted": tm.admitted,
-                "rejected": tm.rejected,
-                "dropped": tm.dropped,
-                "shed": tm.shed,
-                "completed": tm.completed,
-                "throughput_rps": (
-                    tm.completed / window if window > 0 else None
-                ),
-                "latency": tm.latency.summary(),
-                "queue_delay": tm.queue_delay.summary(),
-                "service_time": tm.service.summary(),
-            }
-        snapshot = {
-            "schema": SCHEMA,
-            "schema_version": SCHEMA_VERSION,
-            "window_seconds": window,
-            "requests": requests,
-            "epochs": {
+        sizes = self.batch_sizes
+        placed = placement_section(
+            spec={"shards": self.shards},
+            load=self.shard_events,
+            reshards=self.rebalances,
+        )
+        return envelope(
+            schema=SCHEMA,
+            schema_version=SCHEMA_VERSION,
+            window_seconds=window,
+            types=self._types,
+            epochs={
                 "count": self.epochs,
                 "coalesced_requests": self.coalesced_requests,
                 "events": self.events,
@@ -167,26 +160,37 @@ class ServeMetrics:
                 "reused": self.reused,
                 "violations": self.violations,
                 "deferred": self.deferred,
+                "wall": self.epoch_wall.summary(),
+                "coalesced_batches": {
+                    "count": len(sizes),
+                    "max_size": max(sizes) if sizes else None,
+                    "mean_size": (
+                        (sum(sizes) / len(sizes)) if sizes else None
+                    ),
+                },
             },
-            "probes": {
+            probes={
                 "count": self.probes,
                 "violations": self.probe_violations,
             },
-            "sharding": {
-                "shards": self.shards,
-                "events_per_shard": {
-                    str(shard): count
-                    for shard, count in sorted(self.shard_events.items())
-                },
-                "rebalances": list(self.rebalances),
-            },
-            "parity": {
+            placement=placed,
+            control=(
+                self.control.snapshot() if self.control is not None else None
+            ),
+            parity={
                 "checked": self.parity_checked,
                 "failed": self.parity_failed,
             },
-        }
-        json.dumps(snapshot)  # must always serialize; fail loudly here
-        return snapshot
+            extra={
+                # deprecated alias of the placement section, kept one
+                # schema version for pre-v2 consumers
+                "sharding": {
+                    "shards": self.shards,
+                    "events_per_shard": placed["load"],
+                    "rebalances": list(self.rebalances),
+                },
+            },
+        )
 
     def table_rows(self) -> List[tuple]:
         """CLI rows: one per request type."""

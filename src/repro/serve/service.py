@@ -122,6 +122,7 @@ class VerificationService:
         rebalance_every: int = 0,
         metrics: Optional[ServeMetrics] = None,
         ledger: object = None,
+        controller: object = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -175,6 +176,23 @@ class VerificationService:
         self._shard_load_baseline: dict = {}
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.metrics.shards = shards
+        #: the self-regulating control plane: ``None`` (off), ``True``
+        #: (default :class:`~repro.control.controller.ControlPolicy`)
+        #: or a ``ControlPolicy``.  Fed from epoch walls, per-shard
+        #: loads and queue depth; ticked after every epoch — its
+        #: rebalance decisions swap the placement through the same
+        #: hot-split path ``rebalance_every`` uses, and its severity
+        #: feeds any admission policy exposing ``update_signals``
+        #: (:class:`~repro.control.policies.AdaptiveAdmission`).
+        self.controller = None
+        if controller is not None:
+            from repro.control.controller import ControlPolicy, Controller
+
+            policy = (
+                ControlPolicy() if controller is True else controller
+            )
+            self.controller = Controller(policy)
+        self.metrics.control = self.controller
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
 
@@ -255,6 +273,10 @@ class VerificationService:
                 f"admission queue full (depth {self.queue_depth})"
             ) from None
         self.metrics.admit(request.kind)
+        if self.controller is not None:
+            self.controller.observe_queue_depth(
+                self._queue.qsize(), self.queue_depth
+            )
         return ticket.future
 
     async def request(self, request, *, net_delay: float = 0.0) -> Completion:
@@ -485,10 +507,37 @@ class VerificationService:
             ))
         self._parity_check(plan, outcomes)
         self._maybe_rebalance()
+        if self.controller is not None:
+            self.controller.observe_epoch(
+                wall_seconds=report.wall_seconds,
+                worker_walls={s.worker: s.wall_seconds for s in slices},
+                shard_loads={s.worker: s.fresh for s in slices},
+            )
+            self._control_tick()
         if self.ledger is not None and hasattr(self.admission, "update"):
             # refresh the trust-tiered door with trust as of this epoch
             self.admission.update(self.ledger.trust_map())
         return report, slices
+
+    def _control_tick(self) -> None:
+        """One controller evaluation at the epoch boundary.  Rebalance
+        decisions execute through the same hot-split placement-swap
+        path ``rebalance_every`` drives, between epochs — plans, rounds
+        and verdicts stay the central monitor's, so parity is
+        untouched."""
+        decisions = self.controller.tick()
+        if hasattr(self.admission, "update_signals"):
+            self.admission.update_signals(
+                severity=self.controller.severity,
+                stale_after=self.controller.policy.stale_after,
+            )
+        for decision in decisions:
+            if decision.action == "rebalance":
+                decision.applied = self._rebalance_now()
+            else:
+                # the serve layer shards execution under one process;
+                # growing the pool is the cluster's move
+                decision.applied = False
 
     def _maybe_rebalance(self) -> None:
         """Hot-split rebalancing between epochs: feed the observed
@@ -498,16 +547,22 @@ class VerificationService:
         untouched."""
         if not self.rebalance_every:
             return
-        placement = self.executor.placement
-        if not hasattr(placement, "rebalance"):
+        if not hasattr(self.executor.placement, "rebalance"):
             return
         self._epochs_since_rebalance += 1
         if self._epochs_since_rebalance < self.rebalance_every:
             return
         self._epochs_since_rebalance = 0
-        # rebalance on the load observed SINCE the last decision — the
-        # all-time totals would keep a historically hot shard "hottest"
-        # long after its slots were split away
+        self._rebalance_now()
+
+    def _rebalance_now(self) -> bool:
+        """Swap the placement from the load observed SINCE the last
+        decision — the all-time totals would keep a historically hot
+        shard "hottest" long after its slots were split away.  Returns
+        whether the placement actually changed."""
+        placement = self.executor.placement
+        if not hasattr(placement, "rebalance"):
+            return False
         current = dict(self.metrics.shard_events)
         window = {
             shard: count - self._shard_load_baseline.get(shard, 0)
@@ -515,9 +570,11 @@ class VerificationService:
         }
         self._shard_load_baseline = current
         rebalanced = placement.rebalance(window)
-        if rebalanced != placement:
-            self.executor.placement = rebalanced
-            self.metrics.note_rebalance(rebalanced.describe())
+        if rebalanced == placement:
+            return False
+        self.executor.placement = rebalanced
+        self.metrics.note_rebalance(rebalanced.describe())
+        return True
 
     def _parity_check(self, plan: EpochPlan, outcomes) -> None:
         """Re-prove a sample of fresh verdicts in-process and compare.

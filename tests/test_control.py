@@ -1,0 +1,544 @@
+"""The control plane: signals, adaptive admission, controller hysteresis,
+and the byte-parity guarantee for controller-driven placement actions."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, PolicySpec
+from repro.cluster.admission import DeadlineShed, make_admission
+from repro.cluster.workload import churn_script, drive_monitor, trail_mismatches
+from repro.control.controller import Controller, ControlPolicy
+from repro.control.policies import AdaptiveAdmission
+from repro.control.signals import (
+    LatencySeries,
+    SignalBus,
+    SignalWindow,
+    nearest_rank,
+)
+from repro.promises.spec import ShortestRoute
+from repro.pvr.scenarios import serve_network
+
+SEED = 2011
+PREFIX_COUNT = 3
+
+
+# ---------------------------------------------------------------------------
+# signal primitives
+
+
+class TestNearestRank:
+    def test_empty_is_none(self):
+        assert nearest_rank([], 50) is None
+
+    def test_single_sample(self):
+        assert nearest_rank([7.0], 1) == 7.0
+        assert nearest_rank([7.0], 100) == 7.0
+
+    def test_known_ranks(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(ordered, 25) == 1.0
+        assert nearest_rank(ordered, 50) == 2.0
+        assert nearest_rank(ordered, 75) == 3.0
+        assert nearest_rank(ordered, 99) == 4.0
+
+    @pytest.mark.parametrize("p", [0, -1, 101])
+    def test_percentile_domain(self, p):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], p)
+
+    def test_all_percentiles_route_through_one_implementation(self):
+        """Satellite: no duplicated nearest-rank code — the serve and
+        cluster metrics ledgers use the exact class from
+        repro.control.signals."""
+        from repro.cluster import metrics as cluster_metrics
+        from repro.control import envelope
+        from repro.serve import metrics as serve_metrics
+
+        assert serve_metrics.LatencySeries is LatencySeries
+        assert cluster_metrics.LatencySeries is LatencySeries
+        assert cluster_metrics._TypeMetrics is envelope.TypeMetrics
+
+
+class TestSignalWindow:
+    def test_ring_evicts_oldest(self):
+        window = SignalWindow(capacity=4)
+        for value in range(6):
+            window.observe(value)
+        assert len(window) == 4
+        assert window.values() == [2.0, 3.0, 4.0, 5.0]
+        assert window.last() == 5.0
+        assert window.observed == 6
+
+    def test_percentile_over_current_contents_only(self):
+        window = SignalWindow(capacity=3)
+        for value in (100.0, 1.0, 2.0, 3.0):
+            window.observe(value)
+        # the 100.0 fell off: p99 sees only the last three
+        assert window.percentile(99) == 3.0
+        assert window.mean() == 2.0
+        assert window.total() == 6.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SignalWindow(capacity=0)
+
+
+class TestSignalBus:
+    def test_well_known_feeders(self):
+        bus = SignalBus(window=8)
+        bus.observe_epoch_wall(0.5)
+        bus.observe_worker_wall(1, 0.25)
+        bus.observe_backlog(1, 3)
+        bus.observe_queue_depth(4, 16)
+        bus.observe_shard_loads({0: 9, 1: 1})
+        assert bus.names() == [
+            "epoch_wall",
+            "queue_fraction",
+            "shard/0/load",
+            "shard/1/load",
+            "worker/1/backlog",
+            "worker/1/epoch_wall",
+        ]
+        assert bus.last("queue_fraction") == 0.25
+        assert bus.shard_loads() == {0: (9.0, 1), 1: (1.0, 1)}
+
+    def test_snapshot_is_json_serializable(self):
+        bus = SignalBus(window=4)
+        bus.observe_epoch_wall(0.1)
+        bus.observe_shard_loads({0: 2})
+        snapshot = bus.snapshot()
+        assert snapshot["schema"] == "repro.control/signals"
+        assert snapshot["schema_version"] == 1
+        json.dumps(snapshot)
+
+    def test_unknown_signal_percentile_is_none(self):
+        assert SignalBus().percentile("nope", 50) is None
+
+
+# ---------------------------------------------------------------------------
+# adaptive admission
+
+
+class TestAdaptiveAdmission:
+    def test_protected_kinds_never_shed(self):
+        policy = AdaptiveAdmission(seed=SEED)
+        policy.update_signals(severity=1.0)
+        for kind in ("churn", "adjudicate"):
+            assert policy.at_door(kind, 0, 8)
+            assert policy.at_dispatch(kind, waited=999.0)
+        # the protection is structural, not a tuning artifact
+        assert "churn" not in AdaptiveAdmission.SHEDDABLE
+        assert "adjudicate" not in AdaptiveAdmission.SHEDDABLE
+
+    def test_shed_pattern_is_deterministic_given_seed(self):
+        def pattern(seed):
+            policy = AdaptiveAdmission(seed=seed)
+            policy.update_signals(severity=0.5)
+            return [policy.at_door("query", 0, 64) for _ in range(200)]
+
+        first, again = pattern(7), pattern(7)
+        assert first == again
+        assert any(first), "severity 0.5 shed every query"
+        assert not all(first), "severity 0.5 shed no queries"
+        assert pattern(8) != first
+
+    def test_zero_severity_admits_without_consuming_draws(self):
+        policy = AdaptiveAdmission(seed=SEED)
+        assert all(policy.at_door("query", 0, 8) for _ in range(32))
+        assert policy.describe()["door_draws"] == 0
+        assert policy.at_dispatch("query", waited=999.0)
+
+    def test_full_severity_reserves_door_headroom(self):
+        policy = AdaptiveAdmission(seed=SEED, door_headroom=0.5)
+        policy.update_signals(severity=1.0)
+        # past half the queue, queries are refused outright
+        assert not policy.at_door("query", 4, 8)
+        # protected traffic still has the whole queue
+        assert policy.at_door("churn", 7, 8)
+
+    def test_stale_queries_shed_at_dispatch_under_load(self):
+        policy = AdaptiveAdmission(seed=SEED, stale_after=0.1)
+        policy.update_signals(severity=0.5)
+        assert policy.at_dispatch("query", waited=0.05)
+        assert not policy.at_dispatch("query", waited=0.2)
+
+    def test_update_signals_clamps_and_validates(self):
+        policy = AdaptiveAdmission(seed=SEED)
+        policy.update_signals(severity=7.0)
+        assert policy.severity == 1.0
+        policy.update_signals(severity=-3.0)
+        assert policy.severity == 0.0
+        with pytest.raises(ValueError):
+            policy.update_signals(severity=0.5, stale_after=0.0)
+
+    def test_make_admission_resolves_adaptive(self):
+        assert isinstance(make_admission("adaptive"), AdaptiveAdmission)
+        resolved = make_admission("adaptive:0.5")
+        assert isinstance(resolved, AdaptiveAdmission)
+        assert resolved.stale_after == 0.5
+
+
+class TestShedUnderCoalescedChurnBursts:
+    """Satellite: DeadlineShed and AdaptiveAdmission driven through the
+    real service with coalesced churn bursts — shed outcomes are
+    deterministic given the seed, and churn/adjudication are never
+    shed."""
+
+    def run_burst(self, admission):
+        from repro.serve.bench import run_workload
+
+        run = run_workload(
+            shards=2,
+            prefixes=4,
+            requests=16,
+            seed=7,
+            burst=6,  # coalesced churn groups
+            violation_every=4,
+            admission=admission,
+        )
+        kinds = run.snapshot["requests"]
+        return {
+            kind: (record["admitted"], record["rejected"],
+                   record["shed"], record["completed"])
+            for kind, record in sorted(kinds.items())
+        }
+
+    def test_deadline_shed_protects_churn_and_adjudication(self):
+        def admission():
+            # an impossible deadline: every query is stale at dispatch;
+            # churn and adjudication are exempted per kind
+            return DeadlineShed(
+                deadline=1e-9,
+                deadlines={"churn": None, "adjudicate": None},
+            )
+
+        first = self.run_burst(admission())
+        again = self.run_burst(admission())
+        assert first == again, "shed outcomes not reproducible"
+        for kind in ("churn", "adjudicate"):
+            if kind in first:
+                admitted, _, shed, completed = first[kind]
+                assert shed == 0
+                assert completed == admitted
+        assert first["query"][2] > 0, "no query was ever shed"
+        assert first["query"][3] == 0, "a stale query completed"
+
+    def test_adaptive_admission_sheds_only_queries(self):
+        def admission():
+            policy = AdaptiveAdmission(seed=7, stale_after=1e-9)
+            policy.update_signals(severity=0.5)
+            return policy
+
+        first = self.run_burst(admission())
+        again = self.run_burst(admission())
+        assert first == again, "seeded shedding not reproducible"
+        for kind in ("churn", "adjudicate"):
+            if kind in first:
+                admitted, rejected, shed, completed = first[kind]
+                assert shed == 0
+                assert rejected == 0
+                assert completed == admitted
+        admitted, rejected, shed, completed = first["query"]
+        assert rejected + shed > 0, "severity 0.5 never shed a query"
+
+
+# ---------------------------------------------------------------------------
+# controller hysteresis
+
+
+def drive_loads(controller, epochs):
+    """Feed per-epoch shard loads and tick; return placement ticks."""
+    fired = []
+    for loads in epochs:
+        controller.observe_epoch(
+            wall_seconds=0.0,
+            shard_loads=dict(enumerate(loads)),
+        )
+        for decision in controller.tick():
+            if decision.action in Controller.PLACEMENT_ACTIONS:
+                fired.append(decision.tick)
+    return fired
+
+
+class TestControllerHysteresis:
+    def test_severity_from_epoch_wall(self):
+        controller = Controller(ControlPolicy(latency_bound=1.0))
+        for _ in range(4):
+            controller.observe_epoch(wall_seconds=2.5)
+            controller.tick()
+        assert controller.severity == 1.0
+        decisions = [d for d in controller.decisions
+                     if d.action == "admission"]
+        assert decisions and decisions[0].applied is True
+
+    def test_severity_recovers_when_the_window_drains(self):
+        controller = Controller(
+            ControlPolicy(window=4, latency_bound=1.0)
+        )
+        controller.observe_epoch(wall_seconds=3.0)
+        controller.tick()
+        assert controller.severity == 1.0
+        for _ in range(4):
+            controller.observe_epoch(wall_seconds=0.01)
+            controller.tick()
+        assert controller.severity == 0.0
+
+    def test_imbalance_needs_sustain_epochs(self):
+        policy = ControlPolicy(
+            imbalance_enter=1.5, imbalance_exit=1.0,
+            sustain_epochs=3, cooldown_epochs=2, min_load=1,
+        )
+        controller = Controller(policy)
+        fired = drive_loads(controller, [(9, 0), (9, 0)])
+        assert fired == []  # only 2 of the 3 required epochs
+        fired = drive_loads(controller, [(9, 0)])
+        assert fired == [3]
+
+    def test_balanced_load_resets_the_count(self):
+        policy = ControlPolicy(
+            imbalance_enter=1.5, imbalance_exit=1.0,
+            sustain_epochs=2, cooldown_epochs=2, min_load=1,
+            window=2,
+        )
+        controller = Controller(policy)
+        # imbalance, then balance (ratio < exit), then imbalance again:
+        # the counter re-arms from zero each time, so nothing fires
+        fired = drive_loads(
+            controller, [(9, 0), (5, 5), (5, 5), (9, 0)]
+        )
+        assert fired == []
+
+    def test_min_load_gates_the_ratio(self):
+        policy = ControlPolicy(
+            imbalance_enter=1.5, imbalance_exit=1.0,
+            sustain_epochs=1, cooldown_epochs=2, min_load=50,
+        )
+        controller = Controller(policy)
+        assert drive_loads(controller, [(9, 0), (9, 0)]) == []
+
+    def test_grow_fires_on_sustained_full_severity(self):
+        policy = ControlPolicy(
+            latency_bound=0.1, sustain_epochs=2, cooldown_epochs=4,
+            grow=True,
+        )
+        controller = Controller(policy)
+        fired = []
+        for _ in range(4):
+            controller.observe_epoch(wall_seconds=5.0)
+            fired.extend(
+                d for d in controller.tick() if d.action == "grow"
+            )
+        assert [d.tick for d in fired] == [2]  # cooldown holds the rest
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ControlPolicy(imbalance_enter=1.5, imbalance_exit=1.5)
+        with pytest.raises(ValueError):
+            ControlPolicy(imbalance_exit=0.5)
+        with pytest.raises(ValueError):
+            ControlPolicy(cooldown_epochs=0)
+        with pytest.raises(ValueError):
+            ControlPolicy(queue_high=0.0)
+
+    def test_snapshot_is_json_serializable(self):
+        controller = Controller()
+        controller.observe_epoch(wall_seconds=2.0, shard_loads={0: 3})
+        controller.tick()
+        snapshot = controller.snapshot()
+        assert snapshot["schema"] == "repro.control/controller"
+        json.dumps(snapshot)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        loads=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        walls=st.lists(
+            st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0,
+            max_size=60,
+        ),
+        cooldown=st.integers(min_value=1, max_value=8),
+        sustain=st.integers(min_value=1, max_value=4),
+        grow=st.booleans(),
+    )
+    def test_cooldown_is_never_violated(
+        self, loads, walls, cooldown, sustain, grow
+    ):
+        """The hysteresis property: whatever the load/latency sequence,
+        no two placement actions (reshard or grow) ever fire within
+        ``cooldown_epochs`` ticks of each other."""
+        policy = ControlPolicy(
+            window=4,
+            latency_bound=1.0,
+            imbalance_enter=1.5,
+            imbalance_exit=1.0,
+            sustain_epochs=sustain,
+            cooldown_epochs=cooldown,
+            min_load=1,
+            grow=grow,
+        )
+        controller = Controller(policy)
+        fired = []
+        for epoch, pair in enumerate(loads):
+            controller.observe_epoch(
+                wall_seconds=walls[epoch] if epoch < len(walls) else 0.0,
+                shard_loads=dict(enumerate(pair)),
+            )
+            fired.extend(
+                d.tick
+                for d in controller.tick()
+                if d.action in Controller.PLACEMENT_ACTIONS
+            )
+        assert fired == sorted(fired)
+        for earlier, later in zip(fired, fired[1:]):
+            assert later - earlier >= cooldown, (
+                f"placement actions at ticks {earlier} and {later} "
+                f"violate cooldown={cooldown}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# the byte-parity oracle for controller-driven placement
+
+
+def _network():
+    return serve_network(PREFIX_COUNT)[0]
+
+
+def make_spec(**overrides):
+    options = dict(
+        network=_network,
+        policies=(
+            PolicySpec(
+                "A",
+                ShortestRoute(),
+                {"recipients": ("B",), "name": "A/min->B", "max_length": 8},
+            ),
+        ),
+        workers=2,
+        placement="hotsplit",
+        transport="inline",
+        rng_seed=SEED,
+        parity_sample=1,
+    )
+    options.update(overrides)
+    return ClusterSpec(**options)
+
+
+AGGRESSIVE = ControlPolicy(
+    window=8,
+    imbalance_enter=1.3,
+    imbalance_exit=1.0,
+    sustain_epochs=1,
+    cooldown_epochs=50,  # at most one rebalance in these short scripts
+    min_load=1,
+)
+
+
+class TestControllerReshardParity:
+    def test_controller_rebalance_matches_cli_rebalance(self):
+        """The acceptance criterion: a controller-triggered rebalance
+        folds a trail byte-identical (seq/round/verdicts/evidence/
+        crypto counters) to the same rebalance issued manually at the
+        same request boundary — and both match the unsharded
+        reference."""
+        _, prefixes = serve_network(PREFIX_COUNT)
+        requests = churn_script(prefixes, rounds=6)
+
+        controlled = make_spec(controller=AGGRESSIVE).build()
+        try:
+            for request in requests:
+                controlled.request(request)
+            applied = [
+                d for d in controlled.controller.decisions
+                if d.action == "rebalance" and d.applied
+            ]
+            assert applied, "the controller never moved load"
+            # each request() pumps exactly one epoch group, so the
+            # decision's tick is the 1-based request index it followed
+            boundaries = [d.tick for d in applied]
+            controlled_trail = controlled.evidence
+            controlled_reshards = list(controlled.metrics.reshards)
+        finally:
+            controlled.stop()
+
+        manual = make_spec().build()
+        try:
+            for index, request in enumerate(requests):
+                manual.request(request)
+                if index + 1 in boundaries:
+                    assert manual.rebalance() is not None
+            manual_trail = manual.evidence
+            manual_reshards = list(manual.metrics.reshards)
+        finally:
+            manual.stop()
+
+        assert trail_mismatches(controlled_trail, manual_trail) == []
+        assert controlled_reshards == manual_reshards
+
+        reference = make_spec().build_monitor()
+        drive_monitor(reference, requests)
+        assert trail_mismatches(controlled_trail, reference.evidence) == []
+
+    def test_controller_enabled_cluster_keeps_reference_parity(self):
+        """Controller on, including its admission severity loop: the
+        evidence trail still matches the unsharded monitor byte for
+        byte (control decisions never perturb what is verified)."""
+        _, prefixes = serve_network(PREFIX_COUNT)
+        requests = churn_script(prefixes, rounds=5, violation_every=3)
+        spec = make_spec(
+            controller=True, admission="adaptive", placement="consistent"
+        )
+        cluster = spec.build()
+        try:
+            for request in requests:
+                cluster.request(request)
+            assert cluster.controller is not None
+            assert cluster.controller.ticks > 0
+            reference = spec.build_monitor()
+            drive_monitor(reference, requests)
+            assert trail_mismatches(
+                cluster.evidence, reference.evidence
+            ) == []
+            assert cluster.metrics.parity_failed == 0
+            snapshot = cluster.snapshot()
+            assert snapshot["control"]["ticks"] == cluster.controller.ticks
+        finally:
+            cluster.stop()
+
+    def test_cluster_snapshot_carries_epoch_wall_and_batches(self):
+        """Satellite: per-epoch wall clock and coalesced batch sizes
+        surface on the snapshot (and hence on --json)."""
+        _, prefixes = serve_network(PREFIX_COUNT)
+        requests = churn_script(prefixes, rounds=4)
+        spec = make_spec(placement="consistent", coalesce_max=4)
+        cluster = spec.build()
+        try:
+            for request in requests:
+                cluster.submit(request)
+            cluster.pump()
+            snapshot = cluster.snapshot()
+        finally:
+            cluster.stop()
+        epochs = snapshot["epochs"]
+        assert epochs["wall"]["count"] > 0
+        assert epochs["wall"]["max_s"] > 0
+        batches = epochs["coalesced_batches"]
+        assert batches["count"] > 0
+        assert batches["max_size"] > 1, "no churn burst ever coalesced"
+        # the deprecated alias still mirrors the canonical section
+        assert (
+            snapshot["placement"]["events_per_worker"]
+            == snapshot["placement"]["load"]
+        )
+        json.dumps(snapshot)

@@ -447,12 +447,21 @@ class TestLatencySeries:
                          service=0.08)
         snapshot = metrics.snapshot()
         assert snapshot["schema"] == "repro.serve/metrics"
-        assert snapshot["schema_version"] == 1
+        assert snapshot["schema_version"] == 2
         churn = snapshot["requests"]["churn"]
         assert churn["admitted"] == 1
         assert churn["latency"]["p99_s"] == 0.1
-        for section in ("epochs", "sharding", "parity", "probes"):
+        for section in ("epochs", "placement", "parity", "probes"):
             assert section in snapshot
+        # the pre-v2 sharding section survives as a deprecated alias
+        # of the canonical placement section
+        sharding = snapshot["sharding"]
+        assert sharding["events_per_shard"] == (
+            snapshot["placement"]["load"]
+        )
+        assert sharding["rebalances"] == (
+            snapshot["placement"]["reshards"]
+        )
 
 
 # -- the load generator --------------------------------------------------------
