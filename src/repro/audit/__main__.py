@@ -23,6 +23,7 @@ import sys
 
 from repro.audit.churn import run_churn
 from repro.bench.tables import print_table
+from repro.obs import log as obs_log
 from repro.pvr.execution import shutdown_backends
 from repro.util.cli import (
     EXIT_OK,
@@ -61,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    obs_log.configure_logging(json_mode=args.log_json)
     from repro.pvr import scenarios as registry
 
     if args.list_scenarios:
@@ -144,9 +146,15 @@ def main(argv=None) -> int:
             "audit",
             f"{len(violations)} unexpected violation event(s)",
         )
-    print(f"[audit] {result.events} events across {len(result.epochs)} "
-          f"epochs; reuse ratio {result.reuse_ratio():.0%}; "
-          f"{'violations as expected' if violations else 'violation-free'}")
+    obs_log.emit(
+        "audit",
+        f"{result.events} events across {len(result.epochs)} epochs; "
+        f"reuse ratio {result.reuse_ratio():.0%}; "
+        f"{'violations as expected' if violations else 'violation-free'}",
+        events=result.events,
+        epochs=len(result.epochs),
+        violations=len(violations),
+    )
     return EXIT_OK
 
 

@@ -37,7 +37,6 @@ inside the BGP event loop (the same constraint the legacy
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -63,6 +62,7 @@ from repro.audit.policy import (
 )
 from repro.audit.store import EvidenceStore
 from repro.audit.wire import RoundStats, round_randomness, run_wire_round
+from repro.obs.trace import TraceContext
 
 #: cache key: one (AS, prefix, policy, recipients) audited tuple
 TupleKey = Tuple[str, Optional[Prefix], str, Tuple[str, ...]]
@@ -152,6 +152,7 @@ class Monitor:
         store: Optional[EvidenceStore] = None,
         pair_filter: Optional[Callable[[str, Prefix], bool]] = None,
         intensity: object = None,
+        tracer: Optional[TraceContext] = None,
     ) -> None:
         self.keystore = keystore if keystore is not None else KeyStore(
             seed=rng_seed, key_bits=512
@@ -166,6 +167,9 @@ class Monitor:
         # (see repro.serve.sharding.shard_filter)
         self.pair_filter = pair_filter
         self.intensity = intensity
+        # the obs seam: hosts (serve service, cluster worker) hand the
+        # monitor their own context so plan/epoch spans share one trace
+        self.tracer = tracer if tracer is not None else TraceContext("m")
         self.network: Optional[BGPNetwork] = None
         self._detached = False
         self.evidence = store if store is not None else EvidenceStore(
@@ -384,6 +388,9 @@ class Monitor:
             else self.max_work_per_epoch
         )
         self.epoch += 1
+        plan_span = self.tracer.begin(
+            "plan", component="audit", epoch=self.epoch
+        )
         if self.intensity is not None:
             # epoch boundary: the intensity settles its ledger (when it
             # owns one) so sampling sees trust as of epochs < this one —
@@ -455,6 +462,9 @@ class Monitor:
             # fresh mark() during the epoch overrides its resume state)
             deferred.update(self._dirty)
             self._dirty = deferred
+        plan_span.attrs["entries"] = len(plan.entries)
+        plan_span.attrs["deferred"] = len(plan.deferred)
+        self.tracer.finish(plan_span)
         return plan
 
     def execute_plan(self, plan: EpochPlan) -> EpochReport:
@@ -463,19 +473,27 @@ class Monitor:
         report.deferred.extend(plan.deferred)
         sign0 = self.keystore.sign_count
         verify0 = self.keystore.verify_count
-        started = time.perf_counter()
-        for entry in plan.entries:
-            if entry.fresh:
-                session_report, stats = self.run_planned_round(entry)
-                event = self.record_planned(
-                    entry, session_report, stats, epoch=plan.epoch
-                )
-            else:
-                event = self.emit_reused(entry, epoch=plan.epoch)
-            report.events.append(event)
+        span = self.tracer.begin(
+            "execute", component="audit", epoch=plan.epoch,
+            entries=len(plan.entries),
+        )
+        try:
+            for entry in plan.entries:
+                if entry.fresh:
+                    session_report, stats = self.run_planned_round(entry)
+                    event = self.record_planned(
+                        entry, session_report, stats, epoch=plan.epoch
+                    )
+                else:
+                    event = self.emit_reused(entry, epoch=plan.epoch)
+                report.events.append(event)
+        except BaseException:
+            self.tracer.finish(span, status="error")
+            raise
         report.signatures = self.keystore.sign_count - sign0
         report.verifications = self.keystore.verify_count - verify0
-        report.wall_seconds = time.perf_counter() - started
+        self.tracer.finish(span)
+        report.wall_seconds = span.duration
         return report
 
     def run_until_idle(self, max_epochs: int = 64) -> List[EpochOutcome]:

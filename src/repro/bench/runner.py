@@ -40,6 +40,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.bench import registry
 from repro.bench.tables import print_table
 from repro.crypto import hashing
+from repro.obs.timeline import stage_shares
+from repro.obs.trace import record_collector
 
 __all__ = [
     "SCHEMA",
@@ -80,10 +82,16 @@ def run_experiment(
     ctx = registry.ExperimentContext(params, quick)
     hashes_before = hashing.hash_count()
     started = time.perf_counter()
-    metrics = dict(spec.fn(ctx))
+    with record_collector() as trace_records:
+        metrics = dict(spec.fn(ctx))
     wall = time.perf_counter() - started
     ops = ctx.ops()
     ops["hashes"] = hashing.hash_count() - hashes_before
+    trace = stage_shares(trace_records)
+    if trace["spans"]:
+        # under "timing" so deterministic_view strips it with the other
+        # wall-clock noise (shares shift run to run)
+        metrics.setdefault("timing", {})["trace"] = trace
     for title, headers, rows in ctx.tables:
         print_table(title, headers, rows, path=tables_path)
     return {

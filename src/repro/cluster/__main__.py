@@ -36,6 +36,7 @@ import argparse
 import sys
 
 from repro.bench.tables import print_table
+from repro.obs import log as obs_log
 from repro.promises.spec import ShortestRoute
 from repro.util.cli import (
     EXIT_OK,
@@ -104,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "its slice misses this per-epoch deadline")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the unsharded-reference parity check")
+    parser.add_argument("--flight-dump", metavar="PATH", default=None,
+                        help="flight-recorder JSONL dump path: written "
+                        "on a worker reap, parity failure or cluster "
+                        "error, or (if none fired) at the end of the "
+                        "run; render with 'python -m repro.obs timeline'")
     add_common_arguments(
         parser,
         seed_help="keystore / nonce seed (default: 2011)",
@@ -160,6 +166,7 @@ def run(args) -> int:
         parity_sample=args.parity_sample,
         epoch_deadline=args.epoch_deadline,
         chaos=chaos,
+        flight_dump=args.flight_dump,
     )
     requests = churn_script(
         prefixes, rounds=args.churns, violation_every=args.violations
@@ -173,12 +180,15 @@ def run(args) -> int:
                 record = cluster.reshard(
                     workers=cluster.workers + args.grow
                 )
-                print(
-                    f"[cluster] resharded to {cluster.workers} workers: "
+                obs_log.emit(
+                    "cluster",
+                    f"resharded to {cluster.workers} workers: "
                     f"{record['moved_pairs']}/{record['tracked_pairs']} "
                     f"tracked pairs moved, "
                     f"{record['migrated_cache_entries']} cache entries "
-                    f"migrated"
+                    f"migrated",
+                    workers=cluster.workers,
+                    moved_pairs=record["moved_pairs"],
                 )
             if (
                 args.rebalance_at is not None
@@ -186,12 +196,19 @@ def run(args) -> int:
             ):
                 record = cluster.rebalance()
                 if record is None:
-                    print("[cluster] rebalance: placement already balanced")
-                else:
-                    print(
-                        f"[cluster] hot-split rebalance: "
-                        f"{record['moved_pairs']} pairs moved"
+                    obs_log.emit(
+                        "cluster",
+                        "rebalance: placement already balanced",
                     )
+                else:
+                    obs_log.emit(
+                        "cluster",
+                        f"hot-split rebalance: "
+                        f"{record['moved_pairs']} pairs moved",
+                        moved_pairs=record["moved_pairs"],
+                    )
+        if args.flight_dump and not cluster.recorder.dumped:
+            cluster.recorder.dump(args.flight_dump, "end of run")
         snapshot = cluster.snapshot()
         mismatches = []
         if not args.no_verify:
@@ -246,21 +263,37 @@ def run(args) -> int:
             suffix = "" if applied is None else (
                 " [applied]" if applied else " [not applied]"
             )
-            print(f"[control] tick {decision['tick']}: "
-                  f"{decision['action']}{suffix} — {decision['reason']}")
+            obs_log.emit(
+                "control",
+                f"tick {decision['tick']}: "
+                f"{decision['action']}{suffix} — {decision['reason']}",
+                tick=decision["tick"],
+                action=decision["action"],
+                applied=applied,
+            )
 
     for respawn in snapshot["respawns"]:
-        print(f"[cluster] worker {respawn['worker']} died "
-              f"({respawn['reason']}) and was respawned with "
-              f"{respawn['installed_cache_entries']} cache entries")
+        obs_log.emit(
+            "cluster",
+            f"worker {respawn['worker']} died ({respawn['reason']}) "
+            f"and was respawned with "
+            f"{respawn['installed_cache_entries']} cache entries",
+            worker=respawn["worker"],
+            installed=respawn["installed_cache_entries"],
+        )
     if chaos is not None and not snapshot["respawns"]:
         print(f"[cluster] FAIL: chaos kill of worker "
               f"{chaos.worker} at epoch {chaos.epoch} never fired",
               file=sys.stderr)
 
     parity = snapshot["parity"]
-    print(f"[cluster] online parity self-checks: {parity['checked']} run, "
-          f"{parity['failed']} failed")
+    obs_log.emit(
+        "cluster",
+        f"online parity self-checks: {parity['checked']} run, "
+        f"{parity['failed']} failed",
+        checked=parity["checked"],
+        failed=parity["failed"],
+    )
     status = EXIT_OK
     if parity["failed"]:
         status = fail(
@@ -270,7 +303,7 @@ def run(args) -> int:
     if chaos is not None and not snapshot["respawns"]:
         status = EXIT_FAILURE
     if args.no_verify:
-        print("[cluster] reference parity check skipped (--no-verify)")
+        obs_log.emit("cluster", "reference parity check skipped (--no-verify)")
     elif mismatches:
         print(f"[cluster] FAIL: trail diverged from the unsharded "
               f"reference ({len(mismatches)} mismatch(es)):",
@@ -279,13 +312,17 @@ def run(args) -> int:
             print(f"  - {line}", file=sys.stderr)
         status = EXIT_FAILURE
     else:
-        print("[cluster] evidence trail is byte-identical to the "
-              "unsharded reference")
+        obs_log.emit(
+            "cluster",
+            "evidence trail is byte-identical to the unsharded "
+            "reference",
+        )
     return status
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    obs_log.configure_logging(json_mode=args.log_json)
     if args.workers < 1:
         return usage_error(f"--workers must be >= 1, got {args.workers}")
     if args.prefixes < 1:

@@ -64,6 +64,8 @@ from repro.pvr.engine import VerificationSession
 from repro.cluster.admission import ShedError
 from repro.cluster.fold import FoldError, SliceFold
 from repro.cluster.metrics import ClusterMetrics
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TraceContext
 from repro.cluster.placement import make_placement, moved_pairs
 from repro.cluster.requests import (
     AdjudicateRequest,
@@ -234,6 +236,16 @@ class Cluster:
             self.controller = Controller(spec.controller)
         self.metrics = ClusterMetrics()
         self.metrics.control = self.controller
+        #: causal tracing + crash forensics (:mod:`repro.obs`): every
+        #: closed record rings through the flight recorder, which dumps
+        #: JSONL at the failure sites (worker reap, parity failure,
+        #: ClusterError) when the spec names a ``flight_dump`` path
+        self.recorder = FlightRecorder()
+        self.tracer = self.recorder.attach(
+            TraceContext("c", enabled=spec.trace)
+        )
+        if self.controller is not None:
+            self.controller.tracer = self.tracer
         self._context = (
             multiprocessing.get_context("fork")
             if spec.transport == "process"
@@ -624,11 +636,26 @@ class Cluster:
         fold it into the central trail in plan order as it arrives,
         reap workers that die or stall, and backfill their missing
         positions from a live buddy."""
-        epoch_started = time.perf_counter()
+        epoch_span = self.tracer.begin(
+            "epoch", component="cluster", coalesced=coalesced
+        )
+        try:
+            return self._run_epoch_traced(epoch_span, coalesced=coalesced)
+        except ClusterError as exc:
+            epoch_span.status = "error"
+            self._dump_flight(f"ClusterError: {exc}")
+            raise
+        finally:
+            self.tracer.finish(epoch_span)
+
+    def _run_epoch_traced(
+        self, epoch_span, *, coalesced: int = 0
+    ) -> Tuple[EpochReport, List[SliceStats], bool]:
         trust = None
         if self.ledger is not None:
-            self.ledger.settle()
-            trust = self.ledger.trust_map()
+            with self.tracer.span("settle", component="cluster"):
+                self.ledger.settle()
+                trust = self.ledger.trust_map()
             if hasattr(self.admission, "update"):
                 self.admission.update(trust)
         command = ("epoch", tuple(self._invalidations), trust)
@@ -643,10 +670,20 @@ class Cluster:
         streamed: Dict[int, List[int]] = {}  # index -> [events, fresh]
         new_deaths: List[int] = []
         errors: List[str] = []
+        #: index -> the coordinator-side span covering that worker's
+        #: in-flight slice (opened at its PlanHeader, closed at its
+        #: summary — or reaped)
+        slice_spans: Dict[int, object] = {}
 
         def ingest(index: int, frame) -> None:
             if isinstance(frame, PlanHeader):
                 headers[index] = frame
+                if epoch_span.epoch is None:
+                    epoch_span.epoch = frame.epoch
+                slice_spans[index] = self.tracer.begin(
+                    "slice", component="cluster", epoch=frame.epoch,
+                    worker=index, detached=True, entries=frame.entries,
+                )
                 try:
                     fold.set_entries(frame.entries)
                 except FoldError as exc:
@@ -659,6 +696,11 @@ class Cluster:
                 )
                 self._fold_events(fold, frame.events, absorbed, errors)
             elif isinstance(frame, Heartbeat):
+                self.tracer.event(
+                    "heartbeat", component="cluster",
+                    worker=frame.worker, position=frame.position,
+                    backlog=frame.backlog,
+                )
                 if self.controller is not None:
                     self.controller.observe_backlog(
                         frame.worker, frame.backlog
@@ -669,13 +711,20 @@ class Cluster:
                     f"{type(frame).__name__}"
                 )
 
+        def on_summary(index: int, summary) -> None:
+            summaries[index] = summary
+            span = slice_spans.get(index)
+            if span is not None:
+                span.attrs["emitted"] = summary.emitted
+                self.tracer.finish(span)
+
         if self._context is None:
             self._drive_epoch_inline(
-                live, command, ingest, summaries, new_deaths, errors
+                live, command, ingest, on_summary, new_deaths, errors
             )
         else:
             self._drive_epoch_process(
-                live, command, ingest, summaries, new_deaths, errors
+                live, command, ingest, on_summary, new_deaths, errors
             )
         if errors:
             raise ClusterError("; ".join(errors))
@@ -690,6 +739,21 @@ class Cluster:
             )
         reference = self._check_coplan(headers, summaries)
         epoch, entries = reference.epoch, reference.entries
+        epoch_span.epoch = epoch
+        # merge the workers' shipped trace records in plan (worker
+        # index) order, each batch under its coordinator slice span; a
+        # reaped worker's slice span closes with the reap status so the
+        # flight dump names what it was doing
+        for index in sorted(summaries):
+            parent = slice_spans.get(index)
+            self.tracer.adopt(
+                summaries[index].spans,
+                parent=parent.id if parent is not None else epoch_span.id,
+            )
+        for index in sorted(new_deaths):
+            span = slice_spans.get(index)
+            if span is not None:
+                self.tracer.finish(span, status="reaped")
         fold.set_entries(entries)
         slices = [
             SliceStats(
@@ -751,9 +815,11 @@ class Cluster:
             e.stats.verifications for e in absorbed
         )
         # the coordinator-side wall clock for the whole drive (plan,
-        # stream, fold, backfill) — surfaced on EpochOutcome and fed to
-        # the control plane
-        report.wall_seconds = time.perf_counter() - epoch_started
+        # stream, fold, backfill) — surfaced on EpochOutcome, fed to
+        # the control plane, and by construction identical to the
+        # trace's epoch span (the one obs timer)
+        self.tracer.finish(epoch_span)
+        report.wall_seconds = epoch_span.duration
         self.metrics.note_epoch(report, coalesced=coalesced)
         if self.controller is not None:
             self.controller.observe_epoch(
@@ -774,7 +840,7 @@ class Cluster:
         return report, slices, pending
 
     def _drive_epoch_inline(
-        self, live, command, ingest, summaries, new_deaths, errors
+        self, live, command, ingest, on_summary, new_deaths, errors
     ) -> None:
         """Inline collection: each worker runs synchronously; its
         buffered stream frames fold before its final reply is read."""
@@ -786,14 +852,14 @@ class Cluster:
                     ingest(index, frame)
             status, payload = worker.reply()
             if status == "ok":
-                summaries[index] = payload
+                on_summary(index, payload)
             elif status == "died":
                 self._note_death(index, payload, new_deaths)
             else:
                 errors.append(f"worker {index}: {payload}")
 
     def _drive_epoch_process(
-        self, live, command, ingest, summaries, new_deaths, errors
+        self, live, command, ingest, on_summary, new_deaths, errors
     ) -> None:
         """Process collection: post to every live worker, then fold
         frames as pipes become readable.  A closed pipe, a missed
@@ -837,7 +903,7 @@ class Cluster:
                 if status == "stream":
                     ingest(index, payload)
                 elif status == "ok":
-                    summaries[index] = payload
+                    on_summary(index, payload)
                     waiting.discard(index)
                 else:
                     errors.append(f"worker {index}: {payload}")
@@ -868,7 +934,17 @@ class Cluster:
             return
         self._dead[index] = reason
         new_deaths.append(index)
+        self.tracer.event(
+            "reap", component="cluster", worker=index, reason=reason
+        )
+        # dump before anything closes the worker's in-flight slice
+        # span — the forensic record of what it was doing when it died
+        self._dump_flight(f"worker {index} reaped: {reason}")
         self._workers[index].kill()
+
+    def _dump_flight(self, reason: str) -> None:
+        if self.spec.flight_dump:
+            self.recorder.dump(self.spec.flight_dump, reason)
 
     def _check_coplan(self, headers, summaries) -> EpochSummary:
         """Every live worker must report the identical co-plan."""
@@ -961,8 +1037,12 @@ class Cluster:
         positions the buddy only shadows are re-emitted from the
         coordinator's own mirror."""
         buddy = self._live_indices()[0]
-        started = time.perf_counter()
+        span = self.tracer.begin(
+            "backfill", component="cluster", epoch=epoch, worker=buddy,
+            positions=len(missing),
+        )
         result = self._request(buddy, ("backfill", tuple(missing)))
+        self.tracer.adopt(result.spans, parent=span.id)
         self._fold_events(fold, result.events, absorbed, errors)
         for position, key in result.reused:
             entry = self._cache_mirror.get(tuple(key))
@@ -985,7 +1065,7 @@ class Cluster:
             fresh=result.fresh,
             reused=len(missing) - result.fresh,
             backfilled=len(missing),
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=self.tracer.finish(span).duration,
         )
 
     # -- failure respawn -----------------------------------------------------
@@ -1001,16 +1081,21 @@ class Cluster:
         respawned = 0
         for index in sorted(self._dead):
             reason = self._dead[index]
-            snapshot = self._bootstrap_snapshot()
-            self._workers[index] = self._spawn(index, snapshot)
-            del self._dead[index]  # live again from here on
-            owned = {
-                key: entry
-                for key, entry in self._cache_mirror.items()
-                if self.placement.owner(key[0], key[1]) == index
-            }
-            if owned:
-                self._request(index, ("install", owned))
+            with self.tracer.span(
+                "respawn", component="cluster", worker=index,
+                reason=reason,
+            ) as span:
+                snapshot = self._bootstrap_snapshot()
+                self._workers[index] = self._spawn(index, snapshot)
+                del self._dead[index]  # live again from here on
+                owned = {
+                    key: entry
+                    for key, entry in self._cache_mirror.items()
+                    if self.placement.owner(key[0], key[1]) == index
+                }
+                if owned:
+                    self._request(index, ("install", owned))
+                span.attrs["installed"] = len(owned)
             self.metrics.note_respawn(
                 worker=index, reason=reason, installed=len(owned)
             )
@@ -1152,6 +1237,14 @@ class Cluster:
             ):
                 failed += 1
         self.metrics.note_parity(checked, failed)
+        if failed:
+            self.tracer.event(
+                "parity-failure", component="cluster",
+                checked=checked, failed=failed,
+            )
+            self._dump_flight(
+                f"{failed} of {checked} parity self-checks failed"
+            )
 
     def merged_view(self) -> EvidenceStore:
         """One queryable store folded from every worker's *own* trail

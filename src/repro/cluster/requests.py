@@ -191,6 +191,9 @@ class EpochSummary:
     deferred: Tuple = ()
     pending: bool = False
     wall_seconds: float = 0.0
+    #: the worker's drained trace records for the epoch (plain dicts;
+    #: the coordinator adopts them into its own trace in plan order)
+    spans: Tuple = ()
 
 
 @dataclass(frozen=True)
@@ -206,6 +209,8 @@ class BackfillSlice:
     reused: Tuple[Tuple[int, tuple], ...]
     fresh: int
     wall_seconds: float = 0.0
+    #: the buddy's trace records for the backfill (see EpochSummary)
+    spans: Tuple = ()
 
 
 def answer_query(store, request: QueryRequest):

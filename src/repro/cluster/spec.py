@@ -153,6 +153,15 @@ class ClusterSpec:
     #: :class:`~repro.ledger.feedback.VerificationIntensity`, so the
     #: co-plan (and with it round allocation) stays identical everywhere
     ledger: object = None
+    #: causal tracing (:mod:`repro.obs`): spans and events on the
+    #: coordinator and every worker.  Timing is trace metadata only —
+    #: the evidence trail is byte-identical either way (pinned in
+    #: ``tests/test_obs.py``)
+    trace: bool = True
+    #: where the coordinator's flight recorder dumps JSONL on a worker
+    #: reap, a parity failure or a :class:`ClusterError` (``None`` =
+    #: record but never dump)
+    flight_dump: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.transport not in ("process", "inline"):

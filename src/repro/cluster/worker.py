@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.audit.monitor import Monitor
 from repro.audit.store import EvidenceStore
+from repro.obs.trace import TraceContext
 from repro.crypto.keystore import KeyStore
 from repro.pvr.scenarios import apply_step
 
@@ -381,6 +382,13 @@ class WorkerState:
         else:
             network = spec.network()
         keystore = spec.build_keystore()
+        # one trace context per worker incarnation; its records ship to
+        # the coordinator inside EpochSummary/BackfillSlice frames (the
+        # coordinator re-ids them on adoption, so a respawn restarting
+        # this counter cannot collide)
+        self.tracer = TraceContext(
+            f"w{index}", enabled=getattr(spec, "trace", True)
+        )
         intensity = None
         if getattr(spec, "ledger", None) is not None:
             from repro.ledger import VerificationIntensity
@@ -398,6 +406,7 @@ class WorkerState:
                 keystore, max_events=spec.worker_max_events
             ),
             intensity=intensity,
+            tracer=self.tracer,
         ).attach(network)
         for policy in spec.policies:
             policy.install(self.monitor)
@@ -434,13 +443,15 @@ class WorkerState:
         self.monitor.invalidate(invalidations)
         if trust is not None and self.monitor.intensity is not None:
             self.monitor.intensity.update(trust)
-        started = time.perf_counter()
+        span = self.tracer.begin(
+            "slice", component="worker", worker=self.index
+        )
         chaos = getattr(self.spec, "chaos", None)
         batch = max(1, getattr(self.spec, "stream_batch", 8))
         beat_every = getattr(self.spec, "heartbeat_interval", 0.0)
         chunk: List[Tuple[int, object]] = []
         counts = {"emitted": 0, "fresh": 0, "reused": 0}
-        last_emit = [started]
+        last_emit = [span.start]
 
         def send(frame) -> None:
             self.emit(("stream", frame))
@@ -473,6 +484,7 @@ class WorkerState:
             )
 
         def on_plan(plan) -> None:
+            span.epoch = plan.epoch
             send(
                 PlanHeader(
                     worker=self.index,
@@ -508,10 +520,17 @@ class WorkerState:
                     )
                 )
 
-        plan, _events, _violated = self.monitor.run_epoch_slice(
-            on_plan=on_plan, on_event=on_event, on_entry=on_entry
-        )
+        try:
+            plan, _events, _violated = self.monitor.run_epoch_slice(
+                on_plan=on_plan, on_event=on_event, on_entry=on_entry
+            )
+        except BaseException:
+            self.tracer.finish(span, status="error")
+            raise
         flush()
+        span.attrs["emitted"] = counts["emitted"]
+        span.attrs["fresh"] = counts["fresh"]
+        self.tracer.finish(span)
         return EpochSummary(
             worker=self.index,
             epoch=plan.epoch,
@@ -521,18 +540,24 @@ class WorkerState:
             reused=counts["reused"],
             deferred=tuple(plan.deferred),
             pending=bool(self.monitor.pending()),
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=span.duration,
+            spans=self.tracer.take_records(),
         )
 
     def _do_backfill(self, positions):
-        started = time.perf_counter()
+        span = self.tracer.begin(
+            "backfill", component="worker", worker=self.index,
+            positions=len(positions),
+        )
         events, reused_keys, _violated = self.monitor.backfill(positions)
+        self.tracer.finish(span)
         return BackfillSlice(
             worker=self.index,
             events=tuple(events),
             reused=tuple(reused_keys),
             fresh=sum(1 for _, e in events if not e.reused),
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=span.duration,
+            spans=self.tracer.take_records(),
         )
 
     def _do_probe(self, probe, owner):

@@ -27,6 +27,7 @@ import argparse
 import json
 import sys
 
+from repro.obs import log as obs_log
 from repro.util.cli import EXIT_OK, usage_error, write_json
 
 from repro.control.controller import Controller, ControlPolicy
@@ -82,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="PATH",
                         help="write the controller snapshot "
                         "(policy, decisions, signals) here")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit progress lines as JSON objects "
+                        "(level/component/message fields)")
     return parser
 
 
@@ -110,6 +114,7 @@ def parse_trace(args):
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    obs_log.configure_logging(json_mode=args.log_json)
     try:
         policy = ControlPolicy(
             window=args.window,
@@ -157,12 +162,24 @@ def main(argv=None) -> int:
             ),
         )
         for decision in controller.tick():
-            print(f"[control] tick {decision.tick}: {decision.action} "
-                  f"— {decision.reason}")
+            obs_log.emit(
+                "control",
+                f"tick {decision.tick}: {decision.action} "
+                f"— {decision.reason}",
+                epoch=epoch,
+                tick=decision.tick,
+                action=decision.action,
+            )
     snapshot = controller.snapshot()
-    print(f"[control] replayed {epochs} epoch(s): "
-          f"{len(controller.decisions)} decision(s), final severity "
-          f"{controller.severity:.3f}, cooldown {snapshot['cooldown']}")
+    obs_log.emit(
+        "control",
+        f"replayed {epochs} epoch(s): "
+        f"{len(controller.decisions)} decision(s), final severity "
+        f"{controller.severity:.3f}, cooldown {snapshot['cooldown']}",
+        epochs=epochs,
+        decisions=len(controller.decisions),
+        severity=round(controller.severity, 6),
+    )
     if args.json:
         write_json(args.json, snapshot, tag="control",
                    what="controller snapshot")

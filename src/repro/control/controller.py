@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.control.signals import SignalBus
+from repro.obs.trace import TraceContext
 
 __all__ = ["ControlPolicy", "Controller", "Decision"]
 
@@ -162,6 +163,10 @@ class Controller:
         self.bus = bus or SignalBus(window=self.policy.window)
         self.severity = 0.0
         self.ticks = 0
+        #: the host's trace context (the cluster coordinator / serve
+        #: service overwrite this with their own, so decisions land in
+        #: the same trace as the epochs that caused them)
+        self.tracer = TraceContext("ctl", enabled=False)
         self.decisions: List[Decision] = []
         self._imbalance_epochs = 0
         self._overload_epochs = 0
@@ -202,6 +207,11 @@ class Controller:
         fired: List[Decision] = []
 
         severity, why = self._admission_severity()
+        if severity is None:
+            # both windows empty: *no signal*, not "severity 0" — hold
+            # the previous level rather than reading silence as
+            # recovery (an admission decision needs evidence)
+            severity = self.severity
         if round(severity, 6) != round(self.severity, 6):
             fired.append(
                 Decision(
@@ -222,12 +232,24 @@ class Controller:
 
         fired.extend(self._placement_decisions())
         self.decisions.extend(fired)
+        for decision in fired:
+            self.tracer.event(
+                "decision", component="control",
+                action=decision.action, tick=decision.tick,
+                reason=decision.reason,
+            )
         return fired
 
-    def _admission_severity(self) -> "tuple[float, str]":
+    def _admission_severity(self) -> "tuple[Optional[float], str]":
+        """The overload severity, or ``None`` when neither signal
+        window holds an observation yet (an empty window's percentile
+        is ``None``, never 0.0 — see
+        :meth:`~repro.control.signals.SignalWindow.percentile`)."""
         policy = self.policy
         wall_p = self.bus.percentile("epoch_wall", policy.latency_percentile)
         queue_p = self.bus.percentile("queue_fraction", 90.0)
+        if wall_p is None and queue_p is None:
+            return None, "no signal: both windows empty"
         latency_sev = 0.0
         if wall_p is not None and wall_p > policy.latency_bound:
             # 0 at the bound, 1 at twice the bound

@@ -139,6 +139,10 @@ class SignalWindow:
         return self._ring[self._next - 1]
 
     def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the window; ``None`` on an
+        empty window — **never** 0.0, so consumers can tell "no
+        signal yet" from "measured zero" (the Controller holds its
+        previous severity on ``None``)."""
         return nearest_rank(sorted(self._ring), p)
 
     def mean(self) -> Optional[float]:

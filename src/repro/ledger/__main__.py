@@ -32,6 +32,7 @@ import sys
 from repro.audit.monitor import Monitor
 from repro.bench.tables import print_table
 from repro.cluster.workload import churn_script
+from repro.obs import log as obs_log
 from repro.crypto.keystore import KeyStore
 from repro.promises.spec import ShortestRoute
 from repro.pvr.scenarios import apply_step, serve_network
@@ -81,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    obs_log.configure_logging(json_mode=args.log_json)
     if args.prefixes < 1 or args.rounds < 1:
         return usage_error("--prefixes and --rounds must be >= 1")
     if not 0.0 <= args.rate <= 1.0:
@@ -168,9 +170,14 @@ def main(argv=None) -> int:
          for r in ledger.history.records()],
     )
     verified = ledger.history.verify()
-    print(f"history chain verified: {verified} "
-          f"(head {ledger.history.head[:16]}…, "
-          f"{len(ledger.history)} transitions)")
+    obs_log.emit(
+        "ledger",
+        f"history chain verified: {verified} "
+        f"(head {ledger.history.head[:16]}…, "
+        f"{len(ledger.history)} transitions)",
+        verified=verified,
+        transitions=len(ledger.history),
+    )
 
     if args.json:
         document = ledger.snapshot()

@@ -1,0 +1,199 @@
+"""``python -m repro.obs`` — render and compare trace dumps.
+
+Three subcommands over flight-recorder JSONL dumps (or any file of
+trace records, one JSON object per line):
+
+* ``timeline DUMP`` — per-epoch span timeline; open spans (a crash's
+  in-flight work) are flagged.  ``--require-reaped W`` makes the exit
+  code a gate: fail unless the dump contains worker *W*'s last open
+  span (CI uses this to prove a SIGKILL left forensics behind).
+* ``critical-path DUMP`` — per epoch, the dominant stage and dominant
+  worker by summed stage wall.
+* ``diff A B`` — per-stage wall totals of B against A.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs import timeline as tl
+from repro.util.cli import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    envelope,
+    fail,
+    usage_error,
+    write_json,
+)
+
+SCHEMA = "repro.obs/analysis"
+SCHEMA_VERSION = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="render timelines, critical paths and diffs from "
+        "repro trace dumps",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    timeline = sub.add_parser(
+        "timeline", help="per-epoch span timeline of one dump"
+    )
+    timeline.add_argument("dump", help="JSONL trace dump to render")
+    timeline.add_argument(
+        "--require-reaped", type=int, metavar="WORKER", default=None,
+        help="exit 1 unless the dump holds this worker's last open "
+        "(in-flight) span — the CI chaos gate",
+    )
+    timeline.add_argument(
+        "--json", metavar="PATH",
+        help="write the parsed timeline document here",
+    )
+
+    critical = sub.add_parser(
+        "critical-path",
+        help="dominant stage and worker per epoch",
+    )
+    critical.add_argument("dump", help="JSONL trace dump to analyze")
+    critical.add_argument(
+        "--json", metavar="PATH",
+        help="write the per-epoch critical-path document here",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="per-stage wall totals of trace B against trace A"
+    )
+    diff.add_argument("a", help="baseline JSONL trace dump")
+    diff.add_argument("b", help="candidate JSONL trace dump")
+    diff.add_argument(
+        "--json", metavar="PATH",
+        help="write the per-stage delta table here",
+    )
+    return parser
+
+
+def _load(path: str):
+    try:
+        return tl.load_records(path)
+    except OSError as exc:
+        return usage_error(f"cannot read trace dump {path}: {exc}")
+    except ValueError as exc:
+        return usage_error(f"{path} is not a JSONL trace dump: {exc}")
+
+
+def _cmd_timeline(args) -> int:
+    records = _load(args.dump)
+    if isinstance(records, int):
+        return records
+    for line in tl.render_timeline(records):
+        print(line)
+    status = EXIT_OK
+    if args.require_reaped is not None:
+        held = tl.open_spans(records, worker=args.require_reaped)
+        if held:
+            span = held[-1]
+            print(
+                f"[obs] worker {args.require_reaped} in-flight span at "
+                f"dump: {span['name']} (epoch {span.get('epoch')}, "
+                f"id {span.get('id')}, status {span.get('status')})"
+            )
+        else:
+            status = fail(
+                "obs",
+                f"dump {args.dump} holds no open span for worker "
+                f"{args.require_reaped} — the reap left no in-flight "
+                f"forensics",
+            )
+    if args.json:
+        document = envelope(
+            SCHEMA,
+            SCHEMA_VERSION,
+            {
+                "analysis": "timeline",
+                "dump": args.dump,
+                "open_spans": tl.open_spans(records),
+                "records": len(records),
+            },
+        )
+        write_json(args.json, document, tag="obs", what="timeline")
+    return status
+
+
+def _cmd_critical_path(args) -> int:
+    records = _load(args.dump)
+    if isinstance(records, int):
+        return records
+    path = tl.critical_path(records)
+    if not path:
+        print("[obs] no closed epoch stages in the dump")
+    for epoch in sorted(path):
+        entry = path[epoch]
+        worker = (
+            f", dominant worker w{entry['worker']} "
+            f"({entry['worker_seconds'] * 1000.0:.3f}ms)"
+            if "worker" in entry
+            else ""
+        )
+        print(
+            f"[obs] epoch {epoch}: critical stage {entry['stage']} "
+            f"({entry['stage_seconds'] * 1000.0:.3f}ms){worker}"
+        )
+    if args.json:
+        document = envelope(
+            SCHEMA,
+            SCHEMA_VERSION,
+            {
+                "analysis": "critical-path",
+                "dump": args.dump,
+                "epochs": {str(e): path[e] for e in sorted(path)},
+            },
+        )
+        write_json(args.json, document, tag="obs", what="critical path")
+    return EXIT_OK
+
+
+def _cmd_diff(args) -> int:
+    records_a = _load(args.a)
+    if isinstance(records_a, int):
+        return records_a
+    records_b = _load(args.b)
+    if isinstance(records_b, int):
+        return records_b
+    rows = tl.diff_traces(records_a, records_b)
+    if not rows:
+        print("[obs] no closed stages in either trace")
+    for row in rows:
+        print(
+            f"[obs] {row['stage']}: {row['a_seconds'] * 1000.0:.3f}ms "
+            f"-> {row['b_seconds'] * 1000.0:.3f}ms "
+            f"({row['delta_seconds'] * 1000.0:+.3f}ms)"
+        )
+    if args.json:
+        document = envelope(
+            SCHEMA,
+            SCHEMA_VERSION,
+            {"analysis": "diff", "a": args.a, "b": args.b, "stages": rows},
+        )
+        write_json(args.json, document, tag="obs", what="trace diff")
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return EXIT_FAILURE
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+    if args.command == "critical-path":
+        return _cmd_critical_path(args)
+    return _cmd_diff(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

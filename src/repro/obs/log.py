@@ -1,0 +1,76 @@
+"""The one structured log emitter behind every CLI's progress lines.
+
+Text mode reproduces the established ``[component] message`` shape
+(info to stdout, warn/error to stderr) so existing CI greps and
+doctests keep working; ``--log-json`` (see
+:func:`repro.util.cli.add_common_arguments`) flips the process to one
+JSON object per line with explicit ``level``/``component``/``epoch``
+fields plus whatever structured extras the call site attaches.
+
+Hard-failure lines that carry the exit-code contract stay on
+:func:`repro.util.cli.fail` — this module is for narrative progress,
+not verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+__all__ = ["LogEmitter", "configure_logging", "emit"]
+
+
+class LogEmitter:
+    """Formats and writes log records; one per process is plenty."""
+
+    def __init__(self, *, json_mode: bool = False) -> None:
+        self.json_mode = json_mode
+
+    def emit(
+        self,
+        component: str,
+        message: str,
+        *,
+        level: str = "info",
+        epoch: Optional[int] = None,
+        **fields: object,
+    ) -> None:
+        stream = sys.stdout if level == "info" else sys.stderr
+        if self.json_mode:
+            record = {
+                "level": level,
+                "component": component,
+                "message": message,
+            }
+            if epoch is not None:
+                record["epoch"] = epoch
+            record.update(fields)
+            print(json.dumps(record, sort_keys=True), file=stream)
+        else:
+            print(f"[{component}] {message}", file=stream)
+        stream.flush()
+
+
+#: the process-wide emitter the module-level helpers write through
+_emitter = LogEmitter()
+
+
+def configure_logging(*, json_mode: bool = False) -> LogEmitter:
+    """Switch the process emitter's output mode (CLIs call this right
+    after argument parsing, from ``--log-json``)."""
+    _emitter.json_mode = bool(json_mode)
+    return _emitter
+
+
+def emit(
+    component: str,
+    message: str,
+    *,
+    level: str = "info",
+    epoch: Optional[int] = None,
+    **fields: object,
+) -> None:
+    _emitter.emit(
+        component, message, level=level, epoch=epoch, **fields
+    )

@@ -1,0 +1,72 @@
+"""The flight recorder: a bounded ring of recent trace records that is
+dumped to JSONL when something goes wrong.
+
+Hosts attach their :class:`~repro.obs.trace.TraceContext` so every
+closed record lands in the ring, and call :meth:`FlightRecorder.dump`
+at their failure sites (worker reap, parity failure, ``ClusterError``).
+The dump is one JSON object per line:
+
+* a ``{"kind": "dump", "reason": ...}`` header,
+* the ring contents (oldest first),
+* every attached context's still-open spans with ``"end": null`` —
+  which is how a SIGKILLed worker's last in-flight slice shows up.
+
+``dumped`` records whether any trigger fired, so a CLI's end-of-run
+courtesy dump does not overwrite a crash dump.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """A per-process ring buffer of the most recent closed records."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.ring: deque = deque(maxlen=capacity)
+        self.contexts: List[object] = []
+        #: (path, reason) per dump written, in order
+        self.dumps: List[tuple] = []
+
+    @property
+    def dumped(self) -> bool:
+        return bool(self.dumps)
+
+    def attach(self, context):
+        """Wire a TraceContext's record stream into this ring and
+        return the context (so construction chains)."""
+        context.recorder = self
+        self.contexts.append(context)
+        return context
+
+    def record(self, record: Dict[str, object]) -> None:
+        self.ring.append(record)
+
+    def open_records(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for context in self.contexts:
+            out.extend(context.open_records())
+        return out
+
+    def dump(self, path: str, reason: str) -> Dict[str, object]:
+        """Write the ring plus open spans to ``path`` as JSONL and
+        return the header that was written."""
+        records = list(self.ring)
+        open_spans = self.open_records()
+        header = {
+            "kind": "dump",
+            "reason": reason,
+            "records": len(records),
+            "open": len(open_spans),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in [header, *records, *open_spans]:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        self.dumps.append((path, reason))
+        return header

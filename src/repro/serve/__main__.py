@@ -41,6 +41,7 @@ import asyncio
 import sys
 
 from repro.bench.tables import print_table
+from repro.obs import log as obs_log
 from repro.promises.spec import ShortestRoute
 from repro.pvr.execution import shutdown_backends
 from repro.util.cli import (
@@ -266,8 +267,13 @@ def finish_ramp(args, service, report, snapshot) -> int:
                 f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
                 for k, v in sorted(decision["signals"].items())
             )
-            print(f"[control] tick {decision['tick']}: "
-                  f"{decision['action']} ({decision['reason']}; {signals})")
+            obs_log.emit(
+                "control",
+                f"tick {decision['tick']}: {decision['action']} "
+                f"({decision['reason']}; {signals})",
+                tick=decision["tick"],
+                action=decision["action"],
+            )
 
     snapshot = dict(snapshot)
     snapshot["ramp"] = curve
@@ -276,10 +282,17 @@ def finish_ramp(args, service, report, snapshot) -> int:
 
     parity = snapshot["parity"]
     errors = sum(stage.errors for stage in report.stages)
-    print(f"[serve] ramp {args.ramp}: {report.offered} offered, "
-          f"{report.rejected} rejected at the door, {report.shed} shed, "
-          f"{errors} errored; parity checks: {parity['checked']} run, "
-          f"{parity['failed']} failed")
+    obs_log.emit(
+        "serve",
+        f"ramp {args.ramp}: {report.offered} offered, "
+        f"{report.rejected} rejected at the door, {report.shed} shed, "
+        f"{errors} errored; parity checks: {parity['checked']} run, "
+        f"{parity['failed']} failed",
+        offered=report.offered,
+        rejected=report.rejected,
+        shed=report.shed,
+        errors=errors,
+    )
     if errors:
         return fail("serve", f"{errors} request(s) errored during the ramp")
     if parity["failed"]:
@@ -296,13 +309,18 @@ def finish_ramp(args, service, report, snapshot) -> int:
                 f"--gate-p99 bound {args.gate_p99:.3f}s",
             )
         bound = "all queries shed" if final is None else f"{final:.3f}s"
-        print(f"[serve] gate-p99 ok: final-stage query p99 {bound} "
-              f"<= {args.gate_p99:.3f}s")
+        obs_log.emit(
+            "serve",
+            f"gate-p99 ok: final-stage query p99 {bound} "
+            f"<= {args.gate_p99:.3f}s",
+            gate_p99=args.gate_p99,
+        )
     return EXIT_OK
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    obs_log.configure_logging(json_mode=args.log_json)
     if args.shards < 1:
         return usage_error(f"--shards must be >= 1, got {args.shards}")
     if args.prefixes < 1:
@@ -366,10 +384,16 @@ def main(argv=None) -> int:
         write_json(args.json, snapshot, tag="serve")
 
     parity = snapshot["parity"]
-    print(f"[serve] {report.delivered}/{report.offered} requests admitted "
-          f"({report.rejected} rejected, {report.dropped} dropped in "
-          f"transit); parity checks: {parity['checked']} run, "
-          f"{parity['failed']} failed")
+    obs_log.emit(
+        "serve",
+        f"{report.delivered}/{report.offered} requests admitted "
+        f"({report.rejected} rejected, {report.dropped} dropped in "
+        f"transit); parity checks: {parity['checked']} run, "
+        f"{parity['failed']} failed",
+        delivered=report.delivered,
+        offered=report.offered,
+        parity_failed=parity["failed"],
+    )
     if report.errors:
         return fail(
             "serve",

@@ -56,6 +56,8 @@ from repro.cluster.requests import (
     answer_query,
 )
 from repro.crypto.keystore import KeyStore
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TraceContext
 from repro.pvr.engine import VerificationSession
 from repro.pvr.execution import BackendSpec
 from repro.pvr.scenarios import apply_step
@@ -123,6 +125,8 @@ class VerificationService:
         metrics: Optional[ServeMetrics] = None,
         ledger: object = None,
         controller: object = None,
+        trace: bool = True,
+        flight_dump: Optional[str] = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -138,11 +142,23 @@ class VerificationService:
             else KeyStore(seed=rng_seed, key_bits=key_bits)
         )
         self.rng_seed = rng_seed
+        #: causal tracing + crash forensics (:mod:`repro.obs`): one
+        #: trace context shared with the monitor (so plan spans nest
+        #: under the service's epoch spans), ringed through a flight
+        #: recorder that dumps at parity failures when ``flight_dump``
+        #: names a path.  Timing is trace metadata only — the evidence
+        #: trail is byte-identical traced or not.
+        self.flight_dump = flight_dump
+        self.recorder = FlightRecorder()
+        self.tracer = self.recorder.attach(
+            TraceContext("s", enabled=trace)
+        )
         self.monitor = Monitor(
             self.keystore,
             rng_seed=rng_seed,
             max_work_per_epoch=max_work,
             store=EvidenceStore(self.keystore, max_events=max_events),
+            tracer=self.tracer,
         ).attach(network)
         #: accountability ledger over the service's evidence trail:
         #: ``None`` (off), ``True`` (default policy) or a
@@ -192,6 +208,7 @@ class VerificationService:
                 ControlPolicy() if controller is True else controller
             )
             self.controller = Controller(policy)
+            self.controller.tracer = self.tracer
         self.metrics.control = self.controller
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -384,11 +401,16 @@ class VerificationService:
                 self.metrics.note_probes(outcome.probe_events)
             return outcome
 
+        group_span = self.tracer.begin(
+            "group", component="serve", coalesced=len(group)
+        )
         try:
             outcome = await asyncio.to_thread(run)
         except Exception as exc:  # resolve, never hang the clients
+            self.tracer.finish(group_span, status="error")
             self._fail_group(group, exc)
             return
+        self.tracer.finish(group_span)
         finished = time.perf_counter()
         for ticket in group:
             self._resolve(ticket, outcome, started, finished)
@@ -458,8 +480,9 @@ class VerificationService:
         Returns ``(report, slices)`` — the merged
         :class:`~repro.audit.events.EpochReport` plus per-shard
         :class:`~repro.audit.events.SliceStats`."""
-        started = time.perf_counter()
+        epoch_span = self.tracer.begin("epoch", component="serve")
         plan = self.monitor.plan_epoch()
+        epoch_span.epoch = plan.epoch
         try:
             fresh = plan.fresh_entries()
             # named choosers resolve through the registry inside the
@@ -477,14 +500,28 @@ class VerificationService:
                 )
                 for _, entry in shardable
             }
-            outcomes = self.executor.execute(
-                self.keystore, shardable, self.rng_seed, neighbor_counts
-            )
-            local = {
-                position: self.monitor.run_planned_round(entry)
-                for position, entry in local_entries
-            }
-            report = merge.fold_plan(self.monitor, plan, outcomes, local)
+            with self.tracer.span(
+                "shard-exec", component="serve", epoch=plan.epoch,
+                tasks=len(shardable),
+            ):
+                outcomes = self.executor.execute(
+                    self.keystore, shardable, self.rng_seed,
+                    neighbor_counts,
+                )
+            with self.tracer.span(
+                "local", component="serve", epoch=plan.epoch,
+                tasks=len(local_entries),
+            ):
+                local = {
+                    position: self.monitor.run_planned_round(entry)
+                    for position, entry in local_entries
+                }
+            with self.tracer.span(
+                "merge", component="serve", epoch=plan.epoch
+            ):
+                report = merge.fold_plan(
+                    self.monitor, plan, outcomes, local
+                )
         except Exception:
             # planning consumed the dirty marks; a failed execution must
             # not leave an audit hole, so the planned pairs go back on
@@ -492,18 +529,27 @@ class VerificationService:
             # at-least-once, never silently-never)
             for entry in plan.entries:
                 self.monitor.mark(entry.item.asn, entry.item.prefix)
+            self.tracer.finish(epoch_span, status="error")
             raise
-        report.wall_seconds = time.perf_counter() - started
+        # the one obs timer: the epoch span both frames the trace and
+        # pins the report's wall
+        self.tracer.finish(epoch_span)
+        report.wall_seconds = epoch_span.duration
         slices = []
         for shard, stream in sorted(merge.shard_streams(outcomes).items()):
             self.metrics.note_shard(shard, len(stream))
+            shard_wall = sum(o.wall_seconds for o in stream)
+            self.tracer.event(
+                "shard", component="serve", epoch=report.epoch,
+                worker=shard, events=len(stream), wall=shard_wall,
+            )
             slices.append(SliceStats(
                 worker=shard,
                 epoch=report.epoch,
                 events=len(stream),
                 fresh=len(stream),
                 reused=0,
-                wall_seconds=sum(o.wall_seconds for o in stream),
+                wall_seconds=shard_wall,
             ))
         self._parity_check(plan, outcomes)
         self._maybe_rebalance()
@@ -610,3 +656,13 @@ class VerificationService:
             ):
                 failed += 1
         self.metrics.note_parity(checked, failed)
+        if failed:
+            self.tracer.event(
+                "parity-failure", component="serve",
+                epoch=plan.epoch, checked=checked, failed=failed,
+            )
+            if self.flight_dump:
+                self.recorder.dump(
+                    self.flight_dump,
+                    f"{failed} of {checked} parity self-checks failed",
+                )

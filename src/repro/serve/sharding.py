@@ -43,7 +43,6 @@ Two consumers:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +51,7 @@ from repro.audit.monitor import PlannedItem
 from repro.audit.wire import modeled_wire_stats, round_randomness
 from repro.cluster.placement import Placement, StaticHash, pair_key
 from repro.crypto.keystore import KeyStore
+from repro.obs.trace import Stopwatch
 from repro.pvr.execution import BackendSpec, resolve_backend
 from repro.pvr.session import PromiseSpec, SessionReport
 
@@ -145,21 +145,21 @@ def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
     outcomes: List[ShardOutcome] = []
     for task in tasks:
         view = keystore.worker_view()
-        started = time.perf_counter()
-        session = VerificationSession(
-            view,
-            task.spec,
-            round=task.round,
-            chooser=resolve_chooser(task.chooser),
-            random_bytes=round_randomness(task.rng_seed, task.round),
-        )
-        announcements = session.announce(dict(task.routes))
-        statement = session.commit()
-        views = session.disclose()
-        report = session.verify()
-        messages, wire_bytes = modeled_wire_stats(
-            session, announcements, views, statement, task.neighbors
-        )
+        with Stopwatch() as watch:
+            session = VerificationSession(
+                view,
+                task.spec,
+                round=task.round,
+                chooser=resolve_chooser(task.chooser),
+                random_bytes=round_randomness(task.rng_seed, task.round),
+            )
+            announcements = session.announce(dict(task.routes))
+            statement = session.commit()
+            views = session.disclose()
+            report = session.verify()
+            messages, wire_bytes = modeled_wire_stats(
+                session, announcements, views, statement, task.neighbors
+            )
         outcomes.append(
             ShardOutcome(
                 position=task.position,
@@ -167,7 +167,7 @@ def _run_shard_batch(payload) -> Tuple[ShardOutcome, ...]:
                 report=report,
                 signatures=view.sign_count,
                 verifications=view.verify_count,
-                wall_seconds=time.perf_counter() - started,
+                wall_seconds=watch.seconds,
                 messages=messages,
                 bytes=wire_bytes,
             )

@@ -10,8 +10,10 @@ and ``repro.ledger`` — share the same contract:
 * ``--json PATH`` writes a schema-versioned document with
   ``indent=2, sort_keys=True`` and a trailing newline, confirmed by a
   ``[tag] ... written to PATH`` line (:func:`write_json`);
-* ``--key-bits`` / ``--seed`` / ``--json`` carry the same defaults and
-  help text everywhere (:func:`add_common_arguments`).
+* ``--key-bits`` / ``--seed`` / ``--json`` / ``--log-json`` carry the
+  same defaults and help text everywhere
+  (:func:`add_common_arguments`); ``--log-json`` switches the
+  :mod:`repro.obs.log` emitter to structured output.
 
 This module is that contract in one place, so the CLIs stay consistent
 as flags accrete.
@@ -102,4 +104,9 @@ def add_common_arguments(
     parser.add_argument(
         "--json", metavar="PATH",
         help=json_help or "write the schema-versioned snapshot here",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit progress lines as structured JSON (repro.obs.log) "
+        "instead of '[component] message' text",
     )

@@ -542,3 +542,41 @@ class TestControllerReshardParity:
             == snapshot["placement"]["load"]
         )
         json.dumps(snapshot)
+
+
+class TestNoSignalHold:
+    """Satellite: an empty signal window is *no signal*, not zero.
+
+    ``SignalWindow.percentile`` returns ``None`` on an empty window,
+    and ``Controller.tick`` holds the previous severity rather than
+    treating the absence of observations as "severity 0".
+    """
+
+    def test_empty_window_percentile_is_none(self):
+        window = SignalWindow(capacity=4)
+        assert window.percentile(50) is None
+        assert window.percentile(99) is None
+        # one observation flips it to a real number
+        window.observe(0.25)
+        assert window.percentile(50) == 0.25
+
+    def test_tick_without_observations_holds_severity(self):
+        controller = Controller(ControlPolicy(latency_bound=1.0))
+        controller.observe_epoch(wall_seconds=3.0)
+        controller.tick()
+        assert controller.severity == 1.0
+        # a burst of signal-free ticks must not decay severity to 0 —
+        # there is no evidence the overload cleared
+        controller.bus._signals.clear()
+        before = len(controller.decisions)
+        for _ in range(3):
+            controller.tick()
+        assert controller.severity == 1.0
+        assert len(controller.decisions) == before
+
+    def test_fresh_controller_ticks_stay_quiet(self):
+        controller = Controller(ControlPolicy())
+        for _ in range(3):
+            assert controller.tick() == []
+        assert controller.severity == 0.0
+        assert controller.decisions == []
