@@ -113,6 +113,42 @@ class EvidenceStore:
             for event in events
         ]
 
+    def adopt(self, event: VerdictEvent) -> VerdictEvent:
+        """Re-record ``event`` under its *existing* sequence number —
+        the journal-replay primitive.  Unlike :meth:`absorb` (which
+        re-seqs), adoption preserves the trail exactly as it was
+        recorded, advancing the seq allocator past it so post-recovery
+        events continue the original numbering.  Subscribers fire and
+        the eviction bound applies, so derived state (the ledger's
+        counters, pinned violations, the evicted tally) re-folds to
+        what the original run held."""
+        if event.seq > self._seq:
+            self._seq = event.seq
+        return self.record(event)
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """A picklable capture of the full store state (events in
+        recording order, the pinned/tail split point, the eviction
+        tally and the seq allocator) for :meth:`restore`."""
+        return {
+            "events": tuple(self._all()),
+            "pinned": len(self._pinned),
+            "evicted": self.evicted,
+            "seq": self._seq,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Silently load a :meth:`checkpoint_state` capture: no
+        subscriber or eviction callbacks fire (consumers restore their
+        own durable aggregates — the checkpoint pickles the ledger
+        whole), and the pinned/tail split is reinstated exactly."""
+        events = list(state["events"])
+        pinned = int(state["pinned"])
+        self._pinned = events[:pinned]
+        self._tail = deque(events[pinned:])
+        self.evicted = int(state["evicted"])
+        self._seq = int(state["seq"])
+
     @classmethod
     def merged(
         cls,

@@ -1060,3 +1060,134 @@ def _ledger_steady_honest(ctx: ExperimentContext):
             "with_seconds": results["with"]["seconds"],
         },
     }
+
+
+@register(
+    "cluster-recovery",
+    "Coordinator durability: a journaled cluster run (write-ahead "
+    "records at every fold seam, periodic checkpoint compaction) "
+    "crashed mid-script and restarted — measures the journal's append "
+    "overhead against the epoch wall, the cold replay, and asserts the "
+    "recovered-and-finished trail is byte-identical to an uncrashed "
+    "unsharded monitor",
+    params={"workers": 3, "prefixes": 8, "rounds": 8,
+            "checkpoint_every": 4, "key_bits": 512, "seed": 2011},
+    quick={"prefixes": 6, "rounds": 6, "checkpoint_every": 3},
+    tags=("cluster", "durability"),
+)
+def _cluster_recovery(ctx: ExperimentContext):
+    import os
+    import tempfile
+
+    from repro.cluster import ClusterSpec, PolicySpec
+    from repro.cluster.workload import (
+        churn_script,
+        drive_monitor,
+        trail_mismatches,
+    )
+    from repro.promises.spec import ShortestRoute
+
+    workers = int(ctx.params["workers"])
+    prefix_count = int(ctx.params["prefixes"])
+    rounds = int(ctx.params["rounds"])
+    checkpoint_every = int(ctx.params["checkpoint_every"])
+    seed = int(ctx.params["seed"])
+    key_bits = int(ctx.params["key_bits"])
+
+    def network():
+        return scenarios.serve_network(prefix_count)[0]
+
+    _, prefixes = scenarios.serve_network(prefix_count)
+    requests = churn_script(prefixes, rounds=rounds)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as base:
+        spec = ClusterSpec(
+            network=network,
+            policies=(
+                PolicySpec(
+                    "A",
+                    ShortestRoute(),
+                    {"recipients": ("B",), "name": "A/min->B",
+                     "max_length": 8},
+                ),
+            ),
+            workers=workers,
+            placement="consistent",
+            transport="inline",
+            rng_seed=seed,
+            key_bits=key_bits,
+            parity_sample=0,
+            journal=os.path.join(base, "journal"),
+            journal_checkpoint_every=checkpoint_every,
+        )
+
+        # phase 1: the journaled run, crashed two thirds in.  The
+        # abandon (no stop()) is exactly what a coordinator death
+        # leaves behind; every journal append up to it is on disk.
+        crash_at = max(1, (2 * len(requests)) // 3)
+        cluster = spec.build()
+        for request in requests[:crash_at]:
+            cluster.request(request)
+        journal_stats = cluster.journal.stats()
+        epoch_summary = cluster.metrics.epoch_wall.summary()
+        epoch_wall = (
+            (epoch_summary["count"] or 0) * (epoch_summary["mean_s"] or 0.0)
+        )
+        overhead = (
+            journal_stats["wall_seconds"] / epoch_wall if epoch_wall else 0.0
+        )
+        if ctx.quick:
+            assert overhead < 0.05, (
+                f"journal append overhead {overhead:.1%} of epoch wall "
+                f"exceeds the 5% budget"
+            )
+
+        # phase 2: the restart — replay the journal, cold-respawn the
+        # fleet, finish the script
+        recovery_started = time.perf_counter()
+        recovered = spec.build()
+        recovery_seconds = time.perf_counter() - recovery_started
+        try:
+            recovery = recovered.metrics.recoveries[0]
+            assert recovered.recovered_requests == crash_at
+            for request in requests[recovered.recovered_requests:]:
+                recovered.request(request)
+
+            monitor = spec.build_monitor()
+            ctx.track(monitor.keystore)
+            drive_monitor(monitor, requests)
+            mismatches = trail_mismatches(
+                recovered.evidence, monitor.evidence
+            )
+            assert not mismatches, mismatches[:3]
+            events = len(recovered.evidence.events())
+        finally:
+            recovered.stop()
+
+    ctx.table(
+        "CLUSTER durability: journaled run, crash and replay",
+        ["requests", "crash at", "records", "bytes", "append overhead",
+         "recovery s"],
+        [(len(requests), crash_at, journal_stats["appended"],
+          journal_stats["bytes_written"], f"{overhead:.2%}",
+          f"{recovery_seconds:.3f}")],
+    )
+    return {
+        "requests": len(requests),
+        "crashed_after_requests": crash_at,
+        "events": events,
+        "parity_mismatches": 0,
+        "journal": journal_stats,
+        "append_overhead_fraction": overhead,
+        "recovery": {
+            "seconds": recovery_seconds,
+            "replayed_records": recovery["replayed_records"],
+            "committed_requests": recovery["committed_requests"],
+            "spawned_workers": recovery["spawned_workers"],
+        },
+        "timing": {
+            "epoch_wall_seconds": epoch_wall,
+            "journal_wall_seconds": journal_stats["wall_seconds"],
+            "recovery_seconds": recovery_seconds,
+        },
+    }

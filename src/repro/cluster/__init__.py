@@ -31,6 +31,12 @@ backfilled by a buddy and respawned from a live snapshot
 deterministically).  Adjacent queued churn requests coalesce into one
 epoch sequence (``coalesce_max``).
 
+With ``ClusterSpec.journal`` set, the coordinator write-ahead-journals
+every fold seam (:mod:`repro.journal`): a coordinator killed mid-run
+restarts at the last commit boundary with a byte-identical trail, and
+:class:`~repro.cluster.rolling.RollingReplacer` recycles live workers
+one per step through the same bootstrap path.
+
 Run ``python -m repro.cluster`` for the cluster CLI (drives a churn
 workload through N workers with an optional mid-run reshard and checks
 parity against the unsharded reference).
@@ -62,7 +68,9 @@ from repro.cluster.requests import (
     ChurnRequest,
     Completion,
     QueryRequest,
+    SnapshotChunk,
 )
+from repro.cluster.rolling import RollingReplacer
 from repro.cluster.spec import ChaosSpec, ClusterSpec, PolicySpec
 
 __all__ = [
@@ -87,7 +95,9 @@ __all__ = [
     "PriorityAdmission",
     "QueryRequest",
     "RejectAtDoor",
+    "RollingReplacer",
     "ShedError",
+    "SnapshotChunk",
     "StaticHash",
     "make_admission",
     "make_placement",

@@ -9,6 +9,8 @@ Usage::
     python -m repro.cluster --kill-worker 1 --kill-at-epoch 4
     python -m repro.cluster --transport inline --no-verify
     python -m repro.cluster --controller --placement hotsplit
+    python -m repro.cluster --journal cluster-journal --checkpoint-every 4
+    python -m repro.cluster --journal cluster-journal --rolling-replace
 
 Builds the multi-prefix serving scenario, stands up a
 :class:`~repro.cluster.cluster.Cluster` of process-isolated Monitor
@@ -24,6 +26,15 @@ folded evidence trail is checked byte-for-byte against a freshly
 driven unsharded Monitor (``--no-verify`` skips it) — so with a kill
 the gate is literally "the trail survives a worker death unchanged" —
 and ``--json`` writes the schema-versioned cluster metrics snapshot.
+
+With ``--journal DIR`` the coordinator write-ahead-journals every fold
+seam.  Re-running the *same* command after a crash (or a SIGKILL — the
+CI durability gate does exactly that) recovers to the last commit
+boundary, logs how many requests were already committed, re-drives only
+the remainder, and still checks byte-parity over the *whole* trail —
+replayed prefix included.  ``--rolling-replace`` drains and respawns
+one worker per served request until the whole fleet has been recycled,
+under the same parity gate.
 
 Exit status (the shared :mod:`repro.util.cli` contract): 0 on success,
 1 on any parity mismatch or failed online parity self-check, 2 on bad
@@ -103,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epoch-deadline", type=float, default=None,
                         metavar="S", help="declare a worker dead when "
                         "its slice misses this per-epoch deadline")
+    parser.add_argument("--journal", metavar="DIR", default=None,
+                        help="write-ahead journal directory: makes the "
+                        "coordinator durable, and re-running the same "
+                        "command recovers from it after a crash")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N", help="checkpoint + compact the "
+                        "journal every N committed requests "
+                        "(default: 0 = never)")
+    parser.add_argument("--rolling-replace", action="store_true",
+                        help="drain-and-respawn one worker per served "
+                        "request until the whole fleet is recycled")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the unsharded-reference parity check")
     parser.add_argument("--flight-dump", metavar="PATH", default=None,
@@ -167,6 +189,8 @@ def run(args) -> int:
         epoch_deadline=args.epoch_deadline,
         chaos=chaos,
         flight_dump=args.flight_dump,
+        journal=args.journal,
+        journal_checkpoint_every=args.checkpoint_every,
     )
     requests = churn_script(
         prefixes, rounds=args.churns, violation_every=args.violations
@@ -174,8 +198,49 @@ def run(args) -> int:
 
     cluster = spec.build()
     try:
+        skip = cluster.recovered_requests
+        if skip:
+            obs_log.emit(
+                "cluster",
+                f"recovered from journal at request boundary {skip} — "
+                f"skipping {min(skip, len(requests))} already-committed "
+                f"request(s)",
+                recovered_requests=skip,
+            )
+            if (
+                args.reshard_at is not None
+                and args.reshard_at <= skip
+                and cluster.workers < args.workers + args.grow
+            ):
+                # the reshard point fell inside the recovered prefix but
+                # the crash hit before the reshard itself was journaled:
+                # catch up now so the re-driven run matches the plan
+                record = cluster.reshard(workers=args.workers + args.grow)
+                obs_log.emit(
+                    "cluster",
+                    f"recovery caught up the pending reshard to "
+                    f"{cluster.workers} workers "
+                    f"({record['moved_pairs']} pairs moved)",
+                    workers=cluster.workers,
+                )
+        replacer = None
+        if args.rolling_replace:
+            from repro.cluster import RollingReplacer
+
+            replacer = RollingReplacer(cluster)
         for index, request in enumerate(requests):
+            if index < skip:
+                continue
             cluster.request(request)
+            if replacer is not None and not replacer.done():
+                replaced = replacer.step()
+                if replaced is not None:
+                    obs_log.emit(
+                        "cluster",
+                        f"rolling replacement recycled worker {replaced} "
+                        f"({replacer.pending} to go)",
+                        worker=replaced,
+                    )
             if args.reshard_at is not None and index + 1 == args.reshard_at:
                 record = cluster.reshard(
                     workers=cluster.workers + args.grow
@@ -207,6 +272,9 @@ def run(args) -> int:
                         f"{record['moved_pairs']} pairs moved",
                         moved_pairs=record["moved_pairs"],
                     )
+        if replacer is not None and not replacer.done():
+            # short scripts can end before the walk does: finish it
+            replacer.run()
         if args.flight_dump and not cluster.recorder.dumped:
             cluster.recorder.dump(args.flight_dump, "end of run")
         snapshot = cluster.snapshot()
@@ -286,6 +354,38 @@ def run(args) -> int:
               f"{chaos.worker} at epoch {chaos.epoch} never fired",
               file=sys.stderr)
 
+    for recovery in snapshot["recoveries"]:
+        obs_log.emit(
+            "cluster",
+            f"journal recovery: replayed "
+            f"{recovery['replayed_records']} record(s) to epoch "
+            f"{recovery['epoch']} / request boundary "
+            f"{recovery['committed_requests']} "
+            f"({recovery['adopted_workers']} worker(s) adopted, "
+            f"{recovery['spawned_workers']} respawned cold)",
+            committed=recovery["committed_requests"],
+            adopted=recovery["adopted_workers"],
+        )
+    replacements = snapshot["replacements"]
+    if replacements:
+        obs_log.emit(
+            "cluster",
+            f"rolling replacement recycled {len(replacements)} "
+            f"worker(s): "
+            f"{[record['worker'] for record in replacements]}",
+            replaced=len(replacements),
+        )
+    journal_stats = snapshot.get("journal")
+    if journal_stats:
+        obs_log.emit(
+            "cluster",
+            f"journal: {journal_stats['appended']} record(s) appended "
+            f"across {journal_stats['segments']} segment(s), "
+            f"{journal_stats['fsyncs']} fsync(s)",
+            appended=journal_stats["appended"],
+            segments=journal_stats["segments"],
+        )
+
     parity = snapshot["parity"]
     obs_log.emit(
         "cluster",
@@ -302,6 +402,10 @@ def run(args) -> int:
         )
     if chaos is not None and not snapshot["respawns"]:
         status = EXIT_FAILURE
+    if args.rolling_replace and not replacements:
+        status = fail(
+            "cluster", "rolling replacement never recycled a worker"
+        )
     if args.no_verify:
         obs_log.emit("cluster", "reference parity check skipped (--no-verify)")
     elif mismatches:
@@ -331,6 +435,12 @@ def main(argv=None) -> int:
         )
     if args.grow < 1:
         return usage_error(f"--grow must be >= 1, got {args.grow}")
+    if args.checkpoint_every < 0:
+        return usage_error(
+            f"--checkpoint-every must be >= 0, got {args.checkpoint_every}"
+        )
+    if args.checkpoint_every and not args.journal:
+        return usage_error("--checkpoint-every requires --journal")
     if (args.kill_worker is None) != (args.kill_at_epoch is None):
         return usage_error(
             "--kill-worker and --kill-at-epoch must be given together"

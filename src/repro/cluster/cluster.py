@@ -36,12 +36,24 @@ The coordinator does five things, none of which is planning:
 * **resharding** — :meth:`Cluster.reshard` swaps the placement online;
   moved (AS, prefix) ownership migrates its commitment-cache entries.
 
+With ``spec.journal`` set the coordinator additionally keeps a
+write-ahead journal (:mod:`repro.journal`) of every fold seam — churn
+admissions, epoch plans, folded events with their mirror decisions,
+commits, adjudications, reshards — fsynced at each commit boundary, so
+a coordinator killed mid-run restarts at the last boundary with a
+byte-identical trail: the replacement ``Cluster`` replays the journal,
+re-adopts still-running workers that sit exactly at the boundary, and
+cold-spawns the rest from the checkpointed replica plus the journaled
+churn suffix.  :meth:`Cluster.replace_worker` reuses the same bootstrap
+path for planned (rolling) replacement of live workers.
+
 Queries and adjudication are answered from the folded central trail, so
 readers always see a consistent view between epochs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import time
 from collections import deque
@@ -56,7 +68,6 @@ from repro.audit.events import (
     SliceStats,
     reused_event,
 )
-from repro.audit.monitor import Monitor
 from repro.audit.store import EvidenceStore
 from repro.audit.wire import round_randomness
 from repro.pvr.engine import VerificationSession
@@ -64,6 +75,13 @@ from repro.pvr.engine import VerificationSession
 from repro.cluster.admission import ShedError
 from repro.cluster.fold import FoldError, SliceFold
 from repro.cluster.metrics import ClusterMetrics
+from repro.journal.journal import Journal, pack
+from repro.journal.recovery import (
+    genesis_fingerprint,
+    mirror_note,
+    policy_choosers,
+    recover_state,
+)
 from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import TraceContext
 from repro.cluster.placement import make_placement, moved_pairs
@@ -77,11 +95,12 @@ from repro.cluster.requests import (
     PlanHeader,
     QueryRequest,
     SliceChunk,
+    SnapshotChunk,
     answer_adjudicate,
     answer_query,
 )
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.worker import WorkerDied, WorkerState, worker_main
+from repro.cluster.worker import SHADOW, WorkerDied, WorkerState, worker_main
 
 __all__ = ["Cluster", "ClusterError", "EpochOutcome"]
 
@@ -205,26 +224,48 @@ class _ProcessWorker:
 class Cluster:
     """N process-isolated monitors behind one admission plane."""
 
-    def __init__(self, spec: ClusterSpec) -> None:
+    def __init__(self, spec: ClusterSpec, *, adopt_workers=None) -> None:
         self.spec = spec
         self.placement = spec.resolved_placement()
         self.admission = spec.resolved_admission()
         self.keystore = spec.build_keystore()
-        #: the authoritative folded trail (workers' slices interleaved
-        #: in plan order and re-sequenced on absorption)
-        self.evidence = EvidenceStore(
-            self.keystore, max_events=spec.max_events
-        )
-        #: accountability ledger over the folded trail (None when the
-        #: spec leaves it off).  Workers never run their own ledger —
-        #: the coordinator settles it at each epoch boundary and ships
-        #: the trust snapshot with the epoch command, so every worker
-        #: plans against identical trust state.
-        self.ledger = None
-        if spec.ledger is not None:
-            from repro.ledger import TrustLedger
+        #: the coordinator's write-ahead log (:mod:`repro.journal`);
+        #: ``None`` unless the spec names a journal directory
+        self.journal = None
+        recovered = None
+        if spec.journal:
+            self.journal = Journal(
+                spec.journal,
+                fsync_batch=spec.journal_fsync_batch,
+                segment_max_records=spec.journal_segment_records,
+            )
+            recovered = recover_state(
+                spec, self.journal, keystore=self.keystore
+            )
+        if recovered is not None:
+            #: the authoritative folded trail, replayed seq for seq
+            #: from the journal up to the last commit boundary
+            self.evidence = recovered.store
+            self.ledger = recovered.ledger
+        else:
+            #: the authoritative folded trail (workers' slices
+            #: interleaved in plan order and re-sequenced on absorption)
+            self.evidence = EvidenceStore(
+                self.keystore, max_events=spec.max_events
+            )
+            #: accountability ledger over the folded trail (None when
+            #: the spec leaves it off).  Workers never run their own
+            #: ledger — the coordinator settles it at each epoch
+            #: boundary and ships the trust snapshot with the epoch
+            #: command, so every worker plans against identical trust
+            #: state.
+            self.ledger = None
+            if spec.ledger is not None:
+                from repro.ledger import TrustLedger
 
-            self.ledger = TrustLedger(spec.ledger).attach(self.evidence)
+                self.ledger = TrustLedger(spec.ledger).attach(
+                    self.evidence
+                )
         #: the self-regulating control plane (None when the spec leaves
         #: it off): fed from epoch outcomes, heartbeat backlogs and
         #: queue depth, ticked after every ``pump()`` — see
@@ -256,7 +297,7 @@ class Cluster:
         self._invalidations: List[tuple] = []
         self._seen_pairs: set = set()
         self._load_at_rebalance: Dict[int, int] = {}
-        self._choosers = self._policy_choosers(spec)
+        self._choosers = policy_choosers(spec)
         #: worker index -> death reason, between detection and respawn
         self._dead: Dict[int, str] = {}
         #: the coordinator's commitment-cache mirror: cache key ->
@@ -266,9 +307,27 @@ class Cluster:
         #: re-emits reused events for a dead owner's positions and
         #: seeds a respawned worker's real entries.
         self._cache_mirror: Dict[tuple, tuple] = {}
-        self._workers = [
-            self._spawn(index) for index in range(self.placement.shards)
-        ]
+        #: mutating (churn/adjudicate) requests committed so far —
+        #: journaled at each commit boundary so a recovered run knows
+        #: how much of its script already happened
+        self._committed = 0
+        self._commits_since_checkpoint = 0
+        #: how many committed requests a recovery replayed (0 on a
+        #: fresh start) — the CLI skips this many script entries
+        self.recovered_requests = 0
+        if recovered is not None:
+            self._workers = []
+            self._finish_recovery(recovered, adopt_workers)
+        else:
+            self._workers = [
+                self._spawn(index)
+                for index in range(self.placement.shards)
+            ]
+            if self.journal is not None:
+                genesis = genesis_fingerprint(spec)
+                genesis["placement"] = self.placement.describe()
+                self.journal.append("genesis", genesis)
+                self.journal.sync()
         self._stopped = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -297,9 +356,281 @@ class Cluster:
         live = self._live_indices()
         if not live:
             raise ClusterError("no live worker left to donate a snapshot")
-        snapshot = self._request(live[0], ("snapshot",))
+        snapshot = self._pull_snapshot(live[0])
         self._churn_log.clear()
         return snapshot
+
+    def _pull_snapshot(self, index: int) -> Dict[str, object]:
+        """Collect one worker's *streamed* bootstrap snapshot: the
+        donor frames its pickled replica into
+        :class:`~repro.cluster.requests.SnapshotChunk` pieces of
+        ``spec.snapshot_chunk_bytes`` each, and the final reply carries
+        the planning state plus a digest verified after reassembly."""
+        span = self.tracer.begin(
+            "snapshot", component="cluster", worker=index
+        )
+        try:
+            worker = self._workers[index]
+            worker.post(("snapshot",))
+            chunks: List[SnapshotChunk] = []
+            if self._context is None:
+                for status, frame in worker.take_stream():
+                    if status == "stream" and isinstance(
+                        frame, SnapshotChunk
+                    ):
+                        chunks.append(frame)
+                reply = worker.wait()
+            else:
+                while True:
+                    try:
+                        status, payload = worker.conn.recv()
+                    except EOFError:
+                        raise ClusterError(
+                            f"worker {index} died mid-snapshot"
+                        ) from None
+                    if status == "stream":
+                        if isinstance(payload, SnapshotChunk):
+                            chunks.append(payload)
+                        continue  # stray frames from a superseded epoch
+                    if status == "error":
+                        raise ClusterError(
+                            f"snapshot command failed:\n{payload}"
+                        )
+                    reply = payload
+                    break
+            blob = b"".join(
+                chunk.data
+                for chunk in sorted(chunks, key=lambda c: c.index)
+            )
+            if (
+                len(chunks) != reply["chunks"]
+                or len(blob) != reply["size"]
+                or hashlib.sha256(blob).hexdigest() != reply["digest"]
+            ):
+                raise ClusterError(
+                    f"snapshot reassembly from worker {index} failed: "
+                    f"{len(chunks)}/{reply['chunks']} chunks, "
+                    f"{len(blob)}/{reply['size']} bytes"
+                )
+            span.attrs["chunks"] = len(chunks)
+            span.attrs["bytes"] = len(blob)
+        finally:
+            self.tracer.finish(span)
+        return {"network": blob, "planning": reply["planning"]}
+
+    # -- durability (the write-ahead journal) --------------------------------
+
+    def _journal(self, rtype: str, **data) -> None:
+        """Append one journal record when durability is enabled."""
+        if self.journal is not None:
+            self.journal.append(rtype, data)
+
+    def _commit(self, requests: int) -> None:
+        """Mark a commit boundary: ``requests`` mutating requests are
+        now fully served.  With a journal this is the durable cut
+        recovery rolls forward to — the commit record fsyncs, and
+        every ``spec.journal_checkpoint_every`` commits the full
+        coordinator state checkpoints (compacting the journal *and*
+        the churn log)."""
+        self._committed += requests
+        if self.journal is None:
+            return
+        self.journal.append("commit", {"requests": requests})
+        self.journal.sync()
+        self._commits_since_checkpoint += 1
+        every = self.spec.journal_checkpoint_every
+        if every > 0 and self._commits_since_checkpoint >= every:
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        """Capture the full coordinator state into the journal and
+        compact: replay restarts from here.  The donor replica pickled
+        into the checkpoint bakes in every churn step so far, so the
+        coordinator's churn log truncates along with the journal's
+        segments — both replay suffixes stay bounded by the checkpoint
+        interval, not the cluster's lifetime."""
+        live = self._live_indices()
+        if not live:
+            raise ClusterError("no live worker left to checkpoint from")
+        with self.tracer.span("checkpoint", component="cluster") as span:
+            snapshot = self._pull_snapshot(live[0])
+            self._churn_log.clear()
+            epoch, round_counter, _shadows = snapshot["planning"]
+            state = {
+                "store": self.evidence.checkpoint_state(),
+                "mirror": dict(self._cache_mirror),
+                "seen": set(self._seen_pairs),
+                "invalidations": list(self._invalidations),
+                "epoch": epoch,
+                "round": round_counter,
+                "placement": self.placement,
+                "ledger": self.ledger,
+                "network": snapshot["network"],
+                "committed": self._committed,
+            }
+            self.journal.checkpoint(pack(state))
+            span.attrs["bytes"] = len(snapshot["network"])
+        self._commits_since_checkpoint = 0
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _finish_recovery(self, recovered, adopt_workers) -> None:
+        """Rebuild the worker fleet at the recovered boundary.
+
+        Still-running workers offered for adoption (``adopt_workers``,
+        index-aligned) are kept when their described planning state
+        sits *exactly* at the boundary; everything else — including any
+        worker that drifted into the truncated suffix before the crash
+        — is killed and cold-spawned from the checkpointed replica (or
+        the spec's factory before any checkpoint) plus the journaled
+        churn suffix, with planning state and shadow caches derived
+        from the replayed cache mirror.  Cold spawns then get their
+        owned *real* cache entries installed from the mirror, exactly
+        like a failure respawn, so post-recovery reuse decisions match
+        the uncrashed run's."""
+        if recovered.placement is not None:
+            self.placement = recovered.placement
+        self._cache_mirror = dict(recovered.mirror)
+        self._seen_pairs = set(recovered.seen_pairs)
+        self._invalidations = list(recovered.invalidations)
+        self._churn_log = [tuple(s) for s in recovered.churn_suffix]
+        self._committed = recovered.committed_requests
+        self.recovered_requests = recovered.committed_requests
+        # a journal that never got past genesis recovers to the empty
+        # cluster: spawn pristine workers (their policy-registration
+        # dirty marks must survive for the first epoch) instead of
+        # adopting an all-zero planning snapshot that would clear them
+        pristine = (
+            recovered.epoch == 0
+            and recovered.round_counter == 0
+            and not recovered.mirror
+            and recovered.network is None
+        )
+        snapshot = None
+        if not pristine:
+            shadows = {
+                key: (entry[0], SHADOW)
+                for key, entry in self._cache_mirror.items()
+            }
+            snapshot = {
+                "network": recovered.network,
+                "planning": (
+                    recovered.epoch,
+                    recovered.round_counter,
+                    shadows,
+                ),
+            }
+        candidates = list(adopt_workers or [])
+        adopted: List[int] = []
+        cold: List[int] = []
+        for index in range(self.placement.shards):
+            handle = (
+                candidates[index] if index < len(candidates) else None
+            )
+            if handle is not None:
+                if self._try_adopt(index, handle, recovered):
+                    self._workers.append(handle)
+                    adopted.append(index)
+                    continue
+                handle.kill()
+            self._workers.append(self._spawn(index, snapshot))
+            cold.append(index)
+        for handle in candidates[self.placement.shards:]:
+            handle.kill()
+        installed = 0
+        for index in cold:
+            owned = {
+                key: entry
+                for key, entry in self._cache_mirror.items()
+                if self.placement.owner(key[0], key[1]) == index
+            }
+            if owned:
+                self._request(index, ("install", owned))
+                installed += len(owned)
+        self.metrics.note_recovery(
+            records=recovered.replayed_records,
+            truncated=recovered.truncated_records,
+            committed=recovered.committed_requests,
+            epoch=recovered.epoch,
+            adopted=len(adopted),
+            spawned=len(cold),
+        )
+        self.tracer.event(
+            "recover", component="cluster",
+            records=recovered.replayed_records,
+            truncated=recovered.truncated_records,
+            epoch=recovered.epoch, round=recovered.round_counter,
+            adopted=len(adopted), spawned=len(cold),
+            installed=installed,
+        )
+
+    def _try_adopt(self, index: int, handle, recovered) -> bool:
+        """Probe a still-running worker: adopt it only when its
+        described planning state sits exactly at the recovered
+        boundary (same epoch, same round counter, same placement, no
+        pending churn) — anything else means it drifted into the
+        truncated suffix and must be cold-respawned."""
+        if getattr(handle, "dead", False):
+            return False
+        try:
+            handle.post(("describe",))
+            described = handle.wait()
+        except (ClusterError, OSError, BrokenPipeError):
+            return False
+        if (
+            not described["dirty"]
+            and described["epoch"] == recovered.epoch
+            and described["round"] == recovered.round_counter
+            and described["placement"] == self.placement.describe()
+        ):
+            self.tracer.event(
+                "adopt", component="cluster", worker=index,
+                epoch=described["epoch"], round=described["round"],
+            )
+            return True
+        return False
+
+    # -- rolling replacement -------------------------------------------------
+
+    def replace_worker(self, index: int) -> Dict[str, int]:
+        """Drain-and-respawn one *live* worker through the bootstrap
+        path — the rolling-replacement primitive (process hygiene,
+        leak flushing, binary upgrades).  The retiring worker itself
+        donates the snapshot, so its replica and planning state carry
+        over exactly; the replacement then gets its owned real cache
+        entries re-installed from the mirror, and the folded trail is
+        byte-identical to a run that never replaced anything."""
+        if self._pending:
+            self.pump()  # replace only between requests
+        if not 0 <= index < len(self._workers) or index in self._dead:
+            raise ClusterError(
+                f"worker {index} is not live; replacement needs a "
+                f"running donor"
+            )
+        with self.tracer.span(
+            "replace", component="cluster", worker=index
+        ) as span:
+            snapshot = self._pull_snapshot(index)
+            self._churn_log.clear()
+            old = self._workers[index]
+            try:
+                old.post(("stop",))
+                old.wait()
+            except (ClusterError, OSError):
+                pass
+            old.shutdown()
+            self._workers[index] = self._spawn(index, snapshot)
+            owned = {
+                key: entry
+                for key, entry in self._cache_mirror.items()
+                if self.placement.owner(key[0], key[1]) == index
+            }
+            if owned:
+                self._request(index, ("install", owned))
+            span.attrs["installed"] = len(owned)
+        self._journal("replace", worker=index)
+        self.metrics.note_replacement(worker=index, installed=len(owned))
+        return {"worker": index, "installed": len(owned)}
 
     def _live_indices(self) -> List[int]:
         return [
@@ -325,6 +656,8 @@ class Cluster:
                 pass
         for worker in self._workers:
             worker.shutdown()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Cluster":
         return self
@@ -470,6 +803,14 @@ class Cluster:
                 payload = answer_adjudicate(self.evidence, ticket.request)
                 if self.ledger is not None:
                     self.ledger.fold_adjudications(payload)
+                self._committed += 1
+                if self.journal is not None:
+                    # a boundary record of its own: rulings and ledger
+                    # slashing re-derive deterministically from the seq
+                    self.journal.append(
+                        "adjudicate", {"seq": ticket.request.seq}
+                    )
+                    self.journal.sync()
             else:
                 raise TypeError(
                     f"unknown request type {type(ticket.request).__name__}"
@@ -538,6 +879,7 @@ class Cluster:
             # one churn-log entry for the whole group: a bootstrap
             # replay applies it exactly as the workers did
             self._churn_log.append(steps)
+            self._journal("churn", steps=pack(steps))
         replies = self._broadcast_churn(("churn", steps, marks))
         pending = any(reply for reply in replies if reply)
         outcome = EpochOutcome(coalesced=len(requests))
@@ -560,11 +902,12 @@ class Cluster:
                     raise ClusterError(
                         f"worker {owner} returned no probe event"
                     )
-                outcome.probe_events.append(
-                    self.evidence.absorb([event])[0]
-                )
+                stored = self.evidence.absorb([event])[0]
+                outcome.probe_events.append(stored)
+                self._journal("event", e=pack(stored), probe=True)
         if outcome.probe_events:
             self.metrics.note_probes(outcome.probe_events)
+        self._commit(len(requests))
         return outcome
 
     def _broadcast_churn(self, command: Tuple) -> List[object]:
@@ -625,6 +968,7 @@ class Cluster:
         report, slices, _pending = self._run_epoch()
         outcome = EpochOutcome(reports=[report], slices=slices)
         outcome.respawns = self._respawn_dead()
+        self._commit(0)
         return outcome
 
     # -- the streaming epoch fold --------------------------------------------
@@ -680,6 +1024,12 @@ class Cluster:
                 headers[index] = frame
                 if epoch_span.epoch is None:
                     epoch_span.epoch = frame.epoch
+                    # one plan record per epoch, at the first header:
+                    # replay settles the ledger and resets the pending
+                    # invalidations here, mirroring the live order
+                    self._journal(
+                        "plan", epoch=frame.epoch, entries=frame.entries
+                    )
                 slice_spans[index] = self.tracer.begin(
                     "slice", component="cluster", epoch=frame.epoch,
                     worker=index, detached=True, entries=frame.entries,
@@ -797,7 +1147,7 @@ class Cluster:
         if not fold.complete():
             raise ClusterError(
                 f"epoch {epoch}: fold incomplete after backfill "
-                f"({fold.released} of {entries} released)"
+                f"({fold.progress()})"
             )
         # the coordinator derives next-epoch invalidations from the
         # folded trail itself — a violation streamed by a worker that
@@ -996,31 +1346,19 @@ class Cluster:
             for item in ready:
                 stored = self.evidence.absorb([item])[0]
                 absorbed.append(stored)
-                self._note_mirror(stored)
+                op = self._note_mirror(stored)
+                self._journal("event", e=pack(stored), m=op)
 
-    def _note_mirror(self, event) -> None:
+    def _note_mirror(self, event) -> Optional[str]:
         """Maintain the commitment-cache mirror exactly as each owner
         maintains its cache: a fresh ok verdict caches, a fresh
         violation evicts (never served from cache), a reused event
-        leaves the entry untouched."""
-        if event.reused:
-            return
-        key = (event.asn, event.prefix, event.policy, event.spec.recipients)
-        if event.ok():
-            fingerprint = (
-                (
-                    event.spec,
-                    tuple(
-                        sorted(
-                            event.routes.items(), key=lambda kv: kv[0]
-                        )
-                    ),
-                ),
-                self._choosers.get(event.policy),
-            )
-            self._cache_mirror[key] = (fingerprint, event)
-        else:
-            self._cache_mirror.pop(key, None)
+        leaves the entry untouched.  Returns the decision
+        (``"set"``/``"pop"``/``None``) — journaled with the event so
+        replay can cross-check its own mirror against the live run's
+        (see :func:`repro.journal.recovery.mirror_note`, the one shared
+        implementation)."""
+        return mirror_note(self._cache_mirror, event, self._choosers)
 
     def _backfill(
         self,
@@ -1162,6 +1500,13 @@ class Cluster:
             migrated_entries=migrated,
             placement=new.describe(),
         )
+        if self.journal is not None:
+            # a boundary: a recovery lands here with the new placement
+            self.journal.append(
+                "reshard",
+                {"placement": pack(new), "workers": new.shards},
+            )
+            self.journal.sync()
         return self.metrics.reshards[-1]
 
     def rebalance(self) -> Optional[dict]:
@@ -1189,20 +1534,6 @@ class Cluster:
         return self.reshard(new)
 
     # -- parity and views ----------------------------------------------------
-
-    @staticmethod
-    def _policy_choosers(spec: ClusterSpec) -> Dict[str, object]:
-        """Policy name -> chooser ref, mirroring the workers' monitor
-        registration (auto-names included) so the coordinator can replay
-        cross-check rounds for the parity self-check and reconstruct
-        cache fingerprints for the mirror."""
-        mapping: Dict[str, object] = {}
-        for counter, policy in enumerate(spec.policies):
-            name = policy.options.get("name") or (
-                f"{policy.asn}/{Monitor._describe(policy.spec)}#{counter}"
-            )
-            mapping[name] = policy.options.get("chooser")
-        return mapping
 
     def _parity_check(self, events: Sequence[object]) -> None:
         """Re-prove a sample of fresh verdicts in the coordinator and
@@ -1283,4 +1614,6 @@ class Cluster:
         )
         if self.ledger is not None:
             document["ledger"] = self.ledger.snapshot()
+        if self.journal is not None:
+            document["journal"] = self.journal.stats()
         return document

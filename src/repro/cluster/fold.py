@@ -103,3 +103,19 @@ class SliceFold:
             and self._next == self._entries
             and not self._buffer
         )
+
+    def progress(self) -> Dict[str, object]:
+        """A diagnostic summary for fold-failure error messages and the
+        flight recorder: how far the fold got and where it stalled."""
+        return {
+            "entries": self._entries,
+            "received": len(self._claimed),
+            "released": self._next,
+            "buffered": sorted(self._buffer),
+            "stalled_at": (
+                self._next
+                if self._entries is not None
+                and self._next < self._entries
+                else None
+            ),
+        }

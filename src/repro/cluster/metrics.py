@@ -32,15 +32,19 @@ __all__ = [
 ]
 
 SCHEMA = "repro.cluster/metrics"
-#: version 3 moved onto the unified envelope (``repro.control``): the
-#: ``requests`` records gained ``dropped``/``throughput_rps``/
-#: ``queue_delay``/``service_time``, ``epochs`` gained per-epoch
-#: ``wall`` and ``coalesced_batches`` stats, ``placement`` gained the
-#: canonical ``load`` map (``events_per_worker`` stays as a deprecated
-#: alias), and a ``control`` section carries the controller snapshot
-#: when the control plane is enabled.  Version 2 added the per-worker
+#: version 4 added the durability records: ``replacements`` (rolling
+#: worker replacement) and ``recoveries`` (journal replay on restart)
+#: in the extra section, plus the Cluster-level ``journal`` section
+#: when a write-ahead journal is configured.  Version 3 moved onto the
+#: unified envelope (``repro.control``): the ``requests`` records
+#: gained ``dropped``/``throughput_rps``/``queue_delay``/
+#: ``service_time``, ``epochs`` gained per-epoch ``wall`` and
+#: ``coalesced_batches`` stats, ``placement`` gained the canonical
+#: ``load`` map (``events_per_worker`` stays as a deprecated alias),
+#: and a ``control`` section carries the controller snapshot when the
+#: control plane is enabled.  Version 2 added the per-worker
 #: ``workers`` section and ``respawns``.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # kept importable under the old private name for callers that reached in
 _TypeMetrics = TypeMetrics
@@ -77,6 +81,10 @@ class ClusterMetrics:
         self.backfilled: Dict[int, int] = {}
         # failure tolerance
         self.respawns: List[Dict[str, object]] = []
+        # durability: planned drain-and-respawn of live workers, and
+        # journal replays a restarted coordinator ran
+        self.replacements: List[Dict[str, object]] = []
+        self.recoveries: List[Dict[str, object]] = []
         # verdict-parity self-checks (CI gates on failed == 0)
         self.parity_checked = 0
         self.parity_failed = 0
@@ -147,6 +155,31 @@ class ClusterMetrics:
             "worker": worker,
             "reason": reason,
             "installed_cache_entries": installed,
+        })
+
+    def note_replacement(self, *, worker: int, installed: int) -> None:
+        self.replacements.append({
+            "worker": worker,
+            "installed_cache_entries": installed,
+        })
+
+    def note_recovery(
+        self,
+        *,
+        records: int,
+        truncated: int,
+        committed: int,
+        epoch: int,
+        adopted: int,
+        spawned: int,
+    ) -> None:
+        self.recoveries.append({
+            "replayed_records": records,
+            "truncated_records": truncated,
+            "committed_requests": committed,
+            "epoch": epoch,
+            "adopted_workers": adopted,
+            "spawned_workers": spawned,
         })
 
     def note_probes(self, events) -> None:
@@ -238,5 +271,7 @@ class ClusterMetrics:
                     for worker, series in sorted(self.slice_latency.items())
                 },
                 "respawns": list(self.respawns),
+                "replacements": list(self.replacements),
+                "recoveries": list(self.recoveries),
             },
         )

@@ -34,6 +34,7 @@ __all__ = [
     "PlanHeader",
     "QueryRequest",
     "SliceChunk",
+    "SnapshotChunk",
     "answer_query",
     "answer_adjudicate",
 ]
@@ -194,6 +195,21 @@ class EpochSummary:
     #: the worker's drained trace records for the epoch (plain dicts;
     #: the coordinator adopts them into its own trace in plan order)
     spans: Tuple = ()
+
+
+@dataclass(frozen=True)
+class SnapshotChunk:
+    """One streamed piece of a bootstrap snapshot.  The donor worker
+    frames its pickled replica into ``ClusterSpec.snapshot_chunk_bytes``
+    pieces (``index`` of ``total``) so a grow/respawn no longer ships
+    the table in one message; the final ``("ok", ...)`` reply carries
+    the planning state plus a digest the coordinator verifies after
+    reassembly."""
+
+    worker: int
+    index: int
+    total: int
+    data: bytes
 
 
 @dataclass(frozen=True)

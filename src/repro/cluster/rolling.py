@@ -1,0 +1,81 @@
+"""Rolling worker replacement: drain-and-respawn, one worker per step.
+
+Long-lived clusters eventually want every worker process recycled —
+leak hygiene, kernel upgrades, a new binary — without taking the
+service down or perturbing the evidence trail.  :class:`RollingReplacer`
+walks the fleet one worker per step (intended cadence: one per served
+request/epoch), calling
+:meth:`~repro.cluster.cluster.Cluster.replace_worker` which drains the
+worker through the shared bootstrap path (it donates its own streamed
+snapshot, so replica and planning state carry over exactly) and
+re-installs its owned cache entries from the coordinator's mirror —
+the trail stays byte-identical to a run that never replaced anything.
+
+The walk respects the failure budget: a step taken right after an
+*unplanned* respawn (a real worker death consumed
+``spec.max_failures_per_epoch`` headroom) is deferred, so planned
+replacement never stacks on top of live failure recovery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+__all__ = ["RollingReplacer"]
+
+
+class RollingReplacer:
+    """Replace every worker of ``cluster``, one :meth:`step` at a time.
+
+    ``workers`` narrows the walk to specific indices (default: the
+    whole fleet at construction time, in index order).  ``replaced``
+    records the completed replacements; ``deferred`` counts steps that
+    yielded to unplanned failure recovery.
+    """
+
+    def __init__(
+        self, cluster, *, workers: Optional[Sequence[int]] = None
+    ) -> None:
+        self.cluster = cluster
+        self.queue: Deque[int] = deque(
+            sorted(workers) if workers is not None
+            else range(cluster.workers)
+        )
+        self.replaced: List[int] = []
+        self.deferred = 0
+        self._respawns_seen = len(cluster.metrics.respawns)
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def done(self) -> bool:
+        return not self.queue
+
+    def step(self) -> Optional[int]:
+        """Replace the next queued worker; returns its index, or
+        ``None`` when the walk is done or this step deferred to an
+        unplanned respawn that just consumed the failure budget."""
+        if not self.queue:
+            return None
+        respawns = len(self.cluster.metrics.respawns)
+        if respawns > self._respawns_seen:
+            self._respawns_seen = respawns
+            self.deferred += 1
+            return None
+        index = self.queue.popleft()
+        self.cluster.replace_worker(index)
+        self.replaced.append(index)
+        return index
+
+    def run(self) -> List[int]:
+        """Drive :meth:`step` until the walk completes (deferred steps
+        retry immediately — outside a request loop there is no epoch
+        cadence to wait for)."""
+        while self.queue:
+            if self.step() is None and self.queue:
+                # the deferral consumed the observed-respawn delta;
+                # the next step proceeds
+                continue
+        return list(self.replaced)

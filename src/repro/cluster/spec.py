@@ -162,6 +162,23 @@ class ClusterSpec:
     #: reap, a parity failure or a :class:`ClusterError` (``None`` =
     #: record but never dump)
     flight_dump: Optional[str] = None
+    #: directory of the coordinator's write-ahead journal
+    #: (:mod:`repro.journal`): ``None`` disables durability; a path
+    #: makes every fold seam durable and lets a restarted coordinator
+    #: ``recover()`` to the last commit boundary
+    journal: Optional[str] = None
+    #: journal appends between forced fsyncs (commit boundaries always
+    #: fsync regardless)
+    journal_fsync_batch: int = 64
+    #: records per journal segment before rotation
+    journal_segment_records: int = 4096
+    #: checkpoint (full state capture + segment compaction) every N
+    #: commits; 0 disables checkpointing
+    journal_checkpoint_every: int = 0
+    #: bytes per streamed bootstrap-snapshot chunk (the pipe frames a
+    #: grow/respawn donor replica ships in, replacing the old
+    #: one-message pickle)
+    snapshot_chunk_bytes: int = 262144
 
     def __post_init__(self) -> None:
         if self.transport not in ("process", "inline"):
@@ -185,6 +202,14 @@ class ClusterSpec:
             raise ValueError("coalesce_max must be >= 1")
         if self.stream_batch < 1:
             raise ValueError("stream_batch must be >= 1")
+        if self.journal_fsync_batch < 1:
+            raise ValueError("journal_fsync_batch must be >= 1")
+        if self.journal_segment_records < 2:
+            raise ValueError("journal_segment_records must be >= 2")
+        if self.journal_checkpoint_every < 0:
+            raise ValueError("journal_checkpoint_every must be >= 0")
+        if self.snapshot_chunk_bytes < 1:
+            raise ValueError("snapshot_chunk_bytes must be >= 1")
         if (
             self.chaos is not None
             and self.chaos.mode == "hang"

@@ -42,6 +42,7 @@ incrementally and a mid-slice death loses only the unstreamed suffix.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import signal
@@ -63,6 +64,7 @@ from repro.cluster.requests import (
     Heartbeat,
     PlanHeader,
     SliceChunk,
+    SnapshotChunk,
 )
 
 __all__ = [
@@ -83,7 +85,10 @@ COMMANDS = (
     "backfill",     # (positions,) -> BackfillSlice for a dead worker
     "reshard",      # (placement,) -> exported cache entries
     "install",      # (entries,) -> count installed
-    "snapshot",     # () -> {"planning", "network"} for a bootstrap spawn
+    "snapshot",     # () -> streams SnapshotChunks, then {"planning",
+                    #       "chunks", "size", "digest"} for a bootstrap
+                    #       spawn (the coordinator reassembles)
+    "describe",     # () -> planning-state summary (recovery adoption)
     "events",       # () -> this worker's own evidence trail
     "counts",       # () -> crypto/transport counters
     "stop",         # () -> None (the worker exits)
@@ -376,8 +381,15 @@ class WorkerState:
             # snapshot-truncated fast-forward: adopt the donor's pickled
             # replica instead of rebuilding from the factory — any churn
             # before the snapshot is already baked into its RIBs, so
-            # only the (truncated) suffix needs replaying
-            network = pickle.loads(snapshot["network"])
+            # only the (truncated) suffix needs replaying.  A recovery
+            # spawn before any checkpoint captured a replica passes
+            # ``network=None``: rebuild from the factory and replay the
+            # full journaled churn suffix instead.
+            network = (
+                pickle.loads(snapshot["network"])
+                if snapshot["network"] is not None
+                else spec.network()
+            )
             planning = snapshot["planning"]
         else:
             network = spec.network()
@@ -570,9 +582,46 @@ class WorkerState:
         return self.monitor.install(entries)
 
     def _do_snapshot(self):
+        """The streamed bootstrap donor: the pickled replica ships as
+        ``("stream", SnapshotChunk)`` frames of
+        ``spec.snapshot_chunk_bytes`` each, so a grow/respawn of a large
+        table never parks one giant message in the pipe; the final reply
+        carries the planning state and a digest the coordinator checks
+        after reassembly."""
+        planning = self.monitor.planning_snapshot()
+        blob = self._network_bytes()
+        size = max(1, getattr(self.spec, "snapshot_chunk_bytes", 262144))
+        total = max(1, -(-len(blob) // size))
+        for index in range(total):
+            self.emit(
+                (
+                    "stream",
+                    SnapshotChunk(
+                        worker=self.index,
+                        index=index,
+                        total=total,
+                        data=blob[index * size:(index + 1) * size],
+                    ),
+                )
+            )
         return {
-            "planning": self.monitor.planning_snapshot(),
-            "network": self._network_bytes(),
+            "planning": planning,
+            "chunks": total,
+            "size": len(blob),
+            "digest": hashlib.sha256(blob).hexdigest(),
+        }
+
+    def _do_describe(self):
+        """The recovery re-adoption probe: enough planning state for a
+        restarted coordinator to decide whether this still-running
+        worker sits exactly at the recovered boundary (adopt) or has
+        drifted past it (kill and cold-respawn)."""
+        return {
+            "epoch": self.monitor.epoch,
+            "round": self.monitor._round_counter,
+            "placement": self.monitor.placement.describe(),
+            "dirty": bool(self.monitor._dirty),
+            "cache": len(self.monitor._cache),
         }
 
     def _network_bytes(self) -> bytes:

@@ -1,7 +1,9 @@
 """``python -m repro.obs`` — render and compare trace dumps.
 
 Three subcommands over flight-recorder JSONL dumps (or any file of
-trace records, one JSON object per line):
+trace records, one JSON object per line).  ``DUMP`` may also be a
+flight-recorder *dump directory* — every ``*.jsonl`` inside is read in
+rotation (name) order:
 
 * ``timeline DUMP`` — per-epoch span timeline; open spans (a crash's
   in-flight work) are flagged.  ``--require-reaped W`` makes the exit
@@ -43,7 +45,8 @@ def _build_parser() -> argparse.ArgumentParser:
     timeline = sub.add_parser(
         "timeline", help="per-epoch span timeline of one dump"
     )
-    timeline.add_argument("dump", help="JSONL trace dump to render")
+    timeline.add_argument("dump", help="JSONL trace dump (or dump "
+                          "directory) to render")
     timeline.add_argument(
         "--require-reaped", type=int, metavar="WORKER", default=None,
         help="exit 1 unless the dump holds this worker's last open "

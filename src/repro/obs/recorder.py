@@ -13,23 +13,35 @@ The dump is one JSON object per line:
 
 ``dumped`` records whether any trigger fired, so a CLI's end-of-run
 courtesy dump does not overwrite a crash dump.
+
+``dump`` also accepts a *directory* (an existing one, or a path with a
+trailing separator): each dump then lands as a counter-named
+``dump-NNNNNN.jsonl`` inside it and the directory is bounded — past
+``max_dumps`` files the oldest are evicted — so a long-lived host can
+dump on every incident without unbounded disk growth.  Render a whole
+directory at once with ``python -m repro.obs timeline DIR``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 from collections import deque
 from typing import Dict, List
 
 __all__ = ["FlightRecorder"]
 
+_DUMP_NAME = re.compile(r"^dump-(\d{6})\.jsonl$")
+
 
 class FlightRecorder:
     """A per-process ring buffer of the most recent closed records."""
 
-    def __init__(self, capacity: int = 512) -> None:
+    def __init__(self, capacity: int = 512, max_dumps: int = 16) -> None:
         self.ring: deque = deque(maxlen=capacity)
         self.contexts: List[object] = []
+        self.max_dumps = max_dumps
         #: (path, reason) per dump written, in order
         self.dumps: List[tuple] = []
 
@@ -53,9 +65,29 @@ class FlightRecorder:
             out.extend(context.open_records())
         return out
 
+    def _rotate_into(self, directory: str) -> str:
+        """Pick the next counter-named dump file in ``directory`` and
+        evict the oldest dumps past ``max_dumps``."""
+        os.makedirs(directory, exist_ok=True)
+        numbered = sorted(
+            (int(match.group(1)), name)
+            for name in os.listdir(directory)
+            for match in [_DUMP_NAME.match(name)]
+            if match
+        )
+        while self.max_dumps > 0 and len(numbered) >= self.max_dumps:
+            _, oldest = numbered.pop(0)
+            os.remove(os.path.join(directory, oldest))
+        counter = numbered[-1][0] + 1 if numbered else 1
+        return os.path.join(directory, f"dump-{counter:06d}.jsonl")
+
     def dump(self, path: str, reason: str) -> Dict[str, object]:
         """Write the ring plus open spans to ``path`` as JSONL and
-        return the header that was written."""
+        return the header that was written.  When ``path`` is a
+        directory (exists as one, or ends with a path separator) the
+        dump rotates into it as ``dump-NNNNNN.jsonl``."""
+        if path.endswith(os.sep) or os.path.isdir(path):
+            path = self._rotate_into(path)
         records = list(self.ring)
         open_spans = self.open_records()
         header = {

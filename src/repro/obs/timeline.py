@@ -10,6 +10,7 @@ spans (``epoch``, ``group``) frame the timeline; everything else is a
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = [
@@ -26,7 +27,15 @@ CONTAINER_NAMES = ("epoch", "group")
 
 def load_records(path: str) -> List[Dict[str, object]]:
     """Read a JSONL trace dump (``dump`` header lines are kept — the
-    renderer surfaces the dump reason)."""
+    renderer surfaces the dump reason).  A directory reads every
+    ``*.jsonl`` inside it, sorted by name — the rotation order of a
+    :class:`~repro.obs.recorder.FlightRecorder` dump directory."""
+    if os.path.isdir(path):
+        records: List[Dict[str, object]] = []
+        for name in sorted(os.listdir(path)):
+            if name.endswith(".jsonl"):
+                records.extend(load_records(os.path.join(path, name)))
+        return records
     records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:

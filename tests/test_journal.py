@@ -1,0 +1,633 @@
+"""Durability: the write-ahead journal, coordinator crash recovery,
+and rolling worker replacement.
+
+The invariant under test everywhere: a coordinator that dies at an
+arbitrary point — mid-epoch, mid-reshard, with a torn final journal
+line — restarts from the journal at the last commit boundary, re-drives
+only the uncommitted suffix of the script, and leaves an evidence trail
+**byte-identical** to a run that never crashed.  :mod:`repro.journal`
+unit tests pin the on-disk format (checksummed JSONL segments, torn-tail
+truncation, checkpoint compaction); Hypothesis drives arbitrary
+byte-level tears and arbitrary replay splits.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import RollingReplacer
+from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.spec import ChaosSpec
+from repro.cluster.workload import churn_script, trail_mismatches
+from repro.journal import (
+    BOUNDARY_TYPES,
+    Journal,
+    JournalError,
+    JournalReplayer,
+    pack,
+    unpack,
+)
+from repro.pvr.scenarios import serve_network
+
+from test_cluster import (
+    PREFIX_COUNT,
+    VARIANT_POLICIES,
+    make_spec,
+    reference_trail,
+    run_script,
+)
+
+
+def journal_spec(tmp_path, variant="minimum", **overrides):
+    options = dict(journal=str(tmp_path / "journal"))
+    options.update(overrides)
+    return make_spec(variant, **options)
+
+
+def script(rounds=5, violation_every=0):
+    _, prefixes = serve_network(PREFIX_COUNT)
+    return churn_script(
+        prefixes, rounds=rounds, violation_every=violation_every
+    )
+
+
+# -- the journal file format ---------------------------------------------------
+
+
+class TestJournal:
+    def test_records_survive_a_reopen(self, tmp_path):
+        directory = str(tmp_path / "j")
+        with Journal(directory) as journal:
+            for index in range(5):
+                journal.append("event", {"index": index})
+        reopened = Journal(directory)
+        assert reopened.records == [
+            (index + 1, "event", {"index": index}) for index in range(5)
+        ]
+        assert reopened.seq == 5
+        assert reopened.truncated_tail is False
+        reopened.close()
+
+    def test_segments_rotate_and_reload_in_order(self, tmp_path):
+        directory = str(tmp_path / "j")
+        with Journal(directory, segment_max_records=3) as journal:
+            for index in range(10):
+                journal.append("event", {"index": index})
+            assert journal.stats()["segments"] == 4
+        reopened = Journal(directory)
+        assert [data["index"] for _, _, data in reopened.records] == list(
+            range(10)
+        )
+        reopened.close()
+
+    def test_checkpoint_compacts_older_segments(self, tmp_path):
+        directory = str(tmp_path / "j")
+        journal = Journal(directory, segment_max_records=3)
+        for index in range(8):
+            journal.append("event", {"index": index})
+        journal.checkpoint(pack({"upto": 8}))
+        journal.append("event", {"index": 8})
+        # everything before the checkpoint is gone from disk and from
+        # the replay suffix
+        assert journal.records[0][1] == "checkpoint"
+        assert unpack(journal.records[0][2]) == {"upto": 8}
+        assert [r[1] for r in journal.records] == ["checkpoint", "event"]
+        assert journal.stats()["segments"] <= 2
+        reopened = Journal(directory)
+        assert [r[:2] for r in reopened.records] == [
+            r[:2] for r in journal.records
+        ]
+        journal.close()
+        reopened.close()
+
+    def test_truncate_drops_the_suffix_after_a_boundary(self, tmp_path):
+        directory = str(tmp_path / "j")
+        journal = Journal(directory)
+        for index in range(6):
+            journal.append("event", {"index": index})
+        dropped = journal.truncate(4)
+        assert dropped == 2
+        assert [data["index"] for _, _, data in journal.records] == [
+            0, 1, 2, 3,
+        ]
+        # appends continue from the truncated sequence
+        assert journal.append("event", {"index": "next"}) == 5
+        journal.close()
+
+    def test_torn_final_line_is_truncated_loudly(self, tmp_path):
+        directory = str(tmp_path / "j")
+        with Journal(directory) as journal:
+            for index in range(4):
+                journal.append("event", {"index": index})
+        path = os.path.join(directory, "segment-000001.jsonl")
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[:-7])
+        reopened = Journal(directory)
+        assert reopened.truncated_tail is True
+        assert [data["index"] for _, _, data in reopened.records] == [
+            0, 1, 2,
+        ]
+        # the tear was physically removed: appends land on a clean file
+        reopened.append("event", {"index": "after"})
+        reopened.close()
+        final = Journal(directory)
+        assert [data["index"] for _, _, data in final.records] == [
+            0, 1, 2, "after",
+        ]
+        assert final.truncated_tail is False
+        final.close()
+
+    def test_mid_file_corruption_is_an_error_not_a_truncation(
+        self, tmp_path
+    ):
+        directory = str(tmp_path / "j")
+        with Journal(directory) as journal:
+            for index in range(4):
+                journal.append("event", {"index": index})
+        path = os.path.join(directory, "segment-000001.jsonl")
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[1] = lines[1][: len(lines[1]) // 2] + "\n"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(JournalError):
+            Journal(directory)
+
+    def test_checksum_guards_the_payload(self, tmp_path):
+        directory = str(tmp_path / "j")
+        with Journal(directory) as journal:
+            journal.append("event", {"index": 0})
+            journal.append("event", {"index": 1})
+        path = os.path.join(directory, "segment-000001.jsonl")
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.replace('"index":0', '"index":9', 1))
+        with pytest.raises(JournalError):
+            Journal(directory)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Journal(str(tmp_path / "a"), fsync_batch=0)
+        with pytest.raises(ValueError):
+            Journal(str(tmp_path / "b"), segment_max_records=1)
+
+
+class TestTornTailProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(cut=st.integers(min_value=1, max_value=200))
+    def test_any_tail_tear_recovers_a_clean_prefix(self, tmp_path_factory,
+                                                   cut):
+        """Chop ``cut`` bytes off the end of the final segment: the
+        journal reopens to an exact prefix of the original records and
+        stays appendable."""
+        base = tmp_path_factory.mktemp("torn")
+        directory = str(base / "j")
+        with Journal(directory) as journal:
+            for index in range(12):
+                journal.append("event", {"index": index})
+            original = list(journal.records)
+        path = os.path.join(directory, "segment-000001.jsonl")
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        cut = min(cut, len(payload) - 1)
+        with open(path, "wb") as handle:
+            handle.write(payload[:-cut])
+        # exactly the records whose content bytes survived, in order —
+        # never a hole, never a corrupted parse (a cut of just the
+        # final newline loses nothing: the record itself is whole)
+        keep_bytes = len(payload) - cut
+        expected, offset = 0, 0
+        for line in payload.split(b"\n")[:-1]:
+            if offset + len(line) <= keep_bytes:
+                expected += 1
+            offset += len(line) + 1
+        reopened = Journal(directory)
+        kept = len(reopened.records)
+        assert kept == expected
+        assert reopened.records == original[:kept]
+        reopened.append("event", {"index": "again"})
+        reopened.close()
+        # the truncation is physical: a second open sees a clean file
+        again = Journal(directory)
+        assert again.truncated_tail is False
+        assert len(again.records) == kept + 1
+        again.close()
+        shutil.rmtree(directory)
+
+
+# -- crash recovery of the coordinator ----------------------------------------
+
+
+class SimulatedCrash(BaseException):
+    """Raised out of a journal append to model a coordinator dying with
+    the record already durably written (``BaseException`` so no service
+    code can swallow it)."""
+
+
+def crash_run(spec, requests, *, crash_after_events=2):
+    """Drive ``requests`` until the journal has absorbed
+    ``crash_after_events`` folded-event appends, then kill the
+    coordinator mid-epoch.  Returns the script index it died in, or
+    ``None`` if the script finished first (quiescent tails fold no
+    events).  The cluster object is abandoned exactly as a crash would
+    leave it — no ``stop()``, no journal close."""
+    cluster = spec.build()
+    original = cluster.journal.append
+    state = {"events": 0}
+
+    def crashing_append(rtype, data):
+        seq = original(rtype, data)
+        if rtype == "event":
+            state["events"] += 1
+            if state["events"] >= crash_after_events:
+                raise SimulatedCrash()
+        return seq
+
+    cluster.journal.append = crashing_append
+    for index, request in enumerate(requests):
+        try:
+            cluster.request(request)
+        except SimulatedCrash:
+            return index
+    raise AssertionError("the crash never fired — script too quiescent")
+
+
+def finish_recovered(cluster, requests):
+    """Re-drive the uncommitted suffix of ``requests`` on a recovered
+    cluster and hand back its evidence store."""
+    for request in requests[cluster.recovered_requests:]:
+        cluster.request(request)
+    return cluster.evidence
+
+
+class TestKillTheCoordinator:
+    """The acceptance criterion: a coordinator killed mid-epoch
+    restarts byte-identical, for all four protocol variants."""
+
+    @pytest.mark.parametrize("variant", sorted(VARIANT_POLICIES))
+    def test_crash_mid_epoch_stays_byte_identical(self, tmp_path, variant):
+        spec = journal_spec(tmp_path, variant)
+        requests = script(rounds=5, violation_every=3)
+        crashed_at = crash_run(spec, requests)
+        recovered = spec.build()
+        try:
+            assert recovered.recovered_requests == crashed_at
+            assert recovered.metrics.recoveries
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+            assert recovered.metrics.parity_failed == 0
+        finally:
+            recovered.stop()
+
+    def test_crash_after_a_mid_stream_reshard(self, tmp_path):
+        """The reshard record is a commit boundary: a crash in the
+        epoch after an online grow recovers the *grown* placement and
+        the migrated cache entries."""
+        spec = journal_spec(tmp_path, workers=2)
+        requests = script(rounds=6, violation_every=3)
+        cluster = spec.build()
+        original = cluster.journal.append
+        state = {"events": 0, "armed": False}
+
+        def crashing_append(rtype, data):
+            seq = original(rtype, data)
+            if state["armed"] and rtype == "event":
+                state["events"] += 1
+                if state["events"] >= 2:
+                    raise SimulatedCrash()
+            return seq
+
+        cluster.journal.append = crashing_append
+        crashed_at = None
+        for index, request in enumerate(requests):
+            try:
+                cluster.request(request)
+            except SimulatedCrash:
+                crashed_at = index
+                break
+            if index + 1 == 3:
+                cluster.reshard(workers=3)
+                state["armed"] = True
+        assert crashed_at is not None, "the post-reshard crash never fired"
+        recovered = spec.build()
+        try:
+            assert recovered.workers == 3
+            assert recovered.recovered_requests == crashed_at
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+        finally:
+            recovered.stop()
+
+    def test_chaos_worker_kill_after_recovery(self, tmp_path):
+        """Recovery composes with the failure-tolerance machinery: a
+        worker SIGKILL-equivalent *after* the restart still ends in a
+        byte-identical trail (buddy backfill + respawn on top of the
+        recovered state)."""
+        spec = journal_spec(tmp_path)
+        requests = script(rounds=6, violation_every=3)
+        crash_run(spec, requests)
+        probe = spec.build()
+        recovered_epoch = probe.metrics.recoveries[0]["epoch"]
+        probe.stop()
+        chaos_spec = journal_spec(
+            tmp_path,
+            chaos=ChaosSpec(worker=1, epoch=recovered_epoch + 2, after=1),
+        )
+        recovered = chaos_spec.build()
+        try:
+            evidence = finish_recovered(recovered, requests)
+            assert recovered.metrics.respawns, "the chaos kill never fired"
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+            assert recovered.metrics.parity_failed == 0
+        finally:
+            recovered.stop()
+
+    def test_process_transport_cold_recovery(self, tmp_path):
+        """A real multi-process fleet: SIGKILL every worker along with
+        the (simulated) coordinator death, restart, cold-respawn."""
+        spec = journal_spec(tmp_path, transport="process")
+        requests = script(rounds=4)
+        crashed_at = crash_run(spec, requests, crash_after_events=3)
+        recovered = spec.build()
+        try:
+            assert recovered.recovered_requests == crashed_at
+            record = recovered.metrics.recoveries[0]
+            assert record["spawned_workers"] == 3
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+        finally:
+            recovered.stop()
+
+    def test_torn_tail_crash_recovers_at_the_earlier_boundary(
+        self, tmp_path
+    ):
+        """A tear through the final journal line (the classic
+        power-loss artifact) truncates back to the last intact commit
+        boundary and the re-driven run is still byte-identical."""
+        spec = journal_spec(tmp_path)
+        requests = script(rounds=5)
+        crash_run(spec, requests)
+        directory = str(tmp_path / "journal")
+        segments = sorted(
+            name for name in os.listdir(directory)
+            if name.endswith(".jsonl")
+        )
+        path = os.path.join(directory, segments[-1])
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[:-9])
+        recovered = spec.build()
+        try:
+            assert recovered.journal.truncated_tail is True
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+        finally:
+            recovered.stop()
+
+    def test_restart_of_a_completed_run_is_a_no_op_replay(self, tmp_path):
+        """Recovery is idempotent: restarting over the journal of an
+        uncrashed run replays to the final boundary, serves nothing
+        new, and the trail is unchanged."""
+        spec = journal_spec(tmp_path)
+        requests = script(rounds=4)
+        cluster, evidence = run_script(spec, requests)
+        baseline = [e.seq for e in evidence.events()]
+        recovered = spec.build()
+        try:
+            assert recovered.recovered_requests == len(requests)
+            assert finish_recovered(recovered, requests) is recovered.evidence
+            assert [e.seq for e in recovered.evidence.events()] == baseline
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(recovered.evidence, reference) == []
+        finally:
+            recovered.stop()
+
+
+class TestCheckpointing:
+    def test_checkpoints_compact_and_clear_the_churn_log(self, tmp_path):
+        spec = journal_spec(
+            tmp_path,
+            journal_checkpoint_every=2,
+            journal_segment_records=32,
+        )
+        requests = script(rounds=6)
+        cluster = spec.build()
+        try:
+            for request in requests:
+                cluster.request(request)
+            stats = cluster.journal.stats()
+            # without compaction this run rotates through many
+            # 32-record segments; checkpoints keep the tail short
+            assert stats["segments"] <= 2
+            # the coordinator churn log is truncated at checkpoints —
+            # a snapshot already carries that history
+            assert cluster._churn_log == []
+            assert trail_mismatches(
+                cluster.evidence, reference_trail(spec, requests)
+            ) == []
+        finally:
+            cluster.stop()
+
+    def test_recovery_from_a_checkpointed_journal(self, tmp_path):
+        spec = journal_spec(tmp_path, journal_checkpoint_every=2)
+        requests = script(rounds=6, violation_every=3)
+        crashed_at = crash_run(spec, requests, crash_after_events=8)
+        recovered = spec.build()
+        try:
+            assert recovered.recovered_requests == crashed_at
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+        finally:
+            recovered.stop()
+
+
+class TestWorkerAdoption:
+    def test_still_running_workers_are_adopted_not_respawned(
+        self, tmp_path
+    ):
+        """A coordinator-only death: the worker fleet is still alive,
+        clean at the last boundary, and the restarted coordinator
+        re-adopts it wholesale instead of cold-spawning."""
+        spec = journal_spec(tmp_path)
+        requests = script(rounds=5)
+        abandoned = spec.build()
+        for request in requests[:3]:
+            abandoned.request(request)
+        abandoned.journal.close()
+        recovered = Cluster(spec, adopt_workers=abandoned._workers)
+        try:
+            record = recovered.metrics.recoveries[0]
+            assert record["adopted_workers"] == 3
+            assert record["spawned_workers"] == 0
+            assert recovered.recovered_requests == 3
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+        finally:
+            recovered.stop()
+
+    def test_dirty_workers_are_rejected_and_respawned(self, tmp_path):
+        """A fleet that saw churn past the recovered boundary fails the
+        adoption probe — recovery must not trust uncommitted state."""
+        spec = journal_spec(tmp_path)
+        requests = script(rounds=5)
+        abandoned = spec.build()
+        for request in requests[:3]:
+            abandoned.request(request)
+        # make the fleet dirty relative to the journal: a churn mark
+        # that was never folded into a commit
+        _, prefixes = serve_network(PREFIX_COUNT)
+        abandoned._broadcast(("churn", (), (("A", prefixes[0]),)))
+        abandoned.journal.close()
+        recovered = Cluster(spec, adopt_workers=abandoned._workers)
+        try:
+            record = recovered.metrics.recoveries[0]
+            assert record["adopted_workers"] == 0
+            assert record["spawned_workers"] == 3
+            evidence = finish_recovered(recovered, requests)
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(evidence, reference) == []
+        finally:
+            recovered.stop()
+
+
+# -- replay properties --------------------------------------------------------
+
+
+def journaled_records(tmp_path_factory):
+    base = tmp_path_factory.mktemp("replay")
+    spec = make_spec("minimum", journal=str(base / "journal"))
+    requests = script(rounds=4, violation_every=3)
+    cluster, _ = run_script(spec, requests)
+    journal = Journal(str(base / "journal"))
+    records = list(journal.records)
+    journal.close()
+    return spec, records
+
+
+class TestReplayProperties:
+    @pytest.fixture(scope="class")
+    def replay_input(self, tmp_path_factory):
+        return journaled_records(tmp_path_factory)
+
+    def test_the_journal_ends_on_a_commit_boundary(self, replay_input):
+        _, records = replay_input
+        assert records[-1][1] in BOUNDARY_TYPES
+        assert records[0][1] in ("genesis", "checkpoint")
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_replay_is_split_invariant(self, replay_input, data):
+        """Feeding the record stream in two arbitrary chunks reaches
+        the same state digest as feeding it whole — replay carries no
+        hidden cross-call state."""
+        spec, records = replay_input
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(records))
+        )
+        whole = JournalReplayer(spec)
+        for seq, rtype, payload in records:
+            whole.feed(seq, rtype, payload)
+        chunked = JournalReplayer(spec)
+        for seq, rtype, payload in records[:split]:
+            chunked.feed(seq, rtype, payload)
+        for seq, rtype, payload in records[split:]:
+            chunked.feed(seq, rtype, payload)
+        assert chunked.digest() == whole.digest()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_replay_is_prefix_closed(self, replay_input, data):
+        """Every prefix that ends on a commit boundary is itself a
+        valid recovery point: replaying it, then the remainder, equals
+        replaying everything (the torn-tail truncation rule is safe at
+        *any* boundary, not just the final one)."""
+        spec, records = replay_input
+        boundaries = [
+            index
+            for index, (_, rtype, _) in enumerate(records)
+            if rtype in BOUNDARY_TYPES
+        ]
+        pick = data.draw(
+            st.integers(min_value=0, max_value=len(boundaries) - 1)
+        )
+        cut = boundaries[pick] + 1
+        replayer = JournalReplayer(spec)
+        for seq, rtype, payload in records[:cut]:
+            replayer.feed(seq, rtype, payload)
+        for seq, rtype, payload in records[cut:]:
+            replayer.feed(seq, rtype, payload)
+        whole = JournalReplayer(spec)
+        for seq, rtype, payload in records:
+            whole.feed(seq, rtype, payload)
+        assert replayer.digest() == whole.digest()
+
+
+# -- rolling replacement ------------------------------------------------------
+
+
+class TestRollingReplacement:
+    @pytest.mark.parametrize("variant", ["minimum", "graph"])
+    def test_full_fleet_recycle_stays_byte_identical(
+        self, tmp_path, variant
+    ):
+        spec = journal_spec(tmp_path, variant)
+        requests = script(rounds=6)
+        cluster = spec.build()
+        try:
+            replacer = RollingReplacer(cluster)
+            for request in requests:
+                cluster.request(request)
+                replacer.step()
+            replacer.run()
+            assert replacer.done()
+            assert replacer.replaced == [0, 1, 2]
+            assert [
+                r["worker"] for r in cluster.metrics.replacements
+            ] == [0, 1, 2]
+            reference = reference_trail(spec, requests)
+            assert trail_mismatches(cluster.evidence, reference) == []
+            assert cluster.metrics.parity_failed == 0
+        finally:
+            cluster.stop()
+
+    def test_steps_defer_to_unplanned_respawns(self, tmp_path):
+        spec = journal_spec(tmp_path)
+        requests = script(rounds=2)
+        cluster = spec.build()
+        try:
+            for request in requests:
+                cluster.request(request)
+            replacer = RollingReplacer(cluster)
+            cluster.metrics.respawns.append(
+                {"worker": 1, "reason": "test", "installed_cache_entries": 0}
+            )
+            assert replacer.step() is None
+            assert replacer.deferred == 1
+            assert replacer.pending == 3
+            assert replacer.step() == 0
+        finally:
+            cluster.stop()
+
+    def test_replace_worker_rejects_bad_indices(self, tmp_path):
+        spec = journal_spec(tmp_path)
+        cluster = spec.build()
+        try:
+            with pytest.raises(ClusterError):
+                cluster.replace_worker(99)
+        finally:
+            cluster.stop()

@@ -192,6 +192,34 @@ class TestFlightRecorder:
         assert records[2]["end"] is None
         assert records[2]["worker"] == 1
 
+    def test_directory_dumps_rotate_with_a_bound(self, tmp_path):
+        recorder = FlightRecorder(max_dumps=3)
+        tracer = recorder.attach(TraceContext("t"))
+        tracer.finish(tracer.begin("stage"))
+        directory = tmp_path / "dumps"
+        for index in range(5):
+            recorder.dump(str(directory) + "/", f"incident {index}")
+        names = sorted(p.name for p in directory.iterdir())
+        # counters never restart: eviction drops the oldest files but
+        # later dumps keep numbering upward
+        assert names == [
+            "dump-000003.jsonl", "dump-000004.jsonl", "dump-000005.jsonl",
+        ]
+        assert len(recorder.dumps) == 5
+        headers = [
+            load_records(str(directory / name))[0] for name in names
+        ]
+        assert [h["reason"] for h in headers] == [
+            "incident 2", "incident 3", "incident 4",
+        ]
+
+    def test_explicit_file_paths_still_write_in_place(self, tmp_path):
+        recorder = FlightRecorder()
+        path = tmp_path / "flight.jsonl"
+        recorder.dump(str(path), "first")
+        recorder.dump(str(path), "second")
+        assert load_records(str(path))[0]["reason"] == "second"
+
 
 # -- the log emitter ----------------------------------------------------------
 
@@ -371,6 +399,21 @@ class TestObsCli:
     def test_missing_dump_is_a_usage_error(self, tmp_path, capsys):
         missing = str(tmp_path / "nope.jsonl")
         assert obs_cli.main(["timeline", missing]) == EXIT_USAGE
+
+    def test_timeline_renders_a_whole_dump_directory(self, tmp_path,
+                                                     capsys):
+        recorder = FlightRecorder()
+        tracer = recorder.attach(TraceContext("t"))
+        tracer.finish(tracer.begin("fold", epoch=1))
+        directory = tmp_path / "dumps"
+        recorder.dump(str(directory) + "/", "first incident")
+        tracer.finish(tracer.begin("slice", epoch=2, worker=1))
+        recorder.dump(str(directory) + "/", "second incident")
+        assert obs_cli.main(["timeline", str(directory)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "flight dump: first incident" in out
+        assert "flight dump: second incident" in out
+        assert "epoch 1" in out and "epoch 2" in out
 
 
 # -- acceptance: tracing cannot move a byte of evidence -----------------------
